@@ -1,0 +1,65 @@
+// Ablation: scratchpad staging vs cached reads over growing window sizes
+// (Section IV-A): "staging to scratchpad memory makes only sense in case the
+// benefit of data reuse exceeds the multithreading benefit. For local
+// operators with small window sizes, this is rarely the case." This sweep
+// locates where (or whether) the crossover falls on each device.
+#include <cstdio>
+
+#include "compiler/executable.hpp"
+#include "hwmodel/device_db.hpp"
+#include "ops/kernel_sources.hpp"
+
+using namespace hipacc;
+
+namespace {
+
+Result<double> Measure(int window, bool scratchpad,
+                       codegen::TexturePolicy texture,
+                       const hw::DeviceSpec& device, int n) {
+  frontend::KernelSource source =
+      ops::GaussianSource(window, 0.5f * window, ast::BoundaryMode::kClamp);
+  compiler::CompileOptions copts;
+  copts.codegen.use_scratchpad = scratchpad;
+  copts.codegen.texture = texture;
+  copts.device = device;
+  copts.image_width = n;
+  copts.image_height = n;
+  copts.forced_config = hw::KernelConfig{32, 8};
+  Result<compiler::CompiledKernel> compiled = compiler::Compile(source, copts);
+  if (!compiled.ok()) return compiled.status();
+  dsl::Image<float> in(n, n), out(n, n);
+  runtime::BindingSet bindings;
+  bindings.Input("Input", in).Output(out);
+  compiler::SimulatedExecutable exe(std::move(compiled).take(), device);
+  Result<sim::LaunchStats> stats = exe.Measure(bindings);
+  if (!stats.ok()) return stats.status();
+  return stats.value().timing.total_ms;
+}
+
+void Sweep(const hw::DeviceSpec& device) {
+  const int n = 2048;
+  std::printf("%s (%dx%d image, Gaussian clamp, config 32x8)\n",
+              device.name.c_str(), n, n);
+  std::printf("%8s  %10s  %10s  %10s\n", "window", "global", "texture",
+              "smem");
+  for (const int window : {3, 5, 9, 13, 17, 21, 25}) {
+    auto global = Measure(window, false, codegen::TexturePolicy::kNone, device, n);
+    auto tex = Measure(window, false, codegen::TexturePolicy::kLinear, device, n);
+    auto smem = Measure(window, true, codegen::TexturePolicy::kNone, device, n);
+    std::printf("%5dx%-3d %10.2f  %10.2f  %10.2f\n", window, window,
+                global.ok() ? global.value() : -1.0,
+                tex.ok() ? tex.value() : -1.0,
+                smem.ok() ? smem.value() : -1.0);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: scratchpad staging vs cached paths vs window size. "
+              "Times in ms (modelled).\n\n");
+  Sweep(hw::TeslaC2050());
+  Sweep(hw::QuadroFx5800());
+  return 0;
+}

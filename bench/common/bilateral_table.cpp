@@ -1,0 +1,134 @@
+#include "common/bilateral_table.hpp"
+
+#include "baselines/manual.hpp"
+#include "baselines/rapidmind.hpp"
+#include "common/table.hpp"
+#include "compiler/executable.hpp"
+#include "ops/kernel_sources.hpp"
+#include "support/string_utils.hpp"
+
+namespace hipacc::bench {
+namespace {
+
+using ast::Backend;
+using ast::BoundaryMode;
+
+const BoundaryMode kModes[] = {BoundaryMode::kUndefined, BoundaryMode::kClamp,
+                               BoundaryMode::kRepeat, BoundaryMode::kMirror,
+                               BoundaryMode::kConstant};
+
+struct VariantSpec {
+  std::string label;
+  bool generated = false;  ///< region-specialised (our compiler) vs manual
+  bool use_mask = false;
+  codegen::TexturePolicy texture = codegen::TexturePolicy::kNone;
+};
+
+std::vector<VariantSpec> Variants(Backend backend) {
+  const bool cuda = backend == Backend::kCuda;
+  const std::string tex = cuda ? "+Tex" : "+Img";
+  const std::string tex2d = cuda ? "+2DTex" : "+ImgBH";
+  using TP = codegen::TexturePolicy;
+  return {
+      {"Manual", false, false, TP::kNone},
+      {"  " + tex, false, false, TP::kLinear},
+      {"  " + tex2d, false, false, TP::kArray2D},
+      {"  +Mask", false, true, TP::kNone},
+      {"  +Mask" + tex, false, true, TP::kLinear},
+      {"  +Mask" + tex2d, false, true, TP::kArray2D},
+      {"Generated", true, false, TP::kNone},
+      {"  " + tex, true, false, TP::kLinear},
+      {"  +Mask", true, true, TP::kNone},
+      {"  +Mask" + tex, true, true, TP::kLinear},
+  };
+}
+
+}  // namespace
+
+std::string RunBilateralTable(const std::string& title,
+                              const BilateralTableOptions& options) {
+  const int n = options.image_size;
+  const hw::KernelConfig config{128, 1};  // as stated under each paper table
+  dsl::Image<float> in(n, n), out(n, n);
+
+  Table table({"Undef.", "Clamp", "Repeat", "Mirror", "Const."});
+
+  for (const VariantSpec& variant : Variants(options.backend)) {
+    table.Row(variant.label);
+    for (const BoundaryMode mode : kModes) {
+      // Hardware boundary handling only exists for some modes: CUDA 2D
+      // textures support Clamp/Repeat, OpenCL samplers additionally a 0/1
+      // Constant; Mirror is never available (the paper's "n/a" cells).
+      frontend::KernelSource source =
+          variant.use_mask
+              ? ops::BilateralMaskSource(options.sigma_d, mode)
+              : ops::BilateralSource(options.sigma_d, mode);
+      compiler::CompileOptions copts;
+      copts.codegen.backend = options.backend;
+      copts.codegen.texture = variant.texture;
+      copts.codegen.border = variant.generated ? codegen::BorderPolicy::kRegions
+                                               : codegen::BorderPolicy::kUniform;
+      copts.device = options.device;
+      copts.image_width = n;
+      copts.image_height = n;
+      copts.forced_config = config;
+
+      Result<compiler::CompiledKernel> compiled =
+          compiler::Compile(source, copts);
+      if (!compiled.ok()) {
+        table.Cell(std::string("n/a"));
+        continue;
+      }
+      runtime::BindingSet bindings;
+      bindings.Input("Input", in)
+          .Output(out)
+          .Scalar("sigma_d", options.sigma_d)
+          .Scalar("sigma_r", options.sigma_r);
+      compiler::SimulatedExecutable exe(std::move(compiled).take(),
+                                        options.device);
+      Result<sim::LaunchStats> stats = exe.Measure(bindings);
+      if (!stats.ok()) {
+        table.Cell(std::string("error"));
+        continue;
+      }
+      // Unguarded out-of-bounds global reads crash Fermi-class cards under
+      // the CUDA runtime (Table II); other platforms return garbage pixels.
+      const bool crashes = stats.value().metrics.oob_violations > 0 &&
+                           options.device.compute_capability >= 20 &&
+                           options.backend == Backend::kCuda;
+      if (crashes)
+        table.Cell(std::string("crash"));
+      else
+        table.Cell(stats.value().timing.total_ms);
+    }
+  }
+
+  if (options.include_rapidmind) {
+    for (const bool texture : {false, true}) {
+      table.Row(texture ? "  +Tex" : "RapidMind");
+      for (const BoundaryMode mode : kModes) {
+        runtime::BindingSet bindings;
+        bindings.Input("Input", in).Output(out);
+        Result<baselines::RapidMindMeasurement> rm =
+            baselines::MeasureRapidMindBilateral(
+                options.sigma_d, options.sigma_r, mode, texture,
+                options.device, n, n, config, bindings);
+        if (!rm.ok()) {
+          table.Cell(std::string("n/a"));
+        } else if (rm.value().crashed) {
+          table.Cell(std::string("crash"));
+        } else {
+          table.Cell(rm.value().ms);
+        }
+      }
+    }
+  }
+
+  return table.Render(StrFormat(
+      "%s\nBilateral filter, %dx%d image, %dx%d window (sigma_d = %d), "
+      "kernel configuration 128x1. Times in ms (modelled).",
+      title.c_str(), n, n, 4 * options.sigma_d + 1, 4 * options.sigma_d + 1,
+      options.sigma_d));
+}
+
+}  // namespace hipacc::bench

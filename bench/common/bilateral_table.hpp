@@ -1,0 +1,26 @@
+// Shared harness for Tables II-VII: the bilateral filter (4096x4096 pixels,
+// 13x13 window, sigma_d = 3, configuration 128x1) across all boundary modes
+// and implementation variants on one (device, backend) pair.
+#pragma once
+
+#include <string>
+
+#include "ast/kernel_ir.hpp"
+#include "hwmodel/device_spec.hpp"
+
+namespace hipacc::bench {
+
+struct BilateralTableOptions {
+  hw::DeviceSpec device;
+  ast::Backend backend = ast::Backend::kCuda;
+  bool include_rapidmind = false;  ///< Tables II and IV only
+  int image_size = 4096;
+  int sigma_d = 3;  ///< 13x13 window
+  int sigma_r = 5;
+};
+
+/// Runs all variants x modes and returns the rendered table.
+std::string RunBilateralTable(const std::string& title,
+                              const BilateralTableOptions& options);
+
+}  // namespace hipacc::bench

@@ -1,0 +1,105 @@
+#include "common/gaussian_table.hpp"
+
+#include "baselines/opencv_like.hpp"
+#include "common/table.hpp"
+#include "compiler/executable.hpp"
+#include "ops/kernel_sources.hpp"
+#include "ops/masks.hpp"
+#include "support/string_utils.hpp"
+
+namespace hipacc::bench {
+namespace {
+
+using ast::Backend;
+using ast::BoundaryMode;
+
+const BoundaryMode kModes[] = {BoundaryMode::kClamp, BoundaryMode::kRepeat,
+                               BoundaryMode::kMirror, BoundaryMode::kConstant};
+
+/// One generated-variant measurement with automatic configuration selection
+/// (the framework's heuristic, as the paper's Table VIII/IX rows use).
+Result<double> MeasureGenerated(const GaussianTableOptions& options,
+                                Backend backend, int window, BoundaryMode mode,
+                                codegen::TexturePolicy texture,
+                                bool scratchpad) {
+  const int n = options.image_size;
+  frontend::KernelSource source =
+      ops::GaussianSource(window, 0.5f * window, mode);
+  compiler::CompileOptions copts;
+  copts.codegen.backend = backend;
+  copts.codegen.texture = texture;
+  copts.codegen.use_scratchpad = scratchpad;
+  copts.device = options.device;
+  copts.image_width = n;
+  copts.image_height = n;
+
+  Result<compiler::CompiledKernel> compiled = compiler::Compile(source, copts);
+  if (!compiled.ok()) return compiled.status();
+
+  dsl::Image<float> in(n, n), out(n, n);
+  runtime::BindingSet bindings;
+  bindings.Input("Input", in).Output(out);
+  compiler::SimulatedExecutable exe(std::move(compiled).take(), options.device);
+  Result<sim::LaunchStats> stats = exe.Measure(bindings);
+  if (!stats.ok()) return stats.status();
+  return stats.value().timing.total_ms;
+}
+
+}  // namespace
+
+std::string RunGaussianTable(const std::string& title,
+                             const GaussianTableOptions& options) {
+  std::string out = title + "\n";
+  out += StrFormat("Gaussian filter, %dx%d image, times in ms (modelled).\n\n",
+                   options.image_size, options.image_size);
+
+  for (const int window : options.window_sizes) {
+    Table table({"Clamp", "Repeat", "Mirror", "Const."});
+    const std::vector<float> mask1d = ops::GaussianMask1D(window, 0.5f * window);
+
+    for (const int ppt : {8, 1}) {
+      table.Row(StrFormat("OpenCV: PPT=%d", ppt));
+      baselines::OpenCvLikeEngine engine(options.device, Backend::kCuda);
+      for (const BoundaryMode mode : kModes) {
+        Result<baselines::SeparableTiming> timing =
+            engine.Measure(options.image_size, options.image_size, mask1d,
+                           mode, ppt, hw::KernelConfig{128, 1});
+        if (timing.ok())
+          table.Cell(timing.value().total_ms);
+        else
+          table.Cell(std::string("error"));
+      }
+    }
+
+    struct GenRow {
+      std::string label;
+      Backend backend;
+      codegen::TexturePolicy texture;
+      bool scratchpad;
+    };
+    const std::vector<GenRow> rows = {
+        {"CUDA(Gen)", Backend::kCuda, codegen::TexturePolicy::kNone, false},
+        {"CUDA(+Tex)", Backend::kCuda, codegen::TexturePolicy::kLinear, false},
+        {"CUDA(+Smem)", Backend::kCuda, codegen::TexturePolicy::kNone, true},
+        {"OpenCL(Gen)", Backend::kOpenCL, codegen::TexturePolicy::kNone, false},
+        {"OpenCL(+Img)", Backend::kOpenCL, codegen::TexturePolicy::kLinear, false},
+        {"OpenCL(+Lmem)", Backend::kOpenCL, codegen::TexturePolicy::kNone, true},
+    };
+    for (const GenRow& row : rows) {
+      table.Row(row.label);
+      for (const BoundaryMode mode : kModes) {
+        Result<double> ms = MeasureGenerated(options, row.backend, window,
+                                             mode, row.texture, row.scratchpad);
+        if (ms.ok())
+          table.Cell(ms.value());
+        else
+          table.Cell(std::string("error"));
+      }
+    }
+    out += table.Render(StrFormat("Gaussian: %dx%d", window, window));
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace hipacc::bench

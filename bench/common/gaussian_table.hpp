@@ -1,0 +1,23 @@
+// Shared harness for Tables VIII/IX: Gaussian filters on a 4096x4096 image,
+// OpenCV-style separable implementations (PPT=8 / PPT=1) vs our generated
+// 2D-convolution kernels (CUDA and OpenCL; plain, texture, scratchpad)
+// across boundary modes and window sizes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hwmodel/device_spec.hpp"
+
+namespace hipacc::bench {
+
+struct GaussianTableOptions {
+  hw::DeviceSpec device;
+  int image_size = 4096;
+  std::vector<int> window_sizes = {3, 5};
+};
+
+std::string RunGaussianTable(const std::string& title,
+                             const GaussianTableOptions& options);
+
+}  // namespace hipacc::bench

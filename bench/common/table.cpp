@@ -1,0 +1,48 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "support/string_utils.hpp"
+
+namespace hipacc::bench {
+
+void Table::Row(const std::string& label) { rows_.emplace_back(label, std::vector<std::string>{}); }
+
+void Table::Cell(double ms) {
+  rows_.back().second.push_back(StrFormat("%.2f", ms));
+}
+
+void Table::Cell(const std::string& text) { rows_.back().second.push_back(text); }
+
+std::string Table::Render(const std::string& title) const {
+  size_t label_width = 8;
+  for (const auto& [label, cells] : rows_)
+    label_width = std::max(label_width, label.size());
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& [label, cells] : rows_)
+      if (c < cells.size()) widths[c] = std::max(widths[c], cells[c].size());
+  }
+
+  std::string out = title + "\n";
+  std::string header(label_width, ' ');
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    header += "  ";
+    header += std::string(widths[c] - columns_[c].size(), ' ') + columns_[c];
+  }
+  out += header + "\n";
+  out += std::string(header.size(), '-') + "\n";
+  for (const auto& [label, cells] : rows_) {
+    std::string line = label + std::string(label_width - label.size(), ' ');
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += "  ";
+      line += std::string(widths[c] >= cells[c].size() ? widths[c] - cells[c].size() : 0, ' ') +
+              cells[c];
+    }
+    out += line + "\n";
+  }
+  return out;
+}
+
+}  // namespace hipacc::bench

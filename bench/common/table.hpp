@@ -1,0 +1,31 @@
+// Minimal fixed-width table printer for the benchmark harnesses, matching
+// the layout of the paper's tables (variants as rows, boundary modes as
+// columns, "crash"/"n/a" cells).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hipacc::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Starts a new row with the given label.
+  void Row(const std::string& label);
+  /// Appends a numeric cell (milliseconds) to the current row.
+  void Cell(double ms);
+  /// Appends a text cell ("crash", "n/a").
+  void Cell(const std::string& text);
+
+  /// Renders with aligned columns; `title` is printed first.
+  std::string Render(const std::string& title) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> rows_;
+};
+
+}  // namespace hipacc::bench

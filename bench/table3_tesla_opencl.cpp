@@ -1,0 +1,15 @@
+// Reproduces Table III: bilateral filter on the Tesla C2050, OpenCL backend.
+#include <cstdio>
+
+#include "common/bilateral_table.hpp"
+#include "hwmodel/device_db.hpp"
+
+int main() {
+  hipacc::bench::BilateralTableOptions options;
+  options.device = hipacc::hw::TeslaC2050();
+  options.backend = hipacc::ast::Backend::kOpenCL;
+  std::printf("%s\n", hipacc::bench::RunBilateralTable(
+                          "Table III: Tesla C2050, OpenCL backend", options)
+                          .c_str());
+  return 0;
+}

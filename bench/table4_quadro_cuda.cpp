@@ -1,0 +1,16 @@
+// Reproduces Table IV: bilateral filter on the Quadro FX 5800, CUDA backend.
+#include <cstdio>
+
+#include "common/bilateral_table.hpp"
+#include "hwmodel/device_db.hpp"
+
+int main() {
+  hipacc::bench::BilateralTableOptions options;
+  options.device = hipacc::hw::QuadroFx5800();
+  options.backend = hipacc::ast::Backend::kCuda;
+  options.include_rapidmind = true;
+  std::printf("%s\n", hipacc::bench::RunBilateralTable(
+                          "Table IV: Quadro FX 5800, CUDA backend", options)
+                          .c_str());
+  return 0;
+}

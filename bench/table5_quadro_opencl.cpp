@@ -1,0 +1,15 @@
+// Reproduces Table V: bilateral filter on the Quadro FX 5800, OpenCL backend.
+#include <cstdio>
+
+#include "common/bilateral_table.hpp"
+#include "hwmodel/device_db.hpp"
+
+int main() {
+  hipacc::bench::BilateralTableOptions options;
+  options.device = hipacc::hw::QuadroFx5800();
+  options.backend = hipacc::ast::Backend::kOpenCL;
+  std::printf("%s\n", hipacc::bench::RunBilateralTable(
+                          "Table V: Quadro FX 5800, OpenCL backend", options)
+                          .c_str());
+  return 0;
+}

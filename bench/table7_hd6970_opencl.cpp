@@ -1,0 +1,16 @@
+// Reproduces Table VII: bilateral filter on the Radeon HD 6970 (VLIW4),
+// OpenCL backend.
+#include <cstdio>
+
+#include "common/bilateral_table.hpp"
+#include "hwmodel/device_db.hpp"
+
+int main() {
+  hipacc::bench::BilateralTableOptions options;
+  options.device = hipacc::hw::RadeonHd6970();
+  options.backend = hipacc::ast::Backend::kOpenCL;
+  std::printf("%s\n", hipacc::bench::RunBilateralTable(
+                          "Table VII: Radeon HD 6970, OpenCL backend", options)
+                          .c_str());
+  return 0;
+}

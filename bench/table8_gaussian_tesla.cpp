@@ -1,0 +1,16 @@
+// Reproduces Table VIII: Gaussian 3x3 and 5x5 on the Tesla C2050 — OpenCV's
+// separable GPU filters (PPT=8 original mapping, PPT=1 one-to-one) vs our
+// generated implementations with automatic configuration selection.
+#include <cstdio>
+
+#include "common/gaussian_table.hpp"
+#include "hwmodel/device_db.hpp"
+
+int main() {
+  hipacc::bench::GaussianTableOptions options;
+  options.device = hipacc::hw::TeslaC2050();
+  std::printf("%s\n", hipacc::bench::RunGaussianTable(
+                          "Table VIII: Gaussian filters, Tesla C2050", options)
+                          .c_str());
+  return 0;
+}

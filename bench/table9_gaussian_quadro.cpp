@@ -1,0 +1,15 @@
+// Reproduces Table IX: Gaussian 3x3 and 5x5 on the Quadro FX 5800.
+#include <cstdio>
+
+#include "common/gaussian_table.hpp"
+#include "hwmodel/device_db.hpp"
+
+int main() {
+  hipacc::bench::GaussianTableOptions options;
+  options.device = hipacc::hw::QuadroFx5800();
+  std::printf("%s\n",
+              hipacc::bench::RunGaussianTable(
+                  "Table IX: Gaussian filters, Quadro FX 5800", options)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Angiography denoising scenario (the paper's motivating domain): a noisy
+// synthetic angiogram is denoised with the bilateral filter — edge-preserving
+// smoothing keeps vessel borders sharp while flattening quantum noise.
+// Compares against a plain Gaussian of the same support to show why the
+// bilateral filter is the tool of choice, and sweeps sigma_r.
+#include <cstdio>
+
+#include "dsl/reduce.hpp"
+#include "image/io.hpp"
+#include "image/metrics.hpp"
+#include "image/synthetic.hpp"
+#include "ops/dsl_ops.hpp"
+#include "ops/masks.hpp"
+
+using namespace hipacc;
+
+namespace {
+
+HostImage<float> RunBilateral(const HostImage<float>& noisy, int sigma_d,
+                              int sigma_r) {
+  dsl::Image<float> in(noisy.width(), noisy.height());
+  dsl::Image<float> out(noisy.width(), noisy.height());
+  in.CopyFrom(noisy);
+  const int window = 4 * sigma_d + 1;
+  dsl::BoundaryCondition<float> bc(in, window, window,
+                                   ast::BoundaryMode::kMirror);
+  dsl::Accessor<float> acc(bc);
+  dsl::IterationSpace<float> is(out);
+  ops::BilateralFilter bf(is, acc, sigma_d, sigma_r);
+  bf.execute();
+  return out.getData();
+}
+
+HostImage<float> RunGaussian(const HostImage<float>& noisy, int size) {
+  dsl::Image<float> in(noisy.width(), noisy.height());
+  dsl::Image<float> out(noisy.width(), noisy.height());
+  in.CopyFrom(noisy);
+  dsl::Mask<float> mask(size, size);
+  mask = ops::GaussianMask2D(size, 0.5f * size);
+  dsl::BoundaryCondition<float> bc(in, size, size, ast::BoundaryMode::kMirror);
+  dsl::Accessor<float> acc(bc);
+  dsl::IterationSpace<float> is(out);
+  ops::Convolution conv(is, acc, mask);
+  conv.execute();
+  return out.getData();
+}
+
+}  // namespace
+
+int main() {
+  const int n = 768;
+  const int sigma_d = 2;
+  const HostImage<float> clean = MakeAngiogramPhantom(n, n, 0.0f, 11);
+  const HostImage<float> noisy = MakeAngiogramPhantom(n, n, 0.10f, 11);
+
+  std::printf("Bilateral denoising of a %dx%d synthetic angiogram "
+              "(noise sigma 0.10)\n\n", n, n);
+  std::printf("  noisy input:              PSNR %6.2f dB\n", Psnr(clean, noisy));
+
+  const HostImage<float> gauss = RunGaussian(noisy, 4 * sigma_d + 1);
+  std::printf("  gaussian %dx%d:            PSNR %6.2f dB (blurs vessel edges)\n",
+              4 * sigma_d + 1, 4 * sigma_d + 1, Psnr(clean, gauss));
+
+  for (const int sigma_r : {2, 5, 10, 20}) {
+    const HostImage<float> denoised = RunBilateral(noisy, sigma_d, sigma_r);
+    std::printf("  bilateral sigma_r = %-3d:  PSNR %6.2f dB\n", sigma_r,
+                Psnr(clean, denoised));
+    if (sigma_r == 5) {
+      (void)WritePgm(denoised, "bilateral_denoised.pgm");
+    }
+  }
+
+  // Global operator: mean intensity before/after (a sanity statistic
+  // clinicians watch — denoising must not shift overall brightness).
+  dsl::Image<float> d_noisy(n, n), d_out(n, n);
+  d_noisy.CopyFrom(noisy);
+  d_out.CopyFrom(RunBilateral(noisy, sigma_d, 5));
+  const float mean_before = dsl::ReduceSum(d_noisy) / static_cast<float>(n * n);
+  const float mean_after = dsl::ReduceSum(d_out) / static_cast<float>(n * n);
+  std::printf("\n  mean intensity: %.4f -> %.4f\n", mean_before, mean_after);
+
+  (void)WritePgm(noisy, "bilateral_noisy.pgm");
+  (void)WritePgm(clean, "bilateral_clean.pgm");
+  std::printf("wrote bilateral_{clean,noisy,denoised}.pgm\n");
+  return 0;
+}

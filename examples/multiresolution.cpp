@@ -1,0 +1,99 @@
+// Multiresolution filtering (paper Section III-A, ref [7]): the reason
+// Mirror boundary handling matters in medical imaging. The image is
+// decomposed into a Laplacian pyramid, detail bands are amplified, and the
+// image is reconstructed. With Clamp/Repeat boundary handling, repeated
+// upsampling produces visible artifacts along the borders; Mirror keeps them
+// natural. This example quantifies the border artifact under each mode.
+#include <cmath>
+#include <cstdio>
+
+#include "image/io.hpp"
+#include "image/metrics.hpp"
+#include "image/synthetic.hpp"
+#include "ops/pyramid.hpp"
+
+using namespace hipacc;
+
+namespace {
+
+/// Mean absolute difference within `margin` pixels of the border between the
+/// filtered image and the identity-gain reconstruction (which would be the
+/// original image under perfect boundary handling).
+double BorderArtifact(const HostImage<float>& filtered,
+                      const HostImage<float>& reference, int margin) {
+  double acc = 0.0;
+  long count = 0;
+  for (int y = 0; y < filtered.height(); ++y) {
+    for (int x = 0; x < filtered.width(); ++x) {
+      const bool near_border =
+          x < margin || y < margin || x >= filtered.width() - margin ||
+          y >= filtered.height() - margin;
+      if (!near_border) continue;
+      acc += std::abs(static_cast<double>(filtered(x, y)) - reference(x, y));
+      ++count;
+    }
+  }
+  return count ? acc / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const int n = 512;
+  const int pad = 64;  // context available to the oracle but not the crop
+  const int levels = 4;
+  const std::vector<float> gains = {2.5f, 1.8f, 1.2f, 1.0f};
+
+  // Oracle: enhance a larger image and crop its centre — the result the
+  // filter would produce if pixel data continued beyond the border.
+  HostImage<float> wide = MakeAngiogramPhantom(n + 2 * pad, n + 2 * pad, 0.02f, 3);
+  // Illumination tilt (typical of fluoroscopy): breaks the phantom's radial
+  // symmetry so opposite image edges genuinely differ.
+  for (int y = 0; y < wide.height(); ++y)
+    for (int x = 0; x < wide.width(); ++x)
+      wide(x, y) = 0.8f * wide(x, y) +
+                   0.25f * static_cast<float>(x) / wide.width();
+  const HostImage<float> wide_enhanced = ops::MultiresolutionFilter(
+      wide, levels, gains, ast::BoundaryMode::kMirror);
+  HostImage<float> oracle(n, n), input(n, n);
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x) {
+      oracle(x, y) = wide_enhanced(x + pad, y + pad);
+      input(x, y) = wide(x + pad, y + pad);
+    }
+
+  std::printf("Multiresolution enhancement, %d pyramid levels, %dx%d "
+              "angiogram, detail gains 2.5/1.8/1.2/1.0.\n", levels, n, n);
+  std::printf("Artifact = mean |enhanced - oracle| where the oracle saw %d "
+              "extra border pixels.\n\n", pad);
+  std::printf("%-10s  %18s  %18s\n", "boundary", "border artifact",
+              "interior artifact");
+
+  for (const ast::BoundaryMode mode :
+       {ast::BoundaryMode::kClamp, ast::BoundaryMode::kRepeat,
+        ast::BoundaryMode::kMirror}) {
+    const HostImage<float> enhanced =
+        ops::MultiresolutionFilter(input, levels, gains, mode);
+    const int margin = 16;
+    const double border = BorderArtifact(enhanced, oracle, margin);
+    double interior = 0.0;
+    long count = 0;
+    for (int y = margin; y < n - margin; ++y)
+      for (int x = margin; x < n - margin; ++x) {
+        interior += std::abs(static_cast<double>(enhanced(x, y)) - oracle(x, y));
+        ++count;
+      }
+    interior /= static_cast<double>(count);
+    std::printf("%-10s  %18.6f  %18.6f\n", to_string(mode), border, interior);
+  }
+
+
+  // The actual enhancement: amplify fine detail (vessel edges).
+  const HostImage<float> enhanced = ops::MultiresolutionFilter(
+      input, levels, {2.5f, 1.8f, 1.2f, 1.0f}, ast::BoundaryMode::kMirror);
+  (void)WritePgm(input, "multires_in.pgm");
+  (void)WritePgm(enhanced, "multires_enhanced.pgm");
+  std::printf("\nwrote multires_in.pgm / multires_enhanced.pgm "
+              "(detail gains 2.5/1.8/1.2/1.0, mirror boundaries)\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Quickstart: the paper's running example end to end (Listings 1-3).
+//
+// 1. Describe the bilateral filter as a DSL kernel operating on one output
+//    pixel, with boundary handling attached to the Accessor.
+// 2. Execute it functionally on the host.
+// 3. Feed the same kernel through the source-to-source compiler and run the
+//    generated kernel on the simulated GPU; outputs must match exactly.
+#include <cstdio>
+
+#include "compiler/executable.hpp"
+#include "image/io.hpp"
+#include "image/metrics.hpp"
+#include "image/synthetic.hpp"
+#include "ops/dsl_ops.hpp"
+#include "ops/kernel_sources.hpp"
+
+using namespace hipacc;
+
+int main() {
+  const int width = 512, height = 512;
+  const int sigma_d = 2, sigma_r = 5;
+
+  // --- input: synthetic angiogram with noise ------------------------------
+  const HostImage<float> host_in =
+      MakeAngiogramPhantom(width, height, 0.08f, /*seed=*/1);
+
+  // --- Listing 2: images, region of interest, accessor, kernel ------------
+  dsl::Image<float> in(width, height);
+  dsl::Image<float> out(width, height);
+  in = host_in.data();  // operator= uploads the raw host array
+
+  const int window = 4 * sigma_d + 1;
+  dsl::BoundaryCondition<float> bound(in, window, window,
+                                      ast::BoundaryMode::kClamp);
+  dsl::Accessor<float> acc_in(bound);
+  dsl::IterationSpace<float> iter_space(out);
+
+  ops::BilateralFilter bf(iter_space, acc_in, sigma_d, sigma_r);
+  bf.execute();  // functional host execution
+  const HostImage<float> host_out = out.getData();
+
+  // --- the compiled path: same kernel through the compiler + simulator ----
+  frontend::KernelSource source =
+      ops::BilateralSource(sigma_d, ast::BoundaryMode::kClamp);
+  compiler::CompileOptions copts;
+  copts.device = hw::TeslaC2050();
+  copts.image_width = width;
+  copts.image_height = height;
+  Result<compiler::CompiledKernel> compiled = compiler::Compile(source, copts);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 compiled.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("compiled '%s': config %dx%d, %d regs/thread, occupancy %.0f%%\n",
+              compiled.value().decl.name.c_str(),
+              compiled.value().config.config.block_x,
+              compiled.value().config.config.block_y,
+              compiled.value().resources.regs_per_thread,
+              100.0 * compiled.value().config.occupancy.occupancy);
+
+  dsl::Image<float> gpu_out(width, height);
+  runtime::BindingSet bindings;
+  bindings.Input("Input", in).Output(gpu_out).Scalar("sigma_d", sigma_d).Scalar(
+      "sigma_r", sigma_r);
+  compiler::SimulatedExecutable exe(std::move(compiled).take(),
+                                    hw::TeslaC2050());
+  Result<sim::LaunchStats> stats = exe.Run(bindings);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "launch error: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  const HostImage<float> host_gpu = gpu_out.getData();
+
+  std::printf("host executor vs simulated GPU: max |diff| = %.3g\n",
+              MaxAbsDiff(host_out, host_gpu));
+  std::printf("modelled GPU time: %.3f ms\n", stats.value().timing.total_ms);
+  std::printf("input PSNR vs denoised PSNR against clean phantom:\n");
+  const HostImage<float> clean = MakeAngiogramPhantom(width, height, 0.0f, 1);
+  std::printf("  noisy:    %.2f dB\n  filtered: %.2f dB\n",
+              Psnr(clean, host_in), Psnr(clean, host_out));
+
+  (void)WritePgm(host_in, "quickstart_in.pgm");
+  (void)WritePgm(host_out, "quickstart_out.pgm");
+  std::printf("wrote quickstart_in.pgm / quickstart_out.pgm\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Edge detection pipeline built from three DSL kernels: Sobel derivative
+// convolutions in x and y, a point operator combining them into a gradient
+// magnitude, and a threshold — the classic vessel-boundary extraction step.
+// Demonstrates chaining kernels over shared Images with different accessors.
+#include <cmath>
+#include <cstdio>
+
+#include "dsl/reduce.hpp"
+#include "image/io.hpp"
+#include "image/synthetic.hpp"
+#include "ops/dsl_ops.hpp"
+#include "ops/masks.hpp"
+
+using namespace hipacc;
+
+namespace {
+
+/// Point operator: magnitude of two gradient images.
+class GradientMagnitude : public dsl::Kernel<float> {
+ public:
+  GradientMagnitude(dsl::IterationSpace<float>& is, dsl::Accessor<float>& gx,
+                    dsl::Accessor<float>& gy)
+      : Kernel(is), gx_(gx), gy_(gy) {
+    addAccessor(&gx_);
+    addAccessor(&gy_);
+  }
+  void kernel() override {
+    output() = std::sqrt(gx_() * gx_() + gy_() * gy_());
+  }
+
+ private:
+  dsl::Accessor<float>& gx_;
+  dsl::Accessor<float>& gy_;
+};
+
+/// Point operator: binary threshold.
+class Threshold : public dsl::Kernel<float> {
+ public:
+  Threshold(dsl::IterationSpace<float>& is, dsl::Accessor<float>& input,
+            float level)
+      : Kernel(is), input_(input), level_(level) {
+    addAccessor(&input_);
+  }
+  void kernel() override { output() = input_() > level_ ? 1.0f : 0.0f; }
+
+ private:
+  dsl::Accessor<float>& input_;
+  float level_;
+};
+
+}  // namespace
+
+int main() {
+  const int n = 512;
+  const HostImage<float> host_in = MakeAngiogramPhantom(n, n, 0.03f, 9);
+
+  dsl::Image<float> in(n, n), grad_x(n, n), grad_y(n, n), mag(n, n), edges(n, n);
+  in.CopyFrom(host_in);
+
+  // Sobel derivatives: same input image, one BoundaryCondition, two masks.
+  dsl::Mask<float> mask_x(3, 3), mask_y(3, 3);
+  mask_x = ops::SobelMaskX();
+  mask_y = ops::SobelMaskY();
+  dsl::BoundaryCondition<float> bc(in, 3, 3, ast::BoundaryMode::kClamp);
+  dsl::Accessor<float> acc(bc);
+
+  dsl::IterationSpace<float> is_x(grad_x);
+  ops::Convolution sobel_x(is_x, acc, mask_x);
+  sobel_x.execute();
+
+  dsl::IterationSpace<float> is_y(grad_y);
+  ops::Convolution sobel_y(is_y, acc, mask_y);
+  sobel_y.execute();
+
+  // Gradient magnitude (point operator on two inputs).
+  dsl::Accessor<float> acc_gx(grad_x), acc_gy(grad_y);
+  dsl::IterationSpace<float> is_mag(mag);
+  GradientMagnitude magnitude(is_mag, acc_gx, acc_gy);
+  magnitude.execute();
+
+  // Auto threshold at 4x the mean gradient (global operator feeds a point
+  // operator's parameter — the three operator classes of Section I).
+  const float mean_grad =
+      dsl::ReduceSum(mag) / static_cast<float>(n) / static_cast<float>(n);
+  dsl::Accessor<float> acc_mag(mag);
+  dsl::IterationSpace<float> is_edges(edges);
+  Threshold threshold(is_edges, acc_mag, 4.0f * mean_grad);
+  threshold.execute();
+
+  const float edge_fraction =
+      dsl::ReduceSum(edges) / static_cast<float>(n) / static_cast<float>(n);
+  std::printf("Sobel edge extraction on a %dx%d angiogram\n", n, n);
+  std::printf("  mean gradient magnitude: %.5f\n", mean_grad);
+  std::printf("  max gradient magnitude:  %.5f\n", dsl::ReduceMax(mag));
+  std::printf("  edge pixels: %.2f%%\n", 100.0f * edge_fraction);
+
+  (void)WritePgm(host_in, "sobel_in.pgm");
+  (void)WritePgm(mag.getData(), "sobel_magnitude.pgm");
+  (void)WritePgm(edges.getData(), "sobel_edges.pgm");
+  std::printf("wrote sobel_{in,magnitude,edges}.pgm\n");
+  return 0;
+}

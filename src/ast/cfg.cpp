@@ -1,0 +1,107 @@
+#include "ast/cfg.hpp"
+
+#include "support/status.hpp"
+
+namespace hipacc::ast {
+namespace {
+
+class CfgBuilder {
+ public:
+  Cfg Build(const StmtPtr& body) {
+    const int entry = NewBlock();
+    current_ = entry;
+    Visit(body);
+    const int exit = NewBlock();
+    Link(current_, exit);
+    cfg_.entry = entry;
+    cfg_.exit = exit;
+    return std::move(cfg_);
+  }
+
+ private:
+  int NewBlock() {
+    BasicBlock bb;
+    bb.id = static_cast<int>(cfg_.blocks.size());
+    cfg_.blocks.push_back(std::move(bb));
+    return cfg_.blocks.back().id;
+  }
+
+  void Link(int from, int to) {
+    cfg_.blocks[static_cast<size_t>(from)].successors.push_back(to);
+  }
+
+  void Visit(const StmtPtr& stmt) {
+    if (!stmt) return;
+    const Stmt& s = *stmt;
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const auto& child : s.body) Visit(child);
+        return;
+      case StmtKind::kIf: {
+        cfg_.blocks[static_cast<size_t>(current_)].terminator = &s;
+        const int cond_block = current_;
+        const int then_block = NewBlock();
+        Link(cond_block, then_block);
+        current_ = then_block;
+        Visit(s.body[0]);
+        const int then_end = current_;
+        int else_end = cond_block;
+        if (s.body.size() > 1) {
+          const int else_block = NewBlock();
+          Link(cond_block, else_block);
+          current_ = else_block;
+          Visit(s.body[1]);
+          else_end = current_;
+        }
+        const int join = NewBlock();
+        Link(then_end, join);
+        Link(else_end, join);
+        current_ = join;
+        return;
+      }
+      case StmtKind::kFor: {
+        const int header = NewBlock();
+        Link(current_, header);
+        cfg_.blocks[static_cast<size_t>(header)].terminator = &s;
+        const int body_block = NewBlock();
+        Link(header, body_block);
+        current_ = body_block;
+        Visit(s.body[0]);
+        Link(current_, header);  // back edge
+        const int after = NewBlock();
+        Link(header, after);
+        current_ = after;
+        return;
+      }
+      default:
+        cfg_.blocks[static_cast<size_t>(current_)].stmts.push_back(&s);
+        return;
+    }
+  }
+
+  Cfg cfg_;
+  int current_ = 0;
+};
+
+}  // namespace
+
+Cfg BuildCfg(const StmtPtr& body) { return CfgBuilder().Build(body); }
+
+std::vector<int> DepthFirstOrder(const Cfg& cfg) {
+  std::vector<int> order;
+  std::vector<bool> seen(cfg.blocks.size(), false);
+  std::vector<int> stack = {cfg.entry};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    if (seen[static_cast<size_t>(id)]) continue;
+    seen[static_cast<size_t>(id)] = true;
+    order.push_back(id);
+    const auto& successors = cfg.block(id).successors;
+    for (auto it = successors.rbegin(); it != successors.rend(); ++it)
+      stack.push_back(*it);
+  }
+  return order;
+}
+
+}  // namespace hipacc::ast

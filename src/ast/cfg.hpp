@@ -1,0 +1,43 @@
+// Control-flow graph over a kernel body. The paper's read/write analysis
+// (Section IV-A) builds a CFG of the kernel method and traverses it to
+// classify each Image/Accessor as read, written, or both before selecting
+// texture functions. We reproduce that structure; the analysis itself lives
+// in src/codegen/readwrite.{hpp,cpp}.
+#pragma once
+
+#include <vector>
+
+#include "ast/stmt.hpp"
+
+namespace hipacc::ast {
+
+/// A maximal straight-line sequence of simple statements.
+struct BasicBlock {
+  int id = -1;
+  /// Simple statements (decl/assign/output/write/barrier) in order. The
+  /// controlling statement of a branch/loop contributes its condition
+  /// expression via `terminator`.
+  std::vector<const Stmt*> stmts;
+  /// Condition / loop-header statement ending this block, if any.
+  const Stmt* terminator = nullptr;
+  std::vector<int> successors;
+};
+
+/// CFG with a unique entry (id 0) and a unique synthetic exit block.
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  int entry = 0;
+  int exit = 0;
+
+  const BasicBlock& block(int id) const { return blocks[static_cast<size_t>(id)]; }
+};
+
+/// Builds the CFG of a statement tree. If-statements fork to then/else and
+/// re-join; for-loops get a header block with a back edge from the body.
+Cfg BuildCfg(const StmtPtr& body);
+
+/// Returns block ids in a depth-first order starting at entry (the traversal
+/// order used by the read/write analysis).
+std::vector<int> DepthFirstOrder(const Cfg& cfg);
+
+}  // namespace hipacc::ast

@@ -1,0 +1,161 @@
+#include "ast/const_fold.hpp"
+
+#include <cmath>
+
+#include "ast/visitor.hpp"
+
+namespace hipacc::ast {
+namespace {
+
+bool IsLiteral(const ExprPtr& e) {
+  return e && (e->kind == ExprKind::kIntLit || e->kind == ExprKind::kFloatLit ||
+               e->kind == ExprKind::kBoolLit);
+}
+
+double LiteralValue(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIntLit: return static_cast<double>(e.int_value);
+    case ExprKind::kFloatLit: return e.float_value;
+    case ExprKind::kBoolLit: return e.bool_value ? 1.0 : 0.0;
+    default: return 0.0;
+  }
+}
+
+bool IsIntLike(const Expr& e) {
+  return e.kind == ExprKind::kIntLit || e.kind == ExprKind::kBoolLit;
+}
+
+ExprPtr MakeLiteral(ScalarType type, double value) {
+  switch (type) {
+    case ScalarType::kBool: return BoolLit(value != 0.0);
+    case ScalarType::kInt:
+    case ScalarType::kUInt: return IntLit(static_cast<long long>(value));
+    default: return FloatLit(value);
+  }
+}
+
+/// Math builtins foldable at compile time; both CUDA-suffixed and plain
+/// OpenCL spellings are accepted since folding runs before function mapping.
+bool EvalMathCall(const std::string& name, const std::vector<double>& args,
+                  double* out) {
+  auto unary = [&](double (*fn)(double)) {
+    if (args.size() != 1) return false;
+    *out = fn(args[0]);
+    return true;
+  };
+  auto binary = [&](double (*fn)(double, double)) {
+    if (args.size() != 2) return false;
+    *out = fn(args[0], args[1]);
+    return true;
+  };
+  if (name == "expf" || name == "exp") return unary(std::exp);
+  if (name == "logf" || name == "log") return unary(std::log);
+  if (name == "sqrtf" || name == "sqrt") return unary(std::sqrt);
+  if (name == "fabsf" || name == "fabs") return unary(std::fabs);
+  if (name == "sinf" || name == "sin") return unary(std::sin);
+  if (name == "cosf" || name == "cos") return unary(std::cos);
+  if (name == "powf" || name == "pow") return binary(std::pow);
+  if (name == "fminf" || name == "fmin") return binary([](double a, double b) { return a < b ? a : b; });
+  if (name == "fmaxf" || name == "fmax") return binary([](double a, double b) { return a > b ? a : b; });
+  return false;
+}
+
+ExprPtr FoldNode(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kUnary: {
+      if (!IsLiteral(e.args[0])) return nullptr;
+      const double v = LiteralValue(*e.args[0]);
+      if (e.unary_op == UnaryOp::kNot) return BoolLit(v == 0.0);
+      return MakeLiteral(e.args[0]->type, -v);
+    }
+    case ExprKind::kBinary: {
+      const ExprPtr& lhs = e.args[0];
+      const ExprPtr& rhs = e.args[1];
+      // Algebraic identities on one literal operand (x+0, x*1, x*0).
+      if (IsLiteral(rhs) && !IsLiteral(lhs)) {
+        const double r = LiteralValue(*rhs);
+        if (e.binary_op == BinaryOp::kAdd && r == 0.0) return lhs;
+        if (e.binary_op == BinaryOp::kSub && r == 0.0) return lhs;
+        if (e.binary_op == BinaryOp::kMul && r == 1.0) return lhs;
+        if (e.binary_op == BinaryOp::kDiv && r == 1.0) return lhs;
+        if (e.binary_op == BinaryOp::kMul && r == 0.0 &&
+            lhs->type != ScalarType::kFloat)
+          return MakeLiteral(lhs->type, 0.0);
+      }
+      if (IsLiteral(lhs) && !IsLiteral(rhs)) {
+        const double l = LiteralValue(*lhs);
+        if (e.binary_op == BinaryOp::kAdd && l == 0.0) return rhs;
+        if (e.binary_op == BinaryOp::kMul && l == 1.0) return rhs;
+        if (e.binary_op == BinaryOp::kMul && l == 0.0 &&
+            rhs->type != ScalarType::kFloat)
+          return MakeLiteral(rhs->type, 0.0);
+      }
+      if (!IsLiteral(lhs) || !IsLiteral(rhs)) return nullptr;
+      const double l = LiteralValue(*lhs);
+      const double r = LiteralValue(*rhs);
+      const bool int_math = IsIntLike(*lhs) && IsIntLike(*rhs);
+      switch (e.binary_op) {
+        case BinaryOp::kAdd: return MakeLiteral(e.type, l + r);
+        case BinaryOp::kSub: return MakeLiteral(e.type, l - r);
+        case BinaryOp::kMul: return MakeLiteral(e.type, l * r);
+        case BinaryOp::kDiv:
+          if (r == 0.0) return nullptr;  // keep; runtime semantics decide
+          if (int_math)
+            return IntLit(static_cast<long long>(l) / static_cast<long long>(r));
+          return MakeLiteral(e.type, l / r);
+        case BinaryOp::kMod:
+          if (!int_math || r == 0.0) return nullptr;
+          return IntLit(static_cast<long long>(l) % static_cast<long long>(r));
+        case BinaryOp::kLt: return BoolLit(l < r);
+        case BinaryOp::kLe: return BoolLit(l <= r);
+        case BinaryOp::kGt: return BoolLit(l > r);
+        case BinaryOp::kGe: return BoolLit(l >= r);
+        case BinaryOp::kEq: return BoolLit(l == r);
+        case BinaryOp::kNe: return BoolLit(l != r);
+        case BinaryOp::kAnd: return BoolLit(l != 0.0 && r != 0.0);
+        case BinaryOp::kOr: return BoolLit(l != 0.0 || r != 0.0);
+      }
+      return nullptr;
+    }
+    case ExprKind::kConditional:
+      if (IsLiteral(e.args[0]))
+        return LiteralValue(*e.args[0]) != 0.0 ? e.args[1] : e.args[2];
+      return nullptr;
+    case ExprKind::kCast:
+      if (IsLiteral(e.args[0]))
+        return MakeLiteral(e.type, LiteralValue(*e.args[0]));
+      return nullptr;
+    case ExprKind::kCall: {
+      std::vector<double> values;
+      for (const auto& arg : e.args) {
+        if (!IsLiteral(arg)) return nullptr;
+        values.push_back(LiteralValue(*arg));
+      }
+      double out = 0.0;
+      if (!EvalMathCall(e.name, values, &out)) return nullptr;
+      // Math results are float-typed in the DSL (single precision kernels).
+      return FloatLit(static_cast<float>(out));
+    }
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+ExprPtr FoldConstants(const ExprPtr& expr) {
+  return RewriteExpr(expr, FoldNode);
+}
+
+StmtPtr FoldConstants(const StmtPtr& stmt) {
+  return RewriteStmtExprs(stmt, FoldNode);
+}
+
+bool EvaluateConstant(const ExprPtr& expr, double* out) {
+  const ExprPtr folded = FoldConstants(expr);
+  if (!IsLiteral(folded)) return false;
+  *out = LiteralValue(*folded);
+  return true;
+}
+
+}  // namespace hipacc::ast

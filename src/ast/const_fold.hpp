@@ -1,0 +1,22 @@
+// Constant folding / propagation over the IR. The paper uses this to turn
+// compile-time-constant filter masks into statically initialised constant
+// memory and to simplify boundary-region index arithmetic.
+#pragma once
+
+#include "ast/stmt.hpp"
+
+namespace hipacc::ast {
+
+/// Folds literal arithmetic, comparisons, casts, known math calls on
+/// literal arguments, constant conditionals, and the algebraic identities
+/// x+0, x*1, x*0. Returns the (possibly shared) folded tree.
+ExprPtr FoldConstants(const ExprPtr& expr);
+
+/// Applies FoldConstants to every expression in a statement tree.
+StmtPtr FoldConstants(const StmtPtr& stmt);
+
+/// If `expr` folds to a numeric literal, stores it in `out` (ints convert
+/// exactly) and returns true.
+bool EvaluateConstant(const ExprPtr& expr, double* out);
+
+}  // namespace hipacc::ast

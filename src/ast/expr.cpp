@@ -1,0 +1,177 @@
+#include "ast/expr.hpp"
+
+#include "support/status.hpp"
+
+namespace hipacc::ast {
+
+const char* to_string(BinaryOp op) noexcept {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kAnd: return "&&";
+    case BinaryOp::kOr: return "||";
+  }
+  return "?";
+}
+
+const char* to_string(UnaryOp op) noexcept {
+  switch (op) {
+    case UnaryOp::kNeg: return "-";
+    case UnaryOp::kNot: return "!";
+  }
+  return "?";
+}
+
+bool IsComparison(BinaryOp op) noexcept {
+  switch (op) {
+    case BinaryOp::kLt: case BinaryOp::kLe: case BinaryOp::kGt:
+    case BinaryOp::kGe: case BinaryOp::kEq: case BinaryOp::kNe:
+    case BinaryOp::kAnd: case BinaryOp::kOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* to_string(ThreadIndexKind kind) noexcept {
+  switch (kind) {
+    case ThreadIndexKind::kThreadIdxX: return "threadIdx.x";
+    case ThreadIndexKind::kThreadIdxY: return "threadIdx.y";
+    case ThreadIndexKind::kBlockIdxX: return "blockIdx.x";
+    case ThreadIndexKind::kBlockIdxY: return "blockIdx.y";
+    case ThreadIndexKind::kBlockDimX: return "blockDim.x";
+    case ThreadIndexKind::kBlockDimY: return "blockDim.y";
+    case ThreadIndexKind::kGridDimX: return "gridDim.x";
+    case ThreadIndexKind::kGridDimY: return "gridDim.y";
+    case ThreadIndexKind::kGlobalIdX: return "gid_x";
+    case ThreadIndexKind::kGlobalIdY: return "gid_y";
+  }
+  return "?";
+}
+
+namespace {
+std::shared_ptr<Expr> Make(ExprKind kind, ScalarType type) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  e->type = type;
+  return e;
+}
+}  // namespace
+
+ExprPtr IntLit(long long value) {
+  auto e = Make(ExprKind::kIntLit, ScalarType::kInt);
+  e->int_value = value;
+  return e;
+}
+
+ExprPtr FloatLit(double value) {
+  auto e = Make(ExprKind::kFloatLit, ScalarType::kFloat);
+  e->float_value = value;
+  return e;
+}
+
+ExprPtr BoolLit(bool value) {
+  auto e = Make(ExprKind::kBoolLit, ScalarType::kBool);
+  e->bool_value = value;
+  return e;
+}
+
+ExprPtr VarRef(std::string name, ScalarType type) {
+  auto e = Make(ExprKind::kVarRef, type);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr Unary(UnaryOp op, ExprPtr operand) {
+  HIPACC_CHECK(operand != nullptr);
+  auto e = Make(ExprKind::kUnary,
+                op == UnaryOp::kNot ? ScalarType::kBool : operand->type);
+  e->unary_op = op;
+  e->args = {std::move(operand)};
+  return e;
+}
+
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  HIPACC_CHECK(lhs != nullptr && rhs != nullptr);
+  const ScalarType type =
+      IsComparison(op) ? ScalarType::kBool : Promote(lhs->type, rhs->type);
+  auto e = Make(ExprKind::kBinary, type);
+  e->binary_op = op;
+  e->args = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Conditional(ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr) {
+  HIPACC_CHECK(cond && then_expr && else_expr);
+  auto e = Make(ExprKind::kConditional,
+                Promote(then_expr->type, else_expr->type));
+  e->args = {std::move(cond), std::move(then_expr), std::move(else_expr)};
+  return e;
+}
+
+ExprPtr Call(std::string callee, std::vector<ExprPtr> args, ScalarType type) {
+  auto e = Make(ExprKind::kCall, type);
+  e->name = std::move(callee);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr Cast(ScalarType type, ExprPtr operand) {
+  HIPACC_CHECK(operand != nullptr);
+  auto e = Make(ExprKind::kCast, type);
+  e->args = {std::move(operand)};
+  return e;
+}
+
+ExprPtr AccessorRead(std::string accessor, ExprPtr dx, ExprPtr dy) {
+  HIPACC_CHECK(dx && dy);
+  auto e = Make(ExprKind::kAccessorRead, ScalarType::kFloat);
+  e->name = std::move(accessor);
+  e->args = {std::move(dx), std::move(dy)};
+  return e;
+}
+
+ExprPtr MaskRead(std::string mask, ExprPtr x, ExprPtr y) {
+  HIPACC_CHECK(x && y);
+  auto e = Make(ExprKind::kMaskRead, ScalarType::kFloat);
+  e->name = std::move(mask);
+  e->args = {std::move(x), std::move(y)};
+  return e;
+}
+
+ExprPtr IterIndex(bool is_y) {
+  auto e = Make(ExprKind::kIterIndex, ScalarType::kInt);
+  e->is_y = is_y;
+  return e;
+}
+
+ExprPtr ThreadIndex(ThreadIndexKind kind) {
+  auto e = Make(ExprKind::kThreadIndex, ScalarType::kInt);
+  e->thread_index = kind;
+  return e;
+}
+
+ExprPtr MemRead(MemSpace space, std::string buffer, ExprPtr x, ExprPtr y,
+                BoundaryMode boundary, RegionChecks checks,
+                float constant_value) {
+  HIPACC_CHECK(x && y);
+  auto e = Make(ExprKind::kMemRead, ScalarType::kFloat);
+  e->space = space;
+  e->name = std::move(buffer);
+  e->args = {std::move(x), std::move(y)};
+  e->boundary = boundary;
+  e->checks = checks;
+  e->constant_value = constant_value;
+  return e;
+}
+
+}  // namespace hipacc::ast

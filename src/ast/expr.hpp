@@ -1,0 +1,132 @@
+// Expression nodes of the kernel IR. The IR has two layers that share one
+// node hierarchy:
+//
+//  * DSL level — what the frontend parses / the builder constructs from a
+//    Kernel description: accessor reads `Input(dx, dy)`, mask reads
+//    `CMask(xf, yf)`, `output()` writes, iteration-space coordinates.
+//  * Device level — what the lowering passes produce: explicit thread/block
+//    indices, memory reads tagged with a MemSpace and boundary-guard set.
+//
+// Nodes are immutable after construction by convention; passes rebuild.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/metadata.hpp"
+#include "ast/type.hpp"
+
+namespace hipacc::ast {
+
+enum class ExprKind {
+  kIntLit,
+  kFloatLit,
+  kBoolLit,
+  kVarRef,
+  kUnary,
+  kBinary,
+  kConditional,  // c ? a : b
+  kCall,         // math builtin call
+  kCast,
+  // --- DSL level ---
+  kAccessorRead,  // Input(dx, dy) or Input()
+  kMaskRead,      // CMask(xf, yf)
+  kIterIndex,     // x() / y(): coordinate within the iteration space
+  // --- device level ---
+  kThreadIndex,   // threadIdx / blockIdx / blockDim / gridDim .x/.y
+  kMemRead,       // lowered image read from a concrete memory space
+};
+
+enum class UnaryOp { kNeg, kNot };
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAnd, kOr,
+};
+
+/// C spelling of the operator ("+", "<=", "&&", ...).
+const char* to_string(BinaryOp op) noexcept;
+const char* to_string(UnaryOp op) noexcept;
+/// True for <, <=, >, >=, ==, !=, &&, || (result type bool).
+bool IsComparison(BinaryOp op) noexcept;
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Which special index a ThreadIndex node denotes.
+enum class ThreadIndexKind {
+  kThreadIdxX, kThreadIdxY,
+  kBlockIdxX, kBlockIdxY,
+  kBlockDimX, kBlockDimY,
+  kGridDimX, kGridDimY,
+  kGlobalIdX, kGlobalIdY,  // gid = blockIdx*blockDim + threadIdx
+};
+
+const char* to_string(ThreadIndexKind kind) noexcept;
+
+/// A single IR expression node. Fields are populated per `kind`; unused
+/// fields stay default. A tagged struct keeps the interpreter's dispatch
+/// simple and cache-friendly compared with a virtual hierarchy.
+struct Expr {
+  ExprKind kind;
+  ScalarType type = ScalarType::kFloat;
+
+  // Literals.
+  long long int_value = 0;
+  double float_value = 0.0;
+  bool bool_value = false;
+
+  // kVarRef: variable / parameter name. kCall: callee. kAccessorRead /
+  // kMaskRead / kMemRead: accessor, mask, or buffer name.
+  std::string name;
+
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+
+  // Operands: unary/cast use args[0]; binary uses args[0..1]; conditional
+  // uses args[0..2] (cond, then, else); calls use all; accessor/mask/mem
+  // reads use args[0..1] as (x, y) offsets or absolute coordinates.
+  std::vector<ExprPtr> args;
+
+  ThreadIndexKind thread_index = ThreadIndexKind::kThreadIdxX;
+  bool is_y = false;  // for kIterIndex: false = x(), true = y()
+
+  // kMemRead only: target memory space and the boundary guards this read
+  // must perform in the current region (lowered per-region).
+  MemSpace space = MemSpace::kGlobal;
+  BoundaryMode boundary = BoundaryMode::kUndefined;
+  RegionChecks checks;
+  float constant_value = 0.0f;  // returned by kConstant boundary handling
+};
+
+// ---- Factory helpers ------------------------------------------------------
+
+ExprPtr IntLit(long long value);
+ExprPtr FloatLit(double value);
+ExprPtr BoolLit(bool value);
+ExprPtr VarRef(std::string name, ScalarType type);
+ExprPtr Unary(UnaryOp op, ExprPtr operand);
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Conditional(ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr);
+ExprPtr Call(std::string callee, std::vector<ExprPtr> args, ScalarType type);
+ExprPtr Cast(ScalarType type, ExprPtr operand);
+/// Accessor read with offsets; pass IntLit(0) twice for the center pixel.
+ExprPtr AccessorRead(std::string accessor, ExprPtr dx, ExprPtr dy);
+ExprPtr MaskRead(std::string mask, ExprPtr x, ExprPtr y);
+ExprPtr IterIndex(bool is_y);
+ExprPtr ThreadIndex(ThreadIndexKind kind);
+/// Device-level memory read at absolute coordinates (x, y).
+ExprPtr MemRead(MemSpace space, std::string buffer, ExprPtr x, ExprPtr y,
+                BoundaryMode boundary, RegionChecks checks,
+                float constant_value = 0.0f);
+
+// ---- Convenience for building arithmetic ---------------------------------
+
+inline ExprPtr operator+(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kAdd, std::move(a), std::move(b)); }
+inline ExprPtr operator-(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kSub, std::move(a), std::move(b)); }
+inline ExprPtr operator*(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kMul, std::move(a), std::move(b)); }
+inline ExprPtr operator/(ExprPtr a, ExprPtr b) { return Binary(BinaryOp::kDiv, std::move(a), std::move(b)); }
+
+}  // namespace hipacc::ast

@@ -1,0 +1,58 @@
+#include "ast/kernel_ir.hpp"
+
+namespace hipacc::ast {
+
+const char* to_string(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kCuda: return "CUDA";
+    case Backend::kOpenCL: return "OpenCL";
+  }
+  return "?";
+}
+
+const AccessorInfo* KernelDecl::FindAccessor(
+    const std::string& accessor_name) const {
+  for (const auto& acc : accessors)
+    if (acc.name == accessor_name) return &acc;
+  return nullptr;
+}
+
+const MaskInfo* KernelDecl::FindMask(const std::string& mask_name) const {
+  for (const auto& mask : masks)
+    if (mask.name == mask_name) return &mask;
+  return nullptr;
+}
+
+const ParamInfo* KernelDecl::FindParam(const std::string& param_name) const {
+  for (const auto& param : params)
+    if (param.name == param_name) return &param;
+  return nullptr;
+}
+
+WindowExtent KernelDecl::MaxWindow() const {
+  WindowExtent window;
+  for (const auto& acc : accessors) window = window.Union(acc.window);
+  return window;
+}
+
+bool KernelDecl::NeedsBoundaryHandling() const {
+  for (const auto& acc : accessors)
+    if (acc.boundary != BoundaryMode::kUndefined &&
+        (acc.window.half_x > 0 || acc.window.half_y > 0))
+      return true;
+  return false;
+}
+
+const BufferParam* DeviceKernel::output_buffer() const {
+  for (const auto& buf : buffers)
+    if (buf.is_output) return &buf;
+  return nullptr;
+}
+
+const RegionVariant* DeviceKernel::FindVariant(Region region) const {
+  for (const auto& variant : variants)
+    if (variant.region == region) return &variant;
+  return nullptr;
+}
+
+}  // namespace hipacc::ast

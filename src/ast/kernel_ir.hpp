@@ -1,0 +1,127 @@
+// Top-level IR containers.
+//
+//  * KernelDecl — the DSL-level kernel as written by the programmer: a body
+//    plus the decoupled access/execute metadata (accessors with boundary
+//    conditions and windows, masks, scalar parameters).
+//  * DeviceKernel — the device-level kernel after the codegen passes ran:
+//    buffers bound to concrete memory spaces, an optional scratchpad staging
+//    plan, and either one interior variant or the nine region-specialised
+//    variants of Figure 3 multiplexed at launch.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/stmt.hpp"
+
+namespace hipacc::ast {
+
+/// Target backend of the source-to-source compiler.
+enum class Backend { kCuda, kOpenCL };
+
+const char* to_string(Backend backend) noexcept;
+
+/// A scalar kernel parameter (sigma_d, thresholds, ...).
+struct ParamInfo {
+  std::string name;
+  ScalarType type = ScalarType::kFloat;
+};
+
+/// Access metadata of one input accessor.
+struct AccessorInfo {
+  std::string name;
+  /// Window of offsets the kernel reads through this accessor. Determined
+  /// by the BoundaryCondition size or inferred from the kernel body.
+  WindowExtent window;
+  BoundaryMode boundary = BoundaryMode::kUndefined;
+  float constant_value = 0.0f;  ///< for BoundaryMode::kConstant
+};
+
+/// Metadata of one filter mask.
+struct MaskInfo {
+  std::string name;
+  int size_x = 1;
+  int size_y = 1;
+  /// Coefficients known at compile time enable statically initialised
+  /// constant memory; empty means dynamically initialised at run time.
+  std::vector<float> static_values;
+
+  bool is_static() const noexcept { return !static_values.empty(); }
+};
+
+/// DSL-level kernel: metadata + body as parsed / built.
+struct KernelDecl {
+  std::string name;
+  std::vector<ParamInfo> params;
+  std::vector<AccessorInfo> accessors;
+  std::vector<MaskInfo> masks;
+  StmtPtr body;  // a kBlock
+
+  const AccessorInfo* FindAccessor(const std::string& accessor_name) const;
+  const MaskInfo* FindMask(const std::string& mask_name) const;
+  const ParamInfo* FindParam(const std::string& param_name) const;
+
+  /// Union of all accessor windows — decides boundary-region sizes when a
+  /// kernel reads through several accessors (Section IV-B).
+  WindowExtent MaxWindow() const;
+
+  /// True if any accessor requests a real boundary-handling mode.
+  bool NeedsBoundaryHandling() const;
+};
+
+/// An input or output buffer of the lowered kernel.
+struct BufferParam {
+  std::string name;       ///< accessor name for inputs, "_out" for output
+  MemSpace space = MemSpace::kGlobal;  ///< kGlobal or kTexture (inputs only)
+  bool is_output = false;
+  /// kTexture only: bound to a 2D array with a hardware address mode
+  /// (boundary handling in the texture unit) instead of linear memory.
+  bool texture_2d_array = false;
+};
+
+/// Scratchpad staging plan for one accessor (Listing 7): a
+/// (BSY + SY) x (BSX + SX + 1) tile is staged cooperatively, then reads are
+/// redirected to the scratchpad. The +1 column avoids bank conflicts.
+struct SmemPlan {
+  std::string accessor;    ///< which input is staged
+  std::string smem_name;   ///< generated array name, e.g. "_smemInput"
+  WindowExtent window;     ///< halo staged around the block tile
+  BoundaryMode boundary = BoundaryMode::kUndefined;
+  float constant_value = 0.0f;
+};
+
+/// One region-specialised variant of the kernel body.
+struct RegionVariant {
+  Region region = Region::kInterior;
+  StmtPtr body;  // a kBlock with per-region lowered memory accesses
+};
+
+/// Device-level kernel produced by the codegen pipeline.
+struct DeviceKernel {
+  std::string name;
+  Backend backend = Backend::kCuda;
+  std::vector<ParamInfo> params;
+  std::vector<BufferParam> buffers;
+  std::vector<MaskInfo> const_masks;  ///< masks placed in constant memory
+  /// Masks kept in global memory (the no-constant-memory baseline); each
+  /// also appears in `buffers`.
+  std::vector<MaskInfo> global_masks;
+  std::optional<SmemPlan> smem;
+  /// Either a single kInterior variant (no boundary handling) or all nine.
+  std::vector<RegionVariant> variants;
+  /// Window that defines the border region extents at dispatch time.
+  WindowExtent bh_window;
+  /// Boundary mode used by this kernel's accessors (reporting only).
+  BoundaryMode boundary = BoundaryMode::kUndefined;
+  /// Code was vector-packed for VLIW targets (paper Section VIII outlook:
+  /// "first manual vectorization shows the performance improves
+  /// significantly on graphics cards from AMD"). No effect on scalar ISAs.
+  bool vliw_vectorized = false;
+
+  bool has_boundary_variants() const noexcept { return variants.size() > 1; }
+  const BufferParam* output_buffer() const;
+  const RegionVariant* FindVariant(Region region) const;
+};
+
+}  // namespace hipacc::ast

@@ -1,0 +1,64 @@
+#include "ast/metadata.hpp"
+
+#include "support/status.hpp"
+
+namespace hipacc::ast {
+
+const char* to_string(BoundaryMode mode) noexcept {
+  switch (mode) {
+    case BoundaryMode::kUndefined: return "undefined";
+    case BoundaryMode::kRepeat: return "repeat";
+    case BoundaryMode::kClamp: return "clamp";
+    case BoundaryMode::kMirror: return "mirror";
+    case BoundaryMode::kConstant: return "constant";
+  }
+  return "?";
+}
+
+WindowExtent WindowExtent::FromSize(int size_x, int size_y) {
+  HIPACC_CHECK_MSG(size_x > 0 && size_y > 0 && size_x % 2 == 1 && size_y % 2 == 1,
+                   "local operator window sizes must be odd and positive");
+  return {(size_x - 1) / 2, (size_y - 1) / 2};
+}
+
+const char* to_string(MemSpace space) noexcept {
+  switch (space) {
+    case MemSpace::kGlobal: return "global";
+    case MemSpace::kTexture: return "texture";
+    case MemSpace::kShared: return "shared";
+    case MemSpace::kConstant: return "constant";
+  }
+  return "?";
+}
+
+const char* to_string(Region region) noexcept {
+  switch (region) {
+    case Region::kTopLeft: return "TL";
+    case Region::kTop: return "T";
+    case Region::kTopRight: return "TR";
+    case Region::kLeft: return "L";
+    case Region::kInterior: return "NO";
+    case Region::kRight: return "R";
+    case Region::kBottomLeft: return "BL";
+    case Region::kBottom: return "B";
+    case Region::kBottomRight: return "BR";
+  }
+  return "?";
+}
+
+RegionChecks ChecksFor(Region region) noexcept {
+  switch (region) {
+    case Region::kTopLeft: return {true, false, true, false};
+    case Region::kTop: return {false, false, true, false};
+    case Region::kTopRight: return {false, true, true, false};
+    case Region::kLeft: return {true, false, false, false};
+    case Region::kInterior: return {false, false, false, false};
+    case Region::kRight: return {false, true, false, false};
+    case Region::kBottomLeft: return {true, false, false, true};
+    case Region::kBottom: return {false, false, false, true};
+    case Region::kBottomRight: return {false, true, false, true};
+  }
+  return {};
+}
+
+}  // namespace hipacc::ast

@@ -1,0 +1,80 @@
+// Access/execute metadata shared between the embedded DSL, the compiler
+// passes, and the simulator: boundary-handling modes (Table I of the paper),
+// local-operator window extents, and device memory spaces.
+#pragma once
+
+#include <string>
+
+namespace hipacc::ast {
+
+/// Boundary handling modes for out-of-bounds image accesses (paper Table I).
+enum class BoundaryMode {
+  kUndefined,  ///< no handling: out-of-bounds behaviour unspecified
+  kRepeat,     ///< image tiles periodically at the border
+  kClamp,      ///< last valid pixel within the image
+  kMirror,     ///< image mirrored at the border (key mode in medical imaging)
+  kConstant,   ///< user-supplied constant value
+};
+
+const char* to_string(BoundaryMode mode) noexcept;
+
+/// Symmetric local-operator window: size (2*half_x+1) x (2*half_y+1).
+/// The paper requires uneven window sizes (3x3, 5x5, 9x3, 13x13, ...).
+struct WindowExtent {
+  int half_x = 0;
+  int half_y = 0;
+
+  int size_x() const noexcept { return 2 * half_x + 1; }
+  int size_y() const noexcept { return 2 * half_y + 1; }
+
+  /// Builds from full window sizes; both must be odd and positive.
+  static WindowExtent FromSize(int size_x, int size_y);
+
+  /// Component-wise maximum — used when a kernel has several accessors and
+  /// the largest window decides the boundary-handling region sizes.
+  WindowExtent Union(const WindowExtent& other) const {
+    return {half_x > other.half_x ? half_x : other.half_x,
+            half_y > other.half_y ? half_y : other.half_y};
+  }
+
+  bool operator==(const WindowExtent&) const = default;
+};
+
+/// Device memory spaces a lowered memory access can target.
+enum class MemSpace {
+  kGlobal,    ///< linear global memory (coalescing rules apply)
+  kTexture,   ///< read through the texture path / image object (cached)
+  kShared,    ///< on-chip scratchpad (shared/local memory)
+  kConstant,  ///< constant memory (cached, broadcast on uniform access)
+};
+
+const char* to_string(MemSpace space) noexcept;
+
+/// The nine boundary-handling regions of Figure 3, plus the single variant
+/// used when no boundary handling is needed at all.
+enum class Region {
+  kTopLeft, kTop, kTopRight,
+  kLeft, kInterior, kRight,
+  kBottomLeft, kBottom, kBottomRight,
+};
+
+const char* to_string(Region region) noexcept;
+
+/// Which out-of-bounds directions a given region must guard against.
+struct RegionChecks {
+  bool lo_x = false;  ///< index may be < 0 in x
+  bool hi_x = false;  ///< index may be >= width
+  bool lo_y = false;  ///< index may be < 0 in y
+  bool hi_y = false;  ///< index may be >= height
+
+  bool any() const noexcept { return lo_x || hi_x || lo_y || hi_y; }
+  /// Number of guards active — proxy for added instruction count.
+  int count() const noexcept {
+    return (lo_x ? 1 : 0) + (hi_x ? 1 : 0) + (lo_y ? 1 : 0) + (hi_y ? 1 : 0);
+  }
+};
+
+/// The guard set each of the nine regions requires (Figure 3 / Section IV-B).
+RegionChecks ChecksFor(Region region) noexcept;
+
+}  // namespace hipacc::ast

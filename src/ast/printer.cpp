@@ -1,0 +1,170 @@
+#include "ast/printer.hpp"
+
+#include "support/status.hpp"
+#include "support/string_utils.hpp"
+
+namespace hipacc::ast {
+namespace {
+
+std::string PrintArgs(const Expr& e, size_t begin = 0) {
+  std::vector<std::string> parts;
+  for (size_t i = begin; i < e.args.size(); ++i)
+    parts.push_back(PrintExpr(e.args[i]));
+  return Join(parts, ", ");
+}
+
+}  // namespace
+
+std::string PrintExpr(const ExprPtr& expr) {
+  if (!expr) return "<null>";
+  const Expr& e = *expr;
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      return StrFormat("%lld", e.int_value);
+    case ExprKind::kFloatLit: {
+      std::string s = StrFormat("%.9g", e.float_value);
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos)
+        s += ".0";
+      return s + "f";
+    }
+    case ExprKind::kBoolLit:
+      return e.bool_value ? "true" : "false";
+    case ExprKind::kVarRef:
+      return e.name;
+    case ExprKind::kUnary:
+      return StrFormat("%s(%s)", to_string(e.unary_op),
+                       PrintExpr(e.args[0]).c_str());
+    case ExprKind::kBinary:
+      return StrFormat("(%s %s %s)", PrintExpr(e.args[0]).c_str(),
+                       to_string(e.binary_op), PrintExpr(e.args[1]).c_str());
+    case ExprKind::kConditional:
+      return StrFormat("(%s ? %s : %s)", PrintExpr(e.args[0]).c_str(),
+                       PrintExpr(e.args[1]).c_str(),
+                       PrintExpr(e.args[2]).c_str());
+    case ExprKind::kCall:
+      return StrFormat("%s(%s)", e.name.c_str(), PrintArgs(e).c_str());
+    case ExprKind::kCast:
+      return StrFormat("(%s)(%s)", to_string(e.type),
+                       PrintExpr(e.args[0]).c_str());
+    case ExprKind::kAccessorRead:
+      return StrFormat("%s(%s)", e.name.c_str(), PrintArgs(e).c_str());
+    case ExprKind::kMaskRead:
+      return StrFormat("%s(%s)", e.name.c_str(), PrintArgs(e).c_str());
+    case ExprKind::kIterIndex:
+      return e.is_y ? "y()" : "x()";
+    case ExprKind::kThreadIndex:
+      return to_string(e.thread_index);
+    case ExprKind::kMemRead: {
+      std::string guards;
+      if (e.checks.lo_x) guards += "lx";
+      if (e.checks.hi_x) guards += "hx";
+      if (e.checks.lo_y) guards += "ly";
+      if (e.checks.hi_y) guards += "hy";
+      return StrFormat("__%s_read<%s%s%s>(%s, %s, %s)", to_string(e.space),
+                       to_string(e.boundary), guards.empty() ? "" : ",",
+                       guards.c_str(), e.name.c_str(),
+                       PrintExpr(e.args[0]).c_str(),
+                       PrintExpr(e.args[1]).c_str());
+    }
+  }
+  return "<?>";
+}
+
+std::string PrintStmt(const StmtPtr& stmt, int indent) {
+  if (!stmt) return "";
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  const Stmt& s = *stmt;
+  switch (s.kind) {
+    case StmtKind::kDecl:
+      if (s.value)
+        return StrFormat("%s%s %s = %s;\n", pad.c_str(),
+                         to_string(s.decl_type), s.name.c_str(),
+                         PrintExpr(s.value).c_str());
+      return StrFormat("%s%s %s;\n", pad.c_str(), to_string(s.decl_type),
+                       s.name.c_str());
+    case StmtKind::kAssign:
+      return StrFormat("%s%s %s %s;\n", pad.c_str(), s.name.c_str(),
+                       to_string(s.assign_op), PrintExpr(s.value).c_str());
+    case StmtKind::kOutputAssign:
+      return StrFormat("%soutput() = %s;\n", pad.c_str(),
+                       PrintExpr(s.value).c_str());
+    case StmtKind::kIf: {
+      std::string out = StrFormat("%sif (%s) {\n", pad.c_str(),
+                                  PrintExpr(s.cond).c_str());
+      out += PrintStmt(s.body[0], indent + 1);
+      if (s.body.size() > 1) {
+        out += pad + "} else {\n";
+        out += PrintStmt(s.body[1], indent + 1);
+      }
+      out += pad + "}\n";
+      return out;
+    }
+    case StmtKind::kFor: {
+      std::string out = StrFormat(
+          "%sfor (int %s = %s; %s <= %s; %s += %d) {\n", pad.c_str(),
+          s.name.c_str(), PrintExpr(s.lo).c_str(), s.name.c_str(),
+          PrintExpr(s.hi).c_str(), s.name.c_str(), s.step);
+      out += PrintStmt(s.body[0], indent + 1);
+      out += pad + "}\n";
+      return out;
+    }
+    case StmtKind::kBlock: {
+      std::string out;
+      for (const auto& child : s.body) out += PrintStmt(child, indent);
+      return out;
+    }
+    case StmtKind::kBarrier:
+      return pad + "__barrier();\n";
+    case StmtKind::kMemWrite:
+      return StrFormat("%s__%s_write(%s, %s, %s) = %s;\n", pad.c_str(),
+                       to_string(s.space), s.name.c_str(),
+                       PrintExpr(s.x).c_str(), PrintExpr(s.y).c_str(),
+                       PrintExpr(s.value).c_str());
+  }
+  return "";
+}
+
+std::string PrintKernel(const KernelDecl& kernel) {
+  std::string out = "kernel " + kernel.name + " {\n";
+  for (const auto& p : kernel.params)
+    out += StrFormat("  param %s %s;\n", to_string(p.type), p.name.c_str());
+  for (const auto& a : kernel.accessors)
+    out += StrFormat("  accessor %s window=%dx%d boundary=%s;\n",
+                     a.name.c_str(), a.window.size_x(), a.window.size_y(),
+                     to_string(a.boundary));
+  for (const auto& m : kernel.masks)
+    out += StrFormat("  mask %s %dx%d %s;\n", m.name.c_str(), m.size_x,
+                     m.size_y, m.is_static() ? "static" : "dynamic");
+  out += "  body {\n";
+  out += PrintStmt(kernel.body, 2);
+  out += "  }\n}\n";
+  return out;
+}
+
+std::string PrintDeviceKernel(const DeviceKernel& kernel) {
+  std::string out = StrFormat("device_kernel %s backend=%s {\n",
+                              kernel.name.c_str(), to_string(kernel.backend));
+  for (const auto& b : kernel.buffers)
+    out += StrFormat("  buffer %s space=%s%s;\n", b.name.c_str(),
+                     to_string(b.space), b.is_output ? " output" : "");
+  for (const auto& m : kernel.const_masks)
+    out += StrFormat("  const_mask %s %dx%d %s;\n", m.name.c_str(), m.size_x,
+                     m.size_y, m.is_static() ? "static" : "dynamic");
+  if (kernel.smem)
+    out += StrFormat("  smem %s stages %s halo=%dx%d;\n",
+                     kernel.smem->smem_name.c_str(),
+                     kernel.smem->accessor.c_str(), kernel.smem->window.half_x,
+                     kernel.smem->window.half_y);
+  for (const auto& variant : kernel.variants) {
+    out += StrFormat("  region %s {\n", to_string(variant.region));
+    out += PrintStmt(variant.body, 2);
+    out += "  }\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace hipacc::ast

@@ -1,0 +1,24 @@
+// Debug pretty-printer rendering IR as C-like source. This is NOT the CUDA /
+// OpenCL emitter (see src/codegen/emit_*.{hpp,cpp}); it prints device-level
+// nodes as pseudo-intrinsics so pass outputs are easy to golden-test.
+#pragma once
+
+#include <string>
+
+#include "ast/kernel_ir.hpp"
+
+namespace hipacc::ast {
+
+/// Renders an expression without a trailing newline.
+std::string PrintExpr(const ExprPtr& expr);
+
+/// Renders a statement tree with 2-space indentation per nesting level.
+std::string PrintStmt(const StmtPtr& stmt, int indent = 0);
+
+/// Renders a full DSL-level kernel declaration (signature + metadata + body).
+std::string PrintKernel(const KernelDecl& kernel);
+
+/// Renders a lowered device kernel (buffers, smem plan, region variants).
+std::string PrintDeviceKernel(const DeviceKernel& kernel);
+
+}  // namespace hipacc::ast

@@ -1,0 +1,90 @@
+#include "ast/stmt.hpp"
+
+#include "support/status.hpp"
+
+namespace hipacc::ast {
+
+const char* to_string(AssignOp op) noexcept {
+  switch (op) {
+    case AssignOp::kAssign: return "=";
+    case AssignOp::kAddAssign: return "+=";
+    case AssignOp::kSubAssign: return "-=";
+    case AssignOp::kMulAssign: return "*=";
+    case AssignOp::kDivAssign: return "/=";
+  }
+  return "?";
+}
+
+namespace {
+std::shared_ptr<Stmt> Make(StmtKind kind) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = kind;
+  return s;
+}
+}  // namespace
+
+StmtPtr Decl(ScalarType type, std::string name, ExprPtr init) {
+  auto s = Make(StmtKind::kDecl);
+  s->decl_type = type;
+  s->name = std::move(name);
+  s->value = std::move(init);
+  return s;
+}
+
+StmtPtr Assign(std::string name, AssignOp op, ExprPtr value) {
+  HIPACC_CHECK(value != nullptr);
+  auto s = Make(StmtKind::kAssign);
+  s->name = std::move(name);
+  s->assign_op = op;
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr OutputAssign(ExprPtr value) {
+  HIPACC_CHECK(value != nullptr);
+  auto s = Make(StmtKind::kOutputAssign);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr If(ExprPtr cond, StmtPtr then_stmt, StmtPtr else_stmt) {
+  HIPACC_CHECK(cond != nullptr && then_stmt != nullptr);
+  auto s = Make(StmtKind::kIf);
+  s->cond = std::move(cond);
+  s->body.push_back(std::move(then_stmt));
+  if (else_stmt) s->body.push_back(std::move(else_stmt));
+  return s;
+}
+
+StmtPtr For(std::string var, ExprPtr lo, ExprPtr hi, int step, StmtPtr body) {
+  HIPACC_CHECK(lo != nullptr && hi != nullptr && body != nullptr && step != 0);
+  auto s = Make(StmtKind::kFor);
+  s->name = std::move(var);
+  s->lo = std::move(lo);
+  s->hi = std::move(hi);
+  s->step = step;
+  s->body.push_back(std::move(body));
+  return s;
+}
+
+StmtPtr Block(std::vector<StmtPtr> stmts) {
+  auto s = Make(StmtKind::kBlock);
+  s->body = std::move(stmts);
+  return s;
+}
+
+StmtPtr Barrier() { return Make(StmtKind::kBarrier); }
+
+StmtPtr MemWrite(MemSpace space, std::string buffer, ExprPtr x, ExprPtr y,
+                 ExprPtr value) {
+  HIPACC_CHECK(x && y && value);
+  auto s = Make(StmtKind::kMemWrite);
+  s->space = space;
+  s->name = std::move(buffer);
+  s->x = std::move(x);
+  s->y = std::move(y);
+  s->value = std::move(value);
+  return s;
+}
+
+}  // namespace hipacc::ast

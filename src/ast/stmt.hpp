@@ -1,0 +1,71 @@
+// Statement nodes of the kernel IR. Like expressions, statements cover both
+// the DSL level (`output() = ...`) and the device level (barriers and
+// explicit memory writes produced by the lowering passes).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/expr.hpp"
+
+namespace hipacc::ast {
+
+enum class StmtKind {
+  kDecl,          // T name = init;
+  kAssign,        // name op= value;
+  kOutputAssign,  // output() = value;            (DSL level)
+  kIf,            // if (cond) then [else]
+  kFor,           // for (int v = lo; v <= hi; v += step) body
+  kBlock,         // { ... }
+  kBarrier,       // __syncthreads() / barrier()  (device level)
+  kMemWrite,      // buffer[x, y] = value;        (device level)
+};
+
+enum class AssignOp { kAssign, kAddAssign, kSubAssign, kMulAssign, kDivAssign };
+
+const char* to_string(AssignOp op) noexcept;
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+/// A single IR statement; fields populated per `kind`.
+struct Stmt {
+  StmtKind kind;
+
+  // kDecl: declared variable. kAssign: assigned variable. kMemWrite: buffer.
+  std::string name;
+  ScalarType decl_type = ScalarType::kFloat;
+  AssignOp assign_op = AssignOp::kAssign;
+
+  // kDecl: init (may be null). kAssign / kOutputAssign / kMemWrite: value.
+  ExprPtr value;
+
+  // kIf: condition; kFor: loop variable bounds are canonical counted loops
+  // `for (int name = lo; name <= hi; name += step)`.
+  ExprPtr cond;
+  ExprPtr lo, hi;
+  int step = 1;
+
+  // kMemWrite coordinates.
+  ExprPtr x, y;
+  MemSpace space = MemSpace::kGlobal;
+
+  // kIf: body[0] = then, body[1] = else (optional). kFor / kBlock: children.
+  std::vector<StmtPtr> body;
+};
+
+// ---- Factory helpers ------------------------------------------------------
+
+StmtPtr Decl(ScalarType type, std::string name, ExprPtr init);
+StmtPtr Assign(std::string name, AssignOp op, ExprPtr value);
+StmtPtr OutputAssign(ExprPtr value);
+StmtPtr If(ExprPtr cond, StmtPtr then_stmt, StmtPtr else_stmt = nullptr);
+/// Canonical counted loop: for (int var = lo; var <= hi; var += step) body.
+StmtPtr For(std::string var, ExprPtr lo, ExprPtr hi, int step, StmtPtr body);
+StmtPtr Block(std::vector<StmtPtr> stmts);
+StmtPtr Barrier();
+StmtPtr MemWrite(MemSpace space, std::string buffer, ExprPtr x, ExprPtr y,
+                 ExprPtr value);
+
+}  // namespace hipacc::ast

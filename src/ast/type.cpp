@@ -1,0 +1,38 @@
+#include "ast/type.hpp"
+
+namespace hipacc::ast {
+
+const char* to_string(ScalarType type) noexcept {
+  switch (type) {
+    case ScalarType::kVoid: return "void";
+    case ScalarType::kBool: return "bool";
+    case ScalarType::kInt: return "int";
+    case ScalarType::kUInt: return "unsigned int";
+    case ScalarType::kFloat: return "float";
+  }
+  return "?";
+}
+
+ScalarType Promote(ScalarType a, ScalarType b) noexcept {
+  if (a == ScalarType::kFloat || b == ScalarType::kFloat)
+    return ScalarType::kFloat;
+  if (a == ScalarType::kUInt || b == ScalarType::kUInt)
+    return ScalarType::kUInt;
+  if (a == ScalarType::kInt || b == ScalarType::kInt) return ScalarType::kInt;
+  return ScalarType::kInt;  // bool op bool promotes to int, as in C
+}
+
+bool IsArithmetic(ScalarType type) noexcept {
+  return type == ScalarType::kInt || type == ScalarType::kUInt ||
+         type == ScalarType::kFloat;
+}
+
+int SizeOf(ScalarType type) noexcept {
+  switch (type) {
+    case ScalarType::kVoid: return 0;
+    case ScalarType::kBool: return 1;
+    default: return 4;
+  }
+}
+
+}  // namespace hipacc::ast

@@ -1,0 +1,30 @@
+// Scalar types of the DSL kernel subset. The paper's kernels operate on
+// float images with int loop counters and bool conditions; we add uint for
+// index arithmetic completeness.
+#pragma once
+
+#include <string>
+
+namespace hipacc::ast {
+
+enum class ScalarType {
+  kVoid,
+  kBool,
+  kInt,
+  kUInt,
+  kFloat,
+};
+
+/// C spelling of the type ("float", "int", ...), shared by both emitters.
+const char* to_string(ScalarType type) noexcept;
+
+/// Usual arithmetic conversion of two operand types (bool->int->uint->float).
+ScalarType Promote(ScalarType a, ScalarType b) noexcept;
+
+/// True for int/uint/float (arithmetic operand types).
+bool IsArithmetic(ScalarType type) noexcept;
+
+/// Size in bytes on the simulated device (0 for void).
+int SizeOf(ScalarType type) noexcept;
+
+}  // namespace hipacc::ast

@@ -1,0 +1,85 @@
+#include "ast/visitor.hpp"
+
+#include "support/status.hpp"
+
+namespace hipacc::ast {
+
+void VisitExprs(const ExprPtr& expr,
+                const std::function<void(const Expr&)>& fn) {
+  if (!expr) return;
+  fn(*expr);
+  for (const auto& arg : expr->args) VisitExprs(arg, fn);
+}
+
+void VisitExprs(const StmtPtr& stmt,
+                const std::function<void(const Expr&)>& fn) {
+  VisitStmts(stmt, [&fn](const Stmt& s) {
+    VisitExprs(s.value, fn);
+    VisitExprs(s.cond, fn);
+    VisitExprs(s.lo, fn);
+    VisitExprs(s.hi, fn);
+    VisitExprs(s.x, fn);
+    VisitExprs(s.y, fn);
+  });
+}
+
+void VisitStmts(const StmtPtr& stmt,
+                const std::function<void(const Stmt&)>& fn) {
+  if (!stmt) return;
+  fn(*stmt);
+  for (const auto& child : stmt->body) VisitStmts(child, fn);
+}
+
+ExprPtr WithArgs(const Expr& node, std::vector<ExprPtr> args) {
+  auto copy = std::make_shared<Expr>(node);
+  copy->args = std::move(args);
+  return copy;
+}
+
+ExprPtr RewriteExpr(const ExprPtr& expr, const ExprRewriteFn& fn) {
+  if (!expr) return nullptr;
+  bool changed = false;
+  std::vector<ExprPtr> new_args;
+  new_args.reserve(expr->args.size());
+  for (const auto& arg : expr->args) {
+    ExprPtr rewritten = RewriteExpr(arg, fn);
+    changed = changed || rewritten != arg;
+    new_args.push_back(std::move(rewritten));
+  }
+  ExprPtr candidate = changed ? WithArgs(*expr, std::move(new_args)) : expr;
+  ExprPtr replacement = fn(*candidate);
+  return replacement ? replacement : candidate;
+}
+
+StmtPtr RewriteStmtExprs(const StmtPtr& stmt, const ExprRewriteFn& fn) {
+  if (!stmt) return nullptr;
+  auto rewrite = [&fn](const ExprPtr& e) { return RewriteExpr(e, fn); };
+
+  bool changed = false;
+  auto copy = std::make_shared<Stmt>(*stmt);
+
+  auto apply = [&](ExprPtr& slot) {
+    ExprPtr next = rewrite(slot);
+    if (next != slot) {
+      slot = std::move(next);
+      changed = true;
+    }
+  };
+  apply(copy->value);
+  apply(copy->cond);
+  apply(copy->lo);
+  apply(copy->hi);
+  apply(copy->x);
+  apply(copy->y);
+
+  for (auto& child : copy->body) {
+    StmtPtr next = RewriteStmtExprs(child, fn);
+    if (next != child) {
+      child = std::move(next);
+      changed = true;
+    }
+  }
+  return changed ? StmtPtr(copy) : stmt;
+}
+
+}  // namespace hipacc::ast

@@ -1,0 +1,35 @@
+// Traversal and rewriting utilities over the IR. Passes are written either
+// as read-only visits (analyses) or as bottom-up rewrites (lowerings): the
+// rewriter rebuilds nodes whose children changed, sharing untouched subtrees.
+#pragma once
+
+#include <functional>
+
+#include "ast/stmt.hpp"
+
+namespace hipacc::ast {
+
+/// Invokes `fn` for every expression node in pre-order.
+void VisitExprs(const ExprPtr& expr, const std::function<void(const Expr&)>& fn);
+
+/// Invokes `fn` for every expression reachable from a statement tree
+/// (initialisers, conditions, loop bounds, coordinates, values).
+void VisitExprs(const StmtPtr& stmt, const std::function<void(const Expr&)>& fn);
+
+/// Invokes `fn` for every statement node in pre-order.
+void VisitStmts(const StmtPtr& stmt, const std::function<void(const Stmt&)>& fn);
+
+/// Bottom-up expression rewriter. Children are rewritten first; then `fn` is
+/// offered the node (with fresh children). Returning nullptr keeps the node.
+using ExprRewriteFn = std::function<ExprPtr(const Expr&)>;
+
+ExprPtr RewriteExpr(const ExprPtr& expr, const ExprRewriteFn& fn);
+
+/// Applies RewriteExpr to every expression inside a statement tree,
+/// rebuilding statements whose expressions or children changed.
+StmtPtr RewriteStmtExprs(const StmtPtr& stmt, const ExprRewriteFn& fn);
+
+/// Deep-copies an expression with new argument list (all other fields kept).
+ExprPtr WithArgs(const Expr& node, std::vector<ExprPtr> args);
+
+}  // namespace hipacc::ast

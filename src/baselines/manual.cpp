@@ -1,0 +1,29 @@
+#include "baselines/manual.hpp"
+
+#include "ops/kernel_sources.hpp"
+
+namespace hipacc::baselines {
+
+Result<compiler::CompiledKernel> CompileManualBilateral(
+    int sigma_d, ast::BoundaryMode mode, const ManualVariant& variant,
+    ast::Backend backend, const hw::DeviceSpec& device, int width, int height,
+    hw::KernelConfig config) {
+  frontend::KernelSource source =
+      variant.use_mask_kernel
+          ? ops::BilateralMaskSource(sigma_d, mode, /*static_mask=*/true)
+          : ops::BilateralSource(sigma_d, mode);
+  source.name = "manual_" + source.name;
+
+  compiler::CompileOptions options;
+  options.codegen.backend = backend;
+  options.codegen.texture = variant.texture;
+  options.codegen.border = variant.border;
+  options.codegen.masks_in_constant_memory = variant.use_mask_kernel;
+  options.device = device;
+  options.image_width = width;
+  options.image_height = height;
+  options.forced_config = config;
+  return compiler::Compile(source, options);
+}
+
+}  // namespace hipacc::baselines

@@ -1,0 +1,27 @@
+// Manual-implementation baselines (paper Section VI-A1): straightforward
+// CUDA/OpenCL code whose boundary handling is a uniform per-pixel guard on
+// every access (no region specialisation), subsequently improved with linear
+// texture memory (+Tex/+Img), hardware-boundary-handling 2D textures
+// (+2DTex/ImgBH), and constant-memory masks (+Mask). Expressed through the
+// same pipeline with BorderPolicy::kUniform so the comparison isolates
+// exactly the techniques the paper varies.
+#pragma once
+
+#include "compiler/driver.hpp"
+
+namespace hipacc::baselines {
+
+struct ManualVariant {
+  bool use_mask_kernel = false;  ///< bilateral written with a Mask (Listing 5)
+  codegen::TexturePolicy texture = codegen::TexturePolicy::kNone;
+  /// Uniform guards (manual style). Undefined-mode kernels have none anyway.
+  codegen::BorderPolicy border = codegen::BorderPolicy::kUniform;
+};
+
+/// Compiles a manual-style bilateral filter.
+Result<compiler::CompiledKernel> CompileManualBilateral(
+    int sigma_d, ast::BoundaryMode mode, const ManualVariant& variant,
+    ast::Backend backend, const hw::DeviceSpec& device, int width, int height,
+    hw::KernelConfig config);
+
+}  // namespace hipacc::baselines

@@ -1,0 +1,231 @@
+#include "baselines/opencv_like.hpp"
+
+#include "dsl/image.hpp"
+#include "support/string_utils.hpp"
+
+namespace hipacc::baselines {
+namespace {
+
+using namespace hipacc::ast;
+
+ExprPtr Gx() { return ast::ThreadIndex(ThreadIndexKind::kGlobalIdX); }
+ExprPtr Gy() { return ast::ThreadIndex(ThreadIndexKind::kGlobalIdY); }
+
+}  // namespace
+
+ast::DeviceKernel BuildSeparableKernel(int taps, ast::BoundaryMode mode,
+                                       int ppt, bool horizontal,
+                                       ast::Backend backend) {
+  HIPACC_CHECK(taps > 0 && taps % 2 == 1 && ppt >= 1);
+  const int half = taps / 2;
+
+  DeviceKernel dk;
+  dk.name = StrFormat("opencv_%s_filter_ppt%d",
+                      horizontal ? "row" : "col", ppt);
+  dk.backend = backend;
+  dk.boundary = mode;
+  dk.params = {{"_iw", ScalarType::kInt}, {"_ih", ScalarType::kInt}};
+  dk.buffers = {{"Src", MemSpace::kGlobal, false}, {"_out", MemSpace::kGlobal, true}};
+
+  MaskInfo mask;
+  mask.name = "K";
+  mask.size_x = taps;
+  mask.size_y = 1;
+  mask.static_values.assign(static_cast<size_t>(taps), 0.0f);  // bound later
+  dk.const_masks.push_back(mask);
+
+  // Uniform per-pixel guards in the filtered dimension only (OpenCV's
+  // row/column filters check exactly their own axis).
+  RegionChecks checks;
+  if (horizontal) {
+    checks.lo_x = checks.hi_x = mode != BoundaryMode::kUndefined;
+  } else {
+    checks.lo_y = checks.hi_y = mode != BoundaryMode::kUndefined;
+  }
+
+  // Pixel coordinate covered by loop iteration p of this thread. OpenCV
+  // interleaves the PPT pixels at blockDim stride so each warp read stays
+  // coalesced: pixel = blockIdx*blockDim*ppt + p*blockDim + threadIdx.
+  auto pixel_x = [&](ExprPtr p) {
+    if (!horizontal) return Gx();
+    ExprPtr base = Binary(
+        BinaryOp::kMul, ast::ThreadIndex(ThreadIndexKind::kBlockIdxX),
+        Binary(BinaryOp::kMul, ast::ThreadIndex(ThreadIndexKind::kBlockDimX),
+               IntLit(ppt)));
+    ExprPtr offset = Binary(
+        BinaryOp::kMul, std::move(p), ast::ThreadIndex(ThreadIndexKind::kBlockDimX));
+    return Binary(BinaryOp::kAdd,
+                  Binary(BinaryOp::kAdd, std::move(base), std::move(offset)),
+                  ast::ThreadIndex(ThreadIndexKind::kThreadIdxX));
+  };
+  auto pixel_y = [&](ExprPtr p) {
+    if (horizontal) return Gy();
+    ExprPtr base = Binary(
+        BinaryOp::kMul, ast::ThreadIndex(ThreadIndexKind::kBlockIdxY),
+        Binary(BinaryOp::kMul, ast::ThreadIndex(ThreadIndexKind::kBlockDimY),
+               IntLit(ppt)));
+    ExprPtr offset = Binary(
+        BinaryOp::kMul, std::move(p), ast::ThreadIndex(ThreadIndexKind::kBlockDimY));
+    return Binary(BinaryOp::kAdd,
+                  Binary(BinaryOp::kAdd, std::move(base), std::move(offset)),
+                  ast::ThreadIndex(ThreadIndexKind::kThreadIdxY));
+  };
+
+  // Inner accumulation loop over taps.
+  ExprPtr tap_x = horizontal
+                      ? Binary(BinaryOp::kAdd, pixel_x(VarRef("p", ScalarType::kInt)),
+                               VarRef("t", ScalarType::kInt))
+                      : pixel_x(VarRef("p", ScalarType::kInt));
+  ExprPtr tap_y = horizontal
+                      ? pixel_y(VarRef("p", ScalarType::kInt))
+                      : Binary(BinaryOp::kAdd, pixel_y(VarRef("p", ScalarType::kInt)),
+                               VarRef("t", ScalarType::kInt));
+  ExprPtr coeff = ast::MemRead(
+      MemSpace::kConstant, "K",
+      Binary(BinaryOp::kAdd, VarRef("t", ScalarType::kInt), IntLit(half)),
+      IntLit(0), BoundaryMode::kUndefined, {});
+  ExprPtr sample = ast::MemRead(MemSpace::kGlobal, "Src", std::move(tap_x),
+                                std::move(tap_y), mode, checks, 0.0f);
+  StmtPtr accumulate = Assign(
+      "sum", AssignOp::kAddAssign,
+      Binary(BinaryOp::kMul, std::move(coeff), std::move(sample)));
+  StmtPtr tap_loop =
+      For("t", IntLit(-half), IntLit(half), 1, Block({accumulate}));
+
+  // Guard: the trailing thread's last pixels may fall outside the image.
+  ExprPtr in_bounds =
+      horizontal
+          ? Binary(BinaryOp::kLt, pixel_x(VarRef("p", ScalarType::kInt)),
+                   VarRef("_iw", ScalarType::kInt))
+          : Binary(BinaryOp::kLt, pixel_y(VarRef("p", ScalarType::kInt)),
+                   VarRef("_ih", ScalarType::kInt));
+  StmtPtr write = ast::MemWrite(MemSpace::kGlobal, "_out",
+                                pixel_x(VarRef("p", ScalarType::kInt)),
+                                pixel_y(VarRef("p", ScalarType::kInt)),
+                                VarRef("sum", ScalarType::kFloat));
+  StmtPtr per_pixel =
+      Block({Decl(ScalarType::kFloat, "sum", FloatLit(0.0)), tap_loop,
+             If(std::move(in_bounds), std::move(write))});
+
+  // OpenCV's filter engines run a heavyweight per-thread prologue — shared
+  // tile staging offsets, alignment handling, block-border set-up — before
+  // the first output pixel. Reproduce that issue cost with the equivalent
+  // index arithmetic; amortising it over PPT outputs is precisely why
+  // OpenCV maps eight pixels to one thread.
+  std::vector<StmtPtr> prologue;
+  ExprPtr running = ast::ThreadIndex(ThreadIndexKind::kThreadIdxX);
+  for (int i = 0; i < 12; ++i) {
+    running = Binary(
+        BinaryOp::kAdd,
+        Binary(BinaryOp::kMul, std::move(running),
+               ast::ThreadIndex(ThreadIndexKind::kBlockDimX)),
+        Binary(BinaryOp::kAdd, ast::ThreadIndex(ThreadIndexKind::kBlockIdxX),
+               IntLit(i)));
+    prologue.push_back(
+        Decl(ScalarType::kInt, StrFormat("_setup%d", i), running));
+    running = VarRef(StrFormat("_setup%d", i), ScalarType::kInt);
+  }
+
+  std::vector<StmtPtr> stmts = std::move(prologue);
+  if (ppt == 1) {
+    stmts.push_back(Decl(ScalarType::kInt, "p", IntLit(0)));
+    stmts.push_back(per_pixel);
+  } else {
+    stmts.push_back(For("p", IntLit(0), IntLit(ppt - 1), 1, per_pixel));
+  }
+
+  dk.variants.push_back({Region::kInterior, Block(std::move(stmts))});
+  return dk;
+}
+
+namespace {
+
+int CeilDiv(int a, int b) { return (a + b - 1) / b; }
+
+sim::Launch MakeLaunch(const ast::DeviceKernel& kernel, bool horizontal,
+                       int ppt, dsl::Image<float>& src,
+                       dsl::Image<float>& dst,
+                       const std::vector<float>& mask1d,
+                       hw::KernelConfig config) {
+  sim::Launch launch;
+  launch.kernel = &kernel;
+  launch.config = config;
+  // Interleaved PPT mapping: a block covers blockDim*ppt consecutive pixels
+  // in the filtered dimension, so the thread space is whole blocks (trailing
+  // threads are masked by the per-pixel image-extent guard in the kernel).
+  if (horizontal) {
+    launch.width = CeilDiv(src.width(), config.block_x * ppt) * config.block_x;
+    launch.height = src.height();
+  } else {
+    launch.width = src.width();
+    launch.height =
+        CeilDiv(src.height(), config.block_y * ppt) * config.block_y;
+  }
+  launch.buffers.push_back({"Src", src.span().data(), src.width(),
+                            src.height(), src.stride(), false});
+  launch.buffers.push_back({"_out", dst.span().data(), dst.width(),
+                            dst.height(), dst.stride(), true});
+  launch.const_masks["K"] = mask1d;
+  launch.scalar_args["_iw"] = src.width();
+  launch.scalar_args["_ih"] = src.height();
+  return launch;
+}
+
+}  // namespace
+
+Result<HostImage<float>> OpenCvLikeEngine::Run(const HostImage<float>& src,
+                                               const std::vector<float>& mask1d,
+                                               ast::BoundaryMode mode,
+                                               int ppt) const {
+  const int taps = static_cast<int>(mask1d.size());
+  const ast::DeviceKernel row =
+      BuildSeparableKernel(taps, mode, ppt, /*horizontal=*/true, backend_);
+  const ast::DeviceKernel col =
+      BuildSeparableKernel(taps, mode, ppt, /*horizontal=*/false, backend_);
+
+  dsl::Image<float> d_src(src.width(), src.height());
+  dsl::Image<float> d_tmp(src.width(), src.height());
+  dsl::Image<float> d_dst(src.width(), src.height());
+  d_src.CopyFrom(src);
+
+  const hw::KernelConfig config{128, 1};
+  sim::Launch row_launch = MakeLaunch(row, true, ppt, d_src, d_tmp, mask1d, config);
+  Result<sim::LaunchStats> row_stats = simulator_.Execute(row_launch);
+  if (!row_stats.ok()) return row_stats.status();
+
+  sim::Launch col_launch = MakeLaunch(col, false, ppt, d_tmp, d_dst, mask1d, config);
+  Result<sim::LaunchStats> col_stats = simulator_.Execute(col_launch);
+  if (!col_stats.ok()) return col_stats.status();
+
+  return d_dst.getData();
+}
+
+Result<SeparableTiming> OpenCvLikeEngine::Measure(
+    int width, int height, const std::vector<float>& mask1d,
+    ast::BoundaryMode mode, int ppt, hw::KernelConfig config) const {
+  const int taps = static_cast<int>(mask1d.size());
+  const ast::DeviceKernel row =
+      BuildSeparableKernel(taps, mode, ppt, /*horizontal=*/true, backend_);
+  const ast::DeviceKernel col =
+      BuildSeparableKernel(taps, mode, ppt, /*horizontal=*/false, backend_);
+
+  dsl::Image<float> d_src(width, height);
+  dsl::Image<float> d_tmp(width, height);
+  dsl::Image<float> d_dst(width, height);
+
+  sim::Launch row_launch = MakeLaunch(row, true, ppt, d_src, d_tmp, mask1d, config);
+  Result<sim::LaunchStats> row_stats = simulator_.Measure(row_launch);
+  if (!row_stats.ok()) return row_stats.status();
+
+  sim::Launch col_launch = MakeLaunch(col, false, ppt, d_tmp, d_dst, mask1d, config);
+  Result<sim::LaunchStats> col_stats = simulator_.Measure(col_launch);
+  if (!col_stats.ok()) return col_stats.status();
+
+  SeparableTiming t;
+  t.row_ms = row_stats.value().timing.total_ms;
+  t.col_ms = col_stats.value().timing.total_ms;
+  t.total_ms = t.row_ms + t.col_ms;
+  return t;
+}
+
+}  // namespace hipacc::baselines

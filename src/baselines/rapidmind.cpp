@@ -1,0 +1,60 @@
+#include "baselines/rapidmind.hpp"
+
+#include "compiler/executable.hpp"
+#include "ops/kernel_sources.hpp"
+
+namespace hipacc::baselines {
+
+Result<RapidMindMeasurement> MeasureRapidMindBilateral(
+    int sigma_d, int sigma_r, ast::BoundaryMode mode, bool texture,
+    const hw::DeviceSpec& device, int width, int height,
+    hw::KernelConfig config, runtime::BindingSet& bindings) {
+  if (mode == ast::BoundaryMode::kMirror)
+    return Status::Unimplemented(
+        "RapidMind does not provide a mirror boundary mode");
+
+  frontend::KernelSource source = ops::BilateralSource(sigma_d, mode);
+  source.name = "rapidmind_bilateral";
+
+  compiler::CompileOptions options;
+  options.codegen.backend = ast::Backend::kCuda;  // RapidMind's GPU backend
+  options.codegen.texture = texture ? codegen::TexturePolicy::kLinear
+                                    : codegen::TexturePolicy::kNone;
+  options.codegen.border = codegen::BorderPolicy::kUniform;
+  options.codegen.masks_in_constant_memory = false;
+  options.device = device;
+  options.image_width = width;
+  options.image_height = height;
+  options.forced_config = config;
+
+  Result<compiler::CompiledKernel> compiled = compiler::Compile(source, options);
+  if (!compiled.ok()) return compiled.status();
+
+  bindings.Scalar("sigma_d", sigma_d).Scalar("sigma_r", sigma_r);
+  compiler::SimulatedExecutable exe(std::move(compiled).take(), device);
+  Result<sim::LaunchStats> stats = exe.Measure(bindings);
+  if (!stats.ok()) return stats.status();
+
+  RapidMindMeasurement out;
+  // The naive negative-modulo repeat faults on devices with memory
+  // protection (Fermi); both plain and texture variants crashed in the
+  // paper's measurements (Table II).
+  if (mode == ast::BoundaryMode::kRepeat && device.compute_capability >= 20) {
+    out.crashed = true;
+    return out;
+  }
+
+  // Apply the generic-code overhead to the compute side of the model.
+  sim::Metrics scaled = stats.value().metrics;
+  scaled.alu_ops = static_cast<std::uint64_t>(
+      static_cast<double>(scaled.alu_ops) * kRapidMindAluOverhead);
+  if (mode == ast::BoundaryMode::kRepeat)
+    scaled.alu_ops = static_cast<std::uint64_t>(
+        static_cast<double>(scaled.alu_ops) * 3.0);  // replayed faulting loads
+  const sim::TimingBreakdown timing =
+      sim::ModelTime(scaled, device, stats.value().occupancy);
+  out.ms = timing.total_ms;
+  return out;
+}
+
+}  // namespace hipacc::baselines

@@ -1,0 +1,35 @@
+// RapidMind-like baseline (paper Section VI-A2). RapidMind's backend emitted
+// generic streaming code: boundary handling evaluated uniformly for every
+// pixel, filter weights recomputed per tap (no constant-memory masks), and
+// additional per-element indirection from its dynamically staged arrays. We
+// reproduce that strategy with the uniform-guard pipeline plus a documented
+// ALU overhead factor for the generic array machinery.
+//
+// Platform quirks the paper observed and we model:
+//  * Mirror is not supported by RapidMind's boundary modes -> Unimplemented.
+//  * Repeat used a naive modulo that mis-handles negative coordinates: the
+//    resulting out-of-bounds reads fault on Fermi-class devices ("crash" in
+//    Tables II) and degrade severely on older parts (~3x on the Quadro).
+#pragma once
+
+#include "compiler/driver.hpp"
+#include "runtime/bindings.hpp"
+
+namespace hipacc::baselines {
+
+/// ALU overhead multiplier of RapidMind's generic code vs direct CUDA.
+inline constexpr double kRapidMindAluOverhead = 1.9;
+
+struct RapidMindMeasurement {
+  double ms = 0.0;
+  bool crashed = false;  ///< faulted on out-of-bounds (Repeat on Fermi)
+};
+
+/// Measures the RapidMind implementation of the bilateral filter; `texture`
+/// selects the +Tex variant. Returns Unimplemented for Mirror.
+Result<RapidMindMeasurement> MeasureRapidMindBilateral(
+    int sigma_d, int sigma_r, ast::BoundaryMode mode, bool texture,
+    const hw::DeviceSpec& device, int width, int height,
+    hw::KernelConfig config, runtime::BindingSet& bindings);
+
+}  // namespace hipacc::baselines

@@ -1,0 +1,261 @@
+#include "codegen/lower.hpp"
+
+#include "ast/const_fold.hpp"
+#include "ast/visitor.hpp"
+#include "codegen/readwrite.hpp"
+#include "codegen/scalar_opt.hpp"
+#include "support/string_utils.hpp"
+
+namespace hipacc::codegen {
+namespace {
+
+using namespace hipacc::ast;
+
+/// Narrows the region's guard set for one access by its offset expressions:
+/// a literal offset can only cross the border in its own sign's direction,
+/// and the center pixel (offset 0) never can. Non-literal offsets (loop
+/// variables) keep the full region guards.
+RegionChecks NarrowChecks(RegionChecks region, const ExprPtr& dx,
+                          const ExprPtr& dy) {
+  RegionChecks checks = region;
+  double off = 0.0;
+  if (EvaluateConstant(dx, &off)) {
+    if (off >= 0) checks.lo_x = false;
+    if (off <= 0) checks.hi_x = false;
+  }
+  if (EvaluateConstant(dy, &off)) {
+    if (off >= 0) checks.lo_y = false;
+    if (off <= 0) checks.hi_y = false;
+  }
+  return checks;
+}
+
+ExprPtr GlobalX() { return ast::ThreadIndex(ThreadIndexKind::kGlobalIdX); }
+ExprPtr GlobalY() { return ast::ThreadIndex(ThreadIndexKind::kGlobalIdY); }
+
+class Lowerer {
+ public:
+  Lowerer(const KernelDecl& kernel, const CodegenOptions& options)
+      : kernel_(kernel), options_(options) {}
+
+  Result<DeviceKernel> Run() {
+    const AccessSummary access = AnalyzeAccesses(kernel_);
+    if (!access.output_written)
+      return Status::Invalid("kernel '" + kernel_.name +
+                             "' never writes output()");
+
+    DeviceKernel dk;
+    dk.name = kernel_.name;
+    dk.backend = options_.backend;
+    dk.params = kernel_.params;
+    dk.bh_window = kernel_.MaxWindow();
+    dk.boundary = kernel_.accessors.empty() ? BoundaryMode::kUndefined
+                                            : kernel_.accessors.front().boundary;
+    dk.vliw_vectorized = options_.vectorize_vliw;
+
+    // Decide the memory space of each input (read/write analysis gates the
+    // texture path: only pure reads may go through it).
+    for (const auto& acc : kernel_.accessors) {
+      BufferParam buf;
+      buf.name = acc.name;
+      const auto it = access.accessors.find(acc.name);
+      const bool read_only =
+          it == access.accessors.end() || it->second == AccessKind::kRead ||
+          it->second == AccessKind::kNone;
+      buf.space = (options_.texture != TexturePolicy::kNone && read_only)
+                      ? MemSpace::kTexture
+                      : MemSpace::kGlobal;
+      buf.texture_2d_array = buf.space == MemSpace::kTexture &&
+                             options_.texture == TexturePolicy::kArray2D;
+      if (options_.texture == TexturePolicy::kArray2D) {
+        // Hardware address modes exist only for Clamp and Repeat; Mirror and
+        // Constant cannot be expressed (the paper's "n/a" table cells).
+        if (acc.boundary == BoundaryMode::kMirror)
+          return Status::Unimplemented(
+              "2D texture boundary handling supports only Clamp and Repeat");
+        if (acc.boundary == BoundaryMode::kConstant &&
+            options_.backend == Backend::kCuda)
+          return Status::Unimplemented(
+              "CUDA 2D texture boundary handling supports only Clamp and Repeat");
+      }
+      buffers_cache_.push_back(buf);
+    }
+    buffers_cache_.push_back({"_out", MemSpace::kGlobal, true});
+
+    // Masks: constant memory by default; a global buffer otherwise. Masks
+    // whose every read was constant-propagated away (convolve() unrolling)
+    // are dropped entirely.
+    for (const auto& mask : kernel_.masks) {
+      const auto reads = access.mask_reads.find(mask.name);
+      if (reads == access.mask_reads.end() || reads->second == 0) continue;
+      if (options_.masks_in_constant_memory) {
+        dk.const_masks.push_back(mask);
+      } else {
+        dk.global_masks.push_back(mask);
+        buffers_cache_.push_back({mask.name, MemSpace::kGlobal, false});
+      }
+    }
+    dk.buffers = buffers_cache_;
+
+    // Scratchpad staging plan (first windowed accessor).
+    if (options_.use_scratchpad) {
+      for (const auto& acc : kernel_.accessors) {
+        if (acc.window.half_x == 0 && acc.window.half_y == 0) continue;
+        SmemPlan plan;
+        plan.accessor = acc.name;
+        plan.smem_name = "_smem" + acc.name;
+        plan.window = acc.window;
+        plan.boundary = acc.boundary;
+        plan.constant_value = acc.constant_value;
+        dk.smem = plan;
+        break;
+      }
+    }
+
+    // Region variants.
+    const bool bh = kernel_.NeedsBoundaryHandling();
+    if (options_.border == BorderPolicy::kRegions && bh) {
+      static constexpr Region kAllRegions[] = {
+          Region::kTopLeft, Region::kTop, Region::kTopRight,
+          Region::kLeft, Region::kInterior, Region::kRight,
+          Region::kBottomLeft, Region::kBottom, Region::kBottomRight};
+      for (const Region region : kAllRegions)
+        dk.variants.push_back({region, LowerBody(ChecksFor(region))});
+    } else if (options_.border == BorderPolicy::kUniform && bh) {
+      dk.variants.push_back({Region::kInterior, LowerBody({true, true, true, true})});
+    } else {
+      dk.variants.push_back({Region::kInterior, LowerBody({})});
+    }
+    return dk;
+  }
+
+ private:
+  StmtPtr LowerBody(RegionChecks region_checks) {
+    const ExprRewriteFn rewrite = [this, region_checks](const Expr& e) -> ExprPtr {
+      switch (e.kind) {
+        case ExprKind::kIterIndex:
+          return e.is_y ? GlobalY() : GlobalX();
+        case ExprKind::kAccessorRead:
+          return LowerAccessorRead(e, region_checks);
+        case ExprKind::kMaskRead:
+          return LowerMaskRead(e);
+        default:
+          return nullptr;
+      }
+    };
+    StmtPtr body = RewriteStmtExprs(kernel_.body, rewrite);
+    StmtPtr lowered = RewriteOutput(body);
+    lowered = FoldConstants(lowered);
+    if (options_.scalar_optimizer) lowered = OptimizeScalars(lowered);
+    return lowered;
+  }
+
+  ExprPtr LowerAccessorRead(const Expr& e, RegionChecks region_checks) const {
+    const AccessorInfo* acc = kernel_.FindAccessor(e.name);
+    HIPACC_CHECK(acc != nullptr);
+    const ExprPtr& dx = e.args[0];
+    const ExprPtr& dy = e.args[1];
+
+    // Scratchpad-staged accessor: reads are redirected to the tile, indexed
+    // by local thread ids plus the halo (Listing 7, phase 2). Boundary
+    // handling happened during staging, so no guards remain here.
+    if (dk_smem_matches(e.name)) {
+      ExprPtr lx = Binary(BinaryOp::kAdd,
+                          ast::ThreadIndex(ThreadIndexKind::kThreadIdxX),
+                          Binary(BinaryOp::kAdd, dx, IntLit(acc->window.half_x)));
+      ExprPtr ly = Binary(BinaryOp::kAdd,
+                          ast::ThreadIndex(ThreadIndexKind::kThreadIdxY),
+                          Binary(BinaryOp::kAdd, dy, IntLit(acc->window.half_y)));
+      return ast::MemRead(MemSpace::kShared, "_smem" + e.name, std::move(lx),
+                          std::move(ly), BoundaryMode::kUndefined, {});
+    }
+
+    RegionChecks checks =
+        acc->boundary == BoundaryMode::kUndefined
+            ? RegionChecks{}
+            : NarrowChecks(region_checks, dx, dy);
+
+    // Hardware boundary handling through 2D textures / samplers resolves
+    // the address in the texture unit — no software guards.
+    const BufferParam* buf = FindBuffer(e.name);
+    HIPACC_CHECK(buf != nullptr);
+    bool hardware_bh = options_.texture == TexturePolicy::kArray2D &&
+                       buf->space == MemSpace::kTexture &&
+                       acc->boundary != BoundaryMode::kUndefined;
+    if (hardware_bh) checks = {};
+
+    ExprPtr x = Binary(BinaryOp::kAdd, GlobalX(), dx);
+    ExprPtr y = Binary(BinaryOp::kAdd, GlobalY(), dy);
+    return ast::MemRead(buf->space, e.name, std::move(x), std::move(y),
+                        acc->boundary, checks, acc->constant_value);
+  }
+
+  ExprPtr LowerMaskRead(const Expr& e) const {
+    const MaskInfo* mask = kernel_.FindMask(e.name);
+    HIPACC_CHECK(mask != nullptr);
+    ExprPtr x = Binary(BinaryOp::kAdd, e.args[0], IntLit(mask->size_x / 2));
+    ExprPtr y = Binary(BinaryOp::kAdd, e.args[1], IntLit(mask->size_y / 2));
+    const MemSpace space = options_.masks_in_constant_memory
+                               ? MemSpace::kConstant
+                               : MemSpace::kGlobal;
+    return ast::MemRead(space, e.name, std::move(x), std::move(y),
+                        BoundaryMode::kUndefined, {});
+  }
+
+  /// Replaces OutputAssign statements with explicit global writes at the
+  /// global thread index.
+  StmtPtr RewriteOutput(const StmtPtr& stmt) const {
+    if (!stmt) return nullptr;
+    if (stmt->kind == StmtKind::kOutputAssign)
+      return ast::MemWrite(MemSpace::kGlobal, "_out", GlobalX(), GlobalY(),
+                           stmt->value);
+    if (stmt->body.empty()) return stmt;
+    auto copy = std::make_shared<Stmt>(*stmt);
+    bool changed = false;
+    for (auto& child : copy->body) {
+      StmtPtr next = RewriteOutput(child);
+      if (next != child) {
+        child = next;
+        changed = true;
+      }
+    }
+    return changed ? StmtPtr(copy) : stmt;
+  }
+
+  bool dk_smem_matches(const std::string& accessor) const {
+    if (!options_.use_scratchpad) return false;
+    const AccessorInfo* acc = kernel_.FindAccessor(accessor);
+    if (!acc) return false;
+    // Only the first windowed accessor is staged (matches Run()).
+    for (const auto& candidate : kernel_.accessors) {
+      if (candidate.window.half_x == 0 && candidate.window.half_y == 0)
+        continue;
+      return candidate.name == accessor;
+    }
+    return false;
+  }
+
+  const BufferParam* FindBuffer(const std::string& name) const {
+    for (const auto& buf : buffers_cache_)
+      if (buf.name == name) return &buf;
+    return nullptr;
+  }
+
+ public:
+  /// Populated by Run() before LowerBody uses it.
+  std::vector<BufferParam> buffers_cache_;
+
+ private:
+  const KernelDecl& kernel_;
+  const CodegenOptions& options_;
+};
+
+}  // namespace
+
+Result<ast::DeviceKernel> LowerKernel(const ast::KernelDecl& kernel,
+                                      const CodegenOptions& options) {
+  Lowerer lowerer(kernel, options);
+  return lowerer.Run();
+}
+
+}  // namespace hipacc::codegen

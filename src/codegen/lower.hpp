@@ -1,0 +1,27 @@
+// Lowering: DSL-level KernelDecl -> device-level DeviceKernel.
+//
+// This pass implements the paper's Section IV transformations:
+//  * iteration-space coordinates become global thread indices,
+//  * Accessor reads become memory reads in the space chosen by the texture
+//    policy and the read/write analysis (Listing 6),
+//  * Mask reads become constant-memory reads (Section IV-C),
+//  * boundary handling is compiled into nine region-specialised variants
+//    with per-access minimal guard sets (Figure 3 / Listing 8) — or into a
+//    single uniformly-guarded variant when mimicking manual code,
+//  * optionally, accessor tiles are staged through scratchpad memory
+//    (Listing 7).
+#pragma once
+
+#include "ast/kernel_ir.hpp"
+#include "codegen/options.hpp"
+#include "support/status.hpp"
+
+namespace hipacc::codegen {
+
+/// Lowers `kernel` under `options`. Fails if the kernel writes no output or
+/// requests combinations the backend cannot express (e.g. hardware boundary
+/// handling for Mirror — Section VI-A's "n/a" cells).
+Result<ast::DeviceKernel> LowerKernel(const ast::KernelDecl& kernel,
+                                      const CodegenOptions& options);
+
+}  // namespace hipacc::codegen

@@ -1,0 +1,65 @@
+#include "codegen/readwrite.hpp"
+
+#include "ast/cfg.hpp"
+#include "ast/visitor.hpp"
+
+namespace hipacc::codegen {
+namespace {
+
+void MergeRead(AccessKind* kind) {
+  switch (*kind) {
+    case AccessKind::kNone: *kind = AccessKind::kRead; break;
+    case AccessKind::kWrite: *kind = AccessKind::kReadWrite; break;
+    default: break;
+  }
+}
+
+void ScanExpr(const ast::ExprPtr& expr, AccessSummary* summary) {
+  ast::VisitExprs(expr, [summary](const ast::Expr& e) {
+    if (e.kind == ast::ExprKind::kAccessorRead)
+      MergeRead(&summary->accessors[e.name]);
+    else if (e.kind == ast::ExprKind::kMaskRead)
+      ++summary->mask_reads[e.name];
+  });
+}
+
+void ScanStmt(const ast::Stmt& stmt, AccessSummary* summary) {
+  if (stmt.kind == ast::StmtKind::kOutputAssign) summary->output_written = true;
+  ScanExpr(stmt.value, summary);
+  ScanExpr(stmt.x, summary);
+  ScanExpr(stmt.y, summary);
+}
+
+}  // namespace
+
+const char* to_string(AccessKind kind) noexcept {
+  switch (kind) {
+    case AccessKind::kNone: return "none";
+    case AccessKind::kRead: return "read";
+    case AccessKind::kWrite: return "write";
+    case AccessKind::kReadWrite: return "read_write";
+  }
+  return "?";
+}
+
+AccessSummary AnalyzeAccesses(const ast::KernelDecl& kernel) {
+  AccessSummary summary;
+  for (const auto& acc : kernel.accessors)
+    summary.accessors[acc.name] = AccessKind::kNone;
+
+  // Traverse the CFG depth-first, scanning the statements of each basic
+  // block and the controlling expressions of its terminator.
+  const ast::Cfg cfg = ast::BuildCfg(kernel.body);
+  for (const int id : ast::DepthFirstOrder(cfg)) {
+    const ast::BasicBlock& bb = cfg.block(id);
+    for (const ast::Stmt* stmt : bb.stmts) ScanStmt(*stmt, &summary);
+    if (bb.terminator) {
+      ScanExpr(bb.terminator->cond, &summary);
+      ScanExpr(bb.terminator->lo, &summary);
+      ScanExpr(bb.terminator->hi, &summary);
+    }
+  }
+  return summary;
+}
+
+}  // namespace hipacc::codegen

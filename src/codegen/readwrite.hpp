@@ -1,0 +1,31 @@
+// Read/write analysis (paper Section IV-A): builds the CFG of the kernel
+// body and traverses it recording, for every Image/Accessor, whether it is
+// read, written, or both. Texture mapping is only valid for read-only
+// accesses; the output image uses plain global pointers in CUDA and
+// write_imagef in OpenCL.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ast/kernel_ir.hpp"
+
+namespace hipacc::codegen {
+
+enum class AccessKind { kNone, kRead, kWrite, kReadWrite };
+
+const char* to_string(AccessKind kind) noexcept;
+
+struct AccessSummary {
+  /// Accessor name -> observed access kind.
+  std::map<std::string, AccessKind> accessors;
+  /// Whether output() is assigned (it always should be).
+  bool output_written = false;
+  /// Mask name -> read count (masks are read-only by construction).
+  std::map<std::string, int> mask_reads;
+};
+
+/// Runs the analysis over `kernel`'s CFG.
+AccessSummary AnalyzeAccesses(const ast::KernelDecl& kernel);
+
+}  // namespace hipacc::codegen

@@ -1,0 +1,59 @@
+#include "codegen/resource_estimator.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "ast/visitor.hpp"
+
+namespace hipacc::codegen {
+namespace {
+
+int ExprDepth(const ast::ExprPtr& expr) {
+  if (!expr) return 0;
+  int deepest = 0;
+  for (const auto& arg : expr->args) deepest = std::max(deepest, ExprDepth(arg));
+  return deepest + 1;
+}
+
+}  // namespace
+
+hw::KernelResources EstimateResources(const ast::DeviceKernel& kernel) {
+  hw::KernelResources res;
+
+  // The widest variant decides (all variants ship in one kernel).
+  int locals = 0;
+  int max_depth = 0;
+  int max_guards = 0;
+  std::set<std::string> local_names;
+  for (const auto& variant : kernel.variants) {
+    ast::VisitStmts(variant.body, [&](const ast::Stmt& s) {
+      if (s.kind == ast::StmtKind::kDecl || s.kind == ast::StmtKind::kFor)
+        local_names.insert(s.name);
+    });
+    ast::VisitExprs(variant.body, [&](const ast::Expr& e) {
+      if (e.kind == ast::ExprKind::kMemRead)
+        max_guards = std::max(max_guards, e.checks.count());
+    });
+    ast::VisitStmts(variant.body, [&](const ast::Stmt& s) {
+      max_depth = std::max({max_depth, ExprDepth(s.value), ExprDepth(s.cond),
+                            ExprDepth(s.lo), ExprDepth(s.hi)});
+    });
+  }
+  locals = static_cast<int>(local_names.size());
+
+  // 5 registers of fixed overhead (gid_x/gid_y, stride, base pointers —
+  // partially reused by ptxas), one per live local, roughly one temporary
+  // per two levels of the deepest expression, and one predicate per active
+  // guard direction.
+  res.regs_per_thread = 5 + locals + (max_depth + 1) / 2 + max_guards;
+
+  if (kernel.smem) {
+    res.smem_tile = true;
+    res.smem_halo_x = kernel.smem->window.half_x;
+    res.smem_halo_y = kernel.smem->window.half_y;
+    res.regs_per_thread += 3;  // staging indices
+  }
+  return res;
+}
+
+}  // namespace hipacc::codegen

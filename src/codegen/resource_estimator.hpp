@@ -1,0 +1,19 @@
+// Per-kernel resource-usage estimation — the stand-in for compiling the
+// generated source with nvcc / the OpenCL runtime and reading back register
+// and shared-memory counts (paper Section V-C). The estimate feeds the
+// occupancy calculator; it only needs to be monotone and in the right range,
+// not bit-exact against ptxas.
+#pragma once
+
+#include "ast/kernel_ir.hpp"
+#include "hwmodel/occupancy.hpp"
+
+namespace hipacc::codegen {
+
+/// Estimates registers per thread and shared-memory demand of a lowered
+/// kernel. Registers: a fixed overhead for indices and address arithmetic,
+/// plus live locals, plus temporaries from the deepest expression, plus
+/// guard predicates for boundary handling.
+hw::KernelResources EstimateResources(const ast::DeviceKernel& kernel);
+
+}  // namespace hipacc::codegen

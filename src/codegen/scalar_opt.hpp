@@ -1,0 +1,24 @@
+// Scalar optimizer over lowered kernel bodies: common-subexpression
+// elimination and loop-invariant code motion for memory reads and math
+// calls. This models what nvcc / the OpenCL compiler do to the generated
+// source after source-to-source translation (the paper relies on the vendor
+// compiler for these cleanups — e.g. Listing 1 re-reads Input(xf, yf) three
+// times per tap and reads the loop-invariant center pixel in every
+// iteration); without it the simulated device would grossly over-count
+// memory traffic.
+//
+// Conservative by construction: an expression is only reused or hoisted if
+// it is pure (all IR expressions are — input buffers are read-only and the
+// output never aliases an input) and none of its free variables is assigned
+// or declared within the region it would span.
+#pragma once
+
+#include "ast/stmt.hpp"
+
+namespace hipacc::codegen {
+
+/// Applies CSE within every block and LICM on every counted loop, bottom-up.
+/// Introduced temporaries are named _cse<N> / _licm<N>.
+ast::StmtPtr OptimizeScalars(const ast::StmtPtr& body);
+
+}  // namespace hipacc::codegen

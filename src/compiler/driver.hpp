@@ -1,0 +1,49 @@
+// Source-to-source compiler driver: kernel source + metadata in, compiled
+// artifact out. The artifact bundles the lowered IR (what the simulated
+// device executes), the emitted CUDA/OpenCL source text (what the paper's
+// compiler writes to disk), the resource estimate (the nvcc stand-in), and
+// the launch configuration chosen by Algorithm 2 — or forced by the caller,
+// as the evaluation tables do with 128x1.
+#pragma once
+
+#include <optional>
+
+#include "codegen/emit.hpp"
+#include "codegen/options.hpp"
+#include "frontend/parser.hpp"
+#include "hwmodel/device_db.hpp"
+#include "hwmodel/heuristic.hpp"
+
+namespace hipacc::compiler {
+
+struct CompileOptions {
+  codegen::CodegenOptions codegen;
+  hw::DeviceSpec device = hw::TeslaC2050();
+  /// Image extent the kernel will run on; used by the configuration
+  /// heuristic and baked into the emitted source's region constants.
+  int image_width = 0;
+  int image_height = 0;
+  /// Skip Algorithm 2 and use this configuration (evaluation tables).
+  std::optional<hw::KernelConfig> forced_config;
+};
+
+struct CompiledKernel {
+  ast::KernelDecl decl;
+  ast::DeviceKernel device_ir;
+  std::string source;  ///< emitted CUDA or OpenCL kernel text
+  hw::KernelResources resources;
+  hw::HeuristicChoice config;  ///< selected (or forced) configuration
+};
+
+/// Runs the full pipeline: parse -> lower -> estimate -> select config ->
+/// emit. Errors propagate from any stage (parse errors, unsupported
+/// backend/mode combinations, resource exhaustion).
+Result<CompiledKernel> Compile(const frontend::KernelSource& source,
+                               const CompileOptions& options);
+
+/// Re-selects the launch configuration of an already-compiled kernel for a
+/// (possibly different) device and image size, re-emitting the source.
+Result<CompiledKernel> Retarget(const CompiledKernel& kernel,
+                                const CompileOptions& options);
+
+}  // namespace hipacc::compiler

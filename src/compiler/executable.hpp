@@ -1,0 +1,45 @@
+// Convenience façade tying compiler output to the simulated device — the
+// equivalent of the paper's generated host code: bind arguments, launch,
+// and (for the evaluation) read back the modelled kernel time.
+#pragma once
+
+#include "compiler/driver.hpp"
+#include "runtime/bindings.hpp"
+#include "sim/simulator.hpp"
+
+namespace hipacc::compiler {
+
+class SimulatedExecutable {
+ public:
+  SimulatedExecutable(CompiledKernel kernel, hw::DeviceSpec device)
+      : kernel_(std::move(kernel)), simulator_(std::move(device)) {}
+
+  const CompiledKernel& kernel() const noexcept { return kernel_; }
+  const hw::DeviceSpec& device() const noexcept { return simulator_.device(); }
+
+  /// Functional execution of the whole grid (exact output pixels).
+  Result<sim::LaunchStats> Run(const runtime::BindingSet& bindings) const {
+    Result<runtime::LaunchHolder> holder =
+        runtime::BuildLaunch(kernel_.device_ir, kernel_.config.config, bindings);
+    if (!holder.ok()) return holder.status();
+    return simulator_.Execute(holder.value().launch);
+  }
+
+  /// Sampled measurement (modelled time); optionally overrides the launch
+  /// configuration, as the exploration mode does.
+  Result<sim::LaunchStats> Measure(
+      const runtime::BindingSet& bindings,
+      std::optional<hw::KernelConfig> config_override = std::nullopt) const {
+    Result<runtime::LaunchHolder> holder = runtime::BuildLaunch(
+        kernel_.device_ir,
+        config_override.value_or(kernel_.config.config), bindings);
+    if (!holder.ok()) return holder.status();
+    return simulator_.Measure(holder.value().launch);
+  }
+
+ private:
+  CompiledKernel kernel_;
+  sim::Simulator simulator_;
+};
+
+}  // namespace hipacc::compiler

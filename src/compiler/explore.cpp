@@ -1,0 +1,43 @@
+#include "compiler/explore.hpp"
+
+#include <algorithm>
+
+namespace hipacc::compiler {
+
+Result<std::vector<ExplorePoint>> ExploreConfigurations(
+    const CompiledKernel& kernel, const hw::DeviceSpec& device,
+    const runtime::BindingSet& bindings) {
+  if (!bindings.output()) return Status::Invalid("no output image bound");
+  const int width = bindings.output()->width();
+  const int height = bindings.output()->height();
+
+  hw::HeuristicInput input;
+  input.device = device;
+  input.resources = kernel.resources;
+  input.border_handling = kernel.device_ir.has_boundary_variants();
+  input.window = kernel.device_ir.bh_window;
+  input.image_width = width;
+  input.image_height = height;
+
+  SimulatedExecutable exe(kernel, device);
+  std::vector<ExplorePoint> points;
+  for (const hw::HeuristicChoice& candidate : hw::ExploreConfigs(input)) {
+    Result<sim::LaunchStats> stats = exe.Measure(bindings, candidate.config);
+    if (!stats.ok()) continue;  // invalid at launch time: skip, like nvcc
+    ExplorePoint point;
+    point.config = candidate.config;
+    point.occupancy = candidate.occupancy.occupancy;
+    point.border_threads = candidate.border_threads;
+    point.ms = stats.value().timing.total_ms;
+    points.push_back(point);
+  }
+  std::sort(points.begin(), points.end(),
+            [](const ExplorePoint& a, const ExplorePoint& b) {
+              if (a.config.threads() != b.config.threads())
+                return a.config.threads() < b.config.threads();
+              return a.config.block_x < b.config.block_x;
+            });
+  return points;
+}
+
+}  // namespace hipacc::compiler

@@ -1,0 +1,26 @@
+// Configuration exploration (paper Section V-D / Figure 4): times every
+// valid configuration of a compiled kernel on the simulated device. The
+// paper JIT-compiles each configuration with substituted macros; here each
+// configuration re-launches the interpreter with different region constants.
+#pragma once
+
+#include <vector>
+
+#include "compiler/executable.hpp"
+
+namespace hipacc::compiler {
+
+struct ExplorePoint {
+  hw::KernelConfig config;
+  double occupancy = 0.0;
+  long long border_threads = 0;
+  double ms = 0.0;
+};
+
+/// Measures every valid configuration. Points are returned sorted by thread
+/// count then block_x (the layout of Figure 4's x axis).
+Result<std::vector<ExplorePoint>> ExploreConfigurations(
+    const CompiledKernel& kernel, const hw::DeviceSpec& device,
+    const runtime::BindingSet& bindings);
+
+}  // namespace hipacc::compiler

@@ -1,0 +1,130 @@
+#include "compiler/kernel_file.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/string_utils.hpp"
+
+namespace hipacc::compiler {
+namespace {
+
+Result<ast::BoundaryMode> ParseMode(const std::string& word) {
+  if (word == "undefined") return ast::BoundaryMode::kUndefined;
+  if (word == "clamp") return ast::BoundaryMode::kClamp;
+  if (word == "repeat") return ast::BoundaryMode::kRepeat;
+  if (word == "mirror") return ast::BoundaryMode::kMirror;
+  if (word == "constant") return ast::BoundaryMode::kConstant;
+  return Status::Parse("unknown boundary mode '" + word + "'");
+}
+
+Result<ast::ScalarType> ParseType(const std::string& word) {
+  if (word == "float") return ast::ScalarType::kFloat;
+  if (word == "int") return ast::ScalarType::kInt;
+  if (word == "bool") return ast::ScalarType::kBool;
+  return Status::Parse("unknown parameter type '" + word + "'");
+}
+
+std::vector<std::string> Words(std::string_view line) {
+  std::vector<std::string> words;
+  std::istringstream stream{std::string(line)};
+  std::string word;
+  while (stream >> word) words.push_back(word);
+  return words;
+}
+
+}  // namespace
+
+Result<frontend::KernelSource> ParseKernelFile(const std::string& text) {
+  frontend::KernelSource src;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool in_body = false;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (in_body) {
+      src.body += line;
+      src.body += '\n';
+      continue;
+    }
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const std::vector<std::string> words = Words(trimmed);
+    const std::string& directive = words.front();
+    auto error = [&](const std::string& msg) {
+      return Status::Parse(StrFormat("line %d: %s", line_no, msg.c_str()));
+    };
+
+    if (directive == "kernel") {
+      if (words.size() != 2) return error("kernel expects exactly a name");
+      src.name = words[1];
+    } else if (directive == "param") {
+      if (words.size() != 3) return error("param expects <type> <name>");
+      Result<ast::ScalarType> type = ParseType(words[1]);
+      if (!type.ok()) return error(type.status().message());
+      src.params.push_back({words[2], type.value()});
+    } else if (directive == "accessor") {
+      if (words.size() < 5 || words.size() > 6)
+        return error("accessor expects <name> <sx> <sy> <mode> [const]");
+      ast::AccessorInfo acc;
+      acc.name = words[1];
+      const int sx = std::atoi(words[2].c_str());
+      const int sy = std::atoi(words[3].c_str());
+      if (sx <= 0 || sy <= 0 || sx % 2 == 0 || sy % 2 == 0)
+        return error("accessor window sizes must be odd and positive");
+      acc.window = ast::WindowExtent::FromSize(sx, sy);
+      Result<ast::BoundaryMode> mode = ParseMode(words[4]);
+      if (!mode.ok()) return error(mode.status().message());
+      acc.boundary = mode.value();
+      if (acc.boundary == ast::BoundaryMode::kConstant) {
+        if (words.size() != 6)
+          return error("constant boundary mode requires a value");
+        acc.constant_value = std::strtof(words[5].c_str(), nullptr);
+      }
+      src.accessors.push_back(acc);
+    } else if (directive == "mask") {
+      if (words.size() != 4) return error("mask expects <name> <sx> <sy>");
+      ast::MaskInfo mask;
+      mask.name = words[1];
+      mask.size_x = std::atoi(words[2].c_str());
+      mask.size_y = std::atoi(words[3].c_str());
+      if (mask.size_x <= 0 || mask.size_y <= 0 || mask.size_x % 2 == 0 ||
+          mask.size_y % 2 == 0)
+        return error("mask sizes must be odd and positive");
+      src.masks.push_back(mask);
+    } else if (directive == "values") {
+      if (src.masks.empty()) return error("values without a preceding mask");
+      ast::MaskInfo& mask = src.masks.back();
+      for (size_t i = 1; i < words.size(); ++i)
+        mask.static_values.push_back(std::strtof(words[i].c_str(), nullptr));
+    } else if (directive == "body") {
+      in_body = true;
+    } else {
+      return error("unknown directive '" + directive + "'");
+    }
+  }
+
+  if (src.name.empty()) return Status::Parse("missing 'kernel <name>'");
+  if (!in_body) return Status::Parse("missing 'body' section");
+  for (const auto& mask : src.masks) {
+    if (!mask.static_values.empty() &&
+        static_cast<int>(mask.static_values.size()) !=
+            mask.size_x * mask.size_y)
+      return Status::Parse(StrFormat(
+          "mask '%s' has %zu values, expected %d", mask.name.c_str(),
+          mask.static_values.size(), mask.size_x * mask.size_y));
+  }
+  return src;
+}
+
+Result<frontend::KernelSource> LoadKernelFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::Invalid("cannot open kernel file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseKernelFile(buffer.str());
+}
+
+}  // namespace hipacc::compiler

@@ -1,0 +1,35 @@
+// Textual kernel description format for the command-line compiler driver —
+// the offline equivalent of the compiler-known C++ classes. A `.hipacc`
+// file carries the access/execute metadata as header directives and the
+// kernel() body verbatim:
+//
+//     kernel bilateral
+//     param int sigma_d
+//     param int sigma_r
+//     accessor Input 13 13 clamp
+//     mask CMask 13 13
+//     values 0.018 0.082 ...          # optional: static coefficients
+//     body
+//     float d = 0.0f;
+//     ...
+//     output() = p / d;
+//
+// Directives: kernel <name>; param <float|int|bool> <name>;
+// accessor <name> <size_x> <size_y> <undefined|clamp|repeat|mirror|constant>
+// [<constant_value>]; mask <name> <size_x> <size_y>; values <floats...>
+// (attaches to the preceding mask); body (everything after is kernel text).
+// Lines starting with '#' are comments.
+#pragma once
+
+#include "frontend/parser.hpp"
+#include "support/status.hpp"
+
+namespace hipacc::compiler {
+
+/// Parses the `.hipacc` kernel description format.
+Result<frontend::KernelSource> ParseKernelFile(const std::string& text);
+
+/// Reads and parses a kernel description from disk.
+Result<frontend::KernelSource> LoadKernelFile(const std::string& path);
+
+}  // namespace hipacc::compiler

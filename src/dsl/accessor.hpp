@@ -1,0 +1,141 @@
+// DSL `BoundaryCondition`, `Accessor`, and `IterationSpace` (Sections II and
+// III-A). The Accessor describes *how* an image is seen inside a kernel —
+// the access half of the decoupled access/execute metadata. Tying the
+// boundary mode to the Accessor (not the Image) lets several kernels view
+// one image under different modes without copies.
+#pragma once
+
+#include "ast/metadata.hpp"
+#include "dsl/boundary.hpp"
+#include "dsl/image.hpp"
+#include "support/status.hpp"
+
+namespace hipacc::dsl {
+
+using ast::WindowExtent;
+
+/// Boundary-handling specification on an input image for a local operator of
+/// a given window size (Listing 3). Holds no pixel data.
+template <typename T>
+class BoundaryCondition {
+ public:
+  /// `size_x` x `size_y` is the local-operator window (odd sizes).
+  BoundaryCondition(const Image<T>& image, int size_x, int size_y,
+                    BoundaryMode mode)
+      : image_(&image), window_(WindowExtent::FromSize(size_x, size_y)),
+        mode_(mode) {
+    HIPACC_CHECK_MSG(mode != BoundaryMode::kConstant,
+                     "constant boundary handling requires a constant value");
+  }
+  /// Constant-mode overload: `value` is returned for out-of-bounds reads.
+  BoundaryCondition(const Image<T>& image, int size_x, int size_y,
+                    BoundaryMode mode, T value)
+      : image_(&image), window_(WindowExtent::FromSize(size_x, size_y)),
+        mode_(mode), constant_(value) {}
+
+  const Image<T>& image() const noexcept { return *image_; }
+  WindowExtent window() const noexcept { return window_; }
+  BoundaryMode mode() const noexcept { return mode_; }
+  T constant_value() const noexcept { return constant_; }
+
+ private:
+  const Image<T>* image_;
+  WindowExtent window_;
+  BoundaryMode mode_;
+  T constant_{};
+};
+
+/// Per-thread iteration point set by the executing kernel; Accessor reads
+/// are relative to it. thread_local so the host executor can run blocks on
+/// several worker threads concurrently.
+struct ExecPoint {
+  int x = 0;
+  int y = 0;
+};
+
+namespace detail {
+inline thread_local ExecPoint g_exec_point;
+}  // namespace detail
+
+/// View of an input image inside a kernel; `operator()(dx, dy)` reads the
+/// pixel at the current iteration point plus the given offsets.
+template <typename T>
+class Accessor {
+ public:
+  /// Accessor without boundary handling (mode Undefined). Out-of-bounds
+  /// reads clamp in this host implementation as a safety net; on real
+  /// hardware the paper's Undefined mode may crash.
+  explicit Accessor(const Image<T>& image)
+      : image_(&image), mode_(BoundaryMode::kUndefined) {}
+
+  /// Accessor viewing a BoundaryCondition (Listing 3).
+  explicit Accessor(const BoundaryCondition<T>& bc)
+      : image_(&bc.image()), window_(bc.window()), mode_(bc.mode()),
+        constant_(bc.constant_value()) {}
+
+  /// Pixel at the current iteration point plus (dx, dy); (0, 0) — or the
+  /// zero-argument overload — is the center pixel.
+  T operator()(int dx = 0, int dy = 0) const {
+    const int x = detail::g_exec_point.x + dx;
+    const int y = detail::g_exec_point.y + dy;
+    const int rx = ResolveBoundaryIndex(x, image_->width(), mode_);
+    const int ry = ResolveBoundaryIndex(y, image_->height(), mode_);
+    if (rx < 0 || ry < 0) return constant_;
+    return image_->at(rx, ry);
+  }
+
+  /// Absolute-coordinate read used by reductions and tests.
+  T at(int x, int y) const {
+    const int rx = ResolveBoundaryIndex(x, image_->width(), mode_);
+    const int ry = ResolveBoundaryIndex(y, image_->height(), mode_);
+    if (rx < 0 || ry < 0) return constant_;
+    return image_->at(rx, ry);
+  }
+
+  const Image<T>& image() const noexcept { return *image_; }
+  WindowExtent window() const noexcept { return window_; }
+  BoundaryMode mode() const noexcept { return mode_; }
+  T constant_value() const noexcept { return constant_; }
+
+ private:
+  const Image<T>* image_;
+  WindowExtent window_{};  // zero window when no BoundaryCondition given
+  BoundaryMode mode_;
+  T constant_{};
+};
+
+/// Rectangular region of interest in the output image — the execute half of
+/// the metadata. Each point is one work-item (1:1 mapping, Section II).
+template <typename T>
+class IterationSpace {
+ public:
+  /// Whole-image iteration space.
+  explicit IterationSpace(Image<T>& image)
+      : image_(&image), offset_x_(0), offset_y_(0), width_(image.width()),
+        height_(image.height()) {}
+
+  /// Sub-rectangle [offset_x, offset_x+width) x [offset_y, offset_y+height).
+  IterationSpace(Image<T>& image, int offset_x, int offset_y, int width,
+                 int height)
+      : image_(&image), offset_x_(offset_x), offset_y_(offset_y),
+        width_(width), height_(height) {
+    HIPACC_CHECK(offset_x >= 0 && offset_y >= 0 && width > 0 && height > 0 &&
+                 offset_x + width <= image.width() &&
+                 offset_y + height <= image.height());
+  }
+
+  Image<T>& image() const noexcept { return *image_; }
+  int offset_x() const noexcept { return offset_x_; }
+  int offset_y() const noexcept { return offset_y_; }
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+
+ private:
+  Image<T>* image_;
+  int offset_x_;
+  int offset_y_;
+  int width_;
+  int height_;
+};
+
+}  // namespace hipacc::dsl

@@ -1,0 +1,30 @@
+#include "dsl/boundary.hpp"
+
+namespace hipacc::dsl {
+
+int ResolveBoundaryIndex(int c, int n, BoundaryMode mode) noexcept {
+  if (n <= 0) return -1;
+  if (c >= 0 && c < n) return c;
+  switch (mode) {
+    case BoundaryMode::kConstant:
+      return -1;
+    case BoundaryMode::kUndefined:
+    case BoundaryMode::kClamp:
+      return c < 0 ? 0 : n - 1;
+    case BoundaryMode::kRepeat: {
+      int r = c % n;
+      if (r < 0) r += n;
+      return r;
+    }
+    case BoundaryMode::kMirror: {
+      // Reflect about the image edges (border pixel duplicated) until the
+      // index falls inside; the reflection has period 2n.
+      int r = c % (2 * n);
+      if (r < 0) r += 2 * n;
+      return r < n ? r : 2 * n - 1 - r;
+    }
+  }
+  return -1;
+}
+
+}  // namespace hipacc::dsl

@@ -1,0 +1,30 @@
+// Boundary index resolution — the single source of truth for what each
+// BoundaryMode means (paper Table I / Figure 2). Both the DSL's functional
+// executor and the simulator's interpreter call these, so generated code and
+// direct execution agree by construction.
+#pragma once
+
+#include "ast/metadata.hpp"
+
+namespace hipacc::dsl {
+
+using ast::BoundaryMode;
+
+/// Resolves coordinate `c` into [0, n) according to `mode`.
+///
+///  * kClamp:  nearest valid index.
+///  * kRepeat: periodic tiling.
+///  * kMirror: reflection duplicating the border pixel (-1 -> 0, -2 -> 1,
+///             n -> n-1), matching Figure 2d, applied iteratively for far
+///             out-of-bounds coordinates.
+///  * kConstant: returns -1; the caller substitutes the constant value.
+///  * kUndefined: clamps as a memory-safety net for the host executor (the
+///             paper's behaviour is "not specified"; real GPUs may crash).
+int ResolveBoundaryIndex(int c, int n, BoundaryMode mode) noexcept;
+
+/// True if (x, y) lies within a width x height image.
+inline bool InBounds(int x, int y, int width, int height) noexcept {
+  return x >= 0 && x < width && y >= 0 && y < height;
+}
+
+}  // namespace hipacc::dsl

@@ -1,0 +1,81 @@
+// DSL `Kernel` base class (Listing 1). The programmer derives from
+// Kernel<T>, registers accessors, and implements the virtual kernel()
+// method describing the operation for ONE output pixel; execute() applies
+// it to every point of the IterationSpace in parallel.
+//
+// This is the *functional* execution path (HIPAcc's CPU semantics). The
+// compiled path — source-to-source compilation to CUDA/OpenCL and execution
+// on the simulated GPU — lives in src/compiler and src/sim and is checked
+// against this path by the integration tests.
+#pragma once
+
+#include <vector>
+
+#include "dsl/accessor.hpp"
+#include "support/parallel_for.hpp"
+
+namespace hipacc::dsl {
+
+template <typename T>
+class Kernel {
+ public:
+  explicit Kernel(IterationSpace<T>& iteration_space)
+      : iteration_space_(&iteration_space) {}
+  virtual ~Kernel() = default;
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// The per-pixel operation; reads accessors, writes output().
+  virtual void kernel() = 0;
+
+  /// Registers an input accessor (Listing 1's addAccessor). Registration
+  /// feeds the compiler's access metadata; the functional executor itself
+  /// only needs it for completeness checks.
+  void addAccessor(Accessor<T>* accessor) {
+    HIPACC_CHECK(accessor != nullptr);
+    accessors_.push_back(accessor);
+  }
+
+  /// Applies kernel() to every point of the iteration space, parallelised
+  /// over rows on host threads (the simulated device path is separate).
+  void execute() {
+    Image<T>& out = iteration_space_->image();
+    const int x0 = iteration_space_->offset_x();
+    const int y0 = iteration_space_->offset_y();
+    const int w = iteration_space_->width();
+    const int h = iteration_space_->height();
+    ParallelFor(0, h, [this, &out, x0, y0, w](int row) {
+      for (int col = 0; col < w; ++col) {
+        detail::g_exec_point.x = x0 + col;
+        detail::g_exec_point.y = y0 + row;
+        kernel();
+        (void)out;
+      }
+    });
+  }
+
+  const std::vector<Accessor<T>*>& accessors() const noexcept {
+    return accessors_;
+  }
+  const IterationSpace<T>& iteration_space() const noexcept {
+    return *iteration_space_;
+  }
+
+ protected:
+  /// Output pixel at the current iteration point (write target).
+  T& output() {
+    return iteration_space_->image().at(detail::g_exec_point.x,
+                                        detail::g_exec_point.y);
+  }
+
+  /// Current iteration-space coordinates (HIPAcc's x() / y()).
+  int x() const noexcept { return detail::g_exec_point.x; }
+  int y() const noexcept { return detail::g_exec_point.y; }
+
+ private:
+  IterationSpace<T>* iteration_space_;
+  std::vector<Accessor<T>*> accessors_;
+};
+
+}  // namespace hipacc::dsl

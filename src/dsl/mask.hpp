@@ -1,0 +1,104 @@
+// DSL `Mask` (Section III-B) and `Domain` classes. A Mask stores the
+// precalculated coefficients of a convolution filter; because it is constant
+// during a kernel launch the compiler places it in constant memory and, when
+// the coefficients are compile-time constants, initialises it statically.
+#pragma once
+
+#include <vector>
+
+#include "ast/metadata.hpp"
+#include "support/status.hpp"
+
+namespace hipacc::dsl {
+
+template <typename T>
+class Mask {
+ public:
+  /// Creates a size_x x size_y mask; sizes must be odd (centered windows).
+  Mask(int size_x, int size_y)
+      : size_x_(size_x), size_y_(size_y),
+        values_(static_cast<size_t>(size_x) * size_y) {
+    HIPACC_CHECK_MSG(size_x > 0 && size_y > 0 && size_x % 2 == 1 && size_y % 2 == 1,
+                     "mask sizes must be odd and positive");
+  }
+
+  int size_x() const noexcept { return size_x_; }
+  int size_y() const noexcept { return size_y_; }
+  int half_x() const noexcept { return size_x_ / 2; }
+  int half_y() const noexcept { return size_y_ / 2; }
+  ast::WindowExtent window() const noexcept { return {half_x(), half_y()}; }
+
+  /// Uploads precalculated coefficients from a row-major array of
+  /// size_x*size_y values (Listing 4's `CMask = mask;`).
+  Mask& operator=(const T* coefficients) {
+    HIPACC_CHECK(coefficients != nullptr);
+    for (size_t i = 0; i < values_.size(); ++i) values_[i] = coefficients[i];
+    return *this;
+  }
+  Mask& operator=(const std::vector<T>& coefficients) {
+    HIPACC_CHECK(coefficients.size() == values_.size());
+    values_ = coefficients;
+    return *this;
+  }
+
+  /// Coefficient at centered offsets x in [-half_x, half_x], y likewise.
+  T operator()(int x, int y) const {
+    HIPACC_CHECK_MSG(x >= -half_x() && x <= half_x() && y >= -half_y() &&
+                         y <= half_y(),
+                     "mask access outside window");
+    return values_[static_cast<size_t>(y + half_y()) * size_x_ + (x + half_x())];
+  }
+
+  const std::vector<T>& values() const noexcept { return values_; }
+
+ private:
+  int size_x_;
+  int size_y_;
+  std::vector<T> values_;
+};
+
+/// A boolean iteration footprint over a centered window — used by
+/// non-convolution local operators (median, morphology) to restrict which
+/// neighbours participate.
+class Domain {
+ public:
+  /// Full rectangular domain of size_x x size_y (all cells active).
+  Domain(int size_x, int size_y)
+      : size_x_(size_x), size_y_(size_y),
+        active_(static_cast<size_t>(size_x) * size_y, true) {
+    HIPACC_CHECK_MSG(size_x > 0 && size_y > 0 && size_x % 2 == 1 && size_y % 2 == 1,
+                     "domain sizes must be odd and positive");
+  }
+
+  int size_x() const noexcept { return size_x_; }
+  int size_y() const noexcept { return size_y_; }
+  int half_x() const noexcept { return size_x_ / 2; }
+  int half_y() const noexcept { return size_y_ / 2; }
+
+  /// Activates or deactivates the cell at centered offsets (x, y).
+  void set(int x, int y, bool active) {
+    active_.at(Index(x, y)) = active;
+  }
+  bool operator()(int x, int y) const { return active_.at(Index(x, y)); }
+
+  /// Number of active cells.
+  int count() const noexcept {
+    int n = 0;
+    for (const bool a : active_) n += a ? 1 : 0;
+    return n;
+  }
+
+ private:
+  size_t Index(int x, int y) const {
+    HIPACC_CHECK_MSG(x >= -half_x() && x <= half_x() && y >= -half_y() &&
+                         y <= half_y(),
+                     "domain access outside window");
+    return static_cast<size_t>(y + half_y()) * size_x_ + (x + half_x());
+  }
+
+  int size_x_;
+  int size_y_;
+  std::vector<bool> active_;
+};
+
+}  // namespace hipacc::dsl

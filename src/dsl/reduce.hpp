@@ -1,0 +1,53 @@
+// Global operators (paper Section I, group c): reductions producing one
+// value from all pixels of an image. The paper defers their DSL syntax to
+// future work (Section VIII); we provide the framework-level primitives the
+// examples and tests need — sum, min, max, and a generic binary combine.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <mutex>
+
+#include "dsl/accessor.hpp"
+#include "support/parallel_for.hpp"
+
+namespace hipacc::dsl {
+
+/// Reduces all pixels of `image` with `combine` starting from `init`.
+/// `combine` must be associative and commutative (rows are reduced in
+/// parallel and merged in unspecified order).
+template <typename T>
+T Reduce(const Image<T>& image, T init, const std::function<T(T, T)>& combine) {
+  std::mutex merge_mutex;
+  T total = init;
+  ParallelFor(0, image.height(), [&](int y) {
+    T row_acc = init;
+    for (int x = 0; x < image.width(); ++x)
+      row_acc = combine(row_acc, image.at(x, y));
+    const std::lock_guard<std::mutex> lock(merge_mutex);
+    total = combine(total, row_acc);
+  });
+  return total;
+}
+
+/// Sum of all pixels (e.g., "compute the sum of all pixels" from Section I).
+template <typename T>
+T ReduceSum(const Image<T>& image) {
+  return Reduce<T>(image, T{}, [](T a, T b) { return a + b; });
+}
+
+/// Minimum pixel value.
+template <typename T>
+T ReduceMin(const Image<T>& image) {
+  return Reduce<T>(image, std::numeric_limits<T>::max(),
+                   [](T a, T b) { return a < b ? a : b; });
+}
+
+/// Maximum pixel value.
+template <typename T>
+T ReduceMax(const Image<T>& image) {
+  return Reduce<T>(image, std::numeric_limits<T>::lowest(),
+                   [](T a, T b) { return a > b ? a : b; });
+}
+
+}  // namespace hipacc::dsl

@@ -1,0 +1,263 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/string_utils.hpp"
+
+namespace hipacc::frontend {
+
+const char* to_string(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::kEnd: return "<end>";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kIntLit: return "integer literal";
+    case TokenKind::kFloatLit: return "float literal";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kLBrace: return "{";
+    case TokenKind::kRBrace: return "}";
+    case TokenKind::kSemicolon: return ";";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kQuestion: return "?";
+    case TokenKind::kColon: return ":";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kPercent: return "%";
+    case TokenKind::kAssign: return "=";
+    case TokenKind::kPlusAssign: return "+=";
+    case TokenKind::kMinusAssign: return "-=";
+    case TokenKind::kStarAssign: return "*=";
+    case TokenKind::kSlashAssign: return "/=";
+    case TokenKind::kPlusPlus: return "++";
+    case TokenKind::kMinusMinus: return "--";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kLe: return "<=";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kGe: return ">=";
+    case TokenKind::kEqEq: return "==";
+    case TokenKind::kNe: return "!=";
+    case TokenKind::kNot: return "!";
+    case TokenKind::kAndAnd: return "&&";
+    case TokenKind::kOrOr: return "||";
+    case TokenKind::kKwFloat: return "float";
+    case TokenKind::kKwInt: return "int";
+    case TokenKind::kKwBool: return "bool";
+    case TokenKind::kKwIf: return "if";
+    case TokenKind::kKwElse: return "else";
+    case TokenKind::kKwFor: return "for";
+    case TokenKind::kKwOutput: return "output";
+    case TokenKind::kKwTrue: return "true";
+    case TokenKind::kKwFalse: return "false";
+    case TokenKind::kKwReturn: return "return";
+  }
+  return "?";
+}
+
+namespace {
+
+TokenKind KeywordKind(const std::string& text) {
+  if (text == "float") return TokenKind::kKwFloat;
+  if (text == "int") return TokenKind::kKwInt;
+  if (text == "bool") return TokenKind::kKwBool;
+  if (text == "if") return TokenKind::kKwIf;
+  if (text == "else") return TokenKind::kKwElse;
+  if (text == "for") return TokenKind::kKwFor;
+  if (text == "output") return TokenKind::kKwOutput;
+  if (text == "true") return TokenKind::kKwTrue;
+  if (text == "false") return TokenKind::kKwFalse;
+  if (text == "return") return TokenKind::kKwReturn;
+  return TokenKind::kIdent;
+}
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(const std::string& source) : src_(source) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      HIPACC_RETURN_IF_ERROR(SkipWhitespaceAndComments());
+      Token tok;
+      tok.line = line_;
+      tok.column = column_;
+      if (AtEnd()) {
+        tok.kind = TokenKind::kEnd;
+        tokens.push_back(tok);
+        return tokens;
+      }
+      const char c = Peek();
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string text;
+        while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                            Peek() == '_'))
+          text += Advance();
+        tok.kind = KeywordKind(text);
+        tok.text = text;
+        tokens.push_back(tok);
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(PeekAt(1))))) {
+        HIPACC_RETURN_IF_ERROR(LexNumber(&tok));
+        tokens.push_back(tok);
+        continue;
+      }
+      Status st = LexPunct(&tok);
+      if (!st.ok()) return st;
+      tokens.push_back(tok);
+    }
+  }
+
+ private:
+
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : src_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+  char Advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+  bool Match(char expected) {
+    if (Peek() != expected) return false;
+    Advance();
+    return true;
+  }
+
+  Status SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '/' && PeekAt(1) == '/') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else if (c == '/' && PeekAt(1) == '*') {
+        Advance();
+        Advance();
+        while (!AtEnd() && !(Peek() == '*' && PeekAt(1) == '/')) Advance();
+        if (AtEnd())
+          return Status::Parse(
+              StrFormat("unterminated block comment at line %d", line_));
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status LexNumber(Token* tok) {
+    std::string text;
+    bool is_float = false;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) text += Advance();
+    if (Peek() == '.') {
+      is_float = true;
+      text += Advance();
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) text += Advance();
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      is_float = true;
+      text += Advance();
+      if (Peek() == '+' || Peek() == '-') text += Advance();
+      if (!std::isdigit(static_cast<unsigned char>(Peek())))
+        return Status::Parse(
+            StrFormat("malformed exponent at line %d", tok->line));
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) text += Advance();
+    }
+    if (Peek() == 'f' || Peek() == 'F') {
+      is_float = true;
+      Advance();
+    }
+    if (is_float) {
+      tok->kind = TokenKind::kFloatLit;
+      tok->float_value = std::strtod(text.c_str(), nullptr);
+    } else {
+      tok->kind = TokenKind::kIntLit;
+      tok->int_value = std::strtoll(text.c_str(), nullptr, 10);
+    }
+    return Status::Ok();
+  }
+
+  Status LexPunct(Token* tok) {
+    const char c = Advance();
+    switch (c) {
+      case '(': tok->kind = TokenKind::kLParen; return Status::Ok();
+      case ')': tok->kind = TokenKind::kRParen; return Status::Ok();
+      case '{': tok->kind = TokenKind::kLBrace; return Status::Ok();
+      case '}': tok->kind = TokenKind::kRBrace; return Status::Ok();
+      case ';': tok->kind = TokenKind::kSemicolon; return Status::Ok();
+      case ',': tok->kind = TokenKind::kComma; return Status::Ok();
+      case '?': tok->kind = TokenKind::kQuestion; return Status::Ok();
+      case ':': tok->kind = TokenKind::kColon; return Status::Ok();
+      case '%': tok->kind = TokenKind::kPercent; return Status::Ok();
+      case '+':
+        tok->kind = Match('=') ? TokenKind::kPlusAssign
+                   : Match('+') ? TokenKind::kPlusPlus
+                                : TokenKind::kPlus;
+        return Status::Ok();
+      case '-':
+        tok->kind = Match('=') ? TokenKind::kMinusAssign
+                   : Match('-') ? TokenKind::kMinusMinus
+                                : TokenKind::kMinus;
+        return Status::Ok();
+      case '*':
+        tok->kind = Match('=') ? TokenKind::kStarAssign : TokenKind::kStar;
+        return Status::Ok();
+      case '/':
+        tok->kind = Match('=') ? TokenKind::kSlashAssign : TokenKind::kSlash;
+        return Status::Ok();
+      case '<':
+        tok->kind = Match('=') ? TokenKind::kLe : TokenKind::kLt;
+        return Status::Ok();
+      case '>':
+        tok->kind = Match('=') ? TokenKind::kGe : TokenKind::kGt;
+        return Status::Ok();
+      case '=':
+        tok->kind = Match('=') ? TokenKind::kEqEq : TokenKind::kAssign;
+        return Status::Ok();
+      case '!':
+        tok->kind = Match('=') ? TokenKind::kNe : TokenKind::kNot;
+        return Status::Ok();
+      case '&':
+        if (Match('&')) {
+          tok->kind = TokenKind::kAndAnd;
+          return Status::Ok();
+        }
+        break;
+      case '|':
+        if (Match('|')) {
+          tok->kind = TokenKind::kOrOr;
+          return Status::Ok();
+        }
+        break;
+      default:
+        break;
+    }
+    return Status::Parse(StrFormat("unexpected character '%c' at line %d:%d",
+                                   c, tok->line, tok->column));
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& source) {
+  return LexerImpl(source).Run();
+}
+
+}  // namespace hipacc::frontend

@@ -1,0 +1,15 @@
+// Hand-written lexer for the DSL kernel subset: identifiers, numeric
+// literals (with f suffix), C operators, and // and /* */ comments.
+#pragma once
+
+#include <vector>
+
+#include "frontend/token.hpp"
+#include "support/status.hpp"
+
+namespace hipacc::frontend {
+
+/// Tokenises `source`; the terminating kEnd token is appended on success.
+Result<std::vector<Token>> Lex(const std::string& source);
+
+}  // namespace hipacc::frontend

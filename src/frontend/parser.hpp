@@ -1,0 +1,36 @@
+// Recursive-descent parser for the DSL kernel subset — the stand-in for the
+// Clang frontend of the paper. The surrounding C++ classes (Kernel,
+// Accessor, Mask, ...) supply the access/execute metadata programmatically,
+// exactly like HIPAcc's compiler-known classes do; the parser turns the text
+// of the kernel() method body into the IR.
+//
+// Accepted subset (everything the paper's kernels use):
+//   declarations        float d = 0.0f;   int i;          (with init lists)
+//   assignments         d += s*c;   output() = p/d;
+//   control flow        if/else, canonical counted for loops
+//   expressions         arithmetic, comparisons, &&/||/!, ?:, casts,
+//                       math builtins, Accessor(dx,dy), Mask(xf,yf), x(), y()
+#pragma once
+
+#include "ast/kernel_ir.hpp"
+#include "support/status.hpp"
+
+namespace hipacc::frontend {
+
+/// Input to the frontend: metadata from the DSL objects + kernel body text.
+struct KernelSource {
+  std::string name;
+  std::vector<ast::ParamInfo> params;
+  std::vector<ast::AccessorInfo> accessors;
+  std::vector<ast::MaskInfo> masks;
+  /// Text of the kernel() method body, without the outer braces.
+  std::string body;
+};
+
+/// Parses and semantically checks a kernel. Reports kParseError with a line
+/// number for syntax errors, unknown identifiers, unsupported functions
+/// (Section V-A: "our compiler emits an error message"), arity mismatches,
+/// and writes to anything but locals/output().
+Result<ast::KernelDecl> ParseKernel(const KernelSource& source);
+
+}  // namespace hipacc::frontend

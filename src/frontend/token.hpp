@@ -1,0 +1,36 @@
+// Token definitions for the DSL kernel-body lexer.
+#pragma once
+
+#include <string>
+
+namespace hipacc::frontend {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  // punctuation / operators
+  kLParen, kRParen, kLBrace, kRBrace,
+  kSemicolon, kComma, kQuestion, kColon,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAssign, kPlusAssign, kMinusAssign, kStarAssign, kSlashAssign,
+  kPlusPlus, kMinusMinus,
+  kLt, kLe, kGt, kGe, kEqEq, kNe, kNot, kAndAnd, kOrOr,
+  // keywords
+  kKwFloat, kKwInt, kKwBool, kKwIf, kKwElse, kKwFor, kKwOutput,
+  kKwTrue, kKwFalse, kKwReturn,
+};
+
+const char* to_string(TokenKind kind) noexcept;
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       ///< identifier spelling (kIdent only)
+  long long int_value = 0;
+  double float_value = 0.0;
+  int line = 1;
+  int column = 1;
+};
+
+}  // namespace hipacc::frontend

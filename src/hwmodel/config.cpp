@@ -1,0 +1,92 @@
+#include "hwmodel/config.hpp"
+
+#include <algorithm>
+
+#include "support/status.hpp"
+
+namespace hipacc::hw {
+namespace {
+int CeilDiv(int a, int b) { return (a + b - 1) / b; }
+}  // namespace
+
+GridDim ComputeGrid(const KernelConfig& config, int width, int height) {
+  HIPACC_CHECK(config.block_x > 0 && config.block_y > 0 && width > 0 &&
+               height > 0);
+  return {CeilDiv(width, config.block_x), CeilDiv(height, config.block_y)};
+}
+
+ast::Region RegionGrid::RegionOf(int bx_idx, int by_idx) const noexcept {
+  const bool left = bx_idx < band_left;
+  const bool right = bx_idx >= grid.blocks_x - band_right;
+  const bool top = by_idx < band_top;
+  const bool bottom = by_idx >= grid.blocks_y - band_bottom;
+  // Listing 8 checks corner regions first, so a block in both bands gets the
+  // corner variant (which carries both guard sets).
+  if (top && left) return ast::Region::kTopLeft;
+  if (top && right) return ast::Region::kTopRight;
+  if (bottom && left) return ast::Region::kBottomLeft;
+  if (bottom && right) return ast::Region::kBottomRight;
+  if (top) return ast::Region::kTop;
+  if (bottom) return ast::Region::kBottom;
+  if (left) return ast::Region::kLeft;
+  if (right) return ast::Region::kRight;
+  return ast::Region::kInterior;
+}
+
+long long RegionGrid::BorderThreads() const noexcept {
+  const long long interior_x =
+      std::max(0, grid.blocks_x - band_left - band_right);
+  const long long interior_y =
+      std::max(0, grid.blocks_y - band_top - band_bottom);
+  const long long border_blocks = grid.total() - interior_x * interior_y;
+  return border_blocks * config.threads();
+}
+
+RegionGrid ComputeRegionGrid(const KernelConfig& config, int width, int height,
+                             ast::WindowExtent window) {
+  RegionGrid rg;
+  rg.config = config;
+  rg.grid = ComputeGrid(config, width, height);
+
+  // A block column needs lo_x guards if any of its pixels lies within
+  // window.half_x of the left edge; the right band additionally absorbs the
+  // partial trailing block (its threads past the image width must not read
+  // unguarded either — the generated kernel bounds them, but grouping them
+  // with the guarded band keeps the dispatch constants simple, mirroring the
+  // generated code's use of gridDim-based constants).
+  if (window.half_x > 0) {
+    rg.band_left = std::min(rg.grid.blocks_x, CeilDiv(window.half_x, config.block_x));
+    // First block column i whose pixels reach x >= width - half_x, i.e. the
+    // first i with (i+1)*block_x >= width - half_x + 1.
+    const int first_right =
+        std::max(0, CeilDiv(width - window.half_x + 1, config.block_x) - 1);
+    rg.band_right = std::min(rg.grid.blocks_x, rg.grid.blocks_x - first_right);
+  }
+  if (window.half_y > 0) {
+    rg.band_top = std::min(rg.grid.blocks_y, CeilDiv(window.half_y, config.block_y));
+    const int first_bottom =
+        std::max(0, CeilDiv(height - window.half_y + 1, config.block_y) - 1);
+    rg.band_bottom = std::min(rg.grid.blocks_y, rg.grid.blocks_y - first_bottom);
+  }
+  // A block inside the left band whose pixels also reach within half_x of
+  // the right edge would need lo_x AND hi_x guards at once (ditto for y).
+  rg.overlap_x = window.half_x > 0 &&
+                 rg.band_left * config.block_x + window.half_x > width;
+  rg.overlap_y = window.half_y > 0 &&
+                 rg.band_top * config.block_y + window.half_y > height;
+  return rg;
+}
+
+std::vector<KernelConfig> EnumerateConfigs(const DeviceSpec& device) {
+  std::vector<KernelConfig> configs;
+  for (int threads = device.simd_width; threads <= device.max_threads_per_block;
+       threads += device.simd_width) {
+    for (int bx = std::max(1, device.simd_width / 4); bx <= threads; bx *= 2) {
+      if (threads % bx != 0) continue;
+      configs.push_back({bx, threads / bx});
+    }
+  }
+  return configs;
+}
+
+}  // namespace hipacc::hw

@@ -1,0 +1,77 @@
+// Kernel launch configurations and the region tiling derived from them.
+//
+// A configuration is the number of threads mapped to one SIMD unit plus its
+// 2D tiling (paper Section V-C). The RegionGrid maps thread blocks onto the
+// nine boundary-handling regions of Figure 3 — used both by the generated
+// kernel's dispatch and by the heuristic's border-thread count.
+#pragma once
+
+#include <vector>
+
+#include "ast/metadata.hpp"
+#include "hwmodel/device_spec.hpp"
+
+namespace hipacc::hw {
+
+/// A 2D thread-block configuration.
+struct KernelConfig {
+  int block_x = 1;
+  int block_y = 1;
+
+  int threads() const noexcept { return block_x * block_y; }
+  bool operator==(const KernelConfig&) const = default;
+};
+
+/// Grid dimensions for an iteration space under a configuration.
+struct GridDim {
+  int blocks_x = 0;
+  int blocks_y = 0;
+  long long total() const noexcept {
+    return static_cast<long long>(blocks_x) * blocks_y;
+  }
+};
+
+GridDim ComputeGrid(const KernelConfig& config, int width, int height);
+
+/// Block-granular partition of the grid into the nine regions of Figure 3.
+/// Band widths are in blocks, measured from each grid edge; bands are sized
+/// so every pixel that can reach out of bounds through the window lies in a
+/// guarded region (partial trailing blocks included).
+struct RegionGrid {
+  GridDim grid;
+  KernelConfig config;
+  int band_left = 0;    ///< block columns needing lo_x guards
+  int band_right = 0;   ///< block columns needing hi_x guards
+  int band_top = 0;     ///< block rows needing lo_y guards
+  int band_bottom = 0;  ///< block rows needing hi_y guards
+
+  /// Region of the block at grid position (bx_idx, by_idx).
+  ast::Region RegionOf(int bx_idx, int by_idx) const noexcept;
+
+  /// Threads launched in non-interior blocks — the quantity Algorithm 2
+  /// minimises ("number of threads for border handling").
+  long long BorderThreads() const noexcept;
+
+  /// True when opposite bands overlap — a single block would need guards in
+  /// both directions of one axis, which the nine region variants cannot
+  /// express. Such launches are rejected (the image is too small for the
+  /// window/config combination); callers fall back to uniform guards.
+  bool degenerate() const noexcept {
+    return band_left + band_right > grid.blocks_x ||
+           band_top + band_bottom > grid.blocks_y || overlap_x || overlap_y;
+  }
+
+  bool overlap_x = false;  ///< a left-band block also reaches the right edge
+  bool overlap_y = false;
+};
+
+RegionGrid ComputeRegionGrid(const KernelConfig& config, int width, int height,
+                             ast::WindowExtent window);
+
+/// Enumerates candidate configurations for a device: thread counts that are
+/// multiples of the SIMD width (coalesced accesses) within the block limit,
+/// each with all power-of-two tilings (block_x in {simd/4 .. count}). The
+/// heuristic and the Figure 4 exploration mode both draw from this set.
+std::vector<KernelConfig> EnumerateConfigs(const DeviceSpec& device);
+
+}  // namespace hipacc::hw

@@ -1,0 +1,145 @@
+#include "hwmodel/device_db.hpp"
+
+namespace hipacc::hw {
+namespace {
+
+DeviceSpec MakeTeslaC2050() {
+  DeviceSpec d;
+  d.name = "Tesla C2050";
+  d.vendor = Vendor::kNvidia;
+  d.compute_capability = 20;  // Fermi
+  d.simd_width = 32;
+  d.max_threads_per_block = 1024;
+  d.max_threads_per_sm = 1536;
+  d.max_blocks_per_sm = 8;
+  d.regs_per_sm = 32768;
+  d.reg_alloc_granularity = 64;  // per-warp granularity on Fermi
+  d.regs_allocated_per_block = false;
+  d.smem_per_sm = 48 * 1024;
+  d.smem_alloc_granularity = 128;
+  d.smem_banks = 32;
+  d.num_sms = 14;
+  d.alus_per_sm = 32;
+  d.sfus_per_sm = 4;
+  d.sfu_ops_per_transcendental = 2;  // MUFU + range-reduction multiply
+  d.isa = CoreIsa::kScalar;
+  d.core_clock_ghz = 1.15;
+  d.mem_bandwidth_gbps = 144.0;
+  d.mem_latency_cycles = 400;
+  d.mem_transaction_bytes = 128;
+  d.has_global_l1 = true;  // Fermi caches global loads by default
+  d.tex_cache_bytes = 12 * 1024;
+  d.tex_cache_latency_cycles = 60;
+  d.opencl_issue_overhead = 1.35;  // Tables II vs III: ~30-40% slower kernels
+  return d;
+}
+
+DeviceSpec MakeQuadroFx5800() {
+  DeviceSpec d;
+  d.name = "Quadro FX 5800";
+  d.vendor = Vendor::kNvidia;
+  d.compute_capability = 13;  // GT200
+  d.simd_width = 32;
+  d.max_threads_per_block = 512;
+  d.max_threads_per_sm = 1024;
+  d.max_blocks_per_sm = 8;
+  d.regs_per_sm = 16384;
+  d.reg_alloc_granularity = 512;  // per-block granularity on CC 1.x
+  d.regs_allocated_per_block = true;
+  d.smem_per_sm = 16 * 1024;
+  d.smem_alloc_granularity = 512;
+  d.smem_banks = 16;
+  d.num_sms = 30;
+  d.alus_per_sm = 8;
+  d.sfus_per_sm = 2;
+  d.sfu_ops_per_transcendental = 4;  // GT200: software range reduction
+  d.isa = CoreIsa::kScalar;
+  d.core_clock_ghz = 1.30;
+  d.mem_bandwidth_gbps = 102.0;
+  d.mem_latency_cycles = 500;
+  d.mem_transaction_bytes = 128;
+  d.has_global_l1 = false;  // GT200: only the texture path is cached
+  d.tex_cache_bytes = 8 * 1024;
+  d.tex_cache_latency_cycles = 70;
+  d.opencl_issue_overhead = 1.35;
+  return d;
+}
+
+DeviceSpec MakeGtx580() {
+  DeviceSpec d = MakeTeslaC2050();
+  d.name = "GeForce GTX 580";
+  d.num_sms = 16;
+  d.core_clock_ghz = 1.544;
+  d.mem_bandwidth_gbps = 192.4;
+  return d;
+}
+
+DeviceSpec MakeRadeonHd5870() {
+  DeviceSpec d;
+  d.name = "Radeon HD 5870";
+  d.vendor = Vendor::kAmd;
+  d.compute_capability = 0;
+  d.simd_width = 64;  // wavefront
+  d.max_threads_per_block = 256;
+  d.max_threads_per_sm = 1536;  // ~24 wavefronts per SIMD
+  d.max_blocks_per_sm = 8;
+  d.regs_per_sm = 16384;
+  d.reg_alloc_granularity = 256;
+  d.regs_allocated_per_block = false;
+  d.smem_per_sm = 32 * 1024;  // LDS
+  d.smem_alloc_granularity = 256;
+  d.smem_banks = 32;
+  d.num_sms = 20;
+  d.alus_per_sm = 16;  // 16 VLIW5 lanes issue per cycle
+  d.sfus_per_sm = 16;  // the T-unit of each VLIW5 bundle
+  d.isa = CoreIsa::kVliw5;
+  d.core_clock_ghz = 0.85;
+  d.mem_bandwidth_gbps = 153.6;
+  d.mem_latency_cycles = 500;
+  d.mem_transaction_bytes = 128;
+  d.has_global_l1 = true;  // Evergreen: global reads via the R/O cache path
+  d.tex_cache_bytes = 8 * 1024;
+  d.tex_cache_latency_cycles = 80;
+  return d;
+}
+
+DeviceSpec MakeRadeonHd6970() {
+  DeviceSpec d = MakeRadeonHd5870();
+  d.name = "Radeon HD 6970";
+  d.isa = CoreIsa::kVliw4;
+  d.num_sms = 24;
+  d.alus_per_sm = 16;
+  d.core_clock_ghz = 0.88;
+  d.mem_bandwidth_gbps = 176.0;
+  return d;
+}
+
+}  // namespace
+
+const std::vector<DeviceSpec>& DeviceDatabase() {
+  static const std::vector<DeviceSpec> devices = {
+      MakeTeslaC2050(), MakeQuadroFx5800(), MakeGtx580(), MakeRadeonHd5870(),
+      MakeRadeonHd6970()};
+  return devices;
+}
+
+Result<DeviceSpec> FindDevice(const std::string& name) {
+  for (const auto& d : DeviceDatabase())
+    if (d.name == name) return d;
+  return Status::Invalid("unknown device: " + name);
+}
+
+DeviceSpec TeslaC2050() { return MakeTeslaC2050(); }
+DeviceSpec QuadroFx5800() { return MakeQuadroFx5800(); }
+DeviceSpec RadeonHd5870() { return MakeRadeonHd5870(); }
+DeviceSpec RadeonHd6970() { return MakeRadeonHd6970(); }
+
+const char* to_string(Vendor vendor) noexcept {
+  switch (vendor) {
+    case Vendor::kNvidia: return "NVIDIA";
+    case Vendor::kAmd: return "AMD";
+  }
+  return "?";
+}
+
+}  // namespace hipacc::hw

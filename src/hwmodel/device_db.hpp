@@ -1,0 +1,26 @@
+// Built-in device database. The paper's compiler "contains information about
+// all available CUDA-capable graphics cards as specified by the compute
+// capability and AMD GPUs of the Radeon HD 6900 and HD 5800 series"; we ship
+// the devices the evaluation uses plus a few relatives for sweeps.
+#pragma once
+
+#include <vector>
+
+#include "hwmodel/device_spec.hpp"
+#include "support/status.hpp"
+
+namespace hipacc::hw {
+
+/// All devices known to the compiler.
+const std::vector<DeviceSpec>& DeviceDatabase();
+
+/// Looks a device up by exact name (e.g. "Tesla C2050").
+Result<DeviceSpec> FindDevice(const std::string& name);
+
+/// Convenience accessors for the evaluation's four cards.
+DeviceSpec TeslaC2050();
+DeviceSpec QuadroFx5800();
+DeviceSpec RadeonHd5870();
+DeviceSpec RadeonHd6970();
+
+}  // namespace hipacc::hw

@@ -1,0 +1,85 @@
+// Abstract hardware model of graphics card architectures (paper Section V):
+// the attributes the source-to-source compiler combines with per-kernel
+// resource usage to pick valid, high-occupancy configurations, plus the
+// microarchitectural parameters the performance model needs.
+#pragma once
+
+#include <string>
+
+namespace hipacc::hw {
+
+enum class Vendor { kNvidia, kAmd };
+
+const char* to_string(Vendor vendor) noexcept;
+
+/// Instruction-issue style of the shader core; AMD's VLIW4/VLIW5 machines
+/// underutilise lanes on scalar code (paper Section VI-A, VIII).
+enum class CoreIsa { kScalar, kVliw4, kVliw5 };
+
+/// One GPU model. Sizes in bytes unless noted. The first block of fields is
+/// exactly the paper's hardware model (a–d in Section V-C); the rest
+/// parameterises the analytical performance model in src/sim.
+struct DeviceSpec {
+  std::string name;
+  Vendor vendor = Vendor::kNvidia;
+  /// NVIDIA compute capability times 10 (13 = 1.3, 20 = 2.0); 0 for AMD.
+  int compute_capability = 0;
+
+  // --- (a) SIMD width -------------------------------------------------
+  int simd_width = 32;  ///< warp (NVIDIA) or wavefront (AMD) size
+
+  // --- (b)/(c) thread configuration limits ----------------------------
+  int max_threads_per_block = 512;  ///< per work-group limit
+  int max_threads_per_sm = 1024;    ///< per SIMD unit (SM / CU)
+  int max_blocks_per_sm = 8;
+
+  // --- (d) register / shared-memory capacity & allocation -------------
+  int regs_per_sm = 16384;        ///< 32-bit registers per SIMD unit
+  int reg_alloc_granularity = 512;///< registers round up to this multiple
+  /// True if registers are allocated per block (CC 1.x), false per warp
+  /// (CC 2.x) — the two strategies the paper's model distinguishes.
+  bool regs_allocated_per_block = true;
+  int smem_per_sm = 16 * 1024;    ///< scratchpad bytes per SIMD unit
+  int smem_alloc_granularity = 512;
+  int smem_banks = 16;
+
+  // --- execution resources (performance model) ------------------------
+  int num_sms = 16;            ///< number of SIMD units on the chip
+  int alus_per_sm = 8;         ///< scalar ALUs issuing per cycle per SM
+  int sfus_per_sm = 2;         ///< special-function units (exp, sin, ...)
+  /// SFU slots one transcendental call occupies (range reduction etc.);
+  /// newer architectures have fast single-instruction paths.
+  int sfu_ops_per_transcendental = 1;
+  CoreIsa isa = CoreIsa::kScalar;
+  double core_clock_ghz = 1.3;
+
+  // --- memory system (performance model) ------------------------------
+  double mem_bandwidth_gbps = 100.0;  ///< peak global-memory bandwidth
+  int mem_latency_cycles = 450;       ///< uncached global access latency
+  int mem_transaction_bytes = 128;    ///< coalescing segment size
+  bool has_global_l1 = false;  ///< Fermi caches global loads by default
+  int tex_cache_bytes = 8 * 1024;     ///< per-SM texture cache
+  int tex_cache_latency_cycles = 60;  ///< texture-cache hit latency
+  int const_cache_latency_cycles = 4; ///< constant-cache broadcast hit
+  int smem_latency_cycles = 4;        ///< scratchpad access (no conflicts)
+
+  /// Relative issue-slot cost of OpenCL-compiled kernels vs the native
+  /// toolchain — the 2011/2012-era OpenCL compilers generated measurably
+  /// worse code than nvcc on NVIDIA parts (Tables II vs III); AMD's CAL
+  /// stack was OpenCL-first, so no penalty there.
+  double opencl_issue_overhead = 1.0;
+
+  int max_warps_per_sm() const noexcept {
+    return max_threads_per_sm / simd_width;
+  }
+  /// VLIW machines co-issue this many lanes; scalar code fills only one.
+  int vliw_lanes() const noexcept {
+    switch (isa) {
+      case CoreIsa::kVliw4: return 4;
+      case CoreIsa::kVliw5: return 5;
+      default: return 1;
+    }
+  }
+};
+
+}  // namespace hipacc::hw

@@ -1,0 +1,93 @@
+#include "hwmodel/heuristic.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+#include "support/string_utils.hpp"
+
+namespace hipacc::hw {
+namespace {
+int CeilDiv(int a, int b) { return (a + b - 1) / b; }
+}  // namespace
+
+long long ApproxBorderThreads(const KernelConfig& config, int width,
+                              int height, ast::WindowExtent window) {
+  const GridDim grid = ComputeGrid(config, width, height);
+  const int band_x =
+      window.half_x > 0 ? std::min(grid.blocks_x, CeilDiv(window.half_x, config.block_x)) : 0;
+  const int band_y =
+      window.half_y > 0 ? std::min(grid.blocks_y, CeilDiv(window.half_y, config.block_y)) : 0;
+  const long long interior_x = std::max(0, grid.blocks_x - 2 * band_x);
+  const long long interior_y = std::max(0, grid.blocks_y - 2 * band_y);
+  const long long border_blocks = grid.total() - interior_x * interior_y;
+  return border_blocks * config.threads();
+}
+
+std::vector<HeuristicChoice> ExploreConfigs(const HeuristicInput& input) {
+  std::vector<HeuristicChoice> out;
+  for (const KernelConfig& config : EnumerateConfigs(input.device)) {
+    const OccupancyResult occ =
+        ComputeOccupancy(input.device, config, input.resources);
+    if (!occ.valid) continue;
+    HeuristicChoice choice;
+    choice.config = config;
+    choice.occupancy = occ;
+    choice.border_threads =
+        input.border_handling && input.image_width > 0
+            ? ApproxBorderThreads(config, input.image_width,
+                                  input.image_height, input.window)
+            : 0;
+    out.push_back(choice);
+  }
+  return out;
+}
+
+Result<HeuristicChoice> SelectConfig(const HeuristicInput& input) {
+  // Line 1-2 of Algorithm 2: SIMD-width multiples within resource limits.
+  std::vector<HeuristicChoice> candidates = ExploreConfigs(input);
+
+  if (input.border_handling) {
+    // "The minimal size for the x-configuration of the SIMD width is in most
+    // cases sufficient and the y-configuration is preferred instead."
+    std::erase_if(candidates, [&](const HeuristicChoice& c) {
+      return c.config.block_x != input.device.simd_width;
+    });
+  } else {
+    // 1D configurations like 128x1 or 256x1 ("precedence to the x-component").
+    std::erase_if(candidates,
+                  [](const HeuristicChoice& c) { return c.config.block_y != 1; });
+  }
+  if (candidates.empty())
+    return Status::Exhausted(
+        "no valid kernel configuration for device " + input.device.name);
+
+  // Line 3: sort by descending occupancy, ascending thread count.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const HeuristicChoice& a, const HeuristicChoice& b) {
+                     if (a.occupancy.occupancy != b.occupancy.occupancy)
+                       return a.occupancy.occupancy > b.occupancy.occupancy;
+                     return a.config.threads() < b.config.threads();
+                   });
+
+  if (!input.border_handling) {
+    // Lines 19-20: highest occupancy, fewest threads, tiled along x.
+    return candidates.front();
+  }
+
+  // Lines 5-17: within the highest-occupancy set, minimise the number of
+  // threads executing boundary-handling conditionals.
+  const double best_occ = candidates.front().occupancy.occupancy;
+  HeuristicChoice best = candidates.front();
+  for (const HeuristicChoice& c : candidates) {
+    if (c.occupancy.occupancy < best_occ) break;  // sorted: set exhausted
+    if (c.border_threads < best.border_threads) best = c;
+    // Ties keep the earlier entry, which has fewer threads by the sort.
+  }
+  LogInfo(StrFormat(
+      "Algorithm 2 selected %dx%d (occupancy %.0f%%, border threads %lld) on %s",
+      best.config.block_x, best.config.block_y, 100.0 * best.occupancy.occupancy,
+      best.border_threads, input.device.name.c_str()));
+  return best;
+}
+
+}  // namespace hipacc::hw

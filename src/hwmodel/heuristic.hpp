@@ -1,0 +1,52 @@
+// Algorithm 2: heuristic selection of the kernel configuration and 2D
+// tiling based on resource usage, border-handling size, and target device.
+//
+//  * Without boundary handling: pick the highest-occupancy thread count
+//    (ties: fewest threads) tiled 1D along x (128x1-style), the shape expert
+//    programmers choose for coalesced row-major accesses.
+//  * With boundary handling: tile with block_x = SIMD width ("prefer y over
+//    x") and, within the highest-occupancy set, minimise the number of
+//    threads executing boundary-handling conditionals; ties prefer fewer
+//    threads (the paper's 32x3 < {32x4, 32x6} example).
+#pragma once
+
+#include <vector>
+
+#include "hwmodel/occupancy.hpp"
+#include "support/status.hpp"
+
+namespace hipacc::hw {
+
+/// Everything Algorithm 2 consumes.
+struct HeuristicInput {
+  DeviceSpec device;
+  KernelResources resources;
+  bool border_handling = false;
+  ast::WindowExtent window;  ///< filter window (border bands), if any
+  int image_width = 0;
+  int image_height = 0;
+};
+
+/// The selected configuration plus the evidence behind the choice.
+struct HeuristicChoice {
+  KernelConfig config;
+  OccupancyResult occupancy;
+  long long border_threads = 0;  ///< approx. threads running BH conditionals
+};
+
+/// Approximate count of threads executing boundary-handling conditionals for
+/// a tiling: symmetric bands of ceil(half/bdim) blocks per image side. This
+/// is the metric Algorithm 2 minimises; the dispatch itself uses the exact
+/// RegionGrid bands.
+long long ApproxBorderThreads(const KernelConfig& config, int width,
+                              int height, ast::WindowExtent window);
+
+/// Runs Algorithm 2. Returns an error iff no enumerated configuration is
+/// valid on the device (resource exhaustion).
+Result<HeuristicChoice> SelectConfig(const HeuristicInput& input);
+
+/// All (config, occupancy) pairs the exploration mode (Figure 4) iterates:
+/// valid configurations whose thread count is a SIMD-width multiple.
+std::vector<HeuristicChoice> ExploreConfigs(const HeuristicInput& input);
+
+}  // namespace hipacc::hw

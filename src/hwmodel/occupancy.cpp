@@ -1,0 +1,118 @@
+#include "hwmodel/occupancy.hpp"
+
+#include <algorithm>
+
+#include "support/string_utils.hpp"
+
+namespace hipacc::hw {
+namespace {
+int CeilDiv(int a, int b) { return (a + b - 1) / b; }
+int RoundUp(int value, int multiple) {
+  return multiple > 0 ? CeilDiv(value, multiple) * multiple : value;
+}
+}  // namespace
+
+int KernelResources::SmemBytesPerBlock(const KernelConfig& config) const noexcept {
+  int bytes = smem_static_bytes;
+  if (smem_tile) {
+    const int tile_w = config.block_x + 2 * smem_halo_x + 1;
+    const int tile_h = config.block_y + 2 * smem_halo_y;
+    bytes += tile_w * tile_h * elem_bytes;
+  }
+  return bytes;
+}
+
+const char* to_string(OccupancyLimiter limiter) noexcept {
+  switch (limiter) {
+    case OccupancyLimiter::kThreads: return "threads";
+    case OccupancyLimiter::kBlocks: return "blocks";
+    case OccupancyLimiter::kRegisters: return "registers";
+    case OccupancyLimiter::kSharedMemory: return "shared_memory";
+    case OccupancyLimiter::kInvalid: return "invalid";
+  }
+  return "?";
+}
+
+OccupancyResult ComputeOccupancy(const DeviceSpec& device,
+                                 const KernelConfig& config,
+                                 const KernelResources& resources) {
+  OccupancyResult result;
+  const int threads = config.threads();
+  if (threads <= 0 || threads > device.max_threads_per_block) {
+    result.reason = StrFormat("%d threads exceed the per-block limit of %d",
+                              threads, device.max_threads_per_block);
+    return result;
+  }
+  if (threads > device.max_threads_per_sm) {
+    result.reason = "block exceeds threads per SIMD unit";
+    return result;
+  }
+
+  const int warps_per_block = CeilDiv(threads, device.simd_width);
+
+  // Shared memory demand; a single block must fit.
+  const int smem_block =
+      RoundUp(resources.SmemBytesPerBlock(config), device.smem_alloc_granularity);
+  if (smem_block > device.smem_per_sm) {
+    result.reason = StrFormat("%d B shared memory exceed the %d B per SIMD unit",
+                              smem_block, device.smem_per_sm);
+    return result;
+  }
+
+  // Register demand; a single block must fit.
+  int blocks_by_regs = device.max_blocks_per_sm;
+  if (resources.regs_per_thread > 0) {
+    if (device.regs_allocated_per_block) {
+      // CC 1.x: registers are allocated per block, warp-pair granular.
+      const int regs_block =
+          RoundUp(resources.regs_per_thread * device.simd_width *
+                      RoundUp(warps_per_block, 2),
+                  device.reg_alloc_granularity);
+      if (regs_block > device.regs_per_sm) {
+        result.reason = StrFormat("%d registers exceed the %d per SIMD unit",
+                                  regs_block, device.regs_per_sm);
+        return result;
+      }
+      blocks_by_regs = device.regs_per_sm / regs_block;
+    } else {
+      // CC 2.x / AMD: registers are allocated per warp.
+      const int regs_warp = RoundUp(resources.regs_per_thread * device.simd_width,
+                                    device.reg_alloc_granularity);
+      const int warps_by_regs = device.regs_per_sm / regs_warp;
+      if (warps_by_regs < warps_per_block) {
+        result.reason = "registers do not fit a single block";
+        return result;
+      }
+      blocks_by_regs = warps_by_regs / warps_per_block;
+    }
+  }
+
+  const int blocks_by_threads = device.max_threads_per_sm / threads;
+  const int blocks_by_smem =
+      smem_block > 0 ? device.smem_per_sm / smem_block : device.max_blocks_per_sm;
+
+  int blocks = device.max_blocks_per_sm;
+  OccupancyLimiter limiter = OccupancyLimiter::kBlocks;
+  if (blocks_by_threads < blocks) {
+    blocks = blocks_by_threads;
+    limiter = OccupancyLimiter::kThreads;
+  }
+  if (blocks_by_regs < blocks) {
+    blocks = blocks_by_regs;
+    limiter = OccupancyLimiter::kRegisters;
+  }
+  if (blocks_by_smem < blocks) {
+    blocks = blocks_by_smem;
+    limiter = OccupancyLimiter::kSharedMemory;
+  }
+
+  result.valid = true;
+  result.blocks_per_sm = blocks;
+  result.active_warps = blocks * warps_per_block;
+  result.occupancy =
+      static_cast<double>(result.active_warps) / device.max_warps_per_sm();
+  result.limiter = limiter;
+  return result;
+}
+
+}  // namespace hipacc::hw

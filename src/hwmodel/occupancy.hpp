@@ -1,0 +1,51 @@
+// Occupancy calculation (paper Section V-C): combines per-kernel resource
+// usage (the stand-in for nvcc/OpenCL resource reports, see
+// src/codegen/resource_estimator) with the abstract hardware model to decide
+// which configurations are valid and how well they hide latency.
+#pragma once
+
+#include <string>
+
+#include "hwmodel/config.hpp"
+#include "hwmodel/device_spec.hpp"
+
+namespace hipacc::hw {
+
+/// Per-kernel resource usage, as reported by the resource estimator.
+struct KernelResources {
+  int regs_per_thread = 16;
+  int smem_static_bytes = 0;  ///< shared memory independent of the config
+  /// When the scratchpad staging pass ran, the tile is
+  /// (block_y + 2*halo_y) x (block_x + 2*halo_x + 1) elements (Listing 7's
+  /// +1 column avoids bank conflicts); its size depends on the config.
+  bool smem_tile = false;
+  int smem_halo_x = 0;
+  int smem_halo_y = 0;
+  int elem_bytes = 4;
+
+  /// Total scratchpad bytes a block of the given config allocates.
+  int SmemBytesPerBlock(const KernelConfig& config) const noexcept;
+};
+
+/// What bounded the number of resident blocks.
+enum class OccupancyLimiter { kThreads, kBlocks, kRegisters, kSharedMemory, kInvalid };
+
+const char* to_string(OccupancyLimiter limiter) noexcept;
+
+struct OccupancyResult {
+  bool valid = false;          ///< config launches on this device at all
+  std::string reason;          ///< why invalid (empty when valid)
+  int blocks_per_sm = 0;       ///< resident blocks per SIMD unit
+  int active_warps = 0;        ///< resident warps per SIMD unit
+  double occupancy = 0.0;      ///< active_warps / max_warps_per_sm
+  OccupancyLimiter limiter = OccupancyLimiter::kInvalid;
+};
+
+/// Computes occupancy of `config` with `resources` on `device`, modelling
+/// the per-block (CC 1.x) vs per-warp (CC 2.x) register allocation
+/// strategies and allocation granularities.
+OccupancyResult ComputeOccupancy(const DeviceSpec& device,
+                                 const KernelConfig& config,
+                                 const KernelResources& resources);
+
+}  // namespace hipacc::hw

@@ -1,0 +1,75 @@
+// Owning host-side image buffer. This is the plain-C-array side of the DSL
+// (what the paper calls `host_in` / `host_out`); the DSL's `Image<T>` wraps
+// simulated device memory and copies from/to a HostImage.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "support/span2d.hpp"
+#include "support/status.hpp"
+
+namespace hipacc {
+
+/// Row-major, densely packed 2D image owning its pixels.
+template <typename T>
+class HostImage {
+ public:
+  HostImage() = default;
+  HostImage(int width, int height, T fill = T{})
+      : width_(width), height_(height),
+        pixels_(static_cast<size_t>(width) * height, fill) {
+    HIPACC_CHECK(width >= 0 && height >= 0);
+  }
+
+  /// Builds an image from an initializer-style row-major vector.
+  static HostImage FromData(int width, int height, std::vector<T> data) {
+    HIPACC_CHECK(static_cast<size_t>(width) * height == data.size());
+    HostImage img;
+    img.width_ = width;
+    img.height_ = height;
+    img.pixels_ = std::move(data);
+    return img;
+  }
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  size_t size() const noexcept { return pixels_.size(); }
+  bool empty() const noexcept { return pixels_.empty(); }
+
+  T* data() noexcept { return pixels_.data(); }
+  const T* data() const noexcept { return pixels_.data(); }
+
+  T& operator()(int x, int y) { return pixels_[static_cast<size_t>(y) * width_ + x]; }
+  const T& operator()(int x, int y) const {
+    return pixels_[static_cast<size_t>(y) * width_ + x];
+  }
+
+  T& at(int x, int y) {
+    HIPACC_CHECK_MSG(x >= 0 && x < width_ && y >= 0 && y < height_,
+                     "HostImage::at out of range");
+    return (*this)(x, y);
+  }
+  const T& at(int x, int y) const {
+    return const_cast<HostImage*>(this)->at(x, y);
+  }
+
+  Span2D<T> span() { return Span2D<T>(pixels_.data(), width_, height_); }
+  Span2D<const T> span() const {
+    return Span2D<const T>(pixels_.data(), width_, height_);
+  }
+
+  void Fill(T value) { std::fill(pixels_.begin(), pixels_.end(), value); }
+
+  bool operator==(const HostImage& other) const {
+    return width_ == other.width_ && height_ == other.height_ &&
+           pixels_ == other.pixels_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<T> pixels_;
+};
+
+}  // namespace hipacc

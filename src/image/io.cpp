@@ -1,0 +1,82 @@
+#include "image/io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "support/string_utils.hpp"
+
+namespace hipacc {
+
+Status WritePgm(const HostImage<float>& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Invalid("cannot open for write: " + path);
+  out << "P5\n" << img.width() << " " << img.height() << "\n255\n";
+  std::vector<unsigned char> row(static_cast<size_t>(img.width()));
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const float v = std::clamp(img(x, y), 0.0f, 1.0f);
+      row[static_cast<size_t>(x)] =
+          static_cast<unsigned char>(v * 255.0f + 0.5f);
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  if (!out) return Status::Internal("short write: " + path);
+  return Status::Ok();
+}
+
+Result<HostImage<float>> ReadPgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Invalid("cannot open for read: " + path);
+  std::string magic;
+  int width = 0, height = 0, maxval = 0;
+  in >> magic >> width >> height >> maxval;
+  if (magic != "P5" || width <= 0 || height <= 0 || maxval != 255)
+    return Status::Parse("unsupported PGM header in " + path);
+  in.get();  // single whitespace after header
+  std::vector<unsigned char> raw(static_cast<size_t>(width) * height);
+  in.read(reinterpret_cast<char*>(raw.data()),
+          static_cast<std::streamsize>(raw.size()));
+  if (!in) return Status::Parse("truncated PGM data in " + path);
+  HostImage<float> img(width, height);
+  for (size_t i = 0; i < raw.size(); ++i)
+    img.data()[i] = static_cast<float>(raw[i]) / 255.0f;
+  return img;
+}
+
+Status WriteCsv(const HostImage<float>& img, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Invalid("cannot open for write: " + path);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      if (x) out << ',';
+      out << StrFormat("%.9g", static_cast<double>(img(x, y)));
+    }
+    out << '\n';
+  }
+  return out ? Status::Ok() : Status::Internal("short write: " + path);
+}
+
+Result<HostImage<float>> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::Invalid("cannot open for read: " + path);
+  std::vector<float> data;
+  int width = -1, height = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    const auto fields = Split(line, ',');
+    if (width < 0) width = static_cast<int>(fields.size());
+    if (static_cast<int>(fields.size()) != width)
+      return Status::Parse("ragged CSV rows in " + path);
+    for (const auto& f : fields) data.push_back(std::strtof(f.c_str(), nullptr));
+    ++height;
+  }
+  if (width <= 0 || height == 0) return Status::Parse("empty CSV " + path);
+  return HostImage<float>::FromData(width, height, std::move(data));
+}
+
+}  // namespace hipacc

@@ -1,0 +1,26 @@
+// Plain-text image I/O so examples can emit viewable artifacts without any
+// external dependency: binary PGM (P5, 8-bit) for float images in [0,1] and
+// CSV for exact round-tripping in tests.
+#pragma once
+
+#include <string>
+
+#include "image/host_image.hpp"
+#include "support/status.hpp"
+
+namespace hipacc {
+
+/// Writes `img` as an 8-bit binary PGM, clamping pixels to [0, 1] and
+/// scaling to [0, 255].
+Status WritePgm(const HostImage<float>& img, const std::string& path);
+
+/// Reads an 8-bit binary PGM into floats in [0, 1].
+Result<HostImage<float>> ReadPgm(const std::string& path);
+
+/// Writes pixels as CSV rows with full float precision (%.9g).
+Status WriteCsv(const HostImage<float>& img, const std::string& path);
+
+/// Reads a CSV written by WriteCsv.
+Result<HostImage<float>> ReadCsv(const std::string& path);
+
+}  // namespace hipacc

@@ -1,0 +1,41 @@
+#include "image/metrics.hpp"
+
+#include <cmath>
+
+namespace hipacc {
+
+double MaxAbsDiff(const HostImage<float>& a, const HostImage<float>& b) {
+  HIPACC_CHECK(a.width() == b.width() && a.height() == b.height());
+  double worst = 0.0;
+  for (int y = 0; y < a.height(); ++y)
+    for (int x = 0; x < a.width(); ++x)
+      worst = std::max(worst, std::abs(static_cast<double>(a(x, y)) - b(x, y)));
+  return worst;
+}
+
+double MeanSquaredError(const HostImage<float>& a, const HostImage<float>& b) {
+  HIPACC_CHECK(a.width() == b.width() && a.height() == b.height());
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (int y = 0; y < a.height(); ++y)
+    for (int x = 0; x < a.width(); ++x) {
+      const double d = static_cast<double>(a(x, y)) - b(x, y);
+      acc += d * d;
+    }
+  return acc / static_cast<double>(a.size());
+}
+
+double Psnr(const HostImage<float>& a, const HostImage<float>& b,
+            double peak) {
+  const double mse = MeanSquaredError(a, b);
+  if (mse == 0.0) return HUGE_VAL;
+  return 10.0 * std::log10(peak * peak / mse);
+}
+
+bool AllClose(const HostImage<float>& a, const HostImage<float>& b,
+              double tol) {
+  if (a.width() != b.width() || a.height() != b.height()) return false;
+  return MaxAbsDiff(a, b) <= tol;
+}
+
+}  // namespace hipacc

@@ -1,0 +1,24 @@
+// Image-comparison metrics used by tests (exact and tolerance-based equality
+// of DSL vs reference results) and examples (denoising quality reporting).
+#pragma once
+
+#include "image/host_image.hpp"
+
+namespace hipacc {
+
+/// Largest absolute per-pixel difference; images must have equal shapes.
+double MaxAbsDiff(const HostImage<float>& a, const HostImage<float>& b);
+
+/// Mean squared error.
+double MeanSquaredError(const HostImage<float>& a, const HostImage<float>& b);
+
+/// Peak signal-to-noise ratio in dB for a given peak value (default 1.0).
+/// Returns +inf (HUGE_VAL) for identical images.
+double Psnr(const HostImage<float>& a, const HostImage<float>& b,
+            double peak = 1.0);
+
+/// True if every pixel pair differs by at most `tol`.
+bool AllClose(const HostImage<float>& a, const HostImage<float>& b,
+              double tol);
+
+}  // namespace hipacc

@@ -1,0 +1,98 @@
+#include "image/synthetic.hpp"
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace hipacc {
+
+HostImage<float> MakeNoiseImage(int width, int height, std::uint64_t seed) {
+  HostImage<float> img(width, height);
+  Rng rng(seed);
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x) img(x, y) = rng.NextFloat();
+  return img;
+}
+
+HostImage<float> MakeGradientImage(int width, int height) {
+  HostImage<float> img(width, height);
+  const float denom = width > 1 ? static_cast<float>(width - 1) : 1.0f;
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x) img(x, y) = static_cast<float>(x) / denom;
+  return img;
+}
+
+HostImage<float> MakeAngiogramPhantom(int width, int height, float noise_sigma,
+                                      std::uint64_t seed) {
+  HostImage<float> img(width, height);
+  Rng rng(seed);
+
+  // Tissue background: bright with a gentle radial falloff, as in fluoroscopy.
+  const float cx = width * 0.5f, cy = height * 0.5f;
+  const float rmax = std::sqrt(cx * cx + cy * cy);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const float dx = x - cx, dy = y - cy;
+      const float r = std::sqrt(dx * dx + dy * dy) / (rmax > 0 ? rmax : 1.0f);
+      img(x, y) = 0.85f - 0.25f * r * r;
+    }
+  }
+
+  // Vessels: a handful of sinusoidal center-lines with branching widths.
+  // Contrast agent makes vessels darker than tissue.
+  const int num_vessels = 5;
+  for (int v = 0; v < num_vessels; ++v) {
+    const float phase = rng.NextFloat() * 6.2831853f;
+    const float amp = (0.10f + 0.15f * rng.NextFloat()) * width;
+    const float freq = (1.0f + 2.0f * rng.NextFloat()) * 6.2831853f / height;
+    const float base_x = (0.2f + 0.6f * rng.NextFloat()) * width;
+    const float w0 = 1.5f + 4.0f * rng.NextFloat();  // half-width in pixels
+    for (int y = 0; y < height; ++y) {
+      const float center = base_x + amp * std::sin(freq * y + phase);
+      const float w = w0 * (0.6f + 0.4f * (1.0f - static_cast<float>(y) / height));
+      const int x0 = static_cast<int>(std::floor(center - 3 * w));
+      const int x1 = static_cast<int>(std::ceil(center + 3 * w));
+      for (int x = std::max(0, x0); x <= std::min(width - 1, x1); ++x) {
+        const float d = (x - center) / w;
+        const float depth = 0.45f * std::exp(-0.5f * d * d);
+        img(x, y) = std::max(0.0f, img(x, y) - depth);
+      }
+    }
+  }
+
+  if (noise_sigma > 0.0f) {
+    for (int y = 0; y < height; ++y)
+      for (int x = 0; x < width; ++x) {
+        const float n = noise_sigma * static_cast<float>(rng.NextGaussian());
+        img(x, y) = std::min(1.0f, std::max(0.0f, img(x, y) + n));
+      }
+  }
+  return img;
+}
+
+HostImage<float> MakeCheckerboard(int width, int height, int cell, float lo,
+                                  float hi) {
+  HIPACC_CHECK(cell > 0);
+  HostImage<float> img(width, height);
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x)
+      img(x, y) = (((x / cell) + (y / cell)) % 2 == 0) ? lo : hi;
+  return img;
+}
+
+HostImage<float> MakeImpulseImage(int width, int height, int cx, int cy,
+                                  float value) {
+  HostImage<float> img(width, height, 0.0f);
+  img.at(cx, cy) = value;
+  return img;
+}
+
+HostImage<float> MakeIndexImage(int width, int height) {
+  HostImage<float> img(width, height);
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x)
+      img(x, y) = static_cast<float>(y * width + x);
+  return img;
+}
+
+}  // namespace hipacc

@@ -1,0 +1,38 @@
+// Synthetic workload generators standing in for the Siemens angiography data
+// the paper used. Local-operator cost is data-independent, so benchmarks only
+// need correctly-sized images; the examples additionally want content where
+// edge preservation (bilateral) and multiresolution artifacts are visible.
+#pragma once
+
+#include <cstdint>
+
+#include "image/host_image.hpp"
+
+namespace hipacc {
+
+/// Uniform noise in [0, 1); deterministic for a given seed.
+HostImage<float> MakeNoiseImage(int width, int height, std::uint64_t seed);
+
+/// Smooth horizontal gradient from 0 to 1.
+HostImage<float> MakeGradientImage(int width, int height);
+
+/// A synthetic X-ray angiogram phantom: dark curved "vessels" of varying
+/// width over a bright tissue-like background, plus additive Gaussian noise
+/// of strength `noise_sigma` (0 disables noise). Pixel range ~[0, 1].
+HostImage<float> MakeAngiogramPhantom(int width, int height,
+                                      float noise_sigma, std::uint64_t seed);
+
+/// Checkerboard with `cell` pixel squares alternating `lo` and `hi`.
+HostImage<float> MakeCheckerboard(int width, int height, int cell, float lo,
+                                  float hi);
+
+/// All-zero image with a single impulse of `value` at (cx, cy); the classic
+/// probe for inspecting a filter's point-spread function.
+HostImage<float> MakeImpulseImage(int width, int height, int cx, int cy,
+                                  float value);
+
+/// Image whose pixel (x, y) == y * width + x; handy for boundary-mode tests
+/// because every pixel value identifies its coordinates.
+HostImage<float> MakeIndexImage(int width, int height);
+
+}  // namespace hipacc

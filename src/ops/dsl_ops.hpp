@@ -1,0 +1,144 @@
+// DSL-class implementations of the built-in operators (the programmer-facing
+// form of Listing 1 / Listing 5). These execute functionally on the host and
+// serve as the reference the compiled/simulated path is tested against.
+#pragma once
+
+#include <cmath>
+
+#include "dsl/kernel.hpp"
+#include "dsl/mask.hpp"
+
+namespace hipacc::ops {
+
+/// Bilateral filter without masks (Listing 1).
+class BilateralFilter : public dsl::Kernel<float> {
+ public:
+  BilateralFilter(dsl::IterationSpace<float>& is, dsl::Accessor<float>& input,
+                  int sigma_d, int sigma_r)
+      : Kernel(is), input_(input), sigma_d_(sigma_d), sigma_r_(sigma_r) {
+    addAccessor(&input_);
+  }
+
+  void kernel() override {
+    const float c_r = 1.0f / (2.0f * sigma_r_ * sigma_r_);
+    const float c_d = 1.0f / (2.0f * sigma_d_ * sigma_d_);
+    float d = 0.0f, p = 0.0f;
+    for (int yf = -2 * sigma_d_; yf <= 2 * sigma_d_; ++yf) {
+      for (int xf = -2 * sigma_d_; xf <= 2 * sigma_d_; ++xf) {
+        const float diff = input_(xf, yf) - input_();
+        const float s = std::exp(-c_r * diff * diff);
+        const float c = std::exp(-c_d * xf * xf) * std::exp(-c_d * yf * yf);
+        d += s * c;
+        p += s * c * input_(xf, yf);
+      }
+    }
+    output() = p / d;
+  }
+
+ private:
+  dsl::Accessor<float>& input_;
+  int sigma_d_;
+  int sigma_r_;
+};
+
+/// Bilateral filter with the closeness weights in a Mask (Listing 5).
+class BilateralFilterMask : public dsl::Kernel<float> {
+ public:
+  BilateralFilterMask(dsl::IterationSpace<float>& is,
+                      dsl::Accessor<float>& input,
+                      const dsl::Mask<float>& cmask, int sigma_d, int sigma_r)
+      : Kernel(is), input_(input), cmask_(cmask), sigma_d_(sigma_d),
+        sigma_r_(sigma_r) {
+    addAccessor(&input_);
+  }
+
+  void kernel() override {
+    const float c_r = 1.0f / (2.0f * sigma_r_ * sigma_r_);
+    float d = 0.0f, p = 0.0f;
+    for (int yf = -2 * sigma_d_; yf <= 2 * sigma_d_; ++yf) {
+      for (int xf = -2 * sigma_d_; xf <= 2 * sigma_d_; ++xf) {
+        const float diff = input_(xf, yf) - input_();
+        const float s = std::exp(-c_r * diff * diff);
+        const float c = cmask_(xf, yf);
+        d += s * c;
+        p += s * c * input_(xf, yf);
+      }
+    }
+    output() = p / d;
+  }
+
+ private:
+  dsl::Accessor<float>& input_;
+  const dsl::Mask<float>& cmask_;
+  int sigma_d_;
+  int sigma_r_;
+};
+
+/// Generic mask convolution (Gaussian, Sobel, Laplacian, box, ...).
+class Convolution : public dsl::Kernel<float> {
+ public:
+  Convolution(dsl::IterationSpace<float>& is, dsl::Accessor<float>& input,
+              const dsl::Mask<float>& mask)
+      : Kernel(is), input_(input), mask_(mask) {
+    addAccessor(&input_);
+  }
+
+  void kernel() override {
+    float sum = 0.0f;
+    for (int yf = -mask_.half_y(); yf <= mask_.half_y(); ++yf)
+      for (int xf = -mask_.half_x(); xf <= mask_.half_x(); ++xf)
+        sum += mask_(xf, yf) * input_(xf, yf);
+    output() = sum;
+  }
+
+ private:
+  dsl::Accessor<float>& input_;
+  const dsl::Mask<float>& mask_;
+};
+
+/// Grayscale morphology over a Domain footprint.
+class Morphology : public dsl::Kernel<float> {
+ public:
+  enum class Op { kErode, kDilate };
+
+  Morphology(dsl::IterationSpace<float>& is, dsl::Accessor<float>& input,
+             const dsl::Domain& domain, Op op)
+      : Kernel(is), input_(input), domain_(domain), op_(op) {
+    addAccessor(&input_);
+  }
+
+  void kernel() override {
+    float m = input_();
+    for (int yf = -domain_.half_y(); yf <= domain_.half_y(); ++yf)
+      for (int xf = -domain_.half_x(); xf <= domain_.half_x(); ++xf) {
+        if (!domain_(xf, yf)) continue;
+        const float v = input_(xf, yf);
+        m = op_ == Op::kErode ? std::fmin(m, v) : std::fmax(m, v);
+      }
+    output() = m;
+  }
+
+ private:
+  dsl::Accessor<float>& input_;
+  const dsl::Domain& domain_;
+  Op op_;
+};
+
+/// Point operator: affine pixel transform.
+class ScaleOffset : public dsl::Kernel<float> {
+ public:
+  ScaleOffset(dsl::IterationSpace<float>& is, dsl::Accessor<float>& input,
+              float scale, float offset)
+      : Kernel(is), input_(input), scale_(scale), offset_(offset) {
+    addAccessor(&input_);
+  }
+
+  void kernel() override { output() = scale_ * input_() + offset_; }
+
+ private:
+  dsl::Accessor<float>& input_;
+  float scale_;
+  float offset_;
+};
+
+}  // namespace hipacc::ops

@@ -1,0 +1,216 @@
+#include "ops/kernel_sources.hpp"
+
+#include "ops/masks.hpp"
+#include "support/string_utils.hpp"
+
+namespace hipacc::ops {
+namespace {
+
+using ast::AccessorInfo;
+using ast::MaskInfo;
+using ast::ParamInfo;
+using ast::ScalarType;
+using ast::WindowExtent;
+
+AccessorInfo InputAccessor(int size_x, int size_y, BoundaryMode mode,
+                           float constant_value) {
+  AccessorInfo acc;
+  acc.name = "Input";
+  acc.window = WindowExtent::FromSize(size_x, size_y);
+  acc.boundary = mode;
+  acc.constant_value = constant_value;
+  return acc;
+}
+
+}  // namespace
+
+frontend::KernelSource BilateralSource(int sigma_d, BoundaryMode mode,
+                                       float constant_value) {
+  const int size = 4 * sigma_d + 1;
+  frontend::KernelSource src;
+  src.name = "bilateral";
+  src.params = {{"sigma_d", ScalarType::kInt}, {"sigma_r", ScalarType::kInt}};
+  src.accessors = {InputAccessor(size, size, mode, constant_value)};
+  src.body = R"(
+    float c_r = 1.0f / (2.0f * sigma_r * sigma_r);
+    float c_d = 1.0f / (2.0f * sigma_d * sigma_d);
+    float d = 0.0f;
+    float p = 0.0f;
+    for (int yf = -2 * sigma_d; yf <= 2 * sigma_d; yf++) {
+      for (int xf = -2 * sigma_d; xf <= 2 * sigma_d; xf++) {
+        float diff = Input(xf, yf) - Input();
+        float s = exp(-c_r * diff * diff);
+        float c = exp(-c_d * xf * xf) * exp(-c_d * yf * yf);
+        d += s * c;
+        p += s * c * Input(xf, yf);
+      }
+    }
+    output() = p / d;
+  )";
+  return src;
+}
+
+frontend::KernelSource BilateralMaskSource(int sigma_d, BoundaryMode mode,
+                                           bool static_mask,
+                                           float constant_value) {
+  const int size = 4 * sigma_d + 1;
+  frontend::KernelSource src;
+  src.name = "bilateral_mask";
+  src.params = {{"sigma_d", ScalarType::kInt}, {"sigma_r", ScalarType::kInt}};
+  src.accessors = {InputAccessor(size, size, mode, constant_value)};
+  MaskInfo mask;
+  mask.name = "CMask";
+  mask.size_x = size;
+  mask.size_y = size;
+  if (static_mask) mask.static_values = BilateralClosenessMask(sigma_d);
+  src.masks = {mask};
+  src.body = R"(
+    float c_r = 1.0f / (2.0f * sigma_r * sigma_r);
+    float d = 0.0f;
+    float p = 0.0f;
+    for (int yf = -2 * sigma_d; yf <= 2 * sigma_d; yf++) {
+      for (int xf = -2 * sigma_d; xf <= 2 * sigma_d; xf++) {
+        float diff = Input(xf, yf) - Input();
+        float s = exp(-c_r * diff * diff);
+        float c = CMask(xf, yf);
+        d += s * c;
+        p += s * c * Input(xf, yf);
+      }
+    }
+    output() = p / d;
+  )";
+  return src;
+}
+
+frontend::KernelSource ConvolutionSource(const std::string& name, int size_x,
+                                         int size_y, std::vector<float> mask,
+                                         BoundaryMode mode,
+                                         float constant_value) {
+  frontend::KernelSource src;
+  src.name = name;
+  src.accessors = {InputAccessor(size_x, size_y, mode, constant_value)};
+  MaskInfo mask_info;
+  mask_info.name = "M";
+  mask_info.size_x = size_x;
+  mask_info.size_y = size_y;
+  mask_info.static_values = std::move(mask);
+  src.masks = {mask_info};
+  src.body = StrFormat(R"(
+    float sum = 0.0f;
+    for (int yf = -%d; yf <= %d; yf++) {
+      for (int xf = -%d; xf <= %d; xf++) {
+        sum += M(xf, yf) * Input(xf, yf);
+      }
+    }
+    output() = sum;
+  )",
+                       size_y / 2, size_y / 2, size_x / 2, size_x / 2);
+  return src;
+}
+
+frontend::KernelSource GaussianSource(int size, float sigma, BoundaryMode mode,
+                                      float constant_value) {
+  return ConvolutionSource("gaussian", size, size, GaussianMask2D(size, sigma),
+                           mode, constant_value);
+}
+
+frontend::KernelSource GaussianConvolveSource(int size, float sigma,
+                                              BoundaryMode mode,
+                                              float constant_value) {
+  frontend::KernelSource src;
+  src.name = "gaussian_convolve";
+  src.accessors = {InputAccessor(size, size, mode, constant_value)};
+  MaskInfo mask;
+  mask.name = "M";
+  mask.size_x = size;
+  mask.size_y = size;
+  mask.static_values = GaussianMask2D(size, sigma);
+  src.masks = {mask};
+  // Listing 9: output() = convolve(cMask, SUM, cMask() * Input(cMask));
+  src.body = "output() = convolve(M, SUM, M() * Input(M));";
+  return src;
+}
+
+frontend::KernelSource Median3x3Source(BoundaryMode mode) {
+  frontend::KernelSource src;
+  src.name = "median3x3";
+  src.accessors = {InputAccessor(3, 3, mode, 0.0f)};
+  // McGuire's 9-element median exchange network: 19 compare-exchange pairs,
+  // the median lands in p4.
+  src.body = R"(
+    float p0 = Input(-1, -1); float p1 = Input(0, -1); float p2 = Input(1, -1);
+    float p3 = Input(-1, 0);  float p4 = Input(0, 0);  float p5 = Input(1, 0);
+    float p6 = Input(-1, 1);  float p7 = Input(0, 1);  float p8 = Input(1, 1);
+    float t = 0.0f;
+    t = fmin(p1, p2); p2 = fmax(p1, p2); p1 = t;
+    t = fmin(p4, p5); p5 = fmax(p4, p5); p4 = t;
+    t = fmin(p7, p8); p8 = fmax(p7, p8); p7 = t;
+    t = fmin(p0, p1); p1 = fmax(p0, p1); p0 = t;
+    t = fmin(p3, p4); p4 = fmax(p3, p4); p3 = t;
+    t = fmin(p6, p7); p7 = fmax(p6, p7); p6 = t;
+    t = fmin(p1, p2); p2 = fmax(p1, p2); p1 = t;
+    t = fmin(p4, p5); p5 = fmax(p4, p5); p4 = t;
+    t = fmin(p7, p8); p8 = fmax(p7, p8); p7 = t;
+    t = fmin(p0, p3); p3 = fmax(p0, p3); p0 = t;
+    t = fmin(p5, p8); p8 = fmax(p5, p8); p5 = t;
+    t = fmin(p4, p7); p7 = fmax(p4, p7); p4 = t;
+    t = fmin(p3, p6); p6 = fmax(p3, p6); p3 = t;
+    t = fmin(p1, p4); p4 = fmax(p1, p4); p1 = t;
+    t = fmin(p2, p5); p5 = fmax(p2, p5); p2 = t;
+    t = fmin(p4, p7); p7 = fmax(p4, p7); p4 = t;
+    t = fmin(p4, p2); p2 = fmax(p4, p2); p4 = t;
+    t = fmin(p6, p4); p4 = fmax(p6, p4); p6 = t;
+    p4 = fmin(p4, p2);
+    output() = p4;
+  )";
+  return src;
+}
+
+namespace {
+frontend::KernelSource MorphologySource(const std::string& name, int size,
+                                        BoundaryMode mode, bool is_min) {
+  frontend::KernelSource src;
+  src.name = name;
+  src.accessors = {InputAccessor(size, size, mode, 0.0f)};
+  src.body = StrFormat(R"(
+    float m = Input();
+    for (int yf = -%d; yf <= %d; yf++) {
+      for (int xf = -%d; xf <= %d; xf++) {
+        m = %s(m, Input(xf, yf));
+      }
+    }
+    output() = m;
+  )",
+                       size / 2, size / 2, size / 2, size / 2,
+                       is_min ? "fmin" : "fmax");
+  return src;
+}
+}  // namespace
+
+frontend::KernelSource ErodeSource(int size, BoundaryMode mode) {
+  return MorphologySource("erode", size, mode, /*is_min=*/true);
+}
+
+frontend::KernelSource DilateSource(int size, BoundaryMode mode) {
+  return MorphologySource("dilate", size, mode, /*is_min=*/false);
+}
+
+frontend::KernelSource ScaleOffsetSource() {
+  frontend::KernelSource src;
+  src.name = "scale_offset";
+  src.params = {{"scale", ScalarType::kFloat}, {"offset", ScalarType::kFloat}};
+  src.accessors = {InputAccessor(1, 1, BoundaryMode::kUndefined, 0.0f)};
+  src.body = "output() = scale * Input() + offset;";
+  return src;
+}
+
+frontend::KernelSource ThresholdSource() {
+  frontend::KernelSource src;
+  src.name = "threshold";
+  src.params = {{"threshold", ScalarType::kFloat}};
+  src.accessors = {InputAccessor(1, 1, BoundaryMode::kUndefined, 0.0f)};
+  src.body = "output() = Input() > threshold ? 1.0f : 0.0f;";
+  return src;
+}
+
+}  // namespace hipacc::ops

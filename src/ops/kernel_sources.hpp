@@ -1,0 +1,57 @@
+// KernelSource factories for the built-in operators — the DSL text the
+// source-to-source compiler consumes. Each factory bakes the window size
+// into the metadata (and loop bounds) and declares the accessor's boundary
+// mode, mirroring the BoundaryCondition/Accessor setup of Listing 3.
+#pragma once
+
+#include "ast/metadata.hpp"
+#include "frontend/parser.hpp"
+
+namespace hipacc::ops {
+
+using ast::BoundaryMode;
+
+/// Bilateral filter without masks (Listing 1): both the closeness and the
+/// similarity weights are recomputed per tap with exp(). Window is
+/// (4*sigma_d+1)^2; scalar params sigma_d, sigma_r are ints as in the paper.
+frontend::KernelSource BilateralSource(int sigma_d, BoundaryMode mode,
+                                       float constant_value = 0.0f);
+
+/// Bilateral filter with the closeness weights precalculated into a Mask
+/// (Listing 5). `static_mask` selects statically vs dynamically initialised
+/// constant memory.
+frontend::KernelSource BilateralMaskSource(int sigma_d, BoundaryMode mode,
+                                           bool static_mask = true,
+                                           float constant_value = 0.0f);
+
+/// size x size convolution with a static Mask (Gaussian coefficients).
+frontend::KernelSource GaussianSource(int size, float sigma, BoundaryMode mode,
+                                      float constant_value = 0.0f);
+
+/// Gaussian written with the convolve() syntax of Listing 9 (Section VIII):
+/// the compiler unrolls the taps and constant-propagates the coefficients —
+/// no loops, no constant-memory reads in the generated kernel.
+frontend::KernelSource GaussianConvolveSource(int size, float sigma,
+                                              BoundaryMode mode,
+                                              float constant_value = 0.0f);
+
+/// Generic static-mask convolution (Sobel, Laplacian, box, ...).
+frontend::KernelSource ConvolutionSource(const std::string& name, int size_x,
+                                         int size_y, std::vector<float> mask,
+                                         BoundaryMode mode,
+                                         float constant_value = 0.0f);
+
+/// 3x3 median via a min/max exchange network (a non-convolution local op).
+frontend::KernelSource Median3x3Source(BoundaryMode mode);
+
+/// size x size grayscale erosion (minimum) / dilation (maximum).
+frontend::KernelSource ErodeSource(int size, BoundaryMode mode);
+frontend::KernelSource DilateSource(int size, BoundaryMode mode);
+
+/// Point operator: output() = scale * Input() + offset (no window).
+frontend::KernelSource ScaleOffsetSource();
+
+/// Point operator: binary threshold at `threshold` param.
+frontend::KernelSource ThresholdSource();
+
+}  // namespace hipacc::ops

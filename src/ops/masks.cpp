@@ -1,0 +1,72 @@
+#include "ops/masks.hpp"
+
+#include <cmath>
+
+#include "support/status.hpp"
+
+namespace hipacc::ops {
+
+std::vector<float> GaussianMask2D(int size, float sigma) {
+  HIPACC_CHECK(size > 0 && size % 2 == 1 && sigma > 0.0f);
+  const int half = size / 2;
+  std::vector<float> mask(static_cast<size_t>(size) * size);
+  double sum = 0.0;
+  for (int y = -half; y <= half; ++y) {
+    for (int x = -half; x <= half; ++x) {
+      const double v =
+          std::exp(-(x * x + y * y) / (2.0 * sigma * sigma));
+      mask[static_cast<size_t>(y + half) * size + (x + half)] =
+          static_cast<float>(v);
+      sum += v;
+    }
+  }
+  for (float& v : mask) v = static_cast<float>(v / sum);
+  return mask;
+}
+
+std::vector<float> GaussianMask1D(int size, float sigma) {
+  HIPACC_CHECK(size > 0 && size % 2 == 1 && sigma > 0.0f);
+  const int half = size / 2;
+  std::vector<float> mask(static_cast<size_t>(size));
+  double sum = 0.0;
+  for (int x = -half; x <= half; ++x) {
+    const double v = std::exp(-(x * x) / (2.0 * sigma * sigma));
+    mask[static_cast<size_t>(x + half)] = static_cast<float>(v);
+    sum += v;
+  }
+  for (float& v : mask) v = static_cast<float>(v / sum);
+  return mask;
+}
+
+std::vector<float> BilateralClosenessMask(int sigma_d) {
+  HIPACC_CHECK(sigma_d > 0);
+  const int half = 2 * sigma_d;
+  const int size = 4 * sigma_d + 1;
+  const double c_d = 1.0 / (2.0 * sigma_d * sigma_d);
+  std::vector<float> mask(static_cast<size_t>(size) * size);
+  for (int y = -half; y <= half; ++y)
+    for (int x = -half; x <= half; ++x)
+      mask[static_cast<size_t>(y + half) * size + (x + half)] =
+          static_cast<float>(std::exp(-c_d * x * x) * std::exp(-c_d * y * y));
+  return mask;
+}
+
+std::vector<float> SobelMaskX() {
+  return {-1.0f, 0.0f, 1.0f, -2.0f, 0.0f, 2.0f, -1.0f, 0.0f, 1.0f};
+}
+
+std::vector<float> SobelMaskY() {
+  return {-1.0f, -2.0f, -1.0f, 0.0f, 0.0f, 0.0f, 1.0f, 2.0f, 1.0f};
+}
+
+std::vector<float> LaplacianMask3() {
+  return {0.0f, 1.0f, 0.0f, 1.0f, -4.0f, 1.0f, 0.0f, 1.0f, 0.0f};
+}
+
+std::vector<float> BoxMask(int size) {
+  HIPACC_CHECK(size > 0 && size % 2 == 1);
+  return std::vector<float>(static_cast<size_t>(size) * size,
+                            1.0f / static_cast<float>(size * size));
+}
+
+}  // namespace hipacc::ops

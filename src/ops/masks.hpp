@@ -1,0 +1,29 @@
+// Filter-mask coefficient builders for the built-in operators.
+#pragma once
+
+#include <vector>
+
+namespace hipacc::ops {
+
+/// Normalised 2D Gaussian of odd `size` with standard deviation `sigma`
+/// (size*size row-major coefficients summing to 1).
+std::vector<float> GaussianMask2D(int size, float sigma);
+
+/// Normalised 1D Gaussian (for separable implementations).
+std::vector<float> GaussianMask1D(int size, float sigma);
+
+/// Bilateral closeness mask: exp(-(x^2+y^2) / (2 sigma_d^2)) over the
+/// (4*sigma_d+1)^2 window — the paper's CMask (Listing 4), unnormalised.
+std::vector<float> BilateralClosenessMask(int sigma_d);
+
+/// 3x3 Sobel derivative masks.
+std::vector<float> SobelMaskX();
+std::vector<float> SobelMaskY();
+
+/// 3x3 Laplacian (4-neighbour).
+std::vector<float> LaplacianMask3();
+
+/// size x size box (mean) filter, coefficients 1/size^2.
+std::vector<float> BoxMask(int size);
+
+}  // namespace hipacc::ops

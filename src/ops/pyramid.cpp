@@ -1,0 +1,102 @@
+#include "ops/pyramid.hpp"
+
+#include "dsl/accessor.hpp"
+#include "dsl/image.hpp"
+#include "ops/dsl_ops.hpp"
+#include "ops/masks.hpp"
+
+namespace hipacc::ops {
+namespace {
+
+/// Runs the DSL Convolution kernel over a whole image with the given
+/// boundary mode and 5x5 Gaussian mask.
+HostImage<float> Smooth5(const HostImage<float>& image,
+                         ast::BoundaryMode mode) {
+  dsl::Image<float> in(image.width(), image.height());
+  dsl::Image<float> out(image.width(), image.height());
+  in.CopyFrom(image);
+
+  dsl::Mask<float> mask(5, 5);
+  mask = GaussianMask2D(5, 1.0f);
+
+  dsl::BoundaryCondition<float> bc =
+      mode == ast::BoundaryMode::kConstant
+          ? dsl::BoundaryCondition<float>(in, 5, 5, mode, 0.0f)
+          : dsl::BoundaryCondition<float>(in, 5, 5, mode);
+  dsl::Accessor<float> acc(bc);
+  dsl::IterationSpace<float> is(out);
+  Convolution conv(is, acc, mask);
+  conv.execute();
+  return out.getData();
+}
+
+}  // namespace
+
+HostImage<float> PyramidDown(const HostImage<float>& image,
+                             ast::BoundaryMode mode) {
+  const HostImage<float> smooth = Smooth5(image, mode);
+  const int w = (image.width() + 1) / 2;
+  const int h = (image.height() + 1) / 2;
+  HostImage<float> down(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) down(x, y) = smooth(2 * x, 2 * y);
+  return down;
+}
+
+HostImage<float> PyramidUp(const HostImage<float>& image, int target_width,
+                           int target_height, ast::BoundaryMode mode) {
+  HIPACC_CHECK(target_width >= image.width() && target_height >= image.height());
+  HostImage<float> expanded(target_width, target_height, 0.0f);
+  for (int y = 0; y < image.height(); ++y)
+    for (int x = 0; x < image.width(); ++x) {
+      const int tx = 2 * x, ty = 2 * y;
+      if (tx < target_width && ty < target_height)
+        expanded(tx, ty) = image(x, y);
+    }
+  HostImage<float> smooth = Smooth5(expanded, mode);
+  // Zero insertion quarters the energy; restore it.
+  for (int y = 0; y < target_height; ++y)
+    for (int x = 0; x < target_width; ++x) smooth(x, y) *= 4.0f;
+  return smooth;
+}
+
+HostImage<float> MultiresolutionFilter(const HostImage<float>& image,
+                                       int levels,
+                                       const std::vector<float>& gains,
+                                       ast::BoundaryMode mode) {
+  HIPACC_CHECK(levels >= 1);
+  // Decompose.
+  std::vector<HostImage<float>> gaussians;
+  gaussians.push_back(image);
+  for (int l = 0; l < levels; ++l)
+    gaussians.push_back(PyramidDown(gaussians.back(), mode));
+
+  std::vector<HostImage<float>> details;
+  for (int l = 0; l < levels; ++l) {
+    const HostImage<float>& fine = gaussians[static_cast<size_t>(l)];
+    const HostImage<float> up = PyramidUp(gaussians[static_cast<size_t>(l) + 1],
+                                          fine.width(), fine.height(), mode);
+    HostImage<float> band(fine.width(), fine.height());
+    for (int y = 0; y < fine.height(); ++y)
+      for (int x = 0; x < fine.width(); ++x)
+        band(x, y) = fine(x, y) - up(x, y);
+    details.push_back(std::move(band));
+  }
+
+  // Reconstruct with per-band gains.
+  HostImage<float> current = gaussians.back();
+  for (int l = levels - 1; l >= 0; --l) {
+    const HostImage<float>& band = details[static_cast<size_t>(l)];
+    HostImage<float> up =
+        PyramidUp(current, band.width(), band.height(), mode);
+    const float gain =
+        l < static_cast<int>(gains.size()) ? gains[static_cast<size_t>(l)] : 1.0f;
+    for (int y = 0; y < band.height(); ++y)
+      for (int x = 0; x < band.width(); ++x)
+        up(x, y) += gain * band(x, y);
+    current = std::move(up);
+  }
+  return current;
+}
+
+}  // namespace hipacc::ops

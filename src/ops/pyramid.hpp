@@ -1,0 +1,34 @@
+// Multiresolution (Laplacian-pyramid) filtering — the medical-imaging use
+// case the paper cites for Mirror boundary handling (Section III-A, ref
+// [7]): an image is repeatedly downsampled/upsampled; replicating the border
+// pixel produces large unnatural artifacts at each upsampling, mirroring
+// produces natural-looking borders. Built on the DSL's Convolution kernel so
+// the whole pipeline exercises the framework.
+#pragma once
+
+#include <vector>
+
+#include "ast/metadata.hpp"
+#include "image/host_image.hpp"
+
+namespace hipacc::ops {
+
+/// 5-tap Gaussian smoothing followed by factor-2 decimation.
+HostImage<float> PyramidDown(const HostImage<float>& image,
+                             ast::BoundaryMode mode);
+
+/// Zero-insertion upsampling to (target_width, target_height) followed by
+/// 5-tap Gaussian interpolation (gain 4).
+HostImage<float> PyramidUp(const HostImage<float>& image, int target_width,
+                           int target_height, ast::BoundaryMode mode);
+
+/// Laplacian-pyramid band-pass filter: decomposes into `levels` detail
+/// bands, scales band i by gains[i] (missing entries default to 1), and
+/// reconstructs. With gains > 1 this is the classic multiresolution
+/// enhancement used in angiography processing.
+HostImage<float> MultiresolutionFilter(const HostImage<float>& image,
+                                       int levels,
+                                       const std::vector<float>& gains,
+                                       ast::BoundaryMode mode);
+
+}  // namespace hipacc::ops

@@ -1,0 +1,71 @@
+#include "runtime/bindings.hpp"
+
+namespace hipacc::runtime {
+
+Result<LaunchHolder> BuildLaunch(const ast::DeviceKernel& kernel,
+                                 const hw::KernelConfig& config,
+                                 const BindingSet& bindings) {
+  auto holder = LaunchHolder{};
+  sim::Launch& launch = holder.launch;
+  // Reserve up front: buffer bindings hold pointers into `owned` entries and
+  // must survive later push_backs.
+  holder.owned.reserve(kernel.global_masks.size());
+  launch.kernel = &kernel;
+  launch.config = config;
+
+  if (!bindings.output()) return Status::Invalid("no output image bound");
+  dsl::Image<float>& out = *bindings.output();
+  launch.width = out.width();
+  launch.height = out.height();
+
+  for (const auto& buf : kernel.buffers) {
+    if (buf.is_output) {
+      launch.buffers.push_back({buf.name, out.span().data(), out.width(),
+                                out.height(), out.stride(), true});
+      continue;
+    }
+    // Global-memory mask buffer?
+    bool is_mask = false;
+    for (const auto& mask : kernel.global_masks) {
+      if (mask.name != buf.name) continue;
+      const auto it = bindings.masks().find(mask.name);
+      if (it == bindings.masks().end())
+        return Status::Invalid("mask values not bound: " + mask.name);
+      if (static_cast<int>(it->second.size()) != mask.size_x * mask.size_y)
+        return Status::Invalid("mask size mismatch: " + mask.name);
+      holder.owned.push_back(it->second);
+      launch.buffers.push_back({mask.name, holder.owned.back().data(),
+                                mask.size_x, mask.size_y, mask.size_x, false});
+      is_mask = true;
+      break;
+    }
+    if (is_mask) continue;
+    const auto it = bindings.inputs().find(buf.name);
+    if (it == bindings.inputs().end())
+      return Status::Invalid("input image not bound: " + buf.name);
+    dsl::Image<float>& img = *it->second;
+    // const_cast: the simulated device reads through a writable view but the
+    // binding is marked read-only; the interpreter rejects writes to it.
+    launch.buffers.push_back({buf.name, img.span().data(), img.width(),
+                              img.height(), img.stride(), false});
+  }
+
+  for (const auto& mask : kernel.const_masks) {
+    const auto it = bindings.masks().find(mask.name);
+    if (mask.is_static()) {
+      // Statically initialised constant memory: coefficients came from the
+      // kernel declaration itself.
+      launch.const_masks[mask.name] = mask.static_values;
+      continue;
+    }
+    if (it == bindings.masks().end())
+      return Status::Invalid("mask values not bound: " + mask.name);
+    launch.const_masks[mask.name] = it->second;
+  }
+
+  for (const auto& [name, value] : bindings.scalars())
+    launch.scalar_args[name] = value;
+  return holder;
+}
+
+}  // namespace hipacc::runtime

@@ -1,0 +1,67 @@
+// Host-side runtime: binds DSL objects (Image, Mask, scalar params) to a
+// simulated-device kernel launch — the role of the generated host code and
+// run-time library in the paper (memory allocation, argument setup, texture
+// binding, kernel invocation).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dsl/image.hpp"
+#include "sim/launch.hpp"
+
+namespace hipacc::runtime {
+
+/// Named arguments for one kernel launch.
+class BindingSet {
+ public:
+  /// Binds an input image under the accessor's name.
+  BindingSet& Input(const std::string& name, dsl::Image<float>& image) {
+    inputs_[name] = &image;
+    return *this;
+  }
+  /// Binds the output image (the iteration-space image).
+  BindingSet& Output(dsl::Image<float>& image) {
+    output_ = &image;
+    return *this;
+  }
+  /// Binds mask coefficients (constant-memory or global-memory masks alike).
+  BindingSet& MaskValues(const std::string& name, std::vector<float> values) {
+    masks_[name] = std::move(values);
+    return *this;
+  }
+  /// Binds a scalar kernel parameter.
+  BindingSet& Scalar(const std::string& name, double value) {
+    scalars_[name] = value;
+    return *this;
+  }
+
+  const std::map<std::string, dsl::Image<float>*>& inputs() const { return inputs_; }
+  dsl::Image<float>* output() const { return output_; }
+  const std::map<std::string, std::vector<float>>& masks() const { return masks_; }
+  const std::map<std::string, double>& scalars() const { return scalars_; }
+
+ private:
+  std::map<std::string, dsl::Image<float>*> inputs_;
+  dsl::Image<float>* output_ = nullptr;
+  std::map<std::string, std::vector<float>> masks_;
+  std::map<std::string, double> scalars_;
+};
+
+/// Assembles a sim::Launch for `kernel` from `bindings`: images become
+/// BufferBindings (inputs under their accessor names, output as "_out"),
+/// constant masks go to the launch's constant-memory table, global masks
+/// get a buffer view over their coefficients (storage stays alive inside
+/// the returned holder).
+struct LaunchHolder {
+  sim::Launch launch;
+  /// Backing storage for global-mask buffers referenced by the launch.
+  std::vector<std::vector<float>> owned;
+};
+
+Result<LaunchHolder> BuildLaunch(const ast::DeviceKernel& kernel,
+                                 const hw::KernelConfig& config,
+                                 const BindingSet& bindings);
+
+}  // namespace hipacc::runtime

@@ -1,0 +1,723 @@
+#include "sim/interpreter.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "ast/builtins.hpp"
+#include "dsl/boundary.hpp"
+#include "support/string_utils.hpp"
+
+namespace hipacc::sim {
+namespace {
+
+using namespace hipacc::ast;
+
+/// Per-lane value vector of one warp. Values are stored as doubles but all
+/// float-typed arithmetic is performed in float precision so interpreted
+/// results match the DSL's host executor bit for bit.
+struct WarpVal {
+  ScalarType type = ScalarType::kFloat;
+  std::vector<double> lanes;
+};
+
+using LaneMask = std::vector<bool>;
+
+bool AnyActive(const LaneMask& mask) {
+  for (const bool b : mask)
+    if (b) return true;
+  return false;
+}
+
+/// ALU cost of one boundary guard in one direction, per mode (the knob that
+/// makes manual uniformly-guarded kernels vary across modes, Section VI-A).
+int GuardAluCost(BoundaryMode mode) {
+  switch (mode) {
+    case BoundaryMode::kClamp: return 1;    // min or max folds into addressing
+    case BoundaryMode::kMirror: return 2;   // compare + reflect
+    case BoundaryMode::kRepeat: return 3;   // compare + wrap (+ extra range op)
+    case BoundaryMode::kConstant: return 7; // divergent predicated dual path:
+                                            // compare chain, branch, select
+    case BoundaryMode::kUndefined: return 0;
+  }
+  return 0;
+}
+
+class BlockRunner {
+ public:
+  BlockRunner(const Launch& launch, const hw::DeviceSpec& device,
+              int block_x_idx, int block_y_idx, Metrics* metrics)
+      : launch_(launch), device_(device), bix_(block_x_idx),
+        biy_(block_y_idx), metrics_(metrics), memory_(device) {}
+
+  Status Run() {
+    const DeviceKernel& kernel = *launch_.kernel;
+    const hw::RegionGrid rg = hw::ComputeRegionGrid(
+        launch_.config, launch_.width, launch_.height, kernel.bh_window);
+    const Region region = kernel.has_boundary_variants()
+                              ? rg.RegionOf(bix_, biy_)
+                              : Region::kInterior;
+    const RegionVariant* variant = kernel.FindVariant(region);
+    if (!variant)
+      return Status::Internal("kernel has no variant for region " +
+                              std::string(to_string(region)));
+
+    // Block dispatch cost (Listing 8's conditional chain): a handful of
+    // compares per thread, uniform across the warp.
+    if (kernel.has_boundary_variants()) metrics_->alu_ops += 4;
+
+    warp_size_ = device_.simd_width;
+    const int threads = launch_.config.threads();
+    const int warps = (threads + warp_size_ - 1) / warp_size_;
+
+    if (kernel.smem) HIPACC_RETURN_IF_ERROR(StageScratchpad(warps, threads));
+
+    for (int w = 0; w < warps; ++w) {
+      BuildWarpContext(w, threads);
+      if (!AnyActive(active_)) continue;
+      Env env;
+      SeedParams(&env);
+      HIPACC_RETURN_IF_ERROR(Exec(variant->body, active_, &env));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  using Env = std::map<std::string, WarpVal>;
+
+  // ---- warp context ---------------------------------------------------------
+  void BuildWarpContext(int warp, int threads) {
+    const int bx = launch_.config.block_x;
+    tid_x_.assign(static_cast<size_t>(warp_size_), 0);
+    tid_y_.assign(static_cast<size_t>(warp_size_), 0);
+    gid_x_.assign(static_cast<size_t>(warp_size_), 0);
+    gid_y_.assign(static_cast<size_t>(warp_size_), 0);
+    active_.assign(static_cast<size_t>(warp_size_), false);
+    for (int lane = 0; lane < warp_size_; ++lane) {
+      const int lin = warp * warp_size_ + lane;
+      if (lin >= threads) continue;
+      const int tx = lin % bx;
+      const int ty = lin / bx;
+      tid_x_[static_cast<size_t>(lane)] = tx;
+      tid_y_[static_cast<size_t>(lane)] = ty;
+      const int gx = bix_ * bx + tx;
+      const int gy = biy_ * launch_.config.block_y + ty;
+      gid_x_[static_cast<size_t>(lane)] = gx;
+      gid_y_[static_cast<size_t>(lane)] = gy;
+      // The emitted guard `if (gid_x >= IW || gid_y >= IH) return;`.
+      active_[static_cast<size_t>(lane)] =
+          gx < launch_.width && gy < launch_.height;
+    }
+    metrics_->alu_ops += 4;  // gid computation + bounds guard
+  }
+
+  void SeedParams(Env* env) {
+    for (const auto& p : launch_.kernel->params) {
+      const auto it = launch_.scalar_args.find(p.name);
+      WarpVal val;
+      val.type = p.type;
+      const double v = it != launch_.scalar_args.end() ? it->second : 0.0;
+      val.lanes.assign(static_cast<size_t>(warp_size_),
+                       p.type == ScalarType::kFloat
+                           ? static_cast<double>(static_cast<float>(v))
+                           : v);
+      (*env)[p.name] = std::move(val);
+    }
+  }
+
+  // ---- scratchpad staging (Listing 7) --------------------------------------
+  Status StageScratchpad(int warps, int threads) {
+    const SmemPlan& plan = *launch_.kernel->smem;
+    const BufferBinding* src = launch_.FindBuffer(plan.accessor);
+    if (!src)
+      return Status::Invalid("unbound staged accessor " + plan.accessor);
+    const int bx = launch_.config.block_x;
+    const int by = launch_.config.block_y;
+    const int hx = plan.window.half_x;
+    const int hy = plan.window.half_y;
+    tile_w_ = bx + 2 * hx + 1;  // +1 column: bank-conflict padding
+    tile_h_ = by + 2 * hy;
+    tile_.assign(static_cast<size_t>(tile_w_) * tile_h_, 0.0f);
+
+    for (int w = 0; w < warps; ++w) {
+      BuildWarpContext(w, threads);
+      // Staging happens BEFORE the image-extent guard in the generated code
+      // (Listing 7): threads whose own output pixel lies outside the image
+      // still cooperate in loading the tile, so no warp is skipped here.
+      for (int ty_off = 0; ty_off < by + 2 * hy; ty_off += by) {
+        for (int tx_off = 0; tx_off < bx + 2 * hx; tx_off += bx) {
+          std::vector<std::uint64_t> gaddrs, saddrs;
+          std::vector<std::pair<size_t, float>> stores;
+          for (int lane = 0; lane < warp_size_; ++lane) {
+            const size_t l = static_cast<size_t>(lane);
+            const int lin = w * warp_size_ + lane;
+            if (lin >= threads) continue;
+            const int xx = static_cast<int>(tid_x_[l]) + tx_off;
+            const int yy = static_cast<int>(tid_y_[l]) + ty_off;
+            if (xx >= bx + 2 * hx || yy >= by + 2 * hy) continue;
+            const int gx = bix_ * bx + xx - hx;
+            const int gy = biy_ * by + yy - hy;
+            const int rx = dsl::ResolveBoundaryIndex(gx, src->width, plan.boundary);
+            const int ry = dsl::ResolveBoundaryIndex(gy, src->height, plan.boundary);
+            float value = plan.constant_value;
+            if (rx >= 0 && ry >= 0) {
+              value = src->data[static_cast<size_t>(ry) * src->stride + rx];
+              gaddrs.push_back(static_cast<std::uint64_t>(ry) * src->stride + rx);
+            }
+            const size_t tidx = static_cast<size_t>(yy) * tile_w_ + xx;
+            stores.emplace_back(tidx, value);
+            saddrs.push_back(tidx);
+          }
+          if (stores.empty()) continue;
+          metrics_->alu_ops += 6;  // index arithmetic of the staging loop
+          metrics_->alu_ops += 2 * GuardAluCost(plan.boundary);
+          memory_.GlobalAccess(gaddrs, /*is_write=*/false, metrics_);
+          memory_.SharedAccess(saddrs, metrics_);
+          for (const auto& [idx, v] : stores) tile_[idx] = v;
+        }
+      }
+    }
+    metrics_->alu_ops += 1;  // barrier
+    return Status::Ok();
+  }
+
+  // ---- statements -----------------------------------------------------------
+  Status Exec(const StmtPtr& stmt, const LaneMask& mask, Env* env) {
+    if (!stmt) return Status::Ok();
+    const Stmt& s = *stmt;
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const auto& child : s.body)
+          HIPACC_RETURN_IF_ERROR(Exec(child, mask, env));
+        return Status::Ok();
+      case StmtKind::kDecl: {
+        WarpVal val;
+        if (s.value) {
+          HIPACC_RETURN_IF_ERROR(Eval(s.value, mask, env, &val));
+          val = Convert(val, s.decl_type);
+        } else {
+          val.type = s.decl_type;
+          val.lanes.assign(static_cast<size_t>(warp_size_), 0.0);
+        }
+        (*env)[s.name] = std::move(val);
+        return Status::Ok();
+      }
+      case StmtKind::kAssign: {
+        WarpVal rhs;
+        HIPACC_RETURN_IF_ERROR(Eval(s.value, mask, env, &rhs));
+        auto it = env->find(s.name);
+        if (it == env->end())
+          return Status::Internal("assignment to unknown variable " + s.name);
+        WarpVal& var = it->second;
+        rhs = Convert(rhs, var.type);
+        metrics_->alu_ops += s.assign_op == AssignOp::kAssign ? 0 : 1;
+        for (int lane = 0; lane < warp_size_; ++lane) {
+          const size_t l = static_cast<size_t>(lane);
+          if (!mask[l]) continue;
+          var.lanes[l] = Combine(var.type, s.assign_op, var.lanes[l], rhs.lanes[l]);
+        }
+        return Status::Ok();
+      }
+      case StmtKind::kIf: {
+        WarpVal cond;
+        HIPACC_RETURN_IF_ERROR(Eval(s.cond, mask, env, &cond));
+        metrics_->alu_ops += 1;
+        LaneMask then_mask(mask), else_mask(mask);
+        for (int lane = 0; lane < warp_size_; ++lane) {
+          const size_t l = static_cast<size_t>(lane);
+          const bool taken = mask[l] && cond.lanes[l] != 0.0;
+          then_mask[l] = taken;
+          else_mask[l] = mask[l] && !taken;
+        }
+        if (AnyActive(then_mask))
+          HIPACC_RETURN_IF_ERROR(Exec(s.body[0], then_mask, env));
+        if (s.body.size() > 1 && AnyActive(else_mask))
+          HIPACC_RETURN_IF_ERROR(Exec(s.body[1], else_mask, env));
+        return Status::Ok();
+      }
+      case StmtKind::kFor: {
+        WarpVal lo, hi;
+        HIPACC_RETURN_IF_ERROR(Eval(s.lo, mask, env, &lo));
+        HIPACC_RETURN_IF_ERROR(Eval(s.hi, mask, env, &hi));
+        WarpVal var;
+        var.type = ScalarType::kInt;
+        var.lanes = lo.lanes;
+        (*env)[s.name] = var;
+        while (true) {
+          LaneMask iter_mask(mask);
+          bool any = false;
+          const WarpVal& cur = (*env)[s.name];
+          for (int lane = 0; lane < warp_size_; ++lane) {
+            const size_t l = static_cast<size_t>(lane);
+            iter_mask[l] = mask[l] && cur.lanes[l] <= hi.lanes[l];
+            any = any || iter_mask[l];
+          }
+          metrics_->alu_ops += 2;  // compare + increment
+          if (!any) break;
+          HIPACC_RETURN_IF_ERROR(Exec(s.body[0], iter_mask, env));
+          WarpVal& loop_var = (*env)[s.name];
+          for (int lane = 0; lane < warp_size_; ++lane) {
+            const size_t l = static_cast<size_t>(lane);
+            if (iter_mask[l]) loop_var.lanes[l] += s.step;
+          }
+        }
+        return Status::Ok();
+      }
+      case StmtKind::kBarrier:
+        metrics_->alu_ops += 1;
+        return Status::Ok();
+      case StmtKind::kMemWrite:
+        return ExecMemWrite(s, mask, env);
+      case StmtKind::kOutputAssign:
+        return Status::Internal("OutputAssign reached the interpreter");
+    }
+    return Status::Ok();
+  }
+
+  Status ExecMemWrite(const Stmt& s, const LaneMask& mask, Env* env) {
+    const BufferBinding* buf = launch_.FindBuffer(s.name);
+    if (!buf || !buf->writable)
+      return Status::Invalid("write to unbound or read-only buffer " + s.name);
+    WarpVal value, x, y;
+    HIPACC_RETURN_IF_ERROR(Eval(s.value, mask, env, &value));
+    HIPACC_RETURN_IF_ERROR(Eval(s.x, mask, env, &x));
+    HIPACC_RETURN_IF_ERROR(Eval(s.y, mask, env, &y));
+    value = Convert(value, ScalarType::kFloat);
+    metrics_->alu_ops += 2;  // address arithmetic
+    std::vector<std::uint64_t> addrs;
+    for (int lane = 0; lane < warp_size_; ++lane) {
+      const size_t l = static_cast<size_t>(lane);
+      if (!mask[l]) continue;
+      const int px = static_cast<int>(x.lanes[l]);
+      const int py = static_cast<int>(y.lanes[l]);
+      if (px < 0 || px >= buf->width || py < 0 || py >= buf->height) {
+        ++metrics_->oob_violations;
+        continue;
+      }
+      const std::uint64_t addr = static_cast<std::uint64_t>(py) * buf->stride + px;
+      buf->data[addr] = static_cast<float>(value.lanes[l]);
+      addrs.push_back(addr);
+    }
+    memory_.GlobalAccess(addrs, /*is_write=*/true, metrics_);
+    return Status::Ok();
+  }
+
+  // ---- expressions ----------------------------------------------------------
+  Status Eval(const ExprPtr& expr, const LaneMask& mask, Env* env,
+              WarpVal* out) {
+    const Expr& e = *expr;
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        return Broadcast(ScalarType::kInt, static_cast<double>(e.int_value), out);
+      case ExprKind::kFloatLit:
+        return Broadcast(ScalarType::kFloat,
+                         static_cast<double>(static_cast<float>(e.float_value)),
+                         out);
+      case ExprKind::kBoolLit:
+        return Broadcast(ScalarType::kBool, e.bool_value ? 1.0 : 0.0, out);
+      case ExprKind::kVarRef: {
+        const auto it = env->find(e.name);
+        if (it == env->end())
+          return Status::Internal("unknown variable " + e.name);
+        *out = it->second;
+        return Status::Ok();
+      }
+      case ExprKind::kUnary: {
+        WarpVal v;
+        HIPACC_RETURN_IF_ERROR(Eval(e.args[0], mask, env, &v));
+        metrics_->alu_ops += 1;
+        out->type = e.type;
+        out->lanes.resize(static_cast<size_t>(warp_size_));
+        for (size_t l = 0; l < out->lanes.size(); ++l) {
+          if (e.unary_op == UnaryOp::kNot)
+            out->lanes[l] = v.lanes[l] == 0.0 ? 1.0 : 0.0;
+          else
+            out->lanes[l] = e.type == ScalarType::kFloat
+                                ? static_cast<double>(-static_cast<float>(v.lanes[l]))
+                                : -v.lanes[l];
+        }
+        return Status::Ok();
+      }
+      case ExprKind::kBinary:
+        return EvalBinary(e, mask, env, out);
+      case ExprKind::kConditional: {
+        WarpVal cond, tval, fval;
+        HIPACC_RETURN_IF_ERROR(Eval(e.args[0], mask, env, &cond));
+        HIPACC_RETURN_IF_ERROR(Eval(e.args[1], mask, env, &tval));
+        HIPACC_RETURN_IF_ERROR(Eval(e.args[2], mask, env, &fval));
+        metrics_->alu_ops += 1;  // select
+        out->type = e.type;
+        out->lanes.resize(static_cast<size_t>(warp_size_));
+        for (size_t l = 0; l < out->lanes.size(); ++l)
+          out->lanes[l] = cond.lanes[l] != 0.0 ? tval.lanes[l] : fval.lanes[l];
+        return Status::Ok();
+      }
+      case ExprKind::kCall:
+        return EvalCall(e, mask, env, out);
+      case ExprKind::kCast: {
+        WarpVal v;
+        HIPACC_RETURN_IF_ERROR(Eval(e.args[0], mask, env, &v));
+        metrics_->alu_ops += 1;
+        *out = Convert(v, e.type);
+        return Status::Ok();
+      }
+      case ExprKind::kThreadIndex:
+        return EvalThreadIndex(e.thread_index, out);
+      case ExprKind::kMemRead:
+        return EvalMemRead(e, mask, env, out);
+      case ExprKind::kAccessorRead:
+      case ExprKind::kMaskRead:
+      case ExprKind::kIterIndex:
+        return Status::Internal("DSL-level node reached the interpreter");
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  Status Broadcast(ScalarType type, double value, WarpVal* out) {
+    out->type = type;
+    out->lanes.assign(static_cast<size_t>(warp_size_), value);
+    return Status::Ok();
+  }
+
+  Status EvalBinary(const Expr& e, const LaneMask& mask, Env* env,
+                    WarpVal* out) {
+    WarpVal a, b;
+    HIPACC_RETURN_IF_ERROR(Eval(e.args[0], mask, env, &a));
+    HIPACC_RETURN_IF_ERROR(Eval(e.args[1], mask, env, &b));
+    const ScalarType operand_type = Promote(a.type, b.type);
+    const bool float_math = operand_type == ScalarType::kFloat;
+    // Division and modulo expand into multi-instruction sequences.
+    if (e.binary_op == BinaryOp::kDiv)
+      metrics_->alu_ops += float_math ? 5 : 16;
+    else if (e.binary_op == BinaryOp::kMod)
+      metrics_->alu_ops += 16;
+    else
+      metrics_->alu_ops += 1;
+    out->type = e.type;
+    out->lanes.resize(static_cast<size_t>(warp_size_));
+    for (size_t l = 0; l < out->lanes.size(); ++l) {
+      const double x = a.lanes[l];
+      const double y = b.lanes[l];
+      double r = 0.0;
+      switch (e.binary_op) {
+        case BinaryOp::kAdd: r = float_math ? static_cast<double>(static_cast<float>(x) + static_cast<float>(y)) : x + y; break;
+        case BinaryOp::kSub: r = float_math ? static_cast<double>(static_cast<float>(x) - static_cast<float>(y)) : x - y; break;
+        case BinaryOp::kMul: r = float_math ? static_cast<double>(static_cast<float>(x) * static_cast<float>(y)) : x * y; break;
+        case BinaryOp::kDiv:
+          if (float_math) {
+            r = static_cast<double>(static_cast<float>(x) / static_cast<float>(y));
+          } else {
+            const long long yi = static_cast<long long>(y);
+            r = yi == 0 ? 0.0
+                        : static_cast<double>(static_cast<long long>(x) / yi);
+          }
+          break;
+        case BinaryOp::kMod: {
+          const long long yi = static_cast<long long>(y);
+          r = yi == 0 ? 0.0
+                      : static_cast<double>(static_cast<long long>(x) % yi);
+          break;
+        }
+        case BinaryOp::kLt: r = x < y; break;
+        case BinaryOp::kLe: r = x <= y; break;
+        case BinaryOp::kGt: r = x > y; break;
+        case BinaryOp::kGe: r = x >= y; break;
+        case BinaryOp::kEq: r = x == y; break;
+        case BinaryOp::kNe: r = x != y; break;
+        case BinaryOp::kAnd: r = (x != 0.0) && (y != 0.0); break;
+        case BinaryOp::kOr: r = (x != 0.0) || (y != 0.0); break;
+      }
+      out->lanes[l] = r;
+    }
+    return Status::Ok();
+  }
+
+  Status EvalCall(const Expr& e, const LaneMask& mask, Env* env, WarpVal* out) {
+    std::vector<WarpVal> args(e.args.size());
+    for (size_t i = 0; i < e.args.size(); ++i)
+      HIPACC_RETURN_IF_ERROR(Eval(e.args[i], mask, env, &args[i]));
+
+    const auto builtin = FindBuiltin(e.name);
+    if (!builtin) return Status::Internal("unknown builtin " + e.name);
+    switch (builtin->cost) {
+      case OpCost::kAlu: metrics_->alu_ops += 1; break;
+      case OpCost::kSfu: metrics_->sfu_calls += 1; break;
+      case OpCost::kMulti:
+        metrics_->sfu_calls += 2;
+        metrics_->alu_ops += 4;
+        break;
+    }
+
+    out->type = builtin->result;
+    out->lanes.resize(static_cast<size_t>(warp_size_));
+    for (size_t l = 0; l < out->lanes.size(); ++l) {
+      auto arg = [&](size_t i) { return static_cast<float>(args[i].lanes[l]); };
+      float r = 0.0f;
+      if (e.name == "exp") r = std::exp(arg(0));
+      else if (e.name == "exp2") r = std::exp2(arg(0));
+      else if (e.name == "log") r = std::log(arg(0));
+      else if (e.name == "log2") r = std::log2(arg(0));
+      else if (e.name == "sqrt") r = std::sqrt(arg(0));
+      else if (e.name == "rsqrt") r = 1.0f / std::sqrt(arg(0));
+      else if (e.name == "sin") r = std::sin(arg(0));
+      else if (e.name == "cos") r = std::cos(arg(0));
+      else if (e.name == "tan") r = std::tan(arg(0));
+      else if (e.name == "atan") r = std::atan(arg(0));
+      else if (e.name == "atan2") r = std::atan2(arg(0), arg(1));
+      else if (e.name == "pow") r = std::pow(arg(0), arg(1));
+      else if (e.name == "fmod") r = std::fmod(arg(0), arg(1));
+      else if (e.name == "fabs") r = std::fabs(arg(0));
+      else if (e.name == "fmin") r = std::fmin(arg(0), arg(1));
+      else if (e.name == "fmax") r = std::fmax(arg(0), arg(1));
+      else if (e.name == "floor") r = std::floor(arg(0));
+      else if (e.name == "ceil") r = std::ceil(arg(0));
+      else if (e.name == "round") r = std::round(arg(0));
+      else if (e.name == "min") {
+        out->lanes[l] = std::min(args[0].lanes[l], args[1].lanes[l]);
+        continue;
+      } else if (e.name == "max") {
+        out->lanes[l] = std::max(args[0].lanes[l], args[1].lanes[l]);
+        continue;
+      } else if (e.name == "abs") {
+        out->lanes[l] = std::fabs(args[0].lanes[l]);
+        continue;
+      } else {
+        return Status::Internal("unimplemented builtin " + e.name);
+      }
+      out->lanes[l] = static_cast<double>(r);
+    }
+    return Status::Ok();
+  }
+
+  Status EvalThreadIndex(ThreadIndexKind kind, WarpVal* out) {
+    out->type = ScalarType::kInt;
+    out->lanes.resize(static_cast<size_t>(warp_size_));
+    const hw::GridDim grid =
+        hw::ComputeGrid(launch_.config, launch_.width, launch_.height);
+    for (int lane = 0; lane < warp_size_; ++lane) {
+      const size_t l = static_cast<size_t>(lane);
+      double v = 0.0;
+      switch (kind) {
+        case ThreadIndexKind::kThreadIdxX: v = tid_x_[l]; break;
+        case ThreadIndexKind::kThreadIdxY: v = tid_y_[l]; break;
+        case ThreadIndexKind::kBlockIdxX: v = bix_; break;
+        case ThreadIndexKind::kBlockIdxY: v = biy_; break;
+        case ThreadIndexKind::kBlockDimX: v = launch_.config.block_x; break;
+        case ThreadIndexKind::kBlockDimY: v = launch_.config.block_y; break;
+        case ThreadIndexKind::kGridDimX: v = grid.blocks_x; break;
+        case ThreadIndexKind::kGridDimY: v = grid.blocks_y; break;
+        case ThreadIndexKind::kGlobalIdX: v = gid_x_[l]; break;
+        case ThreadIndexKind::kGlobalIdY: v = gid_y_[l]; break;
+      }
+      out->lanes[l] = v;
+    }
+    return Status::Ok();
+  }
+
+  /// Resolves one coordinate under the read's guard set. Returns -1 when the
+  /// constant value must be substituted; sets *violation for unguarded OOB.
+  int ResolveCoord(int c, int n, BoundaryMode mode, bool check_lo,
+                   bool check_hi, bool hardware_resolved, bool* violation) {
+    if (c >= 0 && c < n) return c;
+    if (hardware_resolved)  // texture unit applies the address mode silently
+      return dsl::ResolveBoundaryIndex(
+          c, n, mode == BoundaryMode::kUndefined ? BoundaryMode::kClamp : mode);
+    const bool guarded = (c < 0 && check_lo) || (c >= n && check_hi);
+    if (!guarded) {
+      *violation = true;
+      return c < 0 ? 0 : n - 1;  // clamp as a safety net after recording
+    }
+    return dsl::ResolveBoundaryIndex(c, n, mode);
+  }
+
+  Status EvalMemRead(const Expr& e, const LaneMask& mask, Env* env,
+                     WarpVal* out) {
+    WarpVal x, y;
+    HIPACC_RETURN_IF_ERROR(Eval(e.args[0], mask, env, &x));
+    HIPACC_RETURN_IF_ERROR(Eval(e.args[1], mask, env, &y));
+    out->type = ScalarType::kFloat;
+    out->lanes.assign(static_cast<size_t>(warp_size_), 0.0);
+
+    switch (e.space) {
+      case MemSpace::kShared: {
+        std::vector<std::uint64_t> addrs;
+        metrics_->alu_ops += 2;  // tile index arithmetic
+        for (int lane = 0; lane < warp_size_; ++lane) {
+          const size_t l = static_cast<size_t>(lane);
+          if (!mask[l]) continue;
+          const int sx = static_cast<int>(x.lanes[l]);
+          const int sy = static_cast<int>(y.lanes[l]);
+          if (sx < 0 || sx >= tile_w_ || sy < 0 || sy >= tile_h_) {
+            ++metrics_->oob_violations;
+            continue;
+          }
+          const std::uint64_t addr = static_cast<std::uint64_t>(sy) * tile_w_ + sx;
+          out->lanes[l] = static_cast<double>(tile_[addr]);
+          addrs.push_back(addr);
+        }
+        memory_.SharedAccess(addrs, metrics_);
+        return Status::Ok();
+      }
+      case MemSpace::kConstant: {
+        const auto it = launch_.const_masks.find(e.name);
+        if (it == launch_.const_masks.end())
+          return Status::Invalid("unbound constant mask " + e.name);
+        const int mask_w = MaskWidth(e.name);
+        std::vector<std::uint64_t> addrs;
+        metrics_->alu_ops += 2;
+        for (int lane = 0; lane < warp_size_; ++lane) {
+          const size_t l = static_cast<size_t>(lane);
+          if (!mask[l]) continue;
+          const int sx = static_cast<int>(x.lanes[l]);
+          const int sy = static_cast<int>(y.lanes[l]);
+          const std::uint64_t addr = static_cast<std::uint64_t>(sy) * mask_w + sx;
+          if (addr >= it->second.size()) {
+            ++metrics_->oob_violations;
+            continue;
+          }
+          out->lanes[l] = static_cast<double>(it->second[addr]);
+          addrs.push_back(addr);
+        }
+        memory_.ConstantAccess(addrs, metrics_);
+        return Status::Ok();
+      }
+      case MemSpace::kGlobal:
+      case MemSpace::kTexture: {
+        const BufferBinding* buf = launch_.FindBuffer(e.name);
+        if (!buf) return Status::Invalid("unbound buffer " + e.name);
+        const BufferParam* param = FindBufferParam(e.name);
+        const bool hardware_bh = param && param->texture_2d_array;
+        // Guard + address arithmetic cost.
+        metrics_->alu_ops += 2;
+        if (!hardware_bh) {
+          const int guard_cost = GuardAluCost(e.boundary);
+          metrics_->alu_ops +=
+              static_cast<std::uint64_t>(e.checks.count()) * guard_cost;
+          if (e.boundary == BoundaryMode::kConstant && e.checks.any())
+            metrics_->alu_ops += 1;  // final select
+        }
+        std::vector<std::uint64_t> addrs;
+        for (int lane = 0; lane < warp_size_; ++lane) {
+          const size_t l = static_cast<size_t>(lane);
+          if (!mask[l]) continue;
+          const int cx = static_cast<int>(x.lanes[l]);
+          const int cy = static_cast<int>(y.lanes[l]);
+          // Constant mode with guards: out-of-bounds lanes are predicated
+          // off and produce the constant without touching memory.
+          if (e.boundary == BoundaryMode::kConstant && !hardware_bh) {
+            const bool oob_x = (cx < 0 && e.checks.lo_x) ||
+                               (cx >= buf->width && e.checks.hi_x);
+            const bool oob_y = (cy < 0 && e.checks.lo_y) ||
+                               (cy >= buf->height && e.checks.hi_y);
+            if (oob_x || oob_y) {
+              out->lanes[l] = static_cast<double>(e.constant_value);
+              continue;
+            }
+          }
+          bool violation = false;
+          // Texture reads never fault; unguarded OOB through plain global
+          // pointers is recorded as a violation (the "crash" of Table II).
+          const bool tex = e.space == MemSpace::kTexture;
+          const int rx = ResolveCoord(cx, buf->width, e.boundary, e.checks.lo_x,
+                                      e.checks.hi_x, hardware_bh || tex,
+                                      &violation);
+          const int ry = ResolveCoord(cy, buf->height, e.boundary,
+                                      e.checks.lo_y, e.checks.hi_y,
+                                      hardware_bh || tex, &violation);
+          if (violation) ++metrics_->oob_violations;
+          if (rx < 0 || ry < 0) {
+            out->lanes[l] = static_cast<double>(e.constant_value);
+            continue;
+          }
+          const std::uint64_t addr =
+              static_cast<std::uint64_t>(ry) * buf->stride + rx;
+          out->lanes[l] = static_cast<double>(buf->data[addr]);
+          addrs.push_back(addr);
+        }
+        if (e.space == MemSpace::kTexture)
+          memory_.TextureAccess(addrs, metrics_);
+        else
+          memory_.GlobalAccess(addrs, /*is_write=*/false, metrics_);
+        return Status::Ok();
+      }
+    }
+    return Status::Internal("unhandled memory space");
+  }
+
+  int MaskWidth(const std::string& name) const {
+    for (const auto& m : launch_.kernel->const_masks)
+      if (m.name == name) return m.size_x;
+    for (const auto& m : launch_.kernel->global_masks)
+      if (m.name == name) return m.size_x;
+    return 1;
+  }
+
+  const BufferParam* FindBufferParam(const std::string& name) const {
+    for (const auto& buf : launch_.kernel->buffers)
+      if (buf.name == name) return &buf;
+    return nullptr;
+  }
+
+  static double Combine(ScalarType type, AssignOp op, double lhs, double rhs) {
+    const bool f = type == ScalarType::kFloat;
+    auto as_float = [](double v) { return static_cast<double>(static_cast<float>(v)); };
+    switch (op) {
+      case AssignOp::kAssign: return rhs;
+      case AssignOp::kAddAssign: return f ? as_float(as_float(lhs) + as_float(rhs)) : lhs + rhs;
+      case AssignOp::kSubAssign: return f ? as_float(as_float(lhs) - as_float(rhs)) : lhs - rhs;
+      case AssignOp::kMulAssign: return f ? as_float(as_float(lhs) * as_float(rhs)) : lhs * rhs;
+      case AssignOp::kDivAssign: return f ? as_float(as_float(lhs) / as_float(rhs)) : (rhs != 0.0 ? static_cast<double>(static_cast<long long>(lhs) / static_cast<long long>(rhs)) : 0.0);
+    }
+    return rhs;
+  }
+
+  static WarpVal Convert(const WarpVal& v, ScalarType type) {
+    if (v.type == type) return v;
+    WarpVal out;
+    out.type = type;
+    out.lanes.resize(v.lanes.size());
+    for (size_t l = 0; l < v.lanes.size(); ++l) {
+      switch (type) {
+        case ScalarType::kFloat:
+          out.lanes[l] = static_cast<double>(static_cast<float>(v.lanes[l]));
+          break;
+        case ScalarType::kInt:
+        case ScalarType::kUInt:
+          out.lanes[l] = static_cast<double>(static_cast<long long>(v.lanes[l]));
+          break;
+        case ScalarType::kBool:
+          out.lanes[l] = v.lanes[l] != 0.0 ? 1.0 : 0.0;
+          break;
+        case ScalarType::kVoid:
+          out.lanes[l] = 0.0;
+          break;
+      }
+    }
+    return out;
+  }
+
+  const Launch& launch_;
+  const hw::DeviceSpec& device_;
+  int bix_;
+  int biy_;
+  Metrics* metrics_;
+  MemoryModel memory_;
+  int warp_size_ = 32;
+
+  std::vector<double> tid_x_, tid_y_, gid_x_, gid_y_;
+  LaneMask active_;
+
+  // Scratchpad tile of this block.
+  std::vector<float> tile_;
+  int tile_w_ = 0;
+  int tile_h_ = 0;
+};
+
+}  // namespace
+
+Status RunBlock(const Launch& launch, const hw::DeviceSpec& device,
+                int block_x_idx, int block_y_idx, Metrics* metrics) {
+  HIPACC_CHECK(launch.kernel != nullptr && metrics != nullptr);
+  return BlockRunner(launch, device, block_x_idx, block_y_idx, metrics).Run();
+}
+
+}  // namespace hipacc::sim

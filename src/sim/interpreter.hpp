@@ -1,0 +1,26 @@
+// Warp-lockstep interpreter for lowered device kernels.
+//
+// Threads of a warp evaluate each IR node together (SIMT); divergent
+// control flow is handled with lane masks, and per-warp memory operations
+// feed the MemoryModel so coalescing, caching, constant broadcast, and bank
+// conflicts are accounted exactly as the hardware would group them.
+//
+// One BlockRunner instance executes one thread block: it selects the
+// boundary-handling region variant for the block (Figure 3 dispatch), runs
+// the scratchpad staging phase if the kernel has one (Listing 7), and then
+// the body for every warp.
+#pragma once
+
+#include "sim/launch.hpp"
+#include "sim/metrics.hpp"
+
+namespace hipacc::sim {
+
+/// Executes the thread block at grid position (block_x_idx, block_y_idx) and
+/// accumulates metrics. Writes the block's output pixels through the bound
+/// output buffer. Returns an error for malformed kernels (unbound buffers,
+/// missing masks, non-uniform loop bounds are fine — handled per lane).
+Status RunBlock(const Launch& launch, const hw::DeviceSpec& device,
+                int block_x_idx, int block_y_idx, Metrics* metrics);
+
+}  // namespace hipacc::sim

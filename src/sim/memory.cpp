@@ -1,0 +1,95 @@
+#include "sim/memory.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace hipacc::sim {
+
+bool SegmentCache::Access(std::uint64_t segment) {
+  ++stamp_;
+  const auto it = entries_.find(segment);
+  if (it != entries_.end()) {
+    it->second = stamp_;
+    return true;
+  }
+  if (static_cast<int>(entries_.size()) >= capacity_) {
+    // Evict the least recently used entry.
+    auto lru = entries_.begin();
+    for (auto e = entries_.begin(); e != entries_.end(); ++e)
+      if (e->second < lru->second) lru = e;
+    entries_.erase(lru);
+  }
+  entries_[segment] = stamp_;
+  return false;
+}
+
+MemoryModel::MemoryModel(const hw::DeviceSpec& device)
+    : device_(device),
+      tex_cache_(device.tex_cache_bytes / device.mem_transaction_bytes),
+      l1_cache_(device.tex_cache_bytes / device.mem_transaction_bytes) {}
+
+void MemoryModel::GlobalAccess(const std::vector<std::uint64_t>& addrs,
+                               bool is_write, Metrics* metrics) {
+  if (addrs.empty()) return;
+  if (is_write)
+    ++metrics->global_write_instrs;
+  else
+    ++metrics->global_read_instrs;
+
+  // Coalescing: one transaction per distinct segment touched by the warp.
+  std::set<std::uint64_t> segments;
+  for (const std::uint64_t addr : addrs) segments.insert(Segment(addr));
+
+  if (!is_write && device_.has_global_l1) {
+    for (const std::uint64_t seg : segments) {
+      if (l1_cache_.Access(seg))
+        ++metrics->l1_hits;
+      else
+        ++metrics->global_transactions;
+    }
+  } else {
+    metrics->global_transactions += segments.size();
+  }
+}
+
+void MemoryModel::TextureAccess(const std::vector<std::uint64_t>& addrs,
+                                Metrics* metrics) {
+  if (addrs.empty()) return;
+  ++metrics->tex_read_instrs;
+  std::set<std::uint64_t> segments;
+  for (const std::uint64_t addr : addrs) segments.insert(Segment(addr));
+  for (const std::uint64_t seg : segments) {
+    if (tex_cache_.Access(seg))
+      ++metrics->tex_hits;
+    else
+      ++metrics->tex_transactions;
+  }
+}
+
+void MemoryModel::ConstantAccess(const std::vector<std::uint64_t>& addrs,
+                                 Metrics* metrics) {
+  if (addrs.empty()) return;
+  std::set<std::uint64_t> distinct(addrs.begin(), addrs.end());
+  if (distinct.size() == 1)
+    ++metrics->const_broadcasts;
+  else
+    metrics->const_serialized += distinct.size();
+}
+
+void MemoryModel::SharedAccess(const std::vector<std::uint64_t>& addrs,
+                               Metrics* metrics) {
+  if (addrs.empty()) return;
+  ++metrics->smem_accesses;
+  // Bank conflict degree: lanes with the same address broadcast; distinct
+  // addresses mapping to one bank serialize.
+  std::map<int, std::set<std::uint64_t>> per_bank;
+  for (const std::uint64_t addr : addrs)
+    per_bank[static_cast<int>(addr % static_cast<std::uint64_t>(device_.smem_banks))]
+        .insert(addr);
+  std::uint64_t degree = 1;
+  for (const auto& [bank, uniq] : per_bank)
+    degree = std::max<std::uint64_t>(degree, uniq.size());
+  metrics->smem_conflict_cycles += degree - 1;
+}
+
+}  // namespace hipacc::sim

@@ -1,0 +1,81 @@
+// Simulated device memory system: buffer bindings plus the models for
+// coalescing, the texture / L1 caches, constant broadcast, and shared-memory
+// bank conflicts. The functional side is trivial (host memory); the value of
+// this module is the per-warp transaction accounting feeding the timing
+// model.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hwmodel/device_spec.hpp"
+#include "sim/metrics.hpp"
+#include "support/status.hpp"
+
+namespace hipacc::sim {
+
+/// A device buffer bound to a kernel launch (input image, output image, or
+/// a dynamic mask in global memory).
+struct BufferBinding {
+  std::string name;
+  float* data = nullptr;
+  int width = 0;
+  int height = 0;
+  int stride = 0;  ///< padded row stride in elements
+  bool writable = false;
+};
+
+/// Small LRU cache over memory segments, used for both the texture cache and
+/// Fermi's L1 for global loads. Capacity is in segments.
+class SegmentCache {
+ public:
+  SegmentCache() = default;
+  explicit SegmentCache(int capacity_segments)
+      : capacity_(capacity_segments > 0 ? capacity_segments : 1) {}
+
+  /// Touches a segment; returns true on hit.
+  bool Access(std::uint64_t segment);
+
+  void Clear() { entries_.clear(); stamp_ = 0; }
+
+ private:
+  int capacity_ = 64;
+  std::map<std::uint64_t, std::uint64_t> entries_;  // segment -> last use
+  std::uint64_t stamp_ = 0;
+};
+
+/// Per-warp memory-access accounting against one device model. A fresh
+/// instance is used per thread block (caches are treated as block-private —
+/// a coarse but adequate approximation for sampled simulation).
+class MemoryModel {
+ public:
+  explicit MemoryModel(const hw::DeviceSpec& device);
+
+  /// One warp-level global read/write: `addrs` holds the element addresses
+  /// (linear element index into the buffer) of the active lanes.
+  void GlobalAccess(const std::vector<std::uint64_t>& addrs, bool is_write,
+                    Metrics* metrics);
+
+  /// One warp-level read through the texture path.
+  void TextureAccess(const std::vector<std::uint64_t>& addrs, Metrics* metrics);
+
+  /// One warp-level constant-memory read.
+  void ConstantAccess(const std::vector<std::uint64_t>& addrs, Metrics* metrics);
+
+  /// One warp-level scratchpad access; addresses are element offsets within
+  /// the tile. Conflict degree = max lanes hitting one bank with distinct
+  /// addresses (same-address lanes broadcast).
+  void SharedAccess(const std::vector<std::uint64_t>& addrs, Metrics* metrics);
+
+ private:
+  std::uint64_t Segment(std::uint64_t element_addr) const {
+    return element_addr * sizeof(float) / static_cast<std::uint64_t>(device_.mem_transaction_bytes);
+  }
+
+  const hw::DeviceSpec& device_;
+  SegmentCache tex_cache_;
+  SegmentCache l1_cache_;
+};
+
+}  // namespace hipacc::sim

@@ -1,0 +1,79 @@
+// Execution metrics collected by the warp-level interpreter. Counts are
+// warp-granular (one issued instruction per warp, SIMT), which is what the
+// throughput-based timing model consumes.
+#pragma once
+
+#include <cstdint>
+
+namespace hipacc::sim {
+
+struct Metrics {
+  // Compute.
+  std::uint64_t alu_ops = 0;        ///< warp ALU issues (arith, guards, addr)
+  std::uint64_t sfu_calls = 0;      ///< transcendental calls (exp, sqrt, ...)
+
+  // Global memory (device DRAM).
+  std::uint64_t global_read_instrs = 0;   ///< warp-level read instructions
+  std::uint64_t global_write_instrs = 0;
+  std::uint64_t global_transactions = 0;  ///< 128 B segments moved
+  std::uint64_t l1_hits = 0;              ///< Fermi global-load cache hits
+
+  // Texture path.
+  std::uint64_t tex_read_instrs = 0;
+  std::uint64_t tex_hits = 0;
+  std::uint64_t tex_transactions = 0;  ///< texture-cache misses (segments)
+
+  // Constant memory.
+  std::uint64_t const_broadcasts = 0;  ///< uniform warp accesses (cached)
+  std::uint64_t const_serialized = 0;  ///< distinct-address replays
+
+  // Scratchpad.
+  std::uint64_t smem_accesses = 0;       ///< warp-level shared accesses
+  std::uint64_t smem_conflict_cycles = 0;///< replay cycles from bank conflicts
+
+  // Correctness tracking.
+  std::uint64_t oob_violations = 0;  ///< unguarded out-of-bounds accesses
+
+  Metrics& operator+=(const Metrics& other) {
+    alu_ops += other.alu_ops;
+    sfu_calls += other.sfu_calls;
+    global_read_instrs += other.global_read_instrs;
+    global_write_instrs += other.global_write_instrs;
+    global_transactions += other.global_transactions;
+    l1_hits += other.l1_hits;
+    tex_read_instrs += other.tex_read_instrs;
+    tex_hits += other.tex_hits;
+    tex_transactions += other.tex_transactions;
+    const_broadcasts += other.const_broadcasts;
+    const_serialized += other.const_serialized;
+    smem_accesses += other.smem_accesses;
+    smem_conflict_cycles += other.smem_conflict_cycles;
+    oob_violations += other.oob_violations;
+    return *this;
+  }
+
+  /// Scales all counters (used to extrapolate sampled blocks to a region).
+  Metrics Scaled(double factor) const {
+    Metrics m;
+    auto scale = [factor](std::uint64_t v) {
+      return static_cast<std::uint64_t>(static_cast<double>(v) * factor + 0.5);
+    };
+    m.alu_ops = scale(alu_ops);
+    m.sfu_calls = scale(sfu_calls);
+    m.global_read_instrs = scale(global_read_instrs);
+    m.global_write_instrs = scale(global_write_instrs);
+    m.global_transactions = scale(global_transactions);
+    m.l1_hits = scale(l1_hits);
+    m.tex_read_instrs = scale(tex_read_instrs);
+    m.tex_hits = scale(tex_hits);
+    m.tex_transactions = scale(tex_transactions);
+    m.const_broadcasts = scale(const_broadcasts);
+    m.const_serialized = scale(const_serialized);
+    m.smem_accesses = scale(smem_accesses);
+    m.smem_conflict_cycles = scale(smem_conflict_cycles);
+    m.oob_violations = scale(oob_violations);
+    return m;
+  }
+};
+
+}  // namespace hipacc::sim

@@ -1,0 +1,49 @@
+// Simulator driver: functional execution (every block, exact output) and
+// sampled measurement (a few blocks per boundary region interpreted, metrics
+// extrapolated by region population, then run through the timing model).
+// Sampling is exact for our kernels because every block within one region
+// executes the same instruction stream — only cache behaviour varies
+// slightly at the image edges, which the per-region samples capture.
+#pragma once
+
+#include "codegen/resource_estimator.hpp"
+#include "sim/launch.hpp"
+#include "sim/timing.hpp"
+
+namespace hipacc::sim {
+
+struct LaunchStats {
+  Metrics metrics;              ///< whole-grid (exact or extrapolated)
+  TimingBreakdown timing;       ///< modelled time
+  hw::OccupancyResult occupancy;
+  hw::RegionGrid region_grid;
+  bool sampled = false;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(hw::DeviceSpec device) : device_(std::move(device)) {}
+
+  const hw::DeviceSpec& device() const noexcept { return device_; }
+
+  /// Validates the launch against device limits (configs exceeding the
+  /// hardware model's resources fail like a real kernel-launch error).
+  Status Validate(const Launch& launch) const;
+
+  /// Executes every block of the grid (host-parallel), producing the exact
+  /// output image and exact whole-grid metrics.
+  Result<LaunchStats> Execute(const Launch& launch) const;
+
+  /// Interprets up to `samples_per_region` blocks of each populated region
+  /// and extrapolates. Output buffers are only partially written.
+  Result<LaunchStats> Measure(const Launch& launch,
+                              int samples_per_region = 3) const;
+
+ private:
+  hw::OccupancyResult Occupancy(const Launch& launch) const;
+  double IssueScale(const Launch& launch) const;
+
+  hw::DeviceSpec device_;
+};
+
+}  // namespace hipacc::sim

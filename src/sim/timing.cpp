@@ -1,0 +1,67 @@
+#include "sim/timing.hpp"
+
+#include <algorithm>
+
+namespace hipacc::sim {
+
+TimingBreakdown ModelTime(const Metrics& metrics, const hw::DeviceSpec& device,
+                          const hw::OccupancyResult& occupancy,
+                          double issue_scale) {
+  TimingBreakdown t;
+
+  // ---- compute bound -------------------------------------------------------
+  // A warp ALU instruction occupies the SM's ALUs for simd/alus cycles; SFU
+  // calls occupy the special-function units, issuing in parallel with ALUs.
+  // Shared-memory instructions issue like ALU ops plus conflict replays.
+  const double alu_cycles =
+      static_cast<double>(metrics.alu_ops + metrics.smem_accesses +
+                          metrics.smem_conflict_cycles) *
+      device.simd_width / device.alus_per_sm;
+  const double sfu_cycles = static_cast<double>(metrics.sfu_calls) *
+                            device.sfu_ops_per_transcendental *
+                            device.simd_width / device.sfus_per_sm;
+  // Memory instructions also consume issue slots.
+  const double mem_issue_cycles =
+      static_cast<double>(metrics.global_read_instrs +
+                          metrics.global_write_instrs +
+                          metrics.tex_read_instrs) *
+      device.simd_width / device.alus_per_sm;
+  // ALU and SFU pipes overlap only partially: both share the issue stage
+  // and dependencies serialise transcendental results into ALU consumers,
+  // so the shorter pipe hides at ~50%.
+  const double alu_path = alu_cycles + mem_issue_cycles;
+  const double compute_total = std::max(alu_path, sfu_cycles) +
+                               0.5 * std::min(alu_path, sfu_cycles);
+  t.compute_cycles = compute_total * issue_scale / device.num_sms;
+
+  // ---- bandwidth bound -----------------------------------------------------
+  const double bytes_moved =
+      static_cast<double>(metrics.global_transactions +
+                          metrics.tex_transactions) *
+      device.mem_transaction_bytes;
+  const double bytes_per_cycle =
+      device.mem_bandwidth_gbps / device.core_clock_ghz;  // chip-wide
+  t.bandwidth_cycles = bytes_moved / bytes_per_cycle;
+
+  // ---- latency bound -------------------------------------------------------
+  const double latency_sum =
+      static_cast<double>(metrics.global_transactions +
+                          metrics.tex_transactions) *
+          device.mem_latency_cycles +
+      static_cast<double>(metrics.l1_hits + metrics.tex_hits) *
+          device.tex_cache_latency_cycles +
+      static_cast<double>(metrics.const_broadcasts +
+                          metrics.const_serialized) *
+          device.const_cache_latency_cycles +
+      static_cast<double>(metrics.smem_accesses) * device.smem_latency_cycles;
+  const double concurrency =
+      std::max(1, occupancy.active_warps) * device.num_sms;
+  t.latency_cycles = latency_sum / concurrency;
+
+  const double cycles =
+      std::max({t.compute_cycles, t.bandwidth_cycles, t.latency_cycles});
+  t.total_ms = cycles / (device.core_clock_ghz * 1e6) + kLaunchOverheadMs;
+  return t;
+}
+
+}  // namespace hipacc::sim

@@ -1,0 +1,34 @@
+// Analytical timing model: converts the interpreter's warp-level metrics
+// into a modelled kernel time on a device. The model is a simplified
+// MWP/CWP-style bound (Hong & Kim, ISCA'09): kernel time is the maximum of
+// the compute-throughput bound, the memory-bandwidth bound, and the exposed
+// memory latency given the occupancy-determined warp concurrency — plus a
+// fixed launch overhead.
+#pragma once
+
+#include "hwmodel/device_spec.hpp"
+#include "hwmodel/occupancy.hpp"
+#include "sim/metrics.hpp"
+
+namespace hipacc::sim {
+
+/// Breakdown of the modelled time (reported by benches and tests).
+struct TimingBreakdown {
+  double compute_cycles = 0.0;   ///< per-"wall" compute bound
+  double bandwidth_cycles = 0.0; ///< DRAM bandwidth bound
+  double latency_cycles = 0.0;   ///< exposed latency bound
+  double total_ms = 0.0;
+};
+
+/// Fixed per-launch host/driver overhead in ms.
+inline constexpr double kLaunchOverheadMs = 0.005;
+
+/// Models the execution time of a kernel whose *whole-grid* metrics are
+/// `metrics`, launched with `occupancy` resident warps per SIMD unit.
+/// `issue_scale` multiplies the compute bound (toolchain quality factor,
+/// e.g. DeviceSpec::opencl_issue_overhead for OpenCL-compiled kernels).
+TimingBreakdown ModelTime(const Metrics& metrics, const hw::DeviceSpec& device,
+                          const hw::OccupancyResult& occupancy,
+                          double issue_scale = 1.0);
+
+}  // namespace hipacc::sim

@@ -1,0 +1,24 @@
+// Minimal leveled logging to stderr. The source-to-source compiler uses it to
+// report selected optimizations and configurations (mirroring HIPAcc's
+// verbose output); benches run with the level raised to kWarn.
+#pragma once
+
+#include <string>
+
+namespace hipacc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted (default kWarn).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits `msg` at `level` if it passes the global filter.
+void Log(LogLevel level, const std::string& msg);
+
+inline void LogDebug(const std::string& msg) { Log(LogLevel::kDebug, msg); }
+inline void LogInfo(const std::string& msg) { Log(LogLevel::kInfo, msg); }
+inline void LogWarn(const std::string& msg) { Log(LogLevel::kWarn, msg); }
+inline void LogError(const std::string& msg) { Log(LogLevel::kError, msg); }
+
+}  // namespace hipacc

@@ -1,0 +1,44 @@
+// Blocking parallel loop over an index range, chunked across a fixed set of
+// worker threads. Used by the DSL's host executor (per image row) and by the
+// simulator (per thread block). Deliberately simple: fork/join per call —
+// call granularity here is whole kernel launches, so thread start-up cost is
+// negligible against the work.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace hipacc {
+
+/// Invokes `body(i)` for every i in [begin, end) using up to `max_threads`
+/// workers (0 = hardware concurrency). `body` must be safe to call
+/// concurrently for distinct indices.
+inline void ParallelFor(int begin, int end,
+                        const std::function<void(int)>& body,
+                        unsigned max_threads = 0) {
+  const int count = end - begin;
+  if (count <= 0) return;
+  unsigned workers = max_threads ? max_threads
+                                 : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min<unsigned>(workers, static_cast<unsigned>(count));
+  if (workers <= 1) {
+    for (int i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const int chunk = (count + static_cast<int>(workers) - 1) / static_cast<int>(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    const int lo = begin + static_cast<int>(w) * chunk;
+    const int hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([lo, hi, &body] {
+      for (int i = lo; i < hi; ++i) body(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace hipacc

@@ -1,0 +1,59 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+#include "support/status.hpp"
+
+namespace hipacc {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::Seed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+int Rng::NextInt(int lo, int hi) {
+  HIPACC_CHECK(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi) - lo + 1;
+  return lo + static_cast<int>(Next() % range);
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; avoids log(0) by nudging u1 away from zero.
+  double u1 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace hipacc

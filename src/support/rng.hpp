@@ -1,0 +1,37 @@
+// Deterministic, seedable RNG (xoshiro256**) so tests, examples, and
+// benchmark workloads are reproducible across platforms, unlike
+// std::mt19937's distribution functions which are implementation-defined.
+#pragma once
+
+#include <cstdint>
+
+namespace hipacc {
+
+/// xoshiro256** by Blackman & Vigna; small, fast, and high quality.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  /// Re-seeds via splitmix64 so even seeds 0 and 1 diverge immediately.
+  void Seed(std::uint64_t seed);
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform float in [0, 1).
+  float NextFloat() { return static_cast<float>(NextDouble()); }
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  int NextInt(int lo, int hi);
+
+  /// Standard normal via Box-Muller (one value per call, no caching).
+  double NextGaussian();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace hipacc

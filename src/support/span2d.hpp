@@ -1,0 +1,67 @@
+// Non-owning 2D view over row-major pixel storage, with an explicit stride so
+// padded allocations (global-memory padding for coalescing) share the type.
+#pragma once
+
+#include <cstddef>
+
+#include "support/status.hpp"
+
+namespace hipacc {
+
+/// A mutable or const 2D view: `Span2D<float>` / `Span2D<const float>`.
+/// `stride` is the distance in elements between the starts of two rows and
+/// may exceed `width` when the underlying buffer is padded.
+template <typename T>
+class Span2D {
+ public:
+  Span2D() = default;
+  Span2D(T* data, int width, int height, int stride)
+      : data_(data), width_(width), height_(height), stride_(stride) {
+    HIPACC_CHECK(width >= 0 && height >= 0 && stride >= width);
+  }
+  /// Dense view (stride == width).
+  Span2D(T* data, int width, int height)
+      : Span2D(data, width, height, width) {}
+
+  /// Implicit conversion from mutable to const element type.
+  operator Span2D<const T>() const {
+    return Span2D<const T>(data_, width_, height_, stride_);
+  }
+
+  T* data() const noexcept { return data_; }
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  int stride() const noexcept { return stride_; }
+  bool empty() const noexcept { return width_ == 0 || height_ == 0; }
+
+  /// Unchecked element access; (x, y) must lie inside the view.
+  T& operator()(int x, int y) const { return data_[y * static_cast<std::ptrdiff_t>(stride_) + x]; }
+
+  /// Checked element access for tests and debugging.
+  T& at(int x, int y) const {
+    HIPACC_CHECK_MSG(contains(x, y), "Span2D::at out of range");
+    return (*this)(x, y);
+  }
+
+  bool contains(int x, int y) const noexcept {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  /// Pointer to the first element of row `y`.
+  T* row(int y) const { return data_ + y * static_cast<std::ptrdiff_t>(stride_); }
+
+  /// Sub-view of the rectangle [x0, x0+w) x [y0, y0+h); must be in bounds.
+  Span2D subview(int x0, int y0, int w, int h) const {
+    HIPACC_CHECK(x0 >= 0 && y0 >= 0 && w >= 0 && h >= 0 && x0 + w <= width_ &&
+                 y0 + h <= height_);
+    return Span2D(data_ + y0 * static_cast<std::ptrdiff_t>(stride_) + x0, w, h, stride_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  int width_ = 0;
+  int height_ = 0;
+  int stride_ = 0;
+};
+
+}  // namespace hipacc

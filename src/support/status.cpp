@@ -1,0 +1,35 @@
+#include "support/status.hpp"
+
+namespace hipacc {
+
+const char* to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kUnimplemented: return "unimplemented";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kParseError: return "parse_error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = to_string(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace detail {
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& msg) {
+  std::fprintf(stderr, "HIPACC_CHECK failed at %s:%d: %s %s\n", file, line,
+               expr, msg.c_str());
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace hipacc

@@ -1,0 +1,128 @@
+// Lightweight error-handling primitives used across the HIPAcc reproduction.
+//
+// The library avoids exceptions on hot paths; fallible operations return
+// Status (or Result<T>) and the caller decides whether to propagate, log, or
+// abort. HIPACC_CHECK is for programmer invariants that must never fail.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hipacc {
+
+/// Error categories mirroring the failure surfaces of a GPU runtime.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< bad user input (sizes, modes, null data)
+  kOutOfRange,        ///< index / region outside a valid domain
+  kResourceExhausted, ///< kernel config exceeds device limits (launch error)
+  kUnimplemented,     ///< feature not supported by a backend
+  kInternal,          ///< invariant violation inside the framework
+  kParseError,        ///< DSL frontend rejected the kernel source
+};
+
+/// Human-readable name of a StatusCode ("ok", "invalid_argument", ...).
+const char* to_string(StatusCode code) noexcept;
+
+/// A cheap, movable success-or-error value. Empty message means success.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+  /// Constructs an error status; `code` must not be kOk for real errors.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers for the common cases.
+  static Status Ok() { return {}; }
+  static Status Invalid(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status OutOfRange(std::string msg) {
+    return {StatusCode::kOutOfRange, std::move(msg)};
+  }
+  static Status Exhausted(std::string msg) {
+    return {StatusCode::kResourceExhausted, std::move(msg)};
+  }
+  static Status Unimplemented(std::string msg) {
+    return {StatusCode::kUnimplemented, std::move(msg)};
+  }
+  static Status Internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+  static Status Parse(std::string msg) {
+    return {StatusCode::kParseError, std::move(msg)};
+  }
+
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-error. On error the value is absent; accessing it is a bug.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT implicit
+
+  bool ok() const noexcept { return status_.ok(); }
+  const Status& status() const noexcept { return status_; }
+
+  /// Access the contained value. Precondition: ok().
+  const T& value() const& {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+    return *value_;
+  }
+  T& value() & {
+    return const_cast<T&>(static_cast<const Result*>(this)->value());
+  }
+  T&& take() && {
+    value();  // validates
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace detail {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+}  // namespace detail
+
+/// Fatal invariant check; prints location and aborts on failure.
+#define HIPACC_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) ::hipacc::detail::CheckFailed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define HIPACC_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::hipacc::detail::CheckFailed(__FILE__, __LINE__, #expr, (msg));  \
+  } while (0)
+
+/// Propagates a non-ok Status out of the current function.
+#define HIPACC_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::hipacc::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace hipacc

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch used by the benchmark harnesses and the runtime's
+// host-side timing (the simulated device reports modelled time separately).
+#pragma once
+
+#include <chrono>
+
+namespace hipacc {
+
+/// Monotonic stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed milliseconds since construction or the last Restart().
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hipacc

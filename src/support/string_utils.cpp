@@ -1,0 +1,91 @@
+#include "support/string_utils.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace hipacc {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(n > 0 ? static_cast<size_t>(n) : 0, '\0');
+  if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view Trim(std::string_view text) {
+  const char* ws = " \t\r\n";
+  const size_t b = text.find_first_not_of(ws);
+  if (b == std::string_view::npos) return {};
+  const size_t e = text.find_last_not_of(ws);
+  return text.substr(b, e - b + 1);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string Join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+std::string ReplaceAll(std::string text, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return text;
+  size_t pos = 0;
+  while ((pos = text.find(from, pos)) != std::string::npos) {
+    text.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return text;
+}
+
+std::string Indent(const std::string& text, int spaces) {
+  const std::string pad(static_cast<size_t>(spaces), ' ');
+  std::string out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t pos = text.find('\n', start);
+    const std::string_view line(text.data() + start,
+                                (pos == std::string::npos ? text.size() : pos) -
+                                    start);
+    if (!line.empty()) out += pad;
+    out.append(line);
+    if (pos == std::string::npos) break;
+    out += '\n';
+    start = pos + 1;
+  }
+  return out;
+}
+
+}  // namespace hipacc

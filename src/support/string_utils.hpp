@@ -1,0 +1,33 @@
+// Small string helpers used by the frontend lexer and code emitters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hipacc {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// True if `text` starts with / ends with `prefix` / `suffix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Joins items with `sep` between them.
+std::string Join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string text, std::string_view from,
+                       std::string_view to);
+
+/// Indents every line of `text` by `spaces` spaces (also the first line).
+std::string Indent(const std::string& text, int spaces);
+
+}  // namespace hipacc

@@ -1,0 +1,94 @@
+#include "ast/cfg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hipacc::ast {
+namespace {
+
+StmtPtr SimpleAssign(const char* name) {
+  return Assign(name, AssignOp::kAssign, IntLit(0));
+}
+
+TEST(CfgTest, StraightLineIsOneBlockPlusExit) {
+  const StmtPtr body = Block({Decl(ScalarType::kInt, "a", IntLit(0)),
+                              SimpleAssign("a"), OutputAssign(IntLit(1))});
+  const Cfg cfg = BuildCfg(body);
+  ASSERT_EQ(cfg.blocks.size(), 2u);  // entry + exit
+  EXPECT_EQ(cfg.block(cfg.entry).stmts.size(), 3u);
+  EXPECT_EQ(cfg.block(cfg.entry).successors,
+            std::vector<int>{cfg.exit});
+}
+
+TEST(CfgTest, IfCreatesDiamond) {
+  const StmtPtr body = Block({
+      If(BoolLit(true), Block({SimpleAssign("t")}), Block({SimpleAssign("f")})),
+      OutputAssign(IntLit(0)),
+  });
+  const Cfg cfg = BuildCfg(body);
+  const BasicBlock& entry = cfg.block(cfg.entry);
+  ASSERT_EQ(entry.successors.size(), 2u);  // then + else
+  ASSERT_NE(entry.terminator, nullptr);
+  EXPECT_EQ(entry.terminator->kind, StmtKind::kIf);
+  // Both branches converge on the join block.
+  const int then_end = entry.successors[0];
+  const int else_end = entry.successors[1];
+  EXPECT_EQ(cfg.block(then_end).successors, cfg.block(else_end).successors);
+}
+
+TEST(CfgTest, IfWithoutElseBranchesToJoin) {
+  const StmtPtr body =
+      Block({If(BoolLit(true), Block({SimpleAssign("t")}))});
+  const Cfg cfg = BuildCfg(body);
+  const BasicBlock& entry = cfg.block(cfg.entry);
+  ASSERT_EQ(entry.successors.size(), 2u);  // then + direct edge to join
+}
+
+TEST(CfgTest, ForLoopHasBackEdge) {
+  const StmtPtr body = Block({For("i", IntLit(0), IntLit(3), 1,
+                                  Block({SimpleAssign("x")}))});
+  const Cfg cfg = BuildCfg(body);
+  // Find the header: the block whose terminator is the For statement.
+  const BasicBlock* header = nullptr;
+  for (const auto& bb : cfg.blocks)
+    if (bb.terminator && bb.terminator->kind == StmtKind::kFor) header = &bb;
+  ASSERT_NE(header, nullptr);
+  EXPECT_EQ(header->successors.size(), 2u);  // body and loop exit
+  // The body block loops back to the header.
+  const int body_id = header->successors[0];
+  bool back_edge = false;
+  // Follow the body chain until a block points back at the header.
+  std::vector<int> work = {body_id};
+  std::vector<bool> seen(cfg.blocks.size(), false);
+  while (!work.empty()) {
+    const int id = work.back();
+    work.pop_back();
+    if (seen[static_cast<size_t>(id)]) continue;
+    seen[static_cast<size_t>(id)] = true;
+    for (const int succ : cfg.block(id).successors) {
+      if (succ == header->id) back_edge = true;
+      else work.push_back(succ);
+    }
+  }
+  EXPECT_TRUE(back_edge);
+}
+
+TEST(CfgTest, DepthFirstOrderVisitsEveryBlockOnce) {
+  const StmtPtr body = Block({
+      For("y", IntLit(0), IntLit(2), 1,
+          Block({For("x", IntLit(0), IntLit(2), 1,
+                     Block({If(BoolLit(true), Block({SimpleAssign("a")}))}))})),
+      OutputAssign(IntLit(0)),
+  });
+  const Cfg cfg = BuildCfg(body);
+  const std::vector<int> order = DepthFirstOrder(cfg);
+  EXPECT_EQ(order.size(), cfg.blocks.size());
+  std::vector<bool> seen(cfg.blocks.size(), false);
+  for (const int id : order) {
+    EXPECT_FALSE(seen[static_cast<size_t>(id)]);
+    seen[static_cast<size_t>(id)] = true;
+  }
+  EXPECT_EQ(order.front(), cfg.entry);
+}
+
+}  // namespace
+}  // namespace hipacc::ast

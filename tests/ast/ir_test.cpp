@@ -1,0 +1,139 @@
+// Node factories, type rules, and metadata helpers.
+#include <gtest/gtest.h>
+
+#include "ast/expr.hpp"
+#include "ast/kernel_ir.hpp"
+#include "ast/metadata.hpp"
+#include "ast/stmt.hpp"
+
+namespace hipacc::ast {
+namespace {
+
+TEST(TypeTest, PromotionRules) {
+  EXPECT_EQ(Promote(ScalarType::kInt, ScalarType::kFloat), ScalarType::kFloat);
+  EXPECT_EQ(Promote(ScalarType::kFloat, ScalarType::kInt), ScalarType::kFloat);
+  EXPECT_EQ(Promote(ScalarType::kInt, ScalarType::kInt), ScalarType::kInt);
+  EXPECT_EQ(Promote(ScalarType::kBool, ScalarType::kBool), ScalarType::kInt);
+  EXPECT_EQ(Promote(ScalarType::kUInt, ScalarType::kInt), ScalarType::kUInt);
+}
+
+TEST(ExprTest, LiteralsCarryValuesAndTypes) {
+  EXPECT_EQ(IntLit(7)->int_value, 7);
+  EXPECT_EQ(IntLit(7)->type, ScalarType::kInt);
+  EXPECT_DOUBLE_EQ(FloatLit(2.5)->float_value, 2.5);
+  EXPECT_EQ(FloatLit(2.5)->type, ScalarType::kFloat);
+  EXPECT_TRUE(BoolLit(true)->bool_value);
+}
+
+TEST(ExprTest, BinaryTypePromotion) {
+  const ExprPtr mixed = Binary(BinaryOp::kAdd, IntLit(1), FloatLit(2.0));
+  EXPECT_EQ(mixed->type, ScalarType::kFloat);
+  const ExprPtr cmp = Binary(BinaryOp::kLt, IntLit(1), IntLit(2));
+  EXPECT_EQ(cmp->type, ScalarType::kBool);
+}
+
+TEST(ExprTest, ComparisonClassification) {
+  EXPECT_TRUE(IsComparison(BinaryOp::kLe));
+  EXPECT_TRUE(IsComparison(BinaryOp::kAnd));
+  EXPECT_FALSE(IsComparison(BinaryOp::kAdd));
+  EXPECT_FALSE(IsComparison(BinaryOp::kMod));
+}
+
+TEST(ExprTest, AccessorReadHoldsOffsets) {
+  const ExprPtr read = AccessorRead("Input", IntLit(-1), IntLit(2));
+  EXPECT_EQ(read->kind, ExprKind::kAccessorRead);
+  EXPECT_EQ(read->name, "Input");
+  ASSERT_EQ(read->args.size(), 2u);
+  EXPECT_EQ(read->args[0]->int_value, -1);
+}
+
+TEST(ExprTest, MemReadCarriesGuardsAndMode) {
+  const ExprPtr read =
+      MemRead(MemSpace::kGlobal, "IN", IntLit(0), IntLit(0),
+              BoundaryMode::kConstant, {true, false, false, true}, 0.5f);
+  EXPECT_EQ(read->space, MemSpace::kGlobal);
+  EXPECT_EQ(read->boundary, BoundaryMode::kConstant);
+  EXPECT_TRUE(read->checks.lo_x);
+  EXPECT_FALSE(read->checks.hi_x);
+  EXPECT_TRUE(read->checks.hi_y);
+  EXPECT_FLOAT_EQ(read->constant_value, 0.5f);
+  EXPECT_EQ(read->checks.count(), 2);
+}
+
+TEST(StmtTest, ForHoldsCanonicalLoop) {
+  const StmtPtr loop = For("i", IntLit(0), IntLit(9), 2, Block({}));
+  EXPECT_EQ(loop->kind, StmtKind::kFor);
+  EXPECT_EQ(loop->name, "i");
+  EXPECT_EQ(loop->step, 2);
+}
+
+TEST(StmtTest, IfWithAndWithoutElse) {
+  const StmtPtr bare = If(BoolLit(true), Block({}));
+  EXPECT_EQ(bare->body.size(), 1u);
+  const StmtPtr with_else = If(BoolLit(true), Block({}), Block({}));
+  EXPECT_EQ(with_else->body.size(), 2u);
+}
+
+TEST(MetadataTest, WindowExtentFromSize) {
+  const WindowExtent w = WindowExtent::FromSize(13, 3);
+  EXPECT_EQ(w.half_x, 6);
+  EXPECT_EQ(w.half_y, 1);
+  EXPECT_EQ(w.size_x(), 13);
+  EXPECT_EQ(w.size_y(), 3);
+}
+
+TEST(MetadataTest, WindowUnionTakesMax) {
+  const WindowExtent u = WindowExtent{2, 5}.Union({4, 1});
+  EXPECT_EQ(u.half_x, 4);
+  EXPECT_EQ(u.half_y, 5);
+}
+
+TEST(MetadataTest, RegionChecksMatchFigure3) {
+  EXPECT_TRUE(ChecksFor(Region::kTopLeft).lo_x);
+  EXPECT_TRUE(ChecksFor(Region::kTopLeft).lo_y);
+  EXPECT_FALSE(ChecksFor(Region::kTopLeft).hi_x);
+  EXPECT_FALSE(ChecksFor(Region::kInterior).any());
+  EXPECT_EQ(ChecksFor(Region::kBottomRight).count(), 2);
+  EXPECT_TRUE(ChecksFor(Region::kTop).lo_y);
+  EXPECT_EQ(ChecksFor(Region::kTop).count(), 1);
+  EXPECT_TRUE(ChecksFor(Region::kRight).hi_x);
+}
+
+TEST(KernelDeclTest, LookupsAndMaxWindow) {
+  KernelDecl kernel;
+  kernel.accessors = {{"A", {1, 1}, BoundaryMode::kClamp, 0.0f},
+                      {"B", {3, 0}, BoundaryMode::kClamp, 0.0f}};
+  kernel.params = {{"sigma", ScalarType::kInt}};
+  kernel.masks = {{"M", 3, 3, {}}};
+  EXPECT_NE(kernel.FindAccessor("A"), nullptr);
+  EXPECT_EQ(kernel.FindAccessor("Z"), nullptr);
+  EXPECT_NE(kernel.FindParam("sigma"), nullptr);
+  EXPECT_NE(kernel.FindMask("M"), nullptr);
+  EXPECT_FALSE(kernel.FindMask("M")->is_static());
+  EXPECT_EQ(kernel.MaxWindow().half_x, 3);
+  EXPECT_EQ(kernel.MaxWindow().half_y, 1);
+  EXPECT_TRUE(kernel.NeedsBoundaryHandling());
+}
+
+TEST(KernelDeclTest, UndefinedModeNeedsNoHandling) {
+  KernelDecl kernel;
+  kernel.accessors = {{"A", {2, 2}, BoundaryMode::kUndefined, 0.0f}};
+  EXPECT_FALSE(kernel.NeedsBoundaryHandling());
+  kernel.accessors = {{"A", {0, 0}, BoundaryMode::kClamp, 0.0f}};
+  EXPECT_FALSE(kernel.NeedsBoundaryHandling());  // point op: no window
+}
+
+TEST(DeviceKernelTest, VariantAndBufferLookups) {
+  DeviceKernel dk;
+  dk.buffers = {{"IN", MemSpace::kTexture, false, false},
+                {"_out", MemSpace::kGlobal, true, false}};
+  dk.variants = {{Region::kInterior, Block({})}, {Region::kTop, Block({})}};
+  EXPECT_TRUE(dk.has_boundary_variants());
+  ASSERT_NE(dk.output_buffer(), nullptr);
+  EXPECT_EQ(dk.output_buffer()->name, "_out");
+  EXPECT_NE(dk.FindVariant(Region::kTop), nullptr);
+  EXPECT_EQ(dk.FindVariant(Region::kLeft), nullptr);
+}
+
+}  // namespace
+}  // namespace hipacc::ast

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "ast/printer.hpp"
+#include "ast/visitor.hpp"
+
+namespace hipacc::ast {
+namespace {
+
+TEST(PrinterTest, ExpressionForms) {
+  EXPECT_EQ(PrintExpr(IntLit(3)), "3");
+  EXPECT_EQ(PrintExpr(FloatLit(1.5)), "1.5f");
+  EXPECT_EQ(PrintExpr(FloatLit(2.0)), "2.0f");
+  EXPECT_EQ(PrintExpr(BoolLit(true)), "true");
+  EXPECT_EQ(PrintExpr(VarRef("d", ScalarType::kFloat)), "d");
+  EXPECT_EQ(PrintExpr(Binary(BinaryOp::kAdd, IntLit(1), IntLit(2))), "(1 + 2)");
+  EXPECT_EQ(PrintExpr(Unary(UnaryOp::kNeg, VarRef("x", ScalarType::kFloat))),
+            "-(x)");
+  EXPECT_EQ(PrintExpr(Cast(ScalarType::kFloat, IntLit(1))), "(float)(1)");
+  EXPECT_EQ(PrintExpr(Call("exp", {FloatLit(1.0)}, ScalarType::kFloat)),
+            "exp(1.0f)");
+  EXPECT_EQ(PrintExpr(AccessorRead("Input", IntLit(-1), IntLit(0))),
+            "Input(-1, 0)");
+  EXPECT_EQ(PrintExpr(IterIndex(false)), "x()");
+  EXPECT_EQ(PrintExpr(ThreadIndex(ThreadIndexKind::kGlobalIdX)), "gid_x");
+}
+
+TEST(PrinterTest, MemReadShowsSpaceModeAndGuards) {
+  const ExprPtr read =
+      MemRead(MemSpace::kTexture, "IN", IntLit(0), IntLit(1),
+              BoundaryMode::kClamp, {true, false, false, true});
+  const std::string text = PrintExpr(read);
+  EXPECT_NE(text.find("texture_read"), std::string::npos);
+  EXPECT_NE(text.find("clamp"), std::string::npos);
+  EXPECT_NE(text.find("lx"), std::string::npos);
+  EXPECT_NE(text.find("hy"), std::string::npos);
+}
+
+TEST(PrinterTest, StatementsRoundTripStructure) {
+  const StmtPtr body = Block({
+      Decl(ScalarType::kFloat, "d", FloatLit(0.0)),
+      For("i", IntLit(0), IntLit(3), 1,
+          Block({Assign("d", AssignOp::kAddAssign,
+                        VarRef("i", ScalarType::kInt))})),
+      OutputAssign(VarRef("d", ScalarType::kFloat)),
+  });
+  const std::string text = PrintStmt(body);
+  EXPECT_NE(text.find("float d = 0.0f;"), std::string::npos);
+  EXPECT_NE(text.find("for (int i = 0; i <= 3; i += 1) {"), std::string::npos);
+  EXPECT_NE(text.find("d += i;"), std::string::npos);
+  EXPECT_NE(text.find("output() = d;"), std::string::npos);
+}
+
+TEST(VisitorTest, VisitExprsReachesAllNodes) {
+  const ExprPtr tree =
+      Binary(BinaryOp::kMul, Binary(BinaryOp::kAdd, IntLit(1), IntLit(2)),
+             Call("exp", {VarRef("x", ScalarType::kFloat)}, ScalarType::kFloat));
+  int count = 0;
+  VisitExprs(tree, [&count](const Expr&) { ++count; });
+  EXPECT_EQ(count, 6);  // mul, add, 1, 2, call, x
+}
+
+TEST(VisitorTest, VisitExprsCoversStatementSlots) {
+  const StmtPtr stmt =
+      For("i", IntLit(0), VarRef("n", ScalarType::kInt), 1,
+          Block({If(Binary(BinaryOp::kLt, VarRef("i", ScalarType::kInt),
+                           IntLit(2)),
+                    Block({}))}));
+  int var_refs = 0;
+  VisitExprs(stmt, [&var_refs](const Expr& e) {
+    if (e.kind == ExprKind::kVarRef) ++var_refs;
+  });
+  EXPECT_EQ(var_refs, 2);  // n in bound, i in condition
+}
+
+TEST(VisitorTest, RewriteReplacesMatchesBottomUp) {
+  const ExprPtr tree =
+      Binary(BinaryOp::kAdd, VarRef("a", ScalarType::kInt), IntLit(1));
+  const ExprPtr rewritten = RewriteExpr(tree, [](const Expr& e) -> ExprPtr {
+    if (e.kind == ExprKind::kVarRef && e.name == "a") return IntLit(41);
+    return nullptr;
+  });
+  EXPECT_EQ(PrintExpr(rewritten), "(41 + 1)");
+  // Original untouched (persistent tree).
+  EXPECT_EQ(PrintExpr(tree), "(a + 1)");
+}
+
+TEST(VisitorTest, RewriteSharesUntouchedSubtrees) {
+  const ExprPtr left = Binary(BinaryOp::kAdd, IntLit(1), IntLit(2));
+  const ExprPtr tree = Binary(BinaryOp::kMul, left, VarRef("b", ScalarType::kInt));
+  const ExprPtr rewritten = RewriteExpr(tree, [](const Expr& e) -> ExprPtr {
+    if (e.kind == ExprKind::kVarRef) return IntLit(0);
+    return nullptr;
+  });
+  EXPECT_EQ(rewritten->args[0], left);  // untouched subtree shared, not cloned
+}
+
+TEST(VisitorTest, RewriteStmtExprsRebuildsOnlyChanged) {
+  const StmtPtr stmt = Block({
+      Assign("d", AssignOp::kAssign, VarRef("x", ScalarType::kFloat)),
+      Assign("e", AssignOp::kAssign, IntLit(1)),
+  });
+  const StmtPtr rewritten = RewriteStmtExprs(stmt, [](const Expr& e) -> ExprPtr {
+    if (e.kind == ExprKind::kVarRef) return FloatLit(9.0);
+    return nullptr;
+  });
+  EXPECT_NE(rewritten, stmt);
+  EXPECT_EQ(rewritten->body[1], stmt->body[1]);  // unchanged child shared
+  EXPECT_EQ(rewritten->body[0]->value->kind, ExprKind::kFloatLit);
+}
+
+}  // namespace
+}  // namespace hipacc::ast

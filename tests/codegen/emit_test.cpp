@@ -1,0 +1,201 @@
+// Source emitters: the generated CUDA and OpenCL text must contain the
+// structures the paper describes — Listing 8's goto dispatch, Listing 6's
+// texture fetches, Listing 7's staging, constant-memory masks, and the
+// function-mapping table's backend spellings.
+#include "codegen/emit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codegen/lower.hpp"
+#include "codegen/resource_estimator.hpp"
+#include "ops/kernel_sources.hpp"
+
+namespace hipacc::codegen {
+namespace {
+
+using ast::Backend;
+using ast::BoundaryMode;
+
+std::string Emit(BoundaryMode mode, Backend backend, CodegenOptions options,
+                 bool with_mask = true) {
+  options.backend = backend;
+  const frontend::KernelSource src = with_mask
+                                         ? ops::BilateralMaskSource(1, mode)
+                                         : ops::BilateralSource(1, mode);
+  auto kernel = frontend::ParseKernel(src);
+  EXPECT_TRUE(kernel.ok());
+  auto lowered = LowerKernel(kernel.value(), options);
+  EXPECT_TRUE(lowered.ok()) << lowered.status().ToString();
+  EmitContext ctx;
+  ctx.config = {32, 4};
+  ctx.image_width = 256;
+  ctx.image_height = 256;
+  return EmitKernelSource(lowered.value(), ctx);
+}
+
+TEST(EmitCudaTest, Listing8GotoDispatch) {
+  const std::string src = Emit(BoundaryMode::kClamp, Backend::kCuda, {});
+  EXPECT_NE(src.find("goto TL_BH;"), std::string::npos);
+  EXPECT_NE(src.find("goto NO_BH;"), std::string::npos);
+  EXPECT_NE(src.find("TL_BH: {"), std::string::npos);
+  EXPECT_NE(src.find("NO_BH: {"), std::string::npos);
+  EXPECT_NE(src.find("blockIdx.x < RB_L"), std::string::npos);
+  // All nine labels present.
+  for (const char* label : {"TL", "T", "TR", "L", "R", "BL", "B", "BR"})
+    EXPECT_NE(src.find(std::string(label) + "_BH:"), std::string::npos)
+        << label;
+}
+
+TEST(EmitCudaTest, KernelSignatureAndPrologue) {
+  const std::string src = Emit(BoundaryMode::kClamp, Backend::kCuda, {});
+  EXPECT_NE(src.find("extern \"C\" __global__ void bilateral_mask("),
+            std::string::npos);
+  EXPECT_NE(src.find("const int gid_x = blockIdx.x * BSX + threadIdx.x;"),
+            std::string::npos);
+  EXPECT_NE(src.find("if (gid_x >= IW || gid_y >= IH) return;"),
+            std::string::npos);
+}
+
+TEST(EmitCudaTest, StaticConstantMask) {
+  const std::string src = Emit(BoundaryMode::kClamp, Backend::kCuda, {});
+  EXPECT_NE(src.find("__device__ __constant__ float CMask[25] = {"),
+            std::string::npos);
+}
+
+TEST(EmitCudaTest, TextureReadsUseTex1Dfetch) {
+  CodegenOptions options;
+  options.texture = TexturePolicy::kLinear;
+  const std::string src = Emit(BoundaryMode::kClamp, Backend::kCuda, options);
+  // Texture reference declared globally, not a kernel parameter (Sec. IV-A).
+  EXPECT_NE(src.find("texture<float, 1, cudaReadModeElementType> _texInput;"),
+            std::string::npos);
+  EXPECT_NE(src.find("tex1Dfetch(_texInput,"), std::string::npos);
+  // The signature must not take the texture as parameter.
+  const size_t sig = src.find("__global__ void");
+  const size_t paren = src.find(')', sig);
+  EXPECT_EQ(src.substr(sig, paren - sig).find("_texInput"), std::string::npos);
+}
+
+TEST(EmitCudaTest, Tex2DForHardwareBoundaryHandling) {
+  CodegenOptions options;
+  options.texture = TexturePolicy::kArray2D;
+  const std::string src = Emit(BoundaryMode::kClamp, Backend::kCuda, options);
+  EXPECT_NE(src.find("texture<float, 2, cudaReadModeElementType>"),
+            std::string::npos);
+  EXPECT_NE(src.find("tex2D(_texInput,"), std::string::npos);
+}
+
+TEST(EmitCudaTest, ScratchpadStagingListing7) {
+  CodegenOptions options;
+  options.use_scratchpad = true;
+  const std::string src = Emit(BoundaryMode::kClamp, Backend::kCuda, options);
+  EXPECT_NE(src.find("__shared__ float _smemInput[SY + BSY][SX + BSX + 1];"),
+            std::string::npos);
+  EXPECT_NE(src.find("__syncthreads();"), std::string::npos);
+  EXPECT_NE(src.find("_smemInput["), std::string::npos);
+}
+
+TEST(EmitCudaTest, FunctionMappingKeepsSuffix) {
+  const std::string src =
+      Emit(BoundaryMode::kClamp, Backend::kCuda, {}, /*with_mask=*/false);
+  EXPECT_NE(src.find("expf("), std::string::npos);
+  EXPECT_EQ(src.find(" exp("), std::string::npos);
+}
+
+TEST(EmitOpenClTest, KernelSignatureAndBuiltins) {
+  const std::string src =
+      Emit(BoundaryMode::kClamp, Backend::kOpenCL, {}, /*with_mask=*/false);
+  EXPECT_NE(src.find("__kernel void bilateral("), std::string::npos);
+  EXPECT_NE(src.find("get_group_id(0)"), std::string::npos);
+  EXPECT_NE(src.find("get_local_id(0)"), std::string::npos);
+  // Function mapping removes the suffix for OpenCL (Section V-A).
+  EXPECT_NE(src.find("exp("), std::string::npos);
+  EXPECT_EQ(src.find("expf("), std::string::npos);
+  // OpenCL uses an else-if chain (no goto in OpenCL C).
+  EXPECT_EQ(src.find("goto"), std::string::npos);
+  EXPECT_NE(src.find("} else if ("), std::string::npos);
+}
+
+TEST(EmitOpenClTest, ImageObjectsWithSamplerAndAttributes) {
+  CodegenOptions options;
+  options.texture = TexturePolicy::kLinear;
+  const std::string src = Emit(BoundaryMode::kClamp, Backend::kOpenCL, options);
+  EXPECT_NE(src.find("__constant sampler_t _smp"), std::string::npos);
+  EXPECT_NE(src.find("__read_only image2d_t _imgInput"), std::string::npos);
+  // CL_R channel order: only .x is populated (Section IV-A).
+  EXPECT_NE(src.find("read_imagef(_imgInput, _smp, (int2)("), std::string::npos);
+  EXPECT_NE(src.find(").x"), std::string::npos);
+}
+
+TEST(EmitOpenClTest, LocalMemoryStaging) {
+  CodegenOptions options;
+  options.use_scratchpad = true;
+  const std::string src = Emit(BoundaryMode::kClamp, Backend::kOpenCL, options);
+  EXPECT_NE(src.find("__local float _smemInput"), std::string::npos);
+  EXPECT_NE(src.find("barrier(CLK_LOCAL_MEM_FENCE);"), std::string::npos);
+}
+
+TEST(EmitOpenClTest, DynamicMaskBecomesConstantParameter) {
+  CodegenOptions options;
+  options.backend = Backend::kOpenCL;
+  frontend::KernelSource src =
+      ops::BilateralMaskSource(1, BoundaryMode::kClamp, /*static_mask=*/false);
+  auto kernel = frontend::ParseKernel(src);
+  ASSERT_TRUE(kernel.ok());
+  auto lowered = LowerKernel(kernel.value(), options);
+  ASSERT_TRUE(lowered.ok());
+  const std::string text = EmitKernelSource(lowered.value(), {});
+  EXPECT_NE(text.find("__constant float* CMask"), std::string::npos);
+}
+
+TEST(EmitTest, BoundaryGuardExpressions) {
+  // Clamp emits min/max index adjustment; constant emits a predicate.
+  const std::string clamp = Emit(BoundaryMode::kClamp, Backend::kCuda, {});
+  EXPECT_NE(clamp.find("max("), std::string::npos);
+  EXPECT_NE(clamp.find("min("), std::string::npos);
+  const std::string constant = Emit(BoundaryMode::kConstant, Backend::kCuda, {});
+  EXPECT_NE(constant.find("? "), std::string::npos);
+  const std::string mirror = Emit(BoundaryMode::kMirror, Backend::kCuda, {});
+  EXPECT_NE(mirror.find("-1 - "), std::string::npos);
+  const std::string repeat = Emit(BoundaryMode::kRepeat, Backend::kCuda, {});
+  EXPECT_NE(repeat.find("+ IW"), std::string::npos);
+}
+
+TEST(EmitTest, RegionConstantsBakedFromImageSize) {
+  const std::string src = Emit(BoundaryMode::kClamp, Backend::kCuda, {});
+  EXPECT_NE(src.find("#define IW 256"), std::string::npos);
+  EXPECT_NE(src.find("#define BSX 32"), std::string::npos);
+  EXPECT_NE(src.find("#define RB_L 1"), std::string::npos);
+}
+
+TEST(ResourceEstimatorTest, MonotoneInComplexity) {
+  const frontend::KernelSource simple_src = ops::ScaleOffsetSource();
+  auto simple = frontend::ParseKernel(simple_src);
+  ASSERT_TRUE(simple.ok());
+  auto simple_lowered = LowerKernel(simple.value(), {});
+  ASSERT_TRUE(simple_lowered.ok());
+
+  const frontend::KernelSource complex_src =
+      ops::BilateralSource(3, BoundaryMode::kClamp);
+  auto complex_kernel = frontend::ParseKernel(complex_src);
+  ASSERT_TRUE(complex_kernel.ok());
+  auto complex_lowered = LowerKernel(complex_kernel.value(), {});
+  ASSERT_TRUE(complex_lowered.ok());
+
+  const auto simple_res = EstimateResources(simple_lowered.value());
+  const auto complex_res = EstimateResources(complex_lowered.value());
+  EXPECT_LT(simple_res.regs_per_thread, complex_res.regs_per_thread);
+  EXPECT_FALSE(simple_res.smem_tile);
+
+  CodegenOptions smem_options;
+  smem_options.use_scratchpad = true;
+  auto with_smem = LowerKernel(complex_kernel.value(), smem_options);
+  ASSERT_TRUE(with_smem.ok());
+  const auto smem_res = EstimateResources(with_smem.value());
+  EXPECT_TRUE(smem_res.smem_tile);
+  EXPECT_EQ(smem_res.smem_halo_x, 6);
+  EXPECT_GT(smem_res.SmemBytesPerBlock({32, 4}), 0);
+}
+
+}  // namespace
+}  // namespace hipacc::codegen

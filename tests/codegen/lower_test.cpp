@@ -1,0 +1,226 @@
+// Lowering: read/write analysis, region variant generation, guard
+// narrowing, memory-space selection, and mask placement.
+#include "codegen/lower.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ast/visitor.hpp"
+#include "codegen/readwrite.hpp"
+#include "ops/kernel_sources.hpp"
+
+namespace hipacc::codegen {
+namespace {
+
+using ast::BoundaryMode;
+using ast::ExprKind;
+using ast::MemSpace;
+using ast::Region;
+
+ast::KernelDecl ParseBilateral(BoundaryMode mode, bool with_mask = false) {
+  const frontend::KernelSource src =
+      with_mask ? ops::BilateralMaskSource(1, mode)
+                : ops::BilateralSource(1, mode);
+  auto kernel = frontend::ParseKernel(src);
+  EXPECT_TRUE(kernel.ok()) << kernel.status().ToString();
+  return std::move(kernel).take();
+}
+
+TEST(ReadWriteTest, AccessorsAreReadOnlyAndOutputWritten) {
+  const ast::KernelDecl kernel = ParseBilateral(BoundaryMode::kClamp);
+  const AccessSummary summary = AnalyzeAccesses(kernel);
+  ASSERT_EQ(summary.accessors.count("Input"), 1u);
+  EXPECT_EQ(summary.accessors.at("Input"), AccessKind::kRead);
+  EXPECT_TRUE(summary.output_written);
+}
+
+TEST(ReadWriteTest, MaskReadsCounted) {
+  const ast::KernelDecl kernel = ParseBilateral(BoundaryMode::kClamp, true);
+  const AccessSummary summary = AnalyzeAccesses(kernel);
+  ASSERT_EQ(summary.mask_reads.count("CMask"), 1u);
+  EXPECT_GE(summary.mask_reads.at("CMask"), 1);
+}
+
+TEST(LowerTest, BoundaryHandlingYieldsNineVariants) {
+  const ast::KernelDecl kernel = ParseBilateral(BoundaryMode::kMirror);
+  auto lowered = LowerKernel(kernel, {});
+  ASSERT_TRUE(lowered.ok()) << lowered.status().ToString();
+  EXPECT_EQ(lowered.value().variants.size(), 9u);
+  for (const Region region :
+       {Region::kTopLeft, Region::kTop, Region::kTopRight, Region::kLeft,
+        Region::kInterior, Region::kRight, Region::kBottomLeft,
+        Region::kBottom, Region::kBottomRight})
+    EXPECT_NE(lowered.value().FindVariant(region), nullptr);
+}
+
+TEST(LowerTest, UndefinedModeYieldsSingleVariant) {
+  const ast::KernelDecl kernel = ParseBilateral(BoundaryMode::kUndefined);
+  auto lowered = LowerKernel(kernel, {});
+  ASSERT_TRUE(lowered.ok());
+  EXPECT_EQ(lowered.value().variants.size(), 1u);
+  // ... and no guards anywhere.
+  ast::VisitExprs(lowered.value().variants.front().body,
+                  [](const ast::Expr& e) {
+                    if (e.kind == ExprKind::kMemRead) {
+                      EXPECT_FALSE(e.checks.any());
+                    }
+                  });
+}
+
+TEST(LowerTest, InteriorVariantHasNoGuards) {
+  const ast::KernelDecl kernel = ParseBilateral(BoundaryMode::kClamp);
+  auto lowered = LowerKernel(kernel, {});
+  ASSERT_TRUE(lowered.ok());
+  const ast::RegionVariant* interior =
+      lowered.value().FindVariant(Region::kInterior);
+  ASSERT_NE(interior, nullptr);
+  ast::VisitExprs(interior->body, [](const ast::Expr& e) {
+    if (e.kind == ExprKind::kMemRead && e.space == MemSpace::kGlobal) {
+      EXPECT_FALSE(e.checks.any());
+    }
+  });
+}
+
+TEST(LowerTest, CornerVariantGuardsItsTwoDirections) {
+  const ast::KernelDecl kernel = ParseBilateral(BoundaryMode::kClamp);
+  auto lowered = LowerKernel(kernel, {});
+  ASSERT_TRUE(lowered.ok());
+  const ast::RegionVariant* tl = lowered.value().FindVariant(Region::kTopLeft);
+  ASSERT_NE(tl, nullptr);
+  bool saw_guarded_read = false;
+  ast::VisitExprs(tl->body, [&](const ast::Expr& e) {
+    if (e.kind != ExprKind::kMemRead || e.name != "Input") return;
+    EXPECT_FALSE(e.checks.hi_x);
+    EXPECT_FALSE(e.checks.hi_y);
+    if (e.checks.lo_x || e.checks.lo_y) saw_guarded_read = true;
+  });
+  EXPECT_TRUE(saw_guarded_read);
+}
+
+TEST(LowerTest, UniformPolicyGuardsEverythingInOneVariant) {
+  const ast::KernelDecl kernel = ParseBilateral(BoundaryMode::kRepeat);
+  CodegenOptions options;
+  options.border = BorderPolicy::kUniform;
+  auto lowered = LowerKernel(kernel, options);
+  ASSERT_TRUE(lowered.ok());
+  EXPECT_EQ(lowered.value().variants.size(), 1u);
+  bool saw_full_guard = false;
+  ast::VisitExprs(lowered.value().variants.front().body,
+                  [&](const ast::Expr& e) {
+                    if (e.kind == ExprKind::kMemRead && e.checks.count() == 4)
+                      saw_full_guard = true;
+                  });
+  EXPECT_TRUE(saw_full_guard);
+}
+
+TEST(LowerTest, LiteralOffsetsNarrowGuards) {
+  frontend::KernelSource src;
+  src.name = "narrow";
+  src.accessors = {{"Input", {1, 1}, BoundaryMode::kClamp, 0.0f}};
+  src.body = "output() = Input(1, 0) + Input(-1, 0) + Input(0, 0);";
+  auto kernel = frontend::ParseKernel(src);
+  ASSERT_TRUE(kernel.ok());
+  CodegenOptions options;
+  options.border = BorderPolicy::kUniform;  // all four region guards offered
+  options.scalar_optimizer = false;         // keep the three reads distinct
+  auto lowered = LowerKernel(kernel.value(), options);
+  ASSERT_TRUE(lowered.ok());
+  int lo_only = 0, hi_only = 0, unguarded_x = 0;
+  ast::VisitExprs(lowered.value().variants.front().body,
+                  [&](const ast::Expr& e) {
+                    if (e.kind != ExprKind::kMemRead || e.name != "Input")
+                      return;
+                    // dy is 0 everywhere: y guards must be gone.
+                    EXPECT_FALSE(e.checks.lo_y);
+                    EXPECT_FALSE(e.checks.hi_y);
+                    if (e.checks.hi_x && !e.checks.lo_x) ++hi_only;
+                    if (e.checks.lo_x && !e.checks.hi_x) ++lo_only;
+                    if (!e.checks.lo_x && !e.checks.hi_x) ++unguarded_x;
+                  });
+  EXPECT_EQ(hi_only, 1);      // Input(+1, 0)
+  EXPECT_EQ(lo_only, 1);      // Input(-1, 0)
+  EXPECT_EQ(unguarded_x, 1);  // Input(0, 0): the center never leaves
+}
+
+TEST(LowerTest, TexturePolicySetsBufferSpace) {
+  const ast::KernelDecl kernel = ParseBilateral(BoundaryMode::kClamp);
+  CodegenOptions options;
+  options.texture = TexturePolicy::kLinear;
+  auto lowered = LowerKernel(kernel, options);
+  ASSERT_TRUE(lowered.ok());
+  bool input_texture = false, output_global = false;
+  for (const auto& buf : lowered.value().buffers) {
+    if (buf.name == "Input") input_texture = buf.space == MemSpace::kTexture;
+    if (buf.is_output) output_global = buf.space == MemSpace::kGlobal;
+  }
+  EXPECT_TRUE(input_texture);
+  EXPECT_TRUE(output_global);  // write path never goes through textures
+}
+
+TEST(LowerTest, HardwareBoundaryHandlingClearsGuards) {
+  const ast::KernelDecl kernel = ParseBilateral(BoundaryMode::kClamp);
+  CodegenOptions options;
+  options.texture = TexturePolicy::kArray2D;
+  auto lowered = LowerKernel(kernel, options);
+  ASSERT_TRUE(lowered.ok());
+  ast::VisitExprs(lowered.value().variants.front().body,
+                  [](const ast::Expr& e) {
+                    if (e.kind == ExprKind::kMemRead &&
+                        e.space == MemSpace::kTexture) {
+                      EXPECT_FALSE(e.checks.any());
+                    }
+                  });
+}
+
+TEST(LowerTest, MirrorWith2DTexturesIsUnimplemented) {
+  // The paper's "n/a" cells: no hardware address mode implements Mirror.
+  const ast::KernelDecl kernel = ParseBilateral(BoundaryMode::kMirror);
+  CodegenOptions options;
+  options.texture = TexturePolicy::kArray2D;
+  const auto lowered = LowerKernel(kernel, options);
+  ASSERT_FALSE(lowered.ok());
+  EXPECT_EQ(lowered.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(LowerTest, MaskPlacement) {
+  const ast::KernelDecl kernel = ParseBilateral(BoundaryMode::kClamp, true);
+  auto in_const = LowerKernel(kernel, {});
+  ASSERT_TRUE(in_const.ok());
+  EXPECT_EQ(in_const.value().const_masks.size(), 1u);
+  EXPECT_TRUE(in_const.value().global_masks.empty());
+
+  CodegenOptions options;
+  options.masks_in_constant_memory = false;
+  auto in_global = LowerKernel(kernel, options);
+  ASSERT_TRUE(in_global.ok());
+  EXPECT_TRUE(in_global.value().const_masks.empty());
+  ASSERT_EQ(in_global.value().global_masks.size(), 1u);
+  // ... and the mask shows up as a global buffer.
+  bool mask_buffer = false;
+  for (const auto& buf : in_global.value().buffers)
+    if (buf.name == "CMask" && buf.space == MemSpace::kGlobal)
+      mask_buffer = true;
+  EXPECT_TRUE(mask_buffer);
+}
+
+TEST(LowerTest, ScratchpadPlanForWindowedAccessor) {
+  const ast::KernelDecl kernel = ParseBilateral(BoundaryMode::kClamp);
+  CodegenOptions options;
+  options.use_scratchpad = true;
+  auto lowered = LowerKernel(kernel, options);
+  ASSERT_TRUE(lowered.ok());
+  ASSERT_TRUE(lowered.value().smem.has_value());
+  EXPECT_EQ(lowered.value().smem->accessor, "Input");
+  EXPECT_EQ(lowered.value().smem->window.half_x, 2);  // sigma_d=1: 5x5
+  // Reads are redirected into the tile.
+  bool shared_read = false;
+  ast::VisitExprs(lowered.value().variants.front().body,
+                  [&](const ast::Expr& e) {
+                    if (e.kind == ExprKind::kMemRead &&
+                        e.space == MemSpace::kShared)
+                      shared_read = true;
+                  });
+  EXPECT_TRUE(shared_read);
+}
+
+}  // namespace
+}  // namespace hipacc::codegen

@@ -1,0 +1,119 @@
+// Boundary index resolution — the semantics behind Table I and Figure 2.
+// Property-style parameterized sweeps plus the exact expansions of the
+// paper's figure.
+#include "dsl/boundary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hipacc::dsl {
+namespace {
+
+using ast::BoundaryMode;
+
+TEST(BoundaryTest, InRangeIsIdentityForAllModes) {
+  for (const BoundaryMode mode :
+       {BoundaryMode::kUndefined, BoundaryMode::kClamp, BoundaryMode::kRepeat,
+        BoundaryMode::kMirror, BoundaryMode::kConstant}) {
+    for (int c = 0; c < 7; ++c) EXPECT_EQ(ResolveBoundaryIndex(c, 7, mode), c);
+  }
+}
+
+TEST(BoundaryTest, ClampPinsToEdges) {
+  EXPECT_EQ(ResolveBoundaryIndex(-1, 4, BoundaryMode::kClamp), 0);
+  EXPECT_EQ(ResolveBoundaryIndex(-100, 4, BoundaryMode::kClamp), 0);
+  EXPECT_EQ(ResolveBoundaryIndex(4, 4, BoundaryMode::kClamp), 3);
+  EXPECT_EQ(ResolveBoundaryIndex(99, 4, BoundaryMode::kClamp), 3);
+}
+
+TEST(BoundaryTest, RepeatIsPeriodic) {
+  // Figure 2b row above the image shows M N O P continuing from the bottom.
+  EXPECT_EQ(ResolveBoundaryIndex(-1, 4, BoundaryMode::kRepeat), 3);
+  EXPECT_EQ(ResolveBoundaryIndex(-4, 4, BoundaryMode::kRepeat), 0);
+  EXPECT_EQ(ResolveBoundaryIndex(-5, 4, BoundaryMode::kRepeat), 3);
+  EXPECT_EQ(ResolveBoundaryIndex(4, 4, BoundaryMode::kRepeat), 0);
+  EXPECT_EQ(ResolveBoundaryIndex(9, 4, BoundaryMode::kRepeat), 1);
+}
+
+TEST(BoundaryTest, MirrorDuplicatesBorderPixel) {
+  // Figure 2d: -1 -> 0, -2 -> 1, -3 -> 2; n -> n-1, n+1 -> n-2.
+  EXPECT_EQ(ResolveBoundaryIndex(-1, 4, BoundaryMode::kMirror), 0);
+  EXPECT_EQ(ResolveBoundaryIndex(-2, 4, BoundaryMode::kMirror), 1);
+  EXPECT_EQ(ResolveBoundaryIndex(-3, 4, BoundaryMode::kMirror), 2);
+  EXPECT_EQ(ResolveBoundaryIndex(4, 4, BoundaryMode::kMirror), 3);
+  EXPECT_EQ(ResolveBoundaryIndex(5, 4, BoundaryMode::kMirror), 2);
+  EXPECT_EQ(ResolveBoundaryIndex(7, 4, BoundaryMode::kMirror), 0);
+}
+
+TEST(BoundaryTest, MirrorFarOutOfBoundsReflectsRepeatedly) {
+  // Period 2n: -n-1 reflects back inward.
+  EXPECT_EQ(ResolveBoundaryIndex(-5, 4, BoundaryMode::kMirror), 3);  // 2nd bounce
+  EXPECT_EQ(ResolveBoundaryIndex(8, 4, BoundaryMode::kMirror), 0);
+  EXPECT_EQ(ResolveBoundaryIndex(-8, 4, BoundaryMode::kMirror), 0);
+}
+
+TEST(BoundaryTest, ConstantSignalsSubstitution) {
+  EXPECT_EQ(ResolveBoundaryIndex(-1, 4, BoundaryMode::kConstant), -1);
+  EXPECT_EQ(ResolveBoundaryIndex(4, 4, BoundaryMode::kConstant), -1);
+  EXPECT_EQ(ResolveBoundaryIndex(2, 4, BoundaryMode::kConstant), 2);
+}
+
+TEST(BoundaryTest, UndefinedClampsAsSafetyNet) {
+  EXPECT_EQ(ResolveBoundaryIndex(-3, 4, BoundaryMode::kUndefined), 0);
+  EXPECT_EQ(ResolveBoundaryIndex(6, 4, BoundaryMode::kUndefined), 3);
+}
+
+// Property sweep: every resolving mode maps any coordinate into [0, n).
+struct SweepParam {
+  BoundaryMode mode;
+  int n;
+};
+
+class BoundarySweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(BoundarySweepTest, AlwaysLandsInRange) {
+  const auto [mode, n] = GetParam();
+  for (int c = -3 * n; c <= 3 * n; ++c) {
+    const int r = ResolveBoundaryIndex(c, n, mode);
+    ASSERT_GE(r, 0) << "c=" << c << " n=" << n;
+    ASSERT_LT(r, n) << "c=" << c << " n=" << n;
+  }
+}
+
+TEST_P(BoundarySweepTest, MirrorIsSymmetricAroundEdges) {
+  const auto [mode, n] = GetParam();
+  if (mode != BoundaryMode::kMirror) return;
+  for (int k = 0; k < n; ++k) {
+    // Reflection about the left edge: -1-k maps like k.
+    EXPECT_EQ(ResolveBoundaryIndex(-1 - k, n, mode),
+              ResolveBoundaryIndex(k, n, mode));
+    // Reflection about the right edge: n+k maps like n-1-k.
+    EXPECT_EQ(ResolveBoundaryIndex(n + k, n, mode),
+              ResolveBoundaryIndex(n - 1 - k, n, mode));
+  }
+}
+
+TEST_P(BoundarySweepTest, RepeatHasPeriodN) {
+  const auto [mode, n] = GetParam();
+  if (mode != BoundaryMode::kRepeat) return;
+  for (int c = -2 * n; c < 2 * n; ++c)
+    EXPECT_EQ(ResolveBoundaryIndex(c, n, mode),
+              ResolveBoundaryIndex(c + n, n, mode));
+}
+
+std::vector<SweepParam> SweepParams() {
+  std::vector<SweepParam> params;
+  for (const BoundaryMode mode : {BoundaryMode::kClamp, BoundaryMode::kRepeat,
+                                  BoundaryMode::kMirror, BoundaryMode::kUndefined})
+    for (const int n : {1, 2, 3, 7, 16, 61}) params.push_back({mode, n});
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(ModesAndSizes, BoundarySweepTest,
+                         ::testing::ValuesIn(SweepParams()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param.mode)) +
+                                  "_n" + std::to_string(info.param.n);
+                         });
+
+}  // namespace
+}  // namespace hipacc::dsl

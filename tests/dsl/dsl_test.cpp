@@ -1,0 +1,201 @@
+// The embedded DSL: Image upload/download with padding, Mask, Domain,
+// Accessor boundary views (the Figure 2 expansions), Kernel execution, and
+// global reductions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dsl/accessor.hpp"
+#include "dsl/image.hpp"
+#include "dsl/kernel.hpp"
+#include "dsl/mask.hpp"
+#include "dsl/reduce.hpp"
+#include "image/synthetic.hpp"
+
+namespace hipacc::dsl {
+namespace {
+
+using ast::BoundaryMode;
+
+TEST(ImageTest, PaddedStrideAndRoundTrip) {
+  Image<float> img(61, 9);  // 61 pads to 64
+  EXPECT_EQ(img.stride(), 64);
+  const HostImage<float> host = MakeNoiseImage(61, 9, 4);
+  img.CopyFrom(host);
+  EXPECT_EQ(img.getData(), host);
+}
+
+TEST(ImageTest, RawPointerAssignmentMatchesListing2) {
+  const HostImage<float> host = MakeIndexImage(8, 4);
+  Image<float> img(8, 4);
+  img = host.data();  // IN = host_in;
+  EXPECT_EQ(img.at(3, 2), host(3, 2));
+}
+
+TEST(MaskTest, CenteredIndexingAndAssignment) {
+  Mask<float> mask(3, 3);
+  mask = std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(mask(-1, -1), 1.0f);
+  EXPECT_EQ(mask(0, 0), 5.0f);
+  EXPECT_EQ(mask(1, 1), 9.0f);
+  EXPECT_EQ(mask(1, -1), 3.0f);
+  EXPECT_EQ(mask.half_x(), 1);
+  EXPECT_EQ(mask.window().half_y, 1);
+}
+
+TEST(DomainTest, FootprintToggling) {
+  Domain domain(3, 3);
+  EXPECT_EQ(domain.count(), 9);
+  domain.set(0, 0, false);
+  domain.set(-1, -1, false);
+  EXPECT_EQ(domain.count(), 7);
+  EXPECT_FALSE(domain(0, 0));
+  EXPECT_TRUE(domain(1, 0));
+}
+
+// Figure 2 as data: the 4x4 image A..P viewed through each boundary mode.
+class Figure2Test : public ::testing::TestWithParam<BoundaryMode> {};
+
+TEST_P(Figure2Test, ExpansionRowsMatchPaper) {
+  const BoundaryMode mode = GetParam();
+  Image<float> img(4, 4);
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 4; ++x) img.at(x, y) = static_cast<float>(y * 4 + x);
+  BoundaryCondition<float> bc =
+      mode == BoundaryMode::kConstant
+          ? BoundaryCondition<float>(img, 7, 7, mode, 16.0f)
+          : BoundaryCondition<float>(img, 7, 7, mode);
+  Accessor<float> acc(bc);
+
+  auto row = [&](int y) {
+    std::string out;
+    for (int x = -3; x < 7; ++x)
+      out += static_cast<char>('A' + static_cast<int>(acc.at(x, y)));
+    return out;
+  };
+
+  switch (mode) {
+    case BoundaryMode::kRepeat:
+      // Figure 2b, first row shown: F G H E F G H E F G (y = -3).
+      EXPECT_EQ(row(-3), "FGHEFGHEFG");
+      EXPECT_EQ(row(0), "BCDABCDABC");
+      break;
+    case BoundaryMode::kClamp:
+      // Figure 2c: rows above the image clamp to the first row.
+      EXPECT_EQ(row(-1), "AAAABCDDDD");
+      EXPECT_EQ(row(0), "AAAABCDDDD");
+      EXPECT_EQ(row(3), "MMMMNOPPPP");
+      break;
+    case BoundaryMode::kMirror:
+      // Figure 2d, row y = 0 of the expansion: C B A A B C D D C B.
+      EXPECT_EQ(row(0), "CBAABCDDCB");
+      EXPECT_EQ(row(-1), "CBAABCDDCB");
+      EXPECT_EQ(row(-2), "GFEEFGHHGF");
+      break;
+    case BoundaryMode::kConstant:
+      // Figure 2e: everything outside is 'Q'.
+      EXPECT_EQ(row(-3), "QQQQQQQQQQ");
+      EXPECT_EQ(row(0), "QQQABCDQQQ");
+      break;
+    default:
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, Figure2Test,
+                         ::testing::Values(BoundaryMode::kRepeat,
+                                           BoundaryMode::kClamp,
+                                           BoundaryMode::kMirror,
+                                           BoundaryMode::kConstant),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// A 3x3 mean filter as a Kernel subclass: checks iteration, accessors,
+// output(), and x()/y().
+class MeanKernel : public Kernel<float> {
+ public:
+  MeanKernel(IterationSpace<float>& is, Accessor<float>& input)
+      : Kernel(is), input_(input) {
+    addAccessor(&input_);
+  }
+  void kernel() override {
+    float sum = 0.0f;
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dx = -1; dx <= 1; ++dx) sum += input_(dx, dy);
+    output() = sum / 9.0f;
+  }
+
+ private:
+  Accessor<float>& input_;
+};
+
+TEST(KernelTest, MeanFilterMatchesDirectComputation) {
+  const int n = 16;
+  const HostImage<float> host = MakeNoiseImage(n, n, 77);
+  Image<float> in(n, n), out(n, n);
+  in.CopyFrom(host);
+  BoundaryCondition<float> bc(in, 3, 3, BoundaryMode::kClamp);
+  Accessor<float> acc(bc);
+  IterationSpace<float> is(out);
+  MeanKernel mean(is, acc);
+  mean.execute();
+
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      float expected = 0.0f;
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int cx = std::clamp(x + dx, 0, n - 1);
+          const int cy = std::clamp(y + dy, 0, n - 1);
+          expected += host(cx, cy);
+        }
+      expected /= 9.0f;
+      ASSERT_FLOAT_EQ(out.at(x, y), expected) << x << "," << y;
+    }
+  }
+}
+
+class CoordKernel : public Kernel<float> {
+ public:
+  explicit CoordKernel(IterationSpace<float>& is) : Kernel(is) {}
+  void kernel() override { output() = static_cast<float>(y() * 100 + x()); }
+};
+
+TEST(KernelTest, IterationSpaceRegionOfInterest) {
+  Image<float> out(8, 8);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) out.at(x, y) = -1.0f;
+  IterationSpace<float> roi(out, 2, 3, 4, 2);  // x:2..5, y:3..4
+  CoordKernel coords(roi);
+  coords.execute();
+  EXPECT_EQ(out.at(2, 3), 302.0f);
+  EXPECT_EQ(out.at(5, 4), 405.0f);
+  EXPECT_EQ(out.at(0, 0), -1.0f);  // outside the ROI untouched
+  EXPECT_EQ(out.at(6, 3), -1.0f);
+}
+
+TEST(ReduceTest, SumMinMax) {
+  Image<float> img(4, 3);
+  float expected_sum = 0.0f;
+  for (int y = 0; y < 3; ++y)
+    for (int x = 0; x < 4; ++x) {
+      img.at(x, y) = static_cast<float>(y * 4 + x);
+      expected_sum += img.at(x, y);
+    }
+  EXPECT_FLOAT_EQ(ReduceSum(img), expected_sum);
+  EXPECT_FLOAT_EQ(ReduceMin(img), 0.0f);
+  EXPECT_FLOAT_EQ(ReduceMax(img), 11.0f);
+}
+
+TEST(ReduceTest, GenericCombine) {
+  Image<float> img(32, 32);
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) img.at(x, y) = 1.0f;
+  // Count via sum of ones.
+  EXPECT_FLOAT_EQ(Reduce<float>(img, 0.0f, [](float a, float b) { return a + b; }),
+                  1024.0f);
+}
+
+}  // namespace
+}  // namespace hipacc::dsl

@@ -1,0 +1,117 @@
+// The convolve() syntax (paper Listing 9, Section VIII future work):
+// unrolling, coefficient constant propagation, reductions, and error cases.
+#include <gtest/gtest.h>
+
+#include "ast/visitor.hpp"
+#include "frontend/parser.hpp"
+#include "ops/kernel_sources.hpp"
+
+namespace hipacc::frontend {
+namespace {
+
+using ast::ExprKind;
+
+KernelSource ConvolveSource(const std::string& body,
+                            std::vector<float> coeffs = {0.f, 1.f, 0.f, 1.f,
+                                                         4.f, 1.f, 0.f, 1.f,
+                                                         0.f},
+                            bool static_mask = true) {
+  KernelSource src;
+  src.name = "convolve_test";
+  src.accessors = {{"Input", {1, 1}, ast::BoundaryMode::kClamp, 0.0f}};
+  ast::MaskInfo mask;
+  mask.name = "M";
+  mask.size_x = mask.size_y = 3;
+  if (static_mask) mask.static_values = std::move(coeffs);
+  src.masks = {mask};
+  src.body = body;
+  return src;
+}
+
+TEST(ConvolveTest, UnrollsAndPropagatesCoefficients) {
+  auto kernel = ParseKernel(
+      ConvolveSource("output() = convolve(M, SUM, M() * Input(M));"));
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  int reads = 0, mask_reads = 0, loops = 0;
+  ast::VisitStmts(kernel.value().body, [&](const ast::Stmt& s) {
+    if (s.kind == ast::StmtKind::kFor) ++loops;
+  });
+  ast::VisitExprs(kernel.value().body, [&](const ast::Expr& e) {
+    if (e.kind == ExprKind::kAccessorRead) ++reads;
+    if (e.kind == ExprKind::kMaskRead) ++mask_reads;
+  });
+  EXPECT_EQ(loops, 0);       // fully unrolled
+  EXPECT_EQ(mask_reads, 0);  // coefficients propagated as literals
+  EXPECT_EQ(reads, 9);       // one pixel read per tap
+}
+
+TEST(ConvolveTest, MatchesListing9Shape) {
+  // The exact shape the paper proposes.
+  const frontend::KernelSource src =
+      ops::GaussianConvolveSource(5, 1.0f, ast::BoundaryMode::kMirror);
+  auto kernel = ParseKernel(src);
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  int reads = 0;
+  ast::VisitExprs(kernel.value().body, [&](const ast::Expr& e) {
+    if (e.kind == ExprKind::kAccessorRead) ++reads;
+  });
+  EXPECT_EQ(reads, 25);
+}
+
+TEST(ConvolveTest, MinMaxProdReductions) {
+  for (const char* reduce : {"MIN", "MAX", "PROD"}) {
+    auto kernel = ParseKernel(ConvolveSource(
+        std::string("output() = convolve(M, ") + reduce + ", Input(M));"));
+    EXPECT_TRUE(kernel.ok()) << reduce << ": " << kernel.status().ToString();
+  }
+}
+
+TEST(ConvolveTest, ExplicitLiteralMaskIndexPropagates) {
+  // M(0, 0) inside the body also becomes a literal (the center coefficient).
+  auto kernel = ParseKernel(ConvolveSource(
+      "output() = convolve(M, SUM, (M() - M(0, 0)) * Input(M));"));
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  int mask_reads = 0;
+  ast::VisitExprs(kernel.value().body, [&](const ast::Expr& e) {
+    if (e.kind == ExprKind::kMaskRead) ++mask_reads;
+  });
+  EXPECT_EQ(mask_reads, 0);
+}
+
+TEST(ConvolveTest, CombinesWithSurroundingExpression) {
+  auto kernel = ParseKernel(ConvolveSource(
+      "float norm = 8.0f;\n"
+      "output() = convolve(M, SUM, M() * Input(M)) / norm;"));
+  EXPECT_TRUE(kernel.ok()) << kernel.status().ToString();
+}
+
+TEST(ConvolveErrorTest, DynamicMaskRejected) {
+  auto result = ParseKernel(
+      ConvolveSource("output() = convolve(M, SUM, M() * Input(M));", {},
+                     /*static_mask=*/false));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("compile-time-constant"),
+            std::string::npos);
+}
+
+TEST(ConvolveErrorTest, UnknownReductionRejected) {
+  EXPECT_FALSE(ParseKernel(ConvolveSource(
+      "output() = convolve(M, AVG, Input(M));")).ok());
+}
+
+TEST(ConvolveErrorTest, NonMaskFirstArgumentRejected) {
+  EXPECT_FALSE(ParseKernel(ConvolveSource(
+      "output() = convolve(Input, SUM, Input(M));")).ok());
+}
+
+TEST(ConvolveErrorTest, NestedConvolveRejected) {
+  EXPECT_FALSE(ParseKernel(ConvolveSource(
+      "output() = convolve(M, SUM, convolve(M, SUM, Input(M)));")).ok());
+}
+
+TEST(ConvolveErrorTest, BareMaskNameOutsideConvolveRejected) {
+  EXPECT_FALSE(ParseKernel(ConvolveSource("output() = Input(M);")).ok());
+}
+
+}  // namespace
+}  // namespace hipacc::frontend

@@ -1,0 +1,86 @@
+#include "frontend/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hipacc::frontend {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::string& source) {
+  auto tokens = Lex(source);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenKind> kinds;
+  for (const auto& tok : tokens.value()) kinds.push_back(tok.kind);
+  return kinds;
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  const auto kinds = Kinds("float x int if else for output bool foo_1");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kKwFloat, TokenKind::kIdent,
+                       TokenKind::kKwInt, TokenKind::kKwIf, TokenKind::kKwElse,
+                       TokenKind::kKwFor, TokenKind::kKwOutput,
+                       TokenKind::kKwBool, TokenKind::kIdent, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, NumericLiterals) {
+  auto tokens = Lex("42 1.5f 2. 1e3 2.5e-2 7f").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntLit);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloatLit);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 1.5);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kFloatLit);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kFloatLit);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[4].float_value, 0.025);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kFloatLit);  // f-suffixed integer
+}
+
+TEST(LexerTest, OperatorsIncludingCompound) {
+  const auto kinds = Kinds("+ += ++ - -= -- * *= / /= < <= > >= == != ! && ||");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kPlus, TokenKind::kPlusAssign,
+                       TokenKind::kPlusPlus, TokenKind::kMinus,
+                       TokenKind::kMinusAssign, TokenKind::kMinusMinus,
+                       TokenKind::kStar, TokenKind::kStarAssign,
+                       TokenKind::kSlash, TokenKind::kSlashAssign,
+                       TokenKind::kLt, TokenKind::kLe, TokenKind::kGt,
+                       TokenKind::kGe, TokenKind::kEqEq, TokenKind::kNe,
+                       TokenKind::kNot, TokenKind::kAndAnd, TokenKind::kOrOr,
+                       TokenKind::kEnd}));
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  const auto kinds = Kinds("a // line comment\n b /* block\n comment */ c");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{TokenKind::kIdent, TokenKind::kIdent,
+                                           TokenKind::kIdent, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  auto tokens = Lex("a\nb\n  c").value();
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 3);
+  EXPECT_EQ(tokens[2].column, 3);
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Lex("a @ b").ok());
+  EXPECT_FALSE(Lex("a # b").ok());
+  EXPECT_FALSE(Lex("a & b").ok());  // single & unsupported
+}
+
+TEST(LexerTest, RejectsUnterminatedBlockComment) {
+  EXPECT_FALSE(Lex("a /* never closed").ok());
+}
+
+TEST(LexerTest, RejectsMalformedExponent) {
+  EXPECT_FALSE(Lex("1e+").ok());
+}
+
+TEST(LexerTest, EmptyInputGivesOnlyEnd) {
+  const auto kinds = Kinds("");
+  EXPECT_EQ(kinds, std::vector<TokenKind>{TokenKind::kEnd});
+}
+
+}  // namespace
+}  // namespace hipacc::frontend

@@ -1,0 +1,204 @@
+#include "frontend/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ast/const_fold.hpp"
+#include "ast/printer.hpp"
+#include "ast/visitor.hpp"
+#include "ops/kernel_sources.hpp"
+
+namespace hipacc::frontend {
+namespace {
+
+using ast::ExprKind;
+using ast::ScalarType;
+using ast::StmtKind;
+
+KernelSource MinimalSource(const std::string& body) {
+  KernelSource src;
+  src.name = "test_kernel";
+  src.params = {{"gain", ScalarType::kFloat}};
+  src.accessors = {{"Input", {1, 1}, ast::BoundaryMode::kClamp, 0.0f}};
+  ast::MaskInfo mask;
+  mask.name = "M";
+  mask.size_x = mask.size_y = 3;
+  src.masks = {mask};
+  src.body = body;
+  return src;
+}
+
+TEST(ParserTest, ParsesBilateralListing) {
+  const KernelSource src = ops::BilateralSource(3, ast::BoundaryMode::kMirror);
+  auto kernel = ParseKernel(src);
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  EXPECT_EQ(kernel.value().name, "bilateral");
+  EXPECT_EQ(kernel.value().accessors.size(), 1u);
+  // The body contains two nested loops and an output assignment.
+  int fors = 0, outputs = 0;
+  ast::VisitStmts(kernel.value().body, [&](const ast::Stmt& s) {
+    if (s.kind == StmtKind::kFor) ++fors;
+    if (s.kind == StmtKind::kOutputAssign) ++outputs;
+  });
+  EXPECT_EQ(fors, 2);
+  EXPECT_EQ(outputs, 1);
+}
+
+TEST(ParserTest, AccessorReadForms) {
+  auto kernel = ParseKernel(MinimalSource(
+      "output() = Input() + Input(1, -1) + gain;"));
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  int center = 0, offset = 0;
+  ast::VisitExprs(kernel.value().body, [&](const ast::Expr& e) {
+    if (e.kind != ExprKind::kAccessorRead) return;
+    double dx = 0.0;
+    if (ast::EvaluateConstant(e.args[0], &dx) && dx == 0.0) ++center;
+    else ++offset;
+  });
+  EXPECT_EQ(center, 1);
+  EXPECT_EQ(offset, 1);
+}
+
+TEST(ParserTest, MaskReadAndMathCalls) {
+  auto kernel = ParseKernel(MinimalSource(
+      "float s = exp(-1.0f) * M(0, 0);\n"
+      "output() = fmin(s, 1.0f);"));
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  bool saw_mask = false, saw_exp = false, saw_fmin = false;
+  ast::VisitExprs(kernel.value().body, [&](const ast::Expr& e) {
+    if (e.kind == ExprKind::kMaskRead && e.name == "M") saw_mask = true;
+    if (e.kind == ExprKind::kCall && e.name == "exp") saw_exp = true;
+    if (e.kind == ExprKind::kCall && e.name == "fmin") saw_fmin = true;
+  });
+  EXPECT_TRUE(saw_mask);
+  EXPECT_TRUE(saw_exp);
+  EXPECT_TRUE(saw_fmin);
+}
+
+TEST(ParserTest, CudaSuffixedSpellingCanonicalises) {
+  auto kernel = ParseKernel(MinimalSource("output() = expf(Input());"));
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  bool canonical = false;
+  ast::VisitExprs(kernel.value().body, [&](const ast::Expr& e) {
+    if (e.kind == ExprKind::kCall) canonical = e.name == "exp";
+  });
+  EXPECT_TRUE(canonical);
+}
+
+TEST(ParserTest, IterationIndicesParse) {
+  auto kernel = ParseKernel(MinimalSource(
+      "output() = Input() + (float)(x() + y());"));
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  int idx = 0;
+  ast::VisitExprs(kernel.value().body, [&](const ast::Expr& e) {
+    if (e.kind == ExprKind::kIterIndex) ++idx;
+  });
+  EXPECT_EQ(idx, 2);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto kernel = ParseKernel(MinimalSource(
+      "float v = 1.0f + 2.0f * 3.0f;\n"
+      "output() = v;"));
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  // 1 + (2*3) = 7 after folding.
+  double value = 0.0;
+  const ast::StmtPtr decl = kernel.value().body->body.front();
+  ASSERT_TRUE(ast::EvaluateConstant(decl->value, &value));
+  EXPECT_DOUBLE_EQ(value, 7.0);
+}
+
+TEST(ParserTest, TernaryAndLogical) {
+  auto kernel = ParseKernel(MinimalSource(
+      "output() = Input() > 0.5f && Input() < 1.0f ? 1.0f : 0.0f;"));
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+}
+
+TEST(ParserTest, ForLoopVariants) {
+  // <= form, < form, ++, += step.
+  EXPECT_TRUE(ParseKernel(MinimalSource(
+      "float s = 0.0f;\n"
+      "for (int i = 0; i <= 3; i++) { s += 1.0f; }\n"
+      "for (int j = 0; j < 4; j++) { s += 1.0f; }\n"
+      "for (int k = -2; k <= 2; k += 2) { s += 1.0f; }\n"
+      "output() = s;")).ok());
+}
+
+TEST(ParserTest, MultiDeclarationStatement) {
+  auto kernel = ParseKernel(MinimalSource(
+      "float a = 1.0f, b = 2.0f, c;\n"
+      "c = a + b;\n"
+      "output() = c;"));
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+}
+
+TEST(ParserTest, ScopingAllowsShadowBlocks) {
+  EXPECT_TRUE(ParseKernel(MinimalSource(
+      "float a = 1.0f;\n"
+      "if (a > 0.0f) { float b = 2.0f; a = b; }\n"
+      "output() = a;")).ok());
+}
+
+// ---- error cases ----------------------------------------------------------
+
+TEST(ParserErrorTest, UndeclaredVariable) {
+  const auto result = ParseKernel(MinimalSource("output() = nope;"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("undeclared"), std::string::npos);
+}
+
+TEST(ParserErrorTest, UnsupportedFunctionIsRejected) {
+  // Section V-A: "In case a function is not supported, our compiler emits an
+  // error message to the user."
+  const auto result = ParseKernel(MinimalSource("output() = erfinv(1.0f);"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("not supported"), std::string::npos);
+}
+
+TEST(ParserErrorTest, FunctionArityChecked) {
+  EXPECT_FALSE(ParseKernel(MinimalSource("output() = exp(1.0f, 2.0f);")).ok());
+  EXPECT_FALSE(ParseKernel(MinimalSource("output() = fmin(1.0f);")).ok());
+}
+
+TEST(ParserErrorTest, AccessorArityChecked) {
+  EXPECT_FALSE(ParseKernel(MinimalSource("output() = Input(1);")).ok());
+  EXPECT_FALSE(ParseKernel(MinimalSource("output() = Input(1, 2, 3);")).ok());
+}
+
+TEST(ParserErrorTest, MaskRequiresTwoIndices) {
+  EXPECT_FALSE(ParseKernel(MinimalSource("output() = M(0);")).ok());
+}
+
+TEST(ParserErrorTest, ParametersAreReadOnly) {
+  const auto result =
+      ParseKernel(MinimalSource("gain = 2.0f;\noutput() = gain;"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("read-only"), std::string::npos);
+}
+
+TEST(ParserErrorTest, MissingOutputAssignment) {
+  const auto result = ParseKernel(MinimalSource("float a = 1.0f;"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("output"), std::string::npos);
+}
+
+TEST(ParserErrorTest, RedeclarationInSameScope) {
+  EXPECT_FALSE(ParseKernel(MinimalSource(
+      "float a = 1.0f;\nfloat a = 2.0f;\noutput() = a;")).ok());
+}
+
+TEST(ParserErrorTest, NonCanonicalLoopsRejected) {
+  EXPECT_FALSE(ParseKernel(MinimalSource(
+      "for (int i = 0; i >= -3; i++) { }\noutput() = 0.0f;")).ok());
+  EXPECT_FALSE(ParseKernel(MinimalSource(
+      "for (int i = 0; i <= 3; i -= 1) { }\noutput() = 0.0f;")).ok());
+}
+
+TEST(ParserErrorTest, SyntaxErrorsCarryLocation) {
+  const auto result = ParseKernel(MinimalSource("output() = ;"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("test_kernel:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hipacc::frontend

@@ -1,0 +1,116 @@
+// Algorithm 2: configuration selection. Checks the paper's worked examples —
+// 32x6 for the 13x13 bilateral on the Tesla C2050 (Figure 4), 1D tilings for
+// kernels without boundary handling, and the 32x3-beats-32x4/32x6 border
+// metric example of Section V-C.
+#include "hwmodel/heuristic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/device_db.hpp"
+
+namespace hipacc::hw {
+namespace {
+
+HeuristicInput BilateralInput() {
+  HeuristicInput input;
+  input.device = TeslaC2050();
+  input.resources.regs_per_thread = 20;  // what the estimator reports
+  input.border_handling = true;
+  input.window = {6, 6};  // 13x13
+  input.image_width = 4096;
+  input.image_height = 4096;
+  return input;
+}
+
+TEST(HeuristicTest, Selects32x6ForBilateralOnTesla) {
+  const auto choice = SelectConfig(BilateralInput());
+  ASSERT_TRUE(choice.ok()) << choice.status().ToString();
+  EXPECT_EQ(choice.value().config.block_x, 32);
+  EXPECT_EQ(choice.value().config.block_y, 6);
+  EXPECT_DOUBLE_EQ(choice.value().occupancy.occupancy, 1.0);
+}
+
+TEST(HeuristicTest, BorderTilingUsesSimdWidthInX) {
+  HeuristicInput input = BilateralInput();
+  input.device = RadeonHd5870();
+  const auto choice = SelectConfig(input);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice.value().config.block_x, input.device.simd_width);
+}
+
+TEST(HeuristicTest, NoBorderHandlingPicks1dConfig) {
+  HeuristicInput input = BilateralInput();
+  input.border_handling = false;
+  input.window = {0, 0};
+  const auto choice = SelectConfig(input);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice.value().config.block_y, 1);
+  EXPECT_GE(choice.value().config.block_x, 128);  // 128x1 / 256x1 style
+  EXPECT_DOUBLE_EQ(choice.value().occupancy.occupancy, 1.0);
+}
+
+TEST(HeuristicTest, TiesPreferFewerThreads) {
+  // Without border handling, among same-occupancy 1D configs the smallest
+  // thread count wins (Section V-C: "the one with the lowest number of
+  // threads is chosen").
+  HeuristicInput input = BilateralInput();
+  input.border_handling = false;
+  const auto choice = SelectConfig(input);
+  ASSERT_TRUE(choice.ok());
+  const auto all = ExploreConfigs(input);
+  for (const auto& candidate : all) {
+    if (candidate.occupancy.occupancy ==
+            choice.value().occupancy.occupancy &&
+        candidate.config.block_y == 1) {
+      EXPECT_LE(choice.value().config.threads(), candidate.config.threads());
+    }
+  }
+}
+
+TEST(HeuristicTest, ApproxBorderThreadsPaperExample) {
+  // Section V-C: "we prefer a configuration of 32x6 over 32x4 for a window
+  // size of 13x13, a configuration of 32x3, however, would be preferred to
+  // the two aforementioned."
+  const int w = 4096, h = 4096;
+  const ast::WindowExtent window{6, 6};
+  const long long bh_32x6 = ApproxBorderThreads({32, 6}, w, h, window);
+  const long long bh_32x4 = ApproxBorderThreads({32, 4}, w, h, window);
+  const long long bh_32x3 = ApproxBorderThreads({32, 3}, w, h, window);
+  EXPECT_LT(bh_32x6, bh_32x4);
+  EXPECT_LE(bh_32x3, bh_32x6);
+}
+
+TEST(HeuristicTest, FailsWhenNothingFits) {
+  HeuristicInput input = BilateralInput();
+  input.resources.regs_per_thread = 4096;  // nothing can launch
+  const auto choice = SelectConfig(input);
+  EXPECT_FALSE(choice.ok());
+  EXPECT_EQ(choice.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(HeuristicTest, RespectsSmemTileGrowth) {
+  // With a scratchpad tile, large block_y configurations blow the shared
+  // memory budget; the selection must stay valid.
+  HeuristicInput input = BilateralInput();
+  input.device = QuadroFx5800();  // 16 KB scratchpad
+  input.resources.smem_tile = true;
+  input.resources.smem_halo_x = 6;
+  input.resources.smem_halo_y = 6;
+  const auto choice = SelectConfig(input);
+  ASSERT_TRUE(choice.ok()) << choice.status().ToString();
+  const int smem =
+      input.resources.SmemBytesPerBlock(choice.value().config);
+  EXPECT_LE(smem, input.device.smem_per_sm);
+}
+
+TEST(ExploreConfigsTest, OnlyValidCandidates) {
+  const auto all = ExploreConfigs(BilateralInput());
+  EXPECT_GT(all.size(), 20u);
+  for (const auto& candidate : all) {
+    EXPECT_TRUE(candidate.occupancy.valid);
+    EXPECT_GT(candidate.border_threads, 0);
+  }
+}
+
+}  // namespace
+}  // namespace hipacc::hw

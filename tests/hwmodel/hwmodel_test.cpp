@@ -1,0 +1,217 @@
+// Hardware model: device database, occupancy calculation (register
+// allocation strategies, granularities, limiters), grids and region bands.
+#include <gtest/gtest.h>
+
+#include "hwmodel/config.hpp"
+#include "hwmodel/device_db.hpp"
+#include "hwmodel/occupancy.hpp"
+
+namespace hipacc::hw {
+namespace {
+
+TEST(DeviceDbTest, ContainsEvaluationCards) {
+  for (const char* name : {"Tesla C2050", "Quadro FX 5800", "Radeon HD 5870",
+                           "Radeon HD 6970"}) {
+    auto device = FindDevice(name);
+    ASSERT_TRUE(device.ok()) << name;
+    EXPECT_EQ(device.value().name, name);
+  }
+  EXPECT_FALSE(FindDevice("GeForce 256").ok());
+}
+
+TEST(DeviceDbTest, ArchitecturalFactsFromThePaper) {
+  // "on graphics cards from AMD, the maximal number of threads that can be
+  // mapped to one SIMD unit is 256, while this limit is either 512, 768, or
+  // 1024 on graphics cards from NVIDIA" (Section V-C).
+  EXPECT_EQ(RadeonHd5870().max_threads_per_block, 256);
+  EXPECT_EQ(RadeonHd6970().max_threads_per_block, 256);
+  EXPECT_EQ(TeslaC2050().max_threads_per_block, 1024);
+  EXPECT_EQ(QuadroFx5800().max_threads_per_block, 512);
+  // VLIW architectures (Section II / VI-A).
+  EXPECT_EQ(RadeonHd5870().isa, CoreIsa::kVliw5);
+  EXPECT_EQ(RadeonHd6970().isa, CoreIsa::kVliw4);
+  EXPECT_EQ(RadeonHd5870().vliw_lanes(), 5);
+  // Register allocation strategy differs between CC 1.x and 2.x.
+  EXPECT_TRUE(QuadroFx5800().regs_allocated_per_block);
+  EXPECT_FALSE(TeslaC2050().regs_allocated_per_block);
+}
+
+TEST(OccupancyTest, FullOccupancyWhenNothingLimits) {
+  const DeviceSpec device = TeslaC2050();
+  KernelResources res;
+  res.regs_per_thread = 16;
+  const OccupancyResult occ = ComputeOccupancy(device, {32, 6}, res);
+  ASSERT_TRUE(occ.valid);
+  EXPECT_EQ(occ.blocks_per_sm, 8);
+  EXPECT_EQ(occ.active_warps, 48);
+  EXPECT_DOUBLE_EQ(occ.occupancy, 1.0);
+}
+
+TEST(OccupancyTest, RegistersLimitResidency) {
+  const DeviceSpec device = TeslaC2050();
+  KernelResources res;
+  res.regs_per_thread = 40;  // 40*32 = 1280 regs/warp -> 25 warps max
+  const OccupancyResult occ = ComputeOccupancy(device, {32, 8}, res);
+  ASSERT_TRUE(occ.valid);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kRegisters);
+  EXPECT_LT(occ.occupancy, 0.75);
+}
+
+TEST(OccupancyTest, BlockCountLimitsSmallBlocks) {
+  KernelResources res;
+  res.regs_per_thread = 8;
+  const OccupancyResult occ = ComputeOccupancy(TeslaC2050(), {32, 1}, res);
+  ASSERT_TRUE(occ.valid);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kBlocks);
+  EXPECT_EQ(occ.active_warps, 8);  // 8 blocks x 1 warp
+}
+
+TEST(OccupancyTest, SharedMemoryLimits) {
+  const DeviceSpec device = QuadroFx5800();  // 16 KB per SM
+  KernelResources res;
+  res.regs_per_thread = 10;
+  res.smem_static_bytes = 6 * 1024;
+  const OccupancyResult occ = ComputeOccupancy(device, {64, 2}, res);
+  ASSERT_TRUE(occ.valid);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::kSharedMemory);
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+}
+
+TEST(OccupancyTest, SmemTileGrowsWithConfig) {
+  KernelResources res;
+  res.smem_tile = true;
+  res.smem_halo_x = 6;
+  res.smem_halo_y = 6;
+  // (32 + 12 + 1) x (4 + 12) x 4 B = 2880 B.
+  EXPECT_EQ(res.SmemBytesPerBlock({32, 4}), 45 * 16 * 4);
+  EXPECT_GT(res.SmemBytesPerBlock({64, 4}), res.SmemBytesPerBlock({32, 4}));
+}
+
+TEST(OccupancyTest, InvalidConfigurations) {
+  KernelResources res;
+  // Too many threads per block.
+  EXPECT_FALSE(ComputeOccupancy(RadeonHd5870(), {32, 16}, res).valid);
+  EXPECT_FALSE(ComputeOccupancy(TeslaC2050(), {1024, 2}, res).valid);
+  // Shared memory cannot fit a single block.
+  KernelResources big;
+  big.smem_static_bytes = 64 * 1024;
+  EXPECT_FALSE(ComputeOccupancy(TeslaC2050(), {128, 1}, big).valid);
+  // Registers cannot fit a single block.
+  KernelResources greedy;
+  greedy.regs_per_thread = 200;
+  EXPECT_FALSE(ComputeOccupancy(QuadroFx5800(), {512, 1}, greedy).valid);
+}
+
+TEST(OccupancyTest, PerBlockRegisterGranularityOnCc1x) {
+  // CC 1.x rounds register allocation to warp pairs and 512-register
+  // granularity — a kernel just over a boundary loses a whole block.
+  const DeviceSpec device = QuadroFx5800();
+  KernelResources res;
+  res.regs_per_thread = 16;  // 16*32*2(pair) = 1024 regs per 64-thread block
+  const OccupancyResult at16 = ComputeOccupancy(device, {64, 1}, res);
+  res.regs_per_thread = 17;
+  const OccupancyResult at17 = ComputeOccupancy(device, {64, 1}, res);
+  ASSERT_TRUE(at16.valid && at17.valid);
+  EXPECT_GE(at16.blocks_per_sm, at17.blocks_per_sm);
+}
+
+TEST(GridTest, CeilDivCoverage) {
+  const GridDim grid = ComputeGrid({128, 1}, 4096, 4096);
+  EXPECT_EQ(grid.blocks_x, 32);
+  EXPECT_EQ(grid.blocks_y, 4096);
+  const GridDim uneven = ComputeGrid({32, 6}, 100, 100);
+  EXPECT_EQ(uneven.blocks_x, 4);   // 100/32 -> 4
+  EXPECT_EQ(uneven.blocks_y, 17);  // 100/6 -> 17
+}
+
+TEST(RegionGridTest, BandsCoverExactlyTheGuardedPixels) {
+  const RegionGrid rg = ComputeRegionGrid({32, 6}, 4096, 4096, {6, 6});
+  EXPECT_EQ(rg.band_left, 1);
+  EXPECT_EQ(rg.band_top, 1);
+  EXPECT_EQ(rg.band_right, 1);
+  // 683 block rows of 6 cover 4098 > 4096: the partial trailing row plus one
+  // full row hold all pixels within 6 of the bottom edge.
+  EXPECT_EQ(rg.band_bottom, 2);
+}
+
+TEST(RegionGridTest, RegionOfMatchesFigure3Layout) {
+  const RegionGrid rg = ComputeRegionGrid({32, 32}, 1024, 1024, {6, 6});
+  using ast::Region;
+  EXPECT_EQ(rg.RegionOf(0, 0), Region::kTopLeft);
+  EXPECT_EQ(rg.RegionOf(5, 0), Region::kTop);
+  EXPECT_EQ(rg.RegionOf(rg.grid.blocks_x - 1, 0), Region::kTopRight);
+  EXPECT_EQ(rg.RegionOf(0, 5), Region::kLeft);
+  EXPECT_EQ(rg.RegionOf(5, 5), Region::kInterior);
+  EXPECT_EQ(rg.RegionOf(rg.grid.blocks_x - 1, 5), Region::kRight);
+  EXPECT_EQ(rg.RegionOf(0, rg.grid.blocks_y - 1), Region::kBottomLeft);
+  EXPECT_EQ(rg.RegionOf(5, rg.grid.blocks_y - 1), Region::kBottom);
+  EXPECT_EQ(rg.RegionOf(rg.grid.blocks_x - 1, rg.grid.blocks_y - 1),
+            Region::kBottomRight);
+}
+
+TEST(RegionGridTest, NoWindowMeansNoBands) {
+  const RegionGrid rg = ComputeRegionGrid({128, 1}, 512, 512, {0, 0});
+  EXPECT_EQ(rg.band_left + rg.band_right + rg.band_top + rg.band_bottom, 0);
+  EXPECT_EQ(rg.BorderThreads(), 0);
+}
+
+// Property: every pixel within `half` of an image edge must belong to a
+// block whose region carries the guards for that edge.
+TEST(RegionGridTest, GuardCoverageProperty) {
+  for (const int width : {33, 61, 128, 255}) {
+    for (const int bx : {8, 32, 128}) {
+      for (const int half : {1, 3, 6}) {
+        if (2 * half >= width) continue;
+        const RegionGrid rg =
+            ComputeRegionGrid({bx, 4}, width, width, {half, half});
+        if (rg.degenerate()) continue;  // rejected at launch validation
+        for (int x = 0; x < width; ++x) {
+          const int block = x / bx;
+          const ast::RegionChecks checks =
+              ast::ChecksFor(rg.RegionOf(block, rg.grid.blocks_y / 2));
+          if (x - half < 0) {
+            ASSERT_TRUE(checks.lo_x) << "x=" << x << " bx=" << bx
+                                     << " half=" << half << " w=" << width;
+          }
+          if (x + half >= width) {
+            ASSERT_TRUE(checks.hi_x) << "x=" << x << " bx=" << bx
+                                     << " half=" << half << " w=" << width;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RegionGridTest, DegenerateWhenBandsOverlap) {
+  // A 33-wide image with 128-wide blocks: one block column is both the left
+  // and the right band — the nine regions cannot guard it.
+  EXPECT_TRUE(ComputeRegionGrid({128, 4}, 33, 256, {6, 6}).degenerate());
+  // Window wider than the interior of a block column.
+  EXPECT_TRUE(ComputeRegionGrid({8, 8}, 12, 256, {6, 0}).degenerate());
+  // Comfortable case.
+  EXPECT_FALSE(ComputeRegionGrid({32, 4}, 256, 256, {6, 6}).degenerate());
+}
+
+TEST(EnumerateConfigsTest, AllSimdMultiplesWithinLimits) {
+  const DeviceSpec device = TeslaC2050();
+  const auto configs = EnumerateConfigs(device);
+  EXPECT_FALSE(configs.empty());
+  for (const auto& config : configs) {
+    EXPECT_EQ(config.threads() % device.simd_width, 0);
+    EXPECT_LE(config.threads(), device.max_threads_per_block);
+    EXPECT_GE(config.block_x, device.simd_width / 4);
+  }
+  // 128x1, 32x6, 32x4 are all present.
+  auto has = [&](int bx, int by) {
+    for (const auto& c : configs)
+      if (c.block_x == bx && c.block_y == by) return true;
+    return false;
+  };
+  EXPECT_TRUE(has(128, 1));
+  EXPECT_TRUE(has(32, 6));
+  EXPECT_TRUE(has(32, 4));
+}
+
+}  // namespace
+}  // namespace hipacc::hw

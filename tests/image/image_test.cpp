@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "image/host_image.hpp"
+#include "image/metrics.hpp"
+#include "image/synthetic.hpp"
+
+namespace hipacc {
+namespace {
+
+TEST(HostImageTest, ConstructionAndFill) {
+  HostImage<float> img(4, 3, 0.5f);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.size(), 12u);
+  EXPECT_EQ(img(3, 2), 0.5f);
+  img.Fill(1.0f);
+  EXPECT_EQ(img(0, 0), 1.0f);
+}
+
+TEST(HostImageTest, FromDataRowMajor) {
+  auto img = HostImage<int>::FromData(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(img(0, 0), 1);
+  EXPECT_EQ(img(1, 0), 2);
+  EXPECT_EQ(img(0, 1), 3);
+  EXPECT_EQ(img(1, 1), 4);
+}
+
+TEST(HostImageTest, Equality) {
+  auto a = HostImage<int>::FromData(2, 1, {1, 2});
+  auto b = HostImage<int>::FromData(2, 1, {1, 2});
+  auto c = HostImage<int>::FromData(2, 1, {1, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SyntheticTest, NoiseDeterministicAndInRange) {
+  const auto a = MakeNoiseImage(16, 16, 42);
+  const auto b = MakeNoiseImage(16, 16, 42);
+  EXPECT_EQ(a, b);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x) {
+      EXPECT_GE(a(x, y), 0.0f);
+      EXPECT_LT(a(x, y), 1.0f);
+    }
+}
+
+TEST(SyntheticTest, GradientEndpoints) {
+  const auto g = MakeGradientImage(5, 2);
+  EXPECT_FLOAT_EQ(g(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(g(4, 1), 1.0f);
+}
+
+TEST(SyntheticTest, PhantomHasVesselsAndRange) {
+  const auto clean = MakeAngiogramPhantom(64, 64, 0.0f, 1);
+  float lo = 1e9f, hi = -1e9f;
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x) {
+      lo = std::min(lo, clean(x, y));
+      hi = std::max(hi, clean(x, y));
+    }
+  EXPECT_GE(lo, 0.0f);
+  EXPECT_LE(hi, 1.0f);
+  EXPECT_LT(lo, hi - 0.2f);  // vessels create real contrast
+}
+
+TEST(SyntheticTest, CheckerboardAlternates) {
+  const auto cb = MakeCheckerboard(4, 4, 2, 0.0f, 1.0f);
+  EXPECT_EQ(cb(0, 0), 0.0f);
+  EXPECT_EQ(cb(2, 0), 1.0f);
+  EXPECT_EQ(cb(0, 2), 1.0f);
+  EXPECT_EQ(cb(2, 2), 0.0f);
+}
+
+TEST(SyntheticTest, ImpulseAndIndexImages) {
+  const auto imp = MakeImpulseImage(8, 8, 3, 4, 2.0f);
+  EXPECT_EQ(imp(3, 4), 2.0f);
+  EXPECT_EQ(imp(0, 0), 0.0f);
+  const auto idx = MakeIndexImage(4, 4);
+  EXPECT_EQ(idx(2, 3), 14.0f);
+}
+
+TEST(MetricsTest, MaxAbsDiffAndMse) {
+  auto a = HostImage<float>::FromData(2, 1, {1.0f, 2.0f});
+  auto b = HostImage<float>::FromData(2, 1, {1.5f, 1.0f});
+  EXPECT_FLOAT_EQ(MaxAbsDiff(a, b), 1.0);
+  EXPECT_FLOAT_EQ(MeanSquaredError(a, b), (0.25 + 1.0) / 2.0);
+}
+
+TEST(MetricsTest, PsnrInfiniteForIdentical) {
+  const auto a = MakeNoiseImage(8, 8, 3);
+  EXPECT_TRUE(std::isinf(Psnr(a, a)));
+  const auto b = MakeNoiseImage(8, 8, 4);
+  EXPECT_GT(Psnr(a, b), 0.0);
+  EXPECT_FALSE(std::isinf(Psnr(a, b)));
+}
+
+TEST(MetricsTest, AllCloseRespectsTolerance) {
+  auto a = HostImage<float>::FromData(1, 1, {1.0f});
+  auto b = HostImage<float>::FromData(1, 1, {1.01f});
+  EXPECT_TRUE(AllClose(a, b, 0.02));
+  EXPECT_FALSE(AllClose(a, b, 0.001));
+  auto c = HostImage<float>::FromData(2, 1, {1.0f, 1.0f});
+  EXPECT_FALSE(AllClose(a, c, 1.0));  // shape mismatch
+}
+
+}  // namespace
+}  // namespace hipacc

@@ -1,0 +1,66 @@
+#include "image/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "image/metrics.hpp"
+#include "image/synthetic.hpp"
+
+namespace hipacc {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(IoTest, PgmRoundTripWithinQuantization) {
+  const auto img = MakeNoiseImage(33, 17, 5);  // odd sizes
+  const std::string path = TempPath("roundtrip.pgm");
+  ASSERT_TRUE(WritePgm(img, path).ok());
+  auto loaded = ReadPgm(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().width(), 33);
+  EXPECT_EQ(loaded.value().height(), 17);
+  // 8-bit quantization: half a step of 1/255.
+  EXPECT_LE(MaxAbsDiff(img, loaded.value()), 0.5 / 255.0 + 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, PgmClampsOutOfRangePixels) {
+  auto img = HostImage<float>::FromData(2, 1, {-0.5f, 1.5f});
+  const std::string path = TempPath("clamped.pgm");
+  ASSERT_TRUE(WritePgm(img, path).ok());
+  auto loaded = ReadPgm(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FLOAT_EQ(loaded.value()(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(loaded.value()(1, 0), 1.0f);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, CsvRoundTripExact) {
+  const auto img = MakeNoiseImage(7, 5, 9);
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(img, path).ok());
+  auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(img, loaded.value());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileReportsError) {
+  EXPECT_FALSE(ReadPgm(TempPath("does_not_exist.pgm")).ok());
+  EXPECT_FALSE(ReadCsv(TempPath("does_not_exist.csv")).ok());
+}
+
+TEST(IoTest, RejectsBadPgmHeader) {
+  const std::string path = TempPath("bad.pgm");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("P2\n2 2\n255\n0 0 0 0\n", f);  // ASCII PGM is unsupported
+  std::fclose(f);
+  EXPECT_FALSE(ReadPgm(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hipacc

@@ -1,0 +1,142 @@
+// The paper's headline claims as CI-checked regressions over the modelled
+// device (1024x1024 to keep CI fast; the bench binaries run the full
+// 4096x4096 setup). If a model change breaks one of these orderings, the
+// corresponding table in EXPERIMENTS.md no longer reproduces.
+#include <gtest/gtest.h>
+
+#include "baselines/manual.hpp"
+#include "baselines/rapidmind.hpp"
+#include "compiler/executable.hpp"
+#include "ops/kernel_sources.hpp"
+
+namespace hipacc {
+namespace {
+
+using ast::Backend;
+using ast::BoundaryMode;
+
+constexpr int kN = 1024;
+constexpr int kSigmaD = 3;
+
+Result<double> MeasureBilateral(BoundaryMode mode, bool generated,
+                                bool use_mask, const hw::DeviceSpec& device,
+                                Backend backend) {
+  frontend::KernelSource source = use_mask
+                                      ? ops::BilateralMaskSource(kSigmaD, mode)
+                                      : ops::BilateralSource(kSigmaD, mode);
+  compiler::CompileOptions options;
+  options.codegen.backend = backend;
+  options.codegen.border = generated ? codegen::BorderPolicy::kRegions
+                                     : codegen::BorderPolicy::kUniform;
+  options.device = device;
+  options.image_width = options.image_height = kN;
+  options.forced_config = hw::KernelConfig{128, 1};
+  auto compiled = compiler::Compile(source, options);
+  if (!compiled.ok()) return compiled.status();
+  dsl::Image<float> in(kN, kN), out(kN, kN);
+  runtime::BindingSet bindings;
+  bindings.Input("Input", in).Output(out).Scalar("sigma_d", kSigmaD).Scalar(
+      "sigma_r", 5);
+  compiler::SimulatedExecutable exe(std::move(compiled).take(), device);
+  auto stats = exe.Measure(bindings);
+  if (!stats.ok()) return stats.status();
+  return stats.value().timing.total_ms;
+}
+
+double Must(Result<double> r) {
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.value() : -1.0;
+}
+
+TEST(PaperClaimsTest, GeneratedBoundaryHandlingIsFlatAcrossModes) {
+  // "code for boundary handling that has constant performance independent
+  // from the selected boundary handling mode" (Conclusions).
+  double lo = 1e30, hi = 0.0;
+  for (const BoundaryMode mode : {BoundaryMode::kClamp, BoundaryMode::kRepeat,
+                                  BoundaryMode::kMirror, BoundaryMode::kConstant}) {
+    const double ms =
+        Must(MeasureBilateral(mode, true, true, hw::TeslaC2050(), Backend::kCuda));
+    lo = std::min(lo, ms);
+    hi = std::max(hi, ms);
+  }
+  // The paper's own generated spread reaches 1.11x (Table II +Mask:
+  // 181.45 -> 200.66); require at least that flatness.
+  EXPECT_LT(hi / lo, 1.12);
+}
+
+TEST(PaperClaimsTest, ManualBoundaryHandlingVariesWithMode) {
+  // "the performance of the manual implementation varies significantly (up
+  // to a factor of two)" with Constant worst.
+  const auto device = hw::TeslaC2050();
+  const double clamp = Must(MeasureBilateral(BoundaryMode::kClamp, false, true,
+                                             device, Backend::kCuda));
+  const double repeat = Must(MeasureBilateral(BoundaryMode::kRepeat, false,
+                                              true, device, Backend::kCuda));
+  const double mirror = Must(MeasureBilateral(BoundaryMode::kMirror, false,
+                                              true, device, Backend::kCuda));
+  const double constant = Must(MeasureBilateral(
+      BoundaryMode::kConstant, false, true, device, Backend::kCuda));
+  EXPECT_LT(clamp, mirror);
+  EXPECT_LT(mirror, repeat);
+  EXPECT_LT(repeat, constant);
+  EXPECT_GT(constant / clamp, 1.3);
+}
+
+TEST(PaperClaimsTest, GeneratedBeatsManualForEveryMode) {
+  for (const BoundaryMode mode : {BoundaryMode::kClamp, BoundaryMode::kRepeat,
+                                  BoundaryMode::kMirror, BoundaryMode::kConstant}) {
+    const double generated = Must(MeasureBilateral(mode, true, true,
+                                                   hw::TeslaC2050(), Backend::kCuda));
+    const double manual = Must(MeasureBilateral(mode, false, true,
+                                                hw::TeslaC2050(), Backend::kCuda));
+    EXPECT_LE(generated, manual * 1.001) << to_string(mode);
+  }
+}
+
+TEST(PaperClaimsTest, ConstantMemoryMasksPayOff) {
+  // Removing the per-tap closeness exp()s via a Mask: ~1.4-1.6x in the
+  // paper (302->215 manual, 285->181 generated).
+  const double no_mask = Must(MeasureBilateral(
+      BoundaryMode::kClamp, true, false, hw::TeslaC2050(), Backend::kCuda));
+  const double with_mask = Must(MeasureBilateral(
+      BoundaryMode::kClamp, true, true, hw::TeslaC2050(), Backend::kCuda));
+  EXPECT_GT(no_mask / with_mask, 1.2);
+  EXPECT_LT(no_mask / with_mask, 2.2);
+}
+
+TEST(PaperClaimsTest, OpenClSlowerThanCudaOnNvidia) {
+  // Tables II vs III: the 2011/2012 OpenCL toolchain trails nvcc.
+  const double cuda = Must(MeasureBilateral(BoundaryMode::kClamp, true, true,
+                                            hw::TeslaC2050(), Backend::kCuda));
+  const double opencl = Must(MeasureBilateral(
+      BoundaryMode::kClamp, true, true, hw::TeslaC2050(), Backend::kOpenCL));
+  EXPECT_GT(opencl, cuda * 1.1);
+}
+
+TEST(PaperClaimsTest, AmdInsensitiveToMasksUnlikeNvidia) {
+  // Tables VI/VII: scalar code underutilises VLIW lanes, so removing the
+  // exps barely moves AMD numbers while NVIDIA gains substantially.
+  const double amd_no_mask = Must(MeasureBilateral(
+      BoundaryMode::kClamp, true, false, hw::RadeonHd5870(), Backend::kOpenCL));
+  const double amd_mask = Must(MeasureBilateral(
+      BoundaryMode::kClamp, true, true, hw::RadeonHd5870(), Backend::kOpenCL));
+  EXPECT_LT(amd_no_mask / amd_mask, 1.15);
+}
+
+TEST(PaperClaimsTest, RapidMindCrashSemantics) {
+  dsl::Image<float> in(kN, kN), out(kN, kN);
+  runtime::BindingSet bindings;
+  bindings.Input("Input", in).Output(out);
+  auto repeat = baselines::MeasureRapidMindBilateral(
+      kSigmaD, 5, BoundaryMode::kRepeat, false, hw::TeslaC2050(), kN, kN,
+      {128, 1}, bindings);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat.value().crashed);
+  EXPECT_FALSE(baselines::MeasureRapidMindBilateral(
+                   kSigmaD, 5, BoundaryMode::kMirror, false, hw::TeslaC2050(),
+                   kN, kN, {128, 1}, bindings)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace hipacc

@@ -1,0 +1,117 @@
+// Configuration exploration (Section V-D) and retargeting: the exploration
+// must cover all valid configurations, agree with the heuristic's pick, and
+// Retarget must re-select per device.
+#include <gtest/gtest.h>
+
+#include "compiler/explore.hpp"
+#include "ops/kernel_sources.hpp"
+
+namespace hipacc {
+namespace {
+
+compiler::CompiledKernel CompileBilateral(const hw::DeviceSpec& device,
+                                          int n) {
+  frontend::KernelSource source =
+      ops::BilateralMaskSource(1, ast::BoundaryMode::kClamp);
+  compiler::CompileOptions options;
+  options.device = device;
+  options.image_width = n;
+  options.image_height = n;
+  auto compiled = compiler::Compile(source, options);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  return std::move(compiled).take();
+}
+
+TEST(ExploreTest, CoversConfigurationSpace) {
+  const int n = 512;
+  const hw::DeviceSpec device = hw::TeslaC2050();
+  const compiler::CompiledKernel kernel = CompileBilateral(device, n);
+  dsl::Image<float> in(n, n), out(n, n);
+  runtime::BindingSet bindings;
+  bindings.Input("Input", in).Output(out).Scalar("sigma_d", 1).Scalar(
+      "sigma_r", 4);
+  auto points = compiler::ExploreConfigurations(kernel, device, bindings);
+  ASSERT_TRUE(points.ok()) << points.status().ToString();
+  EXPECT_GT(points.value().size(), 50u);
+  // Sorted by thread count, then block_x; all times positive; multiple
+  // tilings per thread count (Figure 4's "multiple points").
+  int tilings_of_256 = 0;
+  for (size_t i = 0; i < points.value().size(); ++i) {
+    const auto& p = points.value()[i];
+    EXPECT_GT(p.ms, 0.0);
+    EXPECT_GT(p.occupancy, 0.0);
+    if (p.config.threads() == 256) ++tilings_of_256;
+    if (i > 0) {
+      const auto& prev = points.value()[i - 1];
+      EXPECT_LE(prev.config.threads(), p.config.threads());
+    }
+  }
+  EXPECT_GE(tilings_of_256, 3);
+}
+
+TEST(ExploreTest, HeuristicPickNearOptimum) {
+  const int n = 512;
+  const hw::DeviceSpec device = hw::TeslaC2050();
+  const compiler::CompiledKernel kernel = CompileBilateral(device, n);
+  dsl::Image<float> in(n, n), out(n, n);
+  runtime::BindingSet bindings;
+  bindings.Input("Input", in).Output(out).Scalar("sigma_d", 1).Scalar(
+      "sigma_r", 4);
+  auto points = compiler::ExploreConfigurations(kernel, device, bindings);
+  ASSERT_TRUE(points.ok());
+  double best = 1e30, picked = -1.0;
+  for (const auto& p : points.value()) {
+    best = std::min(best, p.ms);
+    if (p.config == kernel.config.config) picked = p.ms;
+  }
+  ASSERT_GT(picked, 0.0) << "heuristic pick missing from the exploration";
+  // "the configurations selected by our heuristic are typically within 10%
+  // of the best configuration" (Section VI-B).
+  EXPECT_LE(picked / best, 1.10);
+}
+
+TEST(RetargetTest, ReSelectsPerDevice) {
+  const int n = 1024;
+  const compiler::CompiledKernel on_tesla =
+      CompileBilateral(hw::TeslaC2050(), n);
+
+  compiler::CompileOptions amd_options;
+  amd_options.device = hw::RadeonHd5870();
+  amd_options.image_width = n;
+  amd_options.image_height = n;
+  auto on_amd = compiler::Retarget(on_tesla, amd_options);
+  ASSERT_TRUE(on_amd.ok()) << on_amd.status().ToString();
+  // AMD wavefronts are 64 wide; the border tiling uses the SIMD width in x.
+  EXPECT_EQ(on_amd.value().config.config.block_x, 64);
+  EXPECT_LE(on_amd.value().config.config.threads(), 256);
+}
+
+TEST(RetargetTest, BackendSwitchChangesEmittedSource) {
+  const compiler::CompiledKernel cuda = CompileBilateral(hw::TeslaC2050(), 256);
+  EXPECT_NE(cuda.source.find("__global__"), std::string::npos);
+
+  compiler::CompileOptions opencl_options;
+  opencl_options.codegen.backend = ast::Backend::kOpenCL;
+  opencl_options.device = hw::TeslaC2050();
+  opencl_options.image_width = 256;
+  opencl_options.image_height = 256;
+  auto opencl = compiler::Retarget(cuda, opencl_options);
+  ASSERT_TRUE(opencl.ok());
+  EXPECT_NE(opencl.value().source.find("__kernel"), std::string::npos);
+  EXPECT_EQ(opencl.value().source.find("__global__"), std::string::npos);
+}
+
+TEST(CompileTest, ForcedInvalidConfigIsLaunchError) {
+  frontend::KernelSource source =
+      ops::BilateralMaskSource(1, ast::BoundaryMode::kClamp);
+  compiler::CompileOptions options;
+  options.device = hw::RadeonHd5870();  // 256-thread block limit
+  options.image_width = options.image_height = 512;
+  options.forced_config = hw::KernelConfig{512, 1};
+  const auto compiled = compiler::Compile(source, options);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace hipacc

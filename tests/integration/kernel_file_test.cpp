@@ -1,0 +1,107 @@
+// The .hipacc kernel description format and the CLI driver's parsing layer.
+#include "compiler/kernel_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ast/visitor.hpp"
+#include "codegen/lower.hpp"
+
+namespace hipacc::compiler {
+namespace {
+
+constexpr const char kBilateralFile[] = R"(# comment line
+kernel bilateral
+param int sigma_d
+param int sigma_r
+accessor Input 13 13 clamp
+body
+float d = 0.0f;
+float p = 0.0f;
+for (int yf = -2 * sigma_d; yf <= 2 * sigma_d; yf++) {
+  for (int xf = -2 * sigma_d; xf <= 2 * sigma_d; xf++) {
+    p += Input(xf, yf);
+    d += 1.0f;
+  }
+}
+output() = p / d;
+)";
+
+TEST(KernelFileTest, ParsesDirectivesAndBody) {
+  auto src = ParseKernelFile(kBilateralFile);
+  ASSERT_TRUE(src.ok()) << src.status().ToString();
+  EXPECT_EQ(src.value().name, "bilateral");
+  ASSERT_EQ(src.value().params.size(), 2u);
+  EXPECT_EQ(src.value().params[0].name, "sigma_d");
+  EXPECT_EQ(src.value().params[0].type, ast::ScalarType::kInt);
+  ASSERT_EQ(src.value().accessors.size(), 1u);
+  EXPECT_EQ(src.value().accessors[0].window.half_x, 6);
+  EXPECT_EQ(src.value().accessors[0].boundary, ast::BoundaryMode::kClamp);
+  // The body survives verbatim and parses through the full frontend.
+  auto kernel = frontend::ParseKernel(src.value());
+  EXPECT_TRUE(kernel.ok()) << kernel.status().ToString();
+}
+
+TEST(KernelFileTest, StaticMaskValues) {
+  auto src = ParseKernelFile(
+      "kernel conv\n"
+      "accessor Input 3 3 mirror\n"
+      "mask M 3 3\n"
+      "values 0 1 0 1 -4 1 0 1 0\n"
+      "body\n"
+      "output() = convolve(M, SUM, M() * Input(M));\n");
+  ASSERT_TRUE(src.ok()) << src.status().ToString();
+  ASSERT_EQ(src.value().masks.size(), 1u);
+  EXPECT_TRUE(src.value().masks[0].is_static());
+  EXPECT_FLOAT_EQ(src.value().masks[0].static_values[4], -4.0f);
+}
+
+TEST(KernelFileTest, ConstantModeRequiresValue) {
+  EXPECT_FALSE(ParseKernelFile("kernel k\naccessor A 3 3 constant\nbody\n"
+                               "output() = A();\n").ok());
+  auto with_value = ParseKernelFile(
+      "kernel k\naccessor A 3 3 constant 0.5\nbody\noutput() = A();\n");
+  ASSERT_TRUE(with_value.ok());
+  EXPECT_FLOAT_EQ(with_value.value().accessors[0].constant_value, 0.5f);
+}
+
+TEST(KernelFileTest, ErrorCases) {
+  // No kernel name.
+  EXPECT_FALSE(ParseKernelFile("body\noutput() = 1.0f;\n").ok());
+  // No body.
+  EXPECT_FALSE(ParseKernelFile("kernel k\n").ok());
+  // Even window size.
+  EXPECT_FALSE(ParseKernelFile("kernel k\naccessor A 4 3 clamp\nbody\n"
+                               "output() = A();\n").ok());
+  // Unknown mode / type / directive.
+  EXPECT_FALSE(ParseKernelFile("kernel k\naccessor A 3 3 wrap\nbody\n").ok());
+  EXPECT_FALSE(ParseKernelFile("kernel k\nparam double x\nbody\n").ok());
+  EXPECT_FALSE(ParseKernelFile("kernel k\nfrobnicate\nbody\n").ok());
+  // values without mask / wrong count.
+  EXPECT_FALSE(ParseKernelFile("kernel k\nvalues 1 2 3\nbody\n").ok());
+  EXPECT_FALSE(ParseKernelFile("kernel k\nmask M 3 3\nvalues 1 2\nbody\n"
+                               "output() = 1.0f;\n").ok());
+}
+
+TEST(KernelFileTest, MissingFileReported) {
+  EXPECT_FALSE(LoadKernelFile("/nonexistent/path.hipacc").ok());
+}
+
+TEST(KernelFileTest, UnrolledConvolveDropsUnusedMask) {
+  auto src = ParseKernelFile(
+      "kernel conv\n"
+      "accessor Input 3 3 mirror\n"
+      "mask M 3 3\n"
+      "values 0 1 0 1 -4 1 0 1 0\n"
+      "body\n"
+      "output() = convolve(M, SUM, M() * Input(M));\n");
+  ASSERT_TRUE(src.ok());
+  auto kernel = frontend::ParseKernel(src.value());
+  ASSERT_TRUE(kernel.ok());
+  auto lowered = codegen::LowerKernel(kernel.value(), {});
+  ASSERT_TRUE(lowered.ok());
+  // All coefficients were propagated: no constant-memory mask remains.
+  EXPECT_TRUE(lowered.value().const_masks.empty());
+}
+
+}  // namespace
+}  // namespace hipacc::compiler

@@ -1,0 +1,47 @@
+#include "support/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace hipacc {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> counts(1000);
+  ParallelFor(0, 1000, [&](int i) { counts[static_cast<size_t>(i)]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  std::atomic<int> calls{0};
+  ParallelFor(5, 5, [&](int) { calls++; });
+  ParallelFor(5, 3, [&](int) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, NonZeroBegin) {
+  std::atomic<long> sum{0};
+  ParallelFor(10, 20, [&](int i) { sum += i; });
+  EXPECT_EQ(sum.load(), 145);  // 10 + 11 + ... + 19
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> order;
+  ParallelFor(0, 10, [&](int i) { order.push_back(i); }, /*max_threads=*/1);
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);  // sequential when one worker
+}
+
+TEST(ParallelForTest, MoreWorkersThanItems) {
+  std::vector<std::atomic<int>> counts(3);
+  ParallelFor(0, 3, [&](int i) { counts[static_cast<size_t>(i)]++; },
+              /*max_threads=*/16);
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+}  // namespace
+}  // namespace hipacc

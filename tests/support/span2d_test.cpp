@@ -1,0 +1,66 @@
+#include "support/span2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hipacc {
+namespace {
+
+TEST(Span2DTest, DenseIndexing) {
+  std::vector<float> data(12);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<float>(i);
+  Span2D<float> span(data.data(), 4, 3);
+  EXPECT_EQ(span(0, 0), 0.0f);
+  EXPECT_EQ(span(3, 0), 3.0f);
+  EXPECT_EQ(span(0, 1), 4.0f);
+  EXPECT_EQ(span(3, 2), 11.0f);
+}
+
+TEST(Span2DTest, PaddedStride) {
+  std::vector<float> data(3 * 8, -1.0f);
+  Span2D<float> span(data.data(), 5, 3, 8);
+  span(4, 2) = 7.0f;
+  EXPECT_EQ(data[2 * 8 + 4], 7.0f);
+  EXPECT_EQ(span.stride(), 8);
+}
+
+TEST(Span2DTest, ContainsAndRow) {
+  std::vector<int> data(6);
+  Span2D<int> span(data.data(), 3, 2);
+  EXPECT_TRUE(span.contains(0, 0));
+  EXPECT_TRUE(span.contains(2, 1));
+  EXPECT_FALSE(span.contains(3, 0));
+  EXPECT_FALSE(span.contains(0, -1));
+  EXPECT_EQ(span.row(1), data.data() + 3);
+}
+
+TEST(Span2DTest, Subview) {
+  std::vector<int> data(20);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<int>(i);
+  Span2D<int> span(data.data(), 5, 4);
+  Span2D<int> sub = span.subview(1, 1, 3, 2);
+  EXPECT_EQ(sub.width(), 3);
+  EXPECT_EQ(sub.height(), 2);
+  EXPECT_EQ(sub.stride(), 5);
+  EXPECT_EQ(sub(0, 0), 6);
+  EXPECT_EQ(sub(2, 1), 13);
+}
+
+TEST(Span2DTest, ConstConversion) {
+  std::vector<float> data(4);
+  Span2D<float> mut(data.data(), 2, 2);
+  Span2D<const float> view = mut;
+  EXPECT_EQ(view.width(), 2);
+  mut(1, 1) = 9.0f;
+  EXPECT_EQ(view(1, 1), 9.0f);
+}
+
+TEST(Span2DTest, EmptySpan) {
+  Span2D<float> span;
+  EXPECT_TRUE(span.empty());
+  EXPECT_EQ(span.width(), 0);
+}
+
+}  // namespace
+}  // namespace hipacc

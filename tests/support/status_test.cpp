@@ -1,0 +1,60 @@
+#include "support/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hipacc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status st = Status::Invalid("bad width");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad width");
+  EXPECT_EQ(st.ToString(), "invalid_argument: bad width");
+}
+
+TEST(StatusTest, FactoryCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Exhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Parse("x").code(), StatusCode::kParseError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Invalid("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string taken = std::move(r).take();
+  EXPECT_EQ(taken, "payload");
+}
+
+Status Propagates(bool fail) {
+  HIPACC_RETURN_IF_ERROR(fail ? Status::Internal("inner") : Status::Ok());
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Propagates(false).ok());
+  EXPECT_EQ(Propagates(true).code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace hipacc

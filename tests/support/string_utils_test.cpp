@@ -1,0 +1,52 @@
+#include "support/string_utils.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hipacc {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%s", "plain"), "plain");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim("nochange"), "nochange");
+  EXPECT_EQ(Trim(" \t "), "");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("_cse0", "_"));
+  EXPECT_FALSE(StartsWith("cse0", "_"));
+  EXPECT_TRUE(EndsWith("kernel.cu", ".cu"));
+  EXPECT_FALSE(EndsWith("cu", "kernel.cu"));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(ReplaceAllTest, ReplacesEveryOccurrence) {
+  EXPECT_EQ(ReplaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(ReplaceAll("none here", "xyz", "q"), "none here");
+  EXPECT_EQ(ReplaceAll("overlap", "", "x"), "overlap");  // empty from: no-op
+}
+
+TEST(IndentTest, IndentsEveryNonEmptyLine) {
+  EXPECT_EQ(Indent("a\nb\n", 2), "  a\n  b\n");
+  EXPECT_EQ(Indent("a\n\nb", 2), "  a\n\n  b");
+}
+
+}  // namespace
+}  // namespace hipacc

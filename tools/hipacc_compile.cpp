@@ -1,0 +1,158 @@
+// hipacc-compile: command-line front to the source-to-source compiler.
+//
+//   hipacc-compile kernel.hipacc [options]
+//     --backend=cuda|opencl       target language (default cuda)
+//     --device="Tesla C2050"      target GPU from the device database
+//     --width=N --height=N        image size (bakes region constants,
+//                                 drives Algorithm 2; default 4096)
+//     --tex=none|linear|array2d   texture policy (default none)
+//     --smem                      stage accessor tiles through scratchpad
+//     --no-const-mask             keep masks in global memory
+//     --config=BXxBY              force a launch configuration (else
+//                                 Algorithm 2 selects one)
+//     --explore                   print the configuration exploration table
+//                                 (Section V-D) instead of the source
+//     --list-devices              print the device database and exit
+//
+// Prints the generated kernel source to stdout; diagnostics go to stderr.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "compiler/explore.hpp"
+#include "compiler/kernel_file.hpp"
+#include "hwmodel/device_db.hpp"
+
+using namespace hipacc;
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  if (arg[len] == '\0') {
+    value->clear();
+    return true;
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hipacc-compile <kernel.hipacc> [--backend=cuda|opencl] "
+               "[--device=NAME] [--width=N] [--height=N] "
+               "[--tex=none|linear|array2d] [--smem] [--no-const-mask] "
+               "[--config=BXxBY] [--explore] [--list-devices]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input_path;
+  compiler::CompileOptions options;
+  options.device = hw::TeslaC2050();
+  options.image_width = 4096;
+  options.image_height = 4096;
+  bool explore = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "--backend", &value)) {
+      if (value == "cuda") options.codegen.backend = ast::Backend::kCuda;
+      else if (value == "opencl") options.codegen.backend = ast::Backend::kOpenCL;
+      else return Usage();
+    } else if (ParseFlag(arg, "--device", &value)) {
+      auto device = hw::FindDevice(value);
+      if (!device.ok()) {
+        std::fprintf(stderr, "error: %s\n", device.status().ToString().c_str());
+        return 1;
+      }
+      options.device = device.value();
+    } else if (ParseFlag(arg, "--width", &value)) {
+      options.image_width = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--height", &value)) {
+      options.image_height = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--tex", &value)) {
+      if (value == "none") options.codegen.texture = codegen::TexturePolicy::kNone;
+      else if (value == "linear") options.codegen.texture = codegen::TexturePolicy::kLinear;
+      else if (value == "array2d") options.codegen.texture = codegen::TexturePolicy::kArray2D;
+      else return Usage();
+    } else if (ParseFlag(arg, "--smem", &value)) {
+      options.codegen.use_scratchpad = true;
+    } else if (ParseFlag(arg, "--no-const-mask", &value)) {
+      options.codegen.masks_in_constant_memory = false;
+    } else if (ParseFlag(arg, "--config", &value)) {
+      int bx = 0, by = 0;
+      if (std::sscanf(value.c_str(), "%dx%d", &bx, &by) != 2 || bx <= 0 ||
+          by <= 0)
+        return Usage();
+      options.forced_config = hw::KernelConfig{bx, by};
+    } else if (ParseFlag(arg, "--explore", &value)) {
+      explore = true;
+    } else if (ParseFlag(arg, "--list-devices", &value)) {
+      for (const auto& device : hw::DeviceDatabase())
+        std::printf("%-20s %s, %d SIMD units, warp %d, max %d threads/block\n",
+                    device.name.c_str(), to_string(device.vendor),
+                    device.num_sms, device.simd_width,
+                    device.max_threads_per_block);
+      return 0;
+    } else if (arg[0] == '-') {
+      return Usage();
+    } else {
+      input_path = arg;
+    }
+  }
+  if (input_path.empty()) return Usage();
+
+  auto source = compiler::LoadKernelFile(input_path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "error: %s\n", source.status().ToString().c_str());
+    return 1;
+  }
+  auto compiled = compiler::Compile(source.value(), options);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "error: %s\n", compiled.status().ToString().c_str());
+    return 1;
+  }
+  const compiler::CompiledKernel& kernel = compiled.value();
+
+  std::fprintf(stderr,
+               "hipacc-compile: kernel '%s' for %s (%s): config %dx%d, "
+               "%d regs/thread, occupancy %.0f%%, border threads %lld\n",
+               kernel.decl.name.c_str(), options.device.name.c_str(),
+               to_string(options.codegen.backend),
+               kernel.config.config.block_x, kernel.config.config.block_y,
+               kernel.resources.regs_per_thread,
+               100.0 * kernel.config.occupancy.occupancy,
+               kernel.config.border_threads);
+
+  if (explore) {
+    dsl::Image<float> in(options.image_width, options.image_height);
+    dsl::Image<float> out(options.image_width, options.image_height);
+    runtime::BindingSet bindings;
+    bindings.Input(kernel.decl.accessors.front().name, in).Output(out);
+    for (const auto& p : kernel.decl.params) bindings.Scalar(p.name, 1.0);
+    auto points =
+        compiler::ExploreConfigurations(kernel, options.device, bindings);
+    if (!points.ok()) {
+      std::fprintf(stderr, "error: %s\n", points.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%8s %6s %6s %9s %10s\n", "threads", "blk_x", "blk_y",
+                "occupancy", "time_ms");
+    for (const auto& p : points.value())
+      std::printf("%8d %6d %6d %8.0f%% %10.3f\n", p.config.threads(),
+                  p.config.block_x, p.config.block_y, 100.0 * p.occupancy,
+                  p.ms);
+    return 0;
+  }
+
+  std::fputs(kernel.source.c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_border.dir/ablation_border.cpp.o"
+  "CMakeFiles/ablation_border.dir/ablation_border.cpp.o.d"
+  "ablation_border"
+  "ablation_border.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_border.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mask.dir/ablation_mask.cpp.o"
+  "CMakeFiles/ablation_mask.dir/ablation_mask.cpp.o.d"
+  "ablation_mask"
+  "ablation_mask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_smem_window.dir/ablation_smem_window.cpp.o"
+  "CMakeFiles/ablation_smem_window.dir/ablation_smem_window.cpp.o.d"
+  "ablation_smem_window"
+  "ablation_smem_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smem_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

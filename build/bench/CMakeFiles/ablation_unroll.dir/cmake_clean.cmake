@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unroll.dir/ablation_unroll.cpp.o"
+  "CMakeFiles/ablation_unroll.dir/ablation_unroll.cpp.o.d"
+  "ablation_unroll"
+  "ablation_unroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_config_exploration.dir/fig4_config_exploration.cpp.o"
+  "CMakeFiles/fig4_config_exploration.dir/fig4_config_exploration.cpp.o.d"
+  "fig4_config_exploration"
+  "fig4_config_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_config_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

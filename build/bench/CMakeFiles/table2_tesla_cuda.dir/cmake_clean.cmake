@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_tesla_cuda.dir/table2_tesla_cuda.cpp.o"
+  "CMakeFiles/table2_tesla_cuda.dir/table2_tesla_cuda.cpp.o.d"
+  "table2_tesla_cuda"
+  "table2_tesla_cuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_tesla_cuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

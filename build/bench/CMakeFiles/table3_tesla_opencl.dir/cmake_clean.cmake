@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_tesla_opencl.dir/table3_tesla_opencl.cpp.o"
+  "CMakeFiles/table3_tesla_opencl.dir/table3_tesla_opencl.cpp.o.d"
+  "table3_tesla_opencl"
+  "table3_tesla_opencl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_tesla_opencl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_quadro_cuda.dir/table4_quadro_cuda.cpp.o"
+  "CMakeFiles/table4_quadro_cuda.dir/table4_quadro_cuda.cpp.o.d"
+  "table4_quadro_cuda"
+  "table4_quadro_cuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_quadro_cuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

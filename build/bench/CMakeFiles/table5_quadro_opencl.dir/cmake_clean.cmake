@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_quadro_opencl.dir/table5_quadro_opencl.cpp.o"
+  "CMakeFiles/table5_quadro_opencl.dir/table5_quadro_opencl.cpp.o.d"
+  "table5_quadro_opencl"
+  "table5_quadro_opencl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_quadro_opencl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

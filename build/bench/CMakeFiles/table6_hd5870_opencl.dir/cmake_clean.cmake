@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_hd5870_opencl.dir/table6_hd5870_opencl.cpp.o"
+  "CMakeFiles/table6_hd5870_opencl.dir/table6_hd5870_opencl.cpp.o.d"
+  "table6_hd5870_opencl"
+  "table6_hd5870_opencl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_hd5870_opencl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_hd5870_opencl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_hd6970_opencl.dir/table7_hd6970_opencl.cpp.o"
+  "CMakeFiles/table7_hd6970_opencl.dir/table7_hd6970_opencl.cpp.o.d"
+  "table7_hd6970_opencl"
+  "table7_hd6970_opencl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_hd6970_opencl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table7_hd6970_opencl.
+# This may be replaced when dependencies are built.

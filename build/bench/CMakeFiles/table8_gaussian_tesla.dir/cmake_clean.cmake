@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_gaussian_tesla.dir/table8_gaussian_tesla.cpp.o"
+  "CMakeFiles/table8_gaussian_tesla.dir/table8_gaussian_tesla.cpp.o.d"
+  "table8_gaussian_tesla"
+  "table8_gaussian_tesla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_gaussian_tesla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_gaussian_quadro.dir/table9_gaussian_quadro.cpp.o"
+  "CMakeFiles/table9_gaussian_quadro.dir/table9_gaussian_quadro.cpp.o.d"
+  "table9_gaussian_quadro"
+  "table9_gaussian_quadro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_gaussian_quadro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

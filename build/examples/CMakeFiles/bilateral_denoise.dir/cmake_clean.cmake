@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bilateral_denoise.dir/bilateral_denoise.cpp.o"
+  "CMakeFiles/bilateral_denoise.dir/bilateral_denoise.cpp.o.d"
+  "bilateral_denoise"
+  "bilateral_denoise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bilateral_denoise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

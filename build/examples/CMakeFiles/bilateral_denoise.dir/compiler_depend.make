@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bilateral_denoise.
+# This may be replaced when dependencies are built.

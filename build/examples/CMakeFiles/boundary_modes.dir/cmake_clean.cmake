@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boundary_modes.dir/boundary_modes.cpp.o"
+  "CMakeFiles/boundary_modes.dir/boundary_modes.cpp.o.d"
+  "boundary_modes"
+  "boundary_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boundary_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiresolution.dir/multiresolution.cpp.o"
+  "CMakeFiles/multiresolution.dir/multiresolution.cpp.o.d"
+  "multiresolution"
+  "multiresolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiresolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

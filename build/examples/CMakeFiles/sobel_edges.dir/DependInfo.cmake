@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sobel_edges.cpp" "examples/CMakeFiles/sobel_edges.dir/sobel_edges.cpp.o" "gcc" "examples/CMakeFiles/sobel_edges.dir/sobel_edges.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/hipacc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/hipacc_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hipacc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/hipacc_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hipacc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hipacc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/hipacc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/hipacc_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/hipacc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/hipacc_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/hipacc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hipacc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sobel_edges.dir/sobel_edges.cpp.o"
+  "CMakeFiles/sobel_edges.dir/sobel_edges.cpp.o.d"
+  "sobel_edges"
+  "sobel_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sobel_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/builtins.cpp" "src/ast/CMakeFiles/hipacc_ast.dir/builtins.cpp.o" "gcc" "src/ast/CMakeFiles/hipacc_ast.dir/builtins.cpp.o.d"
+  "/root/repo/src/ast/cfg.cpp" "src/ast/CMakeFiles/hipacc_ast.dir/cfg.cpp.o" "gcc" "src/ast/CMakeFiles/hipacc_ast.dir/cfg.cpp.o.d"
+  "/root/repo/src/ast/const_fold.cpp" "src/ast/CMakeFiles/hipacc_ast.dir/const_fold.cpp.o" "gcc" "src/ast/CMakeFiles/hipacc_ast.dir/const_fold.cpp.o.d"
+  "/root/repo/src/ast/expr.cpp" "src/ast/CMakeFiles/hipacc_ast.dir/expr.cpp.o" "gcc" "src/ast/CMakeFiles/hipacc_ast.dir/expr.cpp.o.d"
+  "/root/repo/src/ast/kernel_ir.cpp" "src/ast/CMakeFiles/hipacc_ast.dir/kernel_ir.cpp.o" "gcc" "src/ast/CMakeFiles/hipacc_ast.dir/kernel_ir.cpp.o.d"
+  "/root/repo/src/ast/metadata.cpp" "src/ast/CMakeFiles/hipacc_ast.dir/metadata.cpp.o" "gcc" "src/ast/CMakeFiles/hipacc_ast.dir/metadata.cpp.o.d"
+  "/root/repo/src/ast/printer.cpp" "src/ast/CMakeFiles/hipacc_ast.dir/printer.cpp.o" "gcc" "src/ast/CMakeFiles/hipacc_ast.dir/printer.cpp.o.d"
+  "/root/repo/src/ast/stmt.cpp" "src/ast/CMakeFiles/hipacc_ast.dir/stmt.cpp.o" "gcc" "src/ast/CMakeFiles/hipacc_ast.dir/stmt.cpp.o.d"
+  "/root/repo/src/ast/type.cpp" "src/ast/CMakeFiles/hipacc_ast.dir/type.cpp.o" "gcc" "src/ast/CMakeFiles/hipacc_ast.dir/type.cpp.o.d"
+  "/root/repo/src/ast/visitor.cpp" "src/ast/CMakeFiles/hipacc_ast.dir/visitor.cpp.o" "gcc" "src/ast/CMakeFiles/hipacc_ast.dir/visitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hipacc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipacc_ast.dir/builtins.cpp.o"
+  "CMakeFiles/hipacc_ast.dir/builtins.cpp.o.d"
+  "CMakeFiles/hipacc_ast.dir/cfg.cpp.o"
+  "CMakeFiles/hipacc_ast.dir/cfg.cpp.o.d"
+  "CMakeFiles/hipacc_ast.dir/const_fold.cpp.o"
+  "CMakeFiles/hipacc_ast.dir/const_fold.cpp.o.d"
+  "CMakeFiles/hipacc_ast.dir/expr.cpp.o"
+  "CMakeFiles/hipacc_ast.dir/expr.cpp.o.d"
+  "CMakeFiles/hipacc_ast.dir/kernel_ir.cpp.o"
+  "CMakeFiles/hipacc_ast.dir/kernel_ir.cpp.o.d"
+  "CMakeFiles/hipacc_ast.dir/metadata.cpp.o"
+  "CMakeFiles/hipacc_ast.dir/metadata.cpp.o.d"
+  "CMakeFiles/hipacc_ast.dir/printer.cpp.o"
+  "CMakeFiles/hipacc_ast.dir/printer.cpp.o.d"
+  "CMakeFiles/hipacc_ast.dir/stmt.cpp.o"
+  "CMakeFiles/hipacc_ast.dir/stmt.cpp.o.d"
+  "CMakeFiles/hipacc_ast.dir/type.cpp.o"
+  "CMakeFiles/hipacc_ast.dir/type.cpp.o.d"
+  "CMakeFiles/hipacc_ast.dir/visitor.cpp.o"
+  "CMakeFiles/hipacc_ast.dir/visitor.cpp.o.d"
+  "libhipacc_ast.a"
+  "libhipacc_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipacc_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipacc_baselines.dir/manual.cpp.o"
+  "CMakeFiles/hipacc_baselines.dir/manual.cpp.o.d"
+  "CMakeFiles/hipacc_baselines.dir/opencv_like.cpp.o"
+  "CMakeFiles/hipacc_baselines.dir/opencv_like.cpp.o.d"
+  "CMakeFiles/hipacc_baselines.dir/rapidmind.cpp.o"
+  "CMakeFiles/hipacc_baselines.dir/rapidmind.cpp.o.d"
+  "libhipacc_baselines.a"
+  "libhipacc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipacc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/emit.cpp" "src/codegen/CMakeFiles/hipacc_codegen.dir/emit.cpp.o" "gcc" "src/codegen/CMakeFiles/hipacc_codegen.dir/emit.cpp.o.d"
+  "/root/repo/src/codegen/lower.cpp" "src/codegen/CMakeFiles/hipacc_codegen.dir/lower.cpp.o" "gcc" "src/codegen/CMakeFiles/hipacc_codegen.dir/lower.cpp.o.d"
+  "/root/repo/src/codegen/readwrite.cpp" "src/codegen/CMakeFiles/hipacc_codegen.dir/readwrite.cpp.o" "gcc" "src/codegen/CMakeFiles/hipacc_codegen.dir/readwrite.cpp.o.d"
+  "/root/repo/src/codegen/resource_estimator.cpp" "src/codegen/CMakeFiles/hipacc_codegen.dir/resource_estimator.cpp.o" "gcc" "src/codegen/CMakeFiles/hipacc_codegen.dir/resource_estimator.cpp.o.d"
+  "/root/repo/src/codegen/scalar_opt.cpp" "src/codegen/CMakeFiles/hipacc_codegen.dir/scalar_opt.cpp.o" "gcc" "src/codegen/CMakeFiles/hipacc_codegen.dir/scalar_opt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hipacc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/hipacc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/hipacc_hwmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipacc_codegen.dir/emit.cpp.o"
+  "CMakeFiles/hipacc_codegen.dir/emit.cpp.o.d"
+  "CMakeFiles/hipacc_codegen.dir/lower.cpp.o"
+  "CMakeFiles/hipacc_codegen.dir/lower.cpp.o.d"
+  "CMakeFiles/hipacc_codegen.dir/readwrite.cpp.o"
+  "CMakeFiles/hipacc_codegen.dir/readwrite.cpp.o.d"
+  "CMakeFiles/hipacc_codegen.dir/resource_estimator.cpp.o"
+  "CMakeFiles/hipacc_codegen.dir/resource_estimator.cpp.o.d"
+  "CMakeFiles/hipacc_codegen.dir/scalar_opt.cpp.o"
+  "CMakeFiles/hipacc_codegen.dir/scalar_opt.cpp.o.d"
+  "libhipacc_codegen.a"
+  "libhipacc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipacc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipacc_compiler.dir/driver.cpp.o"
+  "CMakeFiles/hipacc_compiler.dir/driver.cpp.o.d"
+  "CMakeFiles/hipacc_compiler.dir/explore.cpp.o"
+  "CMakeFiles/hipacc_compiler.dir/explore.cpp.o.d"
+  "CMakeFiles/hipacc_compiler.dir/kernel_file.cpp.o"
+  "CMakeFiles/hipacc_compiler.dir/kernel_file.cpp.o.d"
+  "libhipacc_compiler.a"
+  "libhipacc_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipacc_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipacc_dsl.dir/boundary.cpp.o"
+  "CMakeFiles/hipacc_dsl.dir/boundary.cpp.o.d"
+  "libhipacc_dsl.a"
+  "libhipacc_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipacc_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

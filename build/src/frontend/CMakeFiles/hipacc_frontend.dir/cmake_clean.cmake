@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipacc_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/hipacc_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/hipacc_frontend.dir/parser.cpp.o"
+  "CMakeFiles/hipacc_frontend.dir/parser.cpp.o.d"
+  "libhipacc_frontend.a"
+  "libhipacc_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipacc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwmodel/config.cpp" "src/hwmodel/CMakeFiles/hipacc_hwmodel.dir/config.cpp.o" "gcc" "src/hwmodel/CMakeFiles/hipacc_hwmodel.dir/config.cpp.o.d"
+  "/root/repo/src/hwmodel/device_db.cpp" "src/hwmodel/CMakeFiles/hipacc_hwmodel.dir/device_db.cpp.o" "gcc" "src/hwmodel/CMakeFiles/hipacc_hwmodel.dir/device_db.cpp.o.d"
+  "/root/repo/src/hwmodel/heuristic.cpp" "src/hwmodel/CMakeFiles/hipacc_hwmodel.dir/heuristic.cpp.o" "gcc" "src/hwmodel/CMakeFiles/hipacc_hwmodel.dir/heuristic.cpp.o.d"
+  "/root/repo/src/hwmodel/occupancy.cpp" "src/hwmodel/CMakeFiles/hipacc_hwmodel.dir/occupancy.cpp.o" "gcc" "src/hwmodel/CMakeFiles/hipacc_hwmodel.dir/occupancy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hipacc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/hipacc_ast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipacc_hwmodel.dir/config.cpp.o"
+  "CMakeFiles/hipacc_hwmodel.dir/config.cpp.o.d"
+  "CMakeFiles/hipacc_hwmodel.dir/device_db.cpp.o"
+  "CMakeFiles/hipacc_hwmodel.dir/device_db.cpp.o.d"
+  "CMakeFiles/hipacc_hwmodel.dir/heuristic.cpp.o"
+  "CMakeFiles/hipacc_hwmodel.dir/heuristic.cpp.o.d"
+  "CMakeFiles/hipacc_hwmodel.dir/occupancy.cpp.o"
+  "CMakeFiles/hipacc_hwmodel.dir/occupancy.cpp.o.d"
+  "libhipacc_hwmodel.a"
+  "libhipacc_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipacc_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipacc_image.dir/io.cpp.o"
+  "CMakeFiles/hipacc_image.dir/io.cpp.o.d"
+  "CMakeFiles/hipacc_image.dir/metrics.cpp.o"
+  "CMakeFiles/hipacc_image.dir/metrics.cpp.o.d"
+  "CMakeFiles/hipacc_image.dir/synthetic.cpp.o"
+  "CMakeFiles/hipacc_image.dir/synthetic.cpp.o.d"
+  "libhipacc_image.a"
+  "libhipacc_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipacc_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

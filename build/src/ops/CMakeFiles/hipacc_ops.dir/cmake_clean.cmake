@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipacc_ops.dir/kernel_sources.cpp.o"
+  "CMakeFiles/hipacc_ops.dir/kernel_sources.cpp.o.d"
+  "CMakeFiles/hipacc_ops.dir/masks.cpp.o"
+  "CMakeFiles/hipacc_ops.dir/masks.cpp.o.d"
+  "CMakeFiles/hipacc_ops.dir/pyramid.cpp.o"
+  "CMakeFiles/hipacc_ops.dir/pyramid.cpp.o.d"
+  "libhipacc_ops.a"
+  "libhipacc_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipacc_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipacc_runtime.dir/bindings.cpp.o"
+  "CMakeFiles/hipacc_runtime.dir/bindings.cpp.o.d"
+  "libhipacc_runtime.a"
+  "libhipacc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipacc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/interpreter.cpp" "src/sim/CMakeFiles/hipacc_sim.dir/interpreter.cpp.o" "gcc" "src/sim/CMakeFiles/hipacc_sim.dir/interpreter.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/hipacc_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/hipacc_sim.dir/memory.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/hipacc_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/hipacc_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/timing.cpp" "src/sim/CMakeFiles/hipacc_sim.dir/timing.cpp.o" "gcc" "src/sim/CMakeFiles/hipacc_sim.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hipacc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/hipacc_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/hipacc_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/hipacc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/hipacc_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/hipacc_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipacc_sim.dir/interpreter.cpp.o"
+  "CMakeFiles/hipacc_sim.dir/interpreter.cpp.o.d"
+  "CMakeFiles/hipacc_sim.dir/memory.cpp.o"
+  "CMakeFiles/hipacc_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/hipacc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hipacc_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/hipacc_sim.dir/timing.cpp.o"
+  "CMakeFiles/hipacc_sim.dir/timing.cpp.o.d"
+  "libhipacc_sim.a"
+  "libhipacc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipacc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipacc_support.dir/log.cpp.o"
+  "CMakeFiles/hipacc_support.dir/log.cpp.o.d"
+  "CMakeFiles/hipacc_support.dir/rng.cpp.o"
+  "CMakeFiles/hipacc_support.dir/rng.cpp.o.d"
+  "CMakeFiles/hipacc_support.dir/status.cpp.o"
+  "CMakeFiles/hipacc_support.dir/status.cpp.o.d"
+  "CMakeFiles/hipacc_support.dir/string_utils.cpp.o"
+  "CMakeFiles/hipacc_support.dir/string_utils.cpp.o.d"
+  "libhipacc_support.a"
+  "libhipacc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipacc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ast_test.dir/builtins_test.cpp.o"
+  "CMakeFiles/ast_test.dir/builtins_test.cpp.o.d"
+  "CMakeFiles/ast_test.dir/cfg_test.cpp.o"
+  "CMakeFiles/ast_test.dir/cfg_test.cpp.o.d"
+  "CMakeFiles/ast_test.dir/const_fold_test.cpp.o"
+  "CMakeFiles/ast_test.dir/const_fold_test.cpp.o.d"
+  "CMakeFiles/ast_test.dir/ir_test.cpp.o"
+  "CMakeFiles/ast_test.dir/ir_test.cpp.o.d"
+  "CMakeFiles/ast_test.dir/visitor_printer_test.cpp.o"
+  "CMakeFiles/ast_test.dir/visitor_printer_test.cpp.o.d"
+  "ast_test"
+  "ast_test.pdb"
+  "ast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

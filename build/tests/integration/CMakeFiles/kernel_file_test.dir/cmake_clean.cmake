@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_file_test.dir/kernel_file_test.cpp.o"
+  "CMakeFiles/kernel_file_test.dir/kernel_file_test.cpp.o.d"
+  "kernel_file_test"
+  "kernel_file_test.pdb"
+  "kernel_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/integration/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/ops_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/explore_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/pyramid_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/kernel_file_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/claims_test[1]_include.cmake")

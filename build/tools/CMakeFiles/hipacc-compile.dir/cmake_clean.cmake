@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipacc-compile.dir/hipacc_compile.cpp.o"
+  "CMakeFiles/hipacc-compile.dir/hipacc_compile.cpp.o.d"
+  "hipacc-compile"
+  "hipacc-compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipacc-compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

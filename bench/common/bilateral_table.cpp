@@ -1,5 +1,7 @@
 #include "common/bilateral_table.hpp"
 
+#include <cstdio>
+
 #include "baselines/manual.hpp"
 #include "baselines/rapidmind.hpp"
 #include "common/table.hpp"
@@ -124,11 +126,17 @@ std::string RunBilateralTable(const std::string& title,
     }
   }
 
-  return table.Render(StrFormat(
+  const std::string full_title = StrFormat(
       "%s\nBilateral filter, %dx%d image, %dx%d window (sigma_d = %d), "
       "kernel configuration 128x1. Times in ms (modelled).",
       title.c_str(), n, n, 4 * options.sigma_d + 1, 4 * options.sigma_d + 1,
-      options.sigma_d));
+      options.sigma_d);
+  if (!options.json_out.empty()) {
+    const Status written = table.WriteJson(options.json_out, title);
+    if (!written.ok())
+      std::fprintf(stderr, "warning: %s\n", written.ToString().c_str());
+  }
+  return table.Render(full_title);
 }
 
 }  // namespace hipacc::bench

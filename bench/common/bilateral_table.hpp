@@ -17,6 +17,9 @@ struct BilateralTableOptions {
   int image_size = 4096;
   int sigma_d = 3;  ///< 13x13 window
   int sigma_r = 5;
+  /// When non-empty, the table is also written there as BENCH_*.json
+  /// (see common/table.hpp for the schema).
+  std::string json_out;
 };
 
 /// Runs all variants x modes and returns the rendered table.

@@ -1,5 +1,7 @@
 #include "common/gaussian_table.hpp"
 
+#include <cstdio>
+
 #include "baselines/opencv_like.hpp"
 #include "common/table.hpp"
 #include "compiler/executable.hpp"
@@ -52,6 +54,7 @@ std::string RunGaussianTable(const std::string& title,
   std::string out = title + "\n";
   out += StrFormat("Gaussian filter, %dx%d image, times in ms (modelled).\n\n",
                    options.image_size, options.image_size);
+  support::Json tables = support::Json::Array();
 
   for (const int window : options.window_sizes) {
     Table table({"Clamp", "Repeat", "Mirror", "Const."});
@@ -96,8 +99,19 @@ std::string RunGaussianTable(const std::string& title,
           table.Cell(std::string("error"));
       }
     }
-    out += table.Render(StrFormat("Gaussian: %dx%d", window, window));
+    const std::string window_title = StrFormat("Gaussian: %dx%d", window, window);
+    out += table.Render(window_title);
     out += "\n";
+    tables.push_back(table.ToJson(window_title));
+  }
+  if (!options.json_out.empty()) {
+    support::Json doc = support::Json::Object();
+    doc["title"] = title;
+    doc["tables"] = std::move(tables);
+    const Status written =
+        support::WriteFile(options.json_out, doc.Dump(2) + "\n");
+    if (!written.ok())
+      std::fprintf(stderr, "warning: %s\n", written.ToString().c_str());
   }
   return out;
 }

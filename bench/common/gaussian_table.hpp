@@ -15,6 +15,9 @@ struct GaussianTableOptions {
   hw::DeviceSpec device;
   int image_size = 4096;
   std::vector<int> window_sizes = {3, 5};
+  /// When non-empty, all per-window tables are written there as one
+  /// BENCH_*.json document: {"title", "tables": [table schema...]}.
+  std::string json_out;
 };
 
 std::string RunGaussianTable(const std::string& title,

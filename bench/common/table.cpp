@@ -6,23 +6,30 @@
 
 namespace hipacc::bench {
 
-void Table::Row(const std::string& label) { rows_.emplace_back(label, std::vector<std::string>{}); }
-
-void Table::Cell(double ms) {
-  rows_.back().second.push_back(StrFormat("%.2f", ms));
+void Table::Row(const std::string& label) {
+  rows_.push_back({label, {}, {}});
 }
 
-void Table::Cell(const std::string& text) { rows_.back().second.push_back(text); }
+void Table::Cell(double ms) {
+  rows_.back().rendered.push_back(StrFormat("%.2f", ms));
+  rows_.back().values.emplace_back(ms);
+}
+
+void Table::Cell(const std::string& text) {
+  rows_.back().rendered.push_back(text);
+  rows_.back().values.emplace_back(text);
+}
 
 std::string Table::Render(const std::string& title) const {
   size_t label_width = 8;
-  for (const auto& [label, cells] : rows_)
-    label_width = std::max(label_width, label.size());
+  for (const TableRow& row : rows_)
+    label_width = std::max(label_width, row.label.size());
   std::vector<size_t> widths(columns_.size());
   for (size_t c = 0; c < columns_.size(); ++c) {
     widths[c] = columns_[c].size();
-    for (const auto& [label, cells] : rows_)
-      if (c < cells.size()) widths[c] = std::max(widths[c], cells[c].size());
+    for (const TableRow& row : rows_)
+      if (c < row.rendered.size())
+        widths[c] = std::max(widths[c], row.rendered[c].size());
   }
 
   std::string out = title + "\n";
@@ -33,16 +40,43 @@ std::string Table::Render(const std::string& title) const {
   }
   out += header + "\n";
   out += std::string(header.size(), '-') + "\n";
-  for (const auto& [label, cells] : rows_) {
-    std::string line = label + std::string(label_width - label.size(), ' ');
-    for (size_t c = 0; c < cells.size(); ++c) {
+  for (const TableRow& row : rows_) {
+    std::string line = row.label + std::string(label_width - row.label.size(), ' ');
+    for (size_t c = 0; c < row.rendered.size(); ++c) {
       line += "  ";
-      line += std::string(widths[c] >= cells[c].size() ? widths[c] - cells[c].size() : 0, ' ') +
-              cells[c];
+      line += std::string(widths[c] >= row.rendered[c].size()
+                              ? widths[c] - row.rendered[c].size()
+                              : 0,
+                          ' ') +
+              row.rendered[c];
     }
     out += line + "\n";
   }
   return out;
+}
+
+support::Json Table::ToJson(const std::string& title) const {
+  support::Json doc = support::Json::Object();
+  doc["title"] = title;
+  support::Json columns = support::Json::Array();
+  for (const std::string& column : columns_) columns.push_back(column);
+  doc["columns"] = std::move(columns);
+  support::Json rows = support::Json::Array();
+  for (const TableRow& row : rows_) {
+    support::Json r = support::Json::Object();
+    r["label"] = row.label;
+    support::Json cells = support::Json::Array();
+    for (const support::Json& value : row.values) cells.push_back(value);
+    r["cells"] = std::move(cells);
+    rows.push_back(std::move(r));
+  }
+  doc["rows"] = std::move(rows);
+  return doc;
+}
+
+Status Table::WriteJson(const std::string& path,
+                        const std::string& title) const {
+  return support::WriteFile(path, ToJson(title).Dump(2) + "\n");
 }
 
 }  // namespace hipacc::bench

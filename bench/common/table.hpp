@@ -1,10 +1,14 @@
 // Minimal fixed-width table printer for the benchmark harnesses, matching
 // the layout of the paper's tables (variants as rows, boundary modes as
-// columns, "crash"/"n/a" cells).
+// columns, "crash"/"n/a" cells). Tables also serialise to the BENCH_*.json
+// schema so sweeps are machine-readable: numeric cells stay numbers, text
+// cells stay strings.
 #pragma once
 
 #include <string>
 #include <vector>
+
+#include "support/json.hpp"
 
 namespace hipacc::bench {
 
@@ -23,9 +27,21 @@ class Table {
   /// Renders with aligned columns; `title` is printed first.
   std::string Render(const std::string& title) const;
 
+  /// {"title", "columns": [...], "rows": [{"label", "cells": [...]}]} where
+  /// each cell is a number (ms) or a string ("crash", "n/a").
+  support::Json ToJson(const std::string& title) const;
+
+  /// Serialises ToJson(title) to `path` (pretty-printed, trailing newline).
+  Status WriteJson(const std::string& path, const std::string& title) const;
+
  private:
   std::vector<std::string> columns_;
-  std::vector<std::pair<std::string, std::vector<std::string>>> rows_;
+  struct TableRow {
+    std::string label;
+    std::vector<std::string> rendered;  ///< fixed-width text form
+    std::vector<support::Json> values;  ///< typed form for ToJson
+  };
+  std::vector<TableRow> rows_;
 };
 
 }  // namespace hipacc::bench

@@ -4,17 +4,61 @@
 // block size — plus the configuration Algorithm 2 selects and the measured
 // optimum. The paper's heuristic pick (32x6) is optimal there; ours must be
 // optimal or within ~10% (Section VI-B).
+//
+//   --explore-jobs=N   parallel measurement workers (0 = all cores);
+//                      results are identical for every N, only wall-clock
+//                      changes
+//   --json-out=FILE    BENCH_*.json report path (default BENCH_fig4.json)
+//   --trace-out=FILE   Chrome trace_event timeline (chrome://tracing)
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "compiler/explore.hpp"
 #include "hwmodel/device_db.hpp"
 #include "ops/kernel_sources.hpp"
+#include "sim/trace.hpp"
+#include "support/stopwatch.hpp"
 
-int main() {
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace hipacc;
   const int n = 4096;
   const int sigma_d = 3, sigma_r = 5;
   const hw::DeviceSpec device = hw::TeslaC2050();
+
+  compiler::ExploreOptions eopts;
+  std::string json_out = "BENCH_fig4.json";
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--explore-jobs", &value)) {
+      eopts.jobs = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--json-out", &value)) {
+      json_out = value;
+    } else if (ParseFlag(argv[i], "--trace-out", &value)) {
+      trace_out = value;
+    } else {
+      std::fprintf(stderr,
+                   "usage: fig4_config_exploration [--explore-jobs=N] "
+                   "[--json-out=FILE] [--trace-out=FILE]\n");
+      return 2;
+    }
+  }
+  sim::TraceSink trace;
+  if (!trace_out.empty()) eopts.trace = &trace;
+  Stopwatch wall;
 
   frontend::KernelSource source =
       ops::BilateralMaskSource(sigma_d, ast::BoundaryMode::kClamp);
@@ -38,12 +82,13 @@ int main() {
       "sigma_r", sigma_r);
 
   Result<std::vector<compiler::ExplorePoint>> points =
-      compiler::ExploreConfigurations(kernel, device, bindings);
+      compiler::ExploreConfigurations(kernel, device, bindings, eopts);
   if (!points.ok()) {
     std::fprintf(stderr, "exploration failed: %s\n",
                  points.status().ToString().c_str());
     return 1;
   }
+  const double wall_ms = wall.ElapsedMs();
 
   std::printf(
       "Figure 4: configuration space exploration, bilateral filter 13x13,\n"
@@ -68,6 +113,28 @@ int main() {
         std::printf("Heuristic pick measured at %.2f ms (%.1f%% above optimum)\n",
                     p.ms, 100.0 * (p.ms / best->ms - 1.0));
     }
+  }
+  std::printf("Exploration wall-clock: %.0f ms (%d jobs)\n", wall_ms,
+              eopts.jobs);
+
+  if (!json_out.empty()) {
+    support::Json doc =
+        compiler::ExploreReportJson(kernel, device, n, n, points.value());
+    doc["bench"] = "fig4_config_exploration";
+    doc["jobs"] = eopts.jobs;
+    doc["wall_ms"] = wall_ms;
+    const Status written = support::WriteFile(json_out, doc.Dump(2) + "\n");
+    if (!written.ok())
+      std::fprintf(stderr, "warning: %s\n", written.ToString().c_str());
+    else
+      std::fprintf(stderr, "wrote %s\n", json_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    const Status written = trace.WriteChromeTrace(trace_out);
+    if (!written.ok())
+      std::fprintf(stderr, "warning: %s\n", written.ToString().c_str());
+    else
+      std::fprintf(stderr, "wrote %s\n", trace_out.c_str());
   }
   return 0;
 }

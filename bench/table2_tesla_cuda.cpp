@@ -8,6 +8,7 @@
 int main() {
   hipacc::bench::BilateralTableOptions options;
   options.device = hipacc::hw::TeslaC2050();
+  options.json_out = "BENCH_table2.json";
   options.backend = hipacc::ast::Backend::kCuda;
   options.include_rapidmind = true;
   std::printf("%s\n", hipacc::bench::RunBilateralTable(

@@ -7,6 +7,7 @@
 int main() {
   hipacc::bench::BilateralTableOptions options;
   options.device = hipacc::hw::TeslaC2050();
+  options.json_out = "BENCH_table3.json";
   options.backend = hipacc::ast::Backend::kOpenCL;
   std::printf("%s\n", hipacc::bench::RunBilateralTable(
                           "Table III: Tesla C2050, OpenCL backend", options)

@@ -7,6 +7,7 @@
 int main() {
   hipacc::bench::BilateralTableOptions options;
   options.device = hipacc::hw::QuadroFx5800();
+  options.json_out = "BENCH_table4.json";
   options.backend = hipacc::ast::Backend::kCuda;
   options.include_rapidmind = true;
   std::printf("%s\n", hipacc::bench::RunBilateralTable(

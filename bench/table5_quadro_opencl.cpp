@@ -7,6 +7,7 @@
 int main() {
   hipacc::bench::BilateralTableOptions options;
   options.device = hipacc::hw::QuadroFx5800();
+  options.json_out = "BENCH_table5.json";
   options.backend = hipacc::ast::Backend::kOpenCL;
   std::printf("%s\n", hipacc::bench::RunBilateralTable(
                           "Table V: Quadro FX 5800, OpenCL backend", options)

@@ -9,6 +9,7 @@
 int main() {
   hipacc::bench::BilateralTableOptions options;
   options.device = hipacc::hw::RadeonHd5870();
+  options.json_out = "BENCH_table6.json";
   options.backend = hipacc::ast::Backend::kOpenCL;
   std::printf("%s\n", hipacc::bench::RunBilateralTable(
                           "Table VI: Radeon HD 5870, OpenCL backend", options)

@@ -8,6 +8,7 @@
 int main() {
   hipacc::bench::BilateralTableOptions options;
   options.device = hipacc::hw::RadeonHd6970();
+  options.json_out = "BENCH_table7.json";
   options.backend = hipacc::ast::Backend::kOpenCL;
   std::printf("%s\n", hipacc::bench::RunBilateralTable(
                           "Table VII: Radeon HD 6970, OpenCL backend", options)

@@ -9,6 +9,7 @@
 int main() {
   hipacc::bench::GaussianTableOptions options;
   options.device = hipacc::hw::TeslaC2050();
+  options.json_out = "BENCH_table8.json";
   std::printf("%s\n", hipacc::bench::RunGaussianTable(
                           "Table VIII: Gaussian filters, Tesla C2050", options)
                           .c_str());

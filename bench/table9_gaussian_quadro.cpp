@@ -7,6 +7,7 @@
 int main() {
   hipacc::bench::GaussianTableOptions options;
   options.device = hipacc::hw::QuadroFx5800();
+  options.json_out = "BENCH_table9.json";
   std::printf("%s\n",
               hipacc::bench::RunGaussianTable(
                   "Table IX: Gaussian filters, Quadro FX 5800", options)

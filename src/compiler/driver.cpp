@@ -2,6 +2,7 @@
 
 #include "codegen/lower.hpp"
 #include "codegen/resource_estimator.hpp"
+#include "sim/trace.hpp"
 #include "support/log.hpp"
 #include "support/string_utils.hpp"
 
@@ -13,40 +14,53 @@ Result<CompiledKernel> Finish(ast::KernelDecl decl,
   CompiledKernel out;
   out.decl = std::move(decl);
 
-  Result<ast::DeviceKernel> lowered =
-      codegen::LowerKernel(out.decl, options.codegen);
-  if (!lowered.ok()) return lowered.status();
-  out.device_ir = std::move(lowered).take();
-
-  out.resources = codegen::EstimateResources(out.device_ir);
-
-  if (options.forced_config) {
-    out.config.config = *options.forced_config;
-    out.config.occupancy = hw::ComputeOccupancy(
-        options.device, out.config.config, out.resources);
-    if (!out.config.occupancy.valid)
-      return Status::Exhausted(StrFormat(
-          "forced configuration %dx%d is invalid on %s: %s",
-          out.config.config.block_x, out.config.config.block_y,
-          options.device.name.c_str(), out.config.occupancy.reason.c_str()));
-  } else {
-    hw::HeuristicInput input;
-    input.device = options.device;
-    input.resources = out.resources;
-    input.border_handling = out.device_ir.has_boundary_variants();
-    input.window = out.device_ir.bh_window;
-    input.image_width = options.image_width;
-    input.image_height = options.image_height;
-    Result<hw::HeuristicChoice> choice = hw::SelectConfig(input);
-    if (!choice.ok()) return choice.status();
-    out.config = std::move(choice).take();
+  {
+    sim::TraceSpan span(options.trace, "lower " + out.decl.name, "compile");
+    Result<ast::DeviceKernel> lowered =
+        codegen::LowerKernel(out.decl, options.codegen);
+    if (!lowered.ok()) return lowered.status();
+    out.device_ir = std::move(lowered).take();
   }
 
-  codegen::EmitContext ctx;
-  ctx.config = out.config.config;
-  ctx.image_width = options.image_width;
-  ctx.image_height = options.image_height;
-  out.source = codegen::EmitKernelSource(out.device_ir, ctx);
+  {
+    sim::TraceSpan span(options.trace, "estimate " + out.decl.name, "compile");
+    out.resources = codegen::EstimateResources(out.device_ir);
+  }
+
+  {
+    sim::TraceSpan span(options.trace, "select_config " + out.decl.name,
+                        "compile");
+    if (options.forced_config) {
+      out.config.config = *options.forced_config;
+      out.config.occupancy = hw::ComputeOccupancy(
+          options.device, out.config.config, out.resources);
+      if (!out.config.occupancy.valid)
+        return Status::Exhausted(StrFormat(
+            "forced configuration %dx%d is invalid on %s: %s",
+            out.config.config.block_x, out.config.config.block_y,
+            options.device.name.c_str(), out.config.occupancy.reason.c_str()));
+    } else {
+      hw::HeuristicInput input;
+      input.device = options.device;
+      input.resources = out.resources;
+      input.border_handling = out.device_ir.has_boundary_variants();
+      input.window = out.device_ir.bh_window;
+      input.image_width = options.image_width;
+      input.image_height = options.image_height;
+      Result<hw::HeuristicChoice> choice = hw::SelectConfig(input);
+      if (!choice.ok()) return choice.status();
+      out.config = std::move(choice).take();
+    }
+  }
+
+  {
+    sim::TraceSpan span(options.trace, "emit " + out.decl.name, "compile");
+    codegen::EmitContext ctx;
+    ctx.config = out.config.config;
+    ctx.image_width = options.image_width;
+    ctx.image_height = options.image_height;
+    out.source = codegen::EmitKernelSource(out.device_ir, ctx);
+  }
 
   LogInfo(StrFormat("compiled kernel '%s' for %s/%s: config %dx%d, "
                     "%d regs/thread, occupancy %.0f%%",
@@ -62,7 +76,10 @@ Result<CompiledKernel> Finish(ast::KernelDecl decl,
 
 Result<CompiledKernel> Compile(const frontend::KernelSource& source,
                                const CompileOptions& options) {
-  Result<ast::KernelDecl> decl = frontend::ParseKernel(source);
+  Result<ast::KernelDecl> decl = [&] {
+    sim::TraceSpan span(options.trace, "parse " + source.name, "compile");
+    return frontend::ParseKernel(source);
+  }();
   if (!decl.ok()) return decl.status();
   return Finish(std::move(decl).take(), options);
 }

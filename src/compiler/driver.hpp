@@ -14,6 +14,10 @@
 #include "hwmodel/device_db.hpp"
 #include "hwmodel/heuristic.hpp"
 
+namespace hipacc::sim {
+class TraceSink;
+}  // namespace hipacc::sim
+
 namespace hipacc::compiler {
 
 struct CompileOptions {
@@ -25,6 +29,9 @@ struct CompileOptions {
   int image_height = 0;
   /// Skip Algorithm 2 and use this configuration (evaluation tables).
   std::optional<hw::KernelConfig> forced_config;
+  /// Optional observability sink: per-phase compile durations (parse,
+  /// lower, estimate, select_config, emit) are recorded as spans.
+  sim::TraceSink* trace = nullptr;
 };
 
 struct CompiledKernel {

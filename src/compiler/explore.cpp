@@ -1,15 +1,39 @@
 #include "compiler/explore.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <thread>
+
+#include "support/parallel_for.hpp"
 
 namespace hipacc::compiler {
+namespace {
+
+/// Coarse hardware-model prune (no interpreter work): a candidate that the
+/// occupancy calculator already rejected never reaches ExploreConfigs, and
+/// one whose boundary tiling is degenerate (opposite guard bands overlap)
+/// would only fail launch validation after building the launch. Both are
+/// decided from arithmetic alone.
+bool PrunedByRegionGrid(const CompiledKernel& kernel,
+                        const hw::KernelConfig& config, int width,
+                        int height) {
+  if (!kernel.device_ir.has_boundary_variants()) return false;
+  return hw::ComputeRegionGrid(config, width, height,
+                               kernel.device_ir.bh_window)
+      .degenerate();
+}
+
+}  // namespace
 
 Result<std::vector<ExplorePoint>> ExploreConfigurations(
     const CompiledKernel& kernel, const hw::DeviceSpec& device,
-    const runtime::BindingSet& bindings) {
+    const runtime::BindingSet& bindings, const ExploreOptions& options) {
   if (!bindings.output()) return Status::Invalid("no output image bound");
+  if (options.samples_per_region < 1)
+    return Status::Invalid("samples_per_region must be >= 1");
   const int width = bindings.output()->width();
   const int height = bindings.output()->height();
+  const double trace_start = options.trace ? options.trace->NowMs() : 0.0;
 
   hw::HeuristicInput input;
   input.device = device;
@@ -19,25 +43,117 @@ Result<std::vector<ExplorePoint>> ExploreConfigurations(
   input.image_width = width;
   input.image_height = height;
 
-  SimulatedExecutable exe(kernel, device);
+  // Candidate enumeration already applies the occupancy-calculator prune;
+  // the region-grid prune removes launch-time failures before any
+  // interpreter work.
+  const std::vector<hw::HeuristicChoice> all = hw::ExploreConfigs(input);
+  std::vector<const hw::HeuristicChoice*> candidates;
+  candidates.reserve(all.size());
+  for (const hw::HeuristicChoice& choice : all)
+    if (!PrunedByRegionGrid(kernel, choice.config, width, height))
+      candidates.push_back(&choice);
+
+  const int pruned = static_cast<int>(all.size() - candidates.size());
+  unsigned jobs = options.jobs > 0
+                      ? static_cast<unsigned>(options.jobs)
+                      : std::max(1u, std::thread::hardware_concurrency());
+  jobs = std::min<unsigned>(
+      std::max(1u, jobs),
+      std::max<size_t>(1, candidates.size()));
+
+  // Candidates are dealt round-robin so the per-worker load is balanced
+  // (enumeration order grows with thread count, i.e. with cost). Each slot
+  // is written by exactly one worker; merging by index keeps the result
+  // independent of scheduling.
+  std::vector<std::optional<ExplorePoint>> slots(candidates.size());
+  const auto measure_lane = [&](int worker) {
+    // Private measurement lane: own interpreter/simulator state and a
+    // private output image, so concurrent candidates never write the same
+    // buffer. Inputs are shared read-only.
+    dsl::Image<float> lane_out(width, height);
+    runtime::BindingSet lane_bindings = bindings;
+    lane_bindings.Output(lane_out);
+    SimulatedExecutable exe(kernel, device);
+    exe.set_trace(options.trace, worker);
+    for (size_t i = static_cast<size_t>(worker); i < candidates.size();
+         i += jobs) {
+      const hw::HeuristicChoice& candidate = *candidates[i];
+      Result<sim::LaunchStats> stats = exe.Measure(
+          lane_bindings, candidate.config, options.samples_per_region);
+      if (!stats.ok()) continue;  // invalid at launch time: skip, like nvcc
+      ExplorePoint point;
+      point.config = candidate.config;
+      point.occupancy = candidate.occupancy.occupancy;
+      point.border_threads = candidate.border_threads;
+      point.ms = stats.value().timing.total_ms;
+      point.timing = stats.value().timing;
+      slots[i] = point;
+    }
+  };
+  if (jobs <= 1)
+    measure_lane(0);
+  else
+    ParallelFor(0, static_cast<int>(jobs), measure_lane, jobs);
+
   std::vector<ExplorePoint> points;
-  for (const hw::HeuristicChoice& candidate : hw::ExploreConfigs(input)) {
-    Result<sim::LaunchStats> stats = exe.Measure(bindings, candidate.config);
-    if (!stats.ok()) continue;  // invalid at launch time: skip, like nvcc
-    ExplorePoint point;
-    point.config = candidate.config;
-    point.occupancy = candidate.occupancy.occupancy;
-    point.border_threads = candidate.border_threads;
-    point.ms = stats.value().timing.total_ms;
-    points.push_back(point);
-  }
+  points.reserve(slots.size());
+  for (const std::optional<ExplorePoint>& slot : slots)
+    if (slot) points.push_back(*slot);
+  // (threads, block_x) determines block_y, so this order is total and the
+  // output is reproducible regardless of measurement order.
   std::sort(points.begin(), points.end(),
             [](const ExplorePoint& a, const ExplorePoint& b) {
               if (a.config.threads() != b.config.threads())
                 return a.config.threads() < b.config.threads();
               return a.config.block_x < b.config.block_x;
             });
+  if (options.trace) {
+    support::Json args = support::Json::Object();
+    args["candidates"] = static_cast<long long>(all.size());
+    args["pruned"] = pruned;
+    args["measured"] = static_cast<long long>(points.size());
+    args["jobs"] = static_cast<long long>(jobs);
+    args["samples_per_region"] = options.samples_per_region;
+    options.trace->AddSpan("explore " + kernel.decl.name, "explore",
+                           trace_start,
+                           options.trace->NowMs() - trace_start,
+                           std::move(args));
+  }
   return points;
+}
+
+support::Json ExplorePointJson(const ExplorePoint& point) {
+  support::Json j = support::Json::Object();
+  j["config"] = sim::ConfigJson(point.config);
+  j["occupancy"] = point.occupancy;
+  j["border_threads"] = point.border_threads;
+  j["ms"] = point.ms;
+  j["timing"] = sim::TimingJson(point.timing);
+  return j;
+}
+
+support::Json ExploreReportJson(const CompiledKernel& kernel,
+                                const hw::DeviceSpec& device, int image_width,
+                                int image_height,
+                                const std::vector<ExplorePoint>& points) {
+  support::Json doc = support::Json::Object();
+  doc["kernel"] = kernel.decl.name;
+  doc["device"] = device.name;
+  doc["backend"] = to_string(kernel.device_ir.backend);
+  support::Json image = support::Json::Object();
+  image["width"] = image_width;
+  image["height"] = image_height;
+  doc["image"] = std::move(image);
+  support::Json heuristic = support::Json::Object();
+  heuristic["config"] = sim::ConfigJson(kernel.config.config);
+  heuristic["occupancy"] = kernel.config.occupancy.occupancy;
+  heuristic["border_threads"] = kernel.config.border_threads;
+  doc["heuristic"] = std::move(heuristic);
+  support::Json array = support::Json::Array();
+  for (const ExplorePoint& point : points)
+    array.push_back(ExplorePointJson(point));
+  doc["points"] = std::move(array);
+  return doc;
 }
 
 }  // namespace hipacc::compiler

@@ -2,11 +2,18 @@
 // valid configuration of a compiled kernel on the simulated device. The
 // paper JIT-compiles each configuration with substituted macros; here each
 // configuration re-launches the interpreter with different region constants.
+//
+// The sweep is embarrassingly parallel across candidates: each worker owns a
+// full measurement lane (its own SimulatedExecutable, interpreter state, and
+// a private output image), candidates are dealt round-robin, and results are
+// merged by candidate index — so the output is bit-identical for any worker
+// count, including the serial path.
 #pragma once
 
 #include <vector>
 
 #include "compiler/executable.hpp"
+#include "support/json.hpp"
 
 namespace hipacc::compiler {
 
@@ -15,12 +22,44 @@ struct ExplorePoint {
   double occupancy = 0.0;
   long long border_threads = 0;
   double ms = 0.0;
+  sim::TimingBreakdown timing;  ///< modelled-time breakdown behind `ms`
 };
 
-/// Measures every valid configuration. Points are returned sorted by thread
-/// count then block_x (the layout of Figure 4's x axis).
+/// Tuning knobs for ExploreConfigurations. The defaults reproduce Figure 4
+/// deterministically on any machine.
+struct ExploreOptions {
+  /// Measurement workers (0 = hardware concurrency). Results are identical
+  /// for every value; only wall-clock time changes.
+  int jobs = 1;
+  /// Blocks interpreted per boundary region for each candidate. Within one
+  /// region every block executes the same instruction stream (the region
+  /// variants exist precisely so that holds), so one sample per region is
+  /// the exploration default; raise it to average residual cache effects.
+  int samples_per_region = 1;
+  /// Optional observability sink: records the prune decision, every
+  /// simulated candidate launch (per worker lane), and the merge.
+  sim::TraceSink* trace = nullptr;
+};
+
+/// Measures every valid configuration. Obviously-invalid candidates (failed
+/// occupancy, degenerate boundary tiling) are pruned by the hardware model
+/// before any interpreter work. Points are returned sorted by thread count
+/// then block_x (the layout of Figure 4's x axis).
 Result<std::vector<ExplorePoint>> ExploreConfigurations(
     const CompiledKernel& kernel, const hw::DeviceSpec& device,
-    const runtime::BindingSet& bindings);
+    const runtime::BindingSet& bindings, const ExploreOptions& options = {});
+
+/// Structured form of one exploration point:
+/// {"config": {block_x, block_y, threads}, "occupancy", "border_threads",
+///  "ms", "timing": {...}}.
+support::Json ExplorePointJson(const ExplorePoint& point);
+
+/// The BENCH_*.json document the Figure 4 bench and the tests share:
+/// {"kernel", "device", "backend", "image": {width, height},
+///  "points": [ExplorePointJson...]}.
+support::Json ExploreReportJson(const CompiledKernel& kernel,
+                                const hw::DeviceSpec& device, int image_width,
+                                int image_height,
+                                const std::vector<ExplorePoint>& points);
 
 }  // namespace hipacc::compiler

@@ -1,7 +1,8 @@
 #include "sim/interpreter.hpp"
 
+#include <array>
 #include <cmath>
-#include <map>
+#include <vector>
 
 #include "ast/builtins.hpp"
 #include "dsl/boundary.hpp"
@@ -12,21 +13,68 @@ namespace {
 
 using namespace hipacc::ast;
 
-/// Per-lane value vector of one warp. Values are stored as doubles but all
+/// Maximum SIMD width across the device database (AMD wavefronts are 64
+/// lanes wide). Warp values and lane masks carry inline fixed-size storage
+/// sized for it, so the interpreter's hot path — one WarpVal per evaluated
+/// IR node — performs no heap allocation.
+constexpr int kMaxWarpWidth = 64;
+
+/// Per-lane values of one warp. Values are stored as doubles but all
 /// float-typed arithmetic is performed in float precision so interpreted
-/// results match the DSL's host executor bit for bit.
+/// results match the DSL's host executor bit for bit. Lanes beyond the
+/// device's warp width stay zero and are never read.
 struct WarpVal {
   ScalarType type = ScalarType::kFloat;
-  std::vector<double> lanes;
+  std::array<double, kMaxWarpWidth> lanes{};
 };
 
-using LaneMask = std::vector<bool>;
+using LaneMask = std::array<unsigned char, kMaxWarpWidth>;
 
 bool AnyActive(const LaneMask& mask) {
-  for (const bool b : mask)
+  for (const unsigned char b : mask)
     if (b) return true;
   return false;
 }
+
+/// Flat variable environment. Kernels declare a handful of locals, so an
+/// insertion-ordered vector with linear name lookup beats a node-based map:
+/// no allocation per declaration and cache-friendly scans. Slot indices are
+/// stable across later declarations (unlike raw pointers into the vector).
+class Env {
+ public:
+  Env() { slots_.reserve(16); }
+
+  WarpVal* Find(const std::string& name) {
+    for (Slot& slot : slots_)
+      if (*slot.name == name) return &slot.val;
+    return nullptr;
+  }
+
+  /// Get-or-create. `name` must outlive the environment (all callers pass
+  /// strings owned by the kernel IR).
+  WarpVal& Var(const std::string& name) {
+    if (WarpVal* v = Find(name)) return *v;
+    slots_.push_back(Slot{&name, WarpVal{}});
+    return slots_.back().val;
+  }
+
+  /// Index of `name`, creating the variable if needed.
+  std::size_t SlotOf(const std::string& name) {
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+      if (*slots_[i].name == name) return i;
+    slots_.push_back(Slot{&name, WarpVal{}});
+    return slots_.size() - 1;
+  }
+
+  WarpVal& At(std::size_t slot) { return slots_[slot].val; }
+
+ private:
+  struct Slot {
+    const std::string* name;
+    WarpVal val;
+  };
+  std::vector<Slot> slots_;
+};
 
 /// ALU cost of one boundary guard in one direction, per mode (the knob that
 /// makes manual uniformly-guarded kernels vary across modes, Section VI-A).
@@ -66,6 +114,10 @@ class BlockRunner {
     if (kernel.has_boundary_variants()) metrics_->alu_ops += 4;
 
     warp_size_ = device_.simd_width;
+    if (warp_size_ > kMaxWarpWidth)
+      return Status::Internal(
+          StrFormat("SIMD width %d exceeds the interpreter's lane limit %d",
+                    warp_size_, kMaxWarpWidth));
     const int threads = launch_.config.threads();
     const int warps = (threads + warp_size_ - 1) / warp_size_;
 
@@ -82,16 +134,14 @@ class BlockRunner {
   }
 
  private:
-  using Env = std::map<std::string, WarpVal>;
-
   // ---- warp context ---------------------------------------------------------
   void BuildWarpContext(int warp, int threads) {
     const int bx = launch_.config.block_x;
-    tid_x_.assign(static_cast<size_t>(warp_size_), 0);
-    tid_y_.assign(static_cast<size_t>(warp_size_), 0);
-    gid_x_.assign(static_cast<size_t>(warp_size_), 0);
-    gid_y_.assign(static_cast<size_t>(warp_size_), 0);
-    active_.assign(static_cast<size_t>(warp_size_), false);
+    tid_x_.fill(0);
+    tid_y_.fill(0);
+    gid_x_.fill(0);
+    gid_y_.fill(0);
+    active_.fill(0);
     for (int lane = 0; lane < warp_size_; ++lane) {
       const int lin = warp * warp_size_ + lane;
       if (lin >= threads) continue;
@@ -113,14 +163,12 @@ class BlockRunner {
   void SeedParams(Env* env) {
     for (const auto& p : launch_.kernel->params) {
       const auto it = launch_.scalar_args.find(p.name);
-      WarpVal val;
-      val.type = p.type;
       const double v = it != launch_.scalar_args.end() ? it->second : 0.0;
-      val.lanes.assign(static_cast<size_t>(warp_size_),
-                       p.type == ScalarType::kFloat
-                           ? static_cast<double>(static_cast<float>(v))
-                           : v);
-      (*env)[p.name] = std::move(val);
+      WarpVal& val = env->Var(p.name);
+      val.type = p.type;
+      val.lanes.fill(p.type == ScalarType::kFloat
+                         ? static_cast<double>(static_cast<float>(v))
+                         : v);
     }
   }
 
@@ -196,18 +244,18 @@ class BlockRunner {
           val = Convert(val, s.decl_type);
         } else {
           val.type = s.decl_type;
-          val.lanes.assign(static_cast<size_t>(warp_size_), 0.0);
+          val.lanes.fill(0.0);
         }
-        (*env)[s.name] = std::move(val);
+        env->Var(s.name) = std::move(val);
         return Status::Ok();
       }
       case StmtKind::kAssign: {
         WarpVal rhs;
         HIPACC_RETURN_IF_ERROR(Eval(s.value, mask, env, &rhs));
-        auto it = env->find(s.name);
-        if (it == env->end())
+        WarpVal* found = env->Find(s.name);
+        if (!found)
           return Status::Internal("assignment to unknown variable " + s.name);
-        WarpVal& var = it->second;
+        WarpVal& var = *found;
         rhs = Convert(rhs, var.type);
         metrics_->alu_ops += s.assign_op == AssignOp::kAssign ? 0 : 1;
         for (int lane = 0; lane < warp_size_; ++lane) {
@@ -238,14 +286,16 @@ class BlockRunner {
         WarpVal lo, hi;
         HIPACC_RETURN_IF_ERROR(Eval(s.lo, mask, env, &lo));
         HIPACC_RETURN_IF_ERROR(Eval(s.hi, mask, env, &hi));
-        WarpVal var;
+        // Slot index instead of a reference: the body may declare variables,
+        // growing the environment and invalidating references into it.
+        const std::size_t slot = env->SlotOf(s.name);
+        WarpVal& var = env->At(slot);
         var.type = ScalarType::kInt;
         var.lanes = lo.lanes;
-        (*env)[s.name] = var;
         while (true) {
           LaneMask iter_mask(mask);
           bool any = false;
-          const WarpVal& cur = (*env)[s.name];
+          const WarpVal& cur = env->At(slot);
           for (int lane = 0; lane < warp_size_; ++lane) {
             const size_t l = static_cast<size_t>(lane);
             iter_mask[l] = mask[l] && cur.lanes[l] <= hi.lanes[l];
@@ -254,7 +304,7 @@ class BlockRunner {
           metrics_->alu_ops += 2;  // compare + increment
           if (!any) break;
           HIPACC_RETURN_IF_ERROR(Exec(s.body[0], iter_mask, env));
-          WarpVal& loop_var = (*env)[s.name];
+          WarpVal& loop_var = env->At(slot);
           for (int lane = 0; lane < warp_size_; ++lane) {
             const size_t l = static_cast<size_t>(lane);
             if (iter_mask[l]) loop_var.lanes[l] += s.step;
@@ -283,7 +333,7 @@ class BlockRunner {
     HIPACC_RETURN_IF_ERROR(Eval(s.y, mask, env, &y));
     value = Convert(value, ScalarType::kFloat);
     metrics_->alu_ops += 2;  // address arithmetic
-    std::vector<std::uint64_t> addrs;
+    addr_scratch_.clear();
     for (int lane = 0; lane < warp_size_; ++lane) {
       const size_t l = static_cast<size_t>(lane);
       if (!mask[l]) continue;
@@ -295,9 +345,9 @@ class BlockRunner {
       }
       const std::uint64_t addr = static_cast<std::uint64_t>(py) * buf->stride + px;
       buf->data[addr] = static_cast<float>(value.lanes[l]);
-      addrs.push_back(addr);
+      addr_scratch_.push_back(addr);
     }
-    memory_.GlobalAccess(addrs, /*is_write=*/true, metrics_);
+    memory_.GlobalAccess(addr_scratch_, /*is_write=*/true, metrics_);
     return Status::Ok();
   }
 
@@ -315,10 +365,9 @@ class BlockRunner {
       case ExprKind::kBoolLit:
         return Broadcast(ScalarType::kBool, e.bool_value ? 1.0 : 0.0, out);
       case ExprKind::kVarRef: {
-        const auto it = env->find(e.name);
-        if (it == env->end())
-          return Status::Internal("unknown variable " + e.name);
-        *out = it->second;
+        const WarpVal* v = env->Find(e.name);
+        if (!v) return Status::Internal("unknown variable " + e.name);
+        *out = *v;
         return Status::Ok();
       }
       case ExprKind::kUnary: {
@@ -326,8 +375,7 @@ class BlockRunner {
         HIPACC_RETURN_IF_ERROR(Eval(e.args[0], mask, env, &v));
         metrics_->alu_ops += 1;
         out->type = e.type;
-        out->lanes.resize(static_cast<size_t>(warp_size_));
-        for (size_t l = 0; l < out->lanes.size(); ++l) {
+        for (size_t l = 0; l < static_cast<size_t>(warp_size_); ++l) {
           if (e.unary_op == UnaryOp::kNot)
             out->lanes[l] = v.lanes[l] == 0.0 ? 1.0 : 0.0;
           else
@@ -346,8 +394,7 @@ class BlockRunner {
         HIPACC_RETURN_IF_ERROR(Eval(e.args[2], mask, env, &fval));
         metrics_->alu_ops += 1;  // select
         out->type = e.type;
-        out->lanes.resize(static_cast<size_t>(warp_size_));
-        for (size_t l = 0; l < out->lanes.size(); ++l)
+        for (size_t l = 0; l < static_cast<size_t>(warp_size_); ++l)
           out->lanes[l] = cond.lanes[l] != 0.0 ? tval.lanes[l] : fval.lanes[l];
         return Status::Ok();
       }
@@ -374,7 +421,7 @@ class BlockRunner {
 
   Status Broadcast(ScalarType type, double value, WarpVal* out) {
     out->type = type;
-    out->lanes.assign(static_cast<size_t>(warp_size_), value);
+    out->lanes.fill(value);
     return Status::Ok();
   }
 
@@ -393,8 +440,7 @@ class BlockRunner {
     else
       metrics_->alu_ops += 1;
     out->type = e.type;
-    out->lanes.resize(static_cast<size_t>(warp_size_));
-    for (size_t l = 0; l < out->lanes.size(); ++l) {
+    for (size_t l = 0; l < static_cast<size_t>(warp_size_); ++l) {
       const double x = a.lanes[l];
       const double y = b.lanes[l];
       double r = 0.0;
@@ -432,7 +478,10 @@ class BlockRunner {
   }
 
   Status EvalCall(const Expr& e, const LaneMask& mask, Env* env, WarpVal* out) {
-    std::vector<WarpVal> args(e.args.size());
+    // Builtins take at most two arguments (atan2/pow/fmod/min/max family).
+    std::array<WarpVal, 3> args;
+    if (e.args.size() > args.size())
+      return Status::Internal("builtin " + e.name + " has too many arguments");
     for (size_t i = 0; i < e.args.size(); ++i)
       HIPACC_RETURN_IF_ERROR(Eval(e.args[i], mask, env, &args[i]));
 
@@ -448,8 +497,7 @@ class BlockRunner {
     }
 
     out->type = builtin->result;
-    out->lanes.resize(static_cast<size_t>(warp_size_));
-    for (size_t l = 0; l < out->lanes.size(); ++l) {
+    for (size_t l = 0; l < static_cast<size_t>(warp_size_); ++l) {
       auto arg = [&](size_t i) { return static_cast<float>(args[i].lanes[l]); };
       float r = 0.0f;
       if (e.name == "exp") r = std::exp(arg(0));
@@ -490,7 +538,6 @@ class BlockRunner {
 
   Status EvalThreadIndex(ThreadIndexKind kind, WarpVal* out) {
     out->type = ScalarType::kInt;
-    out->lanes.resize(static_cast<size_t>(warp_size_));
     const hw::GridDim grid =
         hw::ComputeGrid(launch_.config, launch_.width, launch_.height);
     for (int lane = 0; lane < warp_size_; ++lane) {
@@ -535,11 +582,11 @@ class BlockRunner {
     HIPACC_RETURN_IF_ERROR(Eval(e.args[0], mask, env, &x));
     HIPACC_RETURN_IF_ERROR(Eval(e.args[1], mask, env, &y));
     out->type = ScalarType::kFloat;
-    out->lanes.assign(static_cast<size_t>(warp_size_), 0.0);
+    out->lanes.fill(0.0);
 
     switch (e.space) {
       case MemSpace::kShared: {
-        std::vector<std::uint64_t> addrs;
+        addr_scratch_.clear();
         metrics_->alu_ops += 2;  // tile index arithmetic
         for (int lane = 0; lane < warp_size_; ++lane) {
           const size_t l = static_cast<size_t>(lane);
@@ -552,9 +599,9 @@ class BlockRunner {
           }
           const std::uint64_t addr = static_cast<std::uint64_t>(sy) * tile_w_ + sx;
           out->lanes[l] = static_cast<double>(tile_[addr]);
-          addrs.push_back(addr);
+          addr_scratch_.push_back(addr);
         }
-        memory_.SharedAccess(addrs, metrics_);
+        memory_.SharedAccess(addr_scratch_, metrics_);
         return Status::Ok();
       }
       case MemSpace::kConstant: {
@@ -562,7 +609,7 @@ class BlockRunner {
         if (it == launch_.const_masks.end())
           return Status::Invalid("unbound constant mask " + e.name);
         const int mask_w = MaskWidth(e.name);
-        std::vector<std::uint64_t> addrs;
+        addr_scratch_.clear();
         metrics_->alu_ops += 2;
         for (int lane = 0; lane < warp_size_; ++lane) {
           const size_t l = static_cast<size_t>(lane);
@@ -575,9 +622,9 @@ class BlockRunner {
             continue;
           }
           out->lanes[l] = static_cast<double>(it->second[addr]);
-          addrs.push_back(addr);
+          addr_scratch_.push_back(addr);
         }
-        memory_.ConstantAccess(addrs, metrics_);
+        memory_.ConstantAccess(addr_scratch_, metrics_);
         return Status::Ok();
       }
       case MemSpace::kGlobal:
@@ -595,7 +642,7 @@ class BlockRunner {
           if (e.boundary == BoundaryMode::kConstant && e.checks.any())
             metrics_->alu_ops += 1;  // final select
         }
-        std::vector<std::uint64_t> addrs;
+        addr_scratch_.clear();
         for (int lane = 0; lane < warp_size_; ++lane) {
           const size_t l = static_cast<size_t>(lane);
           if (!mask[l]) continue;
@@ -631,12 +678,12 @@ class BlockRunner {
           const std::uint64_t addr =
               static_cast<std::uint64_t>(ry) * buf->stride + rx;
           out->lanes[l] = static_cast<double>(buf->data[addr]);
-          addrs.push_back(addr);
+          addr_scratch_.push_back(addr);
         }
         if (e.space == MemSpace::kTexture)
-          memory_.TextureAccess(addrs, metrics_);
+          memory_.TextureAccess(addr_scratch_, metrics_);
         else
-          memory_.GlobalAccess(addrs, /*is_write=*/false, metrics_);
+          memory_.GlobalAccess(addr_scratch_, /*is_write=*/false, metrics_);
         return Status::Ok();
       }
     }
@@ -674,7 +721,6 @@ class BlockRunner {
     if (v.type == type) return v;
     WarpVal out;
     out.type = type;
-    out.lanes.resize(v.lanes.size());
     for (size_t l = 0; l < v.lanes.size(); ++l) {
       switch (type) {
         case ScalarType::kFloat:
@@ -703,8 +749,12 @@ class BlockRunner {
   MemoryModel memory_;
   int warp_size_ = 32;
 
-  std::vector<double> tid_x_, tid_y_, gid_x_, gid_y_;
-  LaneMask active_;
+  std::array<double, kMaxWarpWidth> tid_x_{}, tid_y_{}, gid_x_{}, gid_y_{};
+  LaneMask active_{};
+
+  // Reused per-access coalescing address buffer (capacity persists across
+  // the block, so the memory-model calls allocate only on first use).
+  std::vector<std::uint64_t> addr_scratch_;
 
   // Scratchpad tile of this block.
   std::vector<float> tile_;

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "sim/interpreter.hpp"
+#include "sim/trace.hpp"
 #include "support/parallel_for.hpp"
 #include "support/string_utils.hpp"
 
@@ -22,10 +23,16 @@ double Simulator::IssueScale(const Launch& launch) const {
   return scale;
 }
 
+const hw::KernelResources& Simulator::Resources(const Launch& launch) const {
+  if (resources_kernel_ != launch.kernel) {
+    resources_cache_ = codegen::EstimateResources(*launch.kernel);
+    resources_kernel_ = launch.kernel;
+  }
+  return resources_cache_;
+}
+
 hw::OccupancyResult Simulator::Occupancy(const Launch& launch) const {
-  const hw::KernelResources resources =
-      codegen::EstimateResources(*launch.kernel);
-  return hw::ComputeOccupancy(device_, launch.config, resources);
+  return hw::ComputeOccupancy(device_, launch.config, Resources(launch));
 }
 
 Status Simulator::Validate(const Launch& launch) const {
@@ -65,6 +72,7 @@ Status Simulator::Validate(const Launch& launch) const {
 
 Result<LaunchStats> Simulator::Execute(const Launch& launch) const {
   HIPACC_RETURN_IF_ERROR(Validate(launch));
+  const double trace_start = trace_ ? trace_->NowMs() : 0.0;
   LaunchStats stats;
   stats.occupancy = Occupancy(launch);
   stats.region_grid = hw::ComputeRegionGrid(
@@ -86,12 +94,17 @@ Result<LaunchStats> Simulator::Execute(const Launch& launch) const {
   HIPACC_RETURN_IF_ERROR(first_error);
   stats.metrics = total;
   stats.timing = ModelTime(total, device_, stats.occupancy, IssueScale(launch));
+  if (trace_)
+    trace_->RecordLaunch(launch.kernel->name, launch.config, stats,
+                         trace_start, trace_->NowMs() - trace_start,
+                         trace_tid_);
   return stats;
 }
 
 Result<LaunchStats> Simulator::Measure(const Launch& launch,
                                        int samples_per_region) const {
   HIPACC_RETURN_IF_ERROR(Validate(launch));
+  const double trace_start = trace_ ? trace_->NowMs() : 0.0;
   LaunchStats stats;
   stats.sampled = true;
   stats.occupancy = Occupancy(launch);
@@ -177,6 +190,10 @@ Result<LaunchStats> Simulator::Measure(const Launch& launch,
   }
   stats.metrics = total;
   stats.timing = ModelTime(total, device_, stats.occupancy, IssueScale(launch));
+  if (trace_)
+    trace_->RecordLaunch(launch.kernel->name, launch.config, stats,
+                         trace_start, trace_->NowMs() - trace_start,
+                         trace_tid_);
   return stats;
 }
 

@@ -12,6 +12,8 @@
 
 namespace hipacc::sim {
 
+class TraceSink;
+
 struct LaunchStats {
   Metrics metrics;              ///< whole-grid (exact or extrapolated)
   TimingBreakdown timing;       ///< modelled time
@@ -25,6 +27,17 @@ class Simulator {
   explicit Simulator(hw::DeviceSpec device) : device_(std::move(device)) {}
 
   const hw::DeviceSpec& device() const noexcept { return device_; }
+
+  /// Attaches an observability sink: every Execute/Measure records a span
+  /// with its configuration, metrics, and timing breakdown. `tid` labels the
+  /// logical lane in the trace (exploration worker id). The sink must
+  /// outlive the simulator; pass nullptr to detach. Launches themselves
+  /// stay thread-safe, but set_trace must not race with in-flight launches.
+  void set_trace(TraceSink* sink, int tid = 0) noexcept {
+    trace_ = sink;
+    trace_tid_ = tid;
+  }
+  TraceSink* trace() const noexcept { return trace_; }
 
   /// Validates the launch against device limits (configs exceeding the
   /// hardware model's resources fail like a real kernel-launch error).
@@ -42,8 +55,16 @@ class Simulator {
  private:
   hw::OccupancyResult Occupancy(const Launch& launch) const;
   double IssueScale(const Launch& launch) const;
+  const hw::KernelResources& Resources(const Launch& launch) const;
 
   hw::DeviceSpec device_;
+  TraceSink* trace_ = nullptr;
+  int trace_tid_ = 0;
+  /// Resource estimation walks the kernel IR; launches of the same kernel
+  /// (every exploration candidate) reuse the walk. Guarded by the caller's
+  /// single-threaded use of one Simulator per measurement lane.
+  mutable const ast::DeviceKernel* resources_kernel_ = nullptr;
+  mutable hw::KernelResources resources_cache_;
 };
 
 }  // namespace hipacc::sim

@@ -1,0 +1,143 @@
+#include "sim/trace.hpp"
+
+namespace hipacc::sim {
+
+using support::Json;
+
+void TraceSink::AddSpan(std::string name, std::string category,
+                        double start_ms, double dur_ms, Json args, int tid) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.start_ms = start_ms;
+  event.dur_ms = dur_ms;
+  event.tid = tid;
+  event.args = std::move(args);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void TraceSink::AddInstant(std::string name, std::string category, Json args,
+                           int tid) {
+  AddSpan(std::move(name), std::move(category), NowMs(), 0.0, std::move(args),
+          tid);
+}
+
+void TraceSink::RecordLaunch(const std::string& kernel_name,
+                             const hw::KernelConfig& config,
+                             const LaunchStats& stats, double start_ms,
+                             double dur_ms, int tid) {
+  Json args = Json::Object();
+  args["config"] = ConfigJson(config);
+  args["occupancy"] = OccupancyJson(stats.occupancy);
+  args["metrics"] = MetricsJson(stats.metrics);
+  args["timing"] = TimingJson(stats.timing);
+  args["sampled"] = stats.sampled;
+  AddSpan("launch " + kernel_name, "sim", start_ms, dur_ms, std::move(args),
+          tid);
+}
+
+bool TraceSink::empty() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.empty();
+}
+
+std::size_t TraceSink::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+Json TraceSink::ToJson() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Json events = Json::Array();
+  for (const TraceEvent& event : events_) {
+    Json e = Json::Object();
+    e["name"] = event.name;
+    e["category"] = event.category;
+    e["start_ms"] = event.start_ms;
+    e["dur_ms"] = event.dur_ms;
+    e["tid"] = event.tid;
+    if (!event.args.is_null()) e["args"] = event.args;
+    events.push_back(std::move(e));
+  }
+  Json doc = Json::Object();
+  doc["events"] = std::move(events);
+  return doc;
+}
+
+std::string TraceSink::ToChromeTrace() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Json events = Json::Array();
+  for (const TraceEvent& event : events_) {
+    Json e = Json::Object();
+    e["name"] = event.name;
+    e["cat"] = event.category;
+    e["ph"] = "X";  // complete event: ts + dur
+    e["ts"] = event.start_ms * 1000.0;   // trace_event wants microseconds
+    e["dur"] = event.dur_ms * 1000.0;
+    e["pid"] = 1;
+    e["tid"] = event.tid;
+    if (!event.args.is_null()) e["args"] = event.args;
+    events.push_back(std::move(e));
+  }
+  Json doc = Json::Object();
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ms";
+  return doc.Dump();
+}
+
+Status TraceSink::WriteJson(const std::string& path) const {
+  return support::WriteFile(path, ToJson().Dump(2) + "\n");
+}
+
+Status TraceSink::WriteChromeTrace(const std::string& path) const {
+  return support::WriteFile(path, ToChromeTrace() + "\n");
+}
+
+Json MetricsJson(const Metrics& metrics) {
+  Json j = Json::Object();
+  j["alu_ops"] = metrics.alu_ops;
+  j["sfu_calls"] = metrics.sfu_calls;
+  j["global_read_instrs"] = metrics.global_read_instrs;
+  j["global_write_instrs"] = metrics.global_write_instrs;
+  j["global_transactions"] = metrics.global_transactions;
+  j["l1_hits"] = metrics.l1_hits;
+  j["tex_read_instrs"] = metrics.tex_read_instrs;
+  j["tex_hits"] = metrics.tex_hits;
+  j["tex_transactions"] = metrics.tex_transactions;
+  j["const_broadcasts"] = metrics.const_broadcasts;
+  j["const_serialized"] = metrics.const_serialized;
+  j["smem_accesses"] = metrics.smem_accesses;
+  j["smem_conflict_cycles"] = metrics.smem_conflict_cycles;
+  j["oob_violations"] = metrics.oob_violations;
+  return j;
+}
+
+Json TimingJson(const TimingBreakdown& timing) {
+  Json j = Json::Object();
+  j["compute_cycles"] = timing.compute_cycles;
+  j["bandwidth_cycles"] = timing.bandwidth_cycles;
+  j["latency_cycles"] = timing.latency_cycles;
+  j["total_ms"] = timing.total_ms;
+  return j;
+}
+
+Json OccupancyJson(const hw::OccupancyResult& occupancy) {
+  Json j = Json::Object();
+  j["valid"] = occupancy.valid;
+  j["occupancy"] = occupancy.occupancy;
+  j["blocks_per_sm"] = occupancy.blocks_per_sm;
+  j["active_warps"] = occupancy.active_warps;
+  j["limiter"] = to_string(occupancy.limiter);
+  return j;
+}
+
+Json ConfigJson(const hw::KernelConfig& config) {
+  Json j = Json::Object();
+  j["block_x"] = config.block_x;
+  j["block_y"] = config.block_y;
+  j["threads"] = config.threads();
+  return j;
+}
+
+}  // namespace hipacc::sim

@@ -1,0 +1,108 @@
+// Observability layer for the simulator and compiler: a thread-safe sink of
+// timestamped spans (compile phases, launch builds, simulated launches,
+// exploration candidates), each optionally carrying structured arguments
+// (sim::Metrics counters, timing-model breakdowns, launch configurations).
+// Serialises either as plain JSON ({"events": [...]}) or as the Chrome
+// trace_event format loadable in chrome://tracing / Perfetto.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "support/json.hpp"
+#include "support/stopwatch.hpp"
+
+namespace hipacc::sim {
+
+/// One completed span on the sink's wall-clock timeline.
+struct TraceEvent {
+  std::string name;
+  std::string category;   ///< "compile", "runtime", "sim", "explore", ...
+  double start_ms = 0.0;  ///< relative to the sink's construction
+  double dur_ms = 0.0;
+  int tid = 0;            ///< logical lane (exploration worker id)
+  support::Json args;     ///< object payload; null when empty
+};
+
+/// Collects TraceEvents from any thread. All recording methods are
+/// thread-safe; serialisation snapshots under the same lock.
+class TraceSink {
+ public:
+  TraceSink() = default;
+
+  /// Milliseconds elapsed since the sink was constructed — the timeline the
+  /// spans live on. Callers capture this before timed work, then pass it to
+  /// AddSpan with the measured duration.
+  double NowMs() const { return epoch_.ElapsedMs(); }
+
+  /// Records a completed span.
+  void AddSpan(std::string name, std::string category, double start_ms,
+               double dur_ms, support::Json args = support::Json(),
+               int tid = 0);
+
+  /// Records an instantaneous counter-style event at NowMs().
+  void AddInstant(std::string name, std::string category,
+                  support::Json args = support::Json(), int tid = 0);
+
+  /// Records one simulated kernel launch: configuration, occupancy, the
+  /// interpreter's metrics, and the timing-model breakdown.
+  void RecordLaunch(const std::string& kernel_name,
+                    const hw::KernelConfig& config, const LaunchStats& stats,
+                    double start_ms, double dur_ms, int tid = 0);
+
+  bool empty() const;
+  std::size_t event_count() const;
+
+  /// {"events": [{name, category, start_ms, dur_ms, tid, args}, ...]}
+  support::Json ToJson() const;
+
+  /// Chrome trace_event JSON: {"traceEvents": [{"ph": "X", ...}, ...]}.
+  std::string ToChromeTrace() const;
+
+  Status WriteJson(const std::string& path) const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  Stopwatch epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII helper: measures a span from construction to destruction and files
+/// it into the sink (no-op when `sink` is null).
+class TraceSpan {
+ public:
+  TraceSpan(TraceSink* sink, std::string name, std::string category,
+            int tid = 0)
+      : sink_(sink), name_(std::move(name)), category_(std::move(category)),
+        tid_(tid), start_ms_(sink ? sink->NowMs() : 0.0) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (sink_)
+      sink_->AddSpan(std::move(name_), std::move(category_), start_ms_,
+                     sink_->NowMs() - start_ms_, std::move(args_), tid_);
+  }
+
+  /// Attaches a payload reported with the span.
+  void set_args(support::Json args) { args_ = std::move(args); }
+
+ private:
+  TraceSink* sink_;
+  std::string name_;
+  std::string category_;
+  int tid_;
+  double start_ms_;
+  support::Json args_;
+};
+
+/// Structured views of the simulator's data, shared by the sink and the
+/// bench writers.
+support::Json MetricsJson(const Metrics& metrics);
+support::Json TimingJson(const TimingBreakdown& timing);
+support::Json OccupancyJson(const hw::OccupancyResult& occupancy);
+support::Json ConfigJson(const hw::KernelConfig& config);
+
+}  // namespace hipacc::sim

@@ -1,0 +1,120 @@
+// Minimal JSON document model with a writer and a strict parser — the
+// serialisation backbone of the observability layer (sim::TraceSink, the
+// BENCH_*.json outputs, and `hipacc-compile --trace-out`). Objects preserve
+// insertion order so emitted documents are deterministic and diffable;
+// numbers remember whether they were integral so counters round-trip
+// without a spurious ".0".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace hipacc::support {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Insertion-ordered key/value storage (documents stay small; linear
+  /// lookup beats a map's allocation churn and keeps output deterministic).
+  using Member = std::pair<std::string, Json>;
+
+  Json() = default;                    ///< null
+  Json(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT implicit
+  Json(double value) : type_(Type::kNumber), number_(value) {}  // NOLINT
+  Json(int value)                                               // NOLINT
+      : type_(Type::kNumber), number_(value), integral_(true) {}
+  Json(long long value)                                         // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(value)),
+        integral_(true) {}
+  Json(std::uint64_t value)                                     // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(value)),
+        integral_(true) {}
+  Json(std::string value)                                       // NOLINT
+      : type_(Type::kString), string_(std::move(value)) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}  // NOLINT
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  bool bool_value() const noexcept { return bool_; }
+  double number_value() const noexcept { return number_; }
+  long long int_value() const noexcept {
+    return static_cast<long long>(number_);
+  }
+  const std::string& string_value() const noexcept { return string_; }
+
+  /// Array element count / object member count.
+  std::size_t size() const noexcept {
+    return type_ == Type::kObject ? members_.size() : elements_.size();
+  }
+
+  /// Appends to an array (converts a null value into an array first).
+  void push_back(Json value) {
+    if (type_ == Type::kNull) type_ = Type::kArray;
+    elements_.push_back(std::move(value));
+  }
+  const std::vector<Json>& elements() const noexcept { return elements_; }
+  const Json& operator[](std::size_t index) const { return elements_[index]; }
+
+  /// Object insert-or-get (converts a null value into an object first).
+  Json& operator[](const std::string& key);
+  /// Member lookup; nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const noexcept;
+  const std::vector<Member>& members() const noexcept { return members_; }
+
+  /// Structural equality (numbers compare exactly; key order ignored for
+  /// objects would be surprising in tests, so order matters).
+  bool operator==(const Json& other) const;
+  bool operator!=(const Json& other) const { return !(*this == other); }
+
+  /// Serialises the document. `indent` < 0 renders compact one-line JSON;
+  /// otherwise nested levels are indented by `indent` spaces.
+  std::string Dump(int indent = -1) const;
+
+  /// Strict parser for the subset Dump() emits (standard JSON: UTF-8 text,
+  /// \uXXXX escapes, no trailing commas or comments).
+  static Result<Json> Parse(const std::string& text);
+
+  /// Escapes and quotes a string as a JSON string literal.
+  static std::string Quote(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  bool integral_ = false;
+  std::string string_;
+  std::vector<Json> elements_;
+  std::vector<Member> members_;
+};
+
+/// Writes `text` to `path`, replacing any existing file.
+Status WriteFile(const std::string& path, const std::string& text);
+
+/// Reads the entire file at `path`.
+Result<std::string> ReadFile(const std::string& path);
+
+}  // namespace hipacc::support

@@ -1,13 +1,18 @@
-// Golden test: the complete emitted CUDA source for a representative kernel
-// (bilateral with mask, mirror boundaries, linear textures, 9 regions) must
-// match the checked-in reference byte for byte. Regenerate the golden after
-// an intentional emitter change with the snippet in the file header of
-// tests/codegen/golden/bilateral_mask_mirror_cuda.golden... i.e. re-emit and
-// review the diff.
+// Golden tests: the complete emitted source for representative kernels must
+// match the checked-in references byte for byte, across backends (CUDA and
+// OpenCL), boundary modes, and texture policies. After an intentional
+// emitter change, regenerate every golden and review the diff:
+//
+//   HIPACC_REGEN_GOLDEN=1 ./codegen_test --gtest_filter='*Golden*'
+//
+// which rewrites the files under tests/codegen/golden/ in the source tree.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "codegen/emit.hpp"
 #include "codegen/lower.hpp"
@@ -20,25 +25,76 @@ namespace {
 #define HIPACC_TEST_DATA_DIR "."
 #endif
 
-TEST(GoldenTest, BilateralMaskMirrorCuda) {
-  frontend::KernelSource src =
-      ops::BilateralMaskSource(1, ast::BoundaryMode::kMirror);
+struct GoldenCase {
+  std::string file;  ///< name under tests/codegen/golden/
+  ast::Backend backend;
+  ast::BoundaryMode mode;
+  TexturePolicy texture;
+};
+
+std::vector<GoldenCase> GoldenCases() {
+  using ast::Backend;
+  using ast::BoundaryMode;
+  return {
+      // The original representative kernel: mirror boundaries, linear
+      // textures, nine regions.
+      {"bilateral_mask_mirror_cuda.golden", Backend::kCuda,
+       BoundaryMode::kMirror, TexturePolicy::kLinear},
+      // One golden per remaining software-handled boundary mode, plain
+      // global-memory reads, so guard emission is covered for each.
+      {"bilateral_mask_clamp_cuda.golden", Backend::kCuda,
+       BoundaryMode::kClamp, TexturePolicy::kNone},
+      {"bilateral_mask_constant_cuda.golden", Backend::kCuda,
+       BoundaryMode::kConstant, TexturePolicy::kNone},
+      {"bilateral_mask_repeat_cuda.golden", Backend::kCuda,
+       BoundaryMode::kRepeat, TexturePolicy::kNone},
+      // OpenCL: same kernel through the other backend, with and without
+      // image objects.
+      {"bilateral_mask_mirror_opencl.golden", Backend::kOpenCL,
+       BoundaryMode::kMirror, TexturePolicy::kLinear},
+      {"bilateral_mask_clamp_opencl.golden", Backend::kOpenCL,
+       BoundaryMode::kClamp, TexturePolicy::kNone},
+  };
+}
+
+std::string Emit(const GoldenCase& c) {
+  frontend::KernelSource src = ops::BilateralMaskSource(1, c.mode);
   auto kernel = frontend::ParseKernel(src);
-  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  EXPECT_TRUE(kernel.ok()) << kernel.status().ToString();
+  if (!kernel.ok()) return {};
   CodegenOptions options;
-  options.texture = TexturePolicy::kLinear;
+  options.backend = c.backend;
+  options.texture = c.texture;
   auto lowered = LowerKernel(kernel.value(), options);
-  ASSERT_TRUE(lowered.ok()) << lowered.status().ToString();
+  EXPECT_TRUE(lowered.ok()) << lowered.status().ToString();
+  if (!lowered.ok()) return {};
   EmitContext ctx;
   ctx.config = {32, 4};
   ctx.image_width = 512;
   ctx.image_height = 512;
-  const std::string emitted = EmitKernelSource(lowered.value(), ctx);
+  return EmitKernelSource(lowered.value(), ctx);
+}
 
-  const std::string golden_path = std::string(HIPACC_TEST_DATA_DIR) +
-                                  "/golden/bilateral_mask_mirror_cuda.golden";
-  std::ifstream in(golden_path);
-  ASSERT_TRUE(in) << "missing golden file " << golden_path;
+class GoldenTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenTest, EmittedSourceMatchesGolden) {
+  const GoldenCase& c = GetParam();
+  const std::string emitted = Emit(c);
+  ASSERT_FALSE(emitted.empty());
+  const std::string golden_path =
+      std::string(HIPACC_TEST_DATA_DIR) + "/golden/" + c.file;
+
+  if (std::getenv("HIPACC_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << golden_path;
+    out << emitted;
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << golden_path
+                  << " (regenerate with HIPACC_REGEN_GOLDEN=1)";
   std::ostringstream buffer;
   buffer << in.rdbuf();
   const std::string golden = buffer.str();
@@ -54,14 +110,22 @@ TEST(GoldenTest, BilateralMaskMirrorCuda) {
       const bool more_b = static_cast<bool>(std::getline(b, lb));
       if (!more_a && !more_b) break;
       if (la != lb || more_a != more_b) {
-        FAIL() << "emitted source diverges from golden at line " << line
-               << "\n  emitted: " << (more_a ? la : "<eof>")
+        FAIL() << c.file << ": emitted source diverges from golden at line "
+               << line << "\n  emitted: " << (more_a ? la : "<eof>")
                << "\n  golden:  " << (more_b ? lb : "<eof>");
       }
     }
   }
   SUCCEED();
 }
+
+INSTANTIATE_TEST_SUITE_P(AllBackendsAndModes, GoldenTest,
+                         ::testing::ValuesIn(GoldenCases()),
+                         [](const auto& info) {
+                           std::string name = info.param.file;
+                           name.resize(name.find('.'));
+                           return name;
+                         });
 
 }  // namespace
 }  // namespace hipacc::codegen

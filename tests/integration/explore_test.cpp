@@ -1,10 +1,14 @@
 // Configuration exploration (Section V-D) and retargeting: the exploration
-// must cover all valid configurations, agree with the heuristic's pick, and
-// Retarget must re-select per device.
+// must cover all valid configurations, agree with the heuristic's pick,
+// produce bit-identical results for any worker count, serialise to the
+// BENCH_*.json schema, and Retarget must re-select per device.
 #include <gtest/gtest.h>
+
+#include <cstdio>
 
 #include "compiler/explore.hpp"
 #include "ops/kernel_sources.hpp"
+#include "sim/trace.hpp"
 
 namespace hipacc {
 namespace {
@@ -68,6 +72,161 @@ TEST(ExploreTest, HeuristicPickNearOptimum) {
   // "the configurations selected by our heuristic are typically within 10%
   // of the best configuration" (Section VI-B).
   EXPECT_LE(picked / best, 1.10);
+}
+
+TEST(ExploreTest, ResultsAreIdenticalForAnyWorkerCount) {
+  const int n = 512;
+  const hw::DeviceSpec device = hw::TeslaC2050();
+  const compiler::CompiledKernel kernel = CompileBilateral(device, n);
+  dsl::Image<float> in(n, n), out(n, n);
+  runtime::BindingSet bindings;
+  bindings.Input("Input", in).Output(out).Scalar("sigma_d", 1).Scalar(
+      "sigma_r", 4);
+
+  compiler::ExploreOptions serial;
+  serial.jobs = 1;
+  auto reference = compiler::ExploreConfigurations(kernel, device, bindings,
+                                                   serial);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_FALSE(reference.value().empty());
+
+  // jobs=4 forces round-robin dealing across lanes; jobs=0 resolves to the
+  // machine's core count (1 on a single-core runner, still a distinct path).
+  for (const int jobs : {4, 0}) {
+    compiler::ExploreOptions options;
+    options.jobs = jobs;
+    auto points = compiler::ExploreConfigurations(kernel, device, bindings,
+                                                  options);
+    ASSERT_TRUE(points.ok()) << points.status().ToString();
+    ASSERT_EQ(points.value().size(), reference.value().size())
+        << "jobs=" << jobs;
+    for (size_t i = 0; i < points.value().size(); ++i) {
+      const compiler::ExplorePoint& got = points.value()[i];
+      const compiler::ExplorePoint& want = reference.value()[i];
+      EXPECT_EQ(got.config, want.config) << "jobs=" << jobs << " i=" << i;
+      // Bit-equal, not approximately equal: the parallel path must replay
+      // the exact serial computation.
+      EXPECT_EQ(got.ms, want.ms) << "jobs=" << jobs << " i=" << i;
+      EXPECT_EQ(got.occupancy, want.occupancy) << "jobs=" << jobs << " i=" << i;
+      EXPECT_EQ(got.border_threads, want.border_threads)
+          << "jobs=" << jobs << " i=" << i;
+      EXPECT_EQ(got.timing.total_ms, want.timing.total_ms)
+          << "jobs=" << jobs << " i=" << i;
+    }
+  }
+}
+
+TEST(ExploreTest, MoreSamplesPerRegionStillCoversAllPoints) {
+  const int n = 256;
+  const hw::DeviceSpec device = hw::TeslaC2050();
+  const compiler::CompiledKernel kernel = CompileBilateral(device, n);
+  dsl::Image<float> in(n, n), out(n, n);
+  runtime::BindingSet bindings;
+  bindings.Input("Input", in).Output(out).Scalar("sigma_d", 1).Scalar(
+      "sigma_r", 4);
+  compiler::ExploreOptions one, three;
+  one.samples_per_region = 1;
+  three.samples_per_region = 3;
+  auto a = compiler::ExploreConfigurations(kernel, device, bindings, one);
+  auto b = compiler::ExploreConfigurations(kernel, device, bindings, three);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().size(), b.value().size());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_EQ(a.value()[i].config, b.value()[i].config);
+    // Sampling depth shifts the extrapolated time somewhat (boundary
+    // regions weigh heavily at 256x256) but must stay the same order of
+    // magnitude: every block in a region runs the same instruction stream.
+    EXPECT_NEAR(a.value()[i].ms, b.value()[i].ms, 0.30 * b.value()[i].ms);
+  }
+  compiler::ExploreOptions invalid;
+  invalid.samples_per_region = 0;
+  EXPECT_FALSE(
+      compiler::ExploreConfigurations(kernel, device, bindings, invalid).ok());
+}
+
+TEST(ExploreTest, TraceSinkSeesEveryMeasuredCandidate) {
+  const int n = 256;
+  const hw::DeviceSpec device = hw::TeslaC2050();
+  const compiler::CompiledKernel kernel = CompileBilateral(device, n);
+  dsl::Image<float> in(n, n), out(n, n);
+  runtime::BindingSet bindings;
+  bindings.Input("Input", in).Output(out).Scalar("sigma_d", 1).Scalar(
+      "sigma_r", 4);
+  sim::TraceSink trace;
+  compiler::ExploreOptions options;
+  options.jobs = 2;
+  options.trace = &trace;
+  auto points = compiler::ExploreConfigurations(kernel, device, bindings,
+                                                options);
+  ASSERT_TRUE(points.ok());
+  size_t launches = 0;
+  bool saw_summary = false;
+  const support::Json doc = trace.ToJson();
+  for (const auto& event : doc.Find("events")->elements()) {
+    const std::string& name = event.Find("name")->string_value();
+    if (name.rfind("launch ", 0) == 0) ++launches;
+    if (name.rfind("explore ", 0) == 0) {
+      saw_summary = true;
+      EXPECT_EQ(event.Find("args")->Find("jobs")->int_value(), 2);
+      EXPECT_EQ(
+          static_cast<size_t>(
+              event.Find("args")->Find("measured")->int_value()),
+          points.value().size());
+    }
+  }
+  EXPECT_EQ(launches, points.value().size());
+  EXPECT_TRUE(saw_summary);
+}
+
+TEST(ExploreTest, ReportJsonMatchesBenchSchema) {
+  // The schema contract for BENCH_fig4.json: whatever the bench writes, a
+  // consumer must find config/ms/occupancy per point plus the header fields.
+  const int n = 256;
+  const hw::DeviceSpec device = hw::TeslaC2050();
+  const compiler::CompiledKernel kernel = CompileBilateral(device, n);
+  dsl::Image<float> in(n, n), out(n, n);
+  runtime::BindingSet bindings;
+  bindings.Input("Input", in).Output(out).Scalar("sigma_d", 1).Scalar(
+      "sigma_r", 4);
+  auto points = compiler::ExploreConfigurations(kernel, device, bindings);
+  ASSERT_TRUE(points.ok());
+
+  support::Json doc = compiler::ExploreReportJson(kernel, device, n, n,
+                                                  points.value());
+  const std::string path = ::testing::TempDir() + "/BENCH_fig4_test.json";
+  ASSERT_TRUE(support::WriteFile(path, doc.Dump(2) + "\n").ok());
+  auto text = support::ReadFile(path);
+  ASSERT_TRUE(text.ok());
+  auto parsed = support::Json::Parse(text.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::remove(path.c_str());
+
+  const support::Json& report = parsed.value();
+  EXPECT_EQ(report.Find("kernel")->string_value(), "bilateral_mask");
+  EXPECT_EQ(report.Find("device")->string_value(), device.name);
+  EXPECT_EQ(report.Find("backend")->string_value(), "CUDA");
+  EXPECT_EQ(report.Find("image")->Find("width")->int_value(), n);
+  EXPECT_EQ(report.Find("image")->Find("height")->int_value(), n);
+  const support::Json* heuristic = report.Find("heuristic");
+  ASSERT_NE(heuristic, nullptr);
+  EXPECT_EQ(heuristic->Find("config")->Find("block_x")->int_value(),
+            kernel.config.config.block_x);
+  const support::Json* out_points = report.Find("points");
+  ASSERT_NE(out_points, nullptr);
+  ASSERT_EQ(out_points->size(), points.value().size());
+  for (const support::Json& point : out_points->elements()) {
+    const support::Json* config = point.Find("config");
+    ASSERT_NE(config, nullptr);
+    EXPECT_EQ(config->Find("threads")->int_value(),
+              config->Find("block_x")->int_value() *
+                  config->Find("block_y")->int_value());
+    ASSERT_NE(point.Find("ms"), nullptr);
+    EXPECT_GT(point.Find("ms")->number_value(), 0.0);
+    ASSERT_NE(point.Find("occupancy"), nullptr);
+    EXPECT_GT(point.Find("occupancy")->number_value(), 0.0);
+    ASSERT_NE(point.Find("border_threads"), nullptr);
+    ASSERT_NE(point.Find("timing"), nullptr);
+  }
 }
 
 TEST(RetargetTest, ReSelectsPerDevice) {

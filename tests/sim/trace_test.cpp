@@ -1,0 +1,149 @@
+// TraceSink observability: spans and launch records land on the timeline
+// with their payloads, the Chrome trace_event serialisation is well-formed
+// JSON with the fields chrome://tracing needs, and the simulator feeds the
+// sink when one is attached.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "compiler/executable.hpp"
+#include "ops/kernel_sources.hpp"
+
+namespace hipacc::sim {
+namespace {
+
+TEST(TraceSinkTest, StartsEmpty) {
+  TraceSink sink;
+  EXPECT_TRUE(sink.empty());
+  EXPECT_EQ(sink.event_count(), 0u);
+  EXPECT_EQ(sink.ToJson().Find("events")->size(), 0u);
+}
+
+TEST(TraceSinkTest, AddSpanRecordsNameCategoryAndArgs) {
+  TraceSink sink;
+  support::Json args = support::Json::Object();
+  args["candidates"] = 128;
+  sink.AddSpan("explore", "compiler", 1.0, 2.5, std::move(args), 3);
+  sink.AddInstant("pruned", "compiler");
+
+  ASSERT_EQ(sink.event_count(), 2u);
+  const support::Json doc = sink.ToJson();
+  const support::Json& events = *doc.Find("events");
+  const support::Json& span = events[0];
+  EXPECT_EQ(span.Find("name")->string_value(), "explore");
+  EXPECT_EQ(span.Find("category")->string_value(), "compiler");
+  EXPECT_EQ(span.Find("start_ms")->number_value(), 1.0);
+  EXPECT_EQ(span.Find("dur_ms")->number_value(), 2.5);
+  EXPECT_EQ(span.Find("tid")->int_value(), 3);
+  EXPECT_EQ(span.Find("args")->Find("candidates")->int_value(), 128);
+  EXPECT_EQ(events[1].Find("name")->string_value(), "pruned");
+  EXPECT_EQ(events[1].Find("dur_ms")->number_value(), 0.0);
+}
+
+TEST(TraceSinkTest, TraceSpanFilesOnDestruction) {
+  TraceSink sink;
+  {
+    TraceSpan span(&sink, "phase", "compile", 7);
+    support::Json args = support::Json::Object();
+    args["regs"] = 13;
+    span.set_args(std::move(args));
+    EXPECT_TRUE(sink.empty());  // not filed until the span closes
+  }
+  ASSERT_EQ(sink.event_count(), 1u);
+  const support::Json doc = sink.ToJson();
+  const support::Json& event = (*doc.Find("events"))[0];
+  EXPECT_EQ(event.Find("name")->string_value(), "phase");
+  EXPECT_EQ(event.Find("tid")->int_value(), 7);
+  EXPECT_GE(event.Find("dur_ms")->number_value(), 0.0);
+  EXPECT_EQ(event.Find("args")->Find("regs")->int_value(), 13);
+}
+
+TEST(TraceSinkTest, NullSinkSpanIsNoOp) {
+  TraceSpan span(nullptr, "ignored", "compile");
+  span.set_args(support::Json::Object());
+  // Destruction must not crash; nothing to assert beyond that.
+}
+
+TEST(TraceSinkTest, ChromeTraceIsValidAndCarriesRequiredFields) {
+  TraceSink sink;
+  support::Json args = support::Json::Object();
+  args["jobs"] = 4;
+  sink.AddSpan("explore bilateral", "explore", 0.25, 10.5, std::move(args), 2);
+
+  auto parsed = support::Json::Parse(sink.ToChromeTrace());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const support::Json* events = parsed.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 1u);
+  const support::Json& e = (*events)[0];
+  EXPECT_EQ(e.Find("name")->string_value(), "explore bilateral");
+  EXPECT_EQ(e.Find("cat")->string_value(), "explore");
+  EXPECT_EQ(e.Find("ph")->string_value(), "X");  // complete event
+  EXPECT_EQ(e.Find("pid")->int_value(), 1);
+  EXPECT_EQ(e.Find("tid")->int_value(), 2);
+  // trace_event timestamps are microseconds.
+  EXPECT_EQ(e.Find("ts")->number_value(), 250.0);
+  EXPECT_EQ(e.Find("dur")->number_value(), 10500.0);
+  EXPECT_EQ(e.Find("args")->Find("jobs")->int_value(), 4);
+}
+
+TEST(TraceSinkTest, WriteChromeTraceRoundTripsThroughDisk) {
+  TraceSink sink;
+  sink.AddSpan("emit", "compile", 0.0, 1.0);
+  const std::string path = ::testing::TempDir() + "/hipacc_trace_test.json";
+  ASSERT_TRUE(sink.WriteChromeTrace(path).ok());
+  auto text = support::ReadFile(path);
+  ASSERT_TRUE(text.ok());
+  auto parsed = support::Json::Parse(text.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Find("traceEvents")->size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSinkTest, SimulatorRecordsLaunchesWhenAttached) {
+  const int n = 128;
+  frontend::KernelSource source =
+      ops::BilateralMaskSource(1, ast::BoundaryMode::kClamp);
+  compiler::CompileOptions options;
+  options.device = hw::TeslaC2050();
+  options.image_width = n;
+  options.image_height = n;
+  auto compiled = compiler::Compile(source, options);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  dsl::Image<float> in(n, n), out(n, n);
+  runtime::BindingSet bindings;
+  bindings.Input("Input", in).Output(out).Scalar("sigma_d", 1).Scalar(
+      "sigma_r", 4);
+  compiler::SimulatedExecutable exe(std::move(compiled).take(),
+                                    hw::TeslaC2050());
+  TraceSink sink;
+  exe.set_trace(&sink, 5);
+  ASSERT_TRUE(exe.Measure(bindings).ok());
+
+  // One build_launch span plus one launch record, both on lane 5.
+  ASSERT_EQ(sink.event_count(), 2u);
+  const support::Json doc = sink.ToJson();
+  const support::Json& events = *doc.Find("events");
+  EXPECT_EQ(events[0].Find("name")->string_value(),
+            "build_launch bilateral_mask");
+  const support::Json& launch = events[1];
+  EXPECT_EQ(launch.Find("name")->string_value(), "launch bilateral_mask");
+  EXPECT_EQ(launch.Find("category")->string_value(), "sim");
+  EXPECT_EQ(launch.Find("tid")->int_value(), 5);
+  const support::Json* args = launch.Find("args");
+  ASSERT_NE(args, nullptr);
+  ASSERT_NE(args->Find("config"), nullptr);
+  EXPECT_GT(args->Find("config")->Find("threads")->int_value(), 0);
+  EXPECT_GT(args->Find("occupancy")->Find("occupancy")->number_value(), 0.0);
+  EXPECT_GT(args->Find("timing")->Find("total_ms")->number_value(), 0.0);
+  ASSERT_NE(args->Find("metrics"), nullptr);
+  EXPECT_GT(args->Find("metrics")->Find("alu_ops")->number_value(), 0.0);
+  EXPECT_TRUE(args->Find("sampled")->bool_value());
+}
+
+}  // namespace
+}  // namespace hipacc::sim

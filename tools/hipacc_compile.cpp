@@ -12,16 +12,23 @@
 //                                 Algorithm 2 selects one)
 //     --explore                   print the configuration exploration table
 //                                 (Section V-D) instead of the source
+//     --explore-jobs=N            parallel exploration workers (0 = all
+//                                 cores; results identical for every N)
+//     --trace-out=FILE            write a Chrome trace_event timeline of
+//                                 compile phases and simulated launches
+//                                 (open in chrome://tracing or Perfetto)
 //     --list-devices              print the device database and exit
 //
 // Prints the generated kernel source to stdout; diagnostics go to stderr.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "compiler/explore.hpp"
 #include "compiler/kernel_file.hpp"
 #include "hwmodel/device_db.hpp"
+#include "sim/trace.hpp"
 
 using namespace hipacc;
 
@@ -46,7 +53,8 @@ int Usage() {
                "usage: hipacc-compile <kernel.hipacc> [--backend=cuda|opencl] "
                "[--device=NAME] [--width=N] [--height=N] "
                "[--tex=none|linear|array2d] [--smem] [--no-const-mask] "
-               "[--config=BXxBY] [--explore] [--list-devices]\n");
+               "[--config=BXxBY] [--explore] [--explore-jobs=N] "
+               "[--trace-out=FILE] [--list-devices]\n");
   return 2;
 }
 
@@ -59,6 +67,9 @@ int main(int argc, char** argv) {
   options.image_width = 4096;
   options.image_height = 4096;
   bool explore = false;
+  compiler::ExploreOptions explore_options;
+  std::string trace_out;
+  sim::TraceSink trace;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -93,6 +104,13 @@ int main(int argc, char** argv) {
           by <= 0)
         return Usage();
       options.forced_config = hw::KernelConfig{bx, by};
+    } else if (ParseFlag(arg, "--explore-jobs", &value)) {
+      explore_options.jobs = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--trace-out", &value)) {
+      if (value.empty()) return Usage();
+      trace_out = value;
+      options.trace = &trace;
+      explore_options.trace = &trace;
     } else if (ParseFlag(arg, "--explore", &value)) {
       explore = true;
     } else if (ParseFlag(arg, "--list-devices", &value)) {
@@ -138,8 +156,8 @@ int main(int argc, char** argv) {
     runtime::BindingSet bindings;
     bindings.Input(kernel.decl.accessors.front().name, in).Output(out);
     for (const auto& p : kernel.decl.params) bindings.Scalar(p.name, 1.0);
-    auto points =
-        compiler::ExploreConfigurations(kernel, options.device, bindings);
+    auto points = compiler::ExploreConfigurations(kernel, options.device,
+                                                  bindings, explore_options);
     if (!points.ok()) {
       std::fprintf(stderr, "error: %s\n", points.status().ToString().c_str());
       return 1;
@@ -150,9 +168,18 @@ int main(int argc, char** argv) {
       std::printf("%8d %6d %6d %8.0f%% %10.3f\n", p.config.threads(),
                   p.config.block_x, p.config.block_y, 100.0 * p.occupancy,
                   p.ms);
-    return 0;
+  } else {
+    std::fputs(kernel.source.c_str(), stdout);
   }
 
-  std::fputs(kernel.source.c_str(), stdout);
+  if (!trace_out.empty()) {
+    const Status written = trace.WriteChromeTrace(trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "hipacc-compile: wrote trace to %s (%zu events)\n",
+                 trace_out.c_str(), trace.event_count());
+  }
   return 0;
 }

@@ -1,0 +1,36 @@
+// Backend registry: built-in targets plus anything plugged in via
+// RegisterBackend. Lookup is by IR tag (emission) or by name (CLI flags).
+#include "codegen/backend.hpp"
+
+namespace hipacc::codegen {
+namespace {
+
+std::vector<const Backend*>& MutableRegistry() {
+  static std::vector<const Backend*> registry = {&CudaBackend(),
+                                                 &OpenClBackend()};
+  return registry;
+}
+
+}  // namespace
+
+const std::vector<const Backend*>& RegisteredBackends() {
+  return MutableRegistry();
+}
+
+void RegisterBackend(const Backend* backend) {
+  if (backend) MutableRegistry().push_back(backend);
+}
+
+const Backend* FindBackend(ast::Backend id) noexcept {
+  for (const Backend* backend : MutableRegistry())
+    if (backend->id() == id) return backend;
+  return nullptr;
+}
+
+const Backend* FindBackend(std::string_view name) noexcept {
+  for (const Backend* backend : MutableRegistry())
+    if (backend->name() == name) return backend;
+  return nullptr;
+}
+
+}  // namespace hipacc::codegen

@@ -45,6 +45,10 @@ struct CodegenOptions {
   /// VLIW4/VLIW5 targets (Section VIII outlook). Modelled as improved ALU
   /// issue efficiency on those devices; a no-op elsewhere.
   bool vectorize_vliw = false;
+
+  /// Memberwise equality; the compilation cache and Retarget use it to
+  /// decide whether lowered IR can be reused.
+  bool operator==(const CodegenOptions&) const = default;
 };
 
 }  // namespace hipacc::codegen

@@ -1,7 +1,7 @@
 #include "compiler/driver.hpp"
 
-#include "codegen/lower.hpp"
-#include "codegen/resource_estimator.hpp"
+#include "compiler/cache.hpp"
+#include "compiler/pass.hpp"
 #include "sim/trace.hpp"
 #include "support/log.hpp"
 #include "support/string_utils.hpp"
@@ -9,84 +9,140 @@
 namespace hipacc::compiler {
 namespace {
 
-Result<CompiledKernel> Finish(ast::KernelDecl decl,
-                              const CompileOptions& options) {
-  CompiledKernel out;
-  out.decl = std::move(decl);
-
-  {
-    sim::TraceSpan span(options.trace, "lower " + out.decl.name, "compile");
-    Result<ast::DeviceKernel> lowered =
-        codegen::LowerKernel(out.decl, options.codegen);
-    if (!lowered.ok()) return lowered.status();
-    out.device_ir = std::move(lowered).take();
-  }
-
-  {
-    sim::TraceSpan span(options.trace, "estimate " + out.decl.name, "compile");
-    out.resources = codegen::EstimateResources(out.device_ir);
-  }
-
-  {
-    sim::TraceSpan span(options.trace, "select_config " + out.decl.name,
-                        "compile");
-    if (options.forced_config) {
-      out.config.config = *options.forced_config;
-      out.config.occupancy = hw::ComputeOccupancy(
-          options.device, out.config.config, out.resources);
-      if (!out.config.occupancy.valid)
-        return Status::Exhausted(StrFormat(
-            "forced configuration %dx%d is invalid on %s: %s",
-            out.config.config.block_x, out.config.config.block_y,
-            options.device.name.c_str(), out.config.occupancy.reason.c_str()));
-    } else {
-      hw::HeuristicInput input;
-      input.device = options.device;
-      input.resources = out.resources;
-      input.border_handling = out.device_ir.has_boundary_variants();
-      input.window = out.device_ir.bh_window;
-      input.image_width = options.image_width;
-      input.image_height = options.image_height;
-      Result<hw::HeuristicChoice> choice = hw::SelectConfig(input);
-      if (!choice.ok()) return choice.status();
-      out.config = std::move(choice).take();
-    }
-  }
-
-  {
-    sim::TraceSpan span(options.trace, "emit " + out.decl.name, "compile");
-    codegen::EmitContext ctx;
-    ctx.config = out.config.config;
-    ctx.image_width = options.image_width;
-    ctx.image_height = options.image_height;
-    out.source = codegen::EmitKernelSource(out.device_ir, ctx);
-  }
-
+/// The verbose line HIPAcc prints per compiled kernel (kept stable across
+/// the pass-manager refactor; benches and users grep for it).
+void LogCompiled(const CompiledKernel& kernel, const CompileOptions& options) {
   LogInfo(StrFormat("compiled kernel '%s' for %s/%s: config %dx%d, "
                     "%d regs/thread, occupancy %.0f%%",
-                    out.decl.name.c_str(), options.device.name.c_str(),
+                    kernel.decl.name.c_str(), options.device.name.c_str(),
                     to_string(options.codegen.backend),
-                    out.config.config.block_x, out.config.config.block_y,
-                    out.resources.regs_per_thread,
-                    100.0 * out.config.occupancy.occupancy));
-  return out;
+                    kernel.config.config.block_x, kernel.config.config.block_y,
+                    kernel.resources.regs_per_thread,
+                    100.0 * kernel.config.occupancy.occupancy));
+}
+
+FrontendArtifacts FrontendFromArtifact(const CompiledKernel& kernel) {
+  FrontendArtifacts fe;
+  fe.decl = kernel.decl;
+  fe.device_ir = kernel.device_ir;
+  fe.resources = kernel.resources;
+  fe.codegen = kernel.codegen;
+  fe.source_fingerprint = kernel.source_fingerprint;
+  fe.source_hash = kernel.source_hash;
+  return fe;
+}
+
+void SeedFromFrontend(CompilationContext& ctx, FrontendArtifacts fe) {
+  ctx.artifact.decl = std::move(fe.decl);
+  ctx.artifact.device_ir = std::move(fe.device_ir);
+  ctx.artifact.resources = fe.resources;
+  ctx.artifact.codegen = fe.codegen;
+  ctx.artifact.source_fingerprint = std::move(fe.source_fingerprint);
+  ctx.artifact.source_hash = fe.source_hash;
+}
+
+/// Runs `pipeline`, and on success stores the results into the cache (when
+/// enabled) and emits the per-kernel log line.
+Result<CompiledKernel> RunAndFinish(PassManager pipeline,
+                                    CompilationContext& ctx,
+                                    const CacheKey* frontend_key,
+                                    const CacheKey* target_key) {
+  if (!ctx.options.dump_after.empty())
+    pipeline.set_dump_hook(ctx.options.dump_after, DumpAfterPass);
+  const Status status = pipeline.Run(ctx);
+  if (ctx.options.pass_timings != nullptr)
+    ctx.options.pass_timings->insert(ctx.options.pass_timings->end(),
+                                     ctx.timings.begin(), ctx.timings.end());
+  if (!status.ok()) return status;
+  CompilationCache* cache = ctx.options.cache;
+  if (cache != nullptr) {
+    if (frontend_key != nullptr)
+      cache->StoreFrontend(*frontend_key, FrontendFromArtifact(ctx.artifact));
+    if (target_key != nullptr)
+      cache->StoreTarget(*target_key, ctx.artifact);
+  }
+  LogCompiled(ctx.artifact, ctx.options);
+  return std::move(ctx.artifact);
 }
 
 }  // namespace
 
 Result<CompiledKernel> Compile(const frontend::KernelSource& source,
                                const CompileOptions& options) {
-  Result<ast::KernelDecl> decl = [&] {
-    sim::TraceSpan span(options.trace, "parse " + source.name, "compile");
-    return frontend::ParseKernel(source);
-  }();
-  if (!decl.ok()) return decl.status();
-  return Finish(std::move(decl).take(), options);
+  CompilationContext ctx;
+  ctx.source = &source;
+  ctx.options = options;
+  ctx.artifact.source_fingerprint = SourceFingerprint(source);
+  ctx.artifact.source_hash = SourceHash(ctx.artifact.source_fingerprint);
+
+  CompilationCache* cache = options.cache;
+  if (cache == nullptr)
+    return RunAndFinish(BuildCompilePipeline(), ctx, nullptr, nullptr);
+
+  const CacheKey frontend_key = MakeFrontendKeyFromFingerprint(
+      ctx.artifact.source_fingerprint, options.codegen);
+  const CacheKey target_key =
+      MakeTargetKey(frontend_key, options.device, options.image_width,
+                    options.image_height, options.forced_config);
+  if (std::optional<CompiledKernel> hit =
+          cache->LookupTarget(target_key, options.trace)) {
+    LogCompiled(*hit, options);
+    return std::move(*hit);
+  }
+  if (std::optional<FrontendArtifacts> fe =
+          cache->LookupFrontend(frontend_key, options.trace)) {
+    SeedFromFrontend(ctx, std::move(*fe));
+    return RunAndFinish(BuildTargetPipeline(), ctx, nullptr, &target_key);
+  }
+  return RunAndFinish(BuildCompilePipeline(), ctx, &frontend_key, &target_key);
 }
 
 Result<CompiledKernel> Retarget(const CompiledKernel& kernel,
                                 const CompileOptions& options) {
-  return Finish(kernel.decl, options);
+  CompilationContext ctx;
+  ctx.options = options;
+  ctx.artifact.decl = kernel.decl;
+  ctx.artifact.source_fingerprint = kernel.source_fingerprint;
+  ctx.artifact.source_hash = kernel.source_hash;
+
+  // The lowered IR is target-independent given fixed codegen options: reuse
+  // it (and the resource estimate) when the provenance matches, so Retarget
+  // only re-runs configuration selection and emission.
+  const bool reuse_ir =
+      options.codegen == kernel.codegen &&
+      kernel.device_ir.backend == options.codegen.backend &&
+      !kernel.device_ir.variants.empty();
+
+  CompilationCache* cache = options.cache;
+  if (cache != nullptr && !kernel.source_fingerprint.empty()) {
+    const CacheKey frontend_key = MakeFrontendKeyFromFingerprint(
+        kernel.source_fingerprint, options.codegen);
+    const CacheKey target_key =
+        MakeTargetKey(frontend_key, options.device, options.image_width,
+                      options.image_height, options.forced_config);
+    if (std::optional<CompiledKernel> hit =
+            cache->LookupTarget(target_key, options.trace)) {
+      LogCompiled(*hit, options);
+      return std::move(*hit);
+    }
+    if (reuse_ir) {
+      SeedFromFrontend(ctx, FrontendFromArtifact(kernel));
+      return RunAndFinish(BuildTargetPipeline(), ctx, nullptr, &target_key);
+    }
+    if (std::optional<FrontendArtifacts> fe =
+            cache->LookupFrontend(frontend_key, options.trace)) {
+      SeedFromFrontend(ctx, std::move(*fe));
+      return RunAndFinish(BuildTargetPipeline(), ctx, nullptr, &target_key);
+    }
+    return RunAndFinish(BuildDevicePipeline(), ctx, &frontend_key,
+                        &target_key);
+  }
+
+  if (reuse_ir) {
+    SeedFromFrontend(ctx, FrontendFromArtifact(kernel));
+    return RunAndFinish(BuildTargetPipeline(), ctx, nullptr, nullptr);
+  }
+  return RunAndFinish(BuildDevicePipeline(), ctx, nullptr, nullptr);
 }
 
 }  // namespace hipacc::compiler

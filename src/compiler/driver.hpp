@@ -4,9 +4,19 @@
 // compiler writes to disk), the resource estimate (the nvcc stand-in), and
 // the launch configuration chosen by Algorithm 2 — or forced by the caller,
 // as the evaluation tables do with 128x1.
+//
+// Internally the driver is a thin orchestrator over the pass pipeline
+// (compiler/pass.hpp): parse -> lower -> estimate -> select_config -> emit,
+// each pass reporting diagnostics and timing into the CompilationContext.
+// When CompileOptions::cache is set, compilation is memoised at two levels
+// (compiler/cache.hpp): the target-independent frontend artifacts and the
+// fully configured CompiledKernel.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "codegen/emit.hpp"
 #include "codegen/options.hpp"
@@ -20,6 +30,9 @@ class TraceSink;
 
 namespace hipacc::compiler {
 
+class CompilationCache;
+struct PassTiming;
+
 struct CompileOptions {
   codegen::CodegenOptions codegen;
   hw::DeviceSpec device = hw::TeslaC2050();
@@ -29,9 +42,21 @@ struct CompileOptions {
   int image_height = 0;
   /// Skip Algorithm 2 and use this configuration (evaluation tables).
   std::optional<hw::KernelConfig> forced_config;
-  /// Optional observability sink: per-phase compile durations (parse,
-  /// lower, estimate, select_config, emit) are recorded as spans.
+  /// Optional observability sink: per-pass compile durations (parse, lower,
+  /// estimate, select_config, emit) are recorded as spans, cache lookups as
+  /// instant events and aggregate counters.
   sim::TraceSink* trace = nullptr;
+  /// Optional content-addressed memoisation of compilation results, keyed
+  /// by (kernel-source fingerprint, codegen options, device, image extent).
+  /// Null compiles from scratch every time.
+  CompilationCache* cache = nullptr;
+  /// When set, the per-pass wall-clock timings of every executed pipeline
+  /// are appended here (the CLI's --print-pass-timings).
+  std::vector<PassTiming>* pass_timings = nullptr;
+  /// When non-empty, the driver prints the pipeline state to stderr after
+  /// the named pass finishes (the CLI's --dump-after; see
+  /// DefaultPassNames() for the vocabulary).
+  std::string dump_after;
 };
 
 struct CompiledKernel {
@@ -40,6 +65,14 @@ struct CompiledKernel {
   std::string source;  ///< emitted CUDA or OpenCL kernel text
   hw::KernelResources resources;
   hw::HeuristicChoice config;  ///< selected (or forced) configuration
+
+  /// Provenance: the codegen options the IR was lowered with. Retarget
+  /// skips re-lowering when they match the requested options.
+  codegen::CodegenOptions codegen;
+  /// Canonical serialisation of the kernel source this artifact came from
+  /// (cache key material; empty for hand-built artifacts) and its hash.
+  std::string source_fingerprint;
+  std::uint64_t source_hash = 0;
 };
 
 /// Runs the full pipeline: parse -> lower -> estimate -> select config ->
@@ -49,7 +82,9 @@ Result<CompiledKernel> Compile(const frontend::KernelSource& source,
                                const CompileOptions& options);
 
 /// Re-selects the launch configuration of an already-compiled kernel for a
-/// (possibly different) device and image size, re-emitting the source.
+/// (possibly different) device and image size, re-emitting the source. When
+/// the codegen options match the kernel's provenance, the lowered IR and
+/// resource estimate are reused instead of being recomputed.
 Result<CompiledKernel> Retarget(const CompiledKernel& kernel,
                                 const CompileOptions& options);
 

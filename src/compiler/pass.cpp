@@ -1,0 +1,281 @@
+#include "compiler/pass.hpp"
+
+#include <cstdio>
+
+#include "codegen/lower.hpp"
+#include "codegen/resource_estimator.hpp"
+#include "sim/trace.hpp"
+#include "support/stopwatch.hpp"
+#include "support/string_utils.hpp"
+
+namespace hipacc::compiler {
+
+const char* to_string(DiagSeverity severity) noexcept {
+  switch (severity) {
+    case DiagSeverity::kNote: return "note";
+    case DiagSeverity::kWarning: return "warning";
+    case DiagSeverity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string CompilationContext::KernelName() const {
+  if (!artifact.decl.name.empty()) return artifact.decl.name;
+  if (source != nullptr) return source->name;
+  return "<kernel>";
+}
+
+void CompilationContext::Note(const std::string& pass, std::string message) {
+  diagnostics.push_back({pass, DiagSeverity::kNote, std::move(message)});
+}
+
+void CompilationContext::Warn(const std::string& pass, std::string message) {
+  diagnostics.push_back({pass, DiagSeverity::kWarning, std::move(message)});
+}
+
+namespace {
+
+/// Parse: DSL text -> KernelDecl.
+class ParsePass final : public Pass {
+ public:
+  const char* name() const override { return "parse"; }
+  Status Run(CompilationContext& ctx) const override {
+    if (ctx.source == nullptr)
+      return Status::Internal("parse pass requires a KernelSource input");
+    Result<ast::KernelDecl> decl = frontend::ParseKernel(*ctx.source);
+    if (!decl.ok()) return decl.status();
+    ctx.artifact.decl = std::move(decl).take();
+    ctx.Note(name(), StrFormat("parsed kernel '%s': %zu params, %zu "
+                               "accessors, %zu masks",
+                               ctx.artifact.decl.name.c_str(),
+                               ctx.artifact.decl.params.size(),
+                               ctx.artifact.decl.accessors.size(),
+                               ctx.artifact.decl.masks.size()));
+    return Status::Ok();
+  }
+};
+
+/// Lower: KernelDecl -> DeviceKernel under the requested codegen options.
+/// Also stamps the artifact's codegen provenance, which Retarget and the
+/// cache consult before reusing the IR.
+class LowerPass final : public Pass {
+ public:
+  const char* name() const override { return "lower"; }
+  Status Run(CompilationContext& ctx) const override {
+    Result<ast::DeviceKernel> lowered =
+        codegen::LowerKernel(ctx.artifact.decl, ctx.options.codegen);
+    if (!lowered.ok()) return lowered.status();
+    ctx.artifact.device_ir = std::move(lowered).take();
+    ctx.artifact.codegen = ctx.options.codegen;
+    ctx.Note(name(),
+             StrFormat("lowered for %s: %zu variants, %zu buffers",
+                       to_string(ctx.artifact.device_ir.backend),
+                       ctx.artifact.device_ir.variants.size(),
+                       ctx.artifact.device_ir.buffers.size()));
+    return Status::Ok();
+  }
+};
+
+/// Estimate: DeviceKernel -> register/shared-memory footprint (the nvcc
+/// stand-in the occupancy model consumes).
+class EstimateResourcesPass final : public Pass {
+ public:
+  const char* name() const override { return "estimate"; }
+  Status Run(CompilationContext& ctx) const override {
+    ctx.artifact.resources = codegen::EstimateResources(ctx.artifact.device_ir);
+    ctx.Note(name(),
+             StrFormat("%d regs/thread, %d B static smem",
+                       ctx.artifact.resources.regs_per_thread,
+                       ctx.artifact.resources.smem_static_bytes));
+    return Status::Ok();
+  }
+};
+
+/// Select: resources + device -> launch configuration, via Algorithm 2 or
+/// the caller's forced configuration.
+class SelectConfigPass final : public Pass {
+ public:
+  const char* name() const override { return "select_config"; }
+  Status Run(CompilationContext& ctx) const override {
+    CompiledKernel& out = ctx.artifact;
+    const CompileOptions& options = ctx.options;
+    if (options.forced_config) {
+      out.config.config = *options.forced_config;
+      out.config.occupancy = hw::ComputeOccupancy(
+          options.device, out.config.config, out.resources);
+      if (!out.config.occupancy.valid)
+        return Status::Exhausted(StrFormat(
+            "forced configuration %dx%d is invalid on %s: %s",
+            out.config.config.block_x, out.config.config.block_y,
+            options.device.name.c_str(), out.config.occupancy.reason.c_str()));
+      ctx.Note(name(), StrFormat("forced config %dx%d",
+                                 out.config.config.block_x,
+                                 out.config.config.block_y));
+    } else {
+      hw::HeuristicInput input;
+      input.device = options.device;
+      input.resources = out.resources;
+      input.border_handling = out.device_ir.has_boundary_variants();
+      input.window = out.device_ir.bh_window;
+      input.image_width = options.image_width;
+      input.image_height = options.image_height;
+      Result<hw::HeuristicChoice> choice = hw::SelectConfig(input);
+      if (!choice.ok()) return choice.status();
+      out.config = std::move(choice).take();
+      ctx.Note(name(),
+               StrFormat("selected config %dx%d, occupancy %.0f%%",
+                         out.config.config.block_x, out.config.config.block_y,
+                         100.0 * out.config.occupancy.occupancy));
+    }
+    return Status::Ok();
+  }
+};
+
+/// Emit: DeviceKernel + configuration -> kernel source text through the
+/// registered codegen backend.
+class EmitPass final : public Pass {
+ public:
+  const char* name() const override { return "emit"; }
+  Status Run(CompilationContext& ctx) const override {
+    codegen::EmitContext ectx;
+    ectx.config = ctx.artifact.config.config;
+    ectx.image_width = ctx.options.image_width;
+    ectx.image_height = ctx.options.image_height;
+    ctx.artifact.source = codegen::EmitKernelSource(ctx.artifact.device_ir,
+                                                    ectx);
+    ctx.Note(name(), StrFormat("emitted %zu bytes of %s source",
+                               ctx.artifact.source.size(),
+                               to_string(ctx.artifact.device_ir.backend)));
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+PassManager& PassManager::Add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+void PassManager::set_dump_hook(std::string after, DumpHook hook) {
+  dump_after_ = std::move(after);
+  dump_hook_ = std::move(hook);
+}
+
+Status PassManager::Run(CompilationContext& ctx) const {
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    const std::size_t first_diag = ctx.diagnostics.size();
+    Stopwatch stopwatch;
+    Status status;
+    {
+      sim::TraceSpan span(ctx.options.trace,
+                          std::string(pass->name()) + " " + ctx.KernelName(),
+                          "compile");
+      status = pass->Run(ctx);
+      if (ctx.options.trace != nullptr) {
+        support::Json args = support::Json::Object();
+        args["pass"] = pass->name();
+        if (!status.ok()) args["error"] = status.ToString();
+        if (ctx.diagnostics.size() > first_diag) {
+          support::Json notes = support::Json::Array();
+          for (std::size_t i = first_diag; i < ctx.diagnostics.size(); ++i)
+            notes.push_back(ctx.diagnostics[i].message);
+          args["diagnostics"] = std::move(notes);
+        }
+        span.set_args(std::move(args));
+      }
+    }
+    ctx.timings.push_back({pass->name(), stopwatch.ElapsedMs()});
+    if (!status.ok()) {
+      ctx.diagnostics.push_back(
+          {pass->name(), DiagSeverity::kError, status.ToString()});
+      return status;
+    }
+    if (dump_hook_ && dump_after_ == pass->name()) dump_hook_(*pass, ctx);
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> PassManager::names() const {
+  std::vector<std::string> out;
+  out.reserve(passes_.size());
+  for (const std::unique_ptr<Pass>& pass : passes_) out.push_back(pass->name());
+  return out;
+}
+
+std::unique_ptr<Pass> MakeParsePass() { return std::make_unique<ParsePass>(); }
+std::unique_ptr<Pass> MakeLowerPass() { return std::make_unique<LowerPass>(); }
+std::unique_ptr<Pass> MakeEstimateResourcesPass() {
+  return std::make_unique<EstimateResourcesPass>();
+}
+std::unique_ptr<Pass> MakeSelectConfigPass() {
+  return std::make_unique<SelectConfigPass>();
+}
+std::unique_ptr<Pass> MakeEmitPass() { return std::make_unique<EmitPass>(); }
+
+PassManager BuildCompilePipeline() {
+  PassManager pm;
+  pm.Add(MakeParsePass())
+      .Add(MakeLowerPass())
+      .Add(MakeEstimateResourcesPass())
+      .Add(MakeSelectConfigPass())
+      .Add(MakeEmitPass());
+  return pm;
+}
+
+PassManager BuildDevicePipeline() {
+  PassManager pm;
+  pm.Add(MakeLowerPass())
+      .Add(MakeEstimateResourcesPass())
+      .Add(MakeSelectConfigPass())
+      .Add(MakeEmitPass());
+  return pm;
+}
+
+PassManager BuildTargetPipeline() {
+  PassManager pm;
+  pm.Add(MakeSelectConfigPass()).Add(MakeEmitPass());
+  return pm;
+}
+
+const std::vector<std::string>& DefaultPassNames() {
+  static const std::vector<std::string> names =
+      BuildCompilePipeline().names();
+  return names;
+}
+
+void DumpAfterPass(const Pass& pass, const CompilationContext& ctx) {
+  const std::string name = pass.name();
+  const CompiledKernel& a = ctx.artifact;
+  std::fprintf(stderr, "--- after pass '%s' (kernel '%s') ---\n",
+               name.c_str(), ctx.KernelName().c_str());
+  if (name == "parse") {
+    for (const ast::ParamInfo& p : a.decl.params)
+      std::fprintf(stderr, "  param %s\n", p.name.c_str());
+    for (const ast::AccessorInfo& acc : a.decl.accessors)
+      std::fprintf(stderr, "  accessor %s: window %dx%d, boundary %s\n",
+                   acc.name.c_str(), acc.window.size_x(), acc.window.size_y(),
+                   to_string(acc.boundary));
+    for (const ast::MaskInfo& m : a.decl.masks)
+      std::fprintf(stderr, "  mask %s: %dx%d, %s\n", m.name.c_str(), m.size_x,
+                   m.size_y, m.is_static() ? "static" : "dynamic");
+  } else if (name == "lower") {
+    std::fprintf(stderr, "  backend %s, %zu variants, %zu buffers, "
+                 "%zu const masks, %zu global masks\n",
+                 to_string(a.device_ir.backend), a.device_ir.variants.size(),
+                 a.device_ir.buffers.size(), a.device_ir.const_masks.size(),
+                 a.device_ir.global_masks.size());
+  } else if (name == "estimate") {
+    std::fprintf(stderr, "  %d regs/thread, %d B static smem\n",
+                 a.resources.regs_per_thread, a.resources.smem_static_bytes);
+  } else if (name == "select_config") {
+    std::fprintf(stderr, "  config %dx%d, occupancy %.0f%%\n",
+                 a.config.config.block_x, a.config.config.block_y,
+                 100.0 * a.config.occupancy.occupancy);
+  } else if (name == "emit") {
+    std::fputs(a.source.c_str(), stderr);
+  }
+  std::fprintf(stderr, "--- end dump ---\n");
+}
+
+}  // namespace hipacc::compiler

@@ -28,22 +28,22 @@ Result<LaunchHolder> BuildLaunch(const ast::DeviceKernel& kernel,
     bool is_mask = false;
     for (const auto& mask : kernel.global_masks) {
       if (mask.name != buf.name) continue;
-      const auto it = bindings.masks().find(mask.name);
-      if (it == bindings.masks().end())
+      const std::vector<float>* values = bindings.FindMask(mask.name);
+      if (values == nullptr)
         return Status::Invalid("mask values not bound: " + mask.name);
-      if (static_cast<int>(it->second.size()) != mask.size_x * mask.size_y)
+      if (static_cast<int>(values->size()) != mask.size_x * mask.size_y)
         return Status::Invalid("mask size mismatch: " + mask.name);
-      holder.owned.push_back(it->second);
+      holder.owned.push_back(*values);
       launch.buffers.push_back({mask.name, holder.owned.back().data(),
                                 mask.size_x, mask.size_y, mask.size_x, false});
       is_mask = true;
       break;
     }
     if (is_mask) continue;
-    const auto it = bindings.inputs().find(buf.name);
-    if (it == bindings.inputs().end())
+    dsl::Image<float>* input = bindings.FindInput(buf.name);
+    if (input == nullptr)
       return Status::Invalid("input image not bound: " + buf.name);
-    dsl::Image<float>& img = *it->second;
+    dsl::Image<float>& img = *input;
     // const_cast: the simulated device reads through a writable view but the
     // binding is marked read-only; the interpreter rejects writes to it.
     launch.buffers.push_back({buf.name, img.span().data(), img.width(),
@@ -51,16 +51,16 @@ Result<LaunchHolder> BuildLaunch(const ast::DeviceKernel& kernel,
   }
 
   for (const auto& mask : kernel.const_masks) {
-    const auto it = bindings.masks().find(mask.name);
     if (mask.is_static()) {
       // Statically initialised constant memory: coefficients came from the
       // kernel declaration itself.
       launch.const_masks[mask.name] = mask.static_values;
       continue;
     }
-    if (it == bindings.masks().end())
+    const std::vector<float>* values = bindings.FindMask(mask.name);
+    if (values == nullptr)
       return Status::Invalid("mask values not bound: " + mask.name);
-    launch.const_masks[mask.name] = it->second;
+    launch.const_masks[mask.name] = *values;
   }
 
   for (const auto& [name, value] : bindings.scalars())

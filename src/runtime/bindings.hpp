@@ -4,8 +4,8 @@
 // binding, kernel invocation).
 #pragma once
 
-#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dsl/image.hpp"
@@ -14,11 +14,21 @@
 namespace hipacc::runtime {
 
 /// Named arguments for one kernel launch.
+///
+/// Kernels bind a handful of arguments (one or two images, a mask, a few
+/// scalars), so the members are small insertion-ordered flat vectors rather
+/// than node-based maps: lookups are linear scans over contiguous memory,
+/// copies (the exploration engine clones one BindingSet per lane) are a few
+/// allocations instead of a tree rebuild. Re-binding an existing name
+/// replaces its value in place.
 class BindingSet {
  public:
+  template <typename V>
+  using NamedVec = std::vector<std::pair<std::string, V>>;
+
   /// Binds an input image under the accessor's name.
   BindingSet& Input(const std::string& name, dsl::Image<float>& image) {
-    inputs_[name] = &image;
+    Assign(inputs_, name, &image);
     return *this;
   }
   /// Binds the output image (the iteration-space image).
@@ -28,25 +38,54 @@ class BindingSet {
   }
   /// Binds mask coefficients (constant-memory or global-memory masks alike).
   BindingSet& MaskValues(const std::string& name, std::vector<float> values) {
-    masks_[name] = std::move(values);
+    Assign(masks_, name, std::move(values));
     return *this;
   }
   /// Binds a scalar kernel parameter.
   BindingSet& Scalar(const std::string& name, double value) {
-    scalars_[name] = value;
+    Assign(scalars_, name, value);
     return *this;
   }
 
-  const std::map<std::string, dsl::Image<float>*>& inputs() const { return inputs_; }
+  const NamedVec<dsl::Image<float>*>& inputs() const { return inputs_; }
   dsl::Image<float>* output() const { return output_; }
-  const std::map<std::string, std::vector<float>>& masks() const { return masks_; }
-  const std::map<std::string, double>& scalars() const { return scalars_; }
+  const NamedVec<std::vector<float>>& masks() const { return masks_; }
+  const NamedVec<double>& scalars() const { return scalars_; }
+
+  /// Bound image / coefficients for `name`; null when not bound.
+  dsl::Image<float>* FindInput(const std::string& name) const {
+    const auto* entry = Find(inputs_, name);
+    return entry ? *entry : nullptr;
+  }
+  const std::vector<float>* FindMask(const std::string& name) const {
+    return Find(masks_, name);
+  }
+  const double* FindScalar(const std::string& name) const {
+    return Find(scalars_, name);
+  }
 
  private:
-  std::map<std::string, dsl::Image<float>*> inputs_;
+  template <typename V>
+  static void Assign(NamedVec<V>& vec, const std::string& name, V value) {
+    for (auto& [key, existing] : vec) {
+      if (key == name) {
+        existing = std::move(value);
+        return;
+      }
+    }
+    vec.emplace_back(name, std::move(value));
+  }
+  template <typename V>
+  static const V* Find(const NamedVec<V>& vec, const std::string& name) {
+    for (const auto& [key, value] : vec)
+      if (key == name) return &value;
+    return nullptr;
+  }
+
+  NamedVec<dsl::Image<float>*> inputs_;
   dsl::Image<float>* output_ = nullptr;
-  std::map<std::string, std::vector<float>> masks_;
-  std::map<std::string, double> scalars_;
+  NamedVec<std::vector<float>> masks_;
+  NamedVec<double> scalars_;
 };
 
 /// Assembles a sim::Launch for `kernel` from `bindings`: images become

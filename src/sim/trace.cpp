@@ -37,6 +37,27 @@ void TraceSink::RecordLaunch(const std::string& kernel_name,
           tid);
 }
 
+void TraceSink::IncrementCounter(const std::string& name, long long delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+long long TraceSink::counter(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void TraceSink::RecordCacheAccess(const std::string& level, bool hit,
+                                  const std::string& key_hex) {
+  IncrementCounter((hit ? "cache_hit." : "cache_miss.") + level);
+  Json args = Json::Object();
+  args["level"] = level;
+  args["hit"] = hit;
+  args["key"] = key_hex;
+  AddInstant(hit ? "cache_hit" : "cache_miss", "cache", std::move(args));
+}
+
 bool TraceSink::empty() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return events_.empty();
@@ -62,6 +83,11 @@ Json TraceSink::ToJson() const {
   }
   Json doc = Json::Object();
   doc["events"] = std::move(events);
+  if (!counters_.empty()) {
+    Json counters = Json::Object();
+    for (const auto& [name, value] : counters_) counters[name] = value;
+    doc["counters"] = std::move(counters);
+  }
   return doc;
 }
 
@@ -83,6 +109,13 @@ std::string TraceSink::ToChromeTrace() const {
   Json doc = Json::Object();
   doc["traceEvents"] = std::move(events);
   doc["displayTimeUnit"] = "ms";
+  if (!counters_.empty()) {
+    // Extra top-level keys are preserved by the trace_event format; the
+    // aggregate counters travel with the timeline they summarise.
+    Json counters = Json::Object();
+    for (const auto& [name, value] : counters_) counters[name] = value;
+    doc["counters"] = std::move(counters);
+  }
   return doc.Dump();
 }
 

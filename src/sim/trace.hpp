@@ -1,11 +1,13 @@
 // Observability layer for the simulator and compiler: a thread-safe sink of
-// timestamped spans (compile phases, launch builds, simulated launches,
+// timestamped spans (compile passes, launch builds, simulated launches,
 // exploration candidates), each optionally carrying structured arguments
-// (sim::Metrics counters, timing-model breakdowns, launch configurations).
-// Serialises either as plain JSON ({"events": [...]}) or as the Chrome
-// trace_event format loadable in chrome://tracing / Perfetto.
+// (sim::Metrics counters, timing-model breakdowns, launch configurations),
+// plus named aggregate counters (compilation-cache hits/misses). Serialises
+// either as plain JSON ({"events": [...], "counters": {...}}) or as the
+// Chrome trace_event format loadable in chrome://tracing / Perfetto.
 #pragma once
 
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -52,10 +54,24 @@ class TraceSink {
                     const hw::KernelConfig& config, const LaunchStats& stats,
                     double start_ms, double dur_ms, int tid = 0);
 
+  /// Bumps a named aggregate counter (e.g. "cache_hit.target"). Counters
+  /// ride along in ToJson()/ToChromeTrace() without growing the event list.
+  void IncrementCounter(const std::string& name, long long delta = 1);
+
+  /// Current value of one counter (0 when never incremented).
+  long long counter(const std::string& name) const;
+
+  /// Records one compilation-cache lookup: bumps the
+  /// "cache_{hit,miss}.<level>" counter and files an instant event carrying
+  /// the key hash, so individual lookups stay visible on the timeline.
+  void RecordCacheAccess(const std::string& level, bool hit,
+                         const std::string& key_hex);
+
   bool empty() const;
   std::size_t event_count() const;
 
-  /// {"events": [{name, category, start_ms, dur_ms, tid, args}, ...]}
+  /// {"events": [{name, category, start_ms, dur_ms, tid, args}, ...],
+  ///  "counters": {...}} — "counters" only present when any were bumped.
   support::Json ToJson() const;
 
   /// Chrome trace_event JSON: {"traceEvents": [{"ph": "X", ...}, ...]}.
@@ -68,6 +84,7 @@ class TraceSink {
   Stopwatch epoch_;
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
+  std::map<std::string, long long> counters_;
 };
 
 /// RAII helper: measures a span from construction to destruction and files

@@ -1,0 +1,73 @@
+// Deterministic content hashing for cache keys: 64-bit FNV-1a over a
+// canonical byte stream. The mixer is endian- and platform-stable because
+// every scalar is serialised through a fixed-width integer representation —
+// two processes (or two runs) hashing the same logical content always agree.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace hipacc::support {
+
+/// Incremental FNV-1a (64-bit). Collisions are guarded against at the cache
+/// layer by storing the canonical key string alongside the digest — the hash
+/// is an index, never the sole identity.
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+  Fnv1a& MixBytes(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      digest_ ^= bytes[i];
+      digest_ *= kPrime;
+    }
+    return *this;
+  }
+
+  /// Length-prefixed so that Mix("ab") + Mix("c") != Mix("a") + Mix("bc").
+  Fnv1a& Mix(std::string_view text) {
+    Mix(static_cast<std::uint64_t>(text.size()));
+    return MixBytes(text.data(), text.size());
+  }
+
+  Fnv1a& Mix(std::uint64_t value) {
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i)
+      bytes[i] = static_cast<unsigned char>(value >> (8 * i));
+    return MixBytes(bytes, sizeof(bytes));
+  }
+
+  Fnv1a& Mix(long long value) { return Mix(static_cast<std::uint64_t>(value)); }
+  Fnv1a& Mix(int value) {
+    return Mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(value)));
+  }
+  Fnv1a& Mix(bool value) { return Mix(std::uint64_t{value ? 1u : 0u}); }
+
+  Fnv1a& Mix(double value) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return Mix(bits);
+  }
+  Fnv1a& Mix(float value) { return Mix(static_cast<double>(value)); }
+
+  std::uint64_t digest() const noexcept { return digest_; }
+
+  /// 16-char lowercase hex form, used for trace labels.
+  std::string hex() const {
+    static const char* kDigits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 0; i < 16; ++i)
+      out[15 - i] = kDigits[(digest_ >> (4 * i)) & 0xf];
+    return out;
+  }
+
+ private:
+  std::uint64_t digest_ = kOffsetBasis;
+};
+
+}  // namespace hipacc::support

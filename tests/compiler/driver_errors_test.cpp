@@ -1,0 +1,84 @@
+// Driver error paths: parse failures, invalid forced configurations on
+// every device in the database, and unsupported backend/boundary-mode
+// combinations — each must surface the right StatusCode instead of
+// crashing or emitting bogus source.
+#include <gtest/gtest.h>
+
+#include "compiler/cache.hpp"
+#include "compiler/driver.hpp"
+#include "hwmodel/device_db.hpp"
+#include "ops/kernel_sources.hpp"
+
+namespace hipacc {
+namespace {
+
+TEST(DriverErrorsTest, ParseFailurePropagates) {
+  frontend::KernelSource source =
+      ops::BilateralMaskSource(1, ast::BoundaryMode::kClamp);
+  source.body = "output() = (undefined_fn(";
+  auto compiled = compiler::Compile(source, {});
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kParseError);
+}
+
+TEST(DriverErrorsTest, ForcedConfigExceedingLimitsFailsOnEveryDevice) {
+  const frontend::KernelSource source =
+      ops::BilateralMaskSource(1, ast::BoundaryMode::kClamp);
+  for (const hw::DeviceSpec& device : hw::DeviceDatabase()) {
+    compiler::CompileOptions options;
+    options.device = device;
+    // More threads than any device's block limit allows.
+    options.forced_config = hw::KernelConfig{4096, 1};
+    auto compiled = compiler::Compile(source, options);
+    ASSERT_FALSE(compiled.ok()) << device.name;
+    EXPECT_EQ(compiled.status().code(), StatusCode::kResourceExhausted)
+        << device.name << ": " << compiled.status().ToString();
+    // The message names the device and the offending configuration.
+    EXPECT_NE(compiled.status().message().find(device.name),
+              std::string::npos);
+    EXPECT_NE(compiled.status().message().find("4096x1"), std::string::npos);
+  }
+}
+
+TEST(DriverErrorsTest, Array2dTextureRejectsMirrorBoundary) {
+  const frontend::KernelSource source =
+      ops::BilateralMaskSource(1, ast::BoundaryMode::kMirror);
+  compiler::CompileOptions options;
+  options.codegen.texture = codegen::TexturePolicy::kArray2D;
+  auto compiled = compiler::Compile(source, options);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(DriverErrorsTest, Array2dTextureRejectsConstantBoundaryOnCuda) {
+  const frontend::KernelSource source =
+      ops::BilateralMaskSource(1, ast::BoundaryMode::kConstant);
+  compiler::CompileOptions options;
+  options.codegen.backend = ast::Backend::kCuda;
+  options.codegen.texture = codegen::TexturePolicy::kArray2D;
+  auto compiled = compiler::Compile(source, options);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(DriverErrorsTest, FailedCompilationDoesNotPoisonTheCache) {
+  // A failing compilation stores nothing: the error repeats on a second
+  // attempt instead of a bogus artifact appearing as a hit.
+  compiler::CompilationCache cache;
+  frontend::KernelSource source =
+      ops::BilateralMaskSource(1, ast::BoundaryMode::kMirror);
+  compiler::CompileOptions options;
+  options.codegen.texture = codegen::TexturePolicy::kArray2D;
+  options.cache = &cache;
+  auto first = compiler::Compile(source, options);
+  auto second = compiler::Compile(source, options);
+  ASSERT_FALSE(first.ok());
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(first.status().code(), second.status().code());
+  EXPECT_EQ(first.status().message(), second.status().message());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits(), 0);
+}
+
+}  // namespace
+}  // namespace hipacc

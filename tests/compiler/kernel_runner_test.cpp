@@ -1,0 +1,152 @@
+// Cached execute path (runtime::KernelRunner): first launch compiles, the
+// output matches a hand-driven compile+execute, repeated launches reuse the
+// artifact without touching the compiler, and device switches recompile
+// through the cache (hitting when returning to a seen target).
+#include <gtest/gtest.h>
+
+#include "compiler/executable.hpp"
+#include "ops/kernel_sources.hpp"
+#include "runtime/kernel_runner.hpp"
+#include "sim/trace.hpp"
+
+namespace hipacc {
+namespace {
+
+frontend::KernelSource Source() {
+  return ops::BilateralMaskSource(1, ast::BoundaryMode::kClamp);
+}
+
+runtime::BindingSet Bindings(dsl::Image<float>& in, dsl::Image<float>& out) {
+  runtime::BindingSet bindings;
+  bindings.Input("Input", in).Output(out).Scalar("sigma_d", 1).Scalar(
+      "sigma_r", 4);
+  return bindings;
+}
+
+void FillRamp(dsl::Image<float>& img) {
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x)
+      img.at(x, y) = static_cast<float>((x * 7 + y * 13) % 31);
+}
+
+TEST(KernelRunnerTest, FirstRunCompilesAndMatchesManualPath) {
+  const int n = 128;
+  dsl::Image<float> in(n, n), out(n, n), expected(n, n);
+  FillRamp(in);
+
+  compiler::CompilationCache cache;
+  runtime::KernelRunner::Options ropts;
+  ropts.cache = &cache;
+  runtime::KernelRunner runner(Source(), ropts);
+  EXPECT_EQ(runner.compiled(), nullptr);
+  auto stats = runner.Run(Bindings(in, out));
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_NE(runner.compiled(), nullptr);
+
+  // Reference: explicit Compile + SimulatedExecutable.
+  compiler::CompileOptions copts;
+  copts.image_width = n;
+  copts.image_height = n;
+  auto compiled = compiler::Compile(Source(), copts);
+  ASSERT_TRUE(compiled.ok());
+  compiler::SimulatedExecutable exec(std::move(compiled).take(),
+                                     copts.device);
+  ASSERT_TRUE(exec.Run(Bindings(in, expected)).ok());
+
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x)
+      ASSERT_EQ(out.at(x, y), expected.at(x, y)) << x << "," << y;
+}
+
+TEST(KernelRunnerTest, RepeatedRunsSkipCompilation) {
+  const int n = 128;
+  dsl::Image<float> in(n, n), out(n, n);
+  FillRamp(in);
+
+  compiler::CompilationCache cache;
+  sim::TraceSink sink;
+  runtime::KernelRunner::Options ropts;
+  ropts.cache = &cache;
+  ropts.trace = &sink;
+  runtime::KernelRunner runner(Source(), ropts);
+
+  ASSERT_TRUE(runner.Run(Bindings(in, out)).ok());
+  const std::size_t after_first = sink.event_count();
+  const compiler::CompilationCache::Stats cold = cache.stats();
+  EXPECT_EQ(cold.target_misses, 1);
+
+  // Ten more launches: no compile spans, no cache probes — the runner
+  // reuses its executable outright.
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(runner.Run(Bindings(in, out)).ok());
+  const compiler::CompilationCache::Stats warm = cache.stats();
+  EXPECT_EQ(warm.target_misses, 1);
+  EXPECT_EQ(warm.target_hits, 0);
+
+  const support::Json doc = sink.ToJson();
+  const support::Json* events = doc.Find("events");
+  ASSERT_NE(events, nullptr);
+  int compile_spans = 0;
+  for (std::size_t i = after_first; i < events->size(); ++i)
+    if ((*events)[i].Find("category")->string_value() == "compile")
+      ++compile_spans;
+  EXPECT_EQ(compile_spans, 0);
+}
+
+TEST(KernelRunnerTest, DeviceSwitchRecompilesThroughCache) {
+  const int n = 128;
+  dsl::Image<float> in(n, n), out(n, n);
+  FillRamp(in);
+
+  compiler::CompilationCache cache;
+  runtime::KernelRunner::Options ropts;
+  ropts.cache = &cache;
+  runtime::KernelRunner runner(Source(), ropts);
+
+  ASSERT_TRUE(runner.Run(Bindings(in, out)).ok());
+  const hw::KernelConfig tesla_config =
+      runner.compiled()->config.config;
+
+  runner.set_device(hw::RadeonHd5870());
+  ASSERT_TRUE(runner.Run(Bindings(in, out)).ok());
+  EXPECT_EQ(cache.stats().target_misses, 2);
+  // The frontend artifacts were reused for the new device.
+  EXPECT_EQ(cache.stats().frontend_hits, 1);
+
+  // Switching back to the first device hits the target cache.
+  runner.set_device(hw::TeslaC2050());
+  ASSERT_TRUE(runner.Run(Bindings(in, out)).ok());
+  EXPECT_EQ(cache.stats().target_hits, 1);
+  EXPECT_EQ(runner.compiled()->config.config, tesla_config);
+}
+
+TEST(KernelRunnerTest, ExtentChangeRecompiles) {
+  compiler::CompilationCache cache;
+  runtime::KernelRunner::Options ropts;
+  ropts.cache = &cache;
+  runtime::KernelRunner runner(Source(), ropts);
+
+  dsl::Image<float> small_in(64, 64), small_out(64, 64);
+  dsl::Image<float> big_in(256, 256), big_out(256, 256);
+  FillRamp(small_in);
+  FillRamp(big_in);
+
+  ASSERT_TRUE(runner.Run(Bindings(small_in, small_out)).ok());
+  ASSERT_TRUE(runner.Run(Bindings(big_in, big_out)).ok());
+  EXPECT_EQ(cache.stats().target_misses, 2);
+
+  // Back to the small extent: a target hit, not a recompilation.
+  ASSERT_TRUE(runner.Run(Bindings(small_in, small_out)).ok());
+  EXPECT_EQ(cache.stats().target_hits, 1);
+}
+
+TEST(KernelRunnerTest, MissingOutputIsInvalid) {
+  runtime::KernelRunner runner(Source());
+  runtime::BindingSet empty;
+  auto stats = runner.Run(empty);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hipacc

@@ -1,0 +1,181 @@
+// Pass-manager behaviour: pipeline composition, per-pass timings and
+// diagnostics, trace spans, dump hooks, failure propagation, and the
+// Retarget fast path that skips lowering when codegen options are
+// unchanged.
+#include <gtest/gtest.h>
+
+#include "compiler/driver.hpp"
+#include "compiler/pass.hpp"
+#include "ops/kernel_sources.hpp"
+#include "sim/trace.hpp"
+
+namespace hipacc {
+namespace {
+
+frontend::KernelSource Source() {
+  return ops::BilateralMaskSource(1, ast::BoundaryMode::kClamp);
+}
+
+TEST(PassManagerTest, FullPipelineHasCanonicalOrder) {
+  const std::vector<std::string> expected = {"parse", "lower", "estimate",
+                                             "select_config", "emit"};
+  EXPECT_EQ(compiler::BuildCompilePipeline().names(), expected);
+  EXPECT_EQ(compiler::DefaultPassNames(), expected);
+  const std::vector<std::string> device = {"lower", "estimate",
+                                           "select_config", "emit"};
+  EXPECT_EQ(compiler::BuildDevicePipeline().names(), device);
+  const std::vector<std::string> target = {"select_config", "emit"};
+  EXPECT_EQ(compiler::BuildTargetPipeline().names(), target);
+}
+
+TEST(PassManagerTest, RunProducesArtifactTimingsAndDiagnostics) {
+  const frontend::KernelSource source = Source();
+  compiler::CompilationContext ctx;
+  ctx.source = &source;
+  ctx.options.image_width = 512;
+  ctx.options.image_height = 512;
+
+  const Status status = compiler::BuildCompilePipeline().Run(ctx);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  EXPECT_FALSE(ctx.artifact.decl.name.empty());
+  EXPECT_FALSE(ctx.artifact.device_ir.variants.empty());
+  EXPECT_FALSE(ctx.artifact.source.empty());
+  EXPECT_GT(ctx.artifact.resources.regs_per_thread, 0);
+
+  // One timing per pass, in order; durations are non-negative.
+  ASSERT_EQ(ctx.timings.size(), 5u);
+  for (size_t i = 0; i < ctx.timings.size(); ++i) {
+    EXPECT_EQ(ctx.timings[i].pass, compiler::DefaultPassNames()[i]);
+    EXPECT_GE(ctx.timings[i].ms, 0.0);
+  }
+
+  // Every pass filed at least one note.
+  for (const std::string& name : compiler::DefaultPassNames()) {
+    bool found = false;
+    for (const compiler::PassDiagnostic& d : ctx.diagnostics)
+      found = found || (d.pass == name &&
+                        d.severity == compiler::DiagSeverity::kNote);
+    EXPECT_TRUE(found) << "no note from pass " << name;
+  }
+}
+
+TEST(PassManagerTest, PassesRecordTraceSpans) {
+  const frontend::KernelSource source = Source();
+  sim::TraceSink sink;
+  compiler::CompileOptions options;
+  options.trace = &sink;
+  auto compiled = compiler::Compile(source, options);
+  ASSERT_TRUE(compiled.ok());
+
+  const support::Json doc = sink.ToJson();
+  const support::Json* events = doc.Find("events");
+  ASSERT_NE(events, nullptr);
+  std::vector<std::string> names;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const support::Json& e = (*events)[i];
+    EXPECT_EQ(e.Find("category")->string_value(), "compile");
+    names.push_back(e.Find("name")->string_value());
+  }
+  ASSERT_EQ(names.size(), 5u);
+  for (size_t i = 0; i < names.size(); ++i)
+    EXPECT_EQ(names[i],
+              compiler::DefaultPassNames()[i] + " " + compiled.value().decl.name);
+}
+
+TEST(PassManagerTest, FailingPassStopsPipelineAndRecordsError) {
+  // An unparsable body fails the parse pass; nothing later runs.
+  frontend::KernelSource source = Source();
+  source.body = "output() = ((";
+  compiler::CompilationContext ctx;
+  ctx.source = &source;
+  const Status status = compiler::BuildCompilePipeline().Run(ctx);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  ASSERT_EQ(ctx.timings.size(), 1u);  // only parse ran
+  bool has_error = false;
+  for (const compiler::PassDiagnostic& d : ctx.diagnostics)
+    has_error = has_error || (d.pass == "parse" &&
+                              d.severity == compiler::DiagSeverity::kError);
+  EXPECT_TRUE(has_error);
+}
+
+TEST(PassManagerTest, DumpHookFiresAfterNamedPass) {
+  const frontend::KernelSource source = Source();
+  compiler::CompilationContext ctx;
+  ctx.source = &source;
+  compiler::PassManager pm = compiler::BuildCompilePipeline();
+  std::vector<std::string> dumped;
+  pm.set_dump_hook("lower", [&](const compiler::Pass& pass,
+                                const compiler::CompilationContext& c) {
+    dumped.push_back(pass.name());
+    // The artifact already has lowered IR, but no source yet.
+    EXPECT_FALSE(c.artifact.device_ir.variants.empty());
+    EXPECT_TRUE(c.artifact.source.empty());
+  });
+  ASSERT_TRUE(pm.Run(ctx).ok());
+  EXPECT_EQ(dumped, std::vector<std::string>{"lower"});
+}
+
+TEST(RetargetTest, SameOptionsSkipLowerAndEstimate) {
+  const frontend::KernelSource source = Source();
+  compiler::CompileOptions options;
+  options.image_width = 512;
+  options.image_height = 512;
+  auto compiled = compiler::Compile(source, options);
+  ASSERT_TRUE(compiled.ok());
+
+  sim::TraceSink sink;
+  compiler::CompileOptions retarget = options;
+  retarget.device = hw::FindDevice("GeForce GTX 580").value();
+  retarget.trace = &sink;
+  auto moved = compiler::Retarget(compiled.value(), retarget);
+  ASSERT_TRUE(moved.ok());
+
+  // Only the target-dependent tail ran: no parse/lower/estimate spans.
+  const support::Json doc = sink.ToJson();
+  const support::Json* events = doc.Find("events");
+  ASSERT_NE(events, nullptr);
+  std::vector<std::string> names;
+  for (size_t i = 0; i < events->size(); ++i)
+    names.push_back((*events)[i].Find("name")->string_value());
+  ASSERT_EQ(names.size(), 2u);
+  const std::string kernel_name = compiled.value().decl.name;
+  EXPECT_EQ(names[0], "select_config " + kernel_name);
+  EXPECT_EQ(names[1], "emit " + kernel_name);
+
+  // The retargeted artifact matches a from-scratch compile bit for bit.
+  compiler::CompileOptions fresh = retarget;
+  fresh.trace = nullptr;
+  auto recompiled = compiler::Compile(source, fresh);
+  ASSERT_TRUE(recompiled.ok());
+  EXPECT_EQ(moved.value().source, recompiled.value().source);
+  EXPECT_EQ(moved.value().config.config, recompiled.value().config.config);
+}
+
+TEST(RetargetTest, ChangedCodegenOptionsRelower) {
+  const frontend::KernelSource source = Source();
+  auto compiled = compiler::Compile(source, {});
+  ASSERT_TRUE(compiled.ok());
+
+  sim::TraceSink sink;
+  compiler::CompileOptions retarget;
+  retarget.codegen.backend = ast::Backend::kOpenCL;
+  retarget.trace = &sink;
+  auto switched = compiler::Retarget(compiled.value(), retarget);
+  ASSERT_TRUE(switched.ok());
+  EXPECT_EQ(switched.value().device_ir.backend, ast::Backend::kOpenCL);
+
+  // The backend switch forces the device pipeline: lower and estimate ran.
+  bool lowered = false;
+  const support::Json doc = sink.ToJson();
+  const support::Json* events = doc.Find("events");
+  ASSERT_NE(events, nullptr);
+  for (size_t i = 0; i < events->size(); ++i)
+    if ((*events)[i].Find("name")->string_value().rfind("lower ", 0) == 0)
+      lowered = true;
+  EXPECT_TRUE(lowered);
+}
+
+}  // namespace
+}  // namespace hipacc

@@ -15,8 +15,15 @@
 //     --explore-jobs=N            parallel exploration workers (0 = all
 //                                 cores; results identical for every N)
 //     --trace-out=FILE            write a Chrome trace_event timeline of
-//                                 compile phases and simulated launches
-//                                 (open in chrome://tracing or Perfetto)
+//                                 compile passes, cache accesses, and
+//                                 simulated launches (open in
+//                                 chrome://tracing or Perfetto)
+//     --print-pass-timings        print per-pass compile durations to stderr
+//     --dump-after=PASS           dump the pipeline state after the named
+//                                 pass (parse|lower|estimate|select_config|
+//                                 emit) to stderr
+//     --no-cache                  compile from scratch instead of going
+//                                 through the process-wide compilation cache
 //     --list-devices              print the device database and exit
 //
 // Prints the generated kernel source to stdout; diagnostics go to stderr.
@@ -24,9 +31,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "compiler/cache.hpp"
 #include "compiler/explore.hpp"
 #include "compiler/kernel_file.hpp"
+#include "compiler/pass.hpp"
 #include "hwmodel/device_db.hpp"
 #include "sim/trace.hpp"
 
@@ -54,7 +64,8 @@ int Usage() {
                "[--device=NAME] [--width=N] [--height=N] "
                "[--tex=none|linear|array2d] [--smem] [--no-const-mask] "
                "[--config=BXxBY] [--explore] [--explore-jobs=N] "
-               "[--trace-out=FILE] [--list-devices]\n");
+               "[--trace-out=FILE] [--print-pass-timings] "
+               "[--dump-after=PASS] [--no-cache] [--list-devices]\n");
   return 2;
 }
 
@@ -66,7 +77,10 @@ int main(int argc, char** argv) {
   options.device = hw::TeslaC2050();
   options.image_width = 4096;
   options.image_height = 4096;
+  options.cache = &compiler::GlobalCompilationCache();
   bool explore = false;
+  bool print_pass_timings = false;
+  std::vector<compiler::PassTiming> pass_timings;
   compiler::ExploreOptions explore_options;
   std::string trace_out;
   sim::TraceSink trace;
@@ -113,12 +127,33 @@ int main(int argc, char** argv) {
       explore_options.trace = &trace;
     } else if (ParseFlag(arg, "--explore", &value)) {
       explore = true;
+    } else if (ParseFlag(arg, "--print-pass-timings", &value)) {
+      print_pass_timings = true;
+      options.pass_timings = &pass_timings;
+    } else if (ParseFlag(arg, "--dump-after", &value)) {
+      bool known = false;
+      for (const std::string& name : compiler::DefaultPassNames())
+        known = known || name == value;
+      if (!known) {
+        std::fprintf(stderr, "error: unknown pass '%s' (expected one of:",
+                     value.c_str());
+        for (const std::string& name : compiler::DefaultPassNames())
+          std::fprintf(stderr, " %s", name.c_str());
+        std::fprintf(stderr, ")\n");
+        return 2;
+      }
+      options.dump_after = value;
+    } else if (ParseFlag(arg, "--no-cache", &value)) {
+      options.cache = nullptr;
     } else if (ParseFlag(arg, "--list-devices", &value)) {
+      std::printf("%-20s %-6s %5s %10s %8s %11s %8s\n", "device", "vendor",
+                  "simd", "regs/SM", "(gran)", "smem/SM", "(gran)");
       for (const auto& device : hw::DeviceDatabase())
-        std::printf("%-20s %s, %d SIMD units, warp %d, max %d threads/block\n",
+        std::printf("%-20s %-6s %5d %10d %8d %9d B %8d\n",
                     device.name.c_str(), to_string(device.vendor),
-                    device.num_sms, device.simd_width,
-                    device.max_threads_per_block);
+                    device.simd_width, device.regs_per_sm,
+                    device.reg_alloc_granularity, device.smem_per_sm,
+                    device.smem_alloc_granularity);
       return 0;
     } else if (arg[0] == '-') {
       return Usage();
@@ -149,6 +184,21 @@ int main(int argc, char** argv) {
                kernel.resources.regs_per_thread,
                100.0 * kernel.config.occupancy.occupancy,
                kernel.config.border_threads);
+
+  if (print_pass_timings) {
+    std::fprintf(stderr, "hipacc-compile: pass timings:\n");
+    for (const compiler::PassTiming& t : pass_timings)
+      std::fprintf(stderr, "  %-14s %8.3f ms\n", t.pass.c_str(), t.ms);
+    if (options.cache != nullptr) {
+      const compiler::CompilationCache::Stats stats = options.cache->stats();
+      std::fprintf(stderr,
+                   "hipacc-compile: cache: %lld hits, %lld misses "
+                   "(frontend %lld/%lld, target %lld/%lld)\n",
+                   stats.hits(), stats.misses(), stats.frontend_hits,
+                   stats.frontend_misses, stats.target_hits,
+                   stats.target_misses);
+    }
+  }
 
   if (explore) {
     dsl::Image<float> in(options.image_width, options.image_height);

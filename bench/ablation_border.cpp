@@ -11,6 +11,8 @@
 #include "ops/kernel_sources.hpp"
 #include "support/string_utils.hpp"
 
+#include "common/sim_engine_flag.hpp"
+
 using namespace hipacc;
 
 namespace {
@@ -39,7 +41,14 @@ Result<double> MeasureGaussian(int window, ast::BoundaryMode mode,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (!hipacc::bench::HandleSimEngineFlag(argv[i])) {
+      std::fprintf(stderr, "usage: %s [--sim-engine=bytecode|ast]\n", argv[0]);
+      return 2;
+    }
+  }
+
   const hw::DeviceSpec device = hw::TeslaC2050();
   const int n = 2048;
   std::printf(

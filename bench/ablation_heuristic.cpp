@@ -8,6 +8,8 @@
 #include "ops/kernel_sources.hpp"
 #include "ops/masks.hpp"
 
+#include "common/sim_engine_flag.hpp"
+
 using namespace hipacc;
 
 namespace {
@@ -48,7 +50,14 @@ void Evaluate(const char* label, const frontend::KernelSource& source,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (!hipacc::bench::HandleSimEngineFlag(argv[i])) {
+      std::fprintf(stderr, "usage: %s [--sim-engine=bytecode|ast]\n", argv[0]);
+      return 2;
+    }
+  }
+
   const int n = 2048;
   std::printf("Ablation: Algorithm 2 vs exploration optimum (%dx%d images, "
               "modelled times).\n\n", n, n);

@@ -11,6 +11,8 @@
 #include "ops/kernel_sources.hpp"
 #include "ops/masks.hpp"
 
+#include "common/sim_engine_flag.hpp"
+
 using namespace hipacc;
 
 namespace {
@@ -43,7 +45,14 @@ Result<double> Measure(const frontend::KernelSource& source,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (!hipacc::bench::HandleSimEngineFlag(argv[i])) {
+      std::fprintf(stderr, "usage: %s [--sim-engine=bytecode|ast]\n", argv[0]);
+      return 2;
+    }
+  }
+
   const int n = 512;  // full (non-sampled) execution; keep the grid moderate
   const int sigma_d = 3;
   std::printf(

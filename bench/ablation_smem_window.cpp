@@ -9,6 +9,8 @@
 #include "hwmodel/device_db.hpp"
 #include "ops/kernel_sources.hpp"
 
+#include "common/sim_engine_flag.hpp"
+
 using namespace hipacc;
 
 namespace {
@@ -56,7 +58,14 @@ void Sweep(const hw::DeviceSpec& device) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (!hipacc::bench::HandleSimEngineFlag(argv[i])) {
+      std::fprintf(stderr, "usage: %s [--sim-engine=bytecode|ast]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("Ablation: scratchpad staging vs cached paths vs window size. "
               "Times in ms (modelled).\n\n");
   Sweep(hw::TeslaC2050());

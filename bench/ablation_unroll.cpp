@@ -10,6 +10,8 @@
 #include "hwmodel/device_db.hpp"
 #include "ops/kernel_sources.hpp"
 
+#include "common/sim_engine_flag.hpp"
+
 using namespace hipacc;
 
 namespace {
@@ -36,7 +38,14 @@ Result<double> Measure(const frontend::KernelSource& source,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (!hipacc::bench::HandleSimEngineFlag(argv[i])) {
+      std::fprintf(stderr, "usage: %s [--sim-engine=bytecode|ast]\n", argv[0]);
+      return 2;
+    }
+  }
+
   const int n = 2048;
   std::printf("Ablation: Section VIII extensions (%dx%d image, modelled "
               "times in ms).\n\n", n, n);

@@ -1,0 +1,30 @@
+// Shared --sim-engine=bytecode|ast flag for the benchmark binaries: selects
+// the simulator execution engine process-wide (sim/options.hpp), so the CI
+// perf-smoke can run the same table under both engines and diff the output.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/options.hpp"
+
+namespace hipacc::bench {
+
+/// Consumes a `--sim-engine=NAME` argument by updating the process-wide
+/// DefaultSimulatorOptions(). Returns false when `arg` is some other flag;
+/// exits with a usage error when the engine name is unknown.
+inline bool HandleSimEngineFlag(const char* arg) {
+  static constexpr char kPrefix[] = "--sim-engine=";
+  constexpr std::size_t kLen = sizeof(kPrefix) - 1;
+  if (std::strncmp(arg, kPrefix, kLen) != 0) return false;
+  const Result<sim::ExecEngine> engine = sim::ParseExecEngine(arg + kLen);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    std::exit(2);
+  }
+  sim::DefaultSimulatorOptions().engine = engine.value();
+  return true;
+}
+
+}  // namespace hipacc::bench

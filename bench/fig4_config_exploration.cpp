@@ -10,11 +10,13 @@
 //                      changes
 //   --json-out=FILE    BENCH_*.json report path (default BENCH_fig4.json)
 //   --trace-out=FILE   Chrome trace_event timeline (chrome://tracing)
+//   --sim-engine=E     simulator engine: bytecode (default) or ast
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "common/sim_engine_flag.hpp"
 #include "compiler/explore.hpp"
 #include "hwmodel/device_db.hpp"
 #include "ops/kernel_sources.hpp"
@@ -49,10 +51,13 @@ int main(int argc, char** argv) {
       json_out = value;
     } else if (ParseFlag(argv[i], "--trace-out", &value)) {
       trace_out = value;
+    } else if (bench::HandleSimEngineFlag(argv[i])) {
+      continue;
     } else {
       std::fprintf(stderr,
                    "usage: fig4_config_exploration [--explore-jobs=N] "
-                   "[--json-out=FILE] [--trace-out=FILE]\n");
+                   "[--json-out=FILE] [--trace-out=FILE] "
+                   "[--sim-engine=bytecode|ast]\n");
       return 2;
     }
   }
@@ -67,6 +72,7 @@ int main(int argc, char** argv) {
   copts.device = device;
   copts.image_width = n;
   copts.image_height = n;
+  if (!trace_out.empty()) copts.trace = &trace;
 
   Result<compiler::CompiledKernel> compiled = compiler::Compile(source, copts);
   if (!compiled.ok()) {

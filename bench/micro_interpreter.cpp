@@ -1,0 +1,114 @@
+// google-benchmark head-to-head of the simulator's two execution engines:
+// the tree-walking AST interpreter vs the compiled bytecode VM, on the
+// Gaussian, Sobel, and bilateral kernels. Reports ns/pixel (wall-clock of
+// the simulator itself, not modelled device time) so the engines' dispatch
+// overhead is directly comparable; the bytecode rows should be well under
+// half the AST rows. Run with --benchmark_filter=Engine to see just the
+// comparison.
+#include <benchmark/benchmark.h>
+
+#include "compiler/driver.hpp"
+#include "image/synthetic.hpp"
+#include "ops/kernel_sources.hpp"
+#include "ops/masks.hpp"
+#include "runtime/bindings.hpp"
+#include "sim/simulator.hpp"
+
+using namespace hipacc;
+
+namespace {
+
+struct Workload {
+  compiler::CompiledKernel kernel;
+  dsl::Image<float> in;
+  dsl::Image<float> out;
+  runtime::LaunchHolder holder;
+
+  Workload(const frontend::KernelSource& source, int n,
+           const runtime::BindingSet& scalars)
+      : in(n, n), out(n, n) {
+    compiler::CompileOptions options;
+    options.device = hw::TeslaC2050();
+    options.image_width = n;
+    options.image_height = n;
+    auto compiled = compiler::Compile(source, options);
+    HIPACC_CHECK(compiled.ok());
+    kernel = std::move(compiled).take();
+    in.CopyFrom(MakeNoiseImage(n, n, 7));
+    runtime::BindingSet bindings = scalars;
+    bindings.Input("Input", in).Output(out);
+    auto built =
+        runtime::BuildLaunch(kernel.device_ir, kernel.config.config, bindings);
+    HIPACC_CHECK(built.ok());
+    holder = std::move(built).take();
+    holder.launch.programs = kernel.bytecode.get();
+  }
+};
+
+void RunEngineBench(benchmark::State& state, Workload& w,
+                    sim::ExecEngine engine) {
+  const sim::Simulator simulator(hw::TeslaC2050(),
+                                 sim::SimulatorOptions{engine});
+  for (auto _ : state) {
+    auto stats = simulator.Execute(w.holder.launch);
+    benchmark::DoNotOptimize(stats.ok());
+    HIPACC_CHECK(stats.ok());
+  }
+  const long pixels =
+      static_cast<long>(w.holder.launch.width) * w.holder.launch.height;
+  state.SetItemsProcessed(state.iterations() * pixels);
+}
+
+Workload& GaussianWorkload() {
+  static Workload w(
+      ops::GaussianSource(5, 1.2f, ast::BoundaryMode::kMirror), 512, {});
+  return w;
+}
+
+Workload& SobelWorkload() {
+  static Workload w(ops::ConvolutionSource("sobel", 3, 3, ops::SobelMaskX(),
+                                           ast::BoundaryMode::kClamp),
+                    512, {});
+  return w;
+}
+
+Workload& BilateralWorkload() {
+  static runtime::BindingSet scalars = [] {
+    runtime::BindingSet s;
+    s.Scalar("sigma_d", 2).Scalar("sigma_r", 5);
+    return s;
+  }();
+  static Workload w(ops::BilateralMaskSource(2, ast::BoundaryMode::kClamp),
+                    256, scalars);
+  return w;
+}
+
+void BM_EngineAst_Gaussian5(benchmark::State& state) {
+  RunEngineBench(state, GaussianWorkload(), sim::ExecEngine::kAst);
+}
+void BM_EngineBytecode_Gaussian5(benchmark::State& state) {
+  RunEngineBench(state, GaussianWorkload(), sim::ExecEngine::kBytecode);
+}
+void BM_EngineAst_Sobel3(benchmark::State& state) {
+  RunEngineBench(state, SobelWorkload(), sim::ExecEngine::kAst);
+}
+void BM_EngineBytecode_Sobel3(benchmark::State& state) {
+  RunEngineBench(state, SobelWorkload(), sim::ExecEngine::kBytecode);
+}
+void BM_EngineAst_Bilateral9(benchmark::State& state) {
+  RunEngineBench(state, BilateralWorkload(), sim::ExecEngine::kAst);
+}
+void BM_EngineBytecode_Bilateral9(benchmark::State& state) {
+  RunEngineBench(state, BilateralWorkload(), sim::ExecEngine::kBytecode);
+}
+
+BENCHMARK(BM_EngineAst_Gaussian5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineBytecode_Gaussian5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineAst_Sobel3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineBytecode_Sobel3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineAst_Bilateral9)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineBytecode_Bilateral9)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

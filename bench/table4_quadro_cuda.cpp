@@ -2,9 +2,16 @@
 #include <cstdio>
 
 #include "common/bilateral_table.hpp"
+#include "common/sim_engine_flag.hpp"
 #include "hwmodel/device_db.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (!hipacc::bench::HandleSimEngineFlag(argv[i])) {
+      std::fprintf(stderr, "usage: table4_quadro_cuda [--sim-engine=bytecode|ast]\n");
+      return 2;
+    }
+  }
   hipacc::bench::BilateralTableOptions options;
   options.device = hipacc::hw::QuadroFx5800();
   options.json_out = "BENCH_table4.json";

@@ -3,9 +3,16 @@
 #include <cstdio>
 
 #include "common/bilateral_table.hpp"
+#include "common/sim_engine_flag.hpp"
 #include "hwmodel/device_db.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (!hipacc::bench::HandleSimEngineFlag(argv[i])) {
+      std::fprintf(stderr, "usage: table7_hd6970_opencl [--sim-engine=bytecode|ast]\n");
+      return 2;
+    }
+  }
   hipacc::bench::BilateralTableOptions options;
   options.device = hipacc::hw::RadeonHd6970();
   options.json_out = "BENCH_table7.json";

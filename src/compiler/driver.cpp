@@ -127,6 +127,7 @@ Result<CompiledKernel> Retarget(const CompiledKernel& kernel,
     }
     if (reuse_ir) {
       SeedFromFrontend(ctx, FrontendFromArtifact(kernel));
+      ctx.artifact.bytecode = kernel.bytecode;  // same IR, same programs
       return RunAndFinish(BuildTargetPipeline(), ctx, nullptr, &target_key);
     }
     if (std::optional<FrontendArtifacts> fe =
@@ -140,6 +141,7 @@ Result<CompiledKernel> Retarget(const CompiledKernel& kernel,
 
   if (reuse_ir) {
     SeedFromFrontend(ctx, FrontendFromArtifact(kernel));
+    ctx.artifact.bytecode = kernel.bytecode;  // same IR, same programs
     return RunAndFinish(BuildTargetPipeline(), ctx, nullptr, nullptr);
   }
   return RunAndFinish(BuildDevicePipeline(), ctx, nullptr, nullptr);

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,6 +27,7 @@
 
 namespace hipacc::sim {
 class TraceSink;
+struct ProgramSet;
 }  // namespace hipacc::sim
 
 namespace hipacc::compiler {
@@ -65,6 +67,10 @@ struct CompiledKernel {
   std::string source;  ///< emitted CUDA or OpenCL kernel text
   hw::KernelResources resources;
   hw::HeuristicChoice config;  ///< selected (or forced) configuration
+  /// Simulator bytecode compiled from device_ir by the "bytecode" pass.
+  /// Shared: artifact copies (compilation-cache entries, exploration lanes)
+  /// all reference the same programs. Null when the pass fell back.
+  std::shared_ptr<const sim::ProgramSet> bytecode;
 
   /// Provenance: the codegen options the IR was lowered with. Retarget
   /// skips re-lowering when they match the requested options.

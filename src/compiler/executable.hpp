@@ -32,6 +32,7 @@ class SimulatedExecutable {
     Result<runtime::LaunchHolder> holder =
         BuildLaunchTraced(kernel_.config.config, bindings);
     if (!holder.ok()) return holder.status();
+    holder.value().launch.programs = kernel_.bytecode.get();
     return simulator_.Execute(holder.value().launch);
   }
 
@@ -45,6 +46,7 @@ class SimulatedExecutable {
     Result<runtime::LaunchHolder> holder = BuildLaunchTraced(
         config_override.value_or(kernel_.config.config), bindings);
     if (!holder.ok()) return holder.status();
+    holder.value().launch.programs = kernel_.bytecode.get();
     return simulator_.Measure(holder.value().launch, samples_per_region);
   }
 

@@ -4,6 +4,7 @@
 
 #include "codegen/lower.hpp"
 #include "codegen/resource_estimator.hpp"
+#include "sim/bytecode.hpp"
 #include "sim/trace.hpp"
 #include "support/stopwatch.hpp"
 #include "support/string_utils.hpp"
@@ -67,6 +68,8 @@ class LowerPass final : public Pass {
     if (!lowered.ok()) return lowered.status();
     ctx.artifact.device_ir = std::move(lowered).take();
     ctx.artifact.codegen = ctx.options.codegen;
+    // Any previously attached bytecode was compiled from the old IR.
+    ctx.artifact.bytecode.reset();
     ctx.Note(name(),
              StrFormat("lowered for %s: %zu variants, %zu buffers",
                        to_string(ctx.artifact.device_ir.backend),
@@ -150,6 +153,49 @@ class EmitPass final : public Pass {
   }
 };
 
+/// Bytecode: DeviceKernel -> region-specialised simulator programs. Runs
+/// after emit so the artifact is complete either way; a bail-out (an IR
+/// construct the bytecode compiler doesn't model) downgrades to a warning
+/// and the simulator uses the AST interpreter for this kernel.
+class BytecodePass final : public Pass {
+ public:
+  const char* name() const override { return "bytecode"; }
+  Status Run(CompilationContext& ctx) const override {
+    if (ctx.artifact.bytecode) {
+      ctx.Note(name(), StrFormat("reusing %zu cached programs",
+                                 ctx.artifact.bytecode->programs.size()));
+      return Status::Ok();
+    }
+    Result<std::shared_ptr<const sim::ProgramSet>> compiled =
+        sim::CompileToBytecode(ctx.artifact.device_ir);
+    if (!compiled.ok()) {
+      ctx.Warn(name(), "falling back to AST engine: " +
+                           compiled.status().ToString());
+      ctx.Note(name(), "no bytecode programs attached");
+      if (ctx.options.trace)
+        ctx.options.trace->IncrementCounter("bytecode.fallback");
+      return Status::Ok();
+    }
+    ctx.artifact.bytecode = std::move(compiled).take();
+    ctx.Note(name(),
+             StrFormat("compiled %zu programs, %lld instructions",
+                       ctx.artifact.bytecode->programs.size(),
+                       static_cast<long long>(
+                           ctx.artifact.bytecode->total_instructions)));
+    if (ctx.options.trace) {
+      ctx.options.trace->IncrementCounter(
+          "bytecode.programs",
+          static_cast<long long>(ctx.artifact.bytecode->programs.size()));
+      ctx.options.trace->IncrementCounter(
+          "bytecode.instructions", ctx.artifact.bytecode->total_instructions);
+      ctx.options.trace->IncrementCounter(
+          "bytecode.compile_us",
+          static_cast<long long>(ctx.artifact.bytecode->compile_ms * 1000.0));
+    }
+    return Status::Ok();
+  }
+};
+
 }  // namespace
 
 PassManager& PassManager::Add(std::unique_ptr<Pass> pass) {
@@ -212,6 +258,9 @@ std::unique_ptr<Pass> MakeSelectConfigPass() {
   return std::make_unique<SelectConfigPass>();
 }
 std::unique_ptr<Pass> MakeEmitPass() { return std::make_unique<EmitPass>(); }
+std::unique_ptr<Pass> MakeBytecodePass() {
+  return std::make_unique<BytecodePass>();
+}
 
 PassManager BuildCompilePipeline() {
   PassManager pm;
@@ -219,7 +268,8 @@ PassManager BuildCompilePipeline() {
       .Add(MakeLowerPass())
       .Add(MakeEstimateResourcesPass())
       .Add(MakeSelectConfigPass())
-      .Add(MakeEmitPass());
+      .Add(MakeEmitPass())
+      .Add(MakeBytecodePass());
   return pm;
 }
 
@@ -228,13 +278,14 @@ PassManager BuildDevicePipeline() {
   pm.Add(MakeLowerPass())
       .Add(MakeEstimateResourcesPass())
       .Add(MakeSelectConfigPass())
-      .Add(MakeEmitPass());
+      .Add(MakeEmitPass())
+      .Add(MakeBytecodePass());
   return pm;
 }
 
 PassManager BuildTargetPipeline() {
   PassManager pm;
-  pm.Add(MakeSelectConfigPass()).Add(MakeEmitPass());
+  pm.Add(MakeSelectConfigPass()).Add(MakeEmitPass()).Add(MakeBytecodePass());
   return pm;
 }
 

@@ -6,13 +6,19 @@
 // attached the manager additionally records one span per pass (category
 // "compile"), so `--trace-out` timelines show where compile time goes.
 //
-// The driver (compiler/driver.cpp) assembles three pipelines from the five
+// The driver (compiler/driver.cpp) assembles three pipelines from the six
 // concrete passes:
-//   BuildCompilePipeline()  parse -> lower -> estimate -> select_config -> emit
-//   BuildDevicePipeline()          lower -> estimate -> select_config -> emit
-//   BuildTargetPipeline()                                select_config -> emit
+//   BuildCompilePipeline()  parse -> lower -> estimate -> select_config
+//                                 -> emit -> bytecode
+//   BuildDevicePipeline()          lower -> estimate -> select_config
+//                                 -> emit -> bytecode
+//   BuildTargetPipeline()                   select_config -> emit -> bytecode
 // The shorter pipelines run when earlier products are already available —
-// from Retarget provenance or from a compilation-cache hit.
+// from Retarget provenance or from a compilation-cache hit. The bytecode
+// pass compiles the device IR into the simulator's register-machine
+// programs (sim/bytecode.hpp); it runs in every pipeline but reuses an
+// already-attached program set, and a bytecode bail-out is a warning, not
+// an error (the simulator falls back to the AST interpreter).
 #pragma once
 
 #include <functional>
@@ -98,13 +104,14 @@ class PassManager {
   DumpHook dump_hook_;
 };
 
-/// The five concrete passes, exposed individually so callers can assemble
+/// The six concrete passes, exposed individually so callers can assemble
 /// custom pipelines (tests, tools).
 std::unique_ptr<Pass> MakeParsePass();
 std::unique_ptr<Pass> MakeLowerPass();
 std::unique_ptr<Pass> MakeEstimateResourcesPass();
 std::unique_ptr<Pass> MakeSelectConfigPass();
 std::unique_ptr<Pass> MakeEmitPass();
+std::unique_ptr<Pass> MakeBytecodePass();
 
 /// Standard pipelines (see file comment for their stage lists).
 PassManager BuildCompilePipeline();
@@ -112,8 +119,8 @@ PassManager BuildDevicePipeline();
 PassManager BuildTargetPipeline();
 
 /// Names of the full pipeline's passes, in order ("parse", "lower",
-/// "estimate", "select_config", "emit") — the vocabulary accepted by
-/// --dump-after.
+/// "estimate", "select_config", "emit", "bytecode") — the vocabulary
+/// accepted by --dump-after.
 const std::vector<std::string>& DefaultPassNames();
 
 /// Standard dump hook: prints the pipeline state after `pass` to stderr

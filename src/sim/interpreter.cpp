@@ -6,35 +6,13 @@
 
 #include "ast/builtins.hpp"
 #include "dsl/boundary.hpp"
+#include "sim/block_state.hpp"
 #include "support/string_utils.hpp"
 
 namespace hipacc::sim {
 namespace {
 
 using namespace hipacc::ast;
-
-/// Maximum SIMD width across the device database (AMD wavefronts are 64
-/// lanes wide). Warp values and lane masks carry inline fixed-size storage
-/// sized for it, so the interpreter's hot path — one WarpVal per evaluated
-/// IR node — performs no heap allocation.
-constexpr int kMaxWarpWidth = 64;
-
-/// Per-lane values of one warp. Values are stored as doubles but all
-/// float-typed arithmetic is performed in float precision so interpreted
-/// results match the DSL's host executor bit for bit. Lanes beyond the
-/// device's warp width stay zero and are never read.
-struct WarpVal {
-  ScalarType type = ScalarType::kFloat;
-  std::array<double, kMaxWarpWidth> lanes{};
-};
-
-using LaneMask = std::array<unsigned char, kMaxWarpWidth>;
-
-bool AnyActive(const LaneMask& mask) {
-  for (const unsigned char b : mask)
-    if (b) return true;
-  return false;
-}
 
 /// Flat variable environment. Kernels declare a handful of locals, so an
 /// insertion-ordered vector with linear name lookup beats a node-based map:
@@ -52,13 +30,10 @@ class Env {
 
   /// Get-or-create. `name` must outlive the environment (all callers pass
   /// strings owned by the kernel IR).
-  WarpVal& Var(const std::string& name) {
-    if (WarpVal* v = Find(name)) return *v;
-    slots_.push_back(Slot{&name, WarpVal{}});
-    return slots_.back().val;
-  }
+  WarpVal& Var(const std::string& name) { return slots_[SlotOf(name)].val; }
 
-  /// Index of `name`, creating the variable if needed.
+  /// Index of `name`, creating the variable if needed. The single scan
+  /// shared by every get-or-create path.
   std::size_t SlotOf(const std::string& name) {
     for (std::size_t i = 0; i < slots_.size(); ++i)
       if (*slots_[i].name == name) return i;
@@ -76,156 +51,39 @@ class Env {
   std::vector<Slot> slots_;
 };
 
-/// ALU cost of one boundary guard in one direction, per mode (the knob that
-/// makes manual uniformly-guarded kernels vary across modes, Section VI-A).
-int GuardAluCost(BoundaryMode mode) {
-  switch (mode) {
-    case BoundaryMode::kClamp: return 1;    // min or max folds into addressing
-    case BoundaryMode::kMirror: return 2;   // compare + reflect
-    case BoundaryMode::kRepeat: return 3;   // compare + wrap (+ extra range op)
-    case BoundaryMode::kConstant: return 7; // divergent predicated dual path:
-                                            // compare chain, branch, select
-    case BoundaryMode::kUndefined: return 0;
-  }
-  return 0;
-}
-
 class BlockRunner {
  public:
   BlockRunner(const Launch& launch, const hw::DeviceSpec& device,
               int block_x_idx, int block_y_idx, Metrics* metrics)
-      : launch_(launch), device_(device), bix_(block_x_idx),
-        biy_(block_y_idx), metrics_(metrics), memory_(device) {}
+      : st_(launch, device, block_x_idx, block_y_idx, metrics) {}
 
   Status Run() {
-    const DeviceKernel& kernel = *launch_.kernel;
-    const hw::RegionGrid rg = hw::ComputeRegionGrid(
-        launch_.config, launch_.width, launch_.height, kernel.bh_window);
-    const Region region = kernel.has_boundary_variants()
-                              ? rg.RegionOf(bix_, biy_)
-                              : Region::kInterior;
-    const RegionVariant* variant = kernel.FindVariant(region);
-    if (!variant)
-      return Status::Internal("kernel has no variant for region " +
-                              std::string(to_string(region)));
+    Result<BlockState::Plan> begun = st_.Begin();
+    if (!begun.ok()) return begun.status();
+    const BlockState::Plan plan = begun.value();
+    const RegionVariant* variant = st_.launch.kernel->FindVariant(plan.region);
 
-    // Block dispatch cost (Listing 8's conditional chain): a handful of
-    // compares per thread, uniform across the warp.
-    if (kernel.has_boundary_variants()) metrics_->alu_ops += 4;
-
-    warp_size_ = device_.simd_width;
-    if (warp_size_ > kMaxWarpWidth)
-      return Status::Internal(
-          StrFormat("SIMD width %d exceeds the interpreter's lane limit %d",
-                    warp_size_, kMaxWarpWidth));
-    const int threads = launch_.config.threads();
-    const int warps = (threads + warp_size_ - 1) / warp_size_;
-
-    if (kernel.smem) HIPACC_RETURN_IF_ERROR(StageScratchpad(warps, threads));
-
-    for (int w = 0; w < warps; ++w) {
-      BuildWarpContext(w, threads);
-      if (!AnyActive(active_)) continue;
+    for (int w = 0; w < plan.warps; ++w) {
+      st_.BuildWarpContext(w, plan.threads);
+      if (!AnyActive(st_.active)) continue;
       Env env;
       SeedParams(&env);
-      HIPACC_RETURN_IF_ERROR(Exec(variant->body, active_, &env));
+      HIPACC_RETURN_IF_ERROR(Exec(variant->body, st_.active, &env));
     }
     return Status::Ok();
   }
 
  private:
-  // ---- warp context ---------------------------------------------------------
-  void BuildWarpContext(int warp, int threads) {
-    const int bx = launch_.config.block_x;
-    tid_x_.fill(0);
-    tid_y_.fill(0);
-    gid_x_.fill(0);
-    gid_y_.fill(0);
-    active_.fill(0);
-    for (int lane = 0; lane < warp_size_; ++lane) {
-      const int lin = warp * warp_size_ + lane;
-      if (lin >= threads) continue;
-      const int tx = lin % bx;
-      const int ty = lin / bx;
-      tid_x_[static_cast<size_t>(lane)] = tx;
-      tid_y_[static_cast<size_t>(lane)] = ty;
-      const int gx = bix_ * bx + tx;
-      const int gy = biy_ * launch_.config.block_y + ty;
-      gid_x_[static_cast<size_t>(lane)] = gx;
-      gid_y_[static_cast<size_t>(lane)] = gy;
-      // The emitted guard `if (gid_x >= IW || gid_y >= IH) return;`.
-      active_[static_cast<size_t>(lane)] =
-          gx < launch_.width && gy < launch_.height;
-    }
-    metrics_->alu_ops += 4;  // gid computation + bounds guard
-  }
-
   void SeedParams(Env* env) {
-    for (const auto& p : launch_.kernel->params) {
-      const auto it = launch_.scalar_args.find(p.name);
-      const double v = it != launch_.scalar_args.end() ? it->second : 0.0;
+    for (const auto& p : st_.launch.kernel->params) {
+      const auto it = st_.launch.scalar_args.find(p.name);
+      const double v = it != st_.launch.scalar_args.end() ? it->second : 0.0;
       WarpVal& val = env->Var(p.name);
       val.type = p.type;
       val.lanes.fill(p.type == ScalarType::kFloat
                          ? static_cast<double>(static_cast<float>(v))
                          : v);
     }
-  }
-
-  // ---- scratchpad staging (Listing 7) --------------------------------------
-  Status StageScratchpad(int warps, int threads) {
-    const SmemPlan& plan = *launch_.kernel->smem;
-    const BufferBinding* src = launch_.FindBuffer(plan.accessor);
-    if (!src)
-      return Status::Invalid("unbound staged accessor " + plan.accessor);
-    const int bx = launch_.config.block_x;
-    const int by = launch_.config.block_y;
-    const int hx = plan.window.half_x;
-    const int hy = plan.window.half_y;
-    tile_w_ = bx + 2 * hx + 1;  // +1 column: bank-conflict padding
-    tile_h_ = by + 2 * hy;
-    tile_.assign(static_cast<size_t>(tile_w_) * tile_h_, 0.0f);
-
-    for (int w = 0; w < warps; ++w) {
-      BuildWarpContext(w, threads);
-      // Staging happens BEFORE the image-extent guard in the generated code
-      // (Listing 7): threads whose own output pixel lies outside the image
-      // still cooperate in loading the tile, so no warp is skipped here.
-      for (int ty_off = 0; ty_off < by + 2 * hy; ty_off += by) {
-        for (int tx_off = 0; tx_off < bx + 2 * hx; tx_off += bx) {
-          std::vector<std::uint64_t> gaddrs, saddrs;
-          std::vector<std::pair<size_t, float>> stores;
-          for (int lane = 0; lane < warp_size_; ++lane) {
-            const size_t l = static_cast<size_t>(lane);
-            const int lin = w * warp_size_ + lane;
-            if (lin >= threads) continue;
-            const int xx = static_cast<int>(tid_x_[l]) + tx_off;
-            const int yy = static_cast<int>(tid_y_[l]) + ty_off;
-            if (xx >= bx + 2 * hx || yy >= by + 2 * hy) continue;
-            const int gx = bix_ * bx + xx - hx;
-            const int gy = biy_ * by + yy - hy;
-            const int rx = dsl::ResolveBoundaryIndex(gx, src->width, plan.boundary);
-            const int ry = dsl::ResolveBoundaryIndex(gy, src->height, plan.boundary);
-            float value = plan.constant_value;
-            if (rx >= 0 && ry >= 0) {
-              value = src->data[static_cast<size_t>(ry) * src->stride + rx];
-              gaddrs.push_back(static_cast<std::uint64_t>(ry) * src->stride + rx);
-            }
-            const size_t tidx = static_cast<size_t>(yy) * tile_w_ + xx;
-            stores.emplace_back(tidx, value);
-            saddrs.push_back(tidx);
-          }
-          if (stores.empty()) continue;
-          metrics_->alu_ops += 6;  // index arithmetic of the staging loop
-          metrics_->alu_ops += 2 * GuardAluCost(plan.boundary);
-          memory_.GlobalAccess(gaddrs, /*is_write=*/false, metrics_);
-          memory_.SharedAccess(saddrs, metrics_);
-          for (const auto& [idx, v] : stores) tile_[idx] = v;
-        }
-      }
-    }
-    metrics_->alu_ops += 1;  // barrier
-    return Status::Ok();
   }
 
   // ---- statements -----------------------------------------------------------
@@ -257,8 +115,8 @@ class BlockRunner {
           return Status::Internal("assignment to unknown variable " + s.name);
         WarpVal& var = *found;
         rhs = Convert(rhs, var.type);
-        metrics_->alu_ops += s.assign_op == AssignOp::kAssign ? 0 : 1;
-        for (int lane = 0; lane < warp_size_; ++lane) {
+        st_.metrics->alu_ops += s.assign_op == AssignOp::kAssign ? 0 : 1;
+        for (int lane = 0; lane < st_.warp_size; ++lane) {
           const size_t l = static_cast<size_t>(lane);
           if (!mask[l]) continue;
           var.lanes[l] = Combine(var.type, s.assign_op, var.lanes[l], rhs.lanes[l]);
@@ -268,9 +126,9 @@ class BlockRunner {
       case StmtKind::kIf: {
         WarpVal cond;
         HIPACC_RETURN_IF_ERROR(Eval(s.cond, mask, env, &cond));
-        metrics_->alu_ops += 1;
+        st_.metrics->alu_ops += 1;
         LaneMask then_mask(mask), else_mask(mask);
-        for (int lane = 0; lane < warp_size_; ++lane) {
+        for (int lane = 0; lane < st_.warp_size; ++lane) {
           const size_t l = static_cast<size_t>(lane);
           const bool taken = mask[l] && cond.lanes[l] != 0.0;
           then_mask[l] = taken;
@@ -296,16 +154,16 @@ class BlockRunner {
           LaneMask iter_mask(mask);
           bool any = false;
           const WarpVal& cur = env->At(slot);
-          for (int lane = 0; lane < warp_size_; ++lane) {
+          for (int lane = 0; lane < st_.warp_size; ++lane) {
             const size_t l = static_cast<size_t>(lane);
             iter_mask[l] = mask[l] && cur.lanes[l] <= hi.lanes[l];
             any = any || iter_mask[l];
           }
-          metrics_->alu_ops += 2;  // compare + increment
+          st_.metrics->alu_ops += 2;  // compare + increment
           if (!any) break;
           HIPACC_RETURN_IF_ERROR(Exec(s.body[0], iter_mask, env));
           WarpVal& loop_var = env->At(slot);
-          for (int lane = 0; lane < warp_size_; ++lane) {
+          for (int lane = 0; lane < st_.warp_size; ++lane) {
             const size_t l = static_cast<size_t>(lane);
             if (iter_mask[l]) loop_var.lanes[l] += s.step;
           }
@@ -313,7 +171,7 @@ class BlockRunner {
         return Status::Ok();
       }
       case StmtKind::kBarrier:
-        metrics_->alu_ops += 1;
+        st_.metrics->alu_ops += 1;
         return Status::Ok();
       case StmtKind::kMemWrite:
         return ExecMemWrite(s, mask, env);
@@ -324,7 +182,7 @@ class BlockRunner {
   }
 
   Status ExecMemWrite(const Stmt& s, const LaneMask& mask, Env* env) {
-    const BufferBinding* buf = launch_.FindBuffer(s.name);
+    const BufferBinding* buf = st_.launch.FindBuffer(s.name);
     if (!buf || !buf->writable)
       return Status::Invalid("write to unbound or read-only buffer " + s.name);
     WarpVal value, x, y;
@@ -332,22 +190,22 @@ class BlockRunner {
     HIPACC_RETURN_IF_ERROR(Eval(s.x, mask, env, &x));
     HIPACC_RETURN_IF_ERROR(Eval(s.y, mask, env, &y));
     value = Convert(value, ScalarType::kFloat);
-    metrics_->alu_ops += 2;  // address arithmetic
-    addr_scratch_.clear();
-    for (int lane = 0; lane < warp_size_; ++lane) {
+    st_.metrics->alu_ops += 2;  // address arithmetic
+    st_.addr_scratch.clear();
+    for (int lane = 0; lane < st_.warp_size; ++lane) {
       const size_t l = static_cast<size_t>(lane);
       if (!mask[l]) continue;
       const int px = static_cast<int>(x.lanes[l]);
       const int py = static_cast<int>(y.lanes[l]);
       if (px < 0 || px >= buf->width || py < 0 || py >= buf->height) {
-        ++metrics_->oob_violations;
+        ++st_.metrics->oob_violations;
         continue;
       }
       const std::uint64_t addr = static_cast<std::uint64_t>(py) * buf->stride + px;
       buf->data[addr] = static_cast<float>(value.lanes[l]);
-      addr_scratch_.push_back(addr);
+      st_.addr_scratch.push_back(addr);
     }
-    memory_.GlobalAccess(addr_scratch_, /*is_write=*/true, metrics_);
+    st_.memory.GlobalAccess(st_.addr_scratch, /*is_write=*/true, st_.metrics);
     return Status::Ok();
   }
 
@@ -373,9 +231,9 @@ class BlockRunner {
       case ExprKind::kUnary: {
         WarpVal v;
         HIPACC_RETURN_IF_ERROR(Eval(e.args[0], mask, env, &v));
-        metrics_->alu_ops += 1;
+        st_.metrics->alu_ops += 1;
         out->type = e.type;
-        for (size_t l = 0; l < static_cast<size_t>(warp_size_); ++l) {
+        for (size_t l = 0; l < static_cast<size_t>(st_.warp_size); ++l) {
           if (e.unary_op == UnaryOp::kNot)
             out->lanes[l] = v.lanes[l] == 0.0 ? 1.0 : 0.0;
           else
@@ -392,9 +250,9 @@ class BlockRunner {
         HIPACC_RETURN_IF_ERROR(Eval(e.args[0], mask, env, &cond));
         HIPACC_RETURN_IF_ERROR(Eval(e.args[1], mask, env, &tval));
         HIPACC_RETURN_IF_ERROR(Eval(e.args[2], mask, env, &fval));
-        metrics_->alu_ops += 1;  // select
+        st_.metrics->alu_ops += 1;  // select
         out->type = e.type;
-        for (size_t l = 0; l < static_cast<size_t>(warp_size_); ++l)
+        for (size_t l = 0; l < static_cast<size_t>(st_.warp_size); ++l)
           out->lanes[l] = cond.lanes[l] != 0.0 ? tval.lanes[l] : fval.lanes[l];
         return Status::Ok();
       }
@@ -403,7 +261,7 @@ class BlockRunner {
       case ExprKind::kCast: {
         WarpVal v;
         HIPACC_RETURN_IF_ERROR(Eval(e.args[0], mask, env, &v));
-        metrics_->alu_ops += 1;
+        st_.metrics->alu_ops += 1;
         *out = Convert(v, e.type);
         return Status::Ok();
       }
@@ -434,13 +292,13 @@ class BlockRunner {
     const bool float_math = operand_type == ScalarType::kFloat;
     // Division and modulo expand into multi-instruction sequences.
     if (e.binary_op == BinaryOp::kDiv)
-      metrics_->alu_ops += float_math ? 5 : 16;
+      st_.metrics->alu_ops += float_math ? 5 : 16;
     else if (e.binary_op == BinaryOp::kMod)
-      metrics_->alu_ops += 16;
+      st_.metrics->alu_ops += 16;
     else
-      metrics_->alu_ops += 1;
+      st_.metrics->alu_ops += 1;
     out->type = e.type;
-    for (size_t l = 0; l < static_cast<size_t>(warp_size_); ++l) {
+    for (size_t l = 0; l < static_cast<size_t>(st_.warp_size); ++l) {
       const double x = a.lanes[l];
       const double y = b.lanes[l];
       double r = 0.0;
@@ -488,16 +346,16 @@ class BlockRunner {
     const auto builtin = FindBuiltin(e.name);
     if (!builtin) return Status::Internal("unknown builtin " + e.name);
     switch (builtin->cost) {
-      case OpCost::kAlu: metrics_->alu_ops += 1; break;
-      case OpCost::kSfu: metrics_->sfu_calls += 1; break;
+      case OpCost::kAlu: st_.metrics->alu_ops += 1; break;
+      case OpCost::kSfu: st_.metrics->sfu_calls += 1; break;
       case OpCost::kMulti:
-        metrics_->sfu_calls += 2;
-        metrics_->alu_ops += 4;
+        st_.metrics->sfu_calls += 2;
+        st_.metrics->alu_ops += 4;
         break;
     }
 
     out->type = builtin->result;
-    for (size_t l = 0; l < static_cast<size_t>(warp_size_); ++l) {
+    for (size_t l = 0; l < static_cast<size_t>(st_.warp_size); ++l) {
       auto arg = [&](size_t i) { return static_cast<float>(args[i].lanes[l]); };
       float r = 0.0f;
       if (e.name == "exp") r = std::exp(arg(0));
@@ -538,22 +396,23 @@ class BlockRunner {
 
   Status EvalThreadIndex(ThreadIndexKind kind, WarpVal* out) {
     out->type = ScalarType::kInt;
-    const hw::GridDim grid =
-        hw::ComputeGrid(launch_.config, launch_.width, launch_.height);
-    for (int lane = 0; lane < warp_size_; ++lane) {
+    const hw::GridDim grid = hw::ComputeGrid(st_.launch.config,
+                                             st_.launch.width,
+                                             st_.launch.height);
+    for (int lane = 0; lane < st_.warp_size; ++lane) {
       const size_t l = static_cast<size_t>(lane);
       double v = 0.0;
       switch (kind) {
-        case ThreadIndexKind::kThreadIdxX: v = tid_x_[l]; break;
-        case ThreadIndexKind::kThreadIdxY: v = tid_y_[l]; break;
-        case ThreadIndexKind::kBlockIdxX: v = bix_; break;
-        case ThreadIndexKind::kBlockIdxY: v = biy_; break;
-        case ThreadIndexKind::kBlockDimX: v = launch_.config.block_x; break;
-        case ThreadIndexKind::kBlockDimY: v = launch_.config.block_y; break;
+        case ThreadIndexKind::kThreadIdxX: v = st_.tid_x[l]; break;
+        case ThreadIndexKind::kThreadIdxY: v = st_.tid_y[l]; break;
+        case ThreadIndexKind::kBlockIdxX: v = st_.bix; break;
+        case ThreadIndexKind::kBlockIdxY: v = st_.biy; break;
+        case ThreadIndexKind::kBlockDimX: v = st_.launch.config.block_x; break;
+        case ThreadIndexKind::kBlockDimY: v = st_.launch.config.block_y; break;
         case ThreadIndexKind::kGridDimX: v = grid.blocks_x; break;
         case ThreadIndexKind::kGridDimY: v = grid.blocks_y; break;
-        case ThreadIndexKind::kGlobalIdX: v = gid_x_[l]; break;
-        case ThreadIndexKind::kGlobalIdY: v = gid_y_[l]; break;
+        case ThreadIndexKind::kGlobalIdX: v = st_.gid_x[l]; break;
+        case ThreadIndexKind::kGlobalIdY: v = st_.gid_y[l]; break;
       }
       out->lanes[l] = v;
     }
@@ -586,64 +445,64 @@ class BlockRunner {
 
     switch (e.space) {
       case MemSpace::kShared: {
-        addr_scratch_.clear();
-        metrics_->alu_ops += 2;  // tile index arithmetic
-        for (int lane = 0; lane < warp_size_; ++lane) {
+        st_.addr_scratch.clear();
+        st_.metrics->alu_ops += 2;  // tile index arithmetic
+        for (int lane = 0; lane < st_.warp_size; ++lane) {
           const size_t l = static_cast<size_t>(lane);
           if (!mask[l]) continue;
           const int sx = static_cast<int>(x.lanes[l]);
           const int sy = static_cast<int>(y.lanes[l]);
-          if (sx < 0 || sx >= tile_w_ || sy < 0 || sy >= tile_h_) {
-            ++metrics_->oob_violations;
+          if (sx < 0 || sx >= st_.tile_w || sy < 0 || sy >= st_.tile_h) {
+            ++st_.metrics->oob_violations;
             continue;
           }
-          const std::uint64_t addr = static_cast<std::uint64_t>(sy) * tile_w_ + sx;
-          out->lanes[l] = static_cast<double>(tile_[addr]);
-          addr_scratch_.push_back(addr);
+          const std::uint64_t addr = static_cast<std::uint64_t>(sy) * st_.tile_w + sx;
+          out->lanes[l] = static_cast<double>(st_.tile[addr]);
+          st_.addr_scratch.push_back(addr);
         }
-        memory_.SharedAccess(addr_scratch_, metrics_);
+        st_.memory.SharedAccess(st_.addr_scratch, st_.metrics);
         return Status::Ok();
       }
       case MemSpace::kConstant: {
-        const auto it = launch_.const_masks.find(e.name);
-        if (it == launch_.const_masks.end())
+        const auto it = st_.launch.const_masks.find(e.name);
+        if (it == st_.launch.const_masks.end())
           return Status::Invalid("unbound constant mask " + e.name);
         const int mask_w = MaskWidth(e.name);
-        addr_scratch_.clear();
-        metrics_->alu_ops += 2;
-        for (int lane = 0; lane < warp_size_; ++lane) {
+        st_.addr_scratch.clear();
+        st_.metrics->alu_ops += 2;
+        for (int lane = 0; lane < st_.warp_size; ++lane) {
           const size_t l = static_cast<size_t>(lane);
           if (!mask[l]) continue;
           const int sx = static_cast<int>(x.lanes[l]);
           const int sy = static_cast<int>(y.lanes[l]);
           const std::uint64_t addr = static_cast<std::uint64_t>(sy) * mask_w + sx;
           if (addr >= it->second.size()) {
-            ++metrics_->oob_violations;
+            ++st_.metrics->oob_violations;
             continue;
           }
           out->lanes[l] = static_cast<double>(it->second[addr]);
-          addr_scratch_.push_back(addr);
+          st_.addr_scratch.push_back(addr);
         }
-        memory_.ConstantAccess(addr_scratch_, metrics_);
+        st_.memory.ConstantAccess(st_.addr_scratch, st_.metrics);
         return Status::Ok();
       }
       case MemSpace::kGlobal:
       case MemSpace::kTexture: {
-        const BufferBinding* buf = launch_.FindBuffer(e.name);
+        const BufferBinding* buf = st_.launch.FindBuffer(e.name);
         if (!buf) return Status::Invalid("unbound buffer " + e.name);
         const BufferParam* param = FindBufferParam(e.name);
         const bool hardware_bh = param && param->texture_2d_array;
         // Guard + address arithmetic cost.
-        metrics_->alu_ops += 2;
+        st_.metrics->alu_ops += 2;
         if (!hardware_bh) {
           const int guard_cost = GuardAluCost(e.boundary);
-          metrics_->alu_ops +=
+          st_.metrics->alu_ops +=
               static_cast<std::uint64_t>(e.checks.count()) * guard_cost;
           if (e.boundary == BoundaryMode::kConstant && e.checks.any())
-            metrics_->alu_ops += 1;  // final select
+            st_.metrics->alu_ops += 1;  // final select
         }
-        addr_scratch_.clear();
-        for (int lane = 0; lane < warp_size_; ++lane) {
+        st_.addr_scratch.clear();
+        for (int lane = 0; lane < st_.warp_size; ++lane) {
           const size_t l = static_cast<size_t>(lane);
           if (!mask[l]) continue;
           const int cx = static_cast<int>(x.lanes[l]);
@@ -670,7 +529,7 @@ class BlockRunner {
           const int ry = ResolveCoord(cy, buf->height, e.boundary,
                                       e.checks.lo_y, e.checks.hi_y,
                                       hardware_bh || tex, &violation);
-          if (violation) ++metrics_->oob_violations;
+          if (violation) ++st_.metrics->oob_violations;
           if (rx < 0 || ry < 0) {
             out->lanes[l] = static_cast<double>(e.constant_value);
             continue;
@@ -678,12 +537,13 @@ class BlockRunner {
           const std::uint64_t addr =
               static_cast<std::uint64_t>(ry) * buf->stride + rx;
           out->lanes[l] = static_cast<double>(buf->data[addr]);
-          addr_scratch_.push_back(addr);
+          st_.addr_scratch.push_back(addr);
         }
         if (e.space == MemSpace::kTexture)
-          memory_.TextureAccess(addr_scratch_, metrics_);
+          st_.memory.TextureAccess(st_.addr_scratch, st_.metrics);
         else
-          memory_.GlobalAccess(addr_scratch_, /*is_write=*/false, metrics_);
+          st_.memory.GlobalAccess(st_.addr_scratch, /*is_write=*/false,
+                                  st_.metrics);
         return Status::Ok();
       }
     }
@@ -691,15 +551,15 @@ class BlockRunner {
   }
 
   int MaskWidth(const std::string& name) const {
-    for (const auto& m : launch_.kernel->const_masks)
+    for (const auto& m : st_.launch.kernel->const_masks)
       if (m.name == name) return m.size_x;
-    for (const auto& m : launch_.kernel->global_masks)
+    for (const auto& m : st_.launch.kernel->global_masks)
       if (m.name == name) return m.size_x;
     return 1;
   }
 
   const BufferParam* FindBufferParam(const std::string& name) const {
-    for (const auto& buf : launch_.kernel->buffers)
+    for (const auto& buf : st_.launch.kernel->buffers)
       if (buf.name == name) return &buf;
     return nullptr;
   }
@@ -741,25 +601,7 @@ class BlockRunner {
     return out;
   }
 
-  const Launch& launch_;
-  const hw::DeviceSpec& device_;
-  int bix_;
-  int biy_;
-  Metrics* metrics_;
-  MemoryModel memory_;
-  int warp_size_ = 32;
-
-  std::array<double, kMaxWarpWidth> tid_x_{}, tid_y_{}, gid_x_{}, gid_y_{};
-  LaneMask active_{};
-
-  // Reused per-access coalescing address buffer (capacity persists across
-  // the block, so the memory-model calls allocate only on first use).
-  std::vector<std::uint64_t> addr_scratch_;
-
-  // Scratchpad tile of this block.
-  std::vector<float> tile_;
-  int tile_w_ = 0;
-  int tile_h_ = 0;
+  BlockState st_;
 };
 
 }  // namespace

@@ -13,8 +13,14 @@
 
 namespace hipacc::sim {
 
+struct ProgramSet;  // sim/bytecode.hpp
+
 struct Launch {
   const ast::DeviceKernel* kernel = nullptr;
+  /// Pre-compiled bytecode programs for `kernel` (owned by the compiled
+  /// artifact). Null is fine: the simulator compiles lazily — or runs the
+  /// AST engine when bytecode is disabled or compilation fell back.
+  const ProgramSet* programs = nullptr;
   hw::KernelConfig config{128, 1};
   /// Iteration space == output image extent.
   int width = 0;

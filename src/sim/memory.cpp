@@ -1,32 +1,55 @@
 #include "sim/memory.hpp"
 
 #include <algorithm>
-#include <set>
+#include <array>
 
 namespace hipacc::sim {
 
+namespace {
+
+/// Sorts `v` and drops duplicates, leaving the distinct values in ascending
+/// order — the same order a std::set would iterate them in. The inputs are
+/// one warp's addresses (at most 32), so this is far cheaper than
+/// tree-based deduplication.
+void SortUnique(std::vector<std::uint64_t>* v) {
+  // Coalesced warps produce addresses that are already ascending, so check
+  // before paying for a sort.
+  if (!std::is_sorted(v->begin(), v->end())) std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace
+
 bool SegmentCache::Access(std::uint64_t segment) {
   ++stamp_;
-  const auto it = entries_.find(segment);
-  if (it != entries_.end()) {
-    it->second = stamp_;
-    return true;
+  const std::size_t n = segments_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (segments_[i] == segment) {
+      stamps_[i] = stamp_;
+      return true;
+    }
   }
-  if (static_cast<int>(entries_.size()) >= capacity_) {
+  if (static_cast<int>(n) >= capacity_) {
     // Evict the least recently used entry.
-    auto lru = entries_.begin();
-    for (auto e = entries_.begin(); e != entries_.end(); ++e)
-      if (e->second < lru->second) lru = e;
-    entries_.erase(lru);
+    std::size_t lru = 0;
+    for (std::size_t i = 1; i < n; ++i)
+      if (stamps_[i] < stamps_[lru]) lru = i;
+    segments_[lru] = segment;
+    stamps_[lru] = stamp_;
+  } else {
+    segments_.push_back(segment);
+    stamps_.push_back(stamp_);
   }
-  entries_[segment] = stamp_;
   return false;
 }
 
 MemoryModel::MemoryModel(const hw::DeviceSpec& device)
     : device_(device),
       tex_cache_(device.tex_cache_bytes / device.mem_transaction_bytes),
-      l1_cache_(device.tex_cache_bytes / device.mem_transaction_bytes) {}
+      l1_cache_(device.tex_cache_bytes / device.mem_transaction_bytes) {
+  const unsigned t = static_cast<unsigned>(device.mem_transaction_bytes);
+  if (t != 0 && (t & (t - 1)) == 0) seg_shift_ = __builtin_ctz(t);
+}
 
 void MemoryModel::GlobalAccess(const std::vector<std::uint64_t>& addrs,
                                bool is_write, Metrics* metrics) {
@@ -37,18 +60,19 @@ void MemoryModel::GlobalAccess(const std::vector<std::uint64_t>& addrs,
     ++metrics->global_read_instrs;
 
   // Coalescing: one transaction per distinct segment touched by the warp.
-  std::set<std::uint64_t> segments;
-  for (const std::uint64_t addr : addrs) segments.insert(Segment(addr));
+  scratch_.clear();
+  for (const std::uint64_t addr : addrs) scratch_.push_back(Segment(addr));
+  SortUnique(&scratch_);
 
   if (!is_write && device_.has_global_l1) {
-    for (const std::uint64_t seg : segments) {
+    for (const std::uint64_t seg : scratch_) {
       if (l1_cache_.Access(seg))
         ++metrics->l1_hits;
       else
         ++metrics->global_transactions;
     }
   } else {
-    metrics->global_transactions += segments.size();
+    metrics->global_transactions += scratch_.size();
   }
 }
 
@@ -56,9 +80,10 @@ void MemoryModel::TextureAccess(const std::vector<std::uint64_t>& addrs,
                                 Metrics* metrics) {
   if (addrs.empty()) return;
   ++metrics->tex_read_instrs;
-  std::set<std::uint64_t> segments;
-  for (const std::uint64_t addr : addrs) segments.insert(Segment(addr));
-  for (const std::uint64_t seg : segments) {
+  scratch_.clear();
+  for (const std::uint64_t addr : addrs) scratch_.push_back(Segment(addr));
+  SortUnique(&scratch_);
+  for (const std::uint64_t seg : scratch_) {
     if (tex_cache_.Access(seg))
       ++metrics->tex_hits;
     else
@@ -69,11 +94,12 @@ void MemoryModel::TextureAccess(const std::vector<std::uint64_t>& addrs,
 void MemoryModel::ConstantAccess(const std::vector<std::uint64_t>& addrs,
                                  Metrics* metrics) {
   if (addrs.empty()) return;
-  std::set<std::uint64_t> distinct(addrs.begin(), addrs.end());
-  if (distinct.size() == 1)
+  scratch_ = addrs;
+  SortUnique(&scratch_);
+  if (scratch_.size() == 1)
     ++metrics->const_broadcasts;
   else
-    metrics->const_serialized += distinct.size();
+    metrics->const_serialized += scratch_.size();
 }
 
 void MemoryModel::SharedAccess(const std::vector<std::uint64_t>& addrs,
@@ -82,13 +108,17 @@ void MemoryModel::SharedAccess(const std::vector<std::uint64_t>& addrs,
   ++metrics->smem_accesses;
   // Bank conflict degree: lanes with the same address broadcast; distinct
   // addresses mapping to one bank serialize.
-  std::map<int, std::set<std::uint64_t>> per_bank;
-  for (const std::uint64_t addr : addrs)
-    per_bank[static_cast<int>(addr % static_cast<std::uint64_t>(device_.smem_banks))]
-        .insert(addr);
+  scratch_ = addrs;
+  SortUnique(&scratch_);
+  std::array<std::uint32_t, 64> per_bank{};
+  const std::uint64_t banks =
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(device_.smem_banks),
+                              per_bank.size());
   std::uint64_t degree = 1;
-  for (const auto& [bank, uniq] : per_bank)
-    degree = std::max<std::uint64_t>(degree, uniq.size());
+  for (const std::uint64_t addr : scratch_) {
+    const std::uint32_t count = ++per_bank[addr % banks];
+    degree = std::max<std::uint64_t>(degree, count);
+  }
   metrics->smem_conflict_cycles += degree - 1;
 }
 

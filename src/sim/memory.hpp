@@ -5,7 +5,6 @@
 // model.
 #pragma once
 
-#include <map>
 #include <string>
 #include <vector>
 
@@ -27,7 +26,9 @@ struct BufferBinding {
 };
 
 /// Small LRU cache over memory segments, used for both the texture cache and
-/// Fermi's L1 for global loads. Capacity is in segments.
+/// Fermi's L1 for global loads. Capacity is in segments. Stored as parallel
+/// flat arrays (tens of entries): a linear scan beats a tree for lookups of
+/// this size, and eviction scanned linearly for the oldest stamp anyway.
 class SegmentCache {
  public:
   SegmentCache() = default;
@@ -37,11 +38,16 @@ class SegmentCache {
   /// Touches a segment; returns true on hit.
   bool Access(std::uint64_t segment);
 
-  void Clear() { entries_.clear(); stamp_ = 0; }
+  void Clear() {
+    segments_.clear();
+    stamps_.clear();
+    stamp_ = 0;
+  }
 
  private:
   int capacity_ = 64;
-  std::map<std::uint64_t, std::uint64_t> entries_;  // segment -> last use
+  std::vector<std::uint64_t> segments_;
+  std::vector<std::uint64_t> stamps_;  // last use, parallel to segments_
   std::uint64_t stamp_ = 0;
 };
 
@@ -70,12 +76,24 @@ class MemoryModel {
 
  private:
   std::uint64_t Segment(std::uint64_t element_addr) const {
-    return element_addr * sizeof(float) / static_cast<std::uint64_t>(device_.mem_transaction_bytes);
+    // Transaction sizes are powers of two on every modelled device, so the
+    // division folds to a shift; the divide remains as a fallback for
+    // hypothetical non-power-of-two specs.
+    const std::uint64_t bytes = element_addr * sizeof(float);
+    return seg_shift_ >= 0
+               ? bytes >> seg_shift_
+               : bytes / static_cast<std::uint64_t>(device_.mem_transaction_bytes);
   }
 
   const hw::DeviceSpec& device_;
+  int seg_shift_ = -1;
   SegmentCache tex_cache_;
   SegmentCache l1_cache_;
+  // Reused per-call scratch for the sort+unique coalescing pass. The warp's
+  // distinct segments are produced in ascending order, matching the
+  // iteration order of the std::set this replaces, so the LRU caches see
+  // the exact same access sequence.
+  std::vector<std::uint64_t> scratch_;
 };
 
 }  // namespace hipacc::sim

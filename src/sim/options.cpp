@@ -1,0 +1,25 @@
+#include "sim/options.hpp"
+
+namespace hipacc::sim {
+
+const char* to_string(ExecEngine engine) noexcept {
+  switch (engine) {
+    case ExecEngine::kBytecode: return "bytecode";
+    case ExecEngine::kAst: return "ast";
+  }
+  return "?";
+}
+
+Result<ExecEngine> ParseExecEngine(const std::string& text) {
+  if (text == "bytecode") return ExecEngine::kBytecode;
+  if (text == "ast") return ExecEngine::kAst;
+  return Status::Invalid("unknown simulator engine '" + text +
+                         "' (expected 'bytecode' or 'ast')");
+}
+
+SimulatorOptions& DefaultSimulatorOptions() {
+  static SimulatorOptions options;
+  return options;
+}
+
+}  // namespace hipacc::sim

@@ -1,0 +1,36 @@
+// Simulator execution-engine selection. The simulator has two functionally
+// identical engines: the tree-walking AST interpreter (interpreter.cpp) and
+// the register-based bytecode VM (bytecode.cpp + vm.cpp). The VM is the
+// default; the interpreter remains as the reference semantics, the fallback
+// for programs the bytecode compiler rejects, and the `--sim-engine=ast`
+// escape hatch for differential debugging.
+#pragma once
+
+#include <string>
+
+#include "support/status.hpp"
+
+namespace hipacc::sim {
+
+enum class ExecEngine {
+  kBytecode,  ///< compile-once linear programs, region-specialised (default)
+  kAst,       ///< tree-walking reference interpreter
+};
+
+const char* to_string(ExecEngine engine) noexcept;
+
+/// Parses "bytecode" / "ast" (the --sim-engine= vocabulary).
+Result<ExecEngine> ParseExecEngine(const std::string& text);
+
+struct SimulatorOptions {
+  ExecEngine engine = ExecEngine::kBytecode;
+};
+
+/// Process-wide default used by Simulators constructed without explicit
+/// options. Mutable so CLI flags (--sim-engine=) can steer every simulator
+/// in the process, including those created deep inside the exploration
+/// engine. Set it before spawning exploration threads; it is read without
+/// synchronisation.
+SimulatorOptions& DefaultSimulatorOptions();
+
+}  // namespace hipacc::sim

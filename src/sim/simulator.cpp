@@ -1,14 +1,44 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <mutex>
 
+#include "sim/bytecode.hpp"
 #include "sim/interpreter.hpp"
 #include "sim/trace.hpp"
+#include "sim/vm.hpp"
 #include "support/parallel_for.hpp"
 #include "support/string_utils.hpp"
 
 namespace hipacc::sim {
+
+const ProgramSet* Simulator::PreparePrograms(const Launch& launch) const {
+  if (options_.engine != ExecEngine::kBytecode) return nullptr;
+  if (launch.programs) return launch.programs;
+  if (programs_kernel_ != launch.kernel) {
+    programs_kernel_ = launch.kernel;
+    programs_cache_.reset();
+    Result<std::shared_ptr<const ProgramSet>> compiled =
+        CompileToBytecode(*launch.kernel);
+    if (compiled.ok()) {
+      programs_cache_ = std::move(compiled).take();
+      if (trace_) {
+        trace_->IncrementCounter("bytecode.programs",
+                                 static_cast<long long>(
+                                     programs_cache_->programs.size()));
+        trace_->IncrementCounter("bytecode.instructions",
+                                 programs_cache_->total_instructions);
+        trace_->IncrementCounter(
+            "bytecode.compile_us",
+            static_cast<long long>(programs_cache_->compile_ms * 1000.0));
+      }
+    } else if (trace_) {
+      trace_->IncrementCounter("bytecode.fallback");
+    }
+  }
+  return programs_cache_.get();
+}
 
 double Simulator::IssueScale(const Launch& launch) const {
   double scale = launch.kernel->backend == ast::Backend::kOpenCL
@@ -78,20 +108,33 @@ Result<LaunchStats> Simulator::Execute(const Launch& launch) const {
   stats.region_grid = hw::ComputeRegionGrid(
       launch.config, launch.width, launch.height, launch.kernel->bh_window);
 
+  const ProgramSet* programs = PreparePrograms(launch);
+  if (trace_)
+    trace_->IncrementCounter(programs ? "sim.launch.bytecode"
+                                      : "sim.launch.ast");
   const hw::GridDim grid = stats.region_grid.grid;
   std::mutex merge_mutex;
   Metrics total;
+  std::uint64_t executed_insns = 0;
   Status first_error = Status::Ok();
   ParallelFor(0, grid.blocks_y, [&](int by) {
     Metrics row_metrics;
+    std::uint64_t row_insns = 0;
     Status row_status = Status::Ok();
     for (int bx = 0; bx < grid.blocks_x && row_status.ok(); ++bx)
-      row_status = RunBlock(launch, device_, bx, by, &row_metrics);
+      row_status = programs
+                       ? RunBlockBytecode(launch, *programs, device_, bx, by,
+                                          &row_metrics, &row_insns)
+                       : RunBlock(launch, device_, bx, by, &row_metrics);
     const std::lock_guard<std::mutex> lock(merge_mutex);
     total += row_metrics;
+    executed_insns += row_insns;
     if (!row_status.ok() && first_error.ok()) first_error = row_status;
   });
   HIPACC_RETURN_IF_ERROR(first_error);
+  if (trace_ && executed_insns)
+    trace_->IncrementCounter("bytecode.executed_insns",
+                             static_cast<long long>(executed_insns));
   stats.metrics = total;
   stats.timing = ModelTime(total, device_, stats.occupancy, IssueScale(launch));
   if (trace_)
@@ -176,18 +219,29 @@ Result<LaunchStats> Simulator::Measure(const Launch& launch,
     }
   }
 
+  const ProgramSet* programs = PreparePrograms(launch);
+  if (trace_)
+    trace_->IncrementCounter(programs ? "sim.launch.bytecode"
+                                      : "sim.launch.ast");
+  std::uint64_t executed_insns = 0;
   Metrics total;
   for (auto& [region, rs] : regions) {
     rs.population = has_regions ? population(region) : grid.total();
     if (rs.samples.empty() || rs.population == 0) continue;
     Metrics region_metrics;
     for (const auto& [bx, by] : rs.samples)
-      HIPACC_RETURN_IF_ERROR(RunBlock(launch, device_, bx, by, &region_metrics));
+      HIPACC_RETURN_IF_ERROR(
+          programs ? RunBlockBytecode(launch, *programs, device_, bx, by,
+                                      &region_metrics, &executed_insns)
+                   : RunBlock(launch, device_, bx, by, &region_metrics));
     const double scale = static_cast<double>(rs.population) /
                          static_cast<double>(rs.samples.size());
     total += region_metrics.Scaled(scale);
     if (!has_regions) break;  // single-variant kernels: one region suffices
   }
+  if (trace_ && executed_insns)
+    trace_->IncrementCounter("bytecode.executed_insns",
+                             static_cast<long long>(executed_insns));
   stats.metrics = total;
   stats.timing = ModelTime(total, device_, stats.occupancy, IssueScale(launch));
   if (trace_)

@@ -6,13 +6,17 @@
 // slightly at the image edges, which the per-region samples capture.
 #pragma once
 
+#include <memory>
+
 #include "codegen/resource_estimator.hpp"
 #include "sim/launch.hpp"
+#include "sim/options.hpp"
 #include "sim/timing.hpp"
 
 namespace hipacc::sim {
 
 class TraceSink;
+struct ProgramSet;
 
 struct LaunchStats {
   Metrics metrics;              ///< whole-grid (exact or extrapolated)
@@ -24,7 +28,11 @@ struct LaunchStats {
 
 class Simulator {
  public:
-  explicit Simulator(hw::DeviceSpec device) : device_(std::move(device)) {}
+  explicit Simulator(hw::DeviceSpec device,
+                     SimulatorOptions options = DefaultSimulatorOptions())
+      : device_(std::move(device)), options_(options) {}
+
+  const SimulatorOptions& options() const noexcept { return options_; }
 
   const hw::DeviceSpec& device() const noexcept { return device_; }
 
@@ -56,8 +64,14 @@ class Simulator {
   hw::OccupancyResult Occupancy(const Launch& launch) const;
   double IssueScale(const Launch& launch) const;
   const hw::KernelResources& Resources(const Launch& launch) const;
+  /// Resolves the bytecode programs for this launch: the artifact's
+  /// pre-compiled set when attached, else a lazily compiled kernel-keyed
+  /// cache. Returns null when the AST engine is selected or bytecode
+  /// compilation bailed out (the launch then runs on the interpreter).
+  const ProgramSet* PreparePrograms(const Launch& launch) const;
 
   hw::DeviceSpec device_;
+  SimulatorOptions options_;
   TraceSink* trace_ = nullptr;
   int trace_tid_ = 0;
   /// Resource estimation walks the kernel IR; launches of the same kernel
@@ -65,6 +79,11 @@ class Simulator {
   /// single-threaded use of one Simulator per measurement lane.
   mutable const ast::DeviceKernel* resources_kernel_ = nullptr;
   mutable hw::KernelResources resources_cache_;
+  /// Lazily compiled bytecode for launches that arrive without programs
+  /// (hand-built launches, runtime paths that bypass the compiler pass).
+  /// Same single-lane-use contract as the resources cache.
+  mutable const ast::DeviceKernel* programs_kernel_ = nullptr;
+  mutable std::shared_ptr<const ProgramSet> programs_cache_;
 };
 
 }  // namespace hipacc::sim

@@ -125,4 +125,18 @@ namespace detail {
     if (!_st.ok()) return _st;                    \
   } while (0)
 
+#define HIPACC_CONCAT_IMPL_(a, b) a##b
+#define HIPACC_CONCAT_(a, b) HIPACC_CONCAT_IMPL_(a, b)
+
+/// Evaluates a Result<T> expression, propagating the error or binding the
+/// value: HIPACC_ASSIGN_OR_RETURN(const Foo foo, ComputeFoo());
+/// Expands to multiple statements — requires a braced scope.
+#define HIPACC_ASSIGN_OR_RETURN(decl, expr) \
+  HIPACC_ASSIGN_OR_RETURN_IMPL_(HIPACC_CONCAT_(_hipacc_result_, __LINE__), \
+                                decl, expr)
+#define HIPACC_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  decl = std::move(tmp).take();
+
 }  // namespace hipacc

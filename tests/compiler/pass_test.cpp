@@ -17,14 +17,14 @@ frontend::KernelSource Source() {
 }
 
 TEST(PassManagerTest, FullPipelineHasCanonicalOrder) {
-  const std::vector<std::string> expected = {"parse", "lower", "estimate",
-                                             "select_config", "emit"};
+  const std::vector<std::string> expected = {
+      "parse", "lower", "estimate", "select_config", "emit", "bytecode"};
   EXPECT_EQ(compiler::BuildCompilePipeline().names(), expected);
   EXPECT_EQ(compiler::DefaultPassNames(), expected);
   const std::vector<std::string> device = {"lower", "estimate",
-                                           "select_config", "emit"};
+                                           "select_config", "emit", "bytecode"};
   EXPECT_EQ(compiler::BuildDevicePipeline().names(), device);
-  const std::vector<std::string> target = {"select_config", "emit"};
+  const std::vector<std::string> target = {"select_config", "emit", "bytecode"};
   EXPECT_EQ(compiler::BuildTargetPipeline().names(), target);
 }
 
@@ -44,7 +44,7 @@ TEST(PassManagerTest, RunProducesArtifactTimingsAndDiagnostics) {
   EXPECT_GT(ctx.artifact.resources.regs_per_thread, 0);
 
   // One timing per pass, in order; durations are non-negative.
-  ASSERT_EQ(ctx.timings.size(), 5u);
+  ASSERT_EQ(ctx.timings.size(), 6u);
   for (size_t i = 0; i < ctx.timings.size(); ++i) {
     EXPECT_EQ(ctx.timings[i].pass, compiler::DefaultPassNames()[i]);
     EXPECT_GE(ctx.timings[i].ms, 0.0);
@@ -77,7 +77,7 @@ TEST(PassManagerTest, PassesRecordTraceSpans) {
     EXPECT_EQ(e.Find("category")->string_value(), "compile");
     names.push_back(e.Find("name")->string_value());
   }
-  ASSERT_EQ(names.size(), 5u);
+  ASSERT_EQ(names.size(), 6u);
   for (size_t i = 0; i < names.size(); ++i)
     EXPECT_EQ(names[i],
               compiler::DefaultPassNames()[i] + " " + compiled.value().decl.name);
@@ -139,10 +139,11 @@ TEST(RetargetTest, SameOptionsSkipLowerAndEstimate) {
   std::vector<std::string> names;
   for (size_t i = 0; i < events->size(); ++i)
     names.push_back((*events)[i].Find("name")->string_value());
-  ASSERT_EQ(names.size(), 2u);
+  ASSERT_EQ(names.size(), 3u);
   const std::string kernel_name = compiled.value().decl.name;
   EXPECT_EQ(names[0], "select_config " + kernel_name);
   EXPECT_EQ(names[1], "emit " + kernel_name);
+  EXPECT_EQ(names[2], "bytecode " + kernel_name);
 
   // The retargeted artifact matches a from-scratch compile bit for bit.
   compiler::CompileOptions fresh = retarget;

@@ -14,6 +14,8 @@
 //                                 (Section V-D) instead of the source
 //     --explore-jobs=N            parallel exploration workers (0 = all
 //                                 cores; results identical for every N)
+//     --sim-engine=bytecode|ast   simulator execution engine (default
+//                                 bytecode; results are bit-identical)
 //     --trace-out=FILE            write a Chrome trace_event timeline of
 //                                 compile passes, cache accesses, and
 //                                 simulated launches (open in
@@ -38,6 +40,7 @@
 #include "compiler/kernel_file.hpp"
 #include "compiler/pass.hpp"
 #include "hwmodel/device_db.hpp"
+#include "sim/options.hpp"
 #include "sim/trace.hpp"
 
 using namespace hipacc;
@@ -64,6 +67,7 @@ int Usage() {
                "[--device=NAME] [--width=N] [--height=N] "
                "[--tex=none|linear|array2d] [--smem] [--no-const-mask] "
                "[--config=BXxBY] [--explore] [--explore-jobs=N] "
+               "[--sim-engine=bytecode|ast] "
                "[--trace-out=FILE] [--print-pass-timings] "
                "[--dump-after=PASS] [--no-cache] [--list-devices]\n");
   return 2;
@@ -118,6 +122,14 @@ int main(int argc, char** argv) {
           by <= 0)
         return Usage();
       options.forced_config = hw::KernelConfig{bx, by};
+    } else if (ParseFlag(arg, "--sim-engine", &value)) {
+      auto engine = sim::ParseExecEngine(value);
+      if (!engine.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     engine.status().ToString().c_str());
+        return 2;
+      }
+      sim::DefaultSimulatorOptions().engine = engine.value();
     } else if (ParseFlag(arg, "--explore-jobs", &value)) {
       explore_options.jobs = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "--trace-out", &value)) {

@@ -11,7 +11,6 @@
 #include "ops/kernel_sources.hpp"
 #include "support/string_utils.hpp"
 
-#include "common/sim_engine_flag.hpp"
 
 using namespace hipacc;
 
@@ -42,12 +41,9 @@ Result<double> MeasureGaussian(int window, ast::BoundaryMode mode,
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (!hipacc::bench::HandleSimEngineFlag(argv[i])) {
-      std::fprintf(stderr, "usage: %s [--sim-engine=bytecode|ast]\n", argv[0]);
-      return 2;
-    }
-  }
+  hipacc::support::CliParser cli =
+      hipacc::bench::MakeBenchCli("ablation_border", "Ablation: 9-region boundary specialisation vs uniform guards");
+  if (const int code = cli.HandleArgs(argc, argv); code >= 0) return code;
 
   const hw::DeviceSpec device = hw::TeslaC2050();
   const int n = 2048;

@@ -4,11 +4,11 @@
 #include <cstdio>
 
 #include "compiler/explore.hpp"
+#include "common/table.hpp"
 #include "hwmodel/device_db.hpp"
 #include "ops/kernel_sources.hpp"
 #include "ops/masks.hpp"
 
-#include "common/sim_engine_flag.hpp"
 
 using namespace hipacc;
 
@@ -51,12 +51,9 @@ void Evaluate(const char* label, const frontend::KernelSource& source,
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (!hipacc::bench::HandleSimEngineFlag(argv[i])) {
-      std::fprintf(stderr, "usage: %s [--sim-engine=bytecode|ast]\n", argv[0]);
-      return 2;
-    }
-  }
+  hipacc::support::CliParser cli =
+      hipacc::bench::MakeBenchCli("ablation_heuristic", "Ablation: Algorithm 2 heuristic vs exhaustive search");
+  if (const int code = cli.HandleArgs(argc, argv); code >= 0) return code;
 
   const int n = 2048;
   std::printf("Ablation: Algorithm 2 vs exploration optimum (%dx%d images, "

@@ -11,7 +11,6 @@
 #include "ops/kernel_sources.hpp"
 #include "ops/masks.hpp"
 
-#include "common/sim_engine_flag.hpp"
 
 using namespace hipacc;
 
@@ -46,12 +45,9 @@ Result<double> Measure(const frontend::KernelSource& source,
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (!hipacc::bench::HandleSimEngineFlag(argv[i])) {
-      std::fprintf(stderr, "usage: %s [--sim-engine=bytecode|ast]\n", argv[0]);
-      return 2;
-    }
-  }
+  hipacc::support::CliParser cli =
+      hipacc::bench::MakeBenchCli("ablation_mask", "Ablation: constant-memory vs global-memory masks");
+  if (const int code = cli.HandleArgs(argc, argv); code >= 0) return code;
 
   const int n = 512;  // full (non-sampled) execution; keep the grid moderate
   const int sigma_d = 3;

@@ -6,10 +6,10 @@
 #include <cstdio>
 
 #include "compiler/executable.hpp"
+#include "common/table.hpp"
 #include "hwmodel/device_db.hpp"
 #include "ops/kernel_sources.hpp"
 
-#include "common/sim_engine_flag.hpp"
 
 using namespace hipacc;
 
@@ -59,12 +59,9 @@ void Sweep(const hw::DeviceSpec& device) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (!hipacc::bench::HandleSimEngineFlag(argv[i])) {
-      std::fprintf(stderr, "usage: %s [--sim-engine=bytecode|ast]\n", argv[0]);
-      return 2;
-    }
-  }
+  hipacc::support::CliParser cli =
+      hipacc::bench::MakeBenchCli("ablation_smem_window", "Ablation: scratchpad staging across window sizes");
+  if (const int code = cli.HandleArgs(argc, argv); code >= 0) return code;
 
   std::printf("Ablation: scratchpad staging vs cached paths vs window size. "
               "Times in ms (modelled).\n\n");

@@ -7,10 +7,10 @@
 #include <cstdio>
 
 #include "compiler/executable.hpp"
+#include "common/table.hpp"
 #include "hwmodel/device_db.hpp"
 #include "ops/kernel_sources.hpp"
 
-#include "common/sim_engine_flag.hpp"
 
 using namespace hipacc;
 
@@ -39,12 +39,9 @@ Result<double> Measure(const frontend::KernelSource& source,
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (!hipacc::bench::HandleSimEngineFlag(argv[i])) {
-      std::fprintf(stderr, "usage: %s [--sim-engine=bytecode|ast]\n", argv[0]);
-      return 2;
-    }
-  }
+  hipacc::support::CliParser cli =
+      hipacc::bench::MakeBenchCli("ablation_unroll", "Ablation: convolve() unrolling vs mask loops");
+  if (const int code = cli.HandleArgs(argc, argv); code >= 0) return code;
 
   const int n = 2048;
   std::printf("Ablation: Section VIII extensions (%dx%d image, modelled "

@@ -3,28 +3,23 @@
 // perf-smoke can run the same table under both engines and diff the output.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-
 #include "sim/options.hpp"
+#include "support/cli.hpp"
 
 namespace hipacc::bench {
 
-/// Consumes a `--sim-engine=NAME` argument by updating the process-wide
-/// DefaultSimulatorOptions(). Returns false when `arg` is some other flag;
-/// exits with a usage error when the engine name is unknown.
-inline bool HandleSimEngineFlag(const char* arg) {
-  static constexpr char kPrefix[] = "--sim-engine=";
-  constexpr std::size_t kLen = sizeof(kPrefix) - 1;
-  if (std::strncmp(arg, kPrefix, kLen) != 0) return false;
-  const Result<sim::ExecEngine> engine = sim::ParseExecEngine(arg + kLen);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
-    std::exit(2);
-  }
-  sim::DefaultSimulatorOptions().engine = engine.value();
-  return true;
+/// Registers `--sim-engine=ENGINE` on `cli`; parsing a value updates the
+/// process-wide DefaultSimulatorOptions() in place.
+inline support::CliParser& RegisterSimEngineFlag(support::CliParser& cli) {
+  return cli.Value("sim-engine", "ENGINE",
+                   "simulator engine: bytecode (default) or ast",
+                   [](const std::string& value) -> Status {
+                     Result<sim::ExecEngine> engine =
+                         sim::ParseExecEngine(value);
+                     if (!engine.ok()) return engine.status();
+                     sim::DefaultSimulatorOptions().engine = engine.value();
+                     return Status::Ok();
+                   });
 }
 
 }  // namespace hipacc::bench

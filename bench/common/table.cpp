@@ -2,9 +2,16 @@
 
 #include <algorithm>
 
+#include "common/sim_engine_flag.hpp"
 #include "support/string_utils.hpp"
 
 namespace hipacc::bench {
+
+support::CliParser MakeBenchCli(std::string program, std::string summary) {
+  support::CliParser cli(std::move(program), std::move(summary));
+  RegisterSimEngineFlag(cli);
+  return cli;
+}
 
 void Table::Row(const std::string& label) {
   rows_.push_back({label, {}, {}});

@@ -8,9 +8,15 @@
 #include <string>
 #include <vector>
 
+#include "support/cli.hpp"
 #include "support/json.hpp"
 
 namespace hipacc::bench {
+
+/// CliParser preloaded with the flags every benchmark binary shares
+/// (--sim-engine); a binary registers its extra flags on the returned
+/// parser, then calls HandleArgs().
+support::CliParser MakeBenchCli(std::string program, std::string summary);
 
 class Table {
  public:

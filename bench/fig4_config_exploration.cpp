@@ -12,27 +12,14 @@
 //   --trace-out=FILE   Chrome trace_event timeline (chrome://tracing)
 //   --sim-engine=E     simulator engine: bytecode (default) or ast
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
-#include "common/sim_engine_flag.hpp"
+#include "common/table.hpp"
 #include "compiler/explore.hpp"
 #include "hwmodel/device_db.hpp"
 #include "ops/kernel_sources.hpp"
 #include "sim/trace.hpp"
 #include "support/stopwatch.hpp"
-
-namespace {
-
-bool ParseFlag(const char* arg, const char* name, std::string* value) {
-  const size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
-  *value = arg + len + 1;
-  return true;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hipacc;
@@ -43,24 +30,15 @@ int main(int argc, char** argv) {
   compiler::ExploreOptions eopts;
   std::string json_out = "BENCH_fig4.json";
   std::string trace_out;
-  for (int i = 1; i < argc; ++i) {
-    std::string value;
-    if (ParseFlag(argv[i], "--explore-jobs", &value)) {
-      eopts.jobs = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "--json-out", &value)) {
-      json_out = value;
-    } else if (ParseFlag(argv[i], "--trace-out", &value)) {
-      trace_out = value;
-    } else if (bench::HandleSimEngineFlag(argv[i])) {
-      continue;
-    } else {
-      std::fprintf(stderr,
-                   "usage: fig4_config_exploration [--explore-jobs=N] "
-                   "[--json-out=FILE] [--trace-out=FILE] "
-                   "[--sim-engine=bytecode|ast]\n");
-      return 2;
-    }
-  }
+  support::CliParser cli = bench::MakeBenchCli(
+      "fig4_config_exploration",
+      "Figure 4: configuration-space exploration, bilateral 13x13");
+  cli.Int("explore-jobs", &eopts.jobs, "N",
+          "parallel measurement workers (0 = all cores)");
+  cli.String("json-out", &json_out, "FILE", "BENCH_*.json report path");
+  cli.String("trace-out", &trace_out, "FILE",
+             "Chrome trace_event timeline (chrome://tracing)");
+  if (const int code = cli.HandleArgs(argc, argv); code >= 0) return code;
   sim::TraceSink trace;
   if (!trace_out.empty()) eopts.trace = &trace;
   Stopwatch wall;

@@ -2,16 +2,13 @@
 #include <cstdio>
 
 #include "common/bilateral_table.hpp"
-#include "common/sim_engine_flag.hpp"
+#include "common/table.hpp"
 #include "hwmodel/device_db.hpp"
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (!hipacc::bench::HandleSimEngineFlag(argv[i])) {
-      std::fprintf(stderr, "usage: table3_tesla_opencl [--sim-engine=bytecode|ast]\n");
-      return 2;
-    }
-  }
+  hipacc::support::CliParser cli =
+      hipacc::bench::MakeBenchCli("table3_tesla_opencl", "Table III: bilateral filter, Tesla C2050, OpenCL backend");
+  if (const int code = cli.HandleArgs(argc, argv); code >= 0) return code;
   hipacc::bench::BilateralTableOptions options;
   options.device = hipacc::hw::TeslaC2050();
   options.json_out = "BENCH_table3.json";

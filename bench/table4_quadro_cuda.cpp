@@ -2,16 +2,13 @@
 #include <cstdio>
 
 #include "common/bilateral_table.hpp"
-#include "common/sim_engine_flag.hpp"
+#include "common/table.hpp"
 #include "hwmodel/device_db.hpp"
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (!hipacc::bench::HandleSimEngineFlag(argv[i])) {
-      std::fprintf(stderr, "usage: table4_quadro_cuda [--sim-engine=bytecode|ast]\n");
-      return 2;
-    }
-  }
+  hipacc::support::CliParser cli =
+      hipacc::bench::MakeBenchCli("table4_quadro_cuda", "Table IV: bilateral filter, Quadro FX 5800, CUDA backend");
+  if (const int code = cli.HandleArgs(argc, argv); code >= 0) return code;
   hipacc::bench::BilateralTableOptions options;
   options.device = hipacc::hw::QuadroFx5800();
   options.json_out = "BENCH_table4.json";

@@ -4,16 +4,13 @@
 #include <cstdio>
 
 #include "common/bilateral_table.hpp"
-#include "common/sim_engine_flag.hpp"
+#include "common/table.hpp"
 #include "hwmodel/device_db.hpp"
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (!hipacc::bench::HandleSimEngineFlag(argv[i])) {
-      std::fprintf(stderr, "usage: table6_hd5870_opencl [--sim-engine=bytecode|ast]\n");
-      return 2;
-    }
-  }
+  hipacc::support::CliParser cli =
+      hipacc::bench::MakeBenchCli("table6_hd5870_opencl", "Table VI: bilateral filter, Radeon HD 5870, OpenCL backend");
+  if (const int code = cli.HandleArgs(argc, argv); code >= 0) return code;
   hipacc::bench::BilateralTableOptions options;
   options.device = hipacc::hw::RadeonHd5870();
   options.json_out = "BENCH_table6.json";

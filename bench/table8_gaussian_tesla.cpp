@@ -4,16 +4,13 @@
 #include <cstdio>
 
 #include "common/gaussian_table.hpp"
-#include "common/sim_engine_flag.hpp"
+#include "common/table.hpp"
 #include "hwmodel/device_db.hpp"
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (!hipacc::bench::HandleSimEngineFlag(argv[i])) {
-      std::fprintf(stderr, "usage: table8_gaussian_tesla [--sim-engine=bytecode|ast]\n");
-      return 2;
-    }
-  }
+  hipacc::support::CliParser cli =
+      hipacc::bench::MakeBenchCli("table8_gaussian_tesla", "Table VIII: Gaussian filters, Tesla C2050");
+  if (const int code = cli.HandleArgs(argc, argv); code >= 0) return code;
   hipacc::bench::GaussianTableOptions options;
   options.device = hipacc::hw::TeslaC2050();
   options.json_out = "BENCH_table8.json";

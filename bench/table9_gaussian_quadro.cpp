@@ -2,16 +2,13 @@
 #include <cstdio>
 
 #include "common/gaussian_table.hpp"
-#include "common/sim_engine_flag.hpp"
+#include "common/table.hpp"
 #include "hwmodel/device_db.hpp"
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (!hipacc::bench::HandleSimEngineFlag(argv[i])) {
-      std::fprintf(stderr, "usage: table9_gaussian_quadro [--sim-engine=bytecode|ast]\n");
-      return 2;
-    }
-  }
+  hipacc::support::CliParser cli =
+      hipacc::bench::MakeBenchCli("table9_gaussian_quadro", "Table IX: Gaussian filters, Quadro FX 5800");
+  if (const int code = cli.HandleArgs(argc, argv); code >= 0) return code;
   hipacc::bench::GaussianTableOptions options;
   options.device = hipacc::hw::QuadroFx5800();
   options.json_out = "BENCH_table9.json";

@@ -5,12 +5,7 @@
 // bilateral filter is the tool of choice, and sweeps sigma_r.
 #include <cstdio>
 
-#include "dsl/reduce.hpp"
-#include "image/io.hpp"
-#include "image/metrics.hpp"
-#include "image/synthetic.hpp"
-#include "ops/dsl_ops.hpp"
-#include "ops/masks.hpp"
+#include "hipacc.hpp"
 
 using namespace hipacc;
 

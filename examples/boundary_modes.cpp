@@ -3,8 +3,7 @@
 // expanded image each mode produces. Matches the paper's Figure 2 panels.
 #include <cstdio>
 
-#include "dsl/accessor.hpp"
-#include "dsl/image.hpp"
+#include "hipacc.hpp"
 
 using namespace hipacc;
 

@@ -5,8 +5,7 @@
 // Algorithm 2 for several GPUs.
 #include <cstdio>
 
-#include "compiler/driver.hpp"
-#include "ops/kernel_sources.hpp"
+#include "hipacc.hpp"
 
 using namespace hipacc;
 

@@ -7,12 +7,7 @@
 //    generated kernel on the simulated GPU; outputs must match exactly.
 #include <cstdio>
 
-#include "compiler/executable.hpp"
-#include "image/io.hpp"
-#include "image/metrics.hpp"
-#include "image/synthetic.hpp"
-#include "ops/dsl_ops.hpp"
-#include "ops/kernel_sources.hpp"
+#include "hipacc.hpp"
 
 using namespace hipacc;
 

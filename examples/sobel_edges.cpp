@@ -5,11 +5,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "dsl/reduce.hpp"
-#include "image/io.hpp"
-#include "image/synthetic.hpp"
-#include "ops/dsl_ops.hpp"
-#include "ops/masks.hpp"
+#include "hipacc.hpp"
 
 using namespace hipacc;
 

@@ -72,7 +72,18 @@ Result<CompiledKernel> Compile(const frontend::KernelSource& source,
   CompilationContext ctx;
   ctx.source = &source;
   ctx.options = options;
-  ctx.artifact.source_fingerprint = SourceFingerprint(source);
+  // Cache keys (and provenance) are computed from the source the pipeline
+  // will actually compile: with fusion requested, that is the fused source.
+  // Pre-seeding ctx.fused_source lets the fuse pass reuse the result.
+  if (!options.fusion.empty()) {
+    Result<frontend::KernelSource> fused =
+        ApplyFusion(source, options.fusion);
+    if (!fused.ok()) return fused.status();
+    ctx.fused_source = std::move(fused).take();
+  }
+  const frontend::KernelSource& keyed =
+      ctx.fused_source ? *ctx.fused_source : source;
+  ctx.artifact.source_fingerprint = SourceFingerprint(keyed);
   ctx.artifact.source_hash = SourceHash(ctx.artifact.source_fingerprint);
 
   CompilationCache* cache = options.cache;

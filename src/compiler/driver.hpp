@@ -21,6 +21,7 @@
 
 #include "codegen/emit.hpp"
 #include "codegen/options.hpp"
+#include "compiler/fusion.hpp"
 #include "frontend/parser.hpp"
 #include "hwmodel/device_db.hpp"
 #include "hwmodel/heuristic.hpp"
@@ -59,6 +60,12 @@ struct CompileOptions {
   /// the named pass finishes (the CLI's --dump-after; see
   /// DefaultPassNames() for the vocabulary).
   std::string dump_after;
+  /// Point-wise consumers to inline into this kernel before parsing (the
+  /// "fuse" pass; see compiler/fusion.hpp for the legality rule). The
+  /// driver fingerprints the *fused* source, so cache entries of fused and
+  /// unfused variants never alias. Ignored by Retarget — its input artifact
+  /// is already fused.
+  std::vector<FusionRequest> fusion;
 };
 
 struct CompiledKernel {

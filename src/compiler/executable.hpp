@@ -12,8 +12,11 @@ namespace hipacc::compiler {
 
 class SimulatedExecutable {
  public:
-  SimulatedExecutable(CompiledKernel kernel, hw::DeviceSpec device)
-      : kernel_(std::move(kernel)), simulator_(std::move(device)) {}
+  SimulatedExecutable(
+      CompiledKernel kernel, hw::DeviceSpec device,
+      sim::SimulatorOptions options = sim::DefaultSimulatorOptions())
+      : kernel_(std::move(kernel)),
+        simulator_(std::move(device), std::move(options)) {}
 
   const CompiledKernel& kernel() const noexcept { return kernel_; }
   const hw::DeviceSpec& device() const noexcept { return simulator_.device(); }

@@ -1,0 +1,239 @@
+#include "compiler/fusion.hpp"
+
+#include <cctype>
+
+#include "support/string_utils.hpp"
+
+namespace hipacc::compiler {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when body[pos, pos+len) is a whole identifier (not a substring of a
+/// longer one).
+bool IsWholeIdent(const std::string& body, std::size_t pos, std::size_t len) {
+  if (pos > 0 && IsIdentChar(body[pos - 1])) return false;
+  const std::size_t end = pos + len;
+  return end >= body.size() || !IsIdentChar(body[end]);
+}
+
+std::size_t SkipSpace(const std::string& body, std::size_t pos) {
+  while (pos < body.size() &&
+         std::isspace(static_cast<unsigned char>(body[pos])) != 0)
+    ++pos;
+  return pos;
+}
+
+/// Local variables declared in a kernel body: identifiers introduced by
+/// `float x`, `int i`, `bool b` (including for-init declarations).
+std::vector<std::string> DeclaredLocals(const std::string& body) {
+  static const char* kTypes[] = {"float", "int", "bool"};
+  std::vector<std::string> names;
+  for (const char* type : kTypes) {
+    const std::size_t tlen = std::char_traits<char>::length(type);
+    for (std::size_t pos = body.find(type); pos != std::string::npos;
+         pos = body.find(type, pos + 1)) {
+      if (!IsWholeIdent(body, pos, tlen)) continue;
+      std::size_t p = SkipSpace(body, pos + tlen);
+      std::size_t end = p;
+      while (end < body.size() && IsIdentChar(body[end])) ++end;
+      if (end > p) names.push_back(body.substr(p, end - p));
+    }
+  }
+  return names;
+}
+
+bool Contains(const std::vector<std::string>& names, const std::string& name) {
+  for (const std::string& n : names)
+    if (n == name) return true;
+  return false;
+}
+
+/// Replaces every read `name(...)` (balanced argument list) with `local`.
+/// Returns the number of replacements.
+int ReplaceReads(std::string* body, const std::string& name,
+                 const std::string& local) {
+  int replaced = 0;
+  std::size_t pos = 0;
+  while ((pos = body->find(name, pos)) != std::string::npos) {
+    if (!IsWholeIdent(*body, pos, name.size())) {
+      pos += name.size();
+      continue;
+    }
+    std::size_t open = SkipSpace(*body, pos + name.size());
+    if (open >= body->size() || (*body)[open] != '(') {
+      pos += name.size();
+      continue;
+    }
+    int depth = 0;
+    std::size_t close = open;
+    for (; close < body->size(); ++close) {
+      if ((*body)[close] == '(') ++depth;
+      if ((*body)[close] == ')' && --depth == 0) break;
+    }
+    if (close >= body->size()) return -1;  // unbalanced; parser will reject
+    body->replace(pos, close + 1 - pos, local);
+    pos += local.size();
+    ++replaced;
+  }
+  return replaced;
+}
+
+/// Rewrites the producer's single top-level `output() = expr;` into
+/// `float <local> = expr;`. Fails when there is no write, several writes,
+/// or the write sits inside a nested block (its value would go out of
+/// scope before the consumer body runs).
+Status RewriteProducerOutput(std::string* body, const std::string& local,
+                             const std::string& producer_name) {
+  std::size_t found = std::string::npos;
+  int count = 0;
+  for (std::size_t pos = body->find("output"); pos != std::string::npos;
+       pos = body->find("output", pos + 1)) {
+    if (!IsWholeIdent(*body, pos, 6)) continue;
+    ++count;
+    found = pos;
+  }
+  if (count != 1)
+    return Status::Invalid(StrFormat(
+        "cannot fuse into kernel '%s': expected exactly one output() write, "
+        "found %d",
+        producer_name.c_str(), count));
+  int depth = 0;
+  for (std::size_t i = 0; i < found; ++i) {
+    if ((*body)[i] == '{') ++depth;
+    if ((*body)[i] == '}') --depth;
+  }
+  if (depth != 0)
+    return Status::Invalid(
+        "cannot fuse into kernel '" + producer_name +
+        "': its output() write is inside a nested block, so the fused "
+        "value would not be in scope for the consumer body");
+  std::size_t open = SkipSpace(*body, found + 6);
+  if (open >= body->size() || (*body)[open] != '(')
+    return Status::Invalid("cannot fuse into kernel '" + producer_name +
+                           "': malformed output() write");
+  std::size_t close = SkipSpace(*body, open + 1);
+  if (close >= body->size() || (*body)[close] != ')')
+    return Status::Invalid("cannot fuse into kernel '" + producer_name +
+                           "': malformed output() write");
+  std::size_t eq = SkipSpace(*body, close + 1);
+  if (eq >= body->size() || (*body)[eq] != '=' ||
+      (eq + 1 < body->size() && (*body)[eq + 1] == '='))
+    return Status::Invalid("cannot fuse into kernel '" + producer_name +
+                           "': output() is not written by a plain assignment");
+  body->replace(found, close + 1 - found, "float " + local);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<frontend::KernelSource> FusePointwise(
+    const frontend::KernelSource& producer,
+    const frontend::KernelSource& consumer, const std::string& accessor) {
+  // The consumed accessor must exist and the consumer must be a pure point
+  // operator: every accessor window 1x1, so all its reads are offset (0,0).
+  const ast::AccessorInfo* consumed = nullptr;
+  for (const ast::AccessorInfo& acc : consumer.accessors) {
+    if (acc.window.half_x != 0 || acc.window.half_y != 0)
+      return Status::Invalid(StrFormat(
+          "cannot fuse kernel '%s' into '%s': accessor '%s' has a %dx%d "
+          "window — only point operators (all windows 1x1) are fusable",
+          consumer.name.c_str(), producer.name.c_str(), acc.name.c_str(),
+          acc.window.size_x(), acc.window.size_y()));
+    if (acc.name == accessor) consumed = &acc;
+  }
+  if (consumed == nullptr)
+    return Status::Invalid(StrFormat(
+        "cannot fuse kernel '%s' into '%s': it has no accessor named '%s'",
+        consumer.name.c_str(), producer.name.c_str(), accessor.c_str()));
+
+  // Merging must not capture names: params, accessors, masks, and declared
+  // body locals of the two kernels have to be disjoint. Producer locals
+  // matter too — a consumer param shadowed by a producer body variable
+  // would silently read the wrong value in the merged body.
+  const std::vector<std::string> producer_locals =
+      DeclaredLocals(producer.body);
+  auto collide = [&](const std::string& name) -> bool {
+    for (const ast::ParamInfo& p : producer.params)
+      if (p.name == name) return true;
+    for (const ast::AccessorInfo& a : producer.accessors)
+      if (a.name == name) return true;
+    for (const ast::MaskInfo& m : producer.masks)
+      if (m.name == name) return true;
+    return Contains(producer_locals, name);
+  };
+  for (const ast::ParamInfo& p : consumer.params)
+    if (collide(p.name))
+      return Status::Invalid("cannot fuse: name '" + p.name +
+                             "' exists in both kernels");
+  // The consumed accessor is exempt: its reads are substituted away and its
+  // name does not survive into the fused kernel.
+  for (const ast::AccessorInfo& a : consumer.accessors)
+    if (a.name != accessor && collide(a.name))
+      return Status::Invalid("cannot fuse: name '" + a.name +
+                             "' exists in both kernels");
+  for (const ast::MaskInfo& m : consumer.masks)
+    if (collide(m.name))
+      return Status::Invalid("cannot fuse: name '" + m.name +
+                             "' exists in both kernels");
+  const std::vector<std::string> consumer_locals =
+      DeclaredLocals(consumer.body);
+  for (const std::string& name : consumer_locals)
+    if (collide(name))
+      return Status::Invalid("cannot fuse: local variable '" + name +
+                             "' is declared in both kernel bodies");
+
+  // Pick a fresh name for the producer's pixel value.
+  std::string local = "fused_" + accessor;
+  while (Contains(producer_locals, local) || Contains(consumer_locals, local) ||
+         collide(local))
+    local += "_";
+
+  std::string producer_body = producer.body;
+  HIPACC_RETURN_IF_ERROR(
+      RewriteProducerOutput(&producer_body, local, producer.name));
+
+  std::string consumer_body = consumer.body;
+  const int replaced = ReplaceReads(&consumer_body, accessor, local);
+  if (replaced < 0)
+    return Status::Invalid("cannot fuse kernel '" + consumer.name +
+                           "': unbalanced parentheses in its body");
+  if (replaced == 0)
+    return Status::Invalid(StrFormat(
+        "cannot fuse kernel '%s' into '%s': its body never reads "
+        "accessor '%s'",
+        consumer.name.c_str(), producer.name.c_str(), accessor.c_str()));
+
+  frontend::KernelSource fused;
+  fused.name = producer.name + "_" + consumer.name;
+  fused.params = producer.params;
+  fused.params.insert(fused.params.end(), consumer.params.begin(),
+                      consumer.params.end());
+  // Producer accessors first: the front accessor (the windowed one) keeps
+  // driving the boundary-handling region layout of the fused kernel.
+  fused.accessors = producer.accessors;
+  for (const ast::AccessorInfo& acc : consumer.accessors)
+    if (acc.name != accessor) fused.accessors.push_back(acc);
+  fused.masks = producer.masks;
+  fused.masks.insert(fused.masks.end(), consumer.masks.begin(),
+                     consumer.masks.end());
+  fused.body = producer_body + "\n" + consumer_body;
+  return fused;
+}
+
+Result<frontend::KernelSource> ApplyFusion(
+    const frontend::KernelSource& producer,
+    const std::vector<FusionRequest>& chain) {
+  frontend::KernelSource current = producer;
+  for (const FusionRequest& request : chain) {
+    Result<frontend::KernelSource> fused =
+        FusePointwise(current, request.consumer, request.accessor);
+    if (!fused.ok()) return fused.status();
+    current = std::move(fused).take();
+  }
+  return current;
+}
+
+}  // namespace hipacc::compiler

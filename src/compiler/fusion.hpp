@@ -1,0 +1,56 @@
+// Producer→consumer point-wise kernel fusion at the DSL-source level: a
+// point operator (every accessor a 1x1 window, so every read is at offset
+// (0, 0)) is inlined into the local operator producing one of its inputs.
+// The fused kernel computes the producer's output pixel into a local
+// variable and substitutes it for the consumer's reads of the consumed
+// accessor — eliminating one intermediate image and one full global-memory
+// round trip per fused edge (write + re-read of every pixel).
+//
+// Legality rule (checked, not assumed):
+//   * the consumed accessor exists in the consumer and has a 1x1 window;
+//   * every OTHER consumer accessor is also 1x1 (a true point operator —
+//     a windowed second input would need the producer's value at
+//     neighbouring iteration points, which inlining cannot provide);
+//   * the producer writes output() exactly once, as a statement-level
+//     assignment (so the write can become a local definition);
+//   * merging introduces no name collisions: params, accessors, masks and
+//     body-local variables of producer and consumer must be disjoint.
+// The graph runtime additionally requires the producer's image to have no
+// other consumer and not be a pipeline output (runtime/graph.cpp).
+//
+// Fusion runs inside the compiler pipeline as the "fuse" pass
+// (compiler/pass.cpp), requested through CompileOptions::fusion; the driver
+// fingerprints the *fused* source, so compilation-cache keys distinguish a
+// kernel from its fused variants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/parser.hpp"
+
+namespace hipacc::compiler {
+
+/// One fusion step: inline `consumer` into the producing kernel, replacing
+/// the consumer's reads of `accessor` with the producer's output value.
+struct FusionRequest {
+  frontend::KernelSource consumer;
+  std::string accessor;  ///< consumer accessor fed by the producer
+};
+
+/// Fuses one point-wise consumer into `producer` (see the legality rule in
+/// the file comment). The fused kernel is named
+/// "<producer>_<consumer>"; its accessor list is the producer's accessors
+/// followed by the consumer's remaining ones, so the producer's (windowed)
+/// accessor keeps driving boundary-region selection.
+Result<frontend::KernelSource> FusePointwise(
+    const frontend::KernelSource& producer,
+    const frontend::KernelSource& consumer, const std::string& accessor);
+
+/// Applies a chain of fusion steps in order (producer -> r[0] -> r[1] ...),
+/// each step treating the previous result as the producer.
+Result<frontend::KernelSource> ApplyFusion(
+    const frontend::KernelSource& producer,
+    const std::vector<FusionRequest>& chain);
+
+}  // namespace hipacc::compiler

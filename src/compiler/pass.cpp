@@ -36,6 +36,38 @@ void CompilationContext::Warn(const std::string& pass, std::string message) {
 
 namespace {
 
+/// Fuse: inline the point-wise consumers requested by
+/// CompileOptions::fusion into the kernel source (compiler/fusion.hpp). A
+/// no-op without requests. Reuses a pre-fused source when the driver
+/// already computed one for the cache key.
+class FusePass final : public Pass {
+ public:
+  const char* name() const override { return "fuse"; }
+  Status Run(CompilationContext& ctx) const override {
+    if (ctx.options.fusion.empty()) {
+      ctx.Note(name(), "no fusion requests; kernel unchanged");
+      return Status::Ok();
+    }
+    if (ctx.source == nullptr)
+      return Status::Internal("fuse pass requires a KernelSource input");
+    if (!ctx.fused_source) {
+      Result<frontend::KernelSource> fused =
+          ApplyFusion(*ctx.source, ctx.options.fusion);
+      if (!fused.ok()) return fused.status();
+      ctx.fused_source = std::move(fused).take();
+    }
+    ctx.source = &*ctx.fused_source;
+    ctx.Note(name(),
+             StrFormat("fused %zu point-wise consumer(s) into '%s'",
+                       ctx.options.fusion.size(),
+                       ctx.fused_source->name.c_str()));
+    if (ctx.options.trace)
+      ctx.options.trace->IncrementCounter(
+          "fuse.edges", static_cast<long long>(ctx.options.fusion.size()));
+    return Status::Ok();
+  }
+};
+
 /// Parse: DSL text -> KernelDecl.
 class ParsePass final : public Pass {
  public:
@@ -249,6 +281,7 @@ std::vector<std::string> PassManager::names() const {
   return out;
 }
 
+std::unique_ptr<Pass> MakeFusePass() { return std::make_unique<FusePass>(); }
 std::unique_ptr<Pass> MakeParsePass() { return std::make_unique<ParsePass>(); }
 std::unique_ptr<Pass> MakeLowerPass() { return std::make_unique<LowerPass>(); }
 std::unique_ptr<Pass> MakeEstimateResourcesPass() {
@@ -264,7 +297,8 @@ std::unique_ptr<Pass> MakeBytecodePass() {
 
 PassManager BuildCompilePipeline() {
   PassManager pm;
-  pm.Add(MakeParsePass())
+  pm.Add(MakeFusePass())
+      .Add(MakeParsePass())
       .Add(MakeLowerPass())
       .Add(MakeEstimateResourcesPass())
       .Add(MakeSelectConfigPass())
@@ -300,7 +334,14 @@ void DumpAfterPass(const Pass& pass, const CompilationContext& ctx) {
   const CompiledKernel& a = ctx.artifact;
   std::fprintf(stderr, "--- after pass '%s' (kernel '%s') ---\n",
                name.c_str(), ctx.KernelName().c_str());
-  if (name == "parse") {
+  if (name == "fuse") {
+    if (ctx.source != nullptr) {
+      std::fprintf(stderr, "  kernel '%s', %zu accessors\n",
+                   ctx.source->name.c_str(), ctx.source->accessors.size());
+      std::fputs(ctx.source->body.c_str(), stderr);
+      std::fputc('\n', stderr);
+    }
+  } else if (name == "parse") {
     for (const ast::ParamInfo& p : a.decl.params)
       std::fprintf(stderr, "  param %s\n", p.name.c_str());
     for (const ast::AccessorInfo& acc : a.decl.accessors)

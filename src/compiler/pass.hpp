@@ -6,10 +6,10 @@
 // attached the manager additionally records one span per pass (category
 // "compile"), so `--trace-out` timelines show where compile time goes.
 //
-// The driver (compiler/driver.cpp) assembles three pipelines from the six
+// The driver (compiler/driver.cpp) assembles three pipelines from the seven
 // concrete passes:
-//   BuildCompilePipeline()  parse -> lower -> estimate -> select_config
-//                                 -> emit -> bytecode
+//   BuildCompilePipeline()  fuse -> parse -> lower -> estimate
+//                                -> select_config -> emit -> bytecode
 //   BuildDevicePipeline()          lower -> estimate -> select_config
 //                                 -> emit -> bytecode
 //   BuildTargetPipeline()                   select_config -> emit -> bytecode
@@ -57,6 +57,9 @@ struct CompilationContext {
   /// Input of the parse pass; later passes ignore it. Null when the
   /// pipeline starts from an existing KernelDecl (Retarget, cache hits).
   const frontend::KernelSource* source = nullptr;
+  /// Set by the fuse pass (or pre-seeded by the driver): the source with
+  /// CompileOptions::fusion applied. When present, `source` points at it.
+  std::optional<frontend::KernelSource> fused_source;
   CompileOptions options;
   CompiledKernel artifact;
   std::vector<PassDiagnostic> diagnostics;
@@ -104,8 +107,9 @@ class PassManager {
   DumpHook dump_hook_;
 };
 
-/// The six concrete passes, exposed individually so callers can assemble
+/// The concrete passes, exposed individually so callers can assemble
 /// custom pipelines (tests, tools).
+std::unique_ptr<Pass> MakeFusePass();
 std::unique_ptr<Pass> MakeParsePass();
 std::unique_ptr<Pass> MakeLowerPass();
 std::unique_ptr<Pass> MakeEstimateResourcesPass();
@@ -118,7 +122,7 @@ PassManager BuildCompilePipeline();
 PassManager BuildDevicePipeline();
 PassManager BuildTargetPipeline();
 
-/// Names of the full pipeline's passes, in order ("parse", "lower",
+/// Names of the full pipeline's passes, in order ("fuse", "parse", "lower",
 /// "estimate", "select_config", "emit", "bytecode") — the vocabulary
 /// accepted by --dump-after.
 const std::vector<std::string>& DefaultPassNames();

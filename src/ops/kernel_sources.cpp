@@ -213,4 +213,34 @@ frontend::KernelSource ThresholdSource() {
   return src;
 }
 
+frontend::KernelSource PyramidDetailSource() {
+  // Laplacian band: fine minus the smoothed zero-upsampled coarse level.
+  // PyramidUp scales the expand convolution by 4 (kernel taps sum to 1 over
+  // a grid holding 1/4 of the samples); folding the factor in here keeps
+  // the whole detail computation point-wise and fusable with the expand
+  // convolution. 4.0f * s is bit-identical to the eager path's s * 4.0f.
+  frontend::KernelSource src;
+  src.name = "pyramid_detail";
+  AccessorInfo up = InputAccessor(1, 1, BoundaryMode::kUndefined, 0.0f);
+  up.name = "U";
+  AccessorInfo fine = InputAccessor(1, 1, BoundaryMode::kUndefined, 0.0f);
+  fine.name = "Fine";
+  src.accessors = {up, fine};
+  src.body = "output() = Fine() - 4.0f * U();";
+  return src;
+}
+
+frontend::KernelSource PyramidCollectSource() {
+  frontend::KernelSource src;
+  src.name = "pyramid_collect";
+  src.params = {{"gain", ScalarType::kFloat}};
+  AccessorInfo up = InputAccessor(1, 1, BoundaryMode::kUndefined, 0.0f);
+  up.name = "U";
+  AccessorInfo band = InputAccessor(1, 1, BoundaryMode::kUndefined, 0.0f);
+  band.name = "B";
+  src.accessors = {up, band};
+  src.body = "output() = 4.0f * U() + gain * B();";
+  return src;
+}
+
 }  // namespace hipacc::ops

@@ -54,4 +54,16 @@ frontend::KernelSource ScaleOffsetSource();
 /// Point operator: binary threshold at `threshold` param.
 frontend::KernelSource ThresholdSource();
 
+/// Point operator for Laplacian-pyramid decomposition:
+/// output() = Fine() - 4.0f * U(), where U is the (unscaled) smoothed
+/// zero-upsampled coarser level and Fine the current Gaussian level. The
+/// pyramid's expand factor of 4 is folded in so the stage stays point-wise
+/// (fusable with the expand convolution feeding U).
+frontend::KernelSource PyramidDetailSource();
+
+/// Point operator for Laplacian-pyramid reconstruction:
+/// output() = 4.0f * U() + gain * B() — expand-scale plus gain-weighted
+/// detail band.
+frontend::KernelSource PyramidCollectSource();
+
 }  // namespace hipacc::ops

@@ -1,8 +1,11 @@
 #include "ops/pyramid.hpp"
 
+#include <string>
+
 #include "dsl/accessor.hpp"
 #include "dsl/image.hpp"
 #include "ops/dsl_ops.hpp"
+#include "ops/kernel_sources.hpp"
 #include "ops/masks.hpp"
 
 namespace hipacc::ops {
@@ -60,10 +63,83 @@ HostImage<float> PyramidUp(const HostImage<float>& image, int target_width,
   return smooth;
 }
 
+void BuildMultiresolutionGraph(runtime::PipelineGraph& graph, int width,
+                               int height, int levels,
+                               const std::vector<float>& gains,
+                               ast::BoundaryMode mode) {
+  HIPACC_CHECK(levels >= 1);
+  const frontend::KernelSource conv =
+      ConvolutionSource("gauss5", 5, 5, GaussianMask2D(5, 1.0f), mode, 0.0f);
+
+  // Per-level extents: w[l+1] = ceil(w[l] / 2), as PyramidDown produces.
+  std::vector<int> w{width}, h{height};
+  for (int l = 0; l < levels; ++l) {
+    w.push_back((w.back() + 1) / 2);
+    h.push_back((h.back() + 1) / 2);
+  }
+  auto g = [](int l) { return "g" + std::to_string(l); };
+
+  graph.Source(g(0), width, height);
+  // Decompose: Gaussian levels and detail bands. The expand convolution
+  // ("updc") has the detail stage as its only consumer, so the fusion pass
+  // folds it away — one fused launch per band instead of two.
+  for (int l = 0; l < levels; ++l) {
+    const std::string ls = std::to_string(l);
+    graph.Kernel("smooth" + ls, conv, {{"Input", g(l)}})
+        .Decimate2(g(l + 1), "smooth" + ls)
+        .ZeroUpsample("upd" + ls, g(l + 1), w[static_cast<size_t>(l)],
+                      h[static_cast<size_t>(l)])
+        .Kernel("updc" + ls, conv, {{"Input", "upd" + ls}})
+        .Kernel("band" + ls, PyramidDetailSource(),
+                {{"U", "updc" + ls}, {"Fine", g(l)}});
+  }
+  // Reconstruct coarse-to-fine; "r<l>" is the recollected level-l image
+  // (the coarsest is the top Gaussian level itself). The expand convolution
+  // ("uprc") again fuses into the point-wise collect stage.
+  for (int l = levels - 1; l >= 0; --l) {
+    const std::string ls = std::to_string(l);
+    const std::string coarser =
+        l == levels - 1 ? g(levels) : "r" + std::to_string(l + 1);
+    const float gain =
+        l < static_cast<int>(gains.size()) ? gains[static_cast<size_t>(l)]
+                                           : 1.0f;
+    graph
+        .ZeroUpsample("upr" + ls, coarser, w[static_cast<size_t>(l)],
+                      h[static_cast<size_t>(l)])
+        .Kernel("uprc" + ls, conv, {{"Input", "upr" + ls}})
+        .Kernel("r" + ls, PyramidCollectSource(),
+                {{"U", "uprc" + ls}, {"B", "band" + ls}},
+                {{"gain", static_cast<double>(gain)}});
+  }
+  graph.Output("r0");
+}
+
+Result<HostImage<float>> MultiresolutionFilterGraph(
+    const HostImage<float>& image, int levels, const std::vector<float>& gains,
+    ast::BoundaryMode mode, const runtime::GraphOptions& options) {
+  runtime::PipelineGraph graph;
+  BuildMultiresolutionGraph(graph, image.width(), image.height(), levels,
+                            gains, mode);
+  HostImage<float> out(image.width(), image.height());
+  HIPACC_RETURN_IF_ERROR(
+      graph.Run({{"g0", &image}}, {{"r0", &out}}, options));
+  return out;
+}
+
 HostImage<float> MultiresolutionFilter(const HostImage<float>& image,
                                        int levels,
                                        const std::vector<float>& gains,
                                        ast::BoundaryMode mode) {
+  Result<HostImage<float>> out =
+      MultiresolutionFilterGraph(image, levels, gains, mode);
+  HIPACC_CHECK(out.ok());
+  return std::move(out).take();
+}
+
+HostImage<float> MultiresolutionFilterEager(const HostImage<float>& image,
+                                            int levels,
+                                            const std::vector<float>& gains,
+                                            ast::BoundaryMode mode) {
   HIPACC_CHECK(levels >= 1);
   // Decompose.
   std::vector<HostImage<float>> gaussians;

@@ -10,6 +10,7 @@
 
 #include "ast/metadata.hpp"
 #include "image/host_image.hpp"
+#include "runtime/graph.hpp"
 
 namespace hipacc::ops {
 
@@ -22,13 +23,39 @@ HostImage<float> PyramidDown(const HostImage<float>& image,
 HostImage<float> PyramidUp(const HostImage<float>& image, int target_width,
                            int target_height, ast::BoundaryMode mode);
 
+/// Declares the full Laplacian band-pass pipeline on `graph`: source "g0"
+/// (width x height), per-level smooth/decimate/upsample/detail stages, the
+/// gain-weighted reconstruction, and output "r0". The expand convolutions
+/// feed point-wise detail/collect stages, so the fusion pass merges two
+/// edges per level. Reusable: bind "g0"/"r0" and Run() repeatedly.
+void BuildMultiresolutionGraph(runtime::PipelineGraph& graph, int width,
+                               int height, int levels,
+                               const std::vector<float>& gains,
+                               ast::BoundaryMode mode);
+
 /// Laplacian-pyramid band-pass filter: decomposes into `levels` detail
 /// bands, scales band i by gains[i] (missing entries default to 1), and
 /// reconstructs. With gains > 1 this is the classic multiresolution
-/// enhancement used in angiography processing.
+/// enhancement used in angiography processing. Scheduled through the
+/// pipeline graph runtime (BuildMultiresolutionGraph); bit-identical to
+/// MultiresolutionFilterEager.
 HostImage<float> MultiresolutionFilter(const HostImage<float>& image,
                                        int levels,
                                        const std::vector<float>& gains,
                                        ast::BoundaryMode mode);
+
+/// Graph-scheduled multiresolution filter with explicit execution options
+/// and error reporting (MultiresolutionFilter aborts on failure).
+Result<HostImage<float>> MultiresolutionFilterGraph(
+    const HostImage<float>& image, int levels, const std::vector<float>& gains,
+    ast::BoundaryMode mode, const runtime::GraphOptions& options = {});
+
+/// Stage-by-stage reference implementation on the DSL classes (one eager
+/// kernel per pyramid step, host images between steps) — what the graph
+/// path is verified bit-identical against.
+HostImage<float> MultiresolutionFilterEager(const HostImage<float>& image,
+                                            int levels,
+                                            const std::vector<float>& gains,
+                                            ast::BoundaryMode mode);
 
 }  // namespace hipacc::ops

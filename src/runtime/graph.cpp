@@ -1,0 +1,525 @@
+#include "runtime/graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "compiler/cache.hpp"
+#include "compiler/driver.hpp"
+#include "runtime/bindings.hpp"
+#include "runtime/host_exec.hpp"
+#include "runtime/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "support/parallel_for.hpp"
+#include "support/string_utils.hpp"
+
+namespace hipacc::runtime {
+
+PipelineGraph& PipelineGraph::AddNode(Node node) {
+  for (const Node& existing : nodes_) {
+    if (existing.name == node.name) {
+      if (deferred_error_.ok())
+        deferred_error_ = Status::Invalid("image '" + node.name +
+                                          "' is produced by more than one "
+                                          "stage");
+      return *this;
+    }
+  }
+  nodes_.push_back(std::move(node));
+  return *this;
+}
+
+PipelineGraph& PipelineGraph::Source(std::string name, int width, int height) {
+  if (width <= 0 || height <= 0) {
+    if (deferred_error_.ok())
+      deferred_error_ =
+          Status::Invalid("source '" + name + "' needs a positive extent");
+    return *this;
+  }
+  Node node;
+  node.kind = Node::Kind::kSource;
+  node.name = std::move(name);
+  node.width = width;
+  node.height = height;
+  return AddNode(std::move(node));
+}
+
+PipelineGraph& PipelineGraph::Kernel(
+    std::string name, frontend::KernelSource kernel,
+    std::vector<std::pair<std::string, std::string>> inputs,
+    std::vector<std::pair<std::string, double>> scalars) {
+  if (inputs.empty()) {
+    if (deferred_error_.ok())
+      deferred_error_ = Status::Invalid(
+          "kernel stage '" + name +
+          "' needs at least one input (its extent is inferred from the "
+          "first)");
+    return *this;
+  }
+  Node node;
+  node.kind = Node::Kind::kKernel;
+  node.name = std::move(name);
+  node.kernel = std::move(kernel);
+  node.inputs = std::move(inputs);
+  node.scalars = std::move(scalars);
+  return AddNode(std::move(node));
+}
+
+PipelineGraph& PipelineGraph::Decimate2(std::string name, std::string input) {
+  Node node;
+  node.kind = Node::Kind::kDecimate;
+  node.name = std::move(name);
+  node.inputs.emplace_back(std::string(), std::move(input));
+  return AddNode(std::move(node));
+}
+
+PipelineGraph& PipelineGraph::ZeroUpsample(std::string name, std::string input,
+                                           int width, int height) {
+  if (width <= 0 || height <= 0) {
+    if (deferred_error_.ok())
+      deferred_error_ = Status::Invalid("upsample stage '" + name +
+                                        "' needs a positive target extent");
+    return *this;
+  }
+  Node node;
+  node.kind = Node::Kind::kUpsample;
+  node.name = std::move(name);
+  node.inputs.emplace_back(std::string(), std::move(input));
+  node.width = width;
+  node.height = height;
+  return AddNode(std::move(node));
+}
+
+PipelineGraph& PipelineGraph::Output(std::string name) {
+  if (std::find(outputs_.begin(), outputs_.end(), name) == outputs_.end())
+    outputs_.push_back(std::move(name));
+  return *this;
+}
+
+/// All state of one Run(): the fused stage list, compiled artifacts, live
+/// buffers, and reference counts. A fresh GraphRun per call keeps
+/// PipelineGraph itself reusable and Run() re-entrant over the same graph.
+struct GraphRun {
+  using Node = PipelineGraph::Node;
+
+  /// One schedulable stage after fusion. `source` + `chain` reproduce the
+  /// compiled kernel through the driver's fuse pass; `effective` is the
+  /// materialised fused source used for further legality checks.
+  struct Stage {
+    Node::Kind kind = Node::Kind::kSource;
+    std::string name;
+    frontend::KernelSource source;
+    std::vector<compiler::FusionRequest> chain;
+    frontend::KernelSource effective;
+    std::vector<std::pair<std::string, std::string>> inputs;
+    std::vector<std::pair<std::string, double>> scalars;
+    int width = 0;
+    int height = 0;
+    compiler::CompiledKernel compiled;
+  };
+
+  PipelineGraph& graph;
+  const GraphOptions& options;
+  sim::TraceSink* trace;
+  std::vector<Stage> stages;
+  std::map<std::string, int> producer;  ///< image name -> stage index
+
+  // Execution state.
+  std::mutex mutex;
+  std::map<std::string, BufferPool::ImagePtr> buffers;
+  std::map<std::string, int> refcount;
+  const PipelineGraph::InputBindings* inputs = nullptr;
+
+  GraphRun(PipelineGraph& g, const GraphOptions& o)
+      : graph(g), options(o), trace(o.run.trace) {}
+
+  Status Validate(const PipelineGraph::InputBindings& in,
+                  const PipelineGraph::OutputBindings& out);
+  Result<std::vector<int>> OrderAndExtents();
+  void PlanFusion();
+  Status CompileStages();
+  DagSpec BuildDag() const;
+  Status ExecStage(int index);
+  Status RunKernelStage(Stage& stage);
+  void ReleaseConsumed(const Stage& stage);
+};
+
+Status GraphRun::Validate(const PipelineGraph::InputBindings& in,
+                          const PipelineGraph::OutputBindings& out) {
+  for (std::size_t i = 0; i < graph.nodes_.size(); ++i)
+    producer[graph.nodes_[i].name] = static_cast<int>(i);
+  for (const Node& node : graph.nodes_) {
+    for (const auto& [accessor, image] : node.inputs) {
+      if (producer.find(image) == producer.end())
+        return Status::Invalid("stage '" + node.name +
+                               "' consumes undeclared image '" + image + "'");
+      if (image == node.name)
+        return Status::Invalid("pipeline graph has a cycle: " + node.name +
+                               " -> " + node.name);
+    }
+  }
+  for (const std::string& name : graph.outputs_) {
+    if (producer.find(name) == producer.end())
+      return Status::Invalid("output '" + name +
+                             "' is not produced by any stage");
+  }
+  for (const auto& [name, image] : out) {
+    if (image == nullptr)
+      return Status::Invalid("output '" + name + "' bound to null");
+    if (std::find(graph.outputs_.begin(), graph.outputs_.end(), name) ==
+        graph.outputs_.end())
+      return Status::Invalid("'" + name +
+                             "' is not declared as a graph output");
+  }
+  for (const Node& node : graph.nodes_) {
+    if (node.kind != Node::Kind::kSource) continue;
+    const HostImage<float>* bound = nullptr;
+    for (const auto& [name, image] : in)
+      if (name == node.name) bound = image;
+    if (bound == nullptr)
+      return Status::Invalid("source '" + node.name + "' is not bound");
+    if (bound->width() != node.width || bound->height() != node.height)
+      return Status::Invalid(StrFormat(
+          "source '%s' declared %dx%d but bound %dx%d", node.name.c_str(),
+          node.width, node.height, bound->width(), bound->height()));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<int>> GraphRun::OrderAndExtents() {
+  // Cycle check runs on the *declared* graph so the diagnostic speaks the
+  // user's stage names; fusion afterwards preserves acyclicity.
+  DagSpec dag;
+  dag.dependencies.assign(graph.nodes_.size(), 0);
+  dag.consumers.assign(graph.nodes_.size(), {});
+  for (std::size_t i = 0; i < graph.nodes_.size(); ++i) {
+    for (const auto& [accessor, image] : graph.nodes_[i].inputs) {
+      dag.dependencies[i] += 1;
+      dag.consumers[static_cast<std::size_t>(producer.at(image))].push_back(
+          static_cast<int>(i));
+    }
+  }
+  Result<std::vector<int>> order = TopologicalOrder(
+      dag, [this](int i) { return graph.nodes_[static_cast<std::size_t>(i)].name; });
+  if (!order.ok()) return order.status();
+
+  stages.resize(graph.nodes_.size());
+  for (std::size_t i = 0; i < graph.nodes_.size(); ++i) {
+    const Node& node = graph.nodes_[i];
+    Stage& stage = stages[i];
+    stage.kind = node.kind;
+    stage.name = node.name;
+    stage.source = node.kernel;
+    stage.effective = node.kernel;
+    stage.inputs = node.inputs;
+    stage.scalars = node.scalars;
+    stage.width = node.width;
+    stage.height = node.height;
+  }
+  for (int index : order.value()) {
+    Stage& stage = stages[static_cast<std::size_t>(index)];
+    if (stage.kind == Node::Kind::kSource) continue;
+    const Stage& first =
+        stages[static_cast<std::size_t>(producer.at(stage.inputs.front().second))];
+    switch (stage.kind) {
+      case Node::Kind::kKernel:
+        stage.width = first.width;
+        stage.height = first.height;
+        break;
+      case Node::Kind::kDecimate:
+        stage.width = (first.width + 1) / 2;
+        stage.height = (first.height + 1) / 2;
+        break;
+      case Node::Kind::kUpsample:
+        if (stage.width < first.width || stage.height < first.height)
+          return Status::Invalid(StrFormat(
+              "upsample stage '%s' target %dx%d is smaller than its input "
+              "%dx%d",
+              stage.name.c_str(), stage.width, stage.height, first.width,
+              first.height));
+        break;
+      case Node::Kind::kSource:
+        break;
+    }
+  }
+  return order;
+}
+
+void GraphRun::PlanFusion() {
+  if (!options.fuse) return;
+  // Count consumer edges per image; a producer is only fusable when exactly
+  // one edge reads it (and it is not an externally visible output).
+  auto edge_count = [this](const std::string& image) {
+    int count = 0;
+    for (const Stage& stage : stages)
+      for (const auto& [accessor, input] : stage.inputs)
+        if (input == image) ++count;
+    return count;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t c = 0; c < stages.size() && !changed; ++c) {
+      Stage& consumer = stages[c];
+      if (consumer.kind != Node::Kind::kKernel) continue;
+      for (std::size_t e = 0; e < consumer.inputs.size(); ++e) {
+        const auto [accessor, image] = consumer.inputs[e];
+        const std::size_t p = static_cast<std::size_t>(producer.at(image));
+        Stage& prod = stages[p];
+        if (prod.kind != Node::Kind::kKernel) continue;
+        if (edge_count(image) != 1) continue;
+        if (std::find(graph.outputs_.begin(), graph.outputs_.end(), image) !=
+            graph.outputs_.end())
+          continue;
+        if (prod.width != consumer.width || prod.height != consumer.height)
+          continue;
+        Result<frontend::KernelSource> fused = compiler::FusePointwise(
+            prod.effective, consumer.effective, accessor);
+        if (!fused.ok()) continue;  // not point-wise fusable; stay eager
+
+        // Merge the producer into the consumer's slot: the consumer stage
+        // now compiles the producer's source with the consumer appended to
+        // the fusion chain, consumes the producer's inputs plus its own
+        // remaining ones, and still produces the consumer's image.
+        consumer.chain = std::move(prod.chain);
+        consumer.chain.push_back(
+            compiler::FusionRequest{consumer.effective, accessor});
+        consumer.source = prod.source;
+        consumer.effective = std::move(fused).take();
+        consumer.inputs.erase(consumer.inputs.begin() +
+                              static_cast<std::ptrdiff_t>(e));
+        consumer.inputs.insert(consumer.inputs.begin(), prod.inputs.begin(),
+                               prod.inputs.end());
+        consumer.scalars.insert(consumer.scalars.end(), prod.scalars.begin(),
+                                prod.scalars.end());
+        // Retire the producer stage in place (erasing would invalidate the
+        // `producer` index map); BuildDag skips retired stages.
+        prod.kind = Node::Kind::kSource;
+        prod.inputs.clear();
+        producer[consumer.name] = static_cast<int>(c);
+        producer.erase(prod.name);
+        prod.name.clear();
+        if (trace != nullptr) trace->IncrementCounter("graph.fused_edges");
+        changed = true;
+        break;
+      }
+    }
+  }
+}
+
+Status GraphRun::CompileStages() {
+  sim::TraceSpan span(trace, "graph compile", "graph");
+  std::vector<Status> statuses(stages.size());
+  // Concurrent compilation through the (thread-safe) compilation cache;
+  // repeated extents and repeated Run() calls hit instead of recompiling.
+  ParallelFor(0, static_cast<int>(stages.size()), [&](int i) {
+    Stage& stage = stages[static_cast<std::size_t>(i)];
+    if (stage.kind != Node::Kind::kKernel) return;
+    compiler::CompileOptions copts =
+        MakeCompileOptions(options.run, stage.width, stage.height);
+    copts.fusion = stage.chain;
+    Result<compiler::CompiledKernel> compiled =
+        compiler::Compile(stage.source, copts);
+    if (!compiled.ok()) {
+      statuses[static_cast<std::size_t>(i)] =
+          Status::Invalid("stage '" + stage.name +
+                          "': " + compiled.status().message());
+      return;
+    }
+    stage.compiled = std::move(compiled).take();
+  });
+  for (const Status& status : statuses) HIPACC_RETURN_IF_ERROR(status);
+  return Status::Ok();
+}
+
+DagSpec GraphRun::BuildDag() const {
+  DagSpec dag;
+  dag.dependencies.assign(stages.size(), 0);
+  dag.consumers.assign(stages.size(), {});
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    // Retired fusion producers keep their slot but have no inputs and no
+    // name; they run as zero-cost no-ops.
+    for (const auto& [accessor, image] : stages[i].inputs) {
+      dag.dependencies[i] += 1;
+      dag.consumers[static_cast<std::size_t>(producer.at(image))].push_back(
+          static_cast<int>(i));
+    }
+  }
+  return dag;
+}
+
+Status GraphRun::RunKernelStage(Stage& stage) {
+  BindingSet bindings;
+  for (const auto& [accessor, image] : stage.inputs) {
+    dsl::Image<float>* bound = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      bound = buffers.at(image).get();
+    }
+    bindings.Input(accessor, *bound);
+  }
+  dsl::Image<float>* out = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    out = buffers.at(stage.name).get();
+  }
+  bindings.Output(*out);
+  for (const auto& [name, value] : stage.scalars) bindings.Scalar(name, value);
+
+  const compiler::CompiledKernel& ck = stage.compiled;
+  Result<LaunchHolder> holder =
+      BuildLaunch(ck.device_ir, ck.config.config, bindings);
+  if (!holder.ok()) return holder.status();
+  sim::Launch& launch = holder.value().launch;
+  launch.programs = ck.bytecode.get();
+
+  const bool host_ok =
+      options.executor != GraphOptions::Executor::kSimulator &&
+      ck.bytecode != nullptr &&
+      HostExecSupports(*ck.bytecode, launch.width, launch.height,
+                       ck.device_ir.bh_window.half_x,
+                       ck.device_ir.bh_window.half_y);
+  if (options.executor == GraphOptions::Executor::kHost && !host_ok)
+    return Status::Unimplemented(
+        "stage '" + stage.name +
+        "' is not supported by the host executor (GraphOptions::Executor::"
+        "kHost)");
+  if (host_ok) {
+    // Inside a multi-worker schedule each stage runs its rows serially —
+    // the DAG branches are the parallelism; a lone worker hands the row
+    // loop all cores instead.
+    HostExecOptions exec_options;
+    exec_options.threads = options.workers == 1 ? 0 : 1;
+    HIPACC_RETURN_IF_ERROR(RunOnHost(launch, ck.device_ir.bh_window.half_x,
+                                     ck.device_ir.bh_window.half_y,
+                                     exec_options));
+    if (trace != nullptr) trace->IncrementCounter("graph.launches.host");
+    return Status::Ok();
+  }
+  sim::Simulator simulator(options.run.device, options.run.sim_options());
+  Result<sim::LaunchStats> stats = simulator.Execute(launch);
+  if (!stats.ok()) return stats.status();
+  if (trace != nullptr) trace->IncrementCounter("graph.launches.sim");
+  return Status::Ok();
+}
+
+void GraphRun::ReleaseConsumed(const Stage& stage) {
+  for (const auto& [accessor, image] : stage.inputs) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = refcount.find(image);
+    if (it == refcount.end() || --it->second > 0) continue;
+    refcount.erase(it);
+    auto buffer = buffers.find(image);
+    if (buffer != buffers.end()) {
+      graph.pool_.Release(std::move(buffer->second));
+      buffers.erase(buffer);
+    }
+  }
+}
+
+Status GraphRun::ExecStage(int index) {
+  Stage& stage = stages[static_cast<std::size_t>(index)];
+  if (stage.name.empty()) return Status::Ok();  // retired fusion producer
+  sim::TraceSpan span(trace, "stage " + stage.name, "graph");
+
+  BufferPool::ImagePtr out =
+      graph.pool_.Acquire(stage.width, stage.height, trace);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    buffers[stage.name] = std::move(out);
+  }
+
+  Status status = Status::Ok();
+  switch (stage.kind) {
+    case Node::Kind::kSource: {
+      const HostImage<float>* host = nullptr;
+      for (const auto& [name, image] : *inputs)
+        if (name == stage.name) host = image;
+      std::lock_guard<std::mutex> lock(mutex);
+      buffers.at(stage.name)->CopyFrom(*host);
+      break;
+    }
+    case Node::Kind::kDecimate: {
+      dsl::Image<float>* in = nullptr;
+      dsl::Image<float>* dst = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        in = buffers.at(stage.inputs.front().second).get();
+        dst = buffers.at(stage.name).get();
+      }
+      for (int y = 0; y < stage.height; ++y)
+        for (int x = 0; x < stage.width; ++x)
+          dst->at(x, y) = in->at(2 * x, 2 * y);
+      break;
+    }
+    case Node::Kind::kUpsample: {
+      dsl::Image<float>* in = nullptr;
+      dsl::Image<float>* dst = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        in = buffers.at(stage.inputs.front().second).get();
+        dst = buffers.at(stage.name).get();
+      }
+      for (int y = 0; y < stage.height; ++y)
+        for (int x = 0; x < stage.width; ++x) dst->at(x, y) = 0.0f;
+      for (int y = 0; y < in->height(); ++y)
+        for (int x = 0; x < in->width(); ++x) {
+          const int tx = 2 * x, ty = 2 * y;
+          if (tx < stage.width && ty < stage.height)
+            dst->at(tx, ty) = in->at(x, y);
+        }
+      break;
+    }
+    case Node::Kind::kKernel:
+      status = RunKernelStage(stage);
+      break;
+  }
+  if (!status.ok()) return status;
+  if (trace != nullptr) trace->IncrementCounter("graph.stages");
+  ReleaseConsumed(stage);
+  return Status::Ok();
+}
+
+Status PipelineGraph::Run(const InputBindings& inputs,
+                          const OutputBindings& outputs,
+                          const GraphOptions& options) {
+  HIPACC_RETURN_IF_ERROR(deferred_error_);
+  if (nodes_.empty()) return Status::Invalid("pipeline graph has no stages");
+
+  GraphRun run(*this, options);
+  sim::TraceSpan span(run.trace, "graph run", "graph");
+  HIPACC_RETURN_IF_ERROR(run.Validate(inputs, outputs));
+  {
+    Result<std::vector<int>> order = run.OrderAndExtents();
+    if (!order.ok()) return order.status();
+  }
+  run.PlanFusion();
+  HIPACC_RETURN_IF_ERROR(run.CompileStages());
+
+  // A consumed image is released to the pool once its last consumer edge
+  // ran; externally visible outputs hold one extra reference until copied.
+  run.inputs = &inputs;
+  for (const GraphRun::Stage& stage : run.stages)
+    for (const auto& [accessor, image] : stage.inputs) run.refcount[image] += 1;
+  for (const std::string& name : outputs_)
+    if (run.producer.find(name) != run.producer.end()) run.refcount[name] += 1;
+
+  const DagSpec dag = run.BuildDag();
+  HIPACC_RETURN_IF_ERROR(RunDag(dag, options.workers,
+                                [&run](int index) { return run.ExecStage(index); }));
+
+  for (const auto& [name, image] : outputs) {
+    auto it = run.buffers.find(name);
+    if (it == run.buffers.end())
+      return Status::Internal("output '" + name + "' was never produced");
+    *image = it->second->getData();
+  }
+  // Return every remaining buffer (outputs, unconsumed leaves) to the pool
+  // for the next Run().
+  for (auto& [name, buffer] : run.buffers) pool_.Release(std::move(buffer));
+  if (run.trace != nullptr) run.trace->IncrementCounter("graph.runs");
+  return Status::Ok();
+}
+
+}  // namespace hipacc::runtime

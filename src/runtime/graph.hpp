@@ -1,0 +1,129 @@
+// Pipeline graph runtime (the PR 4 tentpole): applications declare a DAG of
+// DSL kernel stages over *named virtual images*, and the runtime does what
+// HIPAcc's generated host code would otherwise hard-code per application —
+// topologically schedules the stages, compiles every kernel through the
+// compilation cache (concurrently for independent stages), executes
+// independent branches on worker threads, recycles intermediate device
+// buffers through an extent-keyed BufferPool, and fuses point-wise consumers
+// into their producers (compiler/fusion.hpp) so chains like
+// "convolve -> scale-and-subtract" become one kernel launch.
+//
+//   PipelineGraph graph;
+//   graph.Source("in", w, h)
+//        .Kernel("blur", ops::ConvolutionSource(...), {{"Input", "in"}})
+//        .Kernel("edge", ops::ThresholdSource(), {{"Input", "blur"}},
+//                {{"threshold", 0.5}})
+//        .Output("edge");
+//   graph.Run({{"in", &host_in}}, {{"edge", &host_out}});
+//
+// Stage declaration is order-free: a stage may consume an image that is
+// declared later. Run() validates the graph — unknown images, duplicate
+// producers, and cycles are reported with the offending stage names.
+//
+// Execution semantics: every stage runs exactly once per Run(), producers
+// before consumers; outputs are bit-identical to running the same kernels
+// eagerly one by one (the host bytecode executor and the simulator engines
+// share per-operation float semantics, and fusion only composes unchanged
+// per-pixel arithmetic).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compiler/fusion.hpp"
+#include "frontend/parser.hpp"
+#include "image/host_image.hpp"
+#include "runtime/buffer_pool.hpp"
+#include "runtime/run_options.hpp"
+
+namespace hipacc::runtime {
+
+struct GraphOptions {
+  /// How kernels run: the execution path for each stage.
+  enum class Executor {
+    kAuto,       ///< host bytecode executor, simulator when unsupported
+    kHost,       ///< host bytecode executor only; unsupported stages fail
+    kSimulator,  ///< simulated device for every stage
+  };
+
+  /// Compilation and launch options shared by every stage.
+  RunOptions run;
+  /// Fuse point-wise consumers into their producers where legal.
+  bool fuse = true;
+  /// Worker threads executing independent DAG branches (0 = hardware
+  /// concurrency). Results are identical for any worker count.
+  int workers = 0;
+  Executor executor = Executor::kAuto;
+};
+
+class PipelineGraph {
+ public:
+  using InputBindings =
+      std::vector<std::pair<std::string, const HostImage<float>*>>;
+  using OutputBindings = std::vector<std::pair<std::string, HostImage<float>*>>;
+
+  /// Declares an external input image of the given extent. The virtual
+  /// image `name` must be bound in Run()'s inputs.
+  PipelineGraph& Source(std::string name, int width, int height);
+
+  /// Declares a DSL kernel stage producing virtual image `name` (extent:
+  /// that of its first input). `inputs` maps the kernel's accessor names to
+  /// virtual images; `scalars` binds scalar kernel parameters.
+  PipelineGraph& Kernel(
+      std::string name, frontend::KernelSource kernel,
+      std::vector<std::pair<std::string, std::string>> inputs,
+      std::vector<std::pair<std::string, double>> scalars = {});
+
+  /// Factor-2 decimation (host stage): out(x, y) = in(2x, 2y), extent
+  /// ((w+1)/2, (h+1)/2). Not expressible as a local operator (the paper's
+  /// DSL iterates output-aligned windows), hence a built-in.
+  PipelineGraph& Decimate2(std::string name, std::string input);
+
+  /// Zero-insertion upsampling (host stage): out(2x, 2y) = in(x, y), all
+  /// other pixels 0, to an explicit target extent.
+  PipelineGraph& ZeroUpsample(std::string name, std::string input, int width,
+                              int height);
+
+  /// Marks a virtual image as an external output, to be bound in Run().
+  PipelineGraph& Output(std::string name);
+
+  /// Validates, schedules, and executes the graph. Each entry of `outputs`
+  /// is overwritten with its image's pixels.
+  Status Run(const InputBindings& inputs, const OutputBindings& outputs,
+             const GraphOptions& options = {});
+
+  /// Declared stages (sources count; fusion does not change this).
+  std::size_t stage_count() const { return nodes_.size(); }
+
+  /// The pool backing intermediate images. Persistent across Run() calls,
+  /// so repeated runs reuse every buffer of the first.
+  const BufferPool& pool() const { return pool_; }
+
+ private:
+  friend struct GraphRun;
+
+  struct Node {
+    enum class Kind { kSource, kKernel, kDecimate, kUpsample };
+    Kind kind = Kind::kSource;
+    std::string name;  ///< the virtual image this stage produces
+    frontend::KernelSource kernel;  ///< kKernel only
+    /// accessor -> virtual image (kKernel); single entry with empty
+    /// accessor for the host stages.
+    std::vector<std::pair<std::string, std::string>> inputs;
+    std::vector<std::pair<std::string, double>> scalars;
+    int width = 0;   ///< declared extent (kSource / kUpsample)
+    int height = 0;
+  };
+
+  PipelineGraph& AddNode(Node node);
+
+  std::vector<Node> nodes_;
+  std::vector<std::string> outputs_;
+  /// First declaration-time error (duplicate producer, ...), surfaced by
+  /// Run() — the chainable builder cannot return Status.
+  Status deferred_error_ = Status::Ok();
+  BufferPool pool_;
+};
+
+}  // namespace hipacc::runtime

@@ -1,0 +1,53 @@
+// Host bytecode executor: runs a kernel's compiled register programs
+// (sim/bytecode.hpp) directly over image rows, without the simulator's
+// warp-lockstep machinery, memory model, or metric accounting. It exists
+// for the pipeline graph runtime (runtime/graph.hpp), where stages only
+// need *values* — the simulator remains the path that also models time.
+//
+// Execution model: each output row is cut into x-segments by the kernel's
+// boundary-handling halo — [0, halo_x), [halo_x, W - halo_x), [W - halo_x,
+// W) — and crossed with the same three y-bands, selecting one of the nine
+// region programs per segment at *pixel* granularity. This is value-exact
+// with the simulator's block-granular region multiplexing: a region's
+// program differs from the interior one only in which boundary guards it
+// carries, and guards are value-neutral for in-range reads — every pixel
+// here runs under a program whose guards cover exactly the directions it
+// can actually exceed. Segments are interpreted in lane chunks (one
+// dispatch per instruction per chunk, amortised over up to kLaneWidth
+// pixels) using the very same per-lane arithmetic helpers as the VM, so
+// outputs are bit-identical to both simulator engines and to the DSL's
+// functional path.
+//
+// Programs the executor cannot prove equivalent return Unimplemented:
+// scratchpad staging (kLoadShared), texture/hardware boundary handling,
+// thread/block-index dependent values, or a halo exceeding the image (the
+// degenerate-region case). Callers fall back to the simulator.
+#pragma once
+
+#include "sim/bytecode.hpp"
+#include "sim/launch.hpp"
+#include "support/status.hpp"
+
+namespace hipacc::runtime {
+
+struct HostExecOptions {
+  /// Worker threads for the row loop (0 = hardware concurrency, 1 =
+  /// serial). Rows are data-parallel; any thread count is value-identical.
+  int threads = 0;
+};
+
+/// Executes `launch.programs` over the launch's iteration space, writing
+/// bound output buffers in place. `halo_x` / `halo_y` is the kernel's
+/// boundary-handling window (DeviceKernel::bh_window) that sized the nine
+/// region variants; ignored when the program set has a single variant.
+/// Returns Unimplemented for unsupported programs (see file comment) —
+/// the caller is expected to fall back to simulator execution.
+Status RunOnHost(const sim::Launch& launch, int halo_x, int halo_y,
+                 const HostExecOptions& options = {});
+
+/// True when RunOnHost would accept this program set (used by the graph
+/// scheduler to decide the execution path before launching).
+bool HostExecSupports(const sim::ProgramSet& programs, int width, int height,
+                      int halo_x, int halo_y);
+
+}  // namespace hipacc::runtime

@@ -3,13 +3,10 @@
 namespace hipacc::runtime {
 
 KernelRunner::KernelRunner(frontend::KernelSource source)
-    : KernelRunner(std::move(source), Options{}) {}
+    : KernelRunner(std::move(source), RunOptions{}) {}
 
-KernelRunner::KernelRunner(frontend::KernelSource source, Options options)
-    : source_(std::move(source)), options_(std::move(options)) {
-  if (options_.cache == nullptr)
-    options_.cache = &compiler::GlobalCompilationCache();
-}
+KernelRunner::KernelRunner(frontend::KernelSource source, RunOptions options)
+    : source_(std::move(source)), options_(std::move(options)) {}
 
 void KernelRunner::set_device(hw::DeviceSpec device) {
   options_.device = std::move(device);
@@ -23,18 +20,12 @@ Status KernelRunner::EnsureCompiled(int width, int height) {
   if (executable_ && width == width_ && height == height_)
     return Status::Ok();
 
-  compiler::CompileOptions copts;
-  copts.codegen = options_.codegen;
-  copts.device = options_.device;
-  copts.image_width = width;
-  copts.image_height = height;
-  copts.forced_config = options_.forced_config;
-  copts.trace = options_.trace;
-  copts.cache = options_.cache;
+  compiler::CompileOptions copts = MakeCompileOptions(options_, width, height);
   Result<compiler::CompiledKernel> compiled = compiler::Compile(source_, copts);
   if (!compiled.ok()) return compiled.status();
 
-  executable_.emplace(std::move(compiled).take(), options_.device);
+  executable_.emplace(std::move(compiled).take(), options_.device,
+                      options_.sim_options());
   if (options_.trace != nullptr) executable_->set_trace(options_.trace);
   width_ = width;
   height_ = height;

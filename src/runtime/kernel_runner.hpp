@@ -19,24 +19,18 @@
 #include "compiler/executable.hpp"
 #include "frontend/parser.hpp"
 #include "runtime/bindings.hpp"
+#include "runtime/run_options.hpp"
 
 namespace hipacc::runtime {
 
 class KernelRunner {
  public:
-  struct Options {
-    codegen::CodegenOptions codegen;
-    hw::DeviceSpec device = hw::TeslaC2050();
-    /// Skip Algorithm 2 and force this launch configuration.
-    std::optional<hw::KernelConfig> forced_config;
-    sim::TraceSink* trace = nullptr;
-    /// Compilation results are memoised here; null for the process-wide
-    /// GlobalCompilationCache().
-    compiler::CompilationCache* cache = nullptr;
-  };
+  /// Superseded by runtime::RunOptions (same leading members, so existing
+  /// aggregate initializers keep working).
+  using Options [[deprecated("use runtime::RunOptions")]] = RunOptions;
 
   explicit KernelRunner(frontend::KernelSource source);
-  KernelRunner(frontend::KernelSource source, Options options);
+  KernelRunner(frontend::KernelSource source, RunOptions options);
 
   /// Functional execution of the whole grid on the bound output's extent.
   Result<sim::LaunchStats> Run(const BindingSet& bindings);
@@ -61,7 +55,7 @@ class KernelRunner {
   Status EnsureCompiledFor(const BindingSet& bindings);
 
   frontend::KernelSource source_;
-  Options options_;
+  RunOptions options_;
   int width_ = -1;
   int height_ = -1;
   std::optional<compiler::SimulatedExecutable> executable_;

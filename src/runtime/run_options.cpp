@@ -1,0 +1,22 @@
+#include "runtime/run_options.hpp"
+
+#include "compiler/cache.hpp"
+#include "compiler/driver.hpp"
+
+namespace hipacc::runtime {
+
+compiler::CompileOptions MakeCompileOptions(const RunOptions& options,
+                                            int width, int height) {
+  compiler::CompileOptions copts;
+  copts.codegen = options.codegen;
+  copts.device = options.device;
+  copts.image_width = width;
+  copts.image_height = height;
+  copts.forced_config = options.forced_config;
+  copts.trace = options.trace;
+  copts.cache = options.cache != nullptr ? options.cache
+                                         : &compiler::GlobalCompilationCache();
+  return copts;
+}
+
+}  // namespace hipacc::runtime

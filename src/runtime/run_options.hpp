@@ -1,0 +1,106 @@
+// One options struct for the cached execute path and the pipeline graph
+// runtime, consolidating what used to be spread over three overlapping
+// structs: codegen::CodegenOptions (how kernels are compiled),
+// sim::SimulatorOptions (which simulator engine runs them), and
+// runtime::KernelRunner::Options (device, forced configuration, trace,
+// cache). The first five members keep KernelRunner::Options' exact order,
+// so aggregate initializers written against the old struct keep meaning the
+// same thing through the deprecated alias.
+//
+// The chainable with_* setters cover the common knobs:
+//
+//   runner.Run(...) with RunOptions()
+//       .with_device(hw::TeslaC2050())
+//       .with_texture(codegen::TexturePolicy::kLinear)
+//       .with_trace(&sink);
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "codegen/options.hpp"
+#include "hwmodel/config.hpp"
+#include "hwmodel/device_db.hpp"
+#include "sim/options.hpp"
+
+namespace hipacc::compiler {
+class CompilationCache;
+struct CompileOptions;
+}  // namespace hipacc::compiler
+
+namespace hipacc::sim {
+class TraceSink;
+}  // namespace hipacc::sim
+
+namespace hipacc::runtime {
+
+struct RunOptions {
+  codegen::CodegenOptions codegen;
+  hw::DeviceSpec device = hw::TeslaC2050();
+  /// Skip Algorithm 2 and force this launch configuration.
+  std::optional<hw::KernelConfig> forced_config;
+  sim::TraceSink* trace = nullptr;
+  /// Compilation results are memoised here; null for the process-wide
+  /// GlobalCompilationCache().
+  compiler::CompilationCache* cache = nullptr;
+  /// Simulator engine selection. Unset defers to the process-wide
+  /// sim::DefaultSimulatorOptions() — what the --sim-engine flag steers —
+  /// exactly as launches behaved before this struct existed.
+  std::optional<sim::SimulatorOptions> sim;
+
+  /// Engine the simulator will actually use under these options.
+  sim::SimulatorOptions sim_options() const {
+    return sim ? *sim : sim::DefaultSimulatorOptions();
+  }
+
+  RunOptions& with_backend(ast::Backend backend) {
+    codegen.backend = backend;
+    return *this;
+  }
+  RunOptions& with_texture(codegen::TexturePolicy texture) {
+    codegen.texture = texture;
+    return *this;
+  }
+  RunOptions& with_border(codegen::BorderPolicy border) {
+    codegen.border = border;
+    return *this;
+  }
+  RunOptions& with_scratchpad(bool on = true) {
+    codegen.use_scratchpad = on;
+    return *this;
+  }
+  RunOptions& with_constant_masks(bool on = true) {
+    codegen.masks_in_constant_memory = on;
+    return *this;
+  }
+  RunOptions& with_device(hw::DeviceSpec spec) {
+    device = std::move(spec);
+    return *this;
+  }
+  RunOptions& with_forced_config(hw::KernelConfig config) {
+    forced_config = config;
+    return *this;
+  }
+  RunOptions& with_trace(sim::TraceSink* sink) {
+    trace = sink;
+    return *this;
+  }
+  RunOptions& with_cache(compiler::CompilationCache* c) {
+    cache = c;
+    return *this;
+  }
+  RunOptions& with_sim_engine(sim::ExecEngine engine) {
+    if (!sim) sim.emplace();
+    sim->engine = engine;
+    return *this;
+  }
+};
+
+/// Expands RunOptions into driver CompileOptions for one target extent,
+/// substituting the process-wide GlobalCompilationCache() when no cache is
+/// set. Defined in run_options.cpp (hipacc_runtime_exec) — the compiler
+/// layer is forward-declared here.
+compiler::CompileOptions MakeCompileOptions(const RunOptions& options,
+                                            int width, int height);
+
+}  // namespace hipacc::runtime

@@ -1,0 +1,38 @@
+// DAG scheduling for the pipeline graph runtime: topological validation
+// (with a useful cycle diagnostic) and dependency-counting execution over a
+// small worker pool. Kept separate from graph.cpp so the scheduling policy
+// is testable without building pipelines.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace hipacc::runtime {
+
+/// Dependency structure of one pipeline run. Node `i` may start once all of
+/// its `dependencies[i]` producers completed; when it completes, each node
+/// in `consumers[i]` loses one pending dependency.
+struct DagSpec {
+  std::vector<std::vector<int>> consumers;
+  std::vector<int> dependencies;
+
+  int node_count() const { return static_cast<int>(dependencies.size()); }
+};
+
+/// Kahn's algorithm. Returns a valid execution order, or Invalid naming the
+/// stages on a cycle ("a -> b -> a") via the `label` callback.
+Result<std::vector<int>> TopologicalOrder(
+    const DagSpec& dag, const std::function<std::string(int)>& label);
+
+/// Executes every node once, respecting dependencies, with up to `workers`
+/// threads (0 = hardware concurrency; always at least 1). Independent
+/// branches run concurrently; `exec` must be thread-safe across distinct
+/// nodes. Stops dispatching after the first failure and returns it.
+/// Precondition: the DAG is acyclic (run TopologicalOrder first).
+Status RunDag(const DagSpec& dag, int workers,
+              const std::function<Status(int)>& exec);
+
+}  // namespace hipacc::runtime

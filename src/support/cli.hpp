@@ -1,0 +1,98 @@
+// Unified command-line parser for every binary in the repository (tools,
+// benchmarks, examples). Flags are registered with a typed target (or a
+// custom setter), the parser matches `--name` / `--name=value` arguments
+// against the registry, fills positionals in declaration order, and
+// generates the `--help` text from the registrations — so a binary's usage
+// string can never drift from what it actually accepts. Unknown flags and
+// malformed values produce a Status error naming the offending argument
+// instead of a silent fallthrough.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace hipacc::support {
+
+/// Declarative flag registry + parser. Registration order is help order.
+///
+///   CliParser cli("hipacc-compile", "source-to-source compiler CLI");
+///   cli.String("device", &device_name, "NAME", "target GPU");
+///   cli.Bool("smem", &use_smem, "stage tiles through scratchpad");
+///   cli.Positional("kernel", &input_path, "kernel.hipacc file", true);
+///   Status s = cli.Parse(argc, argv);
+///   if (cli.help_requested()) { fputs(cli.Help().c_str(), stdout); return 0; }
+///   if (!s.ok()) { fprintf(stderr, "%s\n%s", ...); return 2; }
+class CliParser {
+ public:
+  /// `program` appears in the usage line; `summary` below it.
+  explicit CliParser(std::string program, std::string summary = "");
+
+  /// Value-less switch: `--name` sets *value to true.
+  CliParser& Bool(const std::string& name, bool* value,
+                  const std::string& help);
+  /// `--name=N` parsed as int; a non-numeric value is a parse error.
+  CliParser& Int(const std::string& name, int* value,
+                 const std::string& value_name, const std::string& help);
+  /// `--name=TEXT` stored verbatim.
+  CliParser& String(const std::string& name, std::string* value,
+                    const std::string& value_name, const std::string& help);
+  /// `--name=VALUE` routed through `setter`; the returned Status surfaces
+  /// from Parse (for enum vocabularies, device lookups, WxH geometries).
+  CliParser& Value(const std::string& name, const std::string& value_name,
+                   const std::string& help,
+                   std::function<Status(const std::string&)> setter);
+  /// Value-less switch routed through `setter` (e.g. --list-devices).
+  CliParser& Switch(const std::string& name, const std::string& help,
+                    std::function<Status()> setter);
+
+  /// Non-flag argument, filled in declaration order. Required positionals
+  /// missing after a parse (without --help) are an error.
+  CliParser& Positional(const std::string& name, std::string* value,
+                        const std::string& help, bool required = true);
+
+  /// Matches argv[1..) against the registry. `--help` short-circuits: the
+  /// rest of the line is not validated and help_requested() turns true.
+  /// Errors name the argument: unknown flag, missing/forbidden value,
+  /// unparsable int, missing required positional, surplus positional.
+  Status Parse(int argc, const char* const* argv);
+
+  bool help_requested() const noexcept { return help_requested_; }
+
+  /// Generated from the registrations: usage line, summary, one aligned row
+  /// per flag (`--name=VALUE  help`) and positional.
+  std::string Help() const;
+
+  /// Convenience front door shared by the binaries: parses, prints Help()
+  /// to stdout on --help (returns 0), prints the error to stderr on failure
+  /// (returns 2), and returns -1 when the program should continue.
+  int HandleArgs(int argc, const char* const* argv);
+
+ private:
+  struct Flag {
+    std::string name;        // without the leading "--"
+    std::string value_name;  // empty for value-less switches
+    std::string help;
+    bool takes_value = false;
+    std::function<Status(const std::string&)> setter;  // value flags
+    std::function<Status()> action;                    // switches
+  };
+  struct PositionalArg {
+    std::string name;
+    std::string help;
+    bool required = true;
+    std::string* value = nullptr;
+  };
+
+  const Flag* FindFlag(const std::string& name) const;
+
+  std::string program_;
+  std::string summary_;
+  std::vector<Flag> flags_;
+  std::vector<PositionalArg> positionals_;
+  bool help_requested_ = false;
+};
+
+}  // namespace hipacc::support

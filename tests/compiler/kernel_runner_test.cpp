@@ -35,7 +35,7 @@ TEST(KernelRunnerTest, FirstRunCompilesAndMatchesManualPath) {
   FillRamp(in);
 
   compiler::CompilationCache cache;
-  runtime::KernelRunner::Options ropts;
+  runtime::RunOptions ropts;
   ropts.cache = &cache;
   runtime::KernelRunner runner(Source(), ropts);
   EXPECT_EQ(runner.compiled(), nullptr);
@@ -65,7 +65,7 @@ TEST(KernelRunnerTest, RepeatedRunsSkipCompilation) {
 
   compiler::CompilationCache cache;
   sim::TraceSink sink;
-  runtime::KernelRunner::Options ropts;
+  runtime::RunOptions ropts;
   ropts.cache = &cache;
   ropts.trace = &sink;
   runtime::KernelRunner runner(Source(), ropts);
@@ -99,7 +99,7 @@ TEST(KernelRunnerTest, DeviceSwitchRecompilesThroughCache) {
   FillRamp(in);
 
   compiler::CompilationCache cache;
-  runtime::KernelRunner::Options ropts;
+  runtime::RunOptions ropts;
   ropts.cache = &cache;
   runtime::KernelRunner runner(Source(), ropts);
 
@@ -122,7 +122,7 @@ TEST(KernelRunnerTest, DeviceSwitchRecompilesThroughCache) {
 
 TEST(KernelRunnerTest, ExtentChangeRecompiles) {
   compiler::CompilationCache cache;
-  runtime::KernelRunner::Options ropts;
+  runtime::RunOptions ropts;
   ropts.cache = &cache;
   runtime::KernelRunner runner(Source(), ropts);
 

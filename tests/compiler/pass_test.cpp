@@ -18,7 +18,8 @@ frontend::KernelSource Source() {
 
 TEST(PassManagerTest, FullPipelineHasCanonicalOrder) {
   const std::vector<std::string> expected = {
-      "parse", "lower", "estimate", "select_config", "emit", "bytecode"};
+      "fuse", "parse", "lower", "estimate", "select_config", "emit",
+      "bytecode"};
   EXPECT_EQ(compiler::BuildCompilePipeline().names(), expected);
   EXPECT_EQ(compiler::DefaultPassNames(), expected);
   const std::vector<std::string> device = {"lower", "estimate",
@@ -44,7 +45,7 @@ TEST(PassManagerTest, RunProducesArtifactTimingsAndDiagnostics) {
   EXPECT_GT(ctx.artifact.resources.regs_per_thread, 0);
 
   // One timing per pass, in order; durations are non-negative.
-  ASSERT_EQ(ctx.timings.size(), 6u);
+  ASSERT_EQ(ctx.timings.size(), 7u);
   for (size_t i = 0; i < ctx.timings.size(); ++i) {
     EXPECT_EQ(ctx.timings[i].pass, compiler::DefaultPassNames()[i]);
     EXPECT_GE(ctx.timings[i].ms, 0.0);
@@ -77,7 +78,7 @@ TEST(PassManagerTest, PassesRecordTraceSpans) {
     EXPECT_EQ(e.Find("category")->string_value(), "compile");
     names.push_back(e.Find("name")->string_value());
   }
-  ASSERT_EQ(names.size(), 6u);
+  ASSERT_EQ(names.size(), 7u);
   for (size_t i = 0; i < names.size(); ++i)
     EXPECT_EQ(names[i],
               compiler::DefaultPassNames()[i] + " " + compiled.value().decl.name);
@@ -92,7 +93,7 @@ TEST(PassManagerTest, FailingPassStopsPipelineAndRecordsError) {
   const Status status = compiler::BuildCompilePipeline().Run(ctx);
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kParseError);
-  ASSERT_EQ(ctx.timings.size(), 1u);  // only parse ran
+  ASSERT_EQ(ctx.timings.size(), 2u);  // only fuse + parse ran
   bool has_error = false;
   for (const compiler::PassDiagnostic& d : ctx.diagnostics)
     has_error = has_error || (d.pass == "parse" &&

@@ -1,0 +1,242 @@
+// Pipeline graph runtime: DAG validation, scheduling, buffer pooling,
+// fusion, and graph-vs-eager bit-identity of the multiresolution filter.
+#include "runtime/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compiler/driver.hpp"
+#include "image/metrics.hpp"
+#include "image/synthetic.hpp"
+#include "ops/kernel_sources.hpp"
+#include "ops/pyramid.hpp"
+#include "sim/trace.hpp"
+
+namespace hipacc {
+namespace {
+
+using ast::BoundaryMode;
+using runtime::GraphOptions;
+using runtime::PipelineGraph;
+
+frontend::KernelSource Conv3(BoundaryMode mode = BoundaryMode::kClamp) {
+  return ops::GaussianSource(3, 1.0f, mode);
+}
+
+TEST(PipelineGraphTest, RejectsCycleWithStageNames) {
+  PipelineGraph graph;
+  graph.Kernel("a", ops::ScaleOffsetSource(), {{"Input", "b"}},
+               {{"scale", 1.0}, {"offset", 0.0}});
+  graph.Kernel("b", ops::ScaleOffsetSource(), {{"Input", "a"}},
+               {{"scale", 1.0}, {"offset", 0.0}});
+  graph.Output("b");
+  HostImage<float> out(8, 8);
+  const Status status = graph.Run({}, {{"b", &out}});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("cycle"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("a"), std::string::npos);
+  EXPECT_NE(status.message().find("b"), std::string::npos);
+}
+
+TEST(PipelineGraphTest, RejectsUndeclaredImage) {
+  PipelineGraph graph;
+  graph.Source("in", 16, 16);
+  graph.Kernel("blur", Conv3(), {{"Input", "nowhere"}});
+  graph.Output("blur");
+  HostImage<float> in = MakeNoiseImage(16, 16, 1), out(16, 16);
+  const Status status = graph.Run({{"in", &in}}, {{"blur", &out}});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("nowhere"), std::string::npos);
+  EXPECT_NE(status.message().find("blur"), std::string::npos);
+}
+
+TEST(PipelineGraphTest, RejectsDuplicateProducer) {
+  PipelineGraph graph;
+  graph.Source("in", 16, 16);
+  graph.Kernel("x", Conv3(), {{"Input", "in"}});
+  graph.Kernel("x", Conv3(), {{"Input", "in"}});  // same virtual image
+  graph.Output("x");
+  HostImage<float> in = MakeNoiseImage(16, 16, 1), out(16, 16);
+  const Status status = graph.Run({{"in", &in}}, {{"x", &out}});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("more than one"), std::string::npos);
+}
+
+TEST(PipelineGraphTest, RejectsUnboundSourceAndUndeclaredOutput) {
+  PipelineGraph graph;
+  graph.Source("in", 16, 16);
+  graph.Kernel("blur", Conv3(), {{"Input", "in"}});
+  graph.Output("blur");
+  HostImage<float> in = MakeNoiseImage(16, 16, 1), out(16, 16);
+  EXPECT_FALSE(graph.Run({}, {{"blur", &out}}).ok());  // source unbound
+  // Binding an image that is not a declared output is an error too.
+  EXPECT_FALSE(graph.Run({{"in", &in}}, {{"in", &out}}).ok());
+  // Extent mismatch between declaration and binding.
+  HostImage<float> small = MakeNoiseImage(8, 8, 2);
+  EXPECT_FALSE(graph.Run({{"small", &small}, {"in", &small}}, {{"blur", &out}})
+                   .ok());
+}
+
+TEST(PipelineGraphTest, DiamondExecutesEachProducerOnce) {
+  // in -> left, in -> right, (left, right) -> merge. Point-wise merge over
+  // two blurred branches; fusion disabled so the stage count is exact.
+  PipelineGraph graph;
+  graph.Source("in", 32, 32)
+      .Kernel("left", Conv3(), {{"Input", "in"}})
+      .Kernel("right", Conv3(BoundaryMode::kMirror), {{"Input", "in"}})
+      .Kernel("merge", ops::PyramidDetailSource(),
+              {{"U", "left"}, {"Fine", "right"}})
+      .Output("merge");
+  sim::TraceSink trace;
+  GraphOptions options;
+  options.fuse = false;
+  options.run.trace = &trace;
+  HostImage<float> in = MakeNoiseImage(32, 32, 3), out(32, 32);
+  ASSERT_TRUE(graph.Run({{"in", &in}}, {{"merge", &out}}, options).ok());
+  // Four declared stages, each run exactly once.
+  EXPECT_EQ(trace.counter("graph.stages"), 4);
+  EXPECT_EQ(graph.stage_count(), 4u);
+
+  // A second run executes them again (stages double), reusing pooled
+  // buffers instead of allocating.
+  const long long allocs = trace.counter("bufpool.alloc");
+  ASSERT_TRUE(graph.Run({{"in", &in}}, {{"merge", &out}}, options).ok());
+  EXPECT_EQ(trace.counter("graph.stages"), 8);
+  EXPECT_EQ(trace.counter("bufpool.alloc"), allocs);
+  EXPECT_GT(trace.counter("bufpool.reuse"), 0);
+  EXPECT_GT(graph.pool().reuse_count(), 0);
+}
+
+TEST(PipelineGraphTest, FusesPointwiseConsumerAndStaysBitIdentical) {
+  // conv -> scale: with fusion the scale stage disappears into the conv
+  // launch; the pixels must not change.
+  const HostImage<float> in = MakeNoiseImage(48, 40, 11);
+  HostImage<float> fused_out(48, 40), eager_out(48, 40);
+  for (const bool fuse : {true, false}) {
+    PipelineGraph graph;
+    graph.Source("in", 48, 40)
+        .Kernel("blur", Conv3(), {{"Input", "in"}})
+        .Kernel("scaled", ops::ScaleOffsetSource(), {{"Input", "blur"}},
+                {{"scale", 2.0}, {"offset", 0.25}})
+        .Output("scaled");
+    sim::TraceSink trace;
+    GraphOptions options;
+    options.fuse = fuse;
+    options.run.trace = &trace;
+    HostImage<float>& out = fuse ? fused_out : eager_out;
+    ASSERT_TRUE(graph.Run({{"in", &in}}, {{"scaled", &out}}, options).ok());
+    if (fuse)
+      EXPECT_EQ(trace.counter("graph.fused_edges"), 1);
+    else
+      EXPECT_EQ(trace.counter("graph.fused_edges"), 0);
+  }
+  EXPECT_EQ(MaxAbsDiff(fused_out, eager_out), 0.0);
+}
+
+TEST(PipelineGraphTest, DoesNotFuseMultiConsumerOrOutputImages) {
+  // "blur" feeds two consumers and is itself an output — neither edge may
+  // fuse it away.
+  PipelineGraph graph;
+  graph.Source("in", 32, 32)
+      .Kernel("blur", Conv3(), {{"Input", "in"}})
+      .Kernel("a", ops::ScaleOffsetSource(), {{"Input", "blur"}},
+              {{"scale", 2.0}, {"offset", 0.0}})
+      .Kernel("b", ops::ScaleOffsetSource(), {{"Input", "blur"}},
+              {{"scale", 3.0}, {"offset", 0.0}})
+      .Output("a")
+      .Output("b")
+      .Output("blur");
+  sim::TraceSink trace;
+  GraphOptions options;
+  options.run.trace = &trace;
+  HostImage<float> in = MakeNoiseImage(32, 32, 5);
+  HostImage<float> a(32, 32), b(32, 32), blur(32, 32);
+  ASSERT_TRUE(graph
+                  .Run({{"in", &in}},
+                       {{"a", &a}, {"b", &b}, {"blur", &blur}}, options)
+                  .ok());
+  EXPECT_EQ(trace.counter("graph.fused_edges"), 0);
+  // Sanity: a = 2*blur, b = 3*blur at every pixel.
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) {
+      EXPECT_EQ(a(x, y), 2.0f * blur(x, y));
+      EXPECT_EQ(b(x, y), 3.0f * blur(x, y));
+    }
+}
+
+TEST(PipelineGraphTest, MultiresBitIdenticalToEagerAcrossAllBoundaryModes) {
+  const HostImage<float> in = MakeAngiogramPhantom(64, 64, 0.02f, 2);
+  const std::vector<float> gains = {2.0f, 1.5f};
+  for (const BoundaryMode mode :
+       {BoundaryMode::kUndefined, BoundaryMode::kClamp, BoundaryMode::kRepeat,
+        BoundaryMode::kMirror, BoundaryMode::kConstant}) {
+    const HostImage<float> eager =
+        ops::MultiresolutionFilterEager(in, 2, gains, mode);
+    sim::TraceSink trace;
+    GraphOptions options;
+    options.run.trace = &trace;
+    const Result<HostImage<float>> graph =
+        ops::MultiresolutionFilterGraph(in, 2, gains, mode, options);
+    ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+    EXPECT_EQ(MaxAbsDiff(eager, graph.value()), 0.0)
+        << "mode " << static_cast<int>(mode);
+    EXPECT_GT(trace.counter("graph.fused_edges"), 0);
+    EXPECT_GT(trace.counter("bufpool.reuse"), 0);
+  }
+}
+
+TEST(PipelineGraphTest, SimulatorExecutorMatchesHostExecutor) {
+  const HostImage<float> in = MakeNoiseImage(64, 64, 9);
+  HostImage<float> host_out(64, 64), sim_out(64, 64);
+  for (const auto executor :
+       {GraphOptions::Executor::kHost, GraphOptions::Executor::kSimulator}) {
+    PipelineGraph graph;
+    graph.Source("in", 64, 64)
+        .Kernel("blur", Conv3(), {{"Input", "in"}})
+        .Output("blur");
+    GraphOptions options;
+    options.executor = executor;
+    HostImage<float>& out =
+        executor == GraphOptions::Executor::kHost ? host_out : sim_out;
+    const Status run = graph.Run({{"in", &in}}, {{"blur", &out}}, options);
+    ASSERT_TRUE(run.ok()) << run.ToString();
+  }
+  EXPECT_EQ(MaxAbsDiff(host_out, sim_out), 0.0);
+}
+
+TEST(RunOptionsTest, ChainableSettersCompose) {
+  sim::TraceSink trace;
+  const runtime::RunOptions options =
+      runtime::RunOptions()
+          .with_backend(ast::Backend::kOpenCL)
+          .with_scratchpad()
+          .with_device(hw::TeslaC2050())
+          .with_trace(&trace)
+          .with_sim_engine(sim::ExecEngine::kAst);
+  EXPECT_EQ(options.codegen.backend, ast::Backend::kOpenCL);
+  EXPECT_TRUE(options.codegen.use_scratchpad);
+  EXPECT_EQ(options.trace, &trace);
+  ASSERT_TRUE(options.sim.has_value());
+  EXPECT_EQ(options.sim_options().engine, sim::ExecEngine::kAst);
+  // Unset sim defers to the process-wide default.
+  EXPECT_EQ(runtime::RunOptions().sim_options().engine,
+            sim::DefaultSimulatorOptions().engine);
+}
+
+TEST(RunOptionsTest, MakeCompileOptionsMapsFields) {
+  sim::TraceSink trace;
+  runtime::RunOptions options;
+  options.forced_config = hw::KernelConfig{32, 4};
+  options.trace = &trace;
+  const compiler::CompileOptions copts =
+      runtime::MakeCompileOptions(options, 640, 480);
+  EXPECT_EQ(copts.image_width, 640);
+  EXPECT_EQ(copts.image_height, 480);
+  ASSERT_TRUE(copts.forced_config.has_value());
+  EXPECT_EQ(copts.forced_config->block_x, 32);
+  EXPECT_EQ(copts.trace, &trace);
+  EXPECT_NE(copts.cache, nullptr);  // defaults to the global cache
+}
+
+}  // namespace
+}  // namespace hipacc

@@ -1,15 +1,44 @@
 #include "common/table.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/sim_engine_flag.hpp"
 #include "support/string_utils.hpp"
 
 namespace hipacc::bench {
 
+BenchTuning& Tuning() {
+  static BenchTuning tuning;
+  return tuning;
+}
+
 support::CliParser MakeBenchCli(std::string program, std::string summary) {
   support::CliParser cli(std::move(program), std::move(summary));
   RegisterSimEngineFlag(cli);
+  cli.Value("ppt", "N|auto",
+            "pixels per thread for generated kernels (auto = heuristic "
+            "sweep; default: bench-specific)",
+            [](const std::string& value) -> Status {
+              if (value == "auto") {
+                Tuning().ppt = 0;
+                return Status::Ok();
+              }
+              int n = 0;
+              if (std::sscanf(value.c_str(), "%d", &n) != 1 || n < 1 ||
+                  n > 32)
+                return Status::Invalid("--ppt expects 1..32 or auto, got '" +
+                                       value + "'");
+              Tuning().ppt = n;
+              return Status::Ok();
+            });
+  cli.Switch("no-separate",
+             "keep separable convolutions as direct 2D stages in "
+             "graph-based benches",
+             []() -> Status {
+               Tuning().separate = false;
+               return Status::Ok();
+             });
   return cli;
 }
 
@@ -24,7 +53,13 @@ void Table::Cell(double ms) {
 
 void Table::Cell(const std::string& text) {
   rows_.back().rendered.push_back(text);
-  rows_.back().values.emplace_back(text);
+  // Typed sentinel for the JSON form: consumers check "status" instead of
+  // pattern-matching magic strings, and "ms" is null rather than absent so
+  // every cell has the same shape.
+  support::Json cell = support::Json::Object();
+  cell["ms"] = support::Json();
+  cell["status"] = text;
+  rows_.back().values.push_back(std::move(cell));
 }
 
 std::string Table::Render(const std::string& title) const {

@@ -2,7 +2,7 @@
 // the layout of the paper's tables (variants as rows, boundary modes as
 // columns, "crash"/"n/a" cells). Tables also serialise to the BENCH_*.json
 // schema so sweeps are machine-readable: numeric cells stay numbers, text
-// cells stay strings.
+// cells become {"ms": null, "status": "..."} sentinels.
 #pragma once
 
 #include <string>
@@ -13,9 +13,22 @@
 
 namespace hipacc::bench {
 
+/// Process-wide tuning knobs shared by every benchmark binary, set from the
+/// common flags MakeBenchCli registers.
+struct BenchTuning {
+  /// --ppt=N|auto: pixels per thread for generated kernels. -1 = flag not
+  /// given (each bench keeps its own default), 0 = auto (the compiler's
+  /// heuristic sweep picks per device), otherwise the forced value.
+  int ppt = -1;
+  /// --no-separate clears this: rewrite rank-1 convolution stages into
+  /// row + column passes where the bench runs a pipeline graph.
+  bool separate = true;
+};
+BenchTuning& Tuning();
+
 /// CliParser preloaded with the flags every benchmark binary shares
-/// (--sim-engine); a binary registers its extra flags on the returned
-/// parser, then calls HandleArgs().
+/// (--sim-engine, --ppt, --no-separate); a binary registers its extra flags
+/// on the returned parser, then calls HandleArgs().
 support::CliParser MakeBenchCli(std::string program, std::string summary);
 
 class Table {
@@ -34,7 +47,9 @@ class Table {
   std::string Render(const std::string& title) const;
 
   /// {"title", "columns": [...], "rows": [{"label", "cells": [...]}]} where
-  /// each cell is a number (ms) or a string ("crash", "n/a").
+  /// each cell is a number (ms) or, for non-numeric results, the typed
+  /// sentinel {"ms": null, "status": "crash"|"n/a"|...} — no magic strings
+  /// in numeric positions.
   support::Json ToJson(const std::string& title) const;
 
   /// Serialises ToJson(title) to `path` (pretty-printed, trailing newline).

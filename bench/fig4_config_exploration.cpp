@@ -1,13 +1,17 @@
 // Reproduces Figure 4: configuration-space exploration for the bilateral
 // filter (13x13 window) on a 4096x4096 image, Tesla C2050, CUDA backend.
-// Prints one point per (threads, tiling) configuration — execution time vs
-// block size — plus the configuration Algorithm 2 selects and the measured
-// optimum. The paper's heuristic pick (32x6) is optimal there; ours must be
-// optimal or within ~10% (Section VI-B).
+// Prints one point per (threads, tiling, pixels-per-thread) configuration —
+// execution time vs block size — plus the configuration Algorithm 2 selects
+// and the measured optimum. The paper's heuristic pick (32x6) is optimal
+// there; ours must be optimal or within ~10% (Section VI-B). The PPT axis
+// extends the paper's space: each candidate is recompiled per value, so the
+// sweep covers (block config) x (pixels per thread).
 //
 //   --explore-jobs=N   parallel measurement workers (0 = all cores);
 //                      results are identical for every N, only wall-clock
 //                      changes
+//   --ppt=N|auto       restrict the sweep to one PPT value (default: sweep
+//                      1, 2, 4, 8)
 //   --json-out=FILE    BENCH_*.json report path (default BENCH_fig4.json)
 //   --trace-out=FILE   Chrome trace_event timeline (chrome://tracing)
 //   --sim-engine=E     simulator engine: bytecode (default) or ast
@@ -52,7 +56,12 @@ int main(int argc, char** argv) {
   copts.image_height = n;
   if (!trace_out.empty()) copts.trace = &trace;
 
-  Result<compiler::CompiledKernel> compiled = compiler::Compile(source, copts);
+  // The heuristic pick: pixels_per_thread=0 runs the Algorithm 2 extension
+  // that scores (block config x PPT) jointly and keeps the best.
+  compiler::CompileOptions auto_opts = copts;
+  auto_opts.codegen.pixels_per_thread = 0;
+  Result<compiler::CompiledKernel> compiled =
+      compiler::Compile(source, auto_opts);
   if (!compiled.ok()) {
     std::fprintf(stderr, "compile failed: %s\n",
                  compiled.status().ToString().c_str());
@@ -65,37 +74,59 @@ int main(int argc, char** argv) {
   bindings.Input("Input", in).Output(out).Scalar("sigma_d", sigma_d).Scalar(
       "sigma_r", sigma_r);
 
-  Result<std::vector<compiler::ExplorePoint>> points =
-      compiler::ExploreConfigurations(kernel, device, bindings, eopts);
-  if (!points.ok()) {
-    std::fprintf(stderr, "exploration failed: %s\n",
-                 points.status().ToString().c_str());
-    return 1;
+  // Sweep the PPT axis by recompiling per value; each compile's valid
+  // configuration set is explored independently and the points merged.
+  std::vector<int> ppt_values = {1, 2, 4, 8};
+  if (bench::Tuning().ppt > 0) ppt_values = {bench::Tuning().ppt};
+  std::vector<compiler::ExplorePoint> points;
+  for (const int ppt : ppt_values) {
+    compiler::CompileOptions popts = copts;
+    popts.codegen.pixels_per_thread = ppt;
+    Result<compiler::CompiledKernel> variant =
+        compiler::Compile(source, popts);
+    if (!variant.ok()) {
+      std::fprintf(stderr, "compile (ppt=%d) failed: %s\n", ppt,
+                   variant.status().ToString().c_str());
+      return 1;
+    }
+    Result<std::vector<compiler::ExplorePoint>> swept =
+        compiler::ExploreConfigurations(variant.value(), device, bindings,
+                                        eopts);
+    if (!swept.ok()) {
+      std::fprintf(stderr, "exploration (ppt=%d) failed: %s\n", ppt,
+                   swept.status().ToString().c_str());
+      return 1;
+    }
+    points.insert(points.end(), swept.value().begin(), swept.value().end());
   }
   const double wall_ms = wall.ElapsedMs();
 
   std::printf(
       "Figure 4: configuration space exploration, bilateral filter 13x13,\n"
-      "4096x4096 image, Tesla C2050 (CUDA). One line per configuration.\n\n");
-  std::printf("%8s  %6s  %6s  %9s  %14s  %10s\n", "threads", "blk_x", "blk_y",
-              "occupancy", "border_threads", "time_ms");
+      "4096x4096 image, Tesla C2050 (CUDA). One line per configuration\n"
+      "(block size x pixels per thread).\n\n");
+  std::printf("%8s  %6s  %6s  %4s  %9s  %14s  %10s\n", "threads", "blk_x",
+              "blk_y", "ppt", "occupancy", "border_threads", "time_ms");
   const compiler::ExplorePoint* best = nullptr;
-  for (const auto& p : points.value()) {
-    std::printf("%8d  %6d  %6d  %8.0f%%  %14lld  %10.2f\n",
-                p.config.threads(), p.config.block_x, p.config.block_y,
+  for (const auto& p : points) {
+    std::printf("%8d  %6d  %6d  %4d  %8.0f%%  %14lld  %10.2f\n",
+                p.config.threads(), p.config.block_x, p.config.block_y, p.ppt,
                 100.0 * p.occupancy, p.border_threads, p.ms);
     if (!best || p.ms < best->ms) best = &p;
   }
 
-  std::printf("\nHeuristic (Algorithm 2) selected: %dx%d\n",
-              kernel.config.config.block_x, kernel.config.config.block_y);
+  std::printf("\nHeuristic (Algorithm 2) selected: %dx%d, ppt %d\n",
+              kernel.config.config.block_x, kernel.config.config.block_y,
+              kernel.device_ir.ppt);
   if (best) {
-    std::printf("Exploration optimum: %dx%d at %.2f ms\n",
-                best->config.block_x, best->config.block_y, best->ms);
-    for (const auto& p : points.value()) {
-      if (p.config == kernel.config.config)
-        std::printf("Heuristic pick measured at %.2f ms (%.1f%% above optimum)\n",
-                    p.ms, 100.0 * (p.ms / best->ms - 1.0));
+    std::printf("Exploration optimum: %dx%d ppt %d at %.2f ms\n",
+                best->config.block_x, best->config.block_y, best->ppt,
+                best->ms);
+    for (const auto& p : points) {
+      if (p.config == kernel.config.config && p.ppt == kernel.device_ir.ppt)
+        std::printf(
+            "Heuristic pick measured at %.2f ms (%.1f%% above optimum)\n",
+            p.ms, 100.0 * (p.ms / best->ms - 1.0));
     }
   }
   std::printf("Exploration wall-clock: %.0f ms (%d jobs)\n", wall_ms,
@@ -103,7 +134,7 @@ int main(int argc, char** argv) {
 
   if (!json_out.empty()) {
     support::Json doc =
-        compiler::ExploreReportJson(kernel, device, n, n, points.value());
+        compiler::ExploreReportJson(kernel, device, n, n, points);
     doc["bench"] = "fig4_config_exploration";
     doc["jobs"] = eopts.jobs;
     doc["wall_ms"] = wall_ms;

@@ -54,6 +54,8 @@ const char* to_string(ThreadIndexKind kind) noexcept {
     case ThreadIndexKind::kGridDimY: return "gridDim.y";
     case ThreadIndexKind::kGlobalIdX: return "gid_x";
     case ThreadIndexKind::kGlobalIdY: return "gid_y";
+    case ThreadIndexKind::kImageW: return "IW";
+    case ThreadIndexKind::kImageH: return "IH";
   }
   return "?";
 }

@@ -62,6 +62,7 @@ enum class ThreadIndexKind {
   kBlockDimX, kBlockDimY,
   kGridDimX, kGridDimY,
   kGlobalIdX, kGlobalIdY,  // gid = blockIdx*blockDim + threadIdx
+  kImageW, kImageH,        // launch image extent (PPT write guards)
 };
 
 const char* to_string(ThreadIndexKind kind) noexcept;

@@ -118,6 +118,10 @@ struct DeviceKernel {
   /// "first manual vectorization shows the performance improves
   /// significantly on graphics cards from AMD"). No effect on scalar ISAs.
   bool vliw_vectorized = false;
+  /// Pixels per thread this kernel was lowered with: each thread computes
+  /// ppt vertically-adjacent outputs at rows gid_y*ppt + i. The launch grid
+  /// shrinks accordingly (hw::ComputeGrid with the same ppt).
+  int ppt = 1;
 
   bool has_boundary_variants() const noexcept { return variants.size() > 1; }
   const BufferParam* output_buffer() const;

@@ -1,0 +1,64 @@
+#include "ast/mask_factor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hipacc::ast {
+
+std::optional<Rank1Factors> FactorizeRank1(const std::vector<float>& mask,
+                                           int size_x, int size_y,
+                                           float rel_tol) {
+  if (size_x <= 0 || size_y <= 0 ||
+      mask.size() != static_cast<size_t>(size_x) * size_y)
+    return std::nullopt;
+  const auto at = [&](int x, int y) {
+    return static_cast<double>(mask[static_cast<size_t>(y) * size_x + x]);
+  };
+
+  // Pivot: the largest-magnitude coefficient. Its row and column span the
+  // candidate factors; a zero mask has no useful factorization.
+  int px = 0, py = 0;
+  double pivot = 0.0;
+  for (int y = 0; y < size_y; ++y)
+    for (int x = 0; x < size_x; ++x)
+      if (std::abs(at(x, y)) > std::abs(pivot)) {
+        pivot = at(x, y);
+        px = x;
+        py = y;
+      }
+  if (pivot == 0.0) return std::nullopt;
+
+  std::vector<double> row(static_cast<size_t>(size_x));
+  std::vector<double> col(static_cast<size_t>(size_y));
+  for (int x = 0; x < size_x; ++x) row[static_cast<size_t>(x)] = at(x, py);
+  for (int y = 0; y < size_y; ++y)
+    col[static_cast<size_t>(y)] = at(px, y) / pivot;
+
+  // Rank-1 check: every coefficient must match the outer product, with the
+  // tolerance anchored to the pivot magnitude (coefficients near zero must
+  // agree absolutely, not relatively).
+  const double tol = static_cast<double>(rel_tol) * std::abs(pivot);
+  for (int y = 0; y < size_y; ++y)
+    for (int x = 0; x < size_x; ++x)
+      if (std::abs(at(x, y) - col[static_cast<size_t>(y)] *
+                                  row[static_cast<size_t>(x)]) > tol)
+        return std::nullopt;
+
+  // Balance the factors (equal infinity norms): the row factor carries the
+  // pivot's magnitude, the column factor is normalised to 1 at the pivot,
+  // and splitting the scale keeps both passes in a comparable float range.
+  double row_inf = 0.0, col_inf = 0.0;
+  for (const double v : row) row_inf = std::max(row_inf, std::abs(v));
+  for (const double v : col) col_inf = std::max(col_inf, std::abs(v));
+  const double balance = std::sqrt(row_inf / col_inf);
+  Rank1Factors out;
+  out.row.reserve(row.size());
+  out.col.reserve(col.size());
+  for (const double v : row)
+    out.row.push_back(static_cast<float>(v / balance));
+  for (const double v : col)
+    out.col.push_back(static_cast<float>(v * balance));
+  return out;
+}
+
+}  // namespace hipacc::ast

@@ -1,0 +1,33 @@
+// Rank-1 factorization of 2D filter masks — the separability test behind
+// separable-filter decomposition. Lives at the AST layer (next to MaskInfo)
+// so both the compiler's `separate` rewrite and the operator library can use
+// it without a dependency cycle.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace hipacc::ast {
+
+/// A rank-1 (separable) factorization of a 2D mask: mask[y][x] ==
+/// col[y] * row[x] for every coefficient, up to the tolerance the
+/// factorizer verified. Applying `row` along x then `col` along y (or vice
+/// versa) reproduces the 2D convolution.
+struct Rank1Factors {
+  std::vector<float> row;  ///< size_x coefficients (the x / row pass)
+  std::vector<float> col;  ///< size_y coefficients (the y / column pass)
+};
+
+/// Attempts to factor a size_x x size_y row-major mask into an outer
+/// product col * row^T. Pivot method: the largest-magnitude coefficient
+/// anchors the factor row and column, and every coefficient is then checked
+/// against the reconstruction with tolerance `rel_tol` relative to that
+/// pivot. Gaussian, box and single-axis Sobel masks factor; Laplacian or a
+/// combined Sobel-XY mask (a rank-2 sum) returns nullopt, as does an
+/// all-zero mask. The two factors are magnitude-balanced (equal infinity
+/// norms) so neither pass concentrates the dynamic range.
+std::optional<Rank1Factors> FactorizeRank1(const std::vector<float>& mask,
+                                           int size_x, int size_y,
+                                           float rel_tol = 1e-5f);
+
+}  // namespace hipacc::ast

@@ -78,6 +78,8 @@ class OpenClBackendImpl final : public Backend {
       case ThreadIndexKind::kGridDimY: return "get_num_groups(1)";
       case ThreadIndexKind::kGlobalIdX: return "gid_x";
       case ThreadIndexKind::kGlobalIdY: return "gid_y";
+      case ThreadIndexKind::kImageW: return "IW";
+      case ThreadIndexKind::kImageH: return "IH";
     }
     return "?";
   }

@@ -36,7 +36,8 @@ ExprPtr GlobalY() { return ast::ThreadIndex(ThreadIndexKind::kGlobalIdY); }
 class Lowerer {
  public:
   Lowerer(const KernelDecl& kernel, const CodegenOptions& options)
-      : kernel_(kernel), options_(options) {}
+      : kernel_(kernel), options_(options),
+        ppt_(options.pixels_per_thread > 1 ? options.pixels_per_thread : 1) {}
 
   Result<DeviceKernel> Run() {
     const AccessSummary access = AnalyzeAccesses(kernel_);
@@ -52,6 +53,7 @@ class Lowerer {
     dk.boundary = kernel_.accessors.empty() ? BoundaryMode::kUndefined
                                             : kernel_.accessors.front().boundary;
     dk.vliw_vectorized = options_.vectorize_vliw;
+    dk.ppt = ppt_;
 
     // Decide the memory space of each input (read/write analysis gates the
     // texture path: only pure reads may go through it).
@@ -114,6 +116,11 @@ class Lowerer {
 
     // Region variants.
     const bool bh = kernel_.NeedsBoundaryHandling();
+    // With PPT > 1 only region variants carrying hi_y guards can prove their
+    // extra rows handled; everywhere else a trailing block may hold rows past
+    // the image, so sub-rows i >= 1 get an explicit If(y_i < IH) guard.
+    row_guard_all_ = !(options_.border == BorderPolicy::kRegions && bh &&
+                       dk.bh_window.half_y > 0);
     if (options_.border == BorderPolicy::kRegions && bh) {
       static constexpr Region kAllRegions[] = {
           Region::kTopLeft, Region::kTop, Region::kTopRight,
@@ -130,11 +137,37 @@ class Lowerer {
   }
 
  private:
+  /// Output row of sub-iteration `i`: gid_y for PPT=1, gid_y*ppt + i else.
+  ExprPtr SubRowY(int i) const {
+    if (ppt_ == 1) return GlobalY();
+    ExprPtr base = Binary(BinaryOp::kMul, GlobalY(), IntLit(ppt_));
+    return i == 0 ? base : Binary(BinaryOp::kAdd, std::move(base), IntLit(i));
+  }
+
   StmtPtr LowerBody(RegionChecks region_checks) {
+    if (ppt_ == 1) return LowerSubBody(region_checks, 0);
+    std::vector<StmtPtr> subs;
+    subs.reserve(static_cast<std::size_t>(ppt_));
+    for (int i = 0; i < ppt_; ++i) {
+      StmtPtr sub = LowerSubBody(region_checks, i);
+      // The warp active mask only proves row 0 in bounds; later sub-rows of
+      // a trailing block must be guarded unless the region variant's hi_y
+      // band math already excludes them.
+      if (i > 0 && (row_guard_all_ || region_checks.hi_y))
+        sub = ast::If(Binary(BinaryOp::kLt, SubRowY(i),
+                             ast::ThreadIndex(ThreadIndexKind::kImageH)),
+                      sub);
+      subs.push_back(std::move(sub));
+    }
+    return Block(std::move(subs));
+  }
+
+  StmtPtr LowerSubBody(RegionChecks region_checks, int sub) {
+    cur_sub_ = sub;
     const ExprRewriteFn rewrite = [this, region_checks](const Expr& e) -> ExprPtr {
       switch (e.kind) {
         case ExprKind::kIterIndex:
-          return e.is_y ? GlobalY() : GlobalX();
+          return e.is_y ? SubRowY(cur_sub_) : GlobalX();
         case ExprKind::kAccessorRead:
           return LowerAccessorRead(e, region_checks);
         case ExprKind::kMaskRead:
@@ -163,8 +196,16 @@ class Lowerer {
       ExprPtr lx = Binary(BinaryOp::kAdd,
                           ast::ThreadIndex(ThreadIndexKind::kThreadIdxX),
                           Binary(BinaryOp::kAdd, dx, IntLit(acc->window.half_x)));
-      ExprPtr ly = Binary(BinaryOp::kAdd,
-                          ast::ThreadIndex(ThreadIndexKind::kThreadIdxY),
+      // Tile row of sub-row i: tid_y*ppt + i (the tile spans BSY*PPT + SY
+      // rows when PPT > 1).
+      ExprPtr tile_row = ast::ThreadIndex(ThreadIndexKind::kThreadIdxY);
+      if (ppt_ > 1) {
+        tile_row = Binary(BinaryOp::kMul, std::move(tile_row), IntLit(ppt_));
+        if (cur_sub_ > 0)
+          tile_row =
+              Binary(BinaryOp::kAdd, std::move(tile_row), IntLit(cur_sub_));
+      }
+      ExprPtr ly = Binary(BinaryOp::kAdd, std::move(tile_row),
                           Binary(BinaryOp::kAdd, dy, IntLit(acc->window.half_y)));
       return ast::MemRead(MemSpace::kShared, "_smem" + e.name, std::move(lx),
                           std::move(ly), BoundaryMode::kUndefined, {});
@@ -185,7 +226,7 @@ class Lowerer {
     if (hardware_bh) checks = {};
 
     ExprPtr x = Binary(BinaryOp::kAdd, GlobalX(), dx);
-    ExprPtr y = Binary(BinaryOp::kAdd, GlobalY(), dy);
+    ExprPtr y = Binary(BinaryOp::kAdd, SubRowY(cur_sub_), dy);
     return ast::MemRead(buf->space, e.name, std::move(x), std::move(y),
                         acc->boundary, checks, acc->constant_value);
   }
@@ -207,8 +248,8 @@ class Lowerer {
   StmtPtr RewriteOutput(const StmtPtr& stmt) const {
     if (!stmt) return nullptr;
     if (stmt->kind == StmtKind::kOutputAssign)
-      return ast::MemWrite(MemSpace::kGlobal, "_out", GlobalX(), GlobalY(),
-                           stmt->value);
+      return ast::MemWrite(MemSpace::kGlobal, "_out", GlobalX(),
+                           SubRowY(cur_sub_), stmt->value);
     if (stmt->body.empty()) return stmt;
     auto copy = std::make_shared<Stmt>(*stmt);
     bool changed = false;
@@ -248,6 +289,9 @@ class Lowerer {
  private:
   const KernelDecl& kernel_;
   const CodegenOptions& options_;
+  const int ppt_;
+  int cur_sub_ = 0;         ///< sub-iteration being lowered (0..ppt-1)
+  bool row_guard_all_ = true;
 };
 
 }  // namespace

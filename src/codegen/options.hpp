@@ -45,6 +45,11 @@ struct CodegenOptions {
   /// VLIW4/VLIW5 targets (Section VIII outlook). Modelled as improved ALU
   /// issue efficiency on those devices; a no-op elsewhere.
   bool vectorize_vliw = false;
+  /// Pixels per thread: each thread computes this many vertically-adjacent
+  /// outputs, amortising guards, mask reads and scratchpad staging. 1 =
+  /// one output per thread (the classic mapping); 0 = let the hardware-model
+  /// heuristic pick from {1, 2, 4, 8} per device.
+  int pixels_per_thread = 1;
 
   /// Memberwise equality; the compilation cache and Retarget use it to
   /// decide whether lowered IR can be reused.

@@ -19,33 +19,46 @@ int ExprDepth(const ast::ExprPtr& expr) {
 
 hw::KernelResources EstimateResources(const ast::DeviceKernel& kernel) {
   hw::KernelResources res;
+  res.ppt = kernel.ppt > 0 ? kernel.ppt : 1;
 
   // The widest variant decides (all variants ship in one kernel).
   int locals = 0;
   int max_depth = 0;
   int max_guards = 0;
+  long long max_ops = 0;
   std::set<std::string> local_names;
   for (const auto& variant : kernel.variants) {
     ast::VisitStmts(variant.body, [&](const ast::Stmt& s) {
       if (s.kind == ast::StmtKind::kDecl || s.kind == ast::StmtKind::kFor)
         local_names.insert(s.name);
     });
+    long long ops = 0;
     ast::VisitExprs(variant.body, [&](const ast::Expr& e) {
       if (e.kind == ast::ExprKind::kMemRead)
         max_guards = std::max(max_guards, e.checks.count());
+      ++ops;
     });
     ast::VisitStmts(variant.body, [&](const ast::Stmt& s) {
       max_depth = std::max({max_depth, ExprDepth(s.value), ExprDepth(s.cond),
                             ExprDepth(s.lo), ExprDepth(s.hi)});
+      ++ops;
     });
+    max_ops = std::max(max_ops, ops);
   }
   locals = static_cast<int>(local_names.size());
+  res.approx_ops = max_ops;
 
   // 5 registers of fixed overhead (gid_x/gid_y, stride, base pointers —
   // partially reused by ptxas), one per live local, roughly one temporary
   // per two levels of the deepest expression, and one predicate per active
   // guard direction.
   res.regs_per_thread = 5 + locals + (max_depth + 1) / 2 + max_guards;
+
+  // Each extra sub-row of a pixels-per-thread kernel keeps its own row
+  // index and write guard live alongside the shared prologue. The lexical
+  // locals are re-scoped per sub-row, so only ~2 registers per replica
+  // survive past the scheduler.
+  if (res.ppt > 1) res.regs_per_thread += 2 * (res.ppt - 1);
 
   if (kernel.smem) {
     res.smem_tile = true;

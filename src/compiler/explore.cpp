@@ -19,7 +19,8 @@ bool PrunedByRegionGrid(const CompiledKernel& kernel,
                         int height) {
   if (!kernel.device_ir.has_boundary_variants()) return false;
   return hw::ComputeRegionGrid(config, width, height,
-                               kernel.device_ir.bh_window)
+                               kernel.device_ir.bh_window,
+                               kernel.device_ir.ppt)
       .degenerate();
 }
 
@@ -83,6 +84,7 @@ Result<std::vector<ExplorePoint>> ExploreConfigurations(
       if (!stats.ok()) continue;  // invalid at launch time: skip, like nvcc
       ExplorePoint point;
       point.config = candidate.config;
+      point.ppt = kernel.device_ir.ppt;
       point.occupancy = candidate.occupancy.occupancy;
       point.border_threads = candidate.border_threads;
       point.ms = stats.value().timing.total_ms;
@@ -125,6 +127,7 @@ Result<std::vector<ExplorePoint>> ExploreConfigurations(
 support::Json ExplorePointJson(const ExplorePoint& point) {
   support::Json j = support::Json::Object();
   j["config"] = sim::ConfigJson(point.config);
+  j["ppt"] = point.ppt;
   j["occupancy"] = point.occupancy;
   j["border_threads"] = point.border_threads;
   j["ms"] = point.ms;

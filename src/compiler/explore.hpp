@@ -19,6 +19,9 @@ namespace hipacc::compiler {
 
 struct ExplorePoint {
   hw::KernelConfig config;
+  /// Pixels per thread the measured kernel was compiled with (1 unless the
+  /// caller sweeps the PPT axis by recompiling per value).
+  int ppt = 1;
   double occupancy = 0.0;
   long long border_threads = 0;
   double ms = 0.0;

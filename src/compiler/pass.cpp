@@ -1,5 +1,6 @@
 #include "compiler/pass.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "codegen/lower.hpp"
@@ -127,11 +128,22 @@ class EstimateResourcesPass final : public Pass {
 };
 
 /// Select: resources + device -> launch configuration, via Algorithm 2 or
-/// the caller's forced configuration.
+/// the caller's forced configuration. When the caller asked for automatic
+/// pixels-per-thread selection (pixels_per_thread == 0), the pass first
+/// sweeps PPT in {1, 2, 4, 8}: each candidate is re-lowered and re-estimated,
+/// then scored with an analytic per-pixel cost — the per-thread prologue
+/// (index math, launch guard) amortised over ppt output pixels, divided by
+/// the occupancy the fatter kernel still achieves. The winning IR replaces
+/// the artifact before the ordinary configuration selection runs.
 class SelectConfigPass final : public Pass {
  public:
   const char* name() const override { return "select_config"; }
+
   Status Run(CompilationContext& ctx) const override {
+    if (ctx.options.codegen.pixels_per_thread == 0) {
+      Status swept = SelectPixelsPerThread(ctx);
+      if (!swept.ok()) return swept;
+    }
     CompiledKernel& out = ctx.artifact;
     const CompileOptions& options = ctx.options;
     if (options.forced_config) {
@@ -162,6 +174,98 @@ class SelectConfigPass final : public Pass {
                          out.config.config.block_x, out.config.config.block_y,
                          100.0 * out.config.occupancy.occupancy));
     }
+    return Status::Ok();
+  }
+
+ private:
+  /// Analytic cost model behind the PPT axis of the extended Algorithm 2:
+  /// per-pixel work is the variant's op count over its ppt output pixels
+  /// plus a fixed per-thread prologue amortised the same way, all divided
+  /// by achieved occupancy (a half-occupied device doubles effective cost).
+  static double PptScore(const hw::KernelResources& resources,
+                         double occupancy) {
+    // Index computation, launch guard, address setup: work every thread
+    // pays once regardless of how many pixels it produces.
+    constexpr double kThreadPrologueOps = 16.0;
+    const int ppt = resources.ppt > 0 ? resources.ppt : 1;
+    const double per_pixel =
+        (static_cast<double>(resources.approx_ops) + kThreadPrologueOps) /
+        static_cast<double>(ppt);
+    return per_pixel / std::max(occupancy, 1e-6);
+  }
+
+  Status SelectPixelsPerThread(CompilationContext& ctx) const {
+    if (!ctx.artifact.decl.body)
+      return Status::Invalid(
+          "pixels_per_thread=0 (auto) requires a parsed kernel declaration");
+    static constexpr int kCandidates[] = {1, 2, 4, 8};
+    int best_ppt = 1;
+    double best_score = 0.0;
+    ast::DeviceKernel best_ir;
+    hw::KernelResources best_res;
+    bool have_best = false;
+    for (int ppt : kCandidates) {
+      codegen::CodegenOptions copts = ctx.options.codegen;
+      copts.pixels_per_thread = ppt;
+      Result<ast::DeviceKernel> lowered =
+          codegen::LowerKernel(ctx.artifact.decl, copts);
+      if (!lowered.ok()) {
+        if (ppt == 1) return lowered.status();
+        continue;  // candidate not lowerable; the swept space just shrinks
+      }
+      hw::KernelResources res = codegen::EstimateResources(lowered.value());
+      double occupancy = 0.0;
+      if (ctx.options.forced_config) {
+        const hw::OccupancyResult occ = hw::ComputeOccupancy(
+            ctx.options.device, *ctx.options.forced_config, res);
+        if (!occ.valid) continue;  // too fat for the forced configuration
+        occupancy = occ.occupancy;
+      } else {
+        hw::HeuristicInput input;
+        input.device = ctx.options.device;
+        input.resources = res;
+        input.border_handling = lowered.value().has_boundary_variants();
+        input.window = lowered.value().bh_window;
+        input.image_width = ctx.options.image_width;
+        input.image_height = ctx.options.image_height;
+        Result<hw::HeuristicChoice> choice = hw::SelectConfig(input);
+        if (!choice.ok()) continue;  // no valid configuration at this ppt
+        // SelectConfig is best-effort about degenerate region grids (tiny
+        // images keep their classic behaviour); the sweep is not — a ppt>1
+        // candidate that cannot pass region dispatch is simply not taken.
+        if (ppt > 1 && input.border_handling &&
+            hw::ComputeRegionGrid(choice.value().config,
+                                  ctx.options.image_width,
+                                  ctx.options.image_height,
+                                  lowered.value().bh_window, ppt)
+                .degenerate())
+          continue;
+        occupancy = choice.value().occupancy.occupancy;
+      }
+      const double score = PptScore(res, occupancy);
+      if (!have_best || score < best_score) {
+        have_best = true;
+        best_ppt = ppt;
+        best_score = score;
+        best_ir = std::move(lowered).take();
+        best_res = res;
+      }
+    }
+    if (!have_best)
+      return Status::Exhausted(
+          "no pixels-per-thread candidate is valid on device " +
+          ctx.options.device.name);
+    if (ctx.artifact.device_ir.ppt != best_ppt) {
+      ctx.artifact.device_ir = std::move(best_ir);
+      ctx.artifact.resources = best_res;
+      // Any attached bytecode was compiled from the replaced IR.
+      ctx.artifact.bytecode.reset();
+    }
+    ctx.Note(name(), StrFormat("auto pixels-per-thread: selected %d "
+                               "(%.1f weighted ops/pixel)",
+                               best_ppt, best_score));
+    if (ctx.options.trace)
+      ctx.options.trace->IncrementCounter("ppt.selected", best_ppt);
     return Status::Ok();
   }
 };

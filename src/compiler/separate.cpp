@@ -1,0 +1,206 @@
+#include "compiler/separate.hpp"
+
+#include "ast/mask_factor.hpp"
+#include "support/string_utils.hpp"
+
+namespace hipacc::compiler {
+namespace {
+
+using ast::Expr;
+using ast::ExprKind;
+using ast::Stmt;
+using ast::StmtKind;
+
+/// Launch + intermediate round-trip cost of the extra pass, in
+/// taps-per-pixel equivalents. With this, a 3x3 window (9 taps direct,
+/// 3+3 separated) stays direct and a 5x5 (25 vs 10) separates.
+constexpr int kSeparateOverheadTaps = 4;
+
+/// Unwraps single-statement blocks (the parser wraps every loop body).
+const Stmt* Unwrap(const ast::StmtPtr& stmt) {
+  const Stmt* s = stmt.get();
+  while (s != nullptr && s->kind == StmtKind::kBlock && s->body.size() == 1)
+    s = s->body.front().get();
+  return s;
+}
+
+/// Constant integer value of `-h`, `h`, or a folded literal; nullopt for
+/// anything non-constant.
+std::optional<long long> ConstInt(const ast::ExprPtr& expr) {
+  const Expr* e = expr.get();
+  if (e == nullptr) return std::nullopt;
+  if (e->kind == ExprKind::kIntLit) return e->int_value;
+  if (e->kind == ExprKind::kUnary && e->unary_op == ast::UnaryOp::kNeg &&
+      e->args.size() == 1 && e->args[0]->kind == ExprKind::kIntLit)
+    return -e->args[0]->int_value;
+  return std::nullopt;
+}
+
+bool IsVar(const ast::ExprPtr& expr, const std::string& name) {
+  return expr && expr->kind == ExprKind::kVarRef && expr->name == name;
+}
+
+/// Matches `M(xf, yf)` / `Input(xf, yf)` against the two loop variables.
+bool IsWindowRead(const ast::ExprPtr& expr, ExprKind kind,
+                  const std::string& name, const std::string& xf,
+                  const std::string& yf) {
+  return expr && expr->kind == kind && expr->name == name &&
+         expr->args.size() == 2 && IsVar(expr->args[0], xf) &&
+         IsVar(expr->args[1], yf);
+}
+
+/// Matches the accumulation `sum += M(xf, yf) * Input(xf, yf)` (either
+/// operand order of the multiply).
+bool IsConvAccumulate(const Stmt* stmt, const std::string& sum,
+                      const std::string& mask, const std::string& accessor,
+                      const std::string& xf, const std::string& yf) {
+  if (stmt == nullptr || stmt->kind != StmtKind::kAssign ||
+      stmt->name != sum || stmt->assign_op != ast::AssignOp::kAddAssign)
+    return false;
+  const Expr* mul = stmt->value.get();
+  if (mul == nullptr || mul->kind != ExprKind::kBinary ||
+      mul->binary_op != ast::BinaryOp::kMul || mul->args.size() != 2)
+    return false;
+  return (IsWindowRead(mul->args[0], ExprKind::kMaskRead, mask, xf, yf) &&
+          IsWindowRead(mul->args[1], ExprKind::kAccessorRead, accessor, xf,
+                       yf)) ||
+         (IsWindowRead(mul->args[1], ExprKind::kMaskRead, mask, xf, yf) &&
+          IsWindowRead(mul->args[0], ExprKind::kAccessorRead, accessor, xf,
+                       yf));
+}
+
+/// True when `decl` is exactly the canonical convolution body over the
+/// given mask and accessor.
+bool MatchesCanonicalConvolution(const ast::KernelDecl& decl,
+                                 const ast::MaskInfo& mask,
+                                 const ast::AccessorInfo& accessor) {
+  const Stmt* block = decl.body.get();
+  if (block == nullptr || block->kind != StmtKind::kBlock ||
+      block->body.size() != 3)
+    return false;
+
+  const Stmt* init = block->body[0].get();
+  if (init == nullptr || init->kind != StmtKind::kDecl ||
+      init->value == nullptr)
+    return false;
+  const std::string& sum = init->name;
+  const Expr* zero = init->value.get();
+  if (zero->kind != ExprKind::kFloatLit || zero->float_value != 0.0)
+    return false;
+
+  const Stmt* outer = block->body[1].get();
+  if (outer == nullptr || outer->kind != StmtKind::kFor || outer->step != 1)
+    return false;
+  const std::string& yf = outer->name;
+  if (ConstInt(outer->lo) != -(mask.size_y / 2) ||
+      ConstInt(outer->hi) != mask.size_y / 2)
+    return false;
+
+  const Stmt* inner = Unwrap(outer->body.empty() ? nullptr : outer->body[0]);
+  if (outer->body.size() != 1 || inner == nullptr ||
+      inner->kind != StmtKind::kFor || inner->step != 1)
+    return false;
+  const std::string& xf = inner->name;
+  if (ConstInt(inner->lo) != -(mask.size_x / 2) ||
+      ConstInt(inner->hi) != mask.size_x / 2)
+    return false;
+
+  const Stmt* acc = Unwrap(inner->body.empty() ? nullptr : inner->body[0]);
+  if (inner->body.size() != 1 ||
+      !IsConvAccumulate(acc, sum, mask.name, accessor.name, xf, yf))
+    return false;
+
+  const Stmt* out = block->body[2].get();
+  return out != nullptr && out->kind == StmtKind::kOutputAssign &&
+         IsVar(out->value, sum);
+}
+
+/// Builds the 1D pass kernel, same canonical body shape as the 2D original
+/// (so the stage remains recognisable, cacheable, and fusable downstream).
+frontend::KernelSource Conv1D(const std::string& name,
+                              const std::string& accessor_name, int size_x,
+                              int size_y, std::vector<float> coeffs,
+                              ast::BoundaryMode mode, float constant_value) {
+  frontend::KernelSource src;
+  src.name = name;
+  ast::AccessorInfo acc;
+  acc.name = accessor_name;
+  acc.window = ast::WindowExtent::FromSize(size_x, size_y);
+  acc.boundary = mode;
+  acc.constant_value = constant_value;
+  src.accessors = {acc};
+  ast::MaskInfo mask;
+  mask.name = "M";
+  mask.size_x = size_x;
+  mask.size_y = size_y;
+  mask.static_values = std::move(coeffs);
+  src.masks = {mask};
+  src.body = StrFormat(R"(
+    float sum = 0.0f;
+    for (int yf = -%d; yf <= %d; yf++) {
+      for (int xf = -%d; xf <= %d; xf++) {
+        sum += M(xf, yf) * Input(xf, yf);
+      }
+    }
+    output() = sum;
+  )",
+                       size_y / 2, size_y / 2, size_x / 2, size_x / 2);
+  return src;
+}
+
+}  // namespace
+
+std::optional<SeparatedStages> SeparateConvolution(
+    const frontend::KernelSource& source, float rel_tol) {
+  // Shape gates that need no parsing: one accessor, one static 2D mask
+  // matching the accessor window, no scalar parameters the loop nest could
+  // depend on, and a boundary mode whose out-of-bounds values are defined.
+  if (source.accessors.size() != 1 || source.masks.size() != 1 ||
+      !source.params.empty())
+    return std::nullopt;
+  const ast::AccessorInfo& accessor = source.accessors.front();
+  const ast::MaskInfo& mask = source.masks.front();
+  if (!mask.is_static() || mask.size_x < 3 || mask.size_y < 3) return std::nullopt;
+  if (accessor.window.half_x != mask.size_x / 2 ||
+      accessor.window.half_y != mask.size_y / 2)
+    return std::nullopt;
+  if (accessor.boundary == ast::BoundaryMode::kUndefined) return std::nullopt;
+
+  // Tap-count heuristic: the two 1D passes plus the intermediate image
+  // round trip must beat the 2D window.
+  if (mask.size_x + mask.size_y + kSeparateOverheadTaps >=
+      mask.size_x * mask.size_y)
+    return std::nullopt;
+
+  Result<ast::KernelDecl> decl = frontend::ParseKernel(source);
+  if (!decl.ok()) return std::nullopt;
+  if (!MatchesCanonicalConvolution(decl.value(), mask, accessor))
+    return std::nullopt;
+
+  std::optional<ast::Rank1Factors> factors =
+      ast::FactorizeRank1(mask.static_values, mask.size_x, mask.size_y,
+                          rel_tol);
+  if (!factors) return std::nullopt;
+
+  // Constant mode: an out-of-bounds *row* of the intermediate image is what
+  // the row pass would have produced from an all-constant row, i.e.
+  // c * sum(row coefficients). With that, every direct constant tap is
+  // reproduced exactly (c * M[dx,dy] == c * row[dx] * col[dy]).
+  float col_constant = 0.0f;
+  if (accessor.boundary == ast::BoundaryMode::kConstant) {
+    double row_sum = 0.0;
+    for (const float v : factors->row) row_sum += v;
+    col_constant =
+        static_cast<float>(accessor.constant_value * row_sum);
+  }
+
+  SeparatedStages out;
+  out.row = Conv1D(source.name + "_row", accessor.name, mask.size_x, 1,
+                   std::move(factors->row), accessor.boundary,
+                   accessor.constant_value);
+  out.col = Conv1D(source.name + "_col", accessor.name, 1, mask.size_y,
+                   std::move(factors->col), accessor.boundary, col_constant);
+  return out;
+}
+
+}  // namespace hipacc::compiler

@@ -1,0 +1,51 @@
+// Separable-filter decomposition: rewrites one 2D convolution stage into a
+// horizontal (row) pass followed by a vertical (column) pass when the mask
+// factors as a rank-1 outer product (paper Section V — the classic
+// O(k^2) -> O(2k) taps-per-pixel optimisation, applied automatically).
+//
+// Detection is structural, on the parsed kernel IR: the stage must be the
+// canonical convolution loop nest
+//
+//   float sum = 0.0f;
+//   for (int yf = -hy; yf <= hy; yf++)
+//     for (int xf = -hx; xf <= hx; xf++)
+//       sum += M(xf, yf) * Input(xf, yf);
+//   output() = sum;
+//
+// over a single static mask and a single accessor, and the mask must pass
+// the rank-1 test (ast/mask_factor.hpp). Boundary handling transfers
+// per-axis: Clamp/Repeat/Mirror factor exactly (each axis is handled
+// independently by the reads), and Constant uses rowsum(row)*c as the
+// column pass's constant so out-of-bounds rows contribute exactly what the
+// direct kernel's constant taps would. Undefined mode is not separated —
+// the intermediate image would launder unspecified values into specified
+// pixels.
+//
+// The rewrite is profitable when the two 1D passes plus the intermediate
+// image round trip cost fewer taps than the 2D window; a 3x3 mask stays
+// direct, 5x5 and larger separate.
+#pragma once
+
+#include <optional>
+
+#include "frontend/parser.hpp"
+
+namespace hipacc::compiler {
+
+/// Result of a successful decomposition: two 1D convolution kernels that,
+/// run in sequence (row first, then column over the row pass's output),
+/// reproduce the original 2D stage up to float rounding in the factored
+/// coefficients.
+struct SeparatedStages {
+  frontend::KernelSource row;  ///< size_x x 1 horizontal pass
+  frontend::KernelSource col;  ///< 1 x size_y vertical pass
+};
+
+/// Attempts the decomposition. Returns nullopt when the kernel is not the
+/// canonical convolution form, the mask is not rank-1 within `rel_tol`
+/// (relative to its largest coefficient), the boundary mode is Undefined,
+/// or the tap-count heuristic says the 2D form is cheaper.
+std::optional<SeparatedStages> SeparateConvolution(
+    const frontend::KernelSource& source, float rel_tol = 1e-5f);
+
+}  // namespace hipacc::compiler

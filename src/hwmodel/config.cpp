@@ -9,10 +9,12 @@ namespace {
 int CeilDiv(int a, int b) { return (a + b - 1) / b; }
 }  // namespace
 
-GridDim ComputeGrid(const KernelConfig& config, int width, int height) {
+GridDim ComputeGrid(const KernelConfig& config, int width, int height,
+                    int ppt) {
   HIPACC_CHECK(config.block_x > 0 && config.block_y > 0 && width > 0 &&
-               height > 0);
-  return {CeilDiv(width, config.block_x), CeilDiv(height, config.block_y)};
+               height > 0 && ppt > 0);
+  return {CeilDiv(width, config.block_x),
+          CeilDiv(height, config.block_y * ppt)};
 }
 
 ast::Region RegionGrid::RegionOf(int bx_idx, int by_idx) const noexcept {
@@ -43,10 +45,13 @@ long long RegionGrid::BorderThreads() const noexcept {
 }
 
 RegionGrid ComputeRegionGrid(const KernelConfig& config, int width, int height,
-                             ast::WindowExtent window) {
+                             ast::WindowExtent window, int ppt) {
   RegionGrid rg;
   rg.config = config;
-  rg.grid = ComputeGrid(config, width, height);
+  rg.grid = ComputeGrid(config, width, height, ppt);
+  // Pixel rows covered by one block row: with PPT each thread produces ppt
+  // vertically-adjacent outputs.
+  const int rows_per_block = config.block_y * ppt;
 
   // A block column needs lo_x guards if any of its pixels lies within
   // window.half_x of the left edge; the right band additionally absorbs the
@@ -63,9 +68,9 @@ RegionGrid ComputeRegionGrid(const KernelConfig& config, int width, int height,
     rg.band_right = std::min(rg.grid.blocks_x, rg.grid.blocks_x - first_right);
   }
   if (window.half_y > 0) {
-    rg.band_top = std::min(rg.grid.blocks_y, CeilDiv(window.half_y, config.block_y));
+    rg.band_top = std::min(rg.grid.blocks_y, CeilDiv(window.half_y, rows_per_block));
     const int first_bottom =
-        std::max(0, CeilDiv(height - window.half_y + 1, config.block_y) - 1);
+        std::max(0, CeilDiv(height - window.half_y + 1, rows_per_block) - 1);
     rg.band_bottom = std::min(rg.grid.blocks_y, rg.grid.blocks_y - first_bottom);
   }
   // A block inside the left band whose pixels also reach within half_x of
@@ -73,7 +78,7 @@ RegionGrid ComputeRegionGrid(const KernelConfig& config, int width, int height,
   rg.overlap_x = window.half_x > 0 &&
                  rg.band_left * config.block_x + window.half_x > width;
   rg.overlap_y = window.half_y > 0 &&
-                 rg.band_top * config.block_y + window.half_y > height;
+                 rg.band_top * rows_per_block + window.half_y > height;
   return rg;
 }
 

@@ -31,7 +31,11 @@ struct GridDim {
   }
 };
 
-GridDim ComputeGrid(const KernelConfig& config, int width, int height);
+/// `ppt` (pixels per thread, >= 1) shrinks the y extent of the thread space:
+/// each thread covers `ppt` vertically-adjacent pixels, so one block row
+/// spans block_y*ppt pixel rows.
+GridDim ComputeGrid(const KernelConfig& config, int width, int height,
+                    int ppt = 1);
 
 /// Block-granular partition of the grid into the nine regions of Figure 3.
 /// Band widths are in blocks, measured from each grid edge; bands are sized
@@ -65,8 +69,10 @@ struct RegionGrid {
   bool overlap_y = false;
 };
 
+/// Band math accounts for `ppt`: a block row covers block_y*ppt pixel rows,
+/// so the y bands are computed in pixel space with that row pitch.
 RegionGrid ComputeRegionGrid(const KernelConfig& config, int width, int height,
-                             ast::WindowExtent window);
+                             ast::WindowExtent window, int ppt = 1);
 
 /// Enumerates candidate configurations for a device: thread counts that are
 /// multiples of the SIMD width (coalesced accesses) within the block limit,

@@ -11,12 +11,13 @@ int CeilDiv(int a, int b) { return (a + b - 1) / b; }
 }  // namespace
 
 long long ApproxBorderThreads(const KernelConfig& config, int width,
-                              int height, ast::WindowExtent window) {
-  const GridDim grid = ComputeGrid(config, width, height);
+                              int height, ast::WindowExtent window, int ppt) {
+  const GridDim grid = ComputeGrid(config, width, height, ppt);
+  const int rows_per_block = config.block_y * (ppt > 0 ? ppt : 1);
   const int band_x =
       window.half_x > 0 ? std::min(grid.blocks_x, CeilDiv(window.half_x, config.block_x)) : 0;
   const int band_y =
-      window.half_y > 0 ? std::min(grid.blocks_y, CeilDiv(window.half_y, config.block_y)) : 0;
+      window.half_y > 0 ? std::min(grid.blocks_y, CeilDiv(window.half_y, rows_per_block)) : 0;
   const long long interior_x = std::max(0, grid.blocks_x - 2 * band_x);
   const long long interior_y = std::max(0, grid.blocks_y - 2 * band_y);
   const long long border_blocks = grid.total() - interior_x * interior_y;
@@ -35,7 +36,8 @@ std::vector<HeuristicChoice> ExploreConfigs(const HeuristicInput& input) {
     choice.border_threads =
         input.border_handling && input.image_width > 0
             ? ApproxBorderThreads(config, input.image_width,
-                                  input.image_height, input.window)
+                                  input.image_height, input.window,
+                                  input.resources.ppt)
             : 0;
     out.push_back(choice);
   }
@@ -60,6 +62,25 @@ Result<HeuristicChoice> SelectConfig(const HeuristicInput& input) {
   if (candidates.empty())
     return Status::Exhausted(
         "no valid kernel configuration for device " + input.device.name);
+
+  // Prefer tilings whose boundary regions do not overlap (degenerate region
+  // grid): those fail the simulator's region dispatch. One block covers
+  // block_y * ppt image rows, so pixels-per-thread kernels hit this with
+  // much smaller configurations than classic ones. Best-effort: when every
+  // remaining candidate is degenerate (image smaller than one block plus
+  // its halo), keep them all — executors that can handle the case still
+  // accept the launch.
+  if (input.border_handling && input.image_width > 0 &&
+      input.image_height > 0) {
+    std::vector<HeuristicChoice> sound;
+    sound.reserve(candidates.size());
+    for (const HeuristicChoice& c : candidates)
+      if (!ComputeRegionGrid(c.config, input.image_width, input.image_height,
+                             input.window, input.resources.ppt)
+               .degenerate())
+        sound.push_back(c);
+    if (!sound.empty()) candidates = std::move(sound);
+  }
 
   // Line 3: sort by descending occupancy, ascending thread count.
   std::stable_sort(candidates.begin(), candidates.end(),

@@ -37,9 +37,11 @@ struct HeuristicChoice {
 /// Approximate count of threads executing boundary-handling conditionals for
 /// a tiling: symmetric bands of ceil(half/bdim) blocks per image side. This
 /// is the metric Algorithm 2 minimises; the dispatch itself uses the exact
-/// RegionGrid bands.
+/// RegionGrid bands. `ppt` is the pixels-per-thread factor: a block then
+/// covers block_y*ppt image rows, shrinking the grid and the y bands.
 long long ApproxBorderThreads(const KernelConfig& config, int width,
-                              int height, ast::WindowExtent window);
+                              int height, ast::WindowExtent window,
+                              int ppt = 1);
 
 /// Runs Algorithm 2. Returns an error iff no enumerated configuration is
 /// valid on the device (resource exhaustion).

@@ -16,7 +16,7 @@ int KernelResources::SmemBytesPerBlock(const KernelConfig& config) const noexcep
   int bytes = smem_static_bytes;
   if (smem_tile) {
     const int tile_w = config.block_x + 2 * smem_halo_x + 1;
-    const int tile_h = config.block_y + 2 * smem_halo_y;
+    const int tile_h = config.block_y * (ppt > 0 ? ppt : 1) + 2 * smem_halo_y;
     bytes += tile_w * tile_h * elem_bytes;
   }
   return bytes;

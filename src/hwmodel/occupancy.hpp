@@ -22,6 +22,13 @@ struct KernelResources {
   int smem_halo_x = 0;
   int smem_halo_y = 0;
   int elem_bytes = 4;
+  /// Pixels per thread the kernel was lowered with: the scratchpad tile
+  /// covers block_y*ppt pixel rows (plus halo).
+  int ppt = 1;
+  /// Rough interpreter-cost op count of the interior variant's per-thread
+  /// body (already covering all ppt outputs). Feeds the heuristic's
+  /// analytic PPT/separability cost model; 0 when not estimated.
+  long long approx_ops = 0;
 
   /// Total scratchpad bytes a block of the given config allocates.
   int SmemBytesPerBlock(const KernelConfig& config) const noexcept;

@@ -1,9 +1,18 @@
-// Filter-mask coefficient builders for the built-in operators.
+// Filter-mask coefficient builders for the built-in operators, plus the
+// rank-1 factorization that powers separable-filter decomposition.
 #pragma once
 
 #include <vector>
 
+#include "ast/mask_factor.hpp"
+
 namespace hipacc::ops {
+
+// The separability test itself lives at the AST layer (ast/mask_factor.hpp)
+// so the compiler's `separate` rewrite can use it too; re-exported here
+// because mask coefficients are this library's domain.
+using ast::FactorizeRank1;
+using ast::Rank1Factors;
 
 /// Normalised 2D Gaussian of odd `size` with standard deviation `sigma`
 /// (size*size row-major coefficients summing to 1).

@@ -6,6 +6,7 @@
 
 #include "compiler/cache.hpp"
 #include "compiler/driver.hpp"
+#include "compiler/separate.hpp"
 #include "runtime/bindings.hpp"
 #include "runtime/host_exec.hpp"
 #include "runtime/scheduler.hpp"
@@ -137,6 +138,7 @@ struct GraphRun {
   Status Validate(const PipelineGraph::InputBindings& in,
                   const PipelineGraph::OutputBindings& out);
   Result<std::vector<int>> OrderAndExtents();
+  void PlanSeparation();
   void PlanFusion();
   Status CompileStages();
   DagSpec BuildDag() const;
@@ -244,6 +246,44 @@ Result<std::vector<int>> GraphRun::OrderAndExtents() {
     }
   }
   return order;
+}
+
+void GraphRun::PlanSeparation() {
+  if (!options.separate) return;
+  // Runs before fusion: a fused convolution body no longer matches the
+  // canonical form, while a separated column pass is still a convolution
+  // a point-wise consumer can fuse into afterwards.
+  const std::size_t count = stages.size();
+  for (std::size_t s = 0; s < count; ++s) {
+    if (stages[s].kind != Node::Kind::kKernel) continue;
+    if (stages[s].inputs.size() != 1) continue;
+    std::optional<compiler::SeparatedStages> sep =
+        compiler::SeparateConvolution(stages[s].effective);
+    if (!sep) continue;
+    const std::string intermediate = stages[s].name + ".sep_row";
+    if (producer.find(intermediate) != producer.end()) continue;
+
+    // The appended row stage consumes the original input edge and produces
+    // the intermediate virtual image; the original slot becomes the column
+    // pass so the stage keeps producing its externally visible name.
+    Stage row;
+    row.kind = Node::Kind::kKernel;
+    row.name = intermediate;
+    row.source = sep->row;
+    row.effective = std::move(sep->row);
+    row.inputs = stages[s].inputs;
+    row.width = stages[s].width;
+    row.height = stages[s].height;
+    const std::string accessor = row.inputs.front().first;
+    stages.push_back(std::move(row));  // may reallocate: re-index below
+
+    Stage& col = stages[s];
+    col.source = sep->col;
+    col.effective = std::move(sep->col);
+    col.inputs = {{accessor, intermediate}};
+    producer[intermediate] = static_cast<int>(stages.size() - 1);
+    if (trace != nullptr) trace->IncrementCounter("separate.edges");
+  }
 }
 
 void GraphRun::PlanFusion() {
@@ -494,6 +534,7 @@ Status PipelineGraph::Run(const InputBindings& inputs,
     Result<std::vector<int>> order = run.OrderAndExtents();
     if (!order.ok()) return order.status();
   }
+  run.PlanSeparation();
   run.PlanFusion();
   HIPACC_RETURN_IF_ERROR(run.CompileStages());
 

@@ -51,6 +51,12 @@ struct GraphOptions {
   RunOptions run;
   /// Fuse point-wise consumers into their producers where legal.
   bool fuse = true;
+  /// Rewrite rank-1 (separable) 2D convolution stages into a row pass plus
+  /// a column pass over a pooled intermediate image (compiler/separate.hpp).
+  /// Off by default: the split reorders float arithmetic, so results match
+  /// the direct kernel only up to factorization rounding (~1e-6 relative),
+  /// not bit-exactly.
+  bool separate = false;
   /// Worker threads executing independent DAG branches (0 = hardware
   /// concurrency). Results are identical for any worker count.
   int workers = 0;

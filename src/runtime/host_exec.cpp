@@ -514,6 +514,13 @@ Status ValidateProgram(const Program& prog, const std::string& kernel) {
 /// three bands per axis and each band pair maps to its Figure 3 region.
 Status PlanRegions(const ProgramSet& ps, int width, int height, int halo_x,
                    int halo_y, ExecPlan* plan) {
+  // PPT kernels map one thread to several pixels; the host executor's
+  // one-virtual-thread-per-pixel iteration cannot reproduce that (the
+  // interior variants carry no rejectable node, so gate on the set itself).
+  if (ps.ppt > 1)
+    return Status::Unimplemented(StrFormat(
+        "host executor: kernel '%s' uses %d pixels per thread",
+        ps.kernel_name.c_str(), ps.ppt));
   if (ps.programs.size() == 1) {
     plan->x1 = 0;
     plan->x2 = width;

@@ -25,10 +25,6 @@ namespace hipacc::runtime {
 
 class KernelRunner {
  public:
-  /// Superseded by runtime::RunOptions (same leading members, so existing
-  /// aggregate initializers keep working).
-  using Options [[deprecated("use runtime::RunOptions")]] = RunOptions;
-
   explicit KernelRunner(frontend::KernelSource source);
   KernelRunner(frontend::KernelSource source, RunOptions options);
 

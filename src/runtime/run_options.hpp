@@ -1,11 +1,9 @@
 // One options struct for the cached execute path and the pipeline graph
 // runtime, consolidating what used to be spread over three overlapping
 // structs: codegen::CodegenOptions (how kernels are compiled),
-// sim::SimulatorOptions (which simulator engine runs them), and
-// runtime::KernelRunner::Options (device, forced configuration, trace,
-// cache). The first five members keep KernelRunner::Options' exact order,
-// so aggregate initializers written against the old struct keep meaning the
-// same thing through the deprecated alias.
+// sim::SimulatorOptions (which simulator engine runs them), and the
+// retired KernelRunner options struct (device, forced configuration,
+// trace, cache).
 //
 // The chainable with_* setters cover the common knobs:
 //

@@ -28,8 +28,9 @@ BlockState::BlockState(const Launch& launch, const hw::DeviceSpec& device,
 
 Result<BlockState::Plan> BlockState::Begin() {
   const DeviceKernel& kernel = *launch.kernel;
-  const hw::RegionGrid rg = hw::ComputeRegionGrid(
-      launch.config, launch.width, launch.height, kernel.bh_window);
+  const hw::RegionGrid rg =
+      hw::ComputeRegionGrid(launch.config, launch.width, launch.height,
+                            kernel.bh_window, kernel.ppt);
   Plan plan;
   plan.region = kernel.has_boundary_variants() ? rg.RegionOf(bix, biy)
                                                : Region::kInterior;
@@ -58,6 +59,7 @@ Result<BlockState::Plan> BlockState::Begin() {
 
 void BlockState::BuildWarpContext(int warp, int threads) {
   const int bx = launch.config.block_x;
+  const int ppt = launch.kernel ? launch.kernel->ppt : 1;
   tid_x.fill(0);
   tid_y.fill(0);
   gid_x.fill(0);
@@ -74,9 +76,12 @@ void BlockState::BuildWarpContext(int warp, int threads) {
     const int gy = biy * launch.config.block_y + ty;
     gid_x[static_cast<size_t>(lane)] = gx;
     gid_y[static_cast<size_t>(lane)] = gy;
-    // The emitted guard `if (gid_x >= IW || gid_y >= IH) return;`.
+    // The emitted guard `if (gid_x >= IW || gid_y >= IH) return;` — with
+    // PPT > 1 a thread is live when its FIRST output row is in bounds
+    // (`gid_y * PPT >= IH` in the generated source); later sub-rows carry
+    // their own If(y_i < IH) guards in the lowered body.
     active[static_cast<size_t>(lane)] =
-        gx < launch.width && gy < launch.height;
+        gx < launch.width && gy * ppt < launch.height;
   }
   metrics->alu_ops += 4;  // gid computation + bounds guard
 }
@@ -89,10 +94,13 @@ Status BlockState::StageScratchpad(int warps, int threads) {
     return Status::Invalid("unbound staged accessor " + plan.accessor);
   const int bx = launch.config.block_x;
   const int by = launch.config.block_y;
+  const int ppt = launch.kernel->ppt;
+  // With PPT the tile covers block_y*ppt pixel rows plus the halo.
+  const int rows = by * ppt;
   const int hx = plan.window.half_x;
   const int hy = plan.window.half_y;
   tile_w = bx + 2 * hx + 1;  // +1 column: bank-conflict padding
-  tile_h = by + 2 * hy;
+  tile_h = rows + 2 * hy;
   tile.assign(static_cast<size_t>(tile_w) * tile_h, 0.0f);
 
   for (int w = 0; w < warps; ++w) {
@@ -100,7 +108,7 @@ Status BlockState::StageScratchpad(int warps, int threads) {
     // Staging happens BEFORE the image-extent guard in the generated code
     // (Listing 7): threads whose own output pixel lies outside the image
     // still cooperate in loading the tile, so no warp is skipped here.
-    for (int ty_off = 0; ty_off < by + 2 * hy; ty_off += by) {
+    for (int ty_off = 0; ty_off < rows + 2 * hy; ty_off += by) {
       for (int tx_off = 0; tx_off < bx + 2 * hx; tx_off += bx) {
         std::vector<std::uint64_t> gaddrs, saddrs;
         std::vector<std::pair<size_t, float>> stores;
@@ -110,9 +118,9 @@ Status BlockState::StageScratchpad(int warps, int threads) {
           if (lin >= threads) continue;
           const int xx = static_cast<int>(tid_x[l]) + tx_off;
           const int yy = static_cast<int>(tid_y[l]) + ty_off;
-          if (xx >= bx + 2 * hx || yy >= by + 2 * hy) continue;
+          if (xx >= bx + 2 * hx || yy >= rows + 2 * hy) continue;
           const int gx = bix * bx + xx - hx;
-          const int gy = biy * by + yy - hy;
+          const int gy = biy * rows + yy - hy;
           const int rx = dsl::ResolveBoundaryIndex(gx, src->width, plan.boundary);
           const int ry = dsl::ResolveBoundaryIndex(gy, src->height, plan.boundary);
           float value = plan.constant_value;

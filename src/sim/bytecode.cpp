@@ -949,6 +949,7 @@ Result<std::shared_ptr<const ProgramSet>> CompileToBytecode(
   Stopwatch sw;
   auto set = std::make_shared<ProgramSet>();
   set->kernel_name = kernel.name;
+  set->ppt = kernel.ppt;
   for (const auto& variant : kernel.variants) {
     VariantCompiler compiler(kernel, set.get());
     HIPACC_ASSIGN_OR_RETURN(Program prog, compiler.Compile(variant));

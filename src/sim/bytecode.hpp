@@ -127,6 +127,9 @@ struct ProgramSet {
     int width = 1;
   };
   std::vector<MaskRef> const_masks;
+  /// Pixels per thread of the source kernel. The host executor iterates
+  /// pixels (one virtual thread per pixel), so it only supports ppt == 1.
+  int ppt = 1;
   std::uint64_t total_instructions = 0;
   double compile_ms = 0.0;
 

@@ -398,7 +398,8 @@ class BlockRunner {
     out->type = ScalarType::kInt;
     const hw::GridDim grid = hw::ComputeGrid(st_.launch.config,
                                              st_.launch.width,
-                                             st_.launch.height);
+                                             st_.launch.height,
+                                             st_.launch.kernel->ppt);
     for (int lane = 0; lane < st_.warp_size; ++lane) {
       const size_t l = static_cast<size_t>(lane);
       double v = 0.0;
@@ -413,6 +414,8 @@ class BlockRunner {
         case ThreadIndexKind::kGridDimY: v = grid.blocks_y; break;
         case ThreadIndexKind::kGlobalIdX: v = st_.gid_x[l]; break;
         case ThreadIndexKind::kGlobalIdY: v = st_.gid_y[l]; break;
+        case ThreadIndexKind::kImageW: v = st_.launch.width; break;
+        case ThreadIndexKind::kImageH: v = st_.launch.height; break;
       }
       out->lanes[l] = v;
     }

@@ -87,7 +87,8 @@ Status Simulator::Validate(const Launch& launch) const {
         occ.reason.c_str()));
   if (launch.kernel->has_boundary_variants()) {
     const hw::RegionGrid rg = hw::ComputeRegionGrid(
-        launch.config, launch.width, launch.height, launch.kernel->bh_window);
+        launch.config, launch.width, launch.height, launch.kernel->bh_window,
+        launch.kernel->ppt);
     if (rg.degenerate())
       return Status::Invalid(StrFormat(
           "image %dx%d too small for a %dx%d window with a %dx%d "
@@ -106,7 +107,8 @@ Result<LaunchStats> Simulator::Execute(const Launch& launch) const {
   LaunchStats stats;
   stats.occupancy = Occupancy(launch);
   stats.region_grid = hw::ComputeRegionGrid(
-      launch.config, launch.width, launch.height, launch.kernel->bh_window);
+      launch.config, launch.width, launch.height, launch.kernel->bh_window,
+      launch.kernel->ppt);
 
   const ProgramSet* programs = PreparePrograms(launch);
   if (trace_)
@@ -152,7 +154,8 @@ Result<LaunchStats> Simulator::Measure(const Launch& launch,
   stats.sampled = true;
   stats.occupancy = Occupancy(launch);
   stats.region_grid = hw::ComputeRegionGrid(
-      launch.config, launch.width, launch.height, launch.kernel->bh_window);
+      launch.config, launch.width, launch.height, launch.kernel->bh_window,
+      launch.kernel->ppt);
   const hw::RegionGrid& rg = stats.region_grid;
   const hw::GridDim grid = rg.grid;
 

@@ -147,7 +147,7 @@ class VmRunner {
     }
 
     grid_ = hw::ComputeGrid(st_.launch.config, st_.launch.width,
-                            st_.launch.height);
+                            st_.launch.height, st_.launch.kernel->ppt);
     regs_.resize(static_cast<std::size_t>(prog->num_regs));
     masks_.resize(static_cast<std::size_t>(prog->num_masks));
 
@@ -391,6 +391,12 @@ class VmRunner {
               break;
             case ThreadIndexKind::kGridDimY:
               FillLanes(&d, grid_.blocks_y, warp);
+              break;
+            case ThreadIndexKind::kImageW:
+              FillLanes(&d, st_.launch.width, warp);
+              break;
+            case ThreadIndexKind::kImageH:
+              FillLanes(&d, st_.launch.height, warp);
               break;
           }
           d.type = ScalarType::kInt;

@@ -1,0 +1,106 @@
+// Property tests for the rank-1 mask factorization: factoring a separable
+// mask must reconstruct it within tolerance, and genuinely 2D masks
+// (Laplacian, combined Sobel-XY) must be rejected.
+#include "ast/mask_factor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "ops/masks.hpp"
+
+namespace hipacc {
+namespace {
+
+double ReconstructionError(const std::vector<float>& mask,
+                           const ast::Rank1Factors& factors, int size_x,
+                           int size_y) {
+  double worst = 0.0;
+  for (int y = 0; y < size_y; ++y)
+    for (int x = 0; x < size_x; ++x) {
+      const double rebuilt = static_cast<double>(factors.col[y]) *
+                             static_cast<double>(factors.row[x]);
+      worst = std::max(worst,
+                       std::abs(rebuilt - mask[static_cast<size_t>(y) * size_x + x]));
+    }
+  return worst;
+}
+
+double MaxAbs(const std::vector<float>& mask) {
+  double m = 0.0;
+  for (const float v : mask) m = std::max(m, std::abs(static_cast<double>(v)));
+  return m;
+}
+
+TEST(MaskFactorTest, ReconstructsSeparableMasks) {
+  // Gaussians of every odd size/width, box filters, and a single-axis
+  // Sobel — all rank-1 by construction.
+  for (const int size : {3, 5, 7, 9}) {
+    for (const float sigma : {0.8f, 1.5f, 3.0f}) {
+      const auto mask = ops::GaussianMask2D(size, sigma);
+      const auto factors = ast::FactorizeRank1(mask, size, size);
+      ASSERT_TRUE(factors.has_value()) << "gaussian " << size << "/" << sigma;
+      EXPECT_LE(ReconstructionError(mask, *factors, size, size),
+                1e-5 * MaxAbs(mask));
+    }
+    const auto box = ops::BoxMask(size);
+    const auto factors = ast::FactorizeRank1(box, size, size);
+    ASSERT_TRUE(factors.has_value()) << "box " << size;
+    EXPECT_LE(ReconstructionError(box, *factors, size, size),
+              1e-5 * MaxAbs(box));
+  }
+  const auto sobel_x = ops::SobelMaskX();  // [1 2 1]^T x [-1 0 1]
+  const auto factors = ast::FactorizeRank1(sobel_x, 3, 3);
+  ASSERT_TRUE(factors.has_value());
+  EXPECT_LE(ReconstructionError(sobel_x, *factors, 3, 3), 1e-5 * 2.0);
+}
+
+TEST(MaskFactorTest, BalancesFactorMagnitudes) {
+  const auto mask = ops::GaussianMask2D(5, 1.2f);
+  const auto factors = ast::FactorizeRank1(mask, 5, 5);
+  ASSERT_TRUE(factors.has_value());
+  double row_inf = 0.0, col_inf = 0.0;
+  for (const float v : factors->row)
+    row_inf = std::max(row_inf, std::abs(static_cast<double>(v)));
+  for (const float v : factors->col)
+    col_inf = std::max(col_inf, std::abs(static_cast<double>(v)));
+  EXPECT_NEAR(row_inf, col_inf, 1e-6);
+}
+
+TEST(MaskFactorTest, RejectsNonSeparableMasks) {
+  EXPECT_FALSE(ast::FactorizeRank1(ops::LaplacianMask3(), 3, 3).has_value());
+
+  // Sobel X + Sobel Y: each is rank-1, their sum is rank-2.
+  const auto sx = ops::SobelMaskX();
+  const auto sy = ops::SobelMaskY();
+  std::vector<float> combined(9);
+  for (int i = 0; i < 9; ++i) combined[static_cast<size_t>(i)] = sx[i] + sy[i];
+  EXPECT_FALSE(ast::FactorizeRank1(combined, 3, 3).has_value());
+
+  // Deterministic pseudo-noise: separable only with vanishing probability.
+  std::vector<float> noise(25);
+  unsigned state = 12345u;
+  for (float& v : noise) {
+    state = state * 1664525u + 1013904223u;
+    v = static_cast<float>(state >> 16) / 65536.0f - 0.5f;
+  }
+  EXPECT_FALSE(ast::FactorizeRank1(noise, 5, 5).has_value());
+}
+
+TEST(MaskFactorTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(ast::FactorizeRank1({0.0f, 0.0f, 0.0f, 0.0f}, 2, 2).has_value());
+  EXPECT_FALSE(ast::FactorizeRank1({1.0f, 2.0f}, 3, 3).has_value());  // size
+  EXPECT_FALSE(ast::FactorizeRank1({}, 0, 0).has_value());
+
+  // A mask with one zero row/column is still rank-1.
+  const std::vector<float> ridge = {0.0f, 0.0f, 0.0f,  //
+                                    1.0f, 2.0f, 1.0f,  //
+                                    0.0f, 0.0f, 0.0f};
+  const auto factors = ast::FactorizeRank1(ridge, 3, 3);
+  ASSERT_TRUE(factors.has_value());
+  EXPECT_LE(ReconstructionError(ridge, *factors, 3, 3), 1e-5 * 2.0);
+}
+
+}  // namespace
+}  // namespace hipacc

@@ -1,0 +1,188 @@
+// Pixels-per-thread differential suite: a kernel compiled with PPT > 1
+// must produce pixels bit-identical to the classic one-pixel-per-thread
+// mapping — each thread evaluates the same expressions in the same order
+// for each of its sub-rows, so there is no float reassociation to absorb.
+// Swept across all five boundary modes, both backends, the scratchpad
+// path, ragged image heights (partial trailing blocks) and row filters
+// (half_y == 0, where the nine-region dispatch has no bottom band and the
+// lowerer must guard every variant).
+#include <gtest/gtest.h>
+
+#include "compiler/executable.hpp"
+#include "image/metrics.hpp"
+#include "image/synthetic.hpp"
+#include "ops/kernel_sources.hpp"
+#include "ops/masks.hpp"
+
+namespace hipacc {
+namespace {
+
+using ast::Backend;
+using ast::BoundaryMode;
+
+constexpr BoundaryMode kAllModes[] = {
+    BoundaryMode::kUndefined, BoundaryMode::kRepeat, BoundaryMode::kClamp,
+    BoundaryMode::kMirror, BoundaryMode::kConstant};
+
+struct RunResult {
+  HostImage<float> pixels{1, 1};
+  int ppt = 1;  ///< what the compiled kernel actually used
+};
+
+RunResult RunWithPpt(const frontend::KernelSource& source,
+                     const HostImage<float>& input, int ppt,
+                     codegen::CodegenOptions codegen = {},
+                     bool force_config = true, bool allow_oob = false) {
+  compiler::CompileOptions options;
+  options.codegen = codegen;
+  options.codegen.pixels_per_thread = ppt;
+  options.device = hw::TeslaC2050();
+  options.image_width = input.width();
+  options.image_height = input.height();
+  if (force_config) options.forced_config = hw::KernelConfig{32, 2};
+
+  auto compiled = compiler::Compile(source, options);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  RunResult result;
+  if (!compiled.ok()) return result;
+  result.ppt = compiled.value().device_ir.ppt;
+
+  dsl::Image<float> in(input.width(), input.height());
+  dsl::Image<float> out(input.width(), input.height());
+  in.CopyFrom(input);
+  runtime::BindingSet bindings;
+  bindings.Input("Input", in).Output(out);
+  compiler::SimulatedExecutable exe(std::move(compiled).take(),
+                                    hw::TeslaC2050());
+  auto stats = exe.Run(bindings);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  if (stats.ok() && !allow_oob) {
+    // PPT must not introduce out-of-bounds accesses. (kUndefined reads out
+    // of bounds by design, at every ppt — callers pass allow_oob there.)
+    EXPECT_EQ(stats.value().metrics.oob_violations, 0u);
+  }
+  result.pixels = out.getData();
+  return result;
+}
+
+TEST(PptTest, BitIdenticalAcrossBoundaryModesAndBackends) {
+  // 73x41: neither dimension divides the block tile, so every ppt level
+  // leaves a ragged trailing block in y.
+  const auto input = MakeAngiogramPhantom(73, 41, 0.05f, 2);
+  const auto coeffs = ops::GaussianMask2D(5, 1.2f);
+  for (const Backend backend : {Backend::kCuda, Backend::kOpenCL}) {
+    for (const BoundaryMode mode : kAllModes) {
+      if (mode == BoundaryMode::kUndefined) continue;  // separate test below
+      frontend::KernelSource source =
+          ops::ConvolutionSource("gauss", 5, 5, coeffs, mode, 0.25f);
+      codegen::CodegenOptions codegen;
+      codegen.backend = backend;
+      const RunResult base = RunWithPpt(source, input, 1, codegen);
+      for (const int ppt : {2, 4, 8}) {
+        const RunResult vec = RunWithPpt(source, input, ppt, codegen);
+        EXPECT_EQ(vec.ppt, ppt);
+        EXPECT_LE(MaxAbsDiff(base.pixels, vec.pixels), 0.0)
+            << to_string(backend) << " " << to_string(mode) << " ppt=" << ppt;
+      }
+    }
+  }
+}
+
+TEST(PptTest, UndefinedModeStaysInBounds) {
+  // kUndefined compiles without guards (BorderPolicy::kNone drops them
+  // anyway); the launch guard introduced for ppt > 1 must still keep every
+  // *write* in bounds, and the interior must match ppt=1 exactly.
+  const auto input = MakeAngiogramPhantom(73, 41, 0.05f, 3);
+  const auto coeffs = ops::GaussianMask2D(3, 1.0f);
+  frontend::KernelSource source = ops::ConvolutionSource(
+      "gauss_u", 3, 3, coeffs, BoundaryMode::kUndefined);
+  const RunResult base = RunWithPpt(source, input, 1, {}, true, true);
+  for (const int ppt : {2, 4, 8}) {
+    const RunResult vec = RunWithPpt(source, input, ppt, {}, true, true);
+    double worst = 0.0;
+    for (int y = 1; y < 40; ++y)
+      for (int x = 1; x < 72; ++x)
+        worst = std::max(worst,
+                         std::abs(static_cast<double>(base.pixels(x, y) -
+                                                      vec.pixels(x, y))));
+    EXPECT_LE(worst, 0.0) << "ppt=" << ppt;
+  }
+}
+
+TEST(PptTest, UniformBorderPolicyBitIdentical) {
+  const auto input = MakeAngiogramPhantom(61, 37, 0.04f, 4);
+  const auto coeffs = ops::GaussianMask2D(5, 1.0f);
+  frontend::KernelSource source =
+      ops::ConvolutionSource("gauss", 5, 5, coeffs, BoundaryMode::kMirror);
+  codegen::CodegenOptions codegen;
+  codegen.border = codegen::BorderPolicy::kUniform;
+  const RunResult base = RunWithPpt(source, input, 1, codegen);
+  for (const int ppt : {2, 4, 8}) {
+    const RunResult vec = RunWithPpt(source, input, ppt, codegen);
+    EXPECT_LE(MaxAbsDiff(base.pixels, vec.pixels), 0.0) << "ppt=" << ppt;
+  }
+}
+
+TEST(PptTest, ScratchpadStagingBitIdentical) {
+  // The PPT scratchpad tile grows to BSY*PPT + 2*halo rows; staged results
+  // must match both the unstaged PPT kernel and the staged ppt=1 kernel.
+  const auto input = MakeAngiogramPhantom(73, 41, 0.05f, 5);
+  const auto coeffs = ops::GaussianMask2D(5, 1.0f);
+  frontend::KernelSource source =
+      ops::ConvolutionSource("gauss", 5, 5, coeffs, BoundaryMode::kRepeat);
+  codegen::CodegenOptions smem;
+  smem.use_scratchpad = true;
+  const RunResult staged1 = RunWithPpt(source, input, 1, smem);
+  for (const int ppt : {2, 4}) {
+    const RunResult plain = RunWithPpt(source, input, ppt);
+    const RunResult staged = RunWithPpt(source, input, ppt, smem);
+    EXPECT_LE(MaxAbsDiff(staged1.pixels, staged.pixels), 0.0) << "ppt=" << ppt;
+    EXPECT_LE(MaxAbsDiff(plain.pixels, staged.pixels), 0.0) << "ppt=" << ppt;
+  }
+}
+
+TEST(PptTest, RowFilterGuardsTrailingRows) {
+  // half_y == 0: the nine-region grid has no bottom band, so trailing
+  // blocks land in interior variants and only the per-sub-row guards keep
+  // the extra rows from writing out of bounds. Height 33 with block_y=2,
+  // ppt=8 leaves a block covering rows 32..47.
+  const auto input = MakeAngiogramPhantom(73, 33, 0.05f, 6);
+  const auto row = ops::GaussianMask1D(5, 1.5f);
+  frontend::KernelSource source =
+      ops::ConvolutionSource("row5", 5, 1, row, BoundaryMode::kClamp);
+  const RunResult base = RunWithPpt(source, input, 1);
+  for (const int ppt : {2, 4, 8}) {
+    const RunResult vec = RunWithPpt(source, input, ppt);
+    EXPECT_LE(MaxAbsDiff(base.pixels, vec.pixels), 0.0) << "ppt=" << ppt;
+  }
+}
+
+TEST(PptTest, HeuristicConfigSelectionWorksPerPpt) {
+  // No forced configuration: Algorithm 2 runs per PPT level (the grid and
+  // border bands shrink with ppt) and the result stays bit-identical.
+  const auto input = MakeAngiogramPhantom(96, 64, 0.04f, 7);
+  const auto coeffs = ops::GaussianMask2D(5, 1.2f);
+  frontend::KernelSource source =
+      ops::ConvolutionSource("gauss", 5, 5, coeffs, BoundaryMode::kMirror);
+  const RunResult base = RunWithPpt(source, input, 1, {}, false);
+  for (const int ppt : {2, 4, 8}) {
+    const RunResult vec = RunWithPpt(source, input, ppt, {}, false);
+    EXPECT_LE(MaxAbsDiff(base.pixels, vec.pixels), 0.0) << "ppt=" << ppt;
+  }
+}
+
+TEST(PptTest, AutoSelectionPicksCandidateAndMatches) {
+  const auto input = MakeAngiogramPhantom(128, 128, 0.04f, 8);
+  const auto coeffs = ops::GaussianMask2D(5, 1.2f);
+  frontend::KernelSource source =
+      ops::ConvolutionSource("gauss", 5, 5, coeffs, BoundaryMode::kMirror);
+  const RunResult base = RunWithPpt(source, input, 1, {}, false);
+  const RunResult automatic = RunWithPpt(source, input, 0, {}, false);
+  EXPECT_TRUE(automatic.ppt == 1 || automatic.ppt == 2 ||
+              automatic.ppt == 4 || automatic.ppt == 8)
+      << automatic.ppt;
+  EXPECT_LE(MaxAbsDiff(base.pixels, automatic.pixels), 0.0);
+}
+
+}  // namespace
+}  // namespace hipacc

@@ -1,6 +1,7 @@
-// Shared --sim-engine=bytecode|ast flag for the benchmark binaries: selects
-// the simulator execution engine process-wide (sim/options.hpp), so the CI
-// perf-smoke can run the same table under both engines and diff the output.
+// Shared --sim-engine=bytecode|ast|native flag for the benchmark binaries:
+// selects the simulator execution engine process-wide (sim/options.hpp), so
+// the CI perf-smoke can run the same table under each engine and diff the
+// output.
 #pragma once
 
 #include "sim/options.hpp"
@@ -12,7 +13,8 @@ namespace hipacc::bench {
 /// process-wide DefaultSimulatorOptions() in place.
 inline support::CliParser& RegisterSimEngineFlag(support::CliParser& cli) {
   return cli.Value("sim-engine", "ENGINE",
-                   "simulator engine: bytecode (default) or ast",
+                   "simulator engine: bytecode (default), ast, or native "
+                   "(jit-compiled host code, threaded-VM fallback)",
                    [](const std::string& value) -> Status {
                      Result<sim::ExecEngine> engine =
                          sim::ParseExecEngine(value);

@@ -82,6 +82,40 @@ frontend::KernelSource BilateralMaskSource(int sigma_d, BoundaryMode mode,
   return src;
 }
 
+frontend::KernelSource BilateralFixedSource(int sigma_d, BoundaryMode mode,
+                                            float constant_value) {
+  // Device-specific variant in the spirit of the paper: the filter window is
+  // known at code-generation time, so the loop bounds are emitted as
+  // literals instead of runtime parameters. This keeps the range sigma as a
+  // launch argument (it only feeds arithmetic) while making the iteration
+  // space static — which lets downstream tiers (separability analysis, the
+  // native tier's unrolled fusion) see the whole loop nest.
+  const int size = 4 * sigma_d + 1;
+  const int radius = 2 * sigma_d;
+  frontend::KernelSource src;
+  src.name = "bilateral_fixed";
+  src.params = {{"sigma_r", ScalarType::kInt}};
+  src.accessors = {InputAccessor(size, size, mode, constant_value)};
+  src.body = StrFormat(R"(
+    float c_r = 1.0f / (2.0f * sigma_r * sigma_r);
+    float c_d = 1.0f / (2.0f * %d * %d);
+    float d = 0.0f;
+    float p = 0.0f;
+    for (int yf = -%d; yf <= %d; yf++) {
+      for (int xf = -%d; xf <= %d; xf++) {
+        float diff = Input(xf, yf) - Input();
+        float s = exp(-c_r * diff * diff);
+        float c = exp(-c_d * xf * xf) * exp(-c_d * yf * yf);
+        d += s * c;
+        p += s * c * Input(xf, yf);
+      }
+    }
+    output() = p / d;
+  )",
+                        sigma_d, sigma_d, radius, radius, radius, radius);
+  return src;
+}
+
 frontend::KernelSource ConvolutionSource(const std::string& name, int size_x,
                                          int size_y, std::vector<float> mask,
                                          BoundaryMode mode,
@@ -201,6 +235,33 @@ frontend::KernelSource ScaleOffsetSource() {
   src.params = {{"scale", ScalarType::kFloat}, {"offset", ScalarType::kFloat}};
   src.accessors = {InputAccessor(1, 1, BoundaryMode::kUndefined, 0.0f)};
   src.body = "output() = scale * Input() + offset;";
+  return src;
+}
+
+frontend::KernelSource ToneCurveSource(int stages) {
+  // Cascaded-sigmoid display windowing: each stage adds a rational soft
+  // response centred on a different intensity band, approximating the
+  // multi-window tone curves used for medical display mapping without any
+  // transcendental calls. The stage count is baked in at code-generation
+  // time (like BilateralFixedSource's window), so the loop unrolls into a
+  // long straight-line arithmetic chain — the dispatch-bound shape that
+  // stresses per-instruction engine overhead rather than the memory model.
+  frontend::KernelSource src;
+  src.name = "tone_curve";
+  src.params = {{"center", ScalarType::kFloat}, {"weight", ScalarType::kFloat}};
+  src.accessors = {InputAccessor(1, 1, BoundaryMode::kUndefined, 0.0f)};
+  src.body = StrFormat(R"(
+    float v = Input();
+    float acc = 0.0f;
+    for (int s = 1; s <= %d; s++) {
+      float c = v * s - center;
+      float w = c / (1.0f + c * c);
+      acc += w * weight;
+      v = 0.5f * v + w;
+    }
+    output() = acc;
+  )",
+                       stages);
   return src;
 }
 

@@ -24,6 +24,13 @@ frontend::KernelSource BilateralMaskSource(int sigma_d, BoundaryMode mode,
                                            bool static_mask = true,
                                            float constant_value = 0.0f);
 
+/// Bilateral filter with the window size baked into the kernel body at
+/// code-generation time (device-specific specialisation in the spirit of
+/// the paper): loop bounds are literals, so the whole iteration space is
+/// static; only the range sigma remains a launch parameter.
+frontend::KernelSource BilateralFixedSource(int sigma_d, BoundaryMode mode,
+                                            float constant_value = 0.0f);
+
 /// size x size convolution with a static Mask (Gaussian coefficients).
 frontend::KernelSource GaussianSource(int size, float sigma, BoundaryMode mode,
                                       float constant_value = 0.0f);
@@ -53,6 +60,12 @@ frontend::KernelSource ScaleOffsetSource();
 
 /// Point operator: binary threshold at `threshold` param.
 frontend::KernelSource ThresholdSource();
+
+/// Cascaded-sigmoid display-windowing tone curve (point operator). The
+/// stage count is baked in at code-generation time, unrolling into a long
+/// straight-line arithmetic chain with one load and one store — the
+/// dispatch-bound shape that isolates per-instruction engine overhead.
+frontend::KernelSource ToneCurveSource(int stages);
 
 /// Point operator for Laplacian-pyramid decomposition:
 /// output() = Fine() - 4.0f * U(), where U is the (unscaled) smoothed

@@ -7,6 +7,7 @@
 
 #include "ast/builtins.hpp"
 #include "sim/block_state.hpp"
+#include "sim/jit/cache.hpp"
 #include "support/stopwatch.hpp"
 
 namespace hipacc::sim {
@@ -957,6 +958,7 @@ Result<std::shared_ptr<const ProgramSet>> CompileToBytecode(
     set->programs.push_back(std::move(prog));
   }
   set->compile_ms = sw.ElapsedMs();
+  set->jit_state = std::make_shared<jit::TierState>();
   return std::shared_ptr<const ProgramSet>(std::move(set));
 }
 

@@ -28,6 +28,10 @@
 
 namespace hipacc::sim {
 
+namespace jit {
+struct TierState;
+}
+
 enum class Op : std::uint8_t {
   kConst,       // dst <- broadcast imm (typed)
   kCopy,        // dst <- a (raw copy, lanes + type)
@@ -132,6 +136,13 @@ struct ProgramSet {
   int ppt = 1;
   std::uint64_t total_instructions = 0;
   double compile_ms = 0.0;
+
+  /// Native-tier tiering state (jit/cache.hpp), created by
+  /// CompileToBytecode and shared by every holder of this ProgramSet — the
+  /// target-level compilation cache hands the same set to all exploration
+  /// lanes, so they tier up together and share one compiled object. Null
+  /// for hand-assembled sets, which then never leave the VM.
+  std::shared_ptr<jit::TierState> jit_state;
 
   const Program* Find(ast::Region region) const;
 };

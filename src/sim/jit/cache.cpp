@@ -1,0 +1,151 @@
+#include "sim/jit/cache.hpp"
+
+#include "sim/bytecode.hpp"
+#include "sim/jit/emit.hpp"
+#include "sim/trace.hpp"
+#include "support/hash.hpp"
+#include "support/log.hpp"
+
+namespace hipacc::sim::jit {
+
+JitCache& JitCache::Instance() {
+  static JitCache* cache = new JitCache();  // immortal: lanes may outlive main
+  return *cache;
+}
+
+void JitCache::ResetForTesting() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  compiles_.store(0);
+}
+
+JitCache::Outcome JitCache::GetOrCompile(const ProgramSet& ps) {
+  Outcome out;
+  EmittedSource emitted = EmitNativeSource(ps);
+
+  support::Fnv1a key;
+  key.Mix(emitted.source);
+  key.Mix(kJitAbiVersion);
+  key.Mix(ToolchainIdentity());
+  const std::uint64_t digest = key.digest();
+
+  std::shared_ptr<Entry> entry;
+  bool owner = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto& bucket = map_[digest];
+    for (const auto& e : bucket)
+      if (e->source == emitted.source) entry = e;
+    if (!entry) {
+      entry = std::make_shared<Entry>();
+      entry->source = emitted.source;
+      bucket.push_back(entry);
+      owner = true;
+    } else {
+      // In-flight deduplication: wait for the compiling thread.
+      cv_.wait(lock, [&] { return entry->done; });
+      out.program = entry->program;
+      out.error = entry->error;
+      return out;
+    }
+  }
+
+  // Owner path: compile outside the lock (toolchain runs take ~0.5 s).
+  out.compiled = true;
+  Result<std::shared_ptr<NativeModule>> module =
+      CompileSharedObject(emitted.source, "hipacc_" + support::Fnv1a().Mix(digest).hex());
+  // Count actual toolchain invocations; a missing toolchain (Unimplemented)
+  // never ran anything.
+  if (module.ok() ||
+      module.status().code() != StatusCode::kUnimplemented)
+    compiles_.fetch_add(1);
+  std::shared_ptr<const NativeProgram> program;
+  std::string error;
+  if (module.ok()) {
+    auto native = std::make_shared<NativeProgram>();
+    native->module = module.value();
+    for (const auto& si : emitted.symbols) {
+      NativeProgram::Entry e;
+      e.region = si.region;
+      e.fused = si.fused;
+      e.fn = reinterpret_cast<JitWarpFn>(
+          native->module->Sym(si.symbol.c_str()));
+      if (!e.fn) {
+        error = "missing jit symbol " + si.symbol;
+        break;
+      }
+      native->fns.push_back(e);
+    }
+    if (error.empty()) program = std::move(native);
+  } else {
+    error = module.status().ToString();
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    entry->done = true;
+    entry->failed = !error.empty();
+    entry->error = error;
+    entry->program = program;
+  }
+  cv_.notify_all();
+  out.program = std::move(program);
+  out.error = std::move(error);
+  return out;
+}
+
+const NativeProgram* AcquireNative(const ProgramSet& ps, int threshold,
+                                   TraceSink* trace) {
+  TierState* ts = ps.jit_state.get();
+  if (!ts) return nullptr;
+
+  // Lock-free hot path once tiered up.
+  if (const NativeProgram* fast = ts->fast.load(std::memory_order_acquire)) {
+    if (trace) trace->IncrementCounter("jit.hit");
+    return fast;
+  }
+  if (ts->phase.load(std::memory_order_relaxed) == 2) {
+    if (trace) trace->IncrementCounter("jit.threaded");
+    return nullptr;
+  }
+
+  const std::uint64_t launch =
+      ts->launches.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (launch < static_cast<std::uint64_t>(threshold > 0 ? threshold : 1)) {
+    if (trace) trace->IncrementCounter("jit.threaded");
+    return nullptr;
+  }
+
+  const std::lock_guard<std::mutex> lock(ts->mu);
+  if (const NativeProgram* fast = ts->fast.load(std::memory_order_acquire)) {
+    if (trace) trace->IncrementCounter("jit.hit");
+    return fast;
+  }
+  if (ts->phase.load(std::memory_order_relaxed) == 2) {
+    if (trace) trace->IncrementCounter("jit.threaded");
+    return nullptr;
+  }
+
+  JitCache::Outcome outcome = JitCache::Instance().GetOrCompile(ps);
+  if (!outcome.program) {
+    ts->phase.store(2, std::memory_order_release);
+    if (trace) {
+      trace->IncrementCounter("jit.error");
+      trace->IncrementCounter("jit.threaded");
+    }
+    LogWarn("native tier unavailable for " + ps.kernel_name + ": " +
+            outcome.error + " — staying on the threaded VM");
+    return nullptr;
+  }
+  ts->program = outcome.program;
+  ts->phase.store(1, std::memory_order_release);
+  ts->fast.store(ts->program.get(), std::memory_order_release);
+  if (trace) {
+    trace->IncrementCounter(outcome.compiled ? "jit.compile"
+                                             : "jit.cache_hit");
+    trace->IncrementCounter("jit.hit");
+  }
+  return ts->program.get();
+}
+
+}  // namespace hipacc::sim::jit

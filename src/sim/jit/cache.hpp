@@ -1,0 +1,115 @@
+// Native-tier caching and tiering state.
+//
+// Two layers share compiled objects:
+//  - JitCache: a process-wide, content-addressed module cache (emitted
+//    source + ABI version + toolchain identity). Exploration lanes and
+//    retargeted kernels whose register programs are semantically identical
+//    reuse one shared object, and concurrent requests for the same
+//    fingerprint deduplicate in flight — only one lane pays the compile.
+//  - TierState: per-ProgramSet tiering (hung off ProgramSet::jit_state, so
+//    the PR 2 target-level compilation cache shares it for free). Counts
+//    launches, flips to the native program at the configured threshold, and
+//    latches failure so a broken toolchain is probed exactly once.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/metadata.hpp"
+#include "sim/jit/abi.hpp"
+#include "sim/jit/toolchain.hpp"
+
+namespace hipacc::sim {
+
+struct ProgramSet;
+class TraceSink;
+
+namespace jit {
+
+/// The dlopened warp functions of one ProgramSet, region-addressed like
+/// ProgramSet::Find.
+struct NativeProgram {
+  std::shared_ptr<NativeModule> module;
+  struct Entry {
+    ast::Region region = ast::Region::kInterior;
+    JitWarpFn fn = nullptr;
+    /// Lane-fused emission: binding checks hoisted ahead of all side
+    /// effects — the runner pre-checks bindings and falls back to the VM
+    /// for launches that would error mid-program (see native_runner.cpp).
+    bool fused = false;
+  };
+  std::vector<Entry> fns;
+
+  JitWarpFn Find(ast::Region region) const {
+    for (const Entry& e : fns)
+      if (e.region == region) return e.fn;
+    return nullptr;
+  }
+};
+
+/// Per-ProgramSet tiering state. Created by CompileToBytecode; shared by
+/// every Simulator (and exploration lane) holding the same ProgramSet.
+struct TierState {
+  std::atomic<std::uint64_t> launches{0};
+  /// 0 = cold (VM), 1 = native ready, 2 = failed (VM forever).
+  std::atomic<int> phase{0};
+  std::mutex mu;
+  std::shared_ptr<const NativeProgram> program;  // guarded by mu
+  /// Lock-free fast path; set once under mu, read per launch.
+  std::atomic<const NativeProgram*> fast{nullptr};
+};
+
+/// Process-wide module cache. Keyed by the emitted source text (itself a
+/// canonical serialisation of the program semantics) hashed together with
+/// the ABI version and toolchain identity; the full source is kept per
+/// entry so a hash collision can never alias two programs.
+class JitCache {
+ public:
+  static JitCache& Instance();
+
+  struct Outcome {
+    std::shared_ptr<const NativeProgram> program;
+    bool compiled = false;  ///< this call invoked the toolchain
+    std::string error;      ///< non-empty on failure
+  };
+
+  /// Returns the cached module for `ps` or compiles it (deduplicating
+  /// concurrent requests for the same key).
+  Outcome GetOrCompile(const ProgramSet& ps);
+
+  /// Toolchain invocations since process start / last reset (tests).
+  std::uint64_t compiles() const { return compiles_.load(); }
+  void ResetForTesting();
+
+ private:
+  struct Entry {
+    std::string source;  // canonical identity (collision guard)
+    bool done = false;
+    bool failed = false;
+    std::string error;
+    std::shared_ptr<const NativeProgram> program;
+  };
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  // hash -> entries (collisions resolved by exact source compare).
+  std::unordered_map<std::uint64_t, std::vector<std::shared_ptr<Entry>>> map_;
+  std::atomic<std::uint64_t> compiles_{0};
+};
+
+/// The tiering decision for one launch with engine == kNative. Counts the
+/// launch, compiles through JitCache once the threshold is reached, and
+/// returns the native program when ready (else nullptr: run the threaded
+/// VM). Emits jit.hit / jit.compile / jit.cache_hit / jit.threaded /
+/// jit.error trace counters on `trace` when attached.
+const NativeProgram* AcquireNative(const ProgramSet& ps, int threshold,
+                                   TraceSink* trace);
+
+}  // namespace jit
+}  // namespace hipacc::sim

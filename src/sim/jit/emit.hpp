@@ -1,0 +1,53 @@
+// C++ source emitter for the native tier: partial evaluation of the
+// bytecode VM over one ProgramSet. Every instruction's handler body is
+// emitted with its fields (opcode, sub-op, types, coordinates, boundary
+// mode, guard set, costs, immediates) baked in as constants.
+//
+// Two emission modes per region program:
+//  - Fused (label-free programs whose loaded and stored buffers are
+//    disjoint): one loop over lanes executes the whole instruction chain in
+//    scalar locals, with register *types* resolved statically at emit time
+//    (type tags are data-independent in straight-line code). Memory-model
+//    address lists are buffered per instruction during the lane loop and
+//    replayed after it in program order; stores are deferred the same way,
+//    so global-memory writes and model calls happen in exactly the VM's
+//    order and the results stay bit-identical.
+//  - Per-insn (programs with control flow): each instruction becomes a
+//    64-lane loop over the ABI register file, types tracked through the
+//    same runtime tag array the VM uses — textually parallel to vm.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ast/metadata.hpp"
+#include "sim/bytecode.hpp"
+
+namespace hipacc::sim::jit {
+
+/// A generated translation unit for one ProgramSet: self-contained C++
+/// (standard headers + the embedded ABI text only) exporting one
+/// extern "C" warp function per region program.
+struct EmittedSource {
+  struct SymbolInfo {
+    ast::Region region = ast::Region::kInterior;
+    std::string symbol;
+    /// Lane-fused emission: binding checks are hoisted ahead of all side
+    /// effects, so the runner must pre-check bindings and fall back to the
+    /// VM for launches that would error mid-program.
+    bool fused = false;
+  };
+  std::string source;
+  std::vector<SymbolInfo> symbols;
+};
+
+/// Stable content fingerprint over every semantic field of every
+/// instruction (plus the program/table shapes). Used both for symbol
+/// naming and as the shared-object cache identity.
+unsigned long long ProgramFingerprint(const ProgramSet& ps);
+
+/// Emits the translation unit. `symbol_prefix` scopes the exported symbol
+/// names (callers pass the fingerprint hex).
+EmittedSource EmitNativeSource(const ProgramSet& ps);
+
+}  // namespace hipacc::sim::jit

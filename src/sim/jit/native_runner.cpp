@@ -1,0 +1,276 @@
+#include "sim/jit/native_runner.hpp"
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "sim/block_state.hpp"
+#include "sim/jit/abi.hpp"
+#include "sim/vm.hpp"
+
+namespace hipacc::sim::jit {
+namespace {
+
+using ast::ScalarType;
+
+/// Per-thread scratch reused across blocks, like the VM's VmScratch: the
+/// register/mask/type files persist so the generated code sees the same
+/// write-before-read discipline the VM's thread-local register file has.
+struct NativeScratch {
+  std::vector<double> regs;
+  std::vector<unsigned char> reg_types;
+  std::vector<unsigned char> masks;
+  std::vector<JitBuffer> buffers;
+  std::vector<JitMaskTable> mask_tables;
+};
+
+NativeScratch& ThreadScratch() {
+  static thread_local NativeScratch scratch;
+  return scratch;
+}
+
+struct HostCtx {
+  BlockState* st = nullptr;
+  Metrics* metrics = nullptr;
+};
+
+/// Memory-model trampoline: hands the generated code's address span
+/// straight to the same MemoryModel entry points the VM calls, in the same
+/// order — no intermediate copy.
+void MemAccessThunk(void* host, int kind, const unsigned long long* addrs,
+                    int count) {
+  auto* h = static_cast<HostCtx*>(host);
+  static_assert(sizeof(unsigned long long) == sizeof(std::uint64_t));
+  const auto* a = reinterpret_cast<const std::uint64_t*>(addrs);
+  const auto n = static_cast<std::size_t>(count);
+  switch (kind) {
+    case kJitMemGlobalRead:
+      h->st->memory.GlobalAccess(a, n, /*is_write=*/false, h->metrics);
+      break;
+    case kJitMemGlobalWrite:
+      h->st->memory.GlobalAccess(a, n, /*is_write=*/true, h->metrics);
+      break;
+    case kJitMemShared:
+      h->st->memory.SharedAccess(a, n, h->metrics);
+      break;
+    case kJitMemConstant:
+      h->st->memory.ConstantAccess(a, n, h->metrics);
+      break;
+    case kJitMemTexture:
+      h->st->memory.TextureAccess(a, n, h->metrics);
+      break;
+  }
+}
+
+Status MapError(const ProgramSet& ps, int rc) {
+  const int code = rc >> 16;
+  const std::size_t index = static_cast<std::size_t>(rc & 0xffff);
+  switch (code) {
+    case kJitErrLoadUnbound:
+      return Status::Invalid("unbound buffer " + ps.buffer_names[index]);
+    case kJitErrStoreUnbound:
+      return Status::Invalid("write to unbound or read-only buffer " +
+                             ps.buffer_names[index]);
+    case kJitErrMaskUnbound:
+      return Status::Invalid("unbound constant mask " +
+                             ps.const_masks[index].name);
+  }
+  return Status::Internal("native tier returned unknown error code");
+}
+
+/// Fused functions hoist every binding check ahead of all side effects, so
+/// a launch that would fail mid-program on the VM (partial metrics and
+/// model calls, then an error) must never reach them. Bindings are
+/// launch-level constants: either every block passes or the very first one
+/// falls back, so the conservative walk over all fused programs costs
+/// nothing on the happy path.
+bool FusedPreconditionsHold(const ProgramSet& ps, const NativeProgram& native,
+                            const Launch& launch) {
+  std::vector<std::uint8_t> buf_bound, buf_writable, mask_bound;
+  buf_bound.reserve(ps.buffer_names.size());
+  buf_writable.reserve(ps.buffer_names.size());
+  for (const auto& name : ps.buffer_names) {
+    const BufferBinding* b = launch.FindBuffer(name);
+    buf_bound.push_back(b != nullptr);
+    buf_writable.push_back(b && b->writable);
+  }
+  mask_bound.reserve(ps.const_masks.size());
+  for (const auto& ref : ps.const_masks)
+    mask_bound.push_back(launch.const_masks.count(ref.name) != 0);
+
+  for (const NativeProgram::Entry& e : native.fns) {
+    if (!e.fused) continue;
+    const Program* prog = ps.Find(e.region);
+    if (!prog) continue;
+    for (const Insn& I : prog->code) {
+      const std::size_t b = static_cast<std::size_t>(I.buffer);
+      switch (I.op) {
+        case Op::kLoadImage:
+          if (!buf_bound[b]) return false;
+          break;
+        case Op::kStore:
+          if (!buf_bound[b] || !buf_writable[b]) return false;
+          break;
+        case Op::kLoadConst:
+          if (!mask_bound[b]) return false;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Status RunBlockNative(const Launch& launch, const ProgramSet& ps,
+                      const NativeProgram& native,
+                      const hw::DeviceSpec& device, int block_x_idx,
+                      int block_y_idx, Metrics* metrics,
+                      std::uint64_t* executed_insns) {
+  HIPACC_CHECK(launch.kernel != nullptr && metrics != nullptr);
+  if (!FusedPreconditionsHold(ps, native, launch))
+    return RunBlockBytecode(launch, ps, device, block_x_idx, block_y_idx,
+                            metrics, executed_insns, VmDispatch::kThreaded);
+  BlockState st(launch, device, block_x_idx, block_y_idx, metrics);
+  Result<BlockState::Plan> begun = st.Begin();
+  if (!begun.ok()) return begun.status();
+  const BlockState::Plan plan = begun.value();
+  const Program* prog = ps.Find(plan.region);
+  const JitWarpFn fn = native.Find(plan.region);
+  if (!prog || !fn)
+    return Status::Internal("no native program for region of kernel " +
+                            ps.kernel_name);
+
+  NativeScratch& scratch = ThreadScratch();
+  scratch.buffers.clear();
+  scratch.buffers.reserve(ps.buffer_names.size());
+  for (const auto& name : ps.buffer_names) {
+    JitBuffer jb;
+    if (const BufferBinding* bound = launch.FindBuffer(name)) {
+      jb.data = bound->data;
+      jb.width = bound->width;
+      jb.height = bound->height;
+      jb.stride = bound->stride;
+      jb.writable = bound->writable ? 1 : 0;
+      jb.bound = 1;
+    }
+    scratch.buffers.push_back(jb);
+  }
+  scratch.mask_tables.clear();
+  scratch.mask_tables.reserve(ps.const_masks.size());
+  for (const auto& ref : ps.const_masks) {
+    JitMaskTable mt;
+    const auto it = launch.const_masks.find(ref.name);
+    if (it != launch.const_masks.end()) {
+      mt.data = it->second.data();
+      mt.size = it->second.size();
+      mt.bound = 1;
+    }
+    scratch.mask_tables.push_back(mt);
+  }
+
+  struct ParamFill {
+    std::uint16_t reg = 0;
+    ScalarType type = ScalarType::kFloat;
+    double value = 0.0;
+  };
+  std::vector<ParamFill> seeds;
+  seeds.reserve(prog->params.size());
+  for (const auto& p : prog->params) {
+    const auto it = launch.scalar_args.find(p.name);
+    const double v = it != launch.scalar_args.end() ? it->second : 0.0;
+    seeds.push_back(ParamFill{
+        p.reg, p.type,
+        p.type == ScalarType::kFloat
+            ? static_cast<double>(static_cast<float>(v))
+            : v});
+  }
+
+  const hw::GridDim grid = hw::ComputeGrid(launch.config, launch.width,
+                                           launch.height, launch.kernel->ppt);
+  const std::size_t reg_slots = static_cast<std::size_t>(prog->num_regs);
+  scratch.regs.resize(reg_slots * kJitMaxWarp);
+  // Fresh slots default to the VM's WarpVal type tag (kFloat); existing
+  // tags persist across warps/blocks exactly like the VM's register file.
+  scratch.reg_types.resize(reg_slots, static_cast<unsigned char>(4));
+  scratch.masks.resize(static_cast<std::size_t>(prog->num_masks) *
+                       kJitMaxWarp);
+
+  std::array<int, kMaxWarpWidth> tid_xi{}, tid_yi{}, gid_xi{}, gid_yi{};
+
+  HostCtx host{&st, metrics};
+  JitWarpCtx ctx;
+  ctx.warp_size = st.warp_size;
+  ctx.tid_x = st.tid_x.data();
+  ctx.tid_y = st.tid_y.data();
+  ctx.gid_x = st.gid_x.data();
+  ctx.gid_y = st.gid_y.data();
+  ctx.tid_xi = tid_xi.data();
+  ctx.tid_yi = tid_yi.data();
+  ctx.gid_xi = gid_xi.data();
+  ctx.gid_yi = gid_yi.data();
+  ctx.bix = st.bix;
+  ctx.biy = st.biy;
+  ctx.block_dim_x = launch.config.block_x;
+  ctx.block_dim_y = launch.config.block_y;
+  ctx.grid_dim_x = grid.blocks_x;
+  ctx.grid_dim_y = grid.blocks_y;
+  ctx.image_w = launch.width;
+  ctx.image_h = launch.height;
+  ctx.regs = scratch.regs.data();
+  ctx.reg_types = scratch.reg_types.data();
+  ctx.masks = scratch.masks.data();
+  ctx.tile = st.tile.data();
+  ctx.tile_w = st.tile_w;
+  ctx.tile_h = st.tile_h;
+  ctx.buffers = scratch.buffers.data();
+  ctx.mask_tables = scratch.mask_tables.data();
+  // The ABI counters are unsigned long long (self-contained header);
+  // Metrics uses std::uint64_t. Accumulate locally and flush on every exit
+  // path — including error returns — like the VM's CostCounters.
+  struct Counters {
+    Metrics* m;
+    std::uint64_t* out_insns;
+    unsigned long long alu = 0, sfu = 0, oob = 0, insns = 0;
+    ~Counters() {
+      m->alu_ops += alu;
+      m->sfu_calls += sfu;
+      m->oob_violations += oob;
+      if (out_insns) *out_insns += insns;
+    }
+  } c{metrics, executed_insns};
+  ctx.alu = &c.alu;
+  ctx.sfu = &c.sfu;
+  ctx.oob = &c.oob;
+  ctx.insns = &c.insns;
+  ctx.mem_access = &MemAccessThunk;
+  ctx.host = &host;
+
+  for (int w = 0; w < plan.warps; ++w) {
+    st.BuildWarpContext(w, plan.threads);
+    if (!AnyActive(st.active)) continue;
+    for (int l = 0; l < st.warp_size; ++l) {
+      const std::size_t i = static_cast<std::size_t>(l);
+      tid_xi[i] = static_cast<int>(st.tid_x[i]);
+      tid_yi[i] = static_cast<int>(st.tid_y[i]);
+      gid_xi[i] = static_cast<int>(st.gid_x[i]);
+      gid_yi[i] = static_cast<int>(st.gid_y[i]);
+    }
+    static_assert(sizeof(LaneMask) == kJitMaxWarp);
+    std::memcpy(scratch.masks.data(), st.active.data(), kJitMaxWarp);
+    for (const ParamFill& seed : seeds) {
+      double* r = scratch.regs.data() +
+                  static_cast<std::size_t>(seed.reg) * kJitMaxWarp;
+      scratch.reg_types[seed.reg] =
+          static_cast<unsigned char>(static_cast<int>(seed.type));
+      for (int l = 0; l < kJitMaxWarp; ++l) r[l] = seed.value;
+    }
+    const int rc = fn(&ctx);
+    if (rc != 0) return MapError(ps, rc);
+  }
+  return Status::Ok();
+}
+
+}  // namespace hipacc::sim::jit

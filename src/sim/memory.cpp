@@ -1,7 +1,6 @@
 #include "sim/memory.hpp"
 
 #include <algorithm>
-#include <array>
 
 namespace hipacc::sim {
 
@@ -9,37 +8,108 @@ namespace {
 
 /// Sorts `v` and drops duplicates, leaving the distinct values in ascending
 /// order — the same order a std::set would iterate them in. The inputs are
-/// one warp's addresses (at most 32), so this is far cheaper than
-/// tree-based deduplication.
+/// one warp's addresses (at most 64), so this is far cheaper than
+/// tree-based deduplication. Only the unsorted slow path pays for this;
+/// coalesced warps are handled by the one-pass CoalesceAscending.
 void SortUnique(std::vector<std::uint64_t>* v) {
-  // Coalesced warps produce addresses that are already ascending, so check
-  // before paying for a sort.
   if (!std::is_sorted(v->begin(), v->end())) std::sort(v->begin(), v->end());
   v->erase(std::unique(v->begin(), v->end()), v->end());
 }
 
+/// Upper bound on lanes handled by the stack fast path. A warp never
+/// exceeds 64 lanes on any modelled device; longer spans (none today) fall
+/// back to the heap scratch.
+constexpr std::size_t kFastLanes = 64;
+
 }  // namespace
 
+void SegmentCache::InitTable() {
+  // Fixed-size table, >= 2x capacity so the load factor stays below 0.5
+  // and probe chains stay short. Sized once: the cache never rehashes.
+  std::size_t size = 8;
+  while (size < static_cast<std::size_t>(capacity_) * 2) size <<= 1;
+  keys_.assign(size, kEmpty);
+  slot_node_.assign(size, -1);
+  mask_ = size - 1;
+  shift_ = 64 - __builtin_ctzll(static_cast<std::uint64_t>(size));
+  segments_.reserve(static_cast<std::size_t>(capacity_));
+  prev_.reserve(static_cast<std::size_t>(capacity_));
+  next_.reserve(static_cast<std::size_t>(capacity_));
+}
+
+void SegmentCache::Unlink(int i) {
+  const int p = prev_[static_cast<std::size_t>(i)];
+  const int nx = next_[static_cast<std::size_t>(i)];
+  if (p >= 0) next_[static_cast<std::size_t>(p)] = nx;
+  else head_ = nx;
+  if (nx >= 0) prev_[static_cast<std::size_t>(nx)] = p;
+  else tail_ = p;
+}
+
+void SegmentCache::PushFront(int i) {
+  prev_[static_cast<std::size_t>(i)] = -1;
+  next_[static_cast<std::size_t>(i)] = head_;
+  if (head_ >= 0) prev_[static_cast<std::size_t>(head_)] = i;
+  head_ = i;
+  if (tail_ < 0) tail_ = i;
+}
+
+void SegmentCache::EraseKey(std::uint64_t segment) {
+  std::size_t i = Hash(segment);
+  while (keys_[i] != segment) i = (i + 1) & mask_;
+  // Backshift deletion: walk the probe cluster after the hole and pull
+  // back any entry whose home slot is outside the cyclic range (i, j], so
+  // lookups never cross a spurious empty slot.
+  std::size_t j = i;
+  while (true) {
+    keys_[i] = kEmpty;
+    while (true) {
+      j = (j + 1) & mask_;
+      if (keys_[j] == kEmpty) return;
+      const std::size_t home = Hash(keys_[j]);
+      const bool in_gap = i <= j ? (home > i && home <= j)
+                                 : (home > i || home <= j);
+      if (!in_gap) break;
+    }
+    keys_[i] = keys_[j];
+    slot_node_[i] = slot_node_[j];
+    i = j;
+  }
+}
+
 bool SegmentCache::Access(std::uint64_t segment) {
-  ++stamp_;
-  const std::size_t n = segments_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (segments_[i] == segment) {
-      stamps_[i] = stamp_;
+  std::size_t slot = Hash(segment);
+  while (keys_[slot] != kEmpty) {
+    if (keys_[slot] == segment) {
+      const int i = slot_node_[slot];
+      if (head_ != i) {
+        Unlink(i);
+        PushFront(i);
+      }
       return true;
     }
+    slot = (slot + 1) & mask_;
   }
-  if (static_cast<int>(n) >= capacity_) {
-    // Evict the least recently used entry.
-    std::size_t lru = 0;
-    for (std::size_t i = 1; i < n; ++i)
-      if (stamps_[i] < stamps_[lru]) lru = i;
-    segments_[lru] = segment;
-    stamps_[lru] = stamp_;
+  int node;
+  if (static_cast<int>(segments_.size()) >= capacity_) {
+    // Evict the least recently used entry, reusing its node.
+    node = tail_;
+    EraseKey(segments_[static_cast<std::size_t>(node)]);
+    segments_[static_cast<std::size_t>(node)] = segment;
+    Unlink(node);
   } else {
+    node = static_cast<int>(segments_.size());
     segments_.push_back(segment);
-    stamps_.push_back(stamp_);
+    prev_.push_back(-1);
+    next_.push_back(-1);
   }
+  // Re-probe: the eviction's backshift may have moved entries into the
+  // slot the initial probe ended on.
+  slot = Hash(segment);
+  while (keys_[slot] != kEmpty) slot = (slot + 1) & mask_;
+  keys_[slot] = segment;
+  slot_node_[slot] = node;
+  PushFront(node);
   return false;
 }
 
@@ -51,50 +121,96 @@ MemoryModel::MemoryModel(const hw::DeviceSpec& device)
   if (t != 0 && (t & (t - 1)) == 0) seg_shift_ = __builtin_ctz(t);
 }
 
-void MemoryModel::GlobalAccess(const std::vector<std::uint64_t>& addrs,
+bool MemoryModel::CoalesceAscending(const std::uint64_t* addrs,
+                                    std::size_t count, std::uint64_t* out,
+                                    std::size_t* out_count) const {
+  if (count > kFastLanes) return false;
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t seg = Segment(addrs[i]);
+    if (k != 0) {
+      if (seg == out[k - 1]) continue;
+      if (seg < out[k - 1]) return false;
+    }
+    out[k++] = seg;
+  }
+  *out_count = k;
+  return true;
+}
+
+void MemoryModel::GlobalAccess(const std::uint64_t* addrs, std::size_t count,
                                bool is_write, Metrics* metrics) {
-  if (addrs.empty()) return;
+  if (count == 0) return;
   if (is_write)
     ++metrics->global_write_instrs;
   else
     ++metrics->global_read_instrs;
 
   // Coalescing: one transaction per distinct segment touched by the warp.
-  scratch_.clear();
-  for (const std::uint64_t addr : addrs) scratch_.push_back(Segment(addr));
-  SortUnique(&scratch_);
+  std::uint64_t fast[kFastLanes];
+  const std::uint64_t* uniq = fast;
+  std::size_t n;
+  if (!CoalesceAscending(addrs, count, fast, &n)) {
+    scratch_.clear();
+    for (std::size_t i = 0; i < count; ++i)
+      scratch_.push_back(Segment(addrs[i]));
+    SortUnique(&scratch_);
+    uniq = scratch_.data();
+    n = scratch_.size();
+  }
 
   if (!is_write && device_.has_global_l1) {
-    for (const std::uint64_t seg : scratch_) {
-      if (l1_cache_.Access(seg))
+    for (std::size_t i = 0; i < n; ++i) {
+      if (l1_cache_.Access(uniq[i]))
         ++metrics->l1_hits;
       else
         ++metrics->global_transactions;
     }
   } else {
-    metrics->global_transactions += scratch_.size();
+    metrics->global_transactions += n;
   }
 }
 
-void MemoryModel::TextureAccess(const std::vector<std::uint64_t>& addrs,
+void MemoryModel::TextureAccess(const std::uint64_t* addrs, std::size_t count,
                                 Metrics* metrics) {
-  if (addrs.empty()) return;
+  if (count == 0) return;
   ++metrics->tex_read_instrs;
-  scratch_.clear();
-  for (const std::uint64_t addr : addrs) scratch_.push_back(Segment(addr));
-  SortUnique(&scratch_);
-  for (const std::uint64_t seg : scratch_) {
-    if (tex_cache_.Access(seg))
+  std::uint64_t fast[kFastLanes];
+  const std::uint64_t* uniq = fast;
+  std::size_t n;
+  if (!CoalesceAscending(addrs, count, fast, &n)) {
+    scratch_.clear();
+    for (std::size_t i = 0; i < count; ++i)
+      scratch_.push_back(Segment(addrs[i]));
+    SortUnique(&scratch_);
+    uniq = scratch_.data();
+    n = scratch_.size();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tex_cache_.Access(uniq[i]))
       ++metrics->tex_hits;
     else
       ++metrics->tex_transactions;
   }
 }
 
-void MemoryModel::ConstantAccess(const std::vector<std::uint64_t>& addrs,
+void MemoryModel::ConstantAccess(const std::uint64_t* addrs, std::size_t count,
                                  Metrics* metrics) {
-  if (addrs.empty()) return;
-  scratch_ = addrs;
+  if (count == 0) return;
+  // The overwhelmingly common case is a warp-uniform mask lookup: every
+  // lane reads the same entry. Detect it without sorting.
+  bool all_same = true;
+  for (std::size_t i = 1; i < count; ++i) {
+    if (addrs[i] != addrs[0]) {
+      all_same = false;
+      break;
+    }
+  }
+  if (all_same) {
+    ++metrics->const_broadcasts;
+    return;
+  }
+  scratch_.assign(addrs, addrs + count);
   SortUnique(&scratch_);
   if (scratch_.size() == 1)
     ++metrics->const_broadcasts;
@@ -102,22 +218,49 @@ void MemoryModel::ConstantAccess(const std::vector<std::uint64_t>& addrs,
     metrics->const_serialized += scratch_.size();
 }
 
-void MemoryModel::SharedAccess(const std::vector<std::uint64_t>& addrs,
+void MemoryModel::SharedAccess(const std::uint64_t* addrs, std::size_t count,
                                Metrics* metrics) {
-  if (addrs.empty()) return;
+  if (count == 0) return;
   ++metrics->smem_accesses;
   // Bank conflict degree: lanes with the same address broadcast; distinct
-  // addresses mapping to one bank serialize.
-  scratch_ = addrs;
-  SortUnique(&scratch_);
-  std::array<std::uint32_t, 64> per_bank{};
-  const std::uint64_t banks =
-      std::min<std::uint64_t>(static_cast<std::uint64_t>(device_.smem_banks),
-                              per_bank.size());
+  // addresses mapping to one bank serialize. Deduplication and bank
+  // counting run in one pass when the addresses are ascending (the usual
+  // coalesced pattern); the generation stamp makes stale bank counts read
+  // as zero, so the 64-entry array is never cleared per call.
+  const std::uint64_t banks = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(device_.smem_banks), bank_count_.size());
   std::uint64_t degree = 1;
-  for (const std::uint64_t addr : scratch_) {
-    const std::uint32_t count = ++per_bank[addr % banks];
-    degree = std::max<std::uint64_t>(degree, count);
+  NextBankGen();
+  bool sorted = true;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t addr = addrs[i];
+    if (i != 0) {
+      if (addr < addrs[i - 1]) {
+        sorted = false;
+        break;
+      }
+      if (addr == addrs[i - 1]) continue;
+    }
+    const std::size_t b = static_cast<std::size_t>(addr % banks);
+    if (bank_stamp_[b] != bank_gen_) {
+      bank_stamp_[b] = bank_gen_;
+      bank_count_[b] = 0;
+    }
+    degree = std::max<std::uint64_t>(degree, ++bank_count_[b]);
+  }
+  if (!sorted) {
+    scratch_.assign(addrs, addrs + count);
+    SortUnique(&scratch_);
+    NextBankGen();
+    degree = 1;
+    for (const std::uint64_t addr : scratch_) {
+      const std::size_t b = static_cast<std::size_t>(addr % banks);
+      if (bank_stamp_[b] != bank_gen_) {
+        bank_stamp_[b] = bank_gen_;
+        bank_count_[b] = 0;
+      }
+      degree = std::max<std::uint64_t>(degree, ++bank_count_[b]);
+    }
   }
   metrics->smem_conflict_cycles += degree - 1;
 }

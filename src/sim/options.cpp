@@ -6,6 +6,7 @@ const char* to_string(ExecEngine engine) noexcept {
   switch (engine) {
     case ExecEngine::kBytecode: return "bytecode";
     case ExecEngine::kAst: return "ast";
+    case ExecEngine::kNative: return "native";
   }
   return "?";
 }
@@ -13,8 +14,9 @@ const char* to_string(ExecEngine engine) noexcept {
 Result<ExecEngine> ParseExecEngine(const std::string& text) {
   if (text == "bytecode") return ExecEngine::kBytecode;
   if (text == "ast") return ExecEngine::kAst;
+  if (text == "native") return ExecEngine::kNative;
   return Status::Invalid("unknown simulator engine '" + text +
-                         "' (expected 'bytecode' or 'ast')");
+                         "' (expected 'bytecode', 'ast', or 'native')");
 }
 
 SimulatorOptions& DefaultSimulatorOptions() {

@@ -6,6 +6,8 @@
 
 #include "sim/bytecode.hpp"
 #include "sim/interpreter.hpp"
+#include "sim/jit/cache.hpp"
+#include "sim/jit/native_runner.hpp"
 #include "sim/trace.hpp"
 #include "sim/vm.hpp"
 #include "support/parallel_for.hpp"
@@ -14,7 +16,7 @@
 namespace hipacc::sim {
 
 const ProgramSet* Simulator::PreparePrograms(const Launch& launch) const {
-  if (options_.engine != ExecEngine::kBytecode) return nullptr;
+  if (options_.engine == ExecEngine::kAst) return nullptr;
   if (launch.programs) return launch.programs;
   if (programs_kernel_ != launch.kernel) {
     programs_kernel_ = launch.kernel;
@@ -111,9 +113,19 @@ Result<LaunchStats> Simulator::Execute(const Launch& launch) const {
       launch.kernel->ppt);
 
   const ProgramSet* programs = PreparePrograms(launch);
+  const jit::NativeProgram* native =
+      programs && options_.engine == ExecEngine::kNative
+          ? jit::AcquireNative(*programs, options_.jit_threshold, trace_)
+          : nullptr;
+  // With engine=native but the tier still cold (or failed), blocks run on
+  // the VM's threaded dispatcher instead of the portable switch.
+  const VmDispatch dispatch = options_.engine == ExecEngine::kNative
+                                  ? VmDispatch::kThreaded
+                                  : VmDispatch::kSwitch;
   if (trace_)
-    trace_->IncrementCounter(programs ? "sim.launch.bytecode"
-                                      : "sim.launch.ast");
+    trace_->IncrementCounter(native     ? "sim.launch.native"
+                             : programs ? "sim.launch.bytecode"
+                                        : "sim.launch.ast");
   const hw::GridDim grid = stats.region_grid.grid;
   std::mutex merge_mutex;
   Metrics total;
@@ -124,10 +136,13 @@ Result<LaunchStats> Simulator::Execute(const Launch& launch) const {
     std::uint64_t row_insns = 0;
     Status row_status = Status::Ok();
     for (int bx = 0; bx < grid.blocks_x && row_status.ok(); ++bx)
-      row_status = programs
-                       ? RunBlockBytecode(launch, *programs, device_, bx, by,
-                                          &row_metrics, &row_insns)
-                       : RunBlock(launch, device_, bx, by, &row_metrics);
+      row_status =
+          native ? jit::RunBlockNative(launch, *programs, *native, device_,
+                                       bx, by, &row_metrics, &row_insns)
+          : programs
+              ? RunBlockBytecode(launch, *programs, device_, bx, by,
+                                 &row_metrics, &row_insns, dispatch)
+              : RunBlock(launch, device_, bx, by, &row_metrics);
     const std::lock_guard<std::mutex> lock(merge_mutex);
     total += row_metrics;
     executed_insns += row_insns;
@@ -223,9 +238,17 @@ Result<LaunchStats> Simulator::Measure(const Launch& launch,
   }
 
   const ProgramSet* programs = PreparePrograms(launch);
+  const jit::NativeProgram* native =
+      programs && options_.engine == ExecEngine::kNative
+          ? jit::AcquireNative(*programs, options_.jit_threshold, trace_)
+          : nullptr;
+  const VmDispatch dispatch = options_.engine == ExecEngine::kNative
+                                  ? VmDispatch::kThreaded
+                                  : VmDispatch::kSwitch;
   if (trace_)
-    trace_->IncrementCounter(programs ? "sim.launch.bytecode"
-                                      : "sim.launch.ast");
+    trace_->IncrementCounter(native     ? "sim.launch.native"
+                             : programs ? "sim.launch.bytecode"
+                                        : "sim.launch.ast");
   std::uint64_t executed_insns = 0;
   Metrics total;
   for (auto& [region, rs] : regions) {
@@ -234,9 +257,13 @@ Result<LaunchStats> Simulator::Measure(const Launch& launch,
     Metrics region_metrics;
     for (const auto& [bx, by] : rs.samples)
       HIPACC_RETURN_IF_ERROR(
-          programs ? RunBlockBytecode(launch, *programs, device_, bx, by,
-                                      &region_metrics, &executed_insns)
-                   : RunBlock(launch, device_, bx, by, &region_metrics));
+          native ? jit::RunBlockNative(launch, *programs, *native, device_,
+                                       bx, by, &region_metrics,
+                                       &executed_insns)
+          : programs
+              ? RunBlockBytecode(launch, *programs, device_, bx, by,
+                                 &region_metrics, &executed_insns, dispatch)
+              : RunBlock(launch, device_, bx, by, &region_metrics));
     const double scale = static_cast<double>(rs.population) /
                          static_cast<double>(rs.samples.size());
     total += region_metrics.Scaled(scale);

@@ -15,6 +15,8 @@
 #include "ops/masks.hpp"
 #include "runtime/bindings.hpp"
 #include "sim/bytecode.hpp"
+#include "sim/jit/cache.hpp"
+#include "sim/jit/toolchain.hpp"
 #include "sim/simulator.hpp"
 #include "support/rng.hpp"
 
@@ -58,7 +60,10 @@ EngineRun RunEngine(const compiler::CompiledKernel& kernel,
     return run;
   }
   holder.value().launch.programs = kernel.bytecode.get();
-  sim::Simulator simulator(hw::TeslaC2050(), sim::SimulatorOptions{engine});
+  sim::SimulatorOptions options;
+  options.engine = engine;
+  options.jit_threshold = 1;  // native runs tier up on the first launch
+  sim::Simulator simulator(hw::TeslaC2050(), options);
   Result<sim::LaunchStats> stats =
       simulator.Execute(holder.value().launch);
   if (!stats.ok()) {
@@ -88,13 +93,14 @@ void ExpectMetricsEqual(const sim::Metrics& a, const sim::Metrics& b) {
   EXPECT_EQ(a.oob_violations, b.oob_violations);
 }
 
-/// Compiles `source` and runs both engines on a fresh randomized input;
-/// every observable — pixels (bitwise), metrics, modelled time — must
-/// match. Failures (e.g. degenerate region grids at tiny extents) must be
-/// identical on both engines too.
-void ExpectEnginesAgree(const frontend::KernelSource& source, int w, int h,
-                        const runtime::BindingSet& scalars, Rng& rng,
-                        codegen::CodegenOptions codegen = {}) {
+/// Compiles `source` and runs the AST interpreter against `engine` on a
+/// fresh randomized input; every observable — pixels (bitwise), metrics,
+/// modelled time — must match. Failures (e.g. degenerate region grids at
+/// tiny extents) must be identical on both engines too.
+void ExpectEngineMatchesAst(const frontend::KernelSource& source, int w,
+                            int h, const runtime::BindingSet& scalars,
+                            Rng& rng, codegen::CodegenOptions codegen,
+                            sim::ExecEngine engine) {
   compiler::CompileOptions options;
   options.codegen = codegen;
   options.device = hw::TeslaC2050();
@@ -110,8 +116,7 @@ void ExpectEnginesAgree(const frontend::KernelSource& source, int w, int h,
   const HostImage<float> input = RandomInput(w, h, rng);
   const EngineRun ast = RunEngine(compiled.value(), input, scalars,
                                   sim::ExecEngine::kAst);
-  const EngineRun vm = RunEngine(compiled.value(), input, scalars,
-                                 sim::ExecEngine::kBytecode);
+  const EngineRun vm = RunEngine(compiled.value(), input, scalars, engine);
   SCOPED_TRACE(source.name + " " + std::to_string(w) + "x" +
                std::to_string(h));
   ASSERT_EQ(ast.status.ok(), vm.status.ok())
@@ -128,6 +133,23 @@ void ExpectEnginesAgree(const frontend::KernelSource& source, int w, int h,
       << "output pixels differ";
   ExpectMetricsEqual(ast.stats.metrics, vm.stats.metrics);
   EXPECT_EQ(ast.stats.timing.total_ms, vm.stats.timing.total_ms);
+}
+
+void ExpectEnginesAgree(const frontend::KernelSource& source, int w, int h,
+                        const runtime::BindingSet& scalars, Rng& rng,
+                        codegen::CodegenOptions codegen = {}) {
+  ExpectEngineMatchesAst(source, w, h, scalars, rng, codegen,
+                         sim::ExecEngine::kBytecode);
+}
+
+/// Same differential contract, but for the native tier: the jitted host
+/// code (or its threaded-VM fallback when a program is not jittable) must
+/// be observably indistinguishable from the AST interpreter.
+void ExpectNativeAgrees(const frontend::KernelSource& source, int w, int h,
+                        const runtime::BindingSet& scalars, Rng& rng,
+                        codegen::CodegenOptions codegen = {}) {
+  ExpectEngineMatchesAst(source, w, h, scalars, rng, codegen,
+                         sim::ExecEngine::kNative);
 }
 
 // The extents exercise: a single-block grid, a grid with populated border
@@ -237,6 +259,147 @@ TEST(BytecodeDifferentialTest, ConvolveUnrolledFormulation) {
   for (const BoundaryMode mode : kAllModes)
     ExpectEnginesAgree(ops::GaussianConvolveSource(3, 1.0f, mode, 1.0f), 73,
                        41, {}, rng);
+}
+
+// --- Native tier ---------------------------------------------------------
+// The same differential contract, with the native tier as the engine under
+// test. Each run tiers up on its first launch (threshold 1), so the
+// generated host code — not the threaded VM — produces the compared
+// pixels whenever a toolchain is present. Without a toolchain the engine
+// must degrade to the threaded VM and still agree, which is exactly what
+// MissingToolchainStillAgrees pins down.
+
+TEST(NativeDifferentialTest, GaussianAllModesAllExtents) {
+  if (!sim::jit::ToolchainAvailable())
+    GTEST_SKIP() << "no host toolchain in this environment";
+  Rng rng(0x7A17B0u);
+  for (const auto& e : kExtents)
+    for (const BoundaryMode mode : kAllModes)
+      ExpectNativeAgrees(ops::GaussianSource(5, 1.2f, mode, 0.25f), e.w,
+                         e.h, {}, rng);
+}
+
+TEST(NativeDifferentialTest, SobelAndBilateralAllModes) {
+  if (!sim::jit::ToolchainAvailable())
+    GTEST_SKIP() << "no host toolchain in this environment";
+  Rng rng(0x7A17B0u);
+  runtime::BindingSet scalars;
+  scalars.Scalar("sigma_d", 1).Scalar("sigma_r", 5);
+  for (const BoundaryMode mode : kAllModes) {
+    ExpectNativeAgrees(
+        ops::ConvolutionSource("sobel", 3, 3, ops::SobelMaskX(), mode,
+                               -0.5f),
+        73, 41, {}, rng);
+    ExpectNativeAgrees(ops::BilateralMaskSource(1, mode), 49, 27, scalars,
+                       rng);
+  }
+}
+
+TEST(NativeDifferentialTest, PixelsPerThreadMatrix) {
+  if (!sim::jit::ToolchainAvailable())
+    GTEST_SKIP() << "no host toolchain in this environment";
+  // Host-compile time of the fused straight-line code scales with
+  // taps x ppt, so the deterministic matrix sticks to a 3x3 stencil and a
+  // point chain; wide-stencil ppt=8 coverage lives in the fuzz harness's
+  // PptMatrixAgrees, which uses small random masks.
+  Rng rng(0x7A17B0u);
+  runtime::BindingSet tone;
+  tone.Scalar("center", 0.4f).Scalar("weight", 0.7f);
+  for (const int ppt : {1, 2, 4}) {
+    codegen::CodegenOptions codegen;
+    codegen.pixels_per_thread = ppt;
+    SCOPED_TRACE("ppt=" + std::to_string(ppt));
+    ExpectNativeAgrees(
+        ops::ConvolutionSource("sobel", 3, 3, ops::SobelMaskX(),
+                               BoundaryMode::kClamp, -0.5f),
+        73, 41, {}, rng, codegen);
+  }
+  for (const int ppt : {2, 4, 8}) {
+    codegen::CodegenOptions codegen;
+    codegen.pixels_per_thread = ppt;
+    SCOPED_TRACE("ppt=" + std::to_string(ppt));
+    ExpectNativeAgrees(ops::ToneCurveSource(6), 73, 41, tone, rng, codegen);
+  }
+}
+
+TEST(NativeDifferentialTest, BackendAndMemoryPathVariants) {
+  if (!sim::jit::ToolchainAvailable())
+    GTEST_SKIP() << "no host toolchain in this environment";
+  Rng rng(0x7A17B0u);
+  const frontend::KernelSource source =
+      ops::GaussianSource(5, 1.0f, BoundaryMode::kMirror);
+
+  codegen::CodegenOptions smem;
+  smem.use_scratchpad = true;
+  ExpectNativeAgrees(source, 73, 41, {}, rng, smem);
+
+  codegen::CodegenOptions tex;
+  tex.texture = codegen::TexturePolicy::kLinear;
+  ExpectNativeAgrees(source, 73, 41, {}, rng, tex);
+
+  codegen::CodegenOptions hwbh;
+  hwbh.texture = codegen::TexturePolicy::kArray2D;
+  ExpectNativeAgrees(ops::GaussianSource(5, 1.0f, BoundaryMode::kClamp), 73,
+                     41, {}, rng, hwbh);
+
+  codegen::CodegenOptions global_masks;
+  global_masks.masks_in_constant_memory = false;
+  ExpectNativeAgrees(source, 73, 41, {}, rng, global_masks);
+
+  codegen::CodegenOptions uniform;
+  uniform.border = codegen::BorderPolicy::kUniform;
+  ExpectNativeAgrees(source, 73, 41, {}, rng, uniform);
+
+  codegen::CodegenOptions opencl;
+  opencl.backend = ast::Backend::kOpenCL;
+  ExpectNativeAgrees(source, 73, 41, {}, rng, opencl);
+
+  codegen::CodegenOptions unopt;
+  unopt.scalar_optimizer = false;
+  ExpectNativeAgrees(source, 73, 41, {}, rng, unopt);
+
+  codegen::CodegenOptions intrinsics;
+  intrinsics.use_fast_intrinsics = true;
+  runtime::BindingSet scalars;
+  scalars.Scalar("sigma_d", 1).Scalar("sigma_r", 5);
+  ExpectNativeAgrees(ops::BilateralSource(1, BoundaryMode::kClamp), 73, 41,
+                     scalars, rng, intrinsics);
+}
+
+TEST(NativeDifferentialTest, SpecialisedSourcesAllModes) {
+  // The device-specialised sources added alongside the native tier:
+  // compile-time window baking (bilateral_fixed) and the dispatch-bound
+  // point chain (tone_curve). Both lower to fused straight-line native
+  // code with live float arithmetic, so they anchor the emitter's
+  // arithmetic paths the masked convolutions never reach.
+  if (!sim::jit::ToolchainAvailable())
+    GTEST_SKIP() << "no host toolchain in this environment";
+  Rng rng(0x7A17B0u);
+  runtime::BindingSet bilateral;
+  bilateral.Scalar("sigma_r", 4);
+  runtime::BindingSet tone;
+  tone.Scalar("center", 0.4f).Scalar("weight", 0.7f);
+  for (const BoundaryMode mode : kAllModes)
+    ExpectNativeAgrees(ops::BilateralFixedSource(1, mode, 0.5f), 49, 27,
+                       bilateral, rng);
+  ExpectNativeAgrees(ops::ToneCurveSource(6), 73, 41, tone, rng);
+  ExpectNativeAgrees(ops::ToneCurveSource(3), 33, 29, tone, rng);
+}
+
+TEST(NativeDifferentialTest, MissingToolchainStillAgrees) {
+  // On a machine with no host compiler the native engine must silently
+  // degrade to the threaded VM and remain bit-identical to the AST
+  // interpreter — same pixels, metrics, and modelled time.
+  sim::jit::JitCache::Instance().ResetForTesting();
+  sim::jit::SetToolchainOverrideForTesting("");
+  EXPECT_FALSE(sim::jit::ToolchainAvailable());
+  Rng rng(0x7A17B0u);
+  ExpectNativeAgrees(ops::GaussianSource(5, 1.2f, BoundaryMode::kMirror),
+                     73, 41, {}, rng);
+  ExpectNativeAgrees(ops::Median3x3Source(BoundaryMode::kClamp), 33, 29, {},
+                     rng);
+  sim::jit::SetToolchainOverrideForTesting(nullptr);
+  sim::jit::JitCache::Instance().ResetForTesting();
 }
 
 TEST(BytecodeCompilerTest, ProgramsAreRegionSpecialised) {

@@ -1,0 +1,274 @@
+// Native-tier behaviour tests: tiering thresholds, the process-wide module
+// cache (including concurrent exploration lanes sharing one compile),
+// graceful degradation when the host toolchain is missing or broken, and
+// the threaded-VM fallback dispatcher. Output parity across the whole
+// kernel matrix lives in bytecode_test.cpp and differential_fuzz_test.cpp;
+// here the subject is the tiering machinery itself.
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "compiler/driver.hpp"
+#include "ops/kernel_sources.hpp"
+#include "ops/masks.hpp"
+#include "runtime/bindings.hpp"
+#include "sim/jit/cache.hpp"
+#include "sim/jit/emit.hpp"
+#include "sim/jit/toolchain.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "support/rng.hpp"
+
+namespace hipacc {
+namespace {
+
+using ast::BoundaryMode;
+
+/// Restores the real toolchain when a test that overrides it exits (also
+/// on assertion failure, so one test cannot poison the rest).
+struct ToolchainGuard {
+  explicit ToolchainGuard(const char* override_cmd) {
+    sim::jit::SetToolchainOverrideForTesting(override_cmd);
+  }
+  ~ToolchainGuard() { sim::jit::SetToolchainOverrideForTesting(nullptr); }
+};
+
+HostImage<float> RandomInput(int w, int h, Rng& rng) {
+  HostImage<float> img(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) img(x, y) = 4.0f * rng.NextFloat() - 1.0f;
+  return img;
+}
+
+compiler::CompiledKernel CompileGaussian(int w, int h) {
+  compiler::CompileOptions options;
+  options.device = hw::TeslaC2050();
+  options.image_width = w;
+  options.image_height = h;
+  options.forced_config = hw::KernelConfig{32, 2};
+  Result<compiler::CompiledKernel> compiled = compiler::Compile(
+      ops::GaussianSource(5, 1.2f, BoundaryMode::kMirror), options);
+  HIPACC_CHECK(compiled.ok());
+  HIPACC_CHECK(compiled.value().bytecode != nullptr);
+  return std::move(compiled).take();
+}
+
+struct RunResult {
+  Status status = Status::Ok();
+  std::vector<float> output;
+  sim::LaunchStats stats;
+};
+
+/// One Execute through a fresh launch of `kernel` on `input`. The tier
+/// state lives in kernel.bytecode, so repeated calls with the same kernel
+/// exercise the tiering counters.
+RunResult RunOnce(const compiler::CompiledKernel& kernel,
+                  const HostImage<float>& input,
+                  const sim::SimulatorOptions& options,
+                  sim::TraceSink* trace = nullptr) {
+  RunResult run;
+  dsl::Image<float> in(input.width(), input.height());
+  dsl::Image<float> out(input.width(), input.height());
+  in.CopyFrom(input);
+  runtime::BindingSet bindings;
+  bindings.Input("Input", in).Output(out);
+  Result<runtime::LaunchHolder> holder =
+      runtime::BuildLaunch(kernel.device_ir, kernel.config.config, bindings);
+  HIPACC_CHECK(holder.ok());
+  holder.value().launch.programs = kernel.bytecode.get();
+  sim::Simulator simulator(hw::TeslaC2050(), options);
+  if (trace) simulator.set_trace(trace);
+  Result<sim::LaunchStats> stats = simulator.Execute(holder.value().launch);
+  if (!stats.ok()) {
+    run.status = stats.status();
+    return run;
+  }
+  run.stats = stats.value();
+  const HostImage<float>& data = out.getData();
+  run.output.assign(data.data(), data.data() + data.size());
+  return run;
+}
+
+sim::SimulatorOptions NativeOptions(int threshold) {
+  sim::SimulatorOptions options;
+  options.engine = sim::ExecEngine::kNative;
+  options.jit_threshold = threshold;
+  return options;
+}
+
+void ExpectSameOutput(const RunResult& a, const RunResult& b) {
+  ASSERT_TRUE(a.status.ok()) << a.status.ToString();
+  ASSERT_TRUE(b.status.ok()) << b.status.ToString();
+  ASSERT_EQ(a.output.size(), b.output.size());
+  EXPECT_EQ(std::memcmp(a.output.data(), b.output.data(),
+                        a.output.size() * sizeof(float)),
+            0)
+      << "output pixels differ";
+  EXPECT_EQ(a.stats.metrics.alu_ops, b.stats.metrics.alu_ops);
+  EXPECT_EQ(a.stats.metrics.oob_violations, b.stats.metrics.oob_violations);
+  EXPECT_EQ(a.stats.timing.total_ms, b.stats.timing.total_ms);
+}
+
+TEST(JitEmitTest, EmittedSourceIsDeterministic) {
+  const compiler::CompiledKernel kernel = CompileGaussian(73, 41);
+  const sim::jit::EmittedSource a = sim::jit::EmitNativeSource(*kernel.bytecode);
+  const sim::jit::EmittedSource b = sim::jit::EmitNativeSource(*kernel.bytecode);
+  EXPECT_EQ(a.source, b.source);
+  ASSERT_EQ(a.symbols.size(), kernel.bytecode->programs.size());
+  // Every region-specialised program gets its own extern "C" symbol.
+  for (const auto& si : a.symbols) {
+    EXPECT_NE(a.source.find("int " + si.symbol + "("), std::string::npos)
+        << si.symbol;
+  }
+  EXPECT_EQ(sim::jit::ProgramFingerprint(*kernel.bytecode),
+            sim::jit::ProgramFingerprint(*kernel.bytecode));
+}
+
+TEST(JitTierTest, NativeMatchesBytecodeWhenToolchainPresent) {
+  if (!sim::jit::ToolchainAvailable())
+    GTEST_SKIP() << "no host toolchain in this environment";
+  sim::jit::JitCache::Instance().ResetForTesting();
+  const compiler::CompiledKernel kernel = CompileGaussian(73, 41);
+  Rng rng(0x11u);
+  const HostImage<float> input = RandomInput(73, 41, rng);
+  const RunResult vm = RunOnce(kernel, input, sim::SimulatorOptions{});
+  sim::TraceSink trace;
+  const RunResult native = RunOnce(kernel, input, NativeOptions(1), &trace);
+  ExpectSameOutput(vm, native);
+  EXPECT_EQ(trace.counter("jit.compile"), 1);
+  EXPECT_EQ(trace.counter("jit.hit"), 1);
+  EXPECT_EQ(trace.counter("sim.launch.native"), 1);
+  EXPECT_EQ(sim::jit::JitCache::Instance().compiles(), 1u);
+}
+
+TEST(JitTierTest, ThresholdCountsLaunchesBeforeCompiling) {
+  if (!sim::jit::ToolchainAvailable())
+    GTEST_SKIP() << "no host toolchain in this environment";
+  sim::jit::JitCache::Instance().ResetForTesting();
+  const compiler::CompiledKernel kernel = CompileGaussian(73, 41);
+  Rng rng(0x22u);
+  const HostImage<float> input = RandomInput(73, 41, rng);
+  sim::TraceSink trace;
+  const sim::SimulatorOptions options = NativeOptions(3);
+  // Launches 1 and 2 stay on the threaded VM; launch 3 reaches the
+  // threshold and compiles; launch 4 hits the installed fast path.
+  RunOnce(kernel, input, options, &trace);
+  RunOnce(kernel, input, options, &trace);
+  EXPECT_EQ(trace.counter("jit.threaded"), 2);
+  EXPECT_EQ(trace.counter("jit.compile"), 0);
+  RunOnce(kernel, input, options, &trace);
+  EXPECT_EQ(trace.counter("jit.compile"), 1);
+  EXPECT_EQ(trace.counter("jit.hit"), 1);
+  RunOnce(kernel, input, options, &trace);
+  EXPECT_EQ(trace.counter("jit.hit"), 2);
+  EXPECT_EQ(trace.counter("sim.launch.native"), 2);
+  EXPECT_EQ(trace.counter("sim.launch.bytecode"), 2);
+}
+
+TEST(JitTierTest, ThreadedVmMatchesSwitchVm) {
+  // A huge threshold pins the computed-goto VM: no toolchain involved, so
+  // this holds in every environment.
+  const compiler::CompiledKernel kernel = CompileGaussian(73, 41);
+  Rng rng(0x33u);
+  const HostImage<float> input = RandomInput(73, 41, rng);
+  const RunResult vm = RunOnce(kernel, input, sim::SimulatorOptions{});
+  sim::TraceSink trace;
+  const RunResult threaded =
+      RunOnce(kernel, input, NativeOptions(INT_MAX), &trace);
+  ExpectSameOutput(vm, threaded);
+  EXPECT_EQ(trace.counter("jit.threaded"), 1);
+  EXPECT_EQ(trace.counter("jit.compile"), 0);
+}
+
+TEST(JitDegradationTest, MissingToolchainFallsBackToThreadedVm) {
+  sim::jit::JitCache::Instance().ResetForTesting();
+  const compiler::CompiledKernel kernel = CompileGaussian(73, 41);
+  Rng rng(0x44u);
+  const HostImage<float> input = RandomInput(73, 41, rng);
+  const RunResult vm = RunOnce(kernel, input, sim::SimulatorOptions{});
+  ToolchainGuard guard("");
+  EXPECT_FALSE(sim::jit::ToolchainAvailable());
+  sim::TraceSink trace;
+  const RunResult first = RunOnce(kernel, input, NativeOptions(1), &trace);
+  ExpectSameOutput(vm, first);
+  EXPECT_EQ(trace.counter("jit.error"), 1);
+  EXPECT_EQ(trace.counter("jit.threaded"), 1);
+  EXPECT_EQ(trace.counter("sim.launch.native"), 0);
+  // Failure is latched: the second launch does not probe the toolchain
+  // again and still produces identical output.
+  const RunResult second = RunOnce(kernel, input, NativeOptions(1), &trace);
+  ExpectSameOutput(vm, second);
+  EXPECT_EQ(trace.counter("jit.error"), 1);
+  EXPECT_EQ(trace.counter("jit.threaded"), 2);
+  EXPECT_EQ(sim::jit::JitCache::Instance().compiles(), 0u);
+}
+
+TEST(JitDegradationTest, BrokenCompilerFallsBackToThreadedVm) {
+  sim::jit::JitCache::Instance().ResetForTesting();
+  const compiler::CompiledKernel kernel = CompileGaussian(73, 41);
+  Rng rng(0x55u);
+  const HostImage<float> input = RandomInput(73, 41, rng);
+  const RunResult vm = RunOnce(kernel, input, sim::SimulatorOptions{});
+  ToolchainGuard guard("/bin/false");
+  sim::TraceSink trace;
+  const RunResult native = RunOnce(kernel, input, NativeOptions(1), &trace);
+  ExpectSameOutput(vm, native);
+  EXPECT_EQ(trace.counter("jit.error"), 1);
+  EXPECT_EQ(trace.counter("sim.launch.native"), 0);
+}
+
+TEST(JitCacheTest, IdenticalProgramsShareOneModule) {
+  if (!sim::jit::ToolchainAvailable())
+    GTEST_SKIP() << "no host toolchain in this environment";
+  sim::jit::JitCache::Instance().ResetForTesting();
+  // Two independent compilations of the same kernel source: distinct
+  // ProgramSets (distinct TierStates) whose emitted source is identical,
+  // so the second only pays a cache lookup.
+  const compiler::CompiledKernel a = CompileGaussian(73, 41);
+  const compiler::CompiledKernel b = CompileGaussian(73, 41);
+  ASSERT_NE(a.bytecode.get(), b.bytecode.get());
+  Rng rng(0x66u);
+  const HostImage<float> input = RandomInput(73, 41, rng);
+  sim::TraceSink ta, tb;
+  RunOnce(a, input, NativeOptions(1), &ta);
+  RunOnce(b, input, NativeOptions(1), &tb);
+  EXPECT_EQ(ta.counter("jit.compile"), 1);
+  EXPECT_EQ(tb.counter("jit.compile"), 0);
+  EXPECT_EQ(tb.counter("jit.cache_hit"), 1);
+  EXPECT_EQ(sim::jit::JitCache::Instance().compiles(), 1u);
+}
+
+TEST(JitCacheTest, ParallelLanesShareOneCompile) {
+  if (!sim::jit::ToolchainAvailable())
+    GTEST_SKIP() << "no host toolchain in this environment";
+  sim::jit::JitCache::Instance().ResetForTesting();
+  const compiler::CompiledKernel kernel = CompileGaussian(73, 41);
+  Rng rng(0x77u);
+  const HostImage<float> input = RandomInput(73, 41, rng);
+  const RunResult reference = RunOnce(kernel, input, sim::SimulatorOptions{});
+  ASSERT_TRUE(reference.status.ok()) << reference.status.ToString();
+  // Exploration-lane shape: every thread owns a Simulator and a launch but
+  // shares the kernel's ProgramSet, all hitting the tier on first launch.
+  constexpr int kLanes = 8;
+  std::vector<RunResult> results(kLanes);
+  {
+    std::vector<std::thread> lanes;
+    lanes.reserve(kLanes);
+    for (int t = 0; t < kLanes; ++t)
+      lanes.emplace_back([&, t] {
+        results[static_cast<std::size_t>(t)] =
+            RunOnce(kernel, input, NativeOptions(1));
+      });
+    for (std::thread& lane : lanes) lane.join();
+  }
+  for (const RunResult& r : results) ExpectSameOutput(reference, r);
+  // The in-flight deduplication means the toolchain ran exactly once even
+  // though all lanes requested compilation concurrently.
+  EXPECT_EQ(sim::jit::JitCache::Instance().compiles(), 1u);
+}
+
+}  // namespace
+}  // namespace hipacc

@@ -128,6 +128,110 @@ TEST(MemoryModelTest, PaddedTileColumnAccessAvoidsConflicts) {
   EXPECT_EQ(padded_metrics.smem_conflict_cycles, 0u);     // fully parallel
 }
 
+// The flat open-addressing index (linear probing with backshift deletion)
+// must behave exactly like a textbook LRU: random churn with a key space
+// several times the capacity forces constant eviction, so every insert
+// erases a key mid-cluster and every lookup crosses displaced entries. The
+// reference is the obvious O(n) list-based LRU.
+TEST(SegmentCacheTest, FlatTableMatchesReferenceLruUnderChurn) {
+  constexpr int kCapacity = 13;  // odd, so table occupancy patterns vary
+  SegmentCache cache(kCapacity);
+  std::vector<std::uint64_t> reference;  // front = most recently used
+  std::uint64_t state = 0x1234567u;
+  for (int i = 0; i < 20000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    // Small key space (4x capacity) maximises hit/evict interleaving; keys
+    // are scaled so their hashes land in unrelated table slots.
+    const std::uint64_t key = ((state >> 33) % (4 * kCapacity)) * 977u;
+    const bool hit = cache.Access(key);
+    const auto it = std::find(reference.begin(), reference.end(), key);
+    const bool ref_hit = it != reference.end();
+    ASSERT_EQ(hit, ref_hit) << "access " << i << " key " << key;
+    if (ref_hit) reference.erase(it);
+    reference.insert(reference.begin(), key);
+    if (static_cast<int>(reference.size()) > kCapacity) reference.pop_back();
+  }
+}
+
+TEST(SegmentCacheTest, ClearEmptiesTableAndRecencyList) {
+  SegmentCache cache(4);
+  for (std::uint64_t k = 0; k < 4; ++k) EXPECT_FALSE(cache.Access(k));
+  EXPECT_TRUE(cache.Access(2));
+  cache.Clear();
+  for (std::uint64_t k = 0; k < 4; ++k)
+    EXPECT_FALSE(cache.Access(k)) << "stale entry survived Clear";
+  EXPECT_TRUE(cache.Access(3));
+}
+
+// The one-pass ascending fast path and the sort+unique fallback must be
+// observationally identical: permuting a warp's addresses may change which
+// path runs, but never the modelled transactions or the cache sequence.
+TEST(MemoryModelTest, ShuffledAddressesMatchAscendingGlobalAccess) {
+  const std::vector<std::uint64_t> ascending =
+      Consecutive(40, 24, 3);  // 3-element stride, crosses segments
+  std::vector<std::uint64_t> shuffled = ascending;
+  std::uint64_t state = 99;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    std::swap(shuffled[i - 1], shuffled[(state >> 33) % i]);
+  }
+  ASSERT_NE(shuffled, ascending);
+  for (const bool use_l1 : {false, true}) {
+    const hw::DeviceSpec device =
+        use_l1 ? hw::TeslaC2050() : hw::QuadroFx5800();
+    MemoryModel a(device), b(device);
+    Metrics ma, mb;
+    // Interleave with a second, disjoint access so cache state evolves.
+    for (int round = 0; round < 8; ++round) {
+      a.GlobalAccess(ascending, false, &ma);
+      a.GlobalAccess(Consecutive(4000 + 64 * round, 8), false, &ma);
+      b.GlobalAccess(shuffled, false, &mb);
+      b.GlobalAccess(Consecutive(4000 + 64 * round, 8), false, &mb);
+    }
+    EXPECT_EQ(ma.global_transactions, mb.global_transactions);
+    EXPECT_EQ(ma.l1_hits, mb.l1_hits);
+    EXPECT_EQ(ma.global_read_instrs, mb.global_read_instrs);
+  }
+}
+
+TEST(MemoryModelTest, SharedAccessUnsortedAndDuplicatesMatchSorted) {
+  const hw::DeviceSpec device = hw::QuadroFx5800();  // 16 banks
+  MemoryModel a(device), b(device);
+  Metrics ma, mb;
+  // Two distinct addresses per bank over 8 banks (degree 2), presented
+  // sorted to one model and reversed-with-duplicates to the other.
+  std::vector<std::uint64_t> sorted;
+  for (int i = 0; i < 8; ++i) {
+    sorted.push_back(static_cast<std::uint64_t>(i));
+    sorted.push_back(static_cast<std::uint64_t>(i) + 16);
+  }
+  std::vector<std::uint64_t> messy(sorted.rbegin(), sorted.rend());
+  messy.push_back(sorted.front());  // duplicate
+  messy.push_back(sorted.back());
+  // Many rounds so the generation counter advances well past its initial
+  // state; stale bank counts from prior rounds must never leak in.
+  for (int round = 0; round < 100; ++round) {
+    a.SharedAccess(sorted, &ma);
+    b.SharedAccess(messy, &mb);
+  }
+  EXPECT_EQ(ma.smem_accesses, mb.smem_accesses);
+  EXPECT_EQ(ma.smem_conflict_cycles, mb.smem_conflict_cycles);
+  EXPECT_EQ(ma.smem_conflict_cycles, 100u);  // degree 2 -> +1 per round
+}
+
+TEST(MemoryModelTest, ConstantAccessFastPathMatchesSlowPath) {
+  MemoryModel model(hw::QuadroFx5800());
+  Metrics metrics;
+  // Warp-uniform read: broadcast regardless of lane count.
+  model.ConstantAccess(std::vector<std::uint64_t>(32, 7), &metrics);
+  EXPECT_EQ(metrics.const_broadcasts, 1u);
+  EXPECT_EQ(metrics.const_serialized, 0u);
+  // Two distinct values, unsorted with repeats: serialises to 2.
+  model.ConstantAccess({9, 3, 9, 3, 9}, &metrics);
+  EXPECT_EQ(metrics.const_broadcasts, 1u);
+  EXPECT_EQ(metrics.const_serialized, 2u);
+}
+
 TEST(MetricsTest, AccumulateAndScale) {
   Metrics a, b;
   a.alu_ops = 10;

@@ -226,5 +226,21 @@ TEST(SimulatorTest, DegenerateRegionLaunchRejected) {
   EXPECT_NE(st.message().find("too small"), std::string::npos);
 }
 
+TEST(SimulatorOptionsTest, ParseExecEngineAcceptsAllThreeEngines) {
+  // The --sim-engine flag surface: every engine name the help text
+  // advertises must parse, and the rejection message must list all of them
+  // so a typo points at the full choice set.
+  ASSERT_TRUE(ParseExecEngine("bytecode").ok());
+  EXPECT_EQ(ParseExecEngine("bytecode").value(), ExecEngine::kBytecode);
+  ASSERT_TRUE(ParseExecEngine("ast").ok());
+  EXPECT_EQ(ParseExecEngine("ast").value(), ExecEngine::kAst);
+  ASSERT_TRUE(ParseExecEngine("native").ok());
+  EXPECT_EQ(ParseExecEngine("native").value(), ExecEngine::kNative);
+  const Result<ExecEngine> bad = ParseExecEngine("jit");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("native"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hipacc::sim

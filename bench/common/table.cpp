@@ -39,7 +39,39 @@ support::CliParser MakeBenchCli(std::string program, std::string summary) {
                Tuning().separate = false;
                return Status::Ok();
              });
+  cli.Value("fuse", "off|point|horizontal|halo|all",
+            "fusion kinds the graph planner may apply (default: all)",
+            [](const std::string& value) -> Status {
+              Result<compiler::FusionMode> mode =
+                  compiler::ParseFusionMode(value);
+              if (!mode.ok()) return mode.status();
+              Tuning().fuse = mode.value();
+              return Status::Ok();
+            });
+  cli.Switch("explain-fusion",
+             "print every fusion candidate the planner examined "
+             "(accept/reject, reason, modelled score)",
+             []() -> Status {
+               Tuning().explain_fusion = true;
+               return Status::Ok();
+             });
   return cli;
+}
+
+void PrintFusionDecisions(
+    std::vector<compiler::CandidateDecision> decisions) {
+  compiler::DedupeDecisions(&decisions);
+  std::printf("fusion candidates (%zu examined):\n", decisions.size());
+  for (const compiler::CandidateDecision& d : decisions) {
+    const char* verdict = d.accepted ? "accepted"
+                          : d.legal  ? "rejected (profitability)"
+                                     : "rejected (legality)";
+    std::printf("  [%-10s] %s -> %s: %s — %s", to_string(d.kind),
+                d.producer.c_str(), d.consumer.c_str(), verdict,
+                d.reason.c_str());
+    if (d.legal) std::printf(" (score %.4f cycles/pixel)", d.score);
+    std::printf("\n");
+  }
 }
 
 void Table::Row(const std::string& label) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "compiler/fusion_planner.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
 
@@ -23,13 +24,24 @@ struct BenchTuning {
   /// --no-separate clears this: rewrite rank-1 convolution stages into
   /// row + column passes where the bench runs a pipeline graph.
   bool separate = true;
+  /// --fuse=off|point|horizontal|halo|all: candidate kinds the fusion
+  /// planner may apply in graph-based benches (default: all).
+  compiler::FusionMode fuse = compiler::FusionMode::kAll;
+  /// --explain-fusion: print every fusion candidate the planner examined
+  /// (accept/reject, reason, modelled score) after the graph runs.
+  bool explain_fusion = false;
 };
 BenchTuning& Tuning();
 
 /// CliParser preloaded with the flags every benchmark binary shares
-/// (--sim-engine, --ppt, --no-separate); a binary registers its extra flags
-/// on the returned parser, then calls HandleArgs().
+/// (--sim-engine, --ppt, --no-separate, --fuse, --explain-fusion); a binary
+/// registers its extra flags on the returned parser, then calls
+/// HandleArgs().
 support::CliParser MakeBenchCli(std::string program, std::string summary);
+
+/// The --explain-fusion report: dedupes and prints one line per examined
+/// fusion candidate (kind, stages, verdict, reason, modelled score).
+void PrintFusionDecisions(std::vector<compiler::CandidateDecision> decisions);
 
 class Table {
  public:

@@ -87,6 +87,9 @@ int main(int argc, char** argv) {
         ops::MultiresolutionFilterEager(input, levels, gains, mode);
     runtime::GraphOptions gopts;
     gopts.run.trace = &trace;
+    gopts.fuse = bench::Tuning().fuse;
+    std::vector<compiler::CandidateDecision> decisions;
+    if (bench::Tuning().explain_fusion) gopts.explain = &decisions;
     Result<HostImage<float>> graph_out =
         ops::MultiresolutionFilterGraph(input, levels, gains, mode, gopts);
     if (!graph_out.ok()) {
@@ -123,6 +126,10 @@ int main(int argc, char** argv) {
       }
       graph_ms = std::min(graph_ms, sw.ElapsedMs());
     }
+    if (bench::Tuning().explain_fusion) {
+      std::printf("%s:\n", name.c_str());
+      bench::PrintFusionDecisions(decisions);
+    }
 
     const double speedup = eager_ms / graph_ms;
     worst_speedup = std::min(worst_speedup, speedup);
@@ -151,9 +158,12 @@ int main(int argc, char** argv) {
     support::Json doc = table.ToJson(title);
     support::Json counters = support::Json::Object();
     for (const char* key :
-         {"graph.stages", "graph.fused_edges", "graph.launches.host",
-          "graph.launches.sim", "graph.runs", "bufpool.alloc",
-          "bufpool.reuse", "bufpool.peak_bytes", "fuse.edges"})
+         {"graph.stages", "graph.fused_edges", "graph.fused.point",
+          "graph.fused.horizontal", "graph.fused.halo",
+          "fuse.rejected.legality", "fuse.rejected.profitability",
+          "graph.launches.host", "graph.launches.sim", "graph.runs",
+          "bufpool.alloc", "bufpool.reuse", "bufpool.peak_bytes",
+          "fuse.point.edges", "fuse.horizontal.edges", "fuse.halo.edges"})
       counters[key] = static_cast<double>(trace.counter(key));
     doc["counters"] = std::move(counters);
     const Status written =

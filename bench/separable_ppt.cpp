@@ -140,6 +140,7 @@ int main(int argc, char** argv) {
         .Kernel("gauss", source, {{"Input", "in"}})
         .Output("gauss");
     runtime::GraphOptions gopts;
+    gopts.fuse = bench::Tuning().fuse;
     const Status st =
         direct_graph.Run({{"in", &input}}, {{"gauss", &direct_out}}, gopts);
     if (!st.ok()) {
@@ -152,6 +153,7 @@ int main(int argc, char** argv) {
         .Output("gauss");
     runtime::GraphOptions sopts;
     sopts.separate = bench::Tuning().separate;
+    sopts.fuse = bench::Tuning().fuse;
     sopts.run.trace = &trace;
     const Status ss =
         sep_graph.Run({{"in", &input}}, {{"gauss", &graph_out}}, sopts);

@@ -56,6 +56,9 @@ struct KernelDecl {
   std::vector<ParamInfo> params;
   std::vector<AccessorInfo> accessors;
   std::vector<MaskInfo> masks;
+  /// Extra output images written via `output(name) = ...`; each lowers to an
+  /// `_out_<name>` global buffer next to the primary `_out`.
+  std::vector<std::string> extra_outputs;
   StmtPtr body;  // a kBlock
 
   const AccessorInfo* FindAccessor(const std::string& accessor_name) const;

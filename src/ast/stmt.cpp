@@ -40,9 +40,10 @@ StmtPtr Assign(std::string name, AssignOp op, ExprPtr value) {
   return s;
 }
 
-StmtPtr OutputAssign(ExprPtr value) {
+StmtPtr OutputAssign(ExprPtr value, std::string output_name) {
   HIPACC_CHECK(value != nullptr);
   auto s = Make(StmtKind::kOutputAssign);
+  s->name = std::move(output_name);
   s->value = std::move(value);
   return s;
 }

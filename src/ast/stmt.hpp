@@ -34,6 +34,7 @@ struct Stmt {
   StmtKind kind;
 
   // kDecl: declared variable. kAssign: assigned variable. kMemWrite: buffer.
+  // kOutputAssign: extra-output name ("" = the primary output image).
   std::string name;
   ScalarType decl_type = ScalarType::kFloat;
   AssignOp assign_op = AssignOp::kAssign;
@@ -59,7 +60,8 @@ struct Stmt {
 
 StmtPtr Decl(ScalarType type, std::string name, ExprPtr init);
 StmtPtr Assign(std::string name, AssignOp op, ExprPtr value);
-StmtPtr OutputAssign(ExprPtr value);
+/// `output_name` selects a declared extra output ("" = the primary output).
+StmtPtr OutputAssign(ExprPtr value, std::string output_name = "");
 StmtPtr If(ExprPtr cond, StmtPtr then_stmt, StmtPtr else_stmt = nullptr);
 /// Canonical counted loop: for (int var = lo; var <= hi; var += step) body.
 StmtPtr For(std::string var, ExprPtr lo, ExprPtr hi, int step, StmtPtr body);

@@ -83,6 +83,10 @@ class Lowerer {
       buffers_cache_.push_back(buf);
     }
     buffers_cache_.push_back({"_out", MemSpace::kGlobal, true});
+    // Extra outputs of multi-output (horizontally fused) kernels follow the
+    // primary output so output_buffer() keeps returning "_out".
+    for (const auto& name : kernel_.extra_outputs)
+      buffers_cache_.push_back({"_out_" + name, MemSpace::kGlobal, true});
 
     // Masks: constant memory by default; a global buffer otherwise. Masks
     // whose every read was constant-propagated away (convolve() unrolling)
@@ -248,8 +252,9 @@ class Lowerer {
   StmtPtr RewriteOutput(const StmtPtr& stmt) const {
     if (!stmt) return nullptr;
     if (stmt->kind == StmtKind::kOutputAssign)
-      return ast::MemWrite(MemSpace::kGlobal, "_out", GlobalX(),
-                           SubRowY(cur_sub_), stmt->value);
+      return ast::MemWrite(MemSpace::kGlobal,
+                           stmt->name.empty() ? "_out" : "_out_" + stmt->name,
+                           GlobalX(), SubRowY(cur_sub_), stmt->value);
     if (stmt->body.empty()) return stmt;
     auto copy = std::make_shared<Stmt>(*stmt);
     bool changed = false;

@@ -40,6 +40,20 @@ bool IsHoistworthy(const ExprPtr& expr) {
   return found;
 }
 
+/// Operator-node weight of a pure-arithmetic expression (no memory reads or
+/// calls). Halo-fused kernels inline the producer's boundary remap at every
+/// tap, so the same clamp chain shows up many times per iteration; a chain
+/// heavy and frequent enough is worth a register even without a memory read.
+int ArithWeight(const ExprPtr& expr) {
+  int ops = 0;
+  VisitExprs(expr, [&ops](const Expr& e) {
+    if (e.kind == ExprKind::kUnary || e.kind == ExprKind::kBinary ||
+        e.kind == ExprKind::kConditional || e.kind == ExprKind::kCast)
+      ++ops;
+  });
+  return ops;
+}
+
 bool Disjoint(const std::set<std::string>& a, const std::set<std::string>& b) {
   for (const auto& name : a)
     if (b.count(name)) return false;
@@ -108,11 +122,14 @@ class ScalarOptimizer {
     std::set<std::string> assigned;
     for (const auto& s : stmts) CollectAssigned(s, &assigned);
 
-    // Count hoistworthy subexpressions by structural key.
+    // Count hoistworthy subexpressions by structural key. Pure arithmetic
+    // only qualifies when the chain is heavy and repeated (>= 4 operator
+    // nodes, >= 3 occurrences) — one register spent on e.g. a boundary
+    // clamp repeated per producer tap in a halo-fused kernel.
     std::map<std::string, std::pair<ExprPtr, int>> counts;
     for (const auto& s : stmts) {
       ForEachSubexpr(s, [&](const ExprPtr& e) {
-        if (!IsHoistworthy(e)) return;
+        if (!IsHoistworthy(e) && ArithWeight(e) < 4) return;
         const std::string key = PrintExpr(e);
         auto& entry = counts[key];
         if (!entry.first) entry.first = e;
@@ -123,7 +140,8 @@ class ScalarOptimizer {
     std::map<std::string, std::string> replacements;  // key -> temp name
     std::vector<StmtPtr> prologue;
     for (const auto& [key, entry] : counts) {
-      if (entry.second < 2) continue;
+      const int min_uses = IsHoistworthy(entry.first) ? 2 : 3;
+      if (entry.second < min_uses) continue;
       std::set<std::string> free_vars;
       CollectFreeVars(entry.first, &free_vars);
       if (!Disjoint(free_vars, assigned)) continue;
@@ -167,6 +185,11 @@ class ScalarOptimizer {
       }
       if (changed) decl->value = WithArgs(*decl->value, std::move(new_args));
       prologue[i] = decl;
+      // Statements are rewritten bottom-up, so by the time a larger
+      // duplicate is visited its inner occurrences already read from their
+      // temporaries; register the rewritten spelling as a key too so the
+      // outer chain still collapses.
+      replacements[PrintExpr(decl->value)] = decl->name;
     }
     for (auto& s : stmts) s = RewriteStmtExprs(s, rewrite);
 

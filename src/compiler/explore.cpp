@@ -124,6 +124,65 @@ Result<std::vector<ExplorePoint>> ExploreConfigurations(
   return points;
 }
 
+Result<FusionSweep> ExploreFusionCandidate(
+    const FusionSweepStage& fused, const std::vector<FusionSweepStage>& stages,
+    const hw::DeviceSpec& device, const ExploreOptions& options) {
+  if (!fused.kernel || !fused.bindings)
+    return Status::Invalid("fused stage is missing a kernel or bindings");
+  if (stages.empty())
+    return Status::Invalid("a fusion candidate replaces at least one stage");
+
+  const auto best_ms = [](const std::vector<ExplorePoint>& points) {
+    double best = points.front().ms;
+    for (const ExplorePoint& p : points) best = std::min(best, p.ms);
+    return best;
+  };
+
+  FusionSweep sweep;
+  Result<std::vector<ExplorePoint>> fused_points =
+      ExploreConfigurations(*fused.kernel, device, *fused.bindings, options);
+  HIPACC_RETURN_IF_ERROR(fused_points.status());
+  if (fused_points.value().empty())
+    return Status::Invalid("fused kernel '" + fused.kernel->decl.name +
+                           "' has no measurable configuration");
+  sweep.fused = std::move(fused_points).take();
+  sweep.best_fused_ms = best_ms(sweep.fused);
+
+  for (const FusionSweepStage& stage : stages) {
+    if (!stage.kernel || !stage.bindings)
+      return Status::Invalid("a replaced stage is missing a kernel or "
+                             "bindings");
+    Result<std::vector<ExplorePoint>> points =
+        ExploreConfigurations(*stage.kernel, device, *stage.bindings, options);
+    HIPACC_RETURN_IF_ERROR(points.status());
+    if (points.value().empty())
+      return Status::Invalid("stage '" + stage.kernel->decl.name +
+                             "' has no measurable configuration");
+    sweep.best_unfused_ms += best_ms(points.value());
+    sweep.stages.push_back(std::move(points).take());
+  }
+  sweep.speedup = sweep.best_unfused_ms / sweep.best_fused_ms;
+  return sweep;
+}
+
+support::Json FusionSweepJson(const FusionSweep& sweep) {
+  support::Json doc = support::Json::Object();
+  doc["best_fused_ms"] = sweep.best_fused_ms;
+  doc["best_unfused_ms"] = sweep.best_unfused_ms;
+  doc["speedup"] = sweep.speedup;
+  support::Json fused = support::Json::Array();
+  for (const ExplorePoint& p : sweep.fused) fused.push_back(ExplorePointJson(p));
+  doc["fused"] = std::move(fused);
+  support::Json stages = support::Json::Array();
+  for (const std::vector<ExplorePoint>& stage : sweep.stages) {
+    support::Json points = support::Json::Array();
+    for (const ExplorePoint& p : stage) points.push_back(ExplorePointJson(p));
+    stages.push_back(std::move(points));
+  }
+  doc["stages"] = std::move(stages);
+  return doc;
+}
+
 support::Json ExplorePointJson(const ExplorePoint& point) {
   support::Json j = support::Json::Object();
   j["config"] = sim::ConfigJson(point.config);

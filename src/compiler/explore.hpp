@@ -65,4 +65,38 @@ support::Json ExploreReportJson(const CompiledKernel& kernel,
                                 int image_height,
                                 const std::vector<ExplorePoint>& points);
 
+/// One stage of a fusion candidate handed to ExploreFusionCandidate: a
+/// compiled kernel plus the bindings its sweep launches with.
+struct FusionSweepStage {
+  const CompiledKernel* kernel = nullptr;
+  const runtime::BindingSet* bindings = nullptr;
+};
+
+/// Full-sweep scoring of one fusion candidate: the Figure 4 exploration is
+/// run for the fused kernel AND for each stage it replaces, and the best
+/// point of each side is compared. This answers a sharper question than the
+/// planner's closed-form profitability model — "is the fused kernel faster
+/// at its own best configuration than the stages at theirs?" — at sweep
+/// cost, so it backs the model's verdicts rather than replacing them.
+struct FusionSweep {
+  std::vector<ExplorePoint> fused;  ///< swept points of the fused kernel
+  /// Swept points per replaced stage, in argument order.
+  std::vector<std::vector<ExplorePoint>> stages;
+  double best_fused_ms = 0.0;    ///< min over `fused` (includes overhead)
+  double best_unfused_ms = 0.0;  ///< sum of per-stage minima
+  double speedup = 0.0;          ///< best_unfused_ms / best_fused_ms
+};
+
+/// Sweeps a fusion candidate: the fused kernel against the stages it
+/// replaces, each over its full valid configuration space. Fails if any
+/// sweep returns no measurable point.
+Result<FusionSweep> ExploreFusionCandidate(
+    const FusionSweepStage& fused, const std::vector<FusionSweepStage>& stages,
+    const hw::DeviceSpec& device, const ExploreOptions& options = {});
+
+/// Structured form of a fusion sweep:
+/// {"best_fused_ms", "best_unfused_ms", "speedup",
+///  "fused": [ExplorePointJson...], "stages": [[...], ...]}.
+support::Json FusionSweepJson(const FusionSweep& sweep);
+
 }  // namespace hipacc::compiler

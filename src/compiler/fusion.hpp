@@ -1,27 +1,38 @@
-// Producer→consumer point-wise kernel fusion at the DSL-source level: a
-// point operator (every accessor a 1x1 window, so every read is at offset
-// (0, 0)) is inlined into the local operator producing one of its inputs.
-// The fused kernel computes the producer's output pixel into a local
-// variable and substitutes it for the consumer's reads of the consumed
-// accessor — eliminating one intermediate image and one full global-memory
-// round trip per fused edge (write + re-read of every pixel).
+// Kernel fusion at the DSL-source level. Three fusion kinds, applied by the
+// fusion planner (compiler/fusion_planner.*) and replayed by the compiler's
+// "fuse" pass (compiler/pass.cpp) from CompileOptions::fusion so the driver
+// fingerprints the *fused* source (fused and unfused compilations never
+// collide in the cache):
 //
-// Legality rule (checked, not assumed):
-//   * the consumed accessor exists in the consumer and has a 1x1 window;
-//   * every OTHER consumer accessor is also 1x1 (a true point operator —
-//     a windowed second input would need the producer's value at
-//     neighbouring iteration points, which inlining cannot provide);
-//   * the producer writes output() exactly once, as a statement-level
-//     assignment (so the write can become a local definition);
-//   * merging introduces no name collisions: params, accessors, masks and
-//     body-local variables of producer and consumer must be disjoint.
-// The graph runtime additionally requires the producer's image to have no
-// other consumer and not be a pipeline output (runtime/graph.cpp).
+//  * kPoint — producer→consumer fusion of a point-wise consumer (every
+//    accessor a 1x1 window): the producer's output pixel becomes a local
+//    variable substituted for the consumer's reads, eliminating the
+//    intermediate image (one global write + re-read per pixel).
 //
-// Fusion runs inside the compiler pipeline as the "fuse" pass
-// (compiler/pass.cpp), requested through CompileOptions::fusion; the driver
-// fingerprints the *fused* source, so compilation-cache keys distinguish a
-// kernel from its fused variants.
+//  * kHorizontal — sibling fusion: two stages reading the same input over
+//    the same iteration space merge into one multi-output kernel. The
+//    sibling's `output()` writes are retargeted to a named extra output
+//    (`output(<name>) = ...`, lowered to an `_out_<name>` buffer) and, when
+//    the boundary semantics agree, the shared input collapses into one
+//    accessor so scratchpad staging loads the tile once for both bodies.
+//    Neither intermediate is eliminated — the win is the shared input
+//    traffic and one launch instead of two.
+//
+//  * kHalo — producer→local-operator fusion with halo recomputation: an
+//    expression-bodied producer (single `output() = expr;`) is inlined into
+//    a consuming local operator *at every tap offset*. The consumer's read
+//    of the intermediate at (x()+dx, y()+dy) becomes the producer expression
+//    re-evaluated at the boundary-remapped coordinate, with the remap
+//    (clamp / mirror, image extents baked in as literals) emitted as DSL
+//    arithmetic so fused and unfused pixels agree bit for bit. The
+//    producer's input accessors survive with their windows extended by the
+//    consumer's window (the extended tile+halo region the scratchpad then
+//    stages); the intermediate image is eliminated at the price of
+//    re-computing the producer once per consumer tap.
+//
+// Legality is checked here (never assumed); profitability lives in the
+// planner. The graph runtime adds the structural rules (single consumer
+// edge for kPoint/kHalo, no external output, matching extents).
 #pragma once
 
 #include <string>
@@ -31,15 +42,40 @@
 
 namespace hipacc::compiler {
 
-/// One fusion step: inline `consumer` into the producing kernel, replacing
-/// the consumer's reads of `accessor` with the producer's output value.
+/// Candidate kind of one fusion rewrite.
+enum class FuseKind { kPoint, kHorizontal, kHalo };
+
+const char* to_string(FuseKind kind) noexcept;
+
+/// Which fusion kinds the runtime may apply — the `--fuse=` flag.
+enum class FusionMode { kOff, kPoint, kHorizontal, kHalo, kAll };
+
+const char* to_string(FusionMode mode) noexcept;
+
+/// Parses "off" | "point" | "horizontal" | "halo" | "all".
+Result<FusionMode> ParseFusionMode(const std::string& text);
+
+/// True when `mode` permits candidates of `kind`.
+bool FusionModeAllows(FusionMode mode, FuseKind kind) noexcept;
+
+/// One fusion step. The populated fields depend on `kind`:
+///  * kPoint / kHalo: `consumer` is the consuming kernel and `accessor` its
+///    accessor fed by the current (producer) kernel; kHalo additionally
+///    bakes `image_width` / `image_height` into the boundary remap.
+///  * kHorizontal: `consumer` is the sibling kernel, `accessor` the current
+///    kernel's accessor of the shared input, `peer_accessor` the sibling's,
+///    and `output_name` the extra-output name its image is written under.
 struct FusionRequest {
+  FuseKind kind = FuseKind::kPoint;
   frontend::KernelSource consumer;
-  std::string accessor;  ///< consumer accessor fed by the producer
+  std::string accessor;
+  std::string peer_accessor;
+  std::string output_name;
+  int image_width = 0;
+  int image_height = 0;
 };
 
-/// Fuses one point-wise consumer into `producer` (see the legality rule in
-/// the file comment). The fused kernel is named
+/// Fuses one point-wise consumer into `producer`. The fused kernel is named
 /// "<producer>_<consumer>"; its accessor list is the producer's accessors
 /// followed by the consumer's remaining ones, so the producer's (windowed)
 /// accessor keeps driving boundary-region selection.
@@ -47,8 +83,30 @@ Result<frontend::KernelSource> FusePointwise(
     const frontend::KernelSource& producer,
     const frontend::KernelSource& consumer, const std::string& accessor);
 
-/// Applies a chain of fusion steps in order (producer -> r[0] -> r[1] ...),
-/// each step treating the previous result as the producer.
+/// Merges sibling `b` into `a` as a multi-output kernel: `b`'s output()
+/// writes become `output(<output_name>)`, and its reads of `b_accessor`
+/// (the shared input) are redirected to `a_accessor` when the two agree on
+/// boundary semantics (the merged accessor's window is the element-wise
+/// max). `b` must not itself carry extra outputs; all other names must be
+/// disjoint.
+Result<frontend::KernelSource> FuseHorizontal(
+    const frontend::KernelSource& a, const std::string& a_accessor,
+    const frontend::KernelSource& b, const std::string& b_accessor,
+    const std::string& output_name);
+
+/// Inlines an expression-bodied `producer` into `consumer` at every read of
+/// `accessor`, re-evaluating the producer at the boundary-remapped tap
+/// coordinate (see file comment). Requires the consumed accessor's boundary
+/// mode to be kClamp or kMirror (kRepeat breaks scratchpad tile locality,
+/// kConstant would need f(c) != c, kUndefined has no defined remap) and the
+/// consumer's window to fit the image (`image_width` / `image_height`).
+Result<frontend::KernelSource> FuseHalo(const frontend::KernelSource& producer,
+                                        const frontend::KernelSource& consumer,
+                                        const std::string& accessor,
+                                        int image_width, int image_height);
+
+/// Applies a chain of fusion steps in order, each step treating the previous
+/// result as the current kernel and dispatching on the request kind.
 Result<frontend::KernelSource> ApplyFusion(
     const frontend::KernelSource& producer,
     const std::vector<FusionRequest>& chain);

@@ -59,12 +59,15 @@ class FusePass final : public Pass {
     }
     ctx.source = &*ctx.fused_source;
     ctx.Note(name(),
-             StrFormat("fused %zu point-wise consumer(s) into '%s'",
+             StrFormat("fused %zu consumer(s)/sibling(s) into '%s'",
                        ctx.options.fusion.size(),
                        ctx.fused_source->name.c_str()));
-    if (ctx.options.trace)
-      ctx.options.trace->IncrementCounter(
-          "fuse.edges", static_cast<long long>(ctx.options.fusion.size()));
+    if (ctx.options.trace) {
+      // Per-kind counters: fuse.{point,horizontal,halo}.edges.
+      for (const FusionRequest& request : ctx.options.fusion)
+        ctx.options.trace->IncrementCounter(
+            std::string("fuse.") + to_string(request.kind) + ".edges");
+    }
     return Status::Ok();
   }
 };

@@ -1,6 +1,7 @@
 #include "frontend/parser.hpp"
 
 #include <map>
+#include <set>
 
 #include "ast/builtins.hpp"
 #include "ast/const_fold.hpp"
@@ -24,6 +25,15 @@ class Parser {
     kernel.params = source_.params;
     kernel.accessors = source_.accessors;
     kernel.masks = source_.masks;
+    kernel.extra_outputs = source_.extra_outputs;
+
+    for (size_t i = 0; i < source_.extra_outputs.size(); ++i) {
+      const std::string& name = source_.extra_outputs[i];
+      if (name.empty()) return Error("extra output with empty name");
+      for (size_t j = 0; j < i; ++j)
+        if (source_.extra_outputs[j] == name)
+          return Error("duplicate extra output '" + name + "'");
+    }
 
     for (const auto& p : source_.params) scopes_.back()[p.name] = p.type;
 
@@ -35,6 +45,9 @@ class Parser {
     }
     if (!wrote_output_)
       return Error("kernel never assigns output()");
+    for (const auto& name : source_.extra_outputs)
+      if (!wrote_named_.count(name))
+        return Error("kernel never assigns output(" + name + ")");
     kernel.body = Block(std::move(stmts));
     return kernel;
   }
@@ -173,13 +186,27 @@ class Parser {
   Result<StmtPtr> ParseOutputAssign() {
     Advance();  // output
     HIPACC_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    // output(name) targets a declared extra output; bare output() the
+    // primary image.
+    std::string output_name;
+    if (Check(TokenKind::kIdent)) {
+      output_name = Advance().text;
+      bool declared = false;
+      for (const auto& n : source_.extra_outputs) declared |= (n == output_name);
+      if (!declared)
+        return Error("unknown output '" + output_name +
+                     "' (not declared as an extra output)");
+    }
     HIPACC_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
     HIPACC_RETURN_IF_ERROR(Expect(TokenKind::kAssign));
     Result<ExprPtr> value = ParseExpr();
     if (!value.ok()) return value.status();
     HIPACC_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
-    wrote_output_ = true;
-    return OutputAssign(std::move(value).take());
+    if (output_name.empty())
+      wrote_output_ = true;
+    else
+      wrote_named_.insert(output_name);
+    return OutputAssign(std::move(value).take(), std::move(output_name));
   }
 
   Result<StmtPtr> ParseIf() {
@@ -592,6 +619,8 @@ class Parser {
   size_t pos_ = 0;
   std::vector<std::map<std::string, ScalarType>> scopes_{1};
   bool wrote_output_ = false;
+  /// Extra outputs assigned so far (each declared name must be written).
+  std::set<std::string> wrote_named_;
   /// Mask name while parsing the body of a convolve() expression.
   std::string convolve_mask_;
 };

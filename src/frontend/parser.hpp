@@ -23,6 +23,11 @@ struct KernelSource {
   std::vector<ast::ParamInfo> params;
   std::vector<ast::AccessorInfo> accessors;
   std::vector<ast::MaskInfo> masks;
+  /// Names of additional output images the kernel writes via
+  /// `output(name) = ...` (the unnamed `output()` is always present).
+  /// Horizontally fused sibling stages compile to one such multi-output
+  /// kernel; plain kernels leave this empty.
+  std::vector<std::string> extra_outputs;
   /// Text of the kernel() method body, without the outer braces.
   std::string body;
 };

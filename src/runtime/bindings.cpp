@@ -20,8 +20,19 @@ Result<LaunchHolder> BuildLaunch(const ast::DeviceKernel& kernel,
 
   for (const auto& buf : kernel.buffers) {
     if (buf.is_output) {
-      launch.buffers.push_back({buf.name, out.span().data(), out.width(),
-                                out.height(), out.stride(), true});
+      // "_out" is the primary output; "_out_<name>" the extra outputs of a
+      // multi-output (horizontally fused) kernel, bound by name.
+      dsl::Image<float>* target = &out;
+      if (buf.name != "_out") {
+        target = bindings.FindExtraOutput(buf.name.substr(5));
+        if (target == nullptr)
+          return Status::Invalid("extra output image not bound: " + buf.name);
+        if (target->width() != out.width() || target->height() != out.height())
+          return Status::Invalid("extra output extent mismatch: " + buf.name);
+      }
+      launch.buffers.push_back({buf.name, target->span().data(),
+                                target->width(), target->height(),
+                                target->stride(), true});
       continue;
     }
     // Global-memory mask buffer?

@@ -36,6 +36,12 @@ class BindingSet {
     output_ = &image;
     return *this;
   }
+  /// Binds one of a multi-output kernel's extra outputs (the image written
+  /// by `output(name) = ...`, lowered to buffer `_out_<name>`).
+  BindingSet& Output(const std::string& name, dsl::Image<float>& image) {
+    Assign(extra_outputs_, name, &image);
+    return *this;
+  }
   /// Binds mask coefficients (constant-memory or global-memory masks alike).
   BindingSet& MaskValues(const std::string& name, std::vector<float> values) {
     Assign(masks_, name, std::move(values));
@@ -49,6 +55,9 @@ class BindingSet {
 
   const NamedVec<dsl::Image<float>*>& inputs() const { return inputs_; }
   dsl::Image<float>* output() const { return output_; }
+  const NamedVec<dsl::Image<float>*>& extra_outputs() const {
+    return extra_outputs_;
+  }
   const NamedVec<std::vector<float>>& masks() const { return masks_; }
   const NamedVec<double>& scalars() const { return scalars_; }
 
@@ -62,6 +71,10 @@ class BindingSet {
   }
   const double* FindScalar(const std::string& name) const {
     return Find(scalars_, name);
+  }
+  dsl::Image<float>* FindExtraOutput(const std::string& name) const {
+    const auto* entry = Find(extra_outputs_, name);
+    return entry ? *entry : nullptr;
   }
 
  private:
@@ -84,6 +97,7 @@ class BindingSet {
 
   NamedVec<dsl::Image<float>*> inputs_;
   dsl::Image<float>* output_ = nullptr;
+  NamedVec<dsl::Image<float>*> extra_outputs_;
   NamedVec<std::vector<float>> masks_;
   NamedVec<double> scalars_;
 };

@@ -114,6 +114,9 @@ struct GraphRun {
     std::vector<compiler::FusionRequest> chain;
     frontend::KernelSource effective;
     std::vector<std::pair<std::string, std::string>> inputs;
+    /// extra-output name -> virtual image: further images this stage
+    /// produces after horizontal fusion (the absorbed siblings' outputs).
+    std::vector<std::pair<std::string, std::string>> extra_images;
     std::vector<std::pair<std::string, double>> scalars;
     int width = 0;
     int height = 0;
@@ -287,65 +290,102 @@ void GraphRun::PlanSeparation() {
 }
 
 void GraphRun::PlanFusion() {
-  if (!options.fuse) return;
-  // Count consumer edges per image; a producer is only fusable when exactly
-  // one edge reads it (and it is not an externally visible output).
-  auto edge_count = [this](const std::string& image) {
-    int count = 0;
-    for (const Stage& stage : stages)
-      for (const auto& [accessor, input] : stage.inputs)
-        if (input == image) ++count;
-    return count;
-  };
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (std::size_t c = 0; c < stages.size() && !changed; ++c) {
-      Stage& consumer = stages[c];
-      if (consumer.kind != Node::Kind::kKernel) continue;
-      for (std::size_t e = 0; e < consumer.inputs.size(); ++e) {
-        const auto [accessor, image] = consumer.inputs[e];
-        const std::size_t p = static_cast<std::size_t>(producer.at(image));
-        Stage& prod = stages[p];
-        if (prod.kind != Node::Kind::kKernel) continue;
-        if (edge_count(image) != 1) continue;
-        if (std::find(graph.outputs_.begin(), graph.outputs_.end(), image) !=
-            graph.outputs_.end())
-          continue;
-        if (prod.width != consumer.width || prod.height != consumer.height)
-          continue;
-        Result<frontend::KernelSource> fused = compiler::FusePointwise(
-            prod.effective, consumer.effective, accessor);
-        if (!fused.ok()) continue;  // not point-wise fusable; stay eager
+  if (options.fuse == compiler::FusionMode::kOff) return;
+  compiler::FusionPlannerOptions popts;
+  popts.mode = options.fuse;
+  popts.compile = MakeCompileOptions(options.run, 0, 0);
+  std::vector<compiler::CandidateDecision> decisions;
+  popts.decisions = &decisions;
 
-        // Merge the producer into the consumer's slot: the consumer stage
-        // now compiles the producer's source with the consumer appended to
-        // the fusion chain, consumes the producer's inputs plus its own
-        // remaining ones, and still produces the consumer's image.
-        consumer.chain = std::move(prod.chain);
-        consumer.chain.push_back(
-            compiler::FusionRequest{consumer.effective, accessor});
-        consumer.source = prod.source;
-        consumer.effective = std::move(fused).take();
-        consumer.inputs.erase(consumer.inputs.begin() +
-                              static_cast<std::ptrdiff_t>(e));
-        consumer.inputs.insert(consumer.inputs.begin(), prod.inputs.begin(),
-                               prod.inputs.end());
-        consumer.scalars.insert(consumer.scalars.end(), prod.scalars.begin(),
-                                prod.scalars.end());
-        // Retire the producer stage in place (erasing would invalidate the
-        // `producer` index map); BuildDag skips retired stages.
-        prod.kind = Node::Kind::kSource;
-        prod.inputs.clear();
-        producer[consumer.name] = static_cast<int>(c);
-        producer.erase(prod.name);
-        prod.name.clear();
-        if (trace != nullptr) trace->IncrementCounter("graph.fused_edges");
-        changed = true;
-        break;
+  while (true) {
+    // The planner sees the current (post-separation, partially fused) stage
+    // list; one accepted step is applied per round until none remains.
+    std::vector<compiler::PlannerStage> view(stages.size());
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      const Stage& stage = stages[i];
+      view[i].fusable =
+          stage.kind == Node::Kind::kKernel && !stage.name.empty();
+      view[i].name = stage.name;
+      view[i].source = &stage.effective;
+      view[i].inputs = stage.inputs;
+      for (const auto& [output_name, image] : stage.extra_images)
+        view[i].extra_images.push_back(image);
+      view[i].width = stage.width;
+      view[i].height = stage.height;
+      view[i].external =
+          std::find(graph.outputs_.begin(), graph.outputs_.end(),
+                    stage.name) != graph.outputs_.end();
+    }
+    std::optional<compiler::PlannedFusion> plan =
+        compiler::PlanNextFusion(view, popts);
+    if (!plan) break;
+
+    Stage& into = stages[static_cast<std::size_t>(plan->into)];
+    Stage& retired = stages[static_cast<std::size_t>(plan->retired)];
+    if (plan->request.kind == compiler::FuseKind::kHorizontal) {
+      // Sibling merge: `into` absorbs `retired`, whose image it keeps
+      // producing as a named extra output. The sibling's shared-input edge
+      // collapsed into `into`'s accessor; its other inputs carry over.
+      into.chain.push_back(plan->request);
+      into.effective = std::move(plan->fused);
+      for (const auto& [accessor, image] : retired.inputs)
+        if (accessor != plan->request.peer_accessor)
+          into.inputs.emplace_back(accessor, image);
+      into.scalars.insert(into.scalars.end(), retired.scalars.begin(),
+                          retired.scalars.end());
+      into.extra_images.emplace_back(plan->request.output_name, retired.name);
+      producer[retired.name] = plan->into;
+    } else {
+      // Producer→consumer merge (point or halo): the consumer's slot now
+      // compiles the producer's source with the consumer appended to the
+      // fusion chain, consumes the producer's inputs plus its own remaining
+      // ones, and still produces the consumer's image. The intermediate
+      // image disappears.
+      for (std::size_t e = 0; e < into.inputs.size(); ++e) {
+        if (into.inputs[e].first == plan->request.accessor &&
+            into.inputs[e].second == retired.name) {
+          into.inputs.erase(into.inputs.begin() +
+                            static_cast<std::ptrdiff_t>(e));
+          break;
+        }
       }
+      into.chain = std::move(retired.chain);
+      into.chain.push_back(plan->request);
+      into.source = retired.source;
+      into.effective = std::move(plan->fused);
+      into.inputs.insert(into.inputs.begin(), retired.inputs.begin(),
+                         retired.inputs.end());
+      into.scalars.insert(into.scalars.end(), retired.scalars.begin(),
+                          retired.scalars.end());
+      producer[into.name] = plan->into;
+      producer.erase(retired.name);
+    }
+    // Retire the absorbed stage in place (erasing would invalidate the
+    // `producer` index map); BuildDag skips retired stages.
+    retired.kind = Node::Kind::kSource;
+    retired.inputs.clear();
+    retired.name.clear();
+    if (trace != nullptr) {
+      trace->IncrementCounter("graph.fused_edges");
+      trace->IncrementCounter(std::string("graph.fused.") +
+                              compiler::to_string(plan->request.kind));
     }
   }
+
+  // One decision per candidate (the planner re-examines surviving rejects
+  // every round): rejected candidates feed the fuse.rejected.* counters and
+  // the --explain-fusion sink.
+  compiler::DedupeDecisions(&decisions);
+  if (trace != nullptr) {
+    for (const compiler::CandidateDecision& d : decisions) {
+      if (d.accepted) continue;
+      trace->IncrementCounter(d.legal ? "fuse.rejected.profitability"
+                                      : "fuse.rejected.legality");
+    }
+  }
+  if (options.explain != nullptr)
+    options.explain->insert(options.explain->end(), decisions.begin(),
+                            decisions.end());
 }
 
 Status GraphRun::CompileStages() {
@@ -405,6 +445,14 @@ Status GraphRun::RunKernelStage(Stage& stage) {
     out = buffers.at(stage.name).get();
   }
   bindings.Output(*out);
+  for (const auto& [output_name, image] : stage.extra_images) {
+    dsl::Image<float>* extra = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      extra = buffers.at(image).get();
+    }
+    bindings.Output(output_name, *extra);
+  }
   for (const auto& [name, value] : stage.scalars) bindings.Scalar(name, value);
 
   const compiler::CompiledKernel& ck = stage.compiled;
@@ -440,7 +488,15 @@ Status GraphRun::RunKernelStage(Stage& stage) {
   sim::Simulator simulator(options.run.device, options.run.sim_options());
   Result<sim::LaunchStats> stats = simulator.Execute(launch);
   if (!stats.ok()) return stats.status();
-  if (trace != nullptr) trace->IncrementCounter("graph.launches.sim");
+  if (trace != nullptr) {
+    trace->IncrementCounter("graph.launches.sim");
+    // Modelled device time of the whole graph, in microseconds — what the
+    // fusion benches gate on (host wall-clock would mis-charge the halo
+    // recompute the device model absorbs in its memory bounds).
+    trace->IncrementCounter(
+        "graph.modelled_us",
+        static_cast<long long>(stats.value().timing.total_ms * 1000.0));
+  }
   return Status::Ok();
 }
 
@@ -468,6 +524,14 @@ Status GraphRun::ExecStage(int index) {
   {
     std::lock_guard<std::mutex> lock(mutex);
     buffers[stage.name] = std::move(out);
+  }
+  // A horizontally fused stage fills several virtual images in one launch;
+  // each gets its own pooled buffer under its declared name.
+  for (const auto& [output_name, image] : stage.extra_images) {
+    BufferPool::ImagePtr extra =
+        graph.pool_.Acquire(stage.width, stage.height, trace);
+    std::lock_guard<std::mutex> lock(mutex);
+    buffers[image] = std::move(extra);
   }
 
   Status status = Status::Ok();

@@ -4,9 +4,12 @@
 // topologically schedules the stages, compiles every kernel through the
 // compilation cache (concurrently for independent stages), executes
 // independent branches on worker threads, recycles intermediate device
-// buffers through an extent-keyed BufferPool, and fuses point-wise consumers
-// into their producers (compiler/fusion.hpp) so chains like
-// "convolve -> scale-and-subtract" become one kernel launch.
+// buffers through an extent-keyed BufferPool, and runs the fusion planner
+// (compiler/fusion_planner.hpp) over the DAG: point-wise chains like
+// "convolve -> scale-and-subtract" collapse into one launch, sibling stages
+// reading the same image merge into one multi-output kernel, and small
+// producers are inlined into consuming local operators with halo recompute
+// — whichever candidates are legal and modelled as profitable.
 //
 //   PipelineGraph graph;
 //   graph.Source("in", w, h)
@@ -23,15 +26,17 @@
 // Execution semantics: every stage runs exactly once per Run(), producers
 // before consumers; outputs are bit-identical to running the same kernels
 // eagerly one by one (the host bytecode executor and the simulator engines
-// share per-operation float semantics, and fusion only composes unchanged
-// per-pixel arithmetic).
+// share per-operation float semantics; point and horizontal fusion compose
+// unchanged per-pixel arithmetic, and halo fusion re-evaluates the producer
+// at boundary-remapped coordinates that reproduce the eliminated image's
+// reads exactly).
 #pragma once
 
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "compiler/fusion.hpp"
+#include "compiler/fusion_planner.hpp"
 #include "frontend/parser.hpp"
 #include "image/host_image.hpp"
 #include "runtime/buffer_pool.hpp"
@@ -49,8 +54,15 @@ struct GraphOptions {
 
   /// Compilation and launch options shared by every stage.
   RunOptions run;
-  /// Fuse point-wise consumers into their producers where legal.
-  bool fuse = true;
+  /// Which fusion kinds the planner (compiler/fusion_planner.hpp) may apply:
+  /// point-wise producer→consumer inlining, horizontal sibling merges into
+  /// multi-output kernels, halo-recompute inlining into local operators —
+  /// or any combination. All outputs stay bit-identical to running the
+  /// stages unfused.
+  compiler::FusionMode fuse = compiler::FusionMode::kAll;
+  /// When set, every fusion candidate the planner examined appends its
+  /// accept/reject decision here (the --explain-fusion flag).
+  std::vector<compiler::CandidateDecision>* explain = nullptr;
   /// Rewrite rank-1 (separable) 2D convolution stages into a row pass plus
   /// a column pass over a pooled intermediate image (compiler/separate.hpp).
   /// Off by default: the split reorders float arithmetic, so results match

@@ -106,7 +106,7 @@ TEST(FusionEquivalenceTest, FusedChainMatchesSeparateLaunchesBitExact) {
   // runtime uses).
   const HostImage<float> fused =
       RunKernel(conv, input, {{"scale", 2.0}, {"offset", 0.25}},
-                {compiler::FusionRequest{scale, "Input"}});
+                {compiler::FusionRequest{compiler::FuseKind::kPoint, scale, "Input"}});
 
   EXPECT_EQ(MaxAbsDiff(separate, fused), 0.0);
 }
@@ -116,7 +116,7 @@ TEST(ApplyFusionTest, ChainsStepsInOrder) {
   const frontend::KernelSource scale = ops::ScaleOffsetSource();
 
   const Result<frontend::KernelSource> fused = ApplyFusion(
-      Producer(), {compiler::FusionRequest{scale, "Input"}});
+      Producer(), {compiler::FusionRequest{compiler::FuseKind::kPoint, scale, "Input"}});
   ASSERT_TRUE(fused.ok()) << fused.status().ToString();
   // One more level: threshold reads "Input", but the fused kernel's
   // remaining accessor is still the producer's "Input" window — a second

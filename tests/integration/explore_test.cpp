@@ -7,7 +7,9 @@
 #include <cstdio>
 
 #include "compiler/explore.hpp"
+#include "compiler/fusion.hpp"
 #include "ops/kernel_sources.hpp"
+#include "ops/masks.hpp"
 #include "sim/trace.hpp"
 
 namespace hipacc {
@@ -258,6 +260,57 @@ TEST(RetargetTest, BackendSwitchChangesEmittedSource) {
   ASSERT_TRUE(opencl.ok());
   EXPECT_NE(opencl.value().source.find("__kernel"), std::string::npos);
   EXPECT_EQ(opencl.value().source.find("__global__"), std::string::npos);
+}
+
+TEST(ExploreTest, FusionCandidateSweepScoresFusedVsUnfused) {
+  const int n = 64;
+  const hw::DeviceSpec device = hw::TeslaC2050();
+  const frontend::KernelSource a = ops::ConvolutionSource(
+      "sobel_x", 3, 3, ops::SobelMaskX(), ast::BoundaryMode::kClamp);
+  const frontend::KernelSource b = ops::ConvolutionSource(
+      "sobel_y", 3, 3, ops::SobelMaskY(), ast::BoundaryMode::kClamp);
+  auto fused_src = compiler::FuseHorizontal(a, "Input", b, "Input", "gy");
+  ASSERT_TRUE(fused_src.ok()) << fused_src.status().ToString();
+
+  const auto compile = [&](const frontend::KernelSource& source) {
+    compiler::CompileOptions options;
+    options.device = device;
+    options.image_width = options.image_height = n;
+    options.codegen.border = codegen::BorderPolicy::kUniform;
+    auto compiled = compiler::Compile(source, options);
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+    return std::move(compiled).take();
+  };
+  const compiler::CompiledKernel ka = compile(a);
+  const compiler::CompiledKernel kb = compile(b);
+  const compiler::CompiledKernel kf = compile(fused_src.value());
+
+  dsl::Image<float> in(n, n), gx(n, n), gy(n, n);
+  runtime::BindingSet ba, bb, bf;
+  ba.Input("Input", in).Output(gx);
+  bb.Input("Input", in).Output(gy);
+  bf.Input("Input", in).Output(gx).Output("gy", gy);
+
+  auto sweep = compiler::ExploreFusionCandidate(
+      {&kf, &bf}, {{&ka, &ba}, {&kb, &bb}}, device);
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  EXPECT_FALSE(sweep.value().fused.empty());
+  ASSERT_EQ(sweep.value().stages.size(), 2u);
+  EXPECT_GT(sweep.value().best_fused_ms, 0.0);
+  EXPECT_GT(sweep.value().best_unfused_ms, 0.0);
+  // One launch instead of two: at this extent the fused kernel's best
+  // configuration must beat the stages at theirs.
+  EXPECT_GT(sweep.value().speedup, 1.0);
+
+  const support::Json doc = compiler::FusionSweepJson(sweep.value());
+  ASSERT_NE(doc.Find("speedup"), nullptr);
+  EXPECT_EQ(doc.Find("speedup")->number_value(), sweep.value().speedup);
+
+  // Degenerate inputs are rejected.
+  EXPECT_FALSE(compiler::ExploreFusionCandidate({&kf, &bf}, {}, device).ok());
+  EXPECT_FALSE(
+      compiler::ExploreFusionCandidate({nullptr, &bf}, {{&ka, &ba}}, device)
+          .ok());
 }
 
 TEST(CompileTest, ForcedInvalidConfigIsLaunchError) {

@@ -8,6 +8,7 @@
 #include "image/metrics.hpp"
 #include "image/synthetic.hpp"
 #include "ops/kernel_sources.hpp"
+#include "ops/masks.hpp"
 #include "ops/pyramid.hpp"
 #include "sim/trace.hpp"
 
@@ -89,7 +90,7 @@ TEST(PipelineGraphTest, DiamondExecutesEachProducerOnce) {
       .Output("merge");
   sim::TraceSink trace;
   GraphOptions options;
-  options.fuse = false;
+  options.fuse = compiler::FusionMode::kOff;
   options.run.trace = &trace;
   HostImage<float> in = MakeNoiseImage(32, 32, 3), out(32, 32);
   ASSERT_TRUE(graph.Run({{"in", &in}}, {{"merge", &out}}, options).ok());
@@ -121,7 +122,8 @@ TEST(PipelineGraphTest, FusesPointwiseConsumerAndStaysBitIdentical) {
         .Output("scaled");
     sim::TraceSink trace;
     GraphOptions options;
-    options.fuse = fuse;
+    options.fuse =
+        fuse ? compiler::FusionMode::kAll : compiler::FusionMode::kOff;
     options.run.trace = &trace;
     HostImage<float>& out = fuse ? fused_out : eager_out;
     ASSERT_TRUE(graph.Run({{"in", &in}}, {{"scaled", &out}}, options).ok());
@@ -131,6 +133,85 @@ TEST(PipelineGraphTest, FusesPointwiseConsumerAndStaysBitIdentical) {
       EXPECT_EQ(trace.counter("graph.fused_edges"), 0);
   }
   EXPECT_EQ(MaxAbsDiff(fused_out, eager_out), 0.0);
+}
+
+TEST(PipelineGraphTest, FusesSiblingSobelsHorizontally) {
+  // Two Sobel stages read the same input: one multi-output launch must
+  // produce both gradients, bit-identical to the unfused graph.
+  const HostImage<float> in = MakeNoiseImage(64, 48, 13);
+  HostImage<float> gx[2] = {{64, 48}, {64, 48}}, gy[2] = {{64, 48}, {64, 48}};
+  for (const bool fuse : {true, false}) {
+    PipelineGraph graph;
+    graph.Source("in", 64, 48)
+        .Kernel("gx", ops::ConvolutionSource("sobel_x", 3, 3,
+                                             ops::SobelMaskX(),
+                                             BoundaryMode::kClamp),
+                {{"Input", "in"}})
+        .Kernel("gy", ops::ConvolutionSource("sobel_y", 3, 3,
+                                             ops::SobelMaskY(),
+                                             BoundaryMode::kClamp),
+                {{"Input", "in"}})
+        .Output("gx")
+        .Output("gy");
+    sim::TraceSink trace;
+    std::vector<compiler::CandidateDecision> decisions;
+    GraphOptions options;
+    options.fuse =
+        fuse ? compiler::FusionMode::kHorizontal : compiler::FusionMode::kOff;
+    options.explain = &decisions;
+    options.run.trace = &trace;
+    ASSERT_TRUE(graph
+                    .Run({{"in", &in}},
+                         {{"gx", &gx[fuse]}, {"gy", &gy[fuse]}}, options)
+                    .ok());
+    if (fuse) {
+      EXPECT_EQ(trace.counter("graph.fused.horizontal"), 1);
+      EXPECT_EQ(trace.counter("graph.fused_edges"), 1);
+      EXPECT_EQ(trace.counter("graph.stages"), 2);  // source + fused pair
+      // The accepted decision is visible through the explain sink.
+      bool accepted = false;
+      for (const compiler::CandidateDecision& d : decisions)
+        accepted |= d.accepted && d.kind == compiler::FuseKind::kHorizontal;
+      EXPECT_TRUE(accepted);
+    } else {
+      EXPECT_EQ(trace.counter("graph.fused_edges"), 0);
+    }
+  }
+  EXPECT_EQ(MaxAbsDiff(gx[0], gx[1]), 0.0);
+  EXPECT_EQ(MaxAbsDiff(gy[0], gy[1]), 0.0);
+}
+
+TEST(PipelineGraphTest, FusesHaloProducerIntoLocalOperator) {
+  // gaussian -> laplacian: the point/halo planner inlines the producer into
+  // the consuming convolution with halo recompute; pixels must not change.
+  const HostImage<float> in = MakeAngiogramPhantom(64, 64, 0.02f, 4);
+  HostImage<float> out[2] = {{64, 64}, {64, 64}};
+  for (const bool fuse : {true, false}) {
+    PipelineGraph graph;
+    graph.Source("in", 64, 64)
+        .Kernel("smooth",
+                ops::GaussianConvolveSource(3, 1.0f, BoundaryMode::kMirror),
+                {{"Input", "in"}})
+        .Kernel("edges",
+                ops::ConvolutionSource("laplacian", 3, 3,
+                                       ops::LaplacianMask3(),
+                                       BoundaryMode::kMirror),
+                {{"Input", "smooth"}})
+        .Output("edges");
+    sim::TraceSink trace;
+    GraphOptions options;
+    options.fuse =
+        fuse ? compiler::FusionMode::kHalo : compiler::FusionMode::kOff;
+    options.run.trace = &trace;
+    ASSERT_TRUE(graph.Run({{"in", &in}}, {{"edges", &out[fuse]}}, options).ok());
+    if (fuse) {
+      EXPECT_EQ(trace.counter("graph.fused.halo"), 1);
+      EXPECT_EQ(trace.counter("graph.stages"), 2);  // source + fused kernel
+    } else {
+      EXPECT_EQ(trace.counter("graph.fused_edges"), 0);
+    }
+  }
+  EXPECT_EQ(MaxAbsDiff(out[0], out[1]), 0.0);
 }
 
 TEST(PipelineGraphTest, DoesNotFuseMultiConsumerOrOutputImages) {

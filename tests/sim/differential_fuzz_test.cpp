@@ -21,11 +21,17 @@
 #include <string>
 #include <vector>
 
+#include <map>
+#include <set>
+
 #include "compiler/driver.hpp"
+#include "compiler/executable.hpp"
 #include "ops/kernel_sources.hpp"
 #include "runtime/bindings.hpp"
+#include "runtime/graph.hpp"
 #include "sim/bytecode.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace.hpp"
 #include "support/rng.hpp"
 #include "support/string_utils.hpp"
 
@@ -395,6 +401,157 @@ std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
 }
 
 // ---------------------------------------------------------------------------
+// Multi-stage graph generation (fusion planner differential coverage)
+// ---------------------------------------------------------------------------
+
+/// A random linear-algebra-free DAG of single-input kernel stages. Stages
+/// draw their input from any earlier image, so the generator naturally
+/// produces point chains (point fusion), shared-input siblings (horizontal
+/// fusion), and expression producers feeding convolutions (halo fusion).
+struct GraphCase {
+  struct Stage {
+    std::string name;   ///< virtual image the stage produces
+    frontend::KernelSource source;
+    std::string input;  ///< virtual image consumed (accessor "Input")
+    std::vector<std::pair<std::string, double>> scalars;
+  };
+  std::vector<Stage> stages;
+  int width = 0;
+  int height = 0;
+  std::string summary;
+};
+
+GraphCase MakeGraphCase(Rng& rng, BoundaryMode mode) {
+  GraphCase gc;
+  gc.width = 2 * rng.NextInt(10, 24) + 1;   // odd, 21..49
+  gc.height = 2 * rng.NextInt(8, 16) + 1;   // odd, 17..33
+  const int n = rng.NextInt(2, 5);
+  std::vector<std::string> images = {"in"};
+  for (int s = 0; s < n; ++s) {
+    GraphCase::Stage st;
+    st.name = StrFormat("s%d", s);
+    st.input = images[static_cast<std::size_t>(
+        rng.NextInt(0, static_cast<int>(images.size()) - 1))];
+    switch (rng.NextInt(0, 2)) {
+      case 0: {  // point stage, per-stage unique scalar name
+        const std::string p = StrFormat("p%d", s);
+        st.source.name = StrFormat("point%d", s);
+        st.source.params = {{p, ScalarType::kFloat}};
+        st.source.accessors = {
+            FuzzAccessor(1, 1, BoundaryMode::kUndefined, 0.0f)};
+        st.source.body =
+            "output() = Input() * " + p + " + " + FloatLit(rng) + ";";
+        st.scalars = {{p, 2.0 * rng.NextDouble() - 1.0}};
+        break;
+      }
+      case 1: {  // loop-bodied random convolution (halo consumer)
+        const int w = 2 * rng.NextInt(1, 2) + 1;  // 3 or 5
+        std::vector<float> mask(static_cast<std::size_t>(w) * w);
+        for (float& x : mask) x = 2.0f * rng.NextFloat() - 1.0f;
+        st.source = ops::ConvolutionSource(StrFormat("conv%d", s), w, w,
+                                           std::move(mask), mode,
+                                           2.0f * rng.NextFloat() - 1.0f);
+        break;
+      }
+      default: {  // convolve()-intrinsic gaussian (halo-fusable producer)
+        st.source =
+            ops::GaussianConvolveSource(3, 0.5f + rng.NextFloat(), mode);
+        break;
+      }
+    }
+    images.push_back(st.name);
+    gc.stages.push_back(std::move(st));
+  }
+  gc.summary = StrFormat("graph stages=%d mode=%d %dx%d", n,
+                         static_cast<int>(mode), gc.width, gc.height);
+  return gc;
+}
+
+/// Runs one graph case three ways — per-stage eager simulation, the graph
+/// runtime with fusion off, and with the full planner — and requires every
+/// externally visible image to match bit for bit. Accumulates the planner's
+/// applied-edge count so sweeps can assert fusion actually engaged.
+/// Increments `*ran` only when the case's kernels all compile (small odd
+/// extents legitimately reject some window/config combinations); sweeps
+/// assert on the ran-rate so a generator drifting into mostly-invalid
+/// graphs fails loudly.
+void RunGraphCase(const GraphCase& gc, int ppt, Rng& rng,
+                  long long* fused_edges, int* ran) {
+  SCOPED_TRACE(gc.summary + StrFormat(" ppt=%d", ppt));
+  const HostImage<float> input = RandomInput(gc.width, gc.height, rng);
+
+  // Sinks (images nothing consumes) become the graph's external outputs.
+  std::set<std::string> consumed;
+  for (const GraphCase::Stage& st : gc.stages) consumed.insert(st.input);
+  std::vector<std::string> sinks;
+  for (const GraphCase::Stage& st : gc.stages)
+    if (consumed.count(st.name) == 0) sinks.push_back(st.name);
+
+  // Eager reference: each stage compiled and simulated on its own, with
+  // intermediates round-tripped through host images.
+  std::map<std::string, HostImage<float>> eager;
+  eager.emplace("in", input);
+  for (const GraphCase::Stage& st : gc.stages) {
+    compiler::CompileOptions copts;
+    copts.codegen.pixels_per_thread = ppt;
+    // Uniform border guards: the regioned boundary layout rejects launches
+    // when a block row spans more than half a small fuzz image, which would
+    // skip most high-ppt cases (the regioned path has its own coverage).
+    copts.codegen.border = codegen::BorderPolicy::kUniform;
+    copts.image_width = gc.width;
+    copts.image_height = gc.height;
+    Result<compiler::CompiledKernel> ck = compiler::Compile(st.source, copts);
+    if (!ck.ok()) return;  // config rejected for this extent — skip the case
+    dsl::Image<float> in(gc.width, gc.height), out(gc.width, gc.height);
+    in.CopyFrom(eager.at(st.input));
+    runtime::BindingSet bindings;
+    bindings.Input("Input", in).Output(out);
+    for (const auto& [name, value] : st.scalars) bindings.Scalar(name, value);
+    compiler::SimulatedExecutable exe(std::move(ck).take(), hw::TeslaC2050());
+    const Result<sim::LaunchStats> stats = exe.Run(bindings);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    eager.emplace(st.name, out.getData());
+  }
+  if (ran != nullptr) ++*ran;
+
+  for (const compiler::FusionMode fuse :
+       {compiler::FusionMode::kOff, compiler::FusionMode::kAll}) {
+    runtime::PipelineGraph graph;
+    graph.Source("in", gc.width, gc.height);
+    for (const GraphCase::Stage& st : gc.stages)
+      graph.Kernel(st.name, st.source, {{"Input", st.input}}, st.scalars);
+    std::map<std::string, HostImage<float>> outs;
+    runtime::PipelineGraph::OutputBindings out_bindings;
+    for (const std::string& s : sinks) {
+      graph.Output(s);
+      outs.emplace(s, HostImage<float>(gc.width, gc.height));
+    }
+    for (auto& [name, image] : outs) out_bindings.emplace_back(name, &image);
+    sim::TraceSink trace;
+    runtime::GraphOptions gopts;
+    gopts.fuse = fuse;
+    gopts.executor = runtime::GraphOptions::Executor::kSimulator;
+    gopts.run.codegen.pixels_per_thread = ppt;
+    gopts.run.codegen.border = codegen::BorderPolicy::kUniform;
+    gopts.run.trace = &trace;
+    const Status run = graph.Run({{"in", &input}}, out_bindings, gopts);
+    ASSERT_TRUE(run.ok()) << run.ToString();
+    if (fuse == compiler::FusionMode::kAll && fused_edges != nullptr)
+      *fused_edges += trace.counter("graph.fused_edges");
+    for (const std::string& s : sinks) {
+      SCOPED_TRACE(StrFormat("sink %s fuse=%s", s.c_str(), to_string(fuse)));
+      const HostImage<float>& want = eager.at(s);
+      const HostImage<float>& got = outs.at(s);
+      ASSERT_EQ(want.size(), got.size());
+      EXPECT_EQ(std::memcmp(want.data(), got.data(),
+                            want.size() * sizeof(float)),
+                0)
+          << "graph output differs bitwise from eager";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Tests
 // ---------------------------------------------------------------------------
 
@@ -450,6 +607,44 @@ TEST(DifferentialFuzzTest, PptMatrixAgrees) {
     FuzzCase fc = MakeCase(rng, FuzzKind::kStaticLoop);
     fc.codegen.pixels_per_thread = ppt;
     RunFuzzCase(fc, rng);
+  }
+}
+
+// Pinned fusion-planner matrix: every boundary mode crossed with every
+// pixels-per-thread variant, each on a fresh random multi-stage graph.
+// Fused, unfused, and eager execution must be observably identical, and
+// the sweep as a whole must have applied at least one fusion (a planner
+// that silently rejects everything would make the comparison vacuous).
+TEST(DifferentialFuzzTest, GraphFusionMatrixAgrees) {
+  Rng rng(0x6F5A9EEDu);
+  long long fused_edges = 0;
+  int ran = 0, cases = 0;
+  for (const BoundaryMode mode : kAllModes)
+    for (const int ppt : {1, 2, 4, 8}) {
+      RunGraphCase(MakeGraphCase(rng, mode), ppt, rng, &fused_edges, &ran);
+      ++cases;
+    }
+  EXPECT_GT(fused_edges, 0);
+  EXPECT_GE(ran * 2, cases) << ran << " of " << cases << " graphs ran";
+}
+
+// Env-scaled graph sweep for the CI fuzz job (the graph matrix entry):
+// HIPACC_FUZZ_CASES random graphs drawn from HIPACC_FUZZ_SEED, each with a
+// random boundary mode and pixels-per-thread.
+TEST(DifferentialFuzzTest, GraphSeededSweep) {
+  const std::uint64_t seed = EnvU64("HIPACC_FUZZ_SEED", 0x6EED0002u);
+  const std::uint64_t budget = EnvU64("HIPACC_FUZZ_CASES", 4);
+  const int cases = static_cast<int>(budget > 200 ? 200 : budget);
+  static const int kPpt[] = {1, 2, 4, 8};
+  Rng rng(seed ^ 0x9A57u);
+  long long fused_edges = 0;
+  int ran = 0;
+  for (int i = 0; i < cases; ++i)
+    RunGraphCase(MakeGraphCase(rng, kAllModes[rng.NextInt(0, 4)]),
+                 kPpt[rng.NextInt(0, 3)], rng, &fused_edges, &ran);
+  if (cases >= 8) {
+    EXPECT_GT(fused_edges, 0);
+    EXPECT_GE(ran * 2, cases) << ran << " of " << cases << " graphs ran";
   }
 }
 

@@ -34,9 +34,10 @@ struct BenchTuning {
 BenchTuning& Tuning();
 
 /// CliParser preloaded with the flags every benchmark binary shares
-/// (--sim-engine, --ppt, --no-separate, --fuse, --explain-fusion); a binary
-/// registers its extra flags on the returned parser, then calls
-/// HandleArgs().
+/// (--sim-engine, --cache-dir, --ppt, --no-separate, --fuse,
+/// --explain-fusion); a binary registers its extra flags on the returned
+/// parser, then calls HandleArgs(). Creating the parser enables the
+/// persistent cache at its default location; --cache-dir=off opts out.
 support::CliParser MakeBenchCli(std::string program, std::string summary);
 
 /// The --explain-fusion report: dedupes and prints one line per examined

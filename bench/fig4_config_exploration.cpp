@@ -7,11 +7,19 @@
 // extends the paper's space: each candidate is recompiled per value, so the
 // sweep covers (block config) x (pixels per thread).
 //
+// The sweep doubles as a profile source: every measured point is recorded
+// into a ProfileStore, a second compile is run with profile-guided
+// reselection enabled, and the report states the heuristic-vs-learned gap —
+// how far Algorithm 2's pick and the measured winner each sit above the
+// exploration optimum.
+//
 //   --explore-jobs=N   parallel measurement workers (0 = all cores);
 //                      results are identical for every N, only wall-clock
 //                      changes
 //   --ppt=N|auto       restrict the sweep to one PPT value (default: sweep
 //                      1, 2, 4, 8)
+//   --check-reselect   exit non-zero unless the learned pick's gap to the
+//                      measured optimum is <= the heuristic's gap
 //   --json-out=FILE    BENCH_*.json report path (default BENCH_fig4.json)
 //   --trace-out=FILE   Chrome trace_event timeline (chrome://tracing)
 //   --sim-engine=E     simulator engine: bytecode (default) or ast
@@ -20,9 +28,11 @@
 
 #include "common/table.hpp"
 #include "compiler/explore.hpp"
+#include "compiler/profile.hpp"
 #include "hwmodel/device_db.hpp"
 #include "ops/kernel_sources.hpp"
 #include "sim/trace.hpp"
+#include "support/disk_store.hpp"
 #include "support/stopwatch.hpp"
 
 int main(int argc, char** argv) {
@@ -34,11 +44,15 @@ int main(int argc, char** argv) {
   compiler::ExploreOptions eopts;
   std::string json_out = "BENCH_fig4.json";
   std::string trace_out;
+  bool check_reselect = false;
   support::CliParser cli = bench::MakeBenchCli(
       "fig4_config_exploration",
       "Figure 4: configuration-space exploration, bilateral 13x13");
   cli.Int("explore-jobs", &eopts.jobs, "N",
           "parallel measurement workers (0 = all cores)");
+  cli.Bool("check-reselect", &check_reselect,
+           "fail unless the profile-guided pick's gap to the measured "
+           "optimum is <= the heuristic's gap");
   cli.String("json-out", &json_out, "FILE", "BENCH_*.json report path");
   cli.String("trace-out", &trace_out, "FILE",
              "Chrome trace_event timeline (chrome://tracing)");
@@ -76,6 +90,11 @@ int main(int argc, char** argv) {
 
   // Sweep the PPT axis by recompiling per value; each compile's valid
   // configuration set is explored independently and the points merged.
+  // Every measured point also lands in the profile store (disk-backed when
+  // --cache-dir enables the persistent tier), which feeds the learned pick
+  // below.
+  compiler::ProfileStore profiles(&support::GlobalDiskStore());
+  eopts.profiles = &profiles;
   std::vector<int> ppt_values = {1, 2, 4, 8};
   if (bench::Tuning().ppt > 0) ppt_values = {bench::Tuning().ppt};
   std::vector<compiler::ExplorePoint> points;
@@ -115,22 +134,80 @@ int main(int argc, char** argv) {
     if (!best || p.ms < best->ms) best = &p;
   }
 
+  const auto find_point =
+      [&points](const hw::KernelConfig& config,
+                int ppt) -> const compiler::ExplorePoint* {
+    for (const auto& p : points)
+      if (p.config == config && p.ppt == ppt) return &p;
+    return nullptr;
+  };
+
   std::printf("\nHeuristic (Algorithm 2) selected: %dx%d, ppt %d\n",
               kernel.config.config.block_x, kernel.config.config.block_y,
               kernel.device_ir.ppt);
+  const compiler::ExplorePoint* heuristic_point =
+      find_point(kernel.config.config, kernel.device_ir.ppt);
   if (best) {
     std::printf("Exploration optimum: %dx%d ppt %d at %.2f ms\n",
                 best->config.block_x, best->config.block_y, best->ppt,
                 best->ms);
-    for (const auto& p : points) {
-      if (p.config == kernel.config.config && p.ppt == kernel.device_ir.ppt)
-        std::printf(
-            "Heuristic pick measured at %.2f ms (%.1f%% above optimum)\n",
-            p.ms, 100.0 * (p.ms / best->ms - 1.0));
-    }
+    if (heuristic_point)
+      std::printf(
+          "Heuristic pick measured at %.2f ms (%.1f%% above optimum)\n",
+          heuristic_point->ms, 100.0 * (heuristic_point->ms / best->ms - 1.0));
   }
+
+  // The learned pick: recompile with profile-guided reselection reading the
+  // history this very sweep just recorded. Re-exploration challenges and
+  // the staleness filter are disabled — the sweep IS the re-exploration,
+  // and all its entries are equally current (the per-PPT sub-sweeps would
+  // otherwise age each other out of the freshness window) — so
+  // select_config commits to the measured winner deterministically.
+  compiler::ProfilePolicy learned_policy;
+  learned_policy.reexplore_period = 0;
+  learned_policy.freshness_window = 0;
+  compiler::CompileOptions learned_opts = auto_opts;
+  learned_opts.profiles = &profiles;
+  learned_opts.profile_policy = learned_policy;
+  Result<compiler::CompiledKernel> learned =
+      compiler::Compile(source, learned_opts);
+  double heuristic_gap = -1.0, learned_gap = -1.0;
+  const compiler::ExplorePoint* learned_point = nullptr;
+  if (!learned.ok()) {
+    std::fprintf(stderr, "reselection compile failed: %s\n",
+                 learned.status().ToString().c_str());
+    return 1;
+  }
+  learned_point = find_point(learned.value().config.config,
+                             learned.value().device_ir.ppt);
+  std::printf("Profile-guided reselection: %dx%d, ppt %d\n",
+              learned.value().config.config.block_x,
+              learned.value().config.config.block_y,
+              learned.value().device_ir.ppt);
+  if (best && heuristic_point) heuristic_gap = heuristic_point->ms / best->ms - 1.0;
+  if (best && learned_point) learned_gap = learned_point->ms / best->ms - 1.0;
+  if (learned_point && best)
+    std::printf(
+        "Learned pick measured at %.2f ms (%.1f%% above optimum; heuristic "
+        "gap %.1f%%)\n",
+        learned_point->ms, 100.0 * learned_gap,
+        heuristic_gap >= 0.0 ? 100.0 * heuristic_gap : -1.0);
   std::printf("Exploration wall-clock: %.0f ms (%d jobs)\n", wall_ms,
               eopts.jobs);
+
+  if (check_reselect) {
+    if (learned_gap < 0.0) {
+      std::fprintf(stderr,
+                   "FAIL: learned pick was never measured by the sweep\n");
+      return 1;
+    }
+    if (heuristic_gap >= 0.0 && learned_gap > heuristic_gap + 1e-12) {
+      std::fprintf(stderr,
+                   "FAIL: learned gap %.2f%% above heuristic gap %.2f%%\n",
+                   100.0 * learned_gap, 100.0 * heuristic_gap);
+      return 1;
+    }
+  }
 
   if (!json_out.empty()) {
     support::Json doc =
@@ -138,6 +215,14 @@ int main(int argc, char** argv) {
     doc["bench"] = "fig4_config_exploration";
     doc["jobs"] = eopts.jobs;
     doc["wall_ms"] = wall_ms;
+    support::Json reselect = support::Json::Object();
+    support::Json learned_pick = support::Json::Object();
+    learned_pick["config"] = sim::ConfigJson(learned.value().config.config);
+    learned_pick["ppt"] = learned.value().device_ir.ppt;
+    reselect["learned"] = std::move(learned_pick);
+    reselect["heuristic_gap"] = heuristic_gap;
+    reselect["learned_gap"] = learned_gap;
+    doc["reselect"] = std::move(reselect);
     const Status written = support::WriteFile(json_out, doc.Dump(2) + "\n");
     if (!written.ok())
       std::fprintf(stderr, "warning: %s\n", written.ToString().c_str());

@@ -61,7 +61,7 @@ int main() {
     std::printf("  bilateral sigma_r = %-3d:  PSNR %6.2f dB\n", sigma_r,
                 Psnr(clean, denoised));
     if (sigma_r == 5) {
-      (void)WritePgm(denoised, "bilateral_denoised.pgm");
+      (void)WritePgm(denoised, ExampleOutputPath("bilateral_denoised.pgm"));
     }
   }
 
@@ -74,8 +74,9 @@ int main() {
   const float mean_after = dsl::ReduceSum(d_out) / static_cast<float>(n * n);
   std::printf("\n  mean intensity: %.4f -> %.4f\n", mean_before, mean_after);
 
-  (void)WritePgm(noisy, "bilateral_noisy.pgm");
-  (void)WritePgm(clean, "bilateral_clean.pgm");
-  std::printf("wrote bilateral_{clean,noisy,denoised}.pgm\n");
+  (void)WritePgm(noisy, ExampleOutputPath("bilateral_noisy.pgm"));
+  (void)WritePgm(clean, ExampleOutputPath("bilateral_clean.pgm"));
+  std::printf("wrote %s\n",
+              ExampleOutputPath("bilateral_{clean,noisy,denoised}.pgm").c_str());
   return 0;
 }

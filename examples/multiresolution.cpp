@@ -114,9 +114,11 @@ int main() {
       static_cast<long long>(trace.counter("graph.fused_edges")),
       static_cast<long long>(trace.counter("bufpool.alloc")),
       static_cast<long long>(trace.counter("bufpool.reuse")));
-  (void)WritePgm(input, "multires_in.pgm");
-  (void)WritePgm(enhanced.value(), "multires_enhanced.pgm");
-  std::printf("wrote multires_in.pgm / multires_enhanced.pgm "
-              "(detail gains 2.5/1.8/1.2/1.0, mirror boundaries)\n");
+  (void)WritePgm(input, ExampleOutputPath("multires_in.pgm"));
+  (void)WritePgm(enhanced.value(), ExampleOutputPath("multires_enhanced.pgm"));
+  std::printf("wrote %s / %s "
+              "(detail gains 2.5/1.8/1.2/1.0, mirror boundaries)\n",
+              ExampleOutputPath("multires_in.pgm").c_str(),
+              ExampleOutputPath("multires_enhanced.pgm").c_str());
   return 0;
 }

@@ -75,8 +75,10 @@ int main() {
   std::printf("  noisy:    %.2f dB\n  filtered: %.2f dB\n",
               Psnr(clean, host_in), Psnr(clean, host_out));
 
-  (void)WritePgm(host_in, "quickstart_in.pgm");
-  (void)WritePgm(host_out, "quickstart_out.pgm");
-  std::printf("wrote quickstart_in.pgm / quickstart_out.pgm\n");
+  (void)WritePgm(host_in, ExampleOutputPath("quickstart_in.pgm"));
+  (void)WritePgm(host_out, ExampleOutputPath("quickstart_out.pgm"));
+  std::printf("wrote %s / %s\n",
+              ExampleOutputPath("quickstart_in.pgm").c_str(),
+              ExampleOutputPath("quickstart_out.pgm").c_str());
   return 0;
 }

@@ -90,9 +90,10 @@ int main() {
   std::printf("  max gradient magnitude:  %.5f\n", dsl::ReduceMax(mag));
   std::printf("  edge pixels: %.2f%%\n", 100.0f * edge_fraction);
 
-  (void)WritePgm(host_in, "sobel_in.pgm");
-  (void)WritePgm(mag.getData(), "sobel_magnitude.pgm");
-  (void)WritePgm(edges.getData(), "sobel_edges.pgm");
-  std::printf("wrote sobel_{in,magnitude,edges}.pgm\n");
+  (void)WritePgm(host_in, ExampleOutputPath("sobel_in.pgm"));
+  (void)WritePgm(mag.getData(), ExampleOutputPath("sobel_magnitude.pgm"));
+  (void)WritePgm(edges.getData(), ExampleOutputPath("sobel_edges.pgm"));
+  std::printf("wrote %s\n",
+              ExampleOutputPath("sobel_{in,magnitude,edges}.pgm").c_str());
   return 0;
 }

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 
+#include "compiler/disk_cache.hpp"
 #include "sim/trace.hpp"
+#include "support/disk_store.hpp"
 #include "support/hash.hpp"
 #include "support/string_utils.hpp"
 
@@ -67,14 +69,16 @@ std::string SourceFingerprint(const frontend::KernelSource& source) {
 }
 
 std::string OptionsFingerprint(const codegen::CodegenOptions& options) {
+  // pixels_per_thread is key material: the lowered IR bakes the PPT loop
+  // in, so compiles differing only in ppt must never share an entry.
   return StrFormat(
       "backend=%s;tex=%d;border=%d;smem=%d;constmask=%d;intrinsics=%d;"
-      "scalaropt=%d;vliw=%d",
+      "scalaropt=%d;vliw=%d;ppt=%d",
       to_string(options.backend), static_cast<int>(options.texture),
       static_cast<int>(options.border), options.use_scratchpad ? 1 : 0,
       options.masks_in_constant_memory ? 1 : 0,
       options.use_fast_intrinsics ? 1 : 0, options.scalar_optimizer ? 1 : 0,
-      options.vectorize_vliw ? 1 : 0);
+      options.vectorize_vliw ? 1 : 0, options.pixels_per_thread);
 }
 
 std::uint64_t SourceHash(const std::string& source_fingerprint) {
@@ -95,65 +99,142 @@ CacheKey MakeFrontendKeyFromFingerprint(
                           OptionsFingerprint(options));
 }
 
+std::string DeviceIdentity(const hw::DeviceSpec& device) {
+  return StrFormat("%s:%d:%d:%d:%d:%d:%d:%d:%d:%d", device.name.c_str(),
+                   device.compute_capability, device.simd_width,
+                   device.max_threads_per_block, device.max_threads_per_sm,
+                   device.max_blocks_per_sm, device.regs_per_sm,
+                   device.reg_alloc_granularity, device.smem_per_sm,
+                   device.smem_alloc_granularity);
+}
+
 CacheKey MakeTargetKey(const CacheKey& frontend_key,
                        const hw::DeviceSpec& device, int image_width,
                        int image_height,
-                       const std::optional<hw::KernelConfig>& forced_config) {
-  // Device identity includes the occupancy-relevant resource limits, not
-  // just the marketing name, so a customised DeviceSpec gets its own entry.
-  std::string canonical =
-      frontend_key.canonical +
-      StrFormat("|device=%s:%d:%d:%d:%d:%d:%d:%d:%d:%d",
-                device.name.c_str(), device.compute_capability,
-                device.simd_width, device.max_threads_per_block,
-                device.max_threads_per_sm, device.max_blocks_per_sm,
-                device.regs_per_sm, device.reg_alloc_granularity,
-                device.smem_per_sm, device.smem_alloc_granularity) +
-      StrFormat("|extent=%dx%d", image_width, image_height);
+                       const std::optional<hw::KernelConfig>& forced_config,
+                       const std::string& profile_salt) {
+  std::string canonical = frontend_key.canonical + "|device=" +
+                          DeviceIdentity(device) +
+                          StrFormat("|extent=%dx%d", image_width, image_height);
   if (forced_config)
     canonical +=
         StrFormat("|forced=%dx%d", forced_config->block_x,
                   forced_config->block_y);
   else
     canonical += "|forced=auto";
+  if (!profile_salt.empty()) canonical += "|profile=" + profile_salt;
   return KeyFromCanonical(std::move(canonical));
+}
+
+support::DiskStore* CompilationCache::disk() const {
+  if (disk_overridden_) return disk_override_;
+  support::DiskStore& global = support::GlobalDiskStore();
+  return global.enabled() ? &global : nullptr;
+}
+
+void CompilationCache::set_disk_store(support::DiskStore* store) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  disk_override_ = store;
+  disk_overridden_ = true;
 }
 
 std::optional<FrontendArtifacts> CompilationCache::LookupFrontend(
     const CacheKey& key, sim::TraceSink* trace) {
   std::optional<FrontendArtifacts> hit;
+  bool from_disk = false;
+  bool disk_miss = false;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     hit = Lookup<FrontendArtifacts>(frontend_, key);
+    if (!hit.has_value()) {
+      if (support::DiskStore* store = disk()) {
+        if (std::optional<std::string> payload =
+                store->Get("frontend", key.canonical))
+          hit = DecodeFrontendArtifacts(*payload);
+        from_disk = hit.has_value();
+        disk_miss = !from_disk;
+        // Promote: later lookups in this process are memory hits.
+        if (from_disk) Insert(frontend_, key, *hit);
+      }
+    }
     (hit ? stats_.frontend_hits : stats_.frontend_misses)++;
+    if (from_disk) ++stats_.disk_hits;
   }
-  if (trace != nullptr)
+  if (trace != nullptr) {
     trace->RecordCacheAccess("frontend", hit.has_value(), key.hex());
+    if (from_disk) trace->IncrementCounter("cache.disk.hit");
+    if (disk_miss) trace->IncrementCounter("cache.disk.miss");
+  }
   return hit;
 }
 
 std::optional<CompiledKernel> CompilationCache::LookupTarget(
     const CacheKey& key, sim::TraceSink* trace) {
   std::optional<CompiledKernel> hit;
+  bool from_disk = false;
+  bool disk_miss = false;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     hit = Lookup<CompiledKernel>(target_, key);
+    if (!hit.has_value()) {
+      if (support::DiskStore* store = disk()) {
+        if (std::optional<std::string> payload =
+                store->Get("target", key.canonical))
+          hit = DecodeCompiledKernel(*payload);
+        from_disk = hit.has_value();
+        disk_miss = !from_disk;
+        if (from_disk) Insert(target_, key, *hit);
+      }
+    }
     (hit ? stats_.target_hits : stats_.target_misses)++;
+    if (from_disk) ++stats_.disk_hits;
   }
-  if (trace != nullptr)
+  if (trace != nullptr) {
     trace->RecordCacheAccess("target", hit.has_value(), key.hex());
+    if (from_disk) trace->IncrementCounter("cache.disk.hit");
+    if (disk_miss) trace->IncrementCounter("cache.disk.miss");
+  }
   return hit;
 }
 
 void CompilationCache::StoreFrontend(const CacheKey& key,
-                                     FrontendArtifacts value) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  Insert(frontend_, key, std::move(value));
+                                     FrontendArtifacts value,
+                                     sim::TraceSink* trace) {
+  support::DiskStore::PutResult put;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (support::DiskStore* store = disk()) {
+      put = store->Put("frontend", key.canonical,
+                       EncodeFrontendArtifacts(value));
+      if (put.stored) ++stats_.disk_stores;
+    }
+    Insert(frontend_, key, std::move(value));
+  }
+  if (trace != nullptr && put.stored) {
+    trace->IncrementCounter("cache.disk.store");
+    if (put.evicted > 0)
+      trace->IncrementCounter("cache.disk.evict",
+                              static_cast<long long>(put.evicted));
+  }
 }
 
-void CompilationCache::StoreTarget(const CacheKey& key, CompiledKernel value) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  Insert(target_, key, std::move(value));
+void CompilationCache::StoreTarget(const CacheKey& key, CompiledKernel value,
+                                   sim::TraceSink* trace) {
+  support::DiskStore::PutResult put;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (support::DiskStore* store = disk()) {
+      put = store->Put("target", key.canonical, EncodeCompiledKernel(value));
+      if (put.stored) ++stats_.disk_stores;
+    }
+    Insert(target_, key, std::move(value));
+  }
+  if (trace != nullptr && put.stored) {
+    trace->IncrementCounter("cache.disk.store");
+    if (put.evicted > 0)
+      trace->IncrementCounter("cache.disk.evict",
+                              static_cast<long long>(put.evicted));
+  }
 }
 
 CompilationCache::Stats CompilationCache::stats() const {

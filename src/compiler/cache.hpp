@@ -16,6 +16,12 @@
 // report into sim::TraceSink ("cache_{hit,miss}.{frontend,target}" counters
 // plus instant events carrying the key hash). All methods are thread-safe —
 // the parallel exploration engine shares one cache across lanes.
+//
+// Both levels optionally persist through a support::DiskStore (the
+// "cache.disk.*" counters; see compiler/disk_cache.hpp for the artifact
+// serialisation): an in-memory miss falls through to disk, a decodable disk
+// entry is promoted into memory, and stores write through — so a second
+// process with a warm cache directory skips the pipeline entirely.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +32,10 @@
 #include <vector>
 
 #include "compiler/driver.hpp"
+
+namespace hipacc::support {
+class DiskStore;
+}  // namespace hipacc::support
 
 namespace hipacc::compiler {
 
@@ -49,6 +59,11 @@ std::string OptionsFingerprint(const codegen::CodegenOptions& options);
 /// FNV-1a hash of a source fingerprint (CompiledKernel::source_hash).
 std::uint64_t SourceHash(const std::string& source_fingerprint);
 
+/// Canonical device identity used in target-level and profile keys: the
+/// name plus every occupancy-relevant resource limit, so a customised
+/// DeviceSpec never aliases the stock one.
+std::string DeviceIdentity(const hw::DeviceSpec& device);
+
 /// Frontend-level key: source fingerprint + codegen options.
 CacheKey MakeFrontendKey(const frontend::KernelSource& source,
                          const codegen::CodegenOptions& options);
@@ -58,11 +73,15 @@ CacheKey MakeFrontendKeyFromFingerprint(
     const codegen::CodegenOptions& options);
 
 /// Target-level key: frontend key + device identity + image extent +
-/// forced configuration (if any).
+/// forced configuration (if any). `profile_salt` distinguishes artifacts
+/// whose configuration came from measured profile history (compiler/
+/// profile.hpp) from pure-heuristic ones — the two may differ while hashing
+/// the same source, so they must never alias in the cache.
 CacheKey MakeTargetKey(const CacheKey& frontend_key,
                        const hw::DeviceSpec& device, int image_width,
                        int image_height,
-                       const std::optional<hw::KernelConfig>& forced_config);
+                       const std::optional<hw::KernelConfig>& forced_config,
+                       const std::string& profile_salt = "");
 
 /// Target-independent products of the pipeline's first three passes.
 struct FrontendArtifacts {
@@ -81,21 +100,37 @@ class CompilationCache {
     long long frontend_misses = 0;
     long long target_hits = 0;
     long long target_misses = 0;
+    /// Persistent-tier traffic (in-memory misses that the disk satisfied /
+    /// artifacts written through to disk). Disk hits also count in
+    /// frontend_hits / target_hits above.
+    long long disk_hits = 0;
+    long long disk_stores = 0;
 
     long long hits() const { return frontend_hits + target_hits; }
     long long misses() const { return frontend_misses + target_misses; }
   };
 
   /// Lookups count a hit or miss in stats and, when `trace` is non-null,
-  /// report the access to the sink.
+  /// report the access to the sink. An in-memory miss falls through to the
+  /// persistent tier (when one is attached): a decodable disk entry counts
+  /// as a hit, is promoted into memory, and bumps "cache.disk.hit".
   std::optional<FrontendArtifacts> LookupFrontend(
       const CacheKey& key, sim::TraceSink* trace = nullptr);
   std::optional<CompiledKernel> LookupTarget(const CacheKey& key,
                                              sim::TraceSink* trace = nullptr);
 
-  /// Stores overwrite an existing entry with the same canonical key.
-  void StoreFrontend(const CacheKey& key, FrontendArtifacts value);
-  void StoreTarget(const CacheKey& key, CompiledKernel value);
+  /// Stores overwrite an existing entry with the same canonical key and
+  /// write through to the persistent tier ("cache.disk.store" /
+  /// "cache.disk.evict" counters when `trace` is given).
+  void StoreFrontend(const CacheKey& key, FrontendArtifacts value,
+                     sim::TraceSink* trace = nullptr);
+  void StoreTarget(const CacheKey& key, CompiledKernel value,
+                   sim::TraceSink* trace = nullptr);
+
+  /// Overrides the persistent tier. By default the cache follows
+  /// support::GlobalDiskStore() (disabled until a tool configures it);
+  /// passing nullptr pins this cache to in-memory-only operation.
+  void set_disk_store(support::DiskStore* store);
 
   Stats stats() const;
   /// Number of stored entries across both levels.
@@ -103,6 +138,7 @@ class CompilationCache {
   void Clear();
 
  private:
+  support::DiskStore* disk() const;
   /// Hash-indexed buckets; each slot keeps the canonical key alongside the
   /// value and is only returned when the canonical strings match.
   template <typename V>
@@ -117,6 +153,9 @@ class CompilationCache {
   Store<FrontendArtifacts> frontend_;
   Store<CompiledKernel> target_;
   Stats stats_;
+  /// Persistent tier: follow the global store unless overridden.
+  support::DiskStore* disk_override_ = nullptr;
+  bool disk_overridden_ = false;
 };
 
 /// Process-wide cache shared by the runtime execute path and the CLI

@@ -57,9 +57,10 @@ Result<CompiledKernel> RunAndFinish(PassManager pipeline,
   CompilationCache* cache = ctx.options.cache;
   if (cache != nullptr) {
     if (frontend_key != nullptr)
-      cache->StoreFrontend(*frontend_key, FrontendFromArtifact(ctx.artifact));
+      cache->StoreFrontend(*frontend_key, FrontendFromArtifact(ctx.artifact),
+                           ctx.options.trace);
     if (target_key != nullptr)
-      cache->StoreTarget(*target_key, ctx.artifact);
+      cache->StoreTarget(*target_key, ctx.artifact, ctx.options.trace);
   }
   LogCompiled(ctx.artifact, ctx.options);
   return std::move(ctx.artifact);
@@ -92,9 +93,17 @@ Result<CompiledKernel> Compile(const frontend::KernelSource& source,
 
   const CacheKey frontend_key = MakeFrontendKeyFromFingerprint(
       ctx.artifact.source_fingerprint, options.codegen);
+  // Profile-influenced artifacts carry the decision in the key: a measured
+  // winner and the heuristic may pick different configurations from the
+  // same source, and the cache must never hand one out for the other.
+  const std::string profile_salt = ProfileSalt(DecideForCompile(
+      options.profiles, options.profile_policy,
+      ctx.artifact.source_fingerprint, options.codegen, options.device,
+      options.image_width, options.image_height,
+      options.forced_config.has_value()));
   const CacheKey target_key =
       MakeTargetKey(frontend_key, options.device, options.image_width,
-                    options.image_height, options.forced_config);
+                    options.image_height, options.forced_config, profile_salt);
   if (std::optional<CompiledKernel> hit =
           cache->LookupTarget(target_key, options.trace)) {
     LogCompiled(*hit, options);
@@ -128,9 +137,14 @@ Result<CompiledKernel> Retarget(const CompiledKernel& kernel,
   if (cache != nullptr && !kernel.source_fingerprint.empty()) {
     const CacheKey frontend_key = MakeFrontendKeyFromFingerprint(
         kernel.source_fingerprint, options.codegen);
+    const std::string profile_salt = ProfileSalt(DecideForCompile(
+        options.profiles, options.profile_policy, kernel.source_fingerprint,
+        options.codegen, options.device, options.image_width,
+        options.image_height, options.forced_config.has_value()));
     const CacheKey target_key =
         MakeTargetKey(frontend_key, options.device, options.image_width,
-                      options.image_height, options.forced_config);
+                      options.image_height, options.forced_config,
+                      profile_salt);
     if (std::optional<CompiledKernel> hit =
             cache->LookupTarget(target_key, options.trace)) {
       LogCompiled(*hit, options);

@@ -22,6 +22,7 @@
 #include "codegen/emit.hpp"
 #include "codegen/options.hpp"
 #include "compiler/fusion.hpp"
+#include "compiler/profile.hpp"
 #include "frontend/parser.hpp"
 #include "hwmodel/device_db.hpp"
 #include "hwmodel/heuristic.hpp"
@@ -53,6 +54,13 @@ struct CompileOptions {
   /// by (kernel-source fingerprint, codegen options, device, image extent).
   /// Null compiles from scratch every time.
   CompilationCache* cache = nullptr;
+  /// Optional measured-timing history (compiler/profile.hpp): select_config
+  /// prefers a trustworthy measured winner over the Algorithm-2/PPT
+  /// heuristic, re-lowering at the winner's pixels-per-thread if needed.
+  /// forced_config always wins over profiles; with no (fresh) history the
+  /// compile is bit-identical to a profile-less one.
+  ProfileStore* profiles = nullptr;
+  ProfilePolicy profile_policy;
   /// When set, the per-pass wall-clock timings of every executed pipeline
   /// are appended here (the CLI's --print-pass-timings).
   std::vector<PassTiming>* pass_timings = nullptr;

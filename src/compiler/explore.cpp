@@ -4,6 +4,7 @@
 #include <optional>
 #include <thread>
 
+#include "compiler/profile.hpp"
 #include "support/parallel_for.hpp"
 
 namespace hipacc::compiler {
@@ -109,6 +110,30 @@ Result<std::vector<ExplorePoint>> ExploreConfigurations(
                 return a.config.threads() < b.config.threads();
               return a.config.block_x < b.config.block_x;
             });
+  // A sweep is the richest profile source there is: one pass measures the
+  // whole configuration space, so the reselection winner is trustworthy
+  // immediately. Each point is recorded twice (two full passes) to clear
+  // min_samples — the EWMA of two identical samples is the sample — and the
+  // passes run worst-time-first so the fastest points carry the highest
+  // last_seq: however large the sweep, the winner can never age out of the
+  // freshness window on the very round that measured it.
+  if (options.profiles != nullptr && !kernel.source_fingerprint.empty()) {
+    const std::string key =
+        MakeProfileKey(kernel.source_fingerprint, kernel.codegen, device,
+                       width, height);
+    std::vector<const ExplorePoint*> by_time;
+    by_time.reserve(points.size());
+    for (const ExplorePoint& point : points) by_time.push_back(&point);
+    std::stable_sort(by_time.begin(), by_time.end(),
+                     [](const ExplorePoint* a, const ExplorePoint* b) {
+                       return a->ms > b->ms;
+                     });
+    for (int pass = 0; pass < 2; ++pass)
+      for (const ExplorePoint* point : by_time)
+        options.profiles->Record(
+            key, ProfileObservation{point->config, point->ppt, point->ms});
+  }
+
   if (options.trace) {
     support::Json args = support::Json::Object();
     args["candidates"] = static_cast<long long>(all.size());

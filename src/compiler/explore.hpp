@@ -17,6 +17,8 @@
 
 namespace hipacc::compiler {
 
+class ProfileStore;
+
 struct ExplorePoint {
   hw::KernelConfig config;
   /// Pixels per thread the measured kernel was compiled with (1 unless the
@@ -42,6 +44,10 @@ struct ExploreOptions {
   /// Optional observability sink: records the prune decision, every
   /// simulated candidate launch (per worker lane), and the merge.
   sim::TraceSink* trace = nullptr;
+  /// Optional profile sink: every measured point is recorded as an
+  /// observation under the kernel's profile key, so a sweep seeds the
+  /// profile-guided reselection in one shot (see compiler/profile.hpp).
+  ProfileStore* profiles = nullptr;
 };
 
 /// Measures every valid configuration. Obviously-invalid candidates (failed

@@ -143,6 +143,11 @@ class SelectConfigPass final : public Pass {
   const char* name() const override { return "select_config"; }
 
   Status Run(CompilationContext& ctx) const override {
+    // Profile-guided reselection first: a trustworthy measured winner
+    // replaces both the PPT sweep and the heuristic. Challenge and
+    // no-history rounds fall through and compile bit-identically to a
+    // profile-less run.
+    if (TrySelectFromProfile(ctx)) return Status::Ok();
     if (ctx.options.codegen.pixels_per_thread == 0) {
       Status swept = SelectPixelsPerThread(ctx);
       if (!swept.ok()) return swept;
@@ -181,6 +186,73 @@ class SelectConfigPass final : public Pass {
   }
 
  private:
+  /// Applies a measured profile winner (compiler/profile.hpp) when one
+  /// exists: re-lowers at the winner's PPT if it differs, validates the
+  /// winning configuration's occupancy, and installs it. Returns false
+  /// whenever the ordinary sweep + heuristic should run instead — no
+  /// profiles wired, no (fresh) history, a challenge round, or a winner
+  /// that no longer validates on the device ("reselect.fallback").
+  bool TrySelectFromProfile(CompilationContext& ctx) const {
+    CompiledKernel& out = ctx.artifact;
+    const CompileOptions& options = ctx.options;
+    const SelectionDecision decision = DecideForCompile(
+        options.profiles, options.profile_policy, out.source_fingerprint,
+        options.codegen, options.device, options.image_width,
+        options.image_height, options.forced_config.has_value());
+    if (options.profiles != nullptr && ctx.options.trace != nullptr)
+      ctx.options.trace->IncrementCounter(
+          std::string("reselect.") + to_string(decision.mode));
+    if (decision.mode != SelectionMode::kMeasured) return false;
+    const ProfileEntry& winner = decision.winner;
+    // Stage the (possibly re-lowered) IR in locals and validate before
+    // committing: a fallback must leave the artifact exactly as a
+    // profile-less compile would find it.
+    ast::DeviceKernel relowered_ir;
+    hw::KernelResources resources = out.resources;
+    bool relowered = false;
+    if (out.device_ir.ppt != winner.ppt) {
+      // The winner was measured at a different pixels-per-thread: the IR
+      // must match, or the configuration is meaningless.
+      if (!out.decl.body) return false;  // hand-built artifact: cannot relower
+      codegen::CodegenOptions copts = options.codegen;
+      copts.pixels_per_thread = winner.ppt;
+      Result<ast::DeviceKernel> lowered =
+          codegen::LowerKernel(out.decl, copts);
+      if (!lowered.ok()) {
+        if (ctx.options.trace != nullptr)
+          ctx.options.trace->IncrementCounter("reselect.fallback");
+        return false;
+      }
+      relowered_ir = std::move(lowered).take();
+      resources = codegen::EstimateResources(relowered_ir);
+      relowered = true;
+    }
+    const hw::OccupancyResult occupancy =
+        hw::ComputeOccupancy(options.device, winner.config, resources);
+    if (!occupancy.valid) {
+      if (ctx.options.trace != nullptr)
+        ctx.options.trace->IncrementCounter("reselect.fallback");
+      return false;
+    }
+    if (relowered) {
+      out.device_ir = std::move(relowered_ir);
+      out.resources = resources;
+      out.bytecode.reset();  // compiled from the replaced IR
+    }
+    out.config.config = winner.config;
+    out.config.occupancy = occupancy;
+    out.config.border_threads = hw::ApproxBorderThreads(
+        winner.config, options.image_width, options.image_height,
+        out.device_ir.bh_window, out.device_ir.ppt);
+    ctx.Note(name(),
+             StrFormat("profile-guided config %dx%d (ppt %d, %.4f ms EWMA "
+                       "over %lld samples)",
+                       winner.config.block_x, winner.config.block_y,
+                       winner.ppt, winner.ms,
+                       static_cast<long long>(winner.samples)));
+    return true;
+  }
+
   /// Analytic cost model behind the PPT axis of the extended Algorithm 2:
   /// per-pixel work is the variant's op count over its ppt output pixels
   /// plus a fixed per-thread prologue amortised the same way, all divided

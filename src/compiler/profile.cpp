@@ -1,0 +1,241 @@
+#include "compiler/profile.hpp"
+
+#include <algorithm>
+
+#include "compiler/cache.hpp"
+#include "support/atomic_file.hpp"
+#include "support/disk_store.hpp"
+#include "support/json.hpp"
+#include "support/string_utils.hpp"
+
+namespace hipacc::compiler {
+namespace {
+
+constexpr double kEwmaAlpha = 0.5;
+
+/// Strict-weak entry ordering for winner selection: faster EWMA first, then
+/// fewer threads, then narrower block, then smaller ppt — fully
+/// deterministic for equal timings.
+bool BetterEntry(const ProfileEntry& a, const ProfileEntry& b) {
+  if (a.ms != b.ms) return a.ms < b.ms;
+  if (a.config.threads() != b.config.threads())
+    return a.config.threads() < b.config.threads();
+  if (a.config.block_x != b.config.block_x)
+    return a.config.block_x < b.config.block_x;
+  return a.ppt < b.ppt;
+}
+
+void MergeObservation(ProfileHistory* history,
+                      const ProfileObservation& observation) {
+  ++history->seq;
+  for (ProfileEntry& entry : history->entries) {
+    if (entry.config == observation.config && entry.ppt == observation.ppt) {
+      entry.ms = kEwmaAlpha * observation.ms + (1.0 - kEwmaAlpha) * entry.ms;
+      ++entry.samples;
+      entry.last_seq = history->seq;
+      return;
+    }
+  }
+  ProfileEntry entry;
+  entry.config = observation.config;
+  entry.ppt = observation.ppt;
+  entry.ms = observation.ms;
+  entry.samples = 1;
+  entry.last_seq = history->seq;
+  history->entries.push_back(entry);
+}
+
+/// Two independently-grown histories of the same key (concurrent
+/// processes): keep the union, preferring the side that has seen a point
+/// more often; seq advances to cover both.
+void MergeHistories(ProfileHistory* into, const ProfileHistory& other) {
+  into->seq = std::max(into->seq, other.seq);
+  for (const ProfileEntry& theirs : other.entries) {
+    bool found = false;
+    for (ProfileEntry& ours : into->entries) {
+      if (ours.config == theirs.config && ours.ppt == theirs.ppt) {
+        found = true;
+        if (theirs.samples > ours.samples) ours = theirs;
+        break;
+      }
+    }
+    if (!found) into->entries.push_back(theirs);
+  }
+}
+
+}  // namespace
+
+const char* to_string(SelectionMode mode) noexcept {
+  switch (mode) {
+    case SelectionMode::kNoHistory: return "no_history";
+    case SelectionMode::kMeasured: return "measured";
+    case SelectionMode::kChallenge: return "challenge";
+  }
+  return "?";
+}
+
+SelectionDecision DecideSelection(const ProfileHistory& history,
+                                  const ProfilePolicy& policy) {
+  SelectionDecision decision;
+  const ProfileEntry* winner = nullptr;
+  for (const ProfileEntry& entry : history.entries) {
+    if (policy.require_ppt > 0 && entry.ppt != policy.require_ppt) continue;
+    if (entry.samples < policy.min_samples) continue;
+    if (policy.freshness_window > 0 &&
+        entry.last_seq + policy.freshness_window < history.seq)
+      continue;  // stale: not re-observed recently enough to be trusted
+    if (winner == nullptr || BetterEntry(entry, *winner)) winner = &entry;
+  }
+  if (winner == nullptr) return decision;  // kNoHistory
+  if (policy.reexplore_period > 0 && history.seq > 0 &&
+      history.seq % policy.reexplore_period == 0) {
+    decision.mode = SelectionMode::kChallenge;
+    return decision;
+  }
+  decision.mode = SelectionMode::kMeasured;
+  decision.winner = *winner;
+  return decision;
+}
+
+SelectionDecision DecideForCompile(ProfileStore* profiles,
+                                   const ProfilePolicy& base_policy,
+                                   const std::string& source_fingerprint,
+                                   const codegen::CodegenOptions& options,
+                                   const hw::DeviceSpec& device,
+                                   int image_width, int image_height,
+                                   bool forced_config) {
+  if (profiles == nullptr || forced_config || source_fingerprint.empty())
+    return {};
+  ProfilePolicy policy = base_policy;
+  if (options.pixels_per_thread > 0)
+    policy.require_ppt = options.pixels_per_thread;
+  return DecideSelection(
+      profiles->Lookup(MakeProfileKey(source_fingerprint, options, device,
+                                      image_width, image_height)),
+      policy);
+}
+
+std::string MakeProfileKey(const std::string& source_fingerprint,
+                           const codegen::CodegenOptions& options,
+                           const hw::DeviceSpec& device, int image_width,
+                           int image_height) {
+  // Normalise the PPT axis out of the options: all sweeps of one kernel
+  // feed one pool, and every entry carries its own ppt.
+  codegen::CodegenOptions normalized = options;
+  normalized.pixels_per_thread = 0;
+  return source_fingerprint + "|" + OptionsFingerprint(normalized) +
+         "|device=" + DeviceIdentity(device) +
+         StrFormat("|extent=%dx%d", image_width, image_height);
+}
+
+std::string ProfileSalt(const SelectionDecision& decision) {
+  if (decision.mode != SelectionMode::kMeasured) return "";
+  return StrFormat("m:%dx%dx%d", decision.winner.config.block_x,
+                   decision.winner.config.block_y, decision.winner.ppt);
+}
+
+std::string EncodeProfileHistory(const ProfileHistory& history) {
+  support::Json doc = support::Json::Object();
+  doc["v"] = 1;
+  doc["seq"] = history.seq;
+  support::Json entries = support::Json::Array();
+  for (const ProfileEntry& entry : history.entries) {
+    support::Json e = support::Json::Object();
+    e["bx"] = entry.config.block_x;
+    e["by"] = entry.config.block_y;
+    e["ppt"] = entry.ppt;
+    e["ms"] = entry.ms;
+    e["samples"] = entry.samples;
+    e["last_seq"] = entry.last_seq;
+    entries.push_back(std::move(e));
+  }
+  doc["entries"] = std::move(entries);
+  return doc.Dump();
+}
+
+bool DecodeProfileHistory(const std::string& payload, ProfileHistory* out) {
+  Result<support::Json> parsed = support::Json::Parse(payload);
+  if (!parsed.ok()) return false;
+  const support::Json& doc = parsed.value();
+  const support::Json* version = doc.Find("v");
+  if (version == nullptr || version->int_value() != 1) return false;
+  const support::Json* seq = doc.Find("seq");
+  const support::Json* entries = doc.Find("entries");
+  if (seq == nullptr || entries == nullptr || !entries->is_array())
+    return false;
+  ProfileHistory history;
+  history.seq = seq->int_value();
+  for (const support::Json& e : entries->elements()) {
+    const support::Json* bx = e.Find("bx");
+    const support::Json* by = e.Find("by");
+    const support::Json* ppt = e.Find("ppt");
+    const support::Json* ms = e.Find("ms");
+    const support::Json* samples = e.Find("samples");
+    const support::Json* last_seq = e.Find("last_seq");
+    if (bx == nullptr || by == nullptr || ppt == nullptr || ms == nullptr ||
+        samples == nullptr || last_seq == nullptr)
+      return false;
+    ProfileEntry entry;
+    entry.config.block_x = static_cast<int>(bx->int_value());
+    entry.config.block_y = static_cast<int>(by->int_value());
+    entry.ppt = static_cast<int>(ppt->int_value());
+    entry.ms = ms->number_value();
+    entry.samples = samples->int_value();
+    entry.last_seq = last_seq->int_value();
+    history.entries.push_back(entry);
+  }
+  *out = std::move(history);
+  return true;
+}
+
+ProfileStore::ProfileStore(support::DiskStore* disk) : disk_(disk) {}
+
+ProfileHistory& ProfileStore::LoadLocked(const std::string& key) const {
+  auto it = histories_.find(key);
+  if (it != histories_.end()) return it->second;
+  ProfileHistory history;
+  if (disk_ != nullptr && disk_->enabled()) {
+    if (std::optional<std::string> payload = disk_->Get("profile", key)) {
+      ProfileHistory from_disk;
+      if (DecodeProfileHistory(*payload, &from_disk))
+        history = std::move(from_disk);
+    }
+  }
+  return histories_.emplace(key, std::move(history)).first->second;
+}
+
+void ProfileStore::Record(const std::string& key,
+                          const ProfileObservation& observation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ProfileHistory& history = LoadLocked(key);
+  if (disk_ != nullptr && disk_->enabled()) {
+    // Append-merge under an advisory lock: re-read the disk side so a
+    // concurrent process's observations survive, merge, then write the
+    // union back. Losing the lock race degrades to last-writer-wins, which
+    // loses samples but never corrupts (writes stay atomic).
+    support::FileLock file_lock(disk_->root() + "/profile.lock");
+    if (std::optional<std::string> payload = disk_->Get("profile", key)) {
+      ProfileHistory from_disk;
+      if (DecodeProfileHistory(*payload, &from_disk))
+        MergeHistories(&history, from_disk);
+    }
+    MergeObservation(&history, observation);
+    disk_->Put("profile", key, EncodeProfileHistory(history));
+  } else {
+    MergeObservation(&history, observation);
+  }
+}
+
+ProfileHistory ProfileStore::Lookup(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return LoadLocked(key);
+}
+
+std::size_t ProfileStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [key, history] : histories_) n += history.entries.size();
+  return n;
+}
+
+}  // namespace hipacc::compiler

@@ -1,0 +1,164 @@
+// Profile-guided configuration reselection.
+//
+// The Algorithm-2 heuristic (hwmodel/heuristic.hpp) picks a launch
+// configuration from the static occupancy model. Every real measurement a
+// process makes — an exploration sweep, a KernelRunner::Measure — is an
+// opportunity to do better: the ProfileStore persists per-configuration
+// timings keyed by (kernel source, options, device, extent), and the
+// select_config pass prefers a trustworthy measured winner over the
+// heuristic (the ImageCL-style learned-autotuner loop the paper leaves as
+// future work).
+//
+// Trust is bounded three ways, all encoded in ProfilePolicy:
+//  * min_samples — a config must have been measured repeatedly before its
+//    EWMA is believed;
+//  * freshness_window — entries that have not been re-observed within the
+//    last N observations of the key go stale and stop competing;
+//  * reexplore_period — every Nth observation round the selection
+//    deliberately falls back to the heuristic (a "challenge" round), so the
+//    incumbent keeps being re-measured and a stale winner loses its seat.
+//
+// DecideSelection is a pure function of (history, policy): the driver uses
+// it to derive a cache-key salt (profile-influenced artifacts must not alias
+// heuristic ones) and the pass re-derives the identical decision.
+//
+// A device or options change moves the profile key, so history never leaks
+// across incompatible contexts — the selection immediately falls back to
+// the heuristic and new history accumulates under the new key.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "codegen/options.hpp"
+#include "hwmodel/device_spec.hpp"
+#include "hwmodel/occupancy.hpp"
+
+namespace hipacc::support {
+class DiskStore;
+}  // namespace hipacc::support
+
+namespace hipacc::sim {
+class TraceSink;
+}  // namespace hipacc::sim
+
+namespace hipacc::compiler {
+
+/// One timing measurement of a concrete (config, ppt) point.
+struct ProfileObservation {
+  hw::KernelConfig config;
+  int ppt = 1;
+  double ms = 0.0;  ///< modelled kernel time of the launch
+};
+
+/// Merged history of one (config, ppt) point.
+struct ProfileEntry {
+  hw::KernelConfig config;
+  int ppt = 1;
+  double ms = 0.0;          ///< EWMA over observations (alpha 0.5)
+  long long samples = 0;    ///< observations merged in
+  long long last_seq = 0;   ///< key-global sequence of the latest observation
+};
+
+/// Everything recorded under one profile key.
+struct ProfileHistory {
+  long long seq = 0;  ///< total observations ever recorded for this key
+  std::vector<ProfileEntry> entries;
+};
+
+/// Reselection trust policy (see file comment).
+struct ProfilePolicy {
+  int min_samples = 2;
+  long long freshness_window = 64;
+  /// Every Nth observation round re-runs the heuristic instead of the
+  /// measured winner. 0 disables challenges (always trust history).
+  long long reexplore_period = 16;
+  /// When > 0, only entries measured at exactly this pixels-per-thread may
+  /// win — callers set it to the explicitly-requested PPT so a learned
+  /// winner never overrides a user's --ppt choice. 0 (auto) competes all.
+  int require_ppt = 0;
+};
+
+enum class SelectionMode {
+  kNoHistory,  ///< no trustworthy entry — use the heuristic
+  kMeasured,   ///< use `winner` from measured history
+  kChallenge,  ///< history exists, but this round re-runs the heuristic
+};
+
+const char* to_string(SelectionMode mode) noexcept;
+
+struct SelectionDecision {
+  SelectionMode mode = SelectionMode::kNoHistory;
+  ProfileEntry winner;  ///< meaningful only when mode == kMeasured
+};
+
+/// Pure reselection decision: fresh, sufficiently-sampled entries compete on
+/// EWMA time (ties: fewer threads, then smaller block_x, then smaller ppt);
+/// challenge rounds fire when seq is a non-zero multiple of
+/// reexplore_period.
+SelectionDecision DecideSelection(const ProfileHistory& history,
+                                  const ProfilePolicy& policy);
+
+/// Canonical profile key. pixels_per_thread is normalised out of the
+/// options so a PPT sweep feeds one shared pool — the entry's own `ppt`
+/// field keeps the axis — and the salt of profile-influenced cache entries
+/// stays orthogonal to the PPT the caller happened to request.
+std::string MakeProfileKey(const std::string& source_fingerprint,
+                           const codegen::CodegenOptions& options,
+                           const hw::DeviceSpec& device, int image_width,
+                           int image_height);
+
+/// Cache-key salt of a decision: "m:<bx>x<by>x<ppt>" for a measured winner,
+/// "" otherwise (challenge and no-history rounds compile exactly like a
+/// profile-less run, so they share its cache entries bit-identically).
+std::string ProfileSalt(const SelectionDecision& decision);
+
+class ProfileStore;
+
+/// The one decision a compile makes, shared verbatim by the driver (which
+/// salts the target cache key with it) and the select_config pass (which
+/// applies it): kNoHistory when `profiles` is null, the fingerprint is
+/// empty, or the caller forces a configuration; otherwise DecideSelection
+/// under the options-adjusted policy (an explicit pixels_per_thread request
+/// pins require_ppt).
+SelectionDecision DecideForCompile(ProfileStore* profiles,
+                                   const ProfilePolicy& base_policy,
+                                   const std::string& source_fingerprint,
+                                   const codegen::CodegenOptions& options,
+                                   const hw::DeviceSpec& device,
+                                   int image_width, int image_height,
+                                   bool forced_config);
+
+/// Thread-safe observation store: in-memory EWMA merge with optional
+/// write-through to the "profile" kind of a support::DiskStore (guarded by
+/// a FileLock so concurrent processes append-merge instead of clobbering).
+class ProfileStore {
+ public:
+  /// `disk` null = in-memory only. The store does not own the DiskStore.
+  explicit ProfileStore(support::DiskStore* disk = nullptr);
+
+  /// Merges one observation under `key` and persists the merged history.
+  void Record(const std::string& key, const ProfileObservation& observation);
+
+  /// Current merged history (loads from disk on first touch of `key`).
+  ProfileHistory Lookup(const std::string& key) const;
+
+  /// Entries across all keys touched in this process (tests/reporting).
+  std::size_t size() const;
+
+ private:
+  ProfileHistory& LoadLocked(const std::string& key) const;
+
+  support::DiskStore* disk_ = nullptr;
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<std::string, ProfileHistory> histories_;
+};
+
+/// JSON codec of one history ({"v":1,"seq":N,"entries":[...]}) — the disk
+/// payload format, exposed for tests and the DESIGN.md examples.
+std::string EncodeProfileHistory(const ProfileHistory& history);
+bool DecodeProfileHistory(const std::string& payload, ProfileHistory* out);
+
+}  // namespace hipacc::compiler

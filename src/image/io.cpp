@@ -2,13 +2,22 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
+#include "support/atomic_file.hpp"
 #include "support/string_utils.hpp"
 
 namespace hipacc {
+
+std::string ExampleOutputPath(const std::string& filename) {
+  const char* env = std::getenv("HIPACC_EXAMPLE_OUT");
+  const std::string dir = env && env[0] ? env : "out";
+  (void)support::EnsureDirs(dir);
+  return dir + "/" + filename;
+}
 
 Status WritePgm(const HostImage<float>& img, const std::string& path) {
   std::ofstream out(path, std::ios::binary);

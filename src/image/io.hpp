@@ -10,6 +10,12 @@
 
 namespace hipacc {
 
+/// Scratch location for example artifacts: "<dir>/<filename>", where the
+/// directory is $HIPACC_EXAMPLE_OUT or "out" and is created on first use —
+/// so examples never litter the directory they are launched from (the repo
+/// root gitignores stray *.pgm as a second line of defence).
+std::string ExampleOutputPath(const std::string& filename);
+
 /// Writes `img` as an 8-bit binary PGM, clamping pixels to [0, 1] and
 /// scaling to [0, 255].
 Status WritePgm(const HostImage<float>& img, const std::string& path);

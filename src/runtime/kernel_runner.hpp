@@ -49,6 +49,9 @@ class KernelRunner {
   /// matches that extent and the current device.
   Status EnsureCompiled(int width, int height);
   Status EnsureCompiledFor(const BindingSet& bindings);
+  /// Feeds one launch's modelled time into options_.profiles (no-op when
+  /// profile-guided reselection is off).
+  void RecordProfile(const sim::LaunchStats& stats);
 
   frontend::KernelSource source_;
   RunOptions options_;

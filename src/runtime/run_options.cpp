@@ -16,6 +16,7 @@ compiler::CompileOptions MakeCompileOptions(const RunOptions& options,
   copts.trace = options.trace;
   copts.cache = options.cache != nullptr ? options.cache
                                          : &compiler::GlobalCompilationCache();
+  copts.profiles = options.profiles;
   return copts;
 }
 

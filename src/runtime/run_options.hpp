@@ -24,6 +24,7 @@
 namespace hipacc::compiler {
 class CompilationCache;
 struct CompileOptions;
+class ProfileStore;
 }  // namespace hipacc::compiler
 
 namespace hipacc::sim {
@@ -45,6 +46,10 @@ struct RunOptions {
   /// sim::DefaultSimulatorOptions() — what the --sim-engine flag steers —
   /// exactly as launches behaved before this struct existed.
   std::optional<sim::SimulatorOptions> sim;
+  /// When set, compilation consults measured history for configuration
+  /// reselection (compiler/profile.hpp) and every launch this runtime
+  /// executes records its modelled time back into the store.
+  compiler::ProfileStore* profiles = nullptr;
 
   /// Engine the simulator will actually use under these options.
   sim::SimulatorOptions sim_options() const {
@@ -85,6 +90,10 @@ struct RunOptions {
   }
   RunOptions& with_cache(compiler::CompilationCache* c) {
     cache = c;
+    return *this;
+  }
+  RunOptions& with_profiles(compiler::ProfileStore* p) {
+    profiles = p;
     return *this;
   }
   RunOptions& with_sim_engine(sim::ExecEngine engine) {

@@ -3,8 +3,10 @@
 #include "sim/bytecode.hpp"
 #include "sim/jit/emit.hpp"
 #include "sim/trace.hpp"
+#include "support/disk_store.hpp"
 #include "support/hash.hpp"
 #include "support/log.hpp"
+#include "support/string_utils.hpp"
 
 namespace hipacc::sim::jit {
 
@@ -50,20 +52,23 @@ JitCache::Outcome JitCache::GetOrCompile(const ProgramSet& ps) {
     }
   }
 
-  // Owner path: compile outside the lock (toolchain runs take ~0.5 s).
-  out.compiled = true;
-  Result<std::shared_ptr<NativeModule>> module =
-      CompileSharedObject(emitted.source, "hipacc_" + support::Fnv1a().Mix(digest).hex());
-  // Count actual toolchain invocations; a missing toolchain (Unimplemented)
-  // never ran anything.
-  if (module.ok() ||
-      module.status().code() != StatusCode::kUnimplemented)
-    compiles_.fetch_add(1);
-  std::shared_ptr<const NativeProgram> program;
-  std::string error;
-  if (module.ok()) {
+  // Owner path: resolve outside the lock (toolchain runs take ~0.5 s).
+  // The persistent tier is consulted first: a cached .so skips the
+  // toolchain entirely and only pays a dlopen.
+  const std::string tag = "hipacc_" + support::Fnv1a().Mix(digest).hex();
+  // Canonical disk identity mirrors the in-memory key: full source text
+  // plus ABI and toolchain identity, so neither an ABI bump nor a compiler
+  // switch can ever reuse a stale object.
+  const std::string canonical =
+      StrFormat("abi=%d|toolchain=", kJitAbiVersion) +
+      ToolchainIdentity() + "|" + emitted.source;
+  support::DiskStore& disk = support::GlobalDiskStore();
+
+  auto resolve = [&emitted](std::shared_ptr<NativeModule> module,
+                            std::string* error)
+      -> std::shared_ptr<const NativeProgram> {
     auto native = std::make_shared<NativeProgram>();
-    native->module = module.value();
+    native->module = std::move(module);
     for (const auto& si : emitted.symbols) {
       NativeProgram::Entry e;
       e.region = si.region;
@@ -71,14 +76,46 @@ JitCache::Outcome JitCache::GetOrCompile(const ProgramSet& ps) {
       e.fn = reinterpret_cast<JitWarpFn>(
           native->module->Sym(si.symbol.c_str()));
       if (!e.fn) {
-        error = "missing jit symbol " + si.symbol;
-        break;
+        *error = "missing jit symbol " + si.symbol;
+        return nullptr;
       }
       native->fns.push_back(e);
     }
-    if (error.empty()) program = std::move(native);
-  } else {
-    error = module.status().ToString();
+    return native;
+  };
+
+  std::shared_ptr<const NativeProgram> program;
+  std::string error;
+  if (disk.enabled()) {
+    out.disk_checked = true;
+    if (std::optional<std::string> so_bytes = disk.Get("jit", canonical)) {
+      Result<std::shared_ptr<NativeModule>> module =
+          OpenSharedObjectBytes(*so_bytes, tag);
+      if (module.ok()) {
+        program = resolve(module.value(), &error);
+        out.disk_hit = program != nullptr;
+        error.clear();  // a bad cached object falls through to a fresh build
+      }
+    }
+  }
+
+  if (!program) {
+    out.compiled = true;
+    std::string so_bytes;
+    Result<std::shared_ptr<NativeModule>> module = CompileSharedObject(
+        emitted.source, tag, disk.enabled() ? &so_bytes : nullptr);
+    // Count actual toolchain invocations; a missing toolchain
+    // (Unimplemented) never ran anything.
+    if (module.ok() ||
+        module.status().code() != StatusCode::kUnimplemented)
+      compiles_.fetch_add(1);
+    if (module.ok()) {
+      program = resolve(module.value(), &error);
+      if (program && !so_bytes.empty())
+        out.disk_stored = disk.Put("jit", canonical, so_bytes).stored;
+    } else {
+      error = module.status().ToString();
+    }
   }
 
   {
@@ -127,6 +164,11 @@ const NativeProgram* AcquireNative(const ProgramSet& ps, int threshold,
   }
 
   JitCache::Outcome outcome = JitCache::Instance().GetOrCompile(ps);
+  if (trace && outcome.disk_checked) {
+    trace->IncrementCounter(outcome.disk_hit ? "cache.disk.hit"
+                                             : "cache.disk.miss");
+    if (outcome.disk_stored) trace->IncrementCounter("cache.disk.store");
+  }
   if (!outcome.program) {
     ts->phase.store(2, std::memory_order_release);
     if (trace) {

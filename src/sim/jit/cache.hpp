@@ -6,6 +6,9 @@
 //    retargeted kernels whose register programs are semantically identical
 //    reuse one shared object, and concurrent requests for the same
 //    fingerprint deduplicate in flight — only one lane pays the compile.
+//    When support::GlobalDiskStore() is enabled, compiled .so bytes persist
+//    under the same identity, so a warm second process pays a dlopen
+//    instead of a toolchain run ("cache.disk.*" counters).
 //  - TierState: per-ProgramSet tiering (hung off ProgramSet::jit_state, so
 //    the PR 2 target-level compilation cache shares it for free). Counts
 //    launches, flips to the native program at the configured threshold, and
@@ -77,6 +80,11 @@ class JitCache {
     std::shared_ptr<const NativeProgram> program;
     bool compiled = false;  ///< this call invoked the toolchain
     std::string error;      ///< non-empty on failure
+    /// Persistent-tier traffic of this call (support::GlobalDiskStore):
+    /// checked at all / satisfied from a cached .so / wrote the .so back.
+    bool disk_checked = false;
+    bool disk_hit = false;
+    bool disk_stored = false;
   };
 
   /// Returns the cached module for `ps` or compiles it (deduplicating

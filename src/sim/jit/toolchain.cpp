@@ -93,7 +93,8 @@ std::string ToolchainIdentity() {
 bool ToolchainAvailable() { return !DetectCompiler().empty(); }
 
 Result<std::shared_ptr<NativeModule>> CompileSharedObject(
-    const std::string& source, const std::string& tag) {
+    const std::string& source, const std::string& tag,
+    std::string* so_bytes_out) {
   const std::string compiler = DetectCompiler();
   if (compiler.empty())
     return Status::Unimplemented("no host toolchain for the native tier");
@@ -140,11 +141,46 @@ Result<std::shared_ptr<NativeModule>> CompileSharedObject(
                            compiler.c_str(), diag.c_str()));
   }
 
+  if (so_bytes_out != nullptr) {
+    std::ifstream in(so, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    *so_bytes_out = ss.str();
+  }
+
   void* handle = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
   cleanup();  // mapping keeps the object alive; nothing left on disk
   if (!handle) {
     const char* err = dlerror();
     return Status::Internal(std::string("dlopen failed: ") +
+                            (err ? err : "unknown"));
+  }
+  return std::make_shared<NativeModule>(handle);
+}
+
+Result<std::shared_ptr<NativeModule>> OpenSharedObjectBytes(
+    const std::string& so_bytes, const std::string& tag) {
+  char dir_template[] = "/tmp/hipacc_jit_XXXXXX";
+  if (!mkdtemp(dir_template))
+    return Status::Internal("mkdtemp failed for jit workspace");
+  const std::string dir = dir_template;
+  const std::string so = dir + "/" + tag + ".so";
+  {
+    std::ofstream out(so, std::ios::binary);
+    out.write(so_bytes.data(),
+              static_cast<std::streamsize>(so_bytes.size()));
+    if (!out.good()) {
+      std::remove(so.c_str());
+      rmdir(dir.c_str());
+      return Status::Internal("failed to materialise cached jit object " + so);
+    }
+  }
+  void* handle = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  std::remove(so.c_str());  // mapping keeps the object alive
+  rmdir(dir.c_str());
+  if (!handle) {
+    const char* err = dlerror();
+    return Status::Internal(std::string("dlopen of cached object failed: ") +
                             (err ? err : "unknown"));
   }
   return std::make_shared<NativeModule>(handle);

@@ -41,9 +41,19 @@ bool ToolchainAvailable();
 
 /// Compiles `source` into a shared object and dlopens it. `tag` scopes the
 /// temp file names. Fails with Unavailable when no toolchain exists and
-/// Internal (with the compiler's stderr) when compilation errors.
+/// Internal (with the compiler's stderr) when compilation errors. When
+/// `so_bytes_out` is non-null the raw shared-object bytes are copied into
+/// it before the temp file is unlinked — the persistent JIT cache stores
+/// them so a later process can skip the toolchain entirely.
 Result<std::shared_ptr<NativeModule>> CompileSharedObject(
-    const std::string& source, const std::string& tag);
+    const std::string& source, const std::string& tag,
+    std::string* so_bytes_out = nullptr);
+
+/// Reopens a shared object from raw bytes (a persistent-cache hit): the
+/// bytes are materialised under a temp name, dlopened, and unlinked — the
+/// mapping keeps the object alive, exactly like CompileSharedObject.
+Result<std::shared_ptr<NativeModule>> OpenSharedObjectBytes(
+    const std::string& so_bytes, const std::string& tag);
 
 /// Test hook: overrides toolchain discovery. nullptr restores the real
 /// discovery; "" simulates a machine without any compiler; any other value

@@ -1,0 +1,339 @@
+// Profile-guided configuration reselection: the pure DecideSelection policy
+// (sample/freshness/challenge/ppt gates), the history codec and EWMA merge,
+// disk-backed append-merge across store instances, and the end-to-end
+// compile behaviour — a trustworthy measured winner overrides Algorithm 2,
+// while challenge rounds, missing history, and a device change all fall
+// back bit-identically to the heuristic compile.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "compiler/driver.hpp"
+#include "compiler/profile.hpp"
+#include "hwmodel/device_db.hpp"
+#include "ops/kernel_sources.hpp"
+#include "support/disk_store.hpp"
+
+namespace hipacc {
+namespace {
+
+namespace fs = std::filesystem;
+
+frontend::KernelSource Source() {
+  return ops::BilateralMaskSource(1, ast::BoundaryMode::kClamp);
+}
+
+compiler::CompileOptions Options(const hw::DeviceSpec& device) {
+  compiler::CompileOptions options;
+  options.device = device;
+  options.image_width = 512;
+  options.image_height = 512;
+  return options;
+}
+
+compiler::CompiledKernel MustCompile(const compiler::CompileOptions& options) {
+  Result<compiler::CompiledKernel> compiled =
+      compiler::Compile(Source(), options);
+  HIPACC_CHECK(compiled.ok());
+  return std::move(compiled).take();
+}
+
+compiler::ProfileEntry Entry(hw::KernelConfig config, int ppt, double ms,
+                             long long samples, long long last_seq) {
+  compiler::ProfileEntry entry;
+  entry.config = config;
+  entry.ppt = ppt;
+  entry.ms = ms;
+  entry.samples = samples;
+  entry.last_seq = last_seq;
+  return entry;
+}
+
+TEST(DecideSelectionTest, EmptyOrUndersampledHistoryFallsBack) {
+  compiler::ProfilePolicy policy;
+  compiler::ProfileHistory history;
+  EXPECT_EQ(compiler::DecideSelection(history, policy).mode,
+            compiler::SelectionMode::kNoHistory);
+
+  history.seq = 1;
+  history.entries.push_back(Entry({32, 2}, 1, 5.0, /*samples=*/1, 1));
+  EXPECT_EQ(compiler::DecideSelection(history, policy).mode,
+            compiler::SelectionMode::kNoHistory);
+}
+
+TEST(DecideSelectionTest, WinnerIsTheFastestFreshEntry) {
+  compiler::ProfilePolicy policy;
+  compiler::ProfileHistory history;
+  history.seq = 6;
+  history.entries.push_back(Entry({32, 6}, 1, 9.0, 2, 5));
+  history.entries.push_back(Entry({64, 2}, 1, 4.0, 2, 6));
+  history.entries.push_back(Entry({16, 4}, 2, 7.0, 2, 4));
+
+  const compiler::SelectionDecision decision =
+      compiler::DecideSelection(history, policy);
+  ASSERT_EQ(decision.mode, compiler::SelectionMode::kMeasured);
+  EXPECT_EQ(decision.winner.config, (hw::KernelConfig{64, 2}));
+  EXPECT_EQ(decision.winner.ppt, 1);
+  EXPECT_EQ(compiler::ProfileSalt(decision), "m:64x2x1");
+}
+
+TEST(DecideSelectionTest, StaleEntriesStopCompeting) {
+  compiler::ProfilePolicy policy;  // freshness_window = 64
+  compiler::ProfileHistory history;
+  history.seq = 100;
+  // The fastest entry was last seen at seq 10 — 10 + 64 < 100, stale.
+  history.entries.push_back(Entry({64, 2}, 1, 4.0, 2, 10));
+  history.entries.push_back(Entry({32, 6}, 1, 9.0, 2, 99));
+
+  compiler::SelectionDecision decision =
+      compiler::DecideSelection(history, policy);
+  ASSERT_EQ(decision.mode, compiler::SelectionMode::kMeasured);
+  EXPECT_EQ(decision.winner.config, (hw::KernelConfig{32, 6}));
+
+  // Window 0 disables the filter: the old winner competes again.
+  policy.freshness_window = 0;
+  decision = compiler::DecideSelection(history, policy);
+  ASSERT_EQ(decision.mode, compiler::SelectionMode::kMeasured);
+  EXPECT_EQ(decision.winner.config, (hw::KernelConfig{64, 2}));
+
+  // If every entry is stale, the selection falls back entirely.
+  policy.freshness_window = 64;
+  history.entries[1].last_seq = 10;
+  EXPECT_EQ(compiler::DecideSelection(history, policy).mode,
+            compiler::SelectionMode::kNoHistory);
+}
+
+TEST(DecideSelectionTest, ChallengeRoundsReRunTheHeuristic) {
+  compiler::ProfilePolicy policy;  // reexplore_period = 16
+  compiler::ProfileHistory history;
+  history.entries.push_back(Entry({64, 2}, 1, 4.0, 2, 16));
+
+  history.seq = 16;
+  EXPECT_EQ(compiler::DecideSelection(history, policy).mode,
+            compiler::SelectionMode::kChallenge);
+  history.seq = 17;
+  EXPECT_EQ(compiler::DecideSelection(history, policy).mode,
+            compiler::SelectionMode::kMeasured);
+
+  // Period 0 disables challenges outright.
+  policy.reexplore_period = 0;
+  history.seq = 16;
+  EXPECT_EQ(compiler::DecideSelection(history, policy).mode,
+            compiler::SelectionMode::kMeasured);
+
+  // Challenge and no-history decisions salt to "" — they must share cache
+  // entries with profile-less compiles.
+  compiler::SelectionDecision challenge;
+  challenge.mode = compiler::SelectionMode::kChallenge;
+  EXPECT_EQ(compiler::ProfileSalt(challenge), "");
+  EXPECT_EQ(compiler::ProfileSalt(compiler::SelectionDecision{}), "");
+}
+
+TEST(DecideSelectionTest, RequirePptPinsTheAxis) {
+  compiler::ProfilePolicy policy;
+  policy.require_ppt = 2;
+  compiler::ProfileHistory history;
+  history.seq = 4;
+  history.entries.push_back(Entry({64, 2}, 1, 4.0, 2, 4));   // faster, wrong ppt
+  history.entries.push_back(Entry({32, 6}, 2, 9.0, 2, 4));
+
+  const compiler::SelectionDecision decision =
+      compiler::DecideSelection(history, policy);
+  ASSERT_EQ(decision.mode, compiler::SelectionMode::kMeasured);
+  EXPECT_EQ(decision.winner.config, (hw::KernelConfig{32, 6}));
+  EXPECT_EQ(decision.winner.ppt, 2);
+}
+
+TEST(ProfileCodecTest, HistoryRoundTripsAndRejectsJunk) {
+  compiler::ProfileHistory history;
+  history.seq = 42;
+  history.entries.push_back(Entry({32, 6}, 1, 9.25, 3, 40));
+  history.entries.push_back(Entry({8, 28}, 4, 4.5, 2, 42));
+
+  compiler::ProfileHistory decoded;
+  ASSERT_TRUE(compiler::DecodeProfileHistory(
+      compiler::EncodeProfileHistory(history), &decoded));
+  EXPECT_EQ(decoded.seq, 42);
+  ASSERT_EQ(decoded.entries.size(), 2u);
+  EXPECT_EQ(decoded.entries[0].config, (hw::KernelConfig{32, 6}));
+  EXPECT_EQ(decoded.entries[0].samples, 3);
+  EXPECT_EQ(decoded.entries[0].last_seq, 40);
+  EXPECT_DOUBLE_EQ(decoded.entries[1].ms, 4.5);
+  EXPECT_EQ(decoded.entries[1].ppt, 4);
+
+  compiler::ProfileHistory sink;
+  EXPECT_FALSE(compiler::DecodeProfileHistory("", &sink));
+  EXPECT_FALSE(compiler::DecodeProfileHistory("not json", &sink));
+  EXPECT_FALSE(compiler::DecodeProfileHistory("{\"v\":999}", &sink));
+}
+
+TEST(ProfileKeyTest, KeyTracksContextButNotPpt) {
+  const codegen::CodegenOptions defaults;
+  const std::string base = compiler::MakeProfileKey(
+      "fingerprint", defaults, hw::TeslaC2050(), 512, 512);
+  EXPECT_EQ(base, compiler::MakeProfileKey("fingerprint", defaults,
+                                           hw::TeslaC2050(), 512, 512));
+  EXPECT_NE(base, compiler::MakeProfileKey("other", defaults,
+                                           hw::TeslaC2050(), 512, 512));
+  EXPECT_NE(base, compiler::MakeProfileKey("fingerprint", defaults,
+                                           hw::RadeonHd5870(), 512, 512));
+  EXPECT_NE(base, compiler::MakeProfileKey("fingerprint", defaults,
+                                           hw::TeslaC2050(), 1024, 512));
+
+  // pixels_per_thread is normalised out: a PPT sweep feeds one shared pool.
+  codegen::CodegenOptions ppt8 = defaults;
+  ppt8.pixels_per_thread = 8;
+  EXPECT_EQ(base, compiler::MakeProfileKey("fingerprint", ppt8,
+                                           hw::TeslaC2050(), 512, 512));
+}
+
+TEST(ProfileStoreTest, RecordMergesIntoAnEwma) {
+  compiler::ProfileStore store;
+  store.Record("key", {{32, 2}, 1, 10.0});
+  store.Record("key", {{32, 2}, 1, 20.0});
+  store.Record("key", {{64, 2}, 1, 30.0});
+
+  const compiler::ProfileHistory history = store.Lookup("key");
+  EXPECT_EQ(history.seq, 3);
+  ASSERT_EQ(history.entries.size(), 2u);
+  for (const compiler::ProfileEntry& entry : history.entries) {
+    if (entry.config == (hw::KernelConfig{32, 2})) {
+      EXPECT_DOUBLE_EQ(entry.ms, 15.0);  // alpha 0.5 over 10 then 20
+      EXPECT_EQ(entry.samples, 2);
+      EXPECT_EQ(entry.last_seq, 2);
+    } else {
+      EXPECT_EQ(entry.config, (hw::KernelConfig{64, 2}));
+      EXPECT_EQ(entry.samples, 1);
+      EXPECT_EQ(entry.last_seq, 3);
+    }
+  }
+}
+
+TEST(ProfileStoreTest, DiskBackedStoresAppendMergeAcrossInstances) {
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "profile_store_merge";
+  fs::remove_all(root);
+  support::DiskStoreOptions options;
+  options.root = root.string();
+  support::DiskStore disk(options);
+
+  {
+    compiler::ProfileStore writer(&disk);
+    writer.Record("key", {{32, 2}, 1, 10.0});
+    writer.Record("key", {{32, 2}, 1, 20.0});
+  }
+  // A second instance (second process) sees the persisted history and its
+  // own observations merge on top instead of clobbering.
+  {
+    compiler::ProfileStore appender(&disk);
+    const compiler::ProfileHistory seen = appender.Lookup("key");
+    EXPECT_EQ(seen.seq, 2);
+    ASSERT_EQ(seen.entries.size(), 1u);
+    EXPECT_EQ(seen.entries[0].samples, 2);
+    appender.Record("key", {{64, 2}, 1, 5.0});
+  }
+  compiler::ProfileStore reader(&disk);
+  const compiler::ProfileHistory merged = reader.Lookup("key");
+  EXPECT_EQ(merged.seq, 3);
+  EXPECT_EQ(merged.entries.size(), 2u);
+}
+
+TEST(ProfileReselectionTest, MeasuredWinnerOverridesTheHeuristic) {
+  const hw::DeviceSpec device = hw::TeslaC2050();
+  const compiler::CompiledKernel baseline = MustCompile(Options(device));
+  ASSERT_FALSE(baseline.source_fingerprint.empty());
+  const hw::KernelConfig heuristic = baseline.config.config;
+
+  // Prove the alternative configuration is valid for this kernel before
+  // seeding it as the measured winner.
+  const hw::KernelConfig alternative{64, 2};
+  ASSERT_NE(alternative, heuristic);
+  compiler::CompileOptions forced = Options(device);
+  forced.forced_config = alternative;
+  MustCompile(forced);
+
+  const std::string key = compiler::MakeProfileKey(
+      baseline.source_fingerprint, baseline.codegen, device, 512, 512);
+  compiler::ProfileStore profiles;
+  const int ppt = baseline.device_ir.ppt;
+  for (int i = 0; i < 2; ++i) {
+    profiles.Record(key, {alternative, ppt, 1.0});
+    profiles.Record(key, {heuristic, ppt, 50.0});
+  }
+
+  compiler::CompileOptions learned_opts = Options(device);
+  learned_opts.profiles = &profiles;
+  const compiler::CompiledKernel learned = MustCompile(learned_opts);
+  EXPECT_EQ(learned.config.config, alternative);
+  EXPECT_EQ(learned.device_ir.ppt, ppt);
+
+  // forced_config always wins over history.
+  compiler::CompileOptions pinned = Options(device);
+  pinned.profiles = &profiles;
+  pinned.forced_config = heuristic;
+  EXPECT_EQ(MustCompile(pinned).config.config, heuristic);
+}
+
+TEST(ProfileReselectionTest, NoHistoryAndChallengeAreBitIdenticalFallbacks) {
+  const hw::DeviceSpec device = hw::TeslaC2050();
+  const compiler::CompiledKernel baseline = MustCompile(Options(device));
+
+  // Empty history: the profiled compile is the heuristic compile.
+  compiler::ProfileStore empty;
+  compiler::CompileOptions no_history = Options(device);
+  no_history.profiles = &empty;
+  const compiler::CompiledKernel fallback = MustCompile(no_history);
+  EXPECT_EQ(fallback.source, baseline.source);
+  EXPECT_EQ(fallback.config.config, baseline.config.config);
+
+  // A challenge round with a seeded (faster) winner also falls back.
+  const std::string key = compiler::MakeProfileKey(
+      baseline.source_fingerprint, baseline.codegen, device, 512, 512);
+  compiler::ProfileStore profiles;
+  const int ppt = baseline.device_ir.ppt;
+  for (int i = 0; i < 4; ++i) profiles.Record(key, {{64, 2}, ppt, 1.0});
+  compiler::CompileOptions challenge_opts = Options(device);
+  challenge_opts.profiles = &profiles;
+  challenge_opts.profile_policy.reexplore_period = 4;  // seq == 4 challenges
+  const compiler::CompiledKernel challenged = MustCompile(challenge_opts);
+  EXPECT_EQ(challenged.source, baseline.source);
+  EXPECT_EQ(challenged.config.config, baseline.config.config);
+}
+
+TEST(ProfileReselectionTest, DeviceChangeRecoversToTheHeuristic) {
+  const hw::DeviceSpec tesla = hw::TeslaC2050();
+  const hw::DeviceSpec radeon = hw::RadeonHd5870();
+  const compiler::CompiledKernel baseline = MustCompile(Options(tesla));
+
+  // Seed a dominant winner under the Tesla key.
+  const std::string tesla_key = compiler::MakeProfileKey(
+      baseline.source_fingerprint, baseline.codegen, tesla, 512, 512);
+  compiler::ProfileStore profiles;
+  const int ppt = baseline.device_ir.ppt;
+  for (int i = 0; i < 2; ++i) profiles.Record(tesla_key, {{64, 2}, ppt, 1.0});
+
+  // The device change moves the profile key, so the stale Tesla history
+  // never leaks: the Radeon compile matches its profile-less twin exactly.
+  compiler::CompileOptions radeon_opts = Options(radeon);
+  radeon_opts.codegen.backend = ast::Backend::kOpenCL;
+  const compiler::CompiledKernel radeon_baseline = MustCompile(radeon_opts);
+  compiler::CompileOptions radeon_learned = radeon_opts;
+  radeon_learned.profiles = &profiles;
+  const compiler::CompiledKernel recovered = MustCompile(radeon_learned);
+  EXPECT_EQ(recovered.source, radeon_baseline.source);
+  EXPECT_EQ(recovered.config.config, radeon_baseline.config.config);
+
+  // And new measurements immediately accumulate under the new key,
+  // rebuilding trust for the new context.
+  const std::string radeon_key =
+      compiler::MakeProfileKey(recovered.source_fingerprint, recovered.codegen,
+                               radeon, 512, 512);
+  EXPECT_NE(radeon_key, tesla_key);
+  profiles.Record(radeon_key,
+                  {recovered.config.config, recovered.device_ir.ppt, 2.0});
+  EXPECT_EQ(profiles.Lookup(radeon_key).seq, 1);
+}
+
+}  // namespace
+}  // namespace hipacc

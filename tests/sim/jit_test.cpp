@@ -8,6 +8,7 @@
 
 #include <climits>
 #include <cstring>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "sim/jit/toolchain.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
+#include "support/disk_store.hpp"
 #include "support/rng.hpp"
 
 namespace hipacc {
@@ -268,6 +270,58 @@ TEST(JitCacheTest, ParallelLanesShareOneCompile) {
   // The in-flight deduplication means the toolchain ran exactly once even
   // though all lanes requested compilation concurrently.
   EXPECT_EQ(sim::jit::JitCache::Instance().compiles(), 1u);
+}
+
+/// Points GlobalDiskStore at a scratch directory for one test (wiped so a
+/// previous run's entries cannot warm the cold pass), restoring the
+/// disabled hermetic default (and a clean JitCache) on exit.
+struct DiskStoreGuard {
+  explicit DiskStoreGuard(const std::string& root) {
+    std::filesystem::remove_all(root);
+    support::DiskStoreOptions options;
+    options.root = root;
+    support::ConfigureGlobalDiskStore(std::move(options));
+  }
+  ~DiskStoreGuard() {
+    support::ConfigureGlobalDiskStore({});
+    sim::jit::JitCache::Instance().ResetForTesting();
+  }
+};
+
+TEST(JitCacheTest, WarmStartLoadsTheSharedObjectFromDisk) {
+  if (!sim::jit::ToolchainAvailable())
+    GTEST_SKIP() << "no host toolchain in this environment";
+  DiskStoreGuard disk(::testing::TempDir() + "/jit_warm_start_cache");
+  sim::jit::JitCache::Instance().ResetForTesting();
+
+  const compiler::CompiledKernel kernel = CompileGaussian(73, 41);
+  const sim::jit::JitCache::Outcome cold =
+      sim::jit::JitCache::Instance().GetOrCompile(*kernel.bytecode);
+  ASSERT_TRUE(cold.error.empty()) << cold.error;
+  ASSERT_NE(cold.program, nullptr);
+  EXPECT_TRUE(cold.compiled);
+  EXPECT_TRUE(cold.disk_checked);
+  EXPECT_FALSE(cold.disk_hit);
+  EXPECT_TRUE(cold.disk_stored);
+
+  // Drop the in-memory module cache — the next request models a fresh
+  // process, which must dlopen the persisted .so without a toolchain run.
+  sim::jit::JitCache::Instance().ResetForTesting();
+  const sim::jit::JitCache::Outcome warm =
+      sim::jit::JitCache::Instance().GetOrCompile(*kernel.bytecode);
+  ASSERT_TRUE(warm.error.empty()) << warm.error;
+  ASSERT_NE(warm.program, nullptr);
+  EXPECT_FALSE(warm.compiled);
+  EXPECT_TRUE(warm.disk_hit);
+  EXPECT_EQ(sim::jit::JitCache::Instance().compiles(), 0u);
+
+  // The reloaded module serves real launches with VM-identical output.
+  Rng rng(0x99u);
+  const HostImage<float> input = RandomInput(73, 41, rng);
+  const RunResult vm = RunOnce(kernel, input, sim::SimulatorOptions{});
+  const RunResult native = RunOnce(kernel, input, NativeOptions(1));
+  ExpectSameOutput(vm, native);
+  EXPECT_EQ(sim::jit::JitCache::Instance().compiles(), 0u);
 }
 
 }  // namespace

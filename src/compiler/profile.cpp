@@ -204,25 +204,53 @@ ProfileHistory& ProfileStore::LoadLocked(const std::string& key) const {
   return histories_.emplace(key, std::move(history)).first->second;
 }
 
+void ProfileStore::MergeDiskLocked(const std::string& key,
+                                   ProfileHistory* history) {
+  if (std::optional<std::string> payload = disk_->Get("profile", key)) {
+    ProfileHistory from_disk;
+    if (DecodeProfileHistory(*payload, &from_disk))
+      MergeHistories(history, from_disk);
+  }
+}
+
 void ProfileStore::Record(const std::string& key,
                           const ProfileObservation& observation) {
+  RecordBatch({{key, observation}});
+}
+
+void ProfileStore::RecordBatch(const std::vector<KeyedObservation>& batch) {
+  if (batch.empty()) return;
   std::lock_guard<std::mutex> lock(mutex_);
-  ProfileHistory& history = LoadLocked(key);
+  ++flushes_;
+  observations_ += static_cast<long long>(batch.size());
   if (disk_ != nullptr && disk_->enabled()) {
     // Append-merge under an advisory lock: re-read the disk side so a
-    // concurrent process's observations survive, merge, then write the
-    // union back. Losing the lock race degrades to last-writer-wins, which
-    // loses samples but never corrupts (writes stay atomic).
+    // concurrent process's observations survive, merge the whole batch,
+    // then write each touched key's union back once. Losing the lock race
+    // degrades to last-writer-wins, which loses samples but never corrupts
+    // (writes stay atomic). One FileLock per flush — not per observation —
+    // is what keeps streaming epochs off the lock.
     support::FileLock file_lock(disk_->root() + "/profile.lock");
-    if (std::optional<std::string> payload = disk_->Get("profile", key)) {
-      ProfileHistory from_disk;
-      if (DecodeProfileHistory(*payload, &from_disk))
-        MergeHistories(&history, from_disk);
+    std::vector<const std::string*> touched;
+    for (const KeyedObservation& keyed : batch) {
+      ProfileHistory& history = LoadLocked(keyed.key);
+      bool first_touch = true;
+      for (const std::string* seen : touched)
+        if (*seen == keyed.key) {
+          first_touch = false;
+          break;
+        }
+      if (first_touch) {
+        MergeDiskLocked(keyed.key, &history);
+        touched.push_back(&keyed.key);
+      }
+      MergeObservation(&history, keyed.observation);
     }
-    MergeObservation(&history, observation);
-    disk_->Put("profile", key, EncodeProfileHistory(history));
+    for (const std::string* key : touched)
+      disk_->Put("profile", *key, EncodeProfileHistory(histories_.at(*key)));
   } else {
-    MergeObservation(&history, observation);
+    for (const KeyedObservation& keyed : batch)
+      MergeObservation(&LoadLocked(keyed.key), keyed.observation);
   }
 }
 
@@ -236,6 +264,16 @@ std::size_t ProfileStore::size() const {
   std::size_t n = 0;
   for (const auto& [key, history] : histories_) n += history.entries.size();
   return n;
+}
+
+long long ProfileStore::flush_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return flushes_;
+}
+
+long long ProfileStore::observation_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return observations_;
 }
 
 }  // namespace hipacc::compiler

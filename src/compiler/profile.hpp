@@ -131,6 +131,15 @@ SelectionDecision DecideForCompile(ProfileStore* profiles,
                                    int image_width, int image_height,
                                    bool forced_config);
 
+/// One observation tagged with its profile key — the unit the batched
+/// feeding path accumulates off the hot path (streaming frame executors
+/// collect these per epoch and flush once, instead of taking the store's
+/// mutex and the disk FileLock per launch).
+struct KeyedObservation {
+  std::string key;
+  ProfileObservation observation;
+};
+
 /// Thread-safe observation store: in-memory EWMA merge with optional
 /// write-through to the "profile" kind of a support::DiskStore (guarded by
 /// a FileLock so concurrent processes append-merge instead of clobbering).
@@ -140,7 +149,16 @@ class ProfileStore {
   explicit ProfileStore(support::DiskStore* disk = nullptr);
 
   /// Merges one observation under `key` and persists the merged history.
+  /// Equivalent to RecordBatch of one — every call is a full flush, so hot
+  /// loops should accumulate KeyedObservations and RecordBatch instead.
   void Record(const std::string& key, const ProfileObservation& observation);
+
+  /// Merges a batch of observations in one flush: the store mutex is taken
+  /// once, and (when disk-backed) the profile FileLock is taken once with
+  /// one read-merge-write per distinct key — not one per observation.
+  /// Observations merge in batch order, so a batch replayed through
+  /// Record() one by one yields the identical history.
+  void RecordBatch(const std::vector<KeyedObservation>& batch);
 
   /// Current merged history (loads from disk on first touch of `key`).
   ProfileHistory Lookup(const std::string& key) const;
@@ -148,12 +166,21 @@ class ProfileStore {
   /// Entries across all keys touched in this process (tests/reporting).
   std::size_t size() const;
 
+  /// Flushes performed (Record + RecordBatch calls that merged anything)
+  /// and observations merged — the batching ratio streaming runs are gated
+  /// on (flush_count ≪ observation_count under overlap).
+  long long flush_count() const;
+  long long observation_count() const;
+
  private:
   ProfileHistory& LoadLocked(const std::string& key) const;
+  void MergeDiskLocked(const std::string& key, ProfileHistory* history);
 
   support::DiskStore* disk_ = nullptr;
   mutable std::mutex mutex_;
   mutable std::unordered_map<std::string, ProfileHistory> histories_;
+  long long flushes_ = 0;
+  long long observations_ = 0;
 };
 
 /// JSON codec of one history ({"v":1,"seq":N,"entries":[...]}) — the disk

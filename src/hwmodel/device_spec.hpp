@@ -63,6 +63,13 @@ struct DeviceSpec {
   int const_cache_latency_cycles = 4; ///< constant-cache broadcast hit
   int smem_latency_cycles = 4;        ///< scratchpad access (no conflicts)
 
+  // --- host interconnect (streaming model) ----------------------------
+  /// Effective host<->device DMA bandwidth. The 2012-era boards in the
+  /// device database all sit on PCIe 2.0 x16: ~8 GB/s theoretical, ~6 GB/s
+  /// sustained with pinned memory — the number the per-queue streaming
+  /// timeline charges uploads/downloads against.
+  double pcie_bandwidth_gbps = 6.0;
+
   /// Relative issue-slot cost of OpenCL-compiled kernels vs the native
   /// toolchain — the 2011/2012-era OpenCL compilers generated measurably
   /// worse code than nvcc on NVIDIA parts (Tables II vs III); AMD's CAL

@@ -1,0 +1,126 @@
+#include "ops/isp.hpp"
+
+#include <cmath>
+
+#include "ops/kernel_sources.hpp"
+
+namespace hipacc::ops {
+namespace {
+
+using ast::AccessorInfo;
+using ast::BoundaryMode;
+using ast::ScalarType;
+using ast::WindowExtent;
+
+AccessorInfo PointAccessor(const std::string& name) {
+  AccessorInfo acc;
+  acc.name = name;
+  acc.window = WindowExtent::FromSize(1, 1);
+  acc.boundary = BoundaryMode::kUndefined;
+  acc.constant_value = 0.0f;
+  return acc;
+}
+
+}  // namespace
+
+frontend::KernelSource DebayerPlaneSource(char plane, ast::BoundaryMode mode) {
+  // Bilinear Bayer interpolation averaged over the four phases of an RGGB
+  // tile. At a matching site the channel passes through (centre weight); at
+  // the others it is the mean of the 2 or 4 nearest samples. Averaging the
+  // four per-phase stencils gives one coordinate-free 3x3 mask per channel:
+  // R and B (one site per tile) get the full bilinear tent, G (two sites)
+  // the diamond.
+  std::vector<float> mask;
+  switch (plane) {
+    case 'r':
+    case 'b':
+      mask = {0.0625f, 0.125f, 0.0625f,  //
+              0.125f,  0.25f,  0.125f,   //
+              0.0625f, 0.125f, 0.0625f};
+      break;
+    case 'g':
+    default:
+      mask = {0.0f,   0.125f, 0.0f,    //
+              0.125f, 0.5f,   0.125f,  //
+              0.0f,   0.125f, 0.0f};
+      break;
+  }
+  return ConvolutionSource(std::string("debayer_") + plane, 3, 3,
+                           std::move(mask), mode);
+}
+
+frontend::KernelSource VignettingApplySource() {
+  frontend::KernelSource src;
+  src.name = "vignetting_apply";
+  AccessorInfo input = PointAccessor("Input");
+  AccessorInfo gain = PointAccessor("Gain");
+  src.accessors = {input, gain};
+  src.body = "output() = Input() * Gain();";
+  return src;
+}
+
+frontend::KernelSource ColorMatrixSource(const std::string& name) {
+  frontend::KernelSource src;
+  src.name = name;
+  src.params = {{"c_r", ScalarType::kFloat},
+                {"c_g", ScalarType::kFloat},
+                {"c_b", ScalarType::kFloat},
+                {"bias", ScalarType::kFloat}};
+  AccessorInfo r = PointAccessor("R");
+  AccessorInfo g = PointAccessor("G");
+  AccessorInfo b = PointAccessor("B");
+  src.accessors = {r, g, b};
+  src.body = "output() = c_r * R() + c_g * G() + c_b * B() + bias;";
+  return src;
+}
+
+HostImage<float> MakeVignettingGain(int width, int height, float edge_gain) {
+  HostImage<float> gain(width, height);
+  const double cx = (width - 1) / 2.0;
+  const double cy = (height - 1) / 2.0;
+  const double r2_max = cx * cx + cy * cy;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double dx = x - cx;
+      const double dy = y - cy;
+      const double falloff = r2_max > 0.0 ? (dx * dx + dy * dy) / r2_max : 0.0;
+      gain.at(x, y) =
+          static_cast<float>(1.0 + (edge_gain - 1.0) * falloff);
+    }
+  }
+  return gain;
+}
+
+void BuildCameraIspGraph(runtime::PipelineGraph& graph, int width, int height,
+                         ast::BoundaryMode mode) {
+  // BT.601 full-range RGB -> YUV rows; U/V biased to mid-grey so every
+  // channel stays in [0, 1] for unit-range input.
+  graph.Source("raw", width, height)
+      .Source("gain", width, height)
+      .Kernel("shaded", VignettingApplySource(),
+              {{"Input", "raw"}, {"Gain", "gain"}})
+      .Kernel("r", DebayerPlaneSource('r', mode), {{"Input", "shaded"}})
+      .Kernel("g", DebayerPlaneSource('g', mode), {{"Input", "shaded"}})
+      .Kernel("b", DebayerPlaneSource('b', mode), {{"Input", "shaded"}})
+      .Kernel("y", ColorMatrixSource("rgb2y"),
+              {{"R", "r"}, {"G", "g"}, {"B", "b"}},
+              {{"c_r", 0.299}, {"c_g", 0.587}, {"c_b", 0.114}, {"bias", 0.0}})
+      .Kernel("u", ColorMatrixSource("rgb2u"),
+              {{"R", "r"}, {"G", "g"}, {"B", "b"}},
+              {{"c_r", -0.168736},
+               {"c_g", -0.331264},
+               {"c_b", 0.5},
+               {"bias", 0.5}})
+      .Kernel("v", ColorMatrixSource("rgb2v"),
+              {{"R", "r"}, {"G", "g"}, {"B", "b"}},
+              {{"c_r", 0.5},
+               {"c_g", -0.418688},
+               {"c_b", -0.081312},
+               {"bias", 0.5}})
+      .Kernel("y_dn", GaussianSource(3, 0.8f, mode), {{"Input", "y"}})
+      .Output("y_dn")
+      .Output("u")
+      .Output("v");
+}
+
+}  // namespace hipacc::ops

@@ -1,0 +1,61 @@
+// Camera-ISP workload for the streaming frame executor: the classic
+// raw-to-YUV front half of a camera image signal processor, expressed as a
+// PipelineGraph so every frame of a video stream re-executes the identical
+// compiled plan. The chain is
+//
+//   raw, gain (sources)
+//     -> shaded   lens-shading / vignetting correction (raw * gain map)
+//     -> r, g, b  demosaic planes: three 3x3 interpolation convolutions
+//                 reading the same shaded image (horizontal-fusion siblings)
+//     -> y, u, v  color-space matrix (BT.601), one 3-accessor point op per
+//                 output channel
+//     -> y_dn     3x3 Gaussian luma denoise (the existing Gaussian stage)
+//
+// with outputs y_dn, u, v — the shape openpilot-style camera pipelines run
+// per frame at 30-120 fps.
+//
+// The DSL (and the host bytecode executor the streaming benches lean on)
+// only expresses coordinate-free operators, so two stages are stand-ins for
+// their coordinate-dependent textbook forms: demosaicing uses fixed
+// parity-averaged interpolation masks instead of switching on the Bayer
+// phase of (x, y), and vignetting reads a precomputed radial gain *image*
+// (MakeVignettingGain) instead of evaluating the radius per pixel. Both
+// keep the arithmetic-per-pixel and dataflow of the real chain, which is
+// what the streaming executor exercises.
+#pragma once
+
+#include "ast/metadata.hpp"
+#include "frontend/parser.hpp"
+#include "image/host_image.hpp"
+#include "runtime/graph.hpp"
+
+namespace hipacc::ops {
+
+/// Demosaic interpolation plane for the R/G/B channel: a 3x3 convolution
+/// with the bilinear Bayer-interpolation mask averaged over the four Bayer
+/// phases (coordinate-free stand-in; see file comment). `plane` is 'r', 'g',
+/// or 'b' and names the kernel "debayer_<plane>".
+frontend::KernelSource DebayerPlaneSource(char plane, ast::BoundaryMode mode);
+
+/// Point operator: output() = Input() * Gain() — lens-shading correction
+/// against a per-pixel gain map bound as a second input image.
+frontend::KernelSource VignettingApplySource();
+
+/// Point operator: output() = c_r * R() + c_g * G() + c_b * B() + bias,
+/// with the four coefficients as scalar params — one instance per YUV
+/// channel, bound to the BT.601 row in BuildCameraIspGraph.
+frontend::KernelSource ColorMatrixSource(const std::string& name);
+
+/// Radial lens-shading gain map: 1.0 in the centre rising to `edge_gain`
+/// in the corners (quadratic falloff model, evaluated on the host once per
+/// stream, not per frame).
+HostImage<float> MakeVignettingGain(int width, int height,
+                                    float edge_gain = 1.8f);
+
+/// Declares the full ISP chain on `graph` (see file comment): sources "raw"
+/// and "gain" (width x height), outputs "y_dn", "u", "v". Reusable: bind
+/// the sources/outputs and run — one-shot or through the StreamExecutor.
+void BuildCameraIspGraph(runtime::PipelineGraph& graph, int width, int height,
+                         ast::BoundaryMode mode);
+
+}  // namespace hipacc::ops

@@ -1,19 +1,10 @@
 #include "runtime/graph.hpp"
 
 #include <algorithm>
-#include <map>
-#include <mutex>
 
-#include "compiler/cache.hpp"
-#include "compiler/driver.hpp"
-#include "compiler/separate.hpp"
-#include "runtime/bindings.hpp"
-#include "runtime/host_exec.hpp"
+#include "runtime/graph_plan.hpp"
 #include "runtime/scheduler.hpp"
-#include "sim/simulator.hpp"
 #include "sim/trace.hpp"
-#include "support/parallel_for.hpp"
-#include "support/string_utils.hpp"
 
 namespace hipacc::runtime {
 
@@ -98,532 +89,31 @@ PipelineGraph& PipelineGraph::Output(std::string name) {
   return *this;
 }
 
-/// All state of one Run(): the fused stage list, compiled artifacts, live
-/// buffers, and reference counts. A fresh GraphRun per call keeps
-/// PipelineGraph itself reusable and Run() re-entrant over the same graph.
-struct GraphRun {
-  using Node = PipelineGraph::Node;
-
-  /// One schedulable stage after fusion. `source` + `chain` reproduce the
-  /// compiled kernel through the driver's fuse pass; `effective` is the
-  /// materialised fused source used for further legality checks.
-  struct Stage {
-    Node::Kind kind = Node::Kind::kSource;
-    std::string name;
-    frontend::KernelSource source;
-    std::vector<compiler::FusionRequest> chain;
-    frontend::KernelSource effective;
-    std::vector<std::pair<std::string, std::string>> inputs;
-    /// extra-output name -> virtual image: further images this stage
-    /// produces after horizontal fusion (the absorbed siblings' outputs).
-    std::vector<std::pair<std::string, std::string>> extra_images;
-    std::vector<std::pair<std::string, double>> scalars;
-    int width = 0;
-    int height = 0;
-    compiler::CompiledKernel compiled;
-  };
-
-  PipelineGraph& graph;
-  const GraphOptions& options;
-  sim::TraceSink* trace;
-  std::vector<Stage> stages;
-  std::map<std::string, int> producer;  ///< image name -> stage index
-
-  // Execution state.
-  std::mutex mutex;
-  std::map<std::string, BufferPool::ImagePtr> buffers;
-  std::map<std::string, int> refcount;
-  const PipelineGraph::InputBindings* inputs = nullptr;
-
-  GraphRun(PipelineGraph& g, const GraphOptions& o)
-      : graph(g), options(o), trace(o.run.trace) {}
-
-  Status Validate(const PipelineGraph::InputBindings& in,
-                  const PipelineGraph::OutputBindings& out);
-  Result<std::vector<int>> OrderAndExtents();
-  void PlanSeparation();
-  void PlanFusion();
-  Status CompileStages();
-  DagSpec BuildDag() const;
-  Status ExecStage(int index);
-  Status RunKernelStage(Stage& stage);
-  void ReleaseConsumed(const Stage& stage);
-};
-
-Status GraphRun::Validate(const PipelineGraph::InputBindings& in,
-                          const PipelineGraph::OutputBindings& out) {
-  for (std::size_t i = 0; i < graph.nodes_.size(); ++i)
-    producer[graph.nodes_[i].name] = static_cast<int>(i);
-  for (const Node& node : graph.nodes_) {
-    for (const auto& [accessor, image] : node.inputs) {
-      if (producer.find(image) == producer.end())
-        return Status::Invalid("stage '" + node.name +
-                               "' consumes undeclared image '" + image + "'");
-      if (image == node.name)
-        return Status::Invalid("pipeline graph has a cycle: " + node.name +
-                               " -> " + node.name);
-    }
-  }
-  for (const std::string& name : graph.outputs_) {
-    if (producer.find(name) == producer.end())
-      return Status::Invalid("output '" + name +
-                             "' is not produced by any stage");
-  }
-  for (const auto& [name, image] : out) {
-    if (image == nullptr)
-      return Status::Invalid("output '" + name + "' bound to null");
-    if (std::find(graph.outputs_.begin(), graph.outputs_.end(), name) ==
-        graph.outputs_.end())
-      return Status::Invalid("'" + name +
-                             "' is not declared as a graph output");
-  }
-  for (const Node& node : graph.nodes_) {
-    if (node.kind != Node::Kind::kSource) continue;
-    const HostImage<float>* bound = nullptr;
-    for (const auto& [name, image] : in)
-      if (name == node.name) bound = image;
-    if (bound == nullptr)
-      return Status::Invalid("source '" + node.name + "' is not bound");
-    if (bound->width() != node.width || bound->height() != node.height)
-      return Status::Invalid(StrFormat(
-          "source '%s' declared %dx%d but bound %dx%d", node.name.c_str(),
-          node.width, node.height, bound->width(), bound->height()));
-  }
-  return Status::Ok();
-}
-
-Result<std::vector<int>> GraphRun::OrderAndExtents() {
-  // Cycle check runs on the *declared* graph so the diagnostic speaks the
-  // user's stage names; fusion afterwards preserves acyclicity.
-  DagSpec dag;
-  dag.dependencies.assign(graph.nodes_.size(), 0);
-  dag.consumers.assign(graph.nodes_.size(), {});
-  for (std::size_t i = 0; i < graph.nodes_.size(); ++i) {
-    for (const auto& [accessor, image] : graph.nodes_[i].inputs) {
-      dag.dependencies[i] += 1;
-      dag.consumers[static_cast<std::size_t>(producer.at(image))].push_back(
-          static_cast<int>(i));
-    }
-  }
-  Result<std::vector<int>> order = TopologicalOrder(
-      dag, [this](int i) { return graph.nodes_[static_cast<std::size_t>(i)].name; });
-  if (!order.ok()) return order.status();
-
-  stages.resize(graph.nodes_.size());
-  for (std::size_t i = 0; i < graph.nodes_.size(); ++i) {
-    const Node& node = graph.nodes_[i];
-    Stage& stage = stages[i];
-    stage.kind = node.kind;
-    stage.name = node.name;
-    stage.source = node.kernel;
-    stage.effective = node.kernel;
-    stage.inputs = node.inputs;
-    stage.scalars = node.scalars;
-    stage.width = node.width;
-    stage.height = node.height;
-  }
-  for (int index : order.value()) {
-    Stage& stage = stages[static_cast<std::size_t>(index)];
-    if (stage.kind == Node::Kind::kSource) continue;
-    const Stage& first =
-        stages[static_cast<std::size_t>(producer.at(stage.inputs.front().second))];
-    switch (stage.kind) {
-      case Node::Kind::kKernel:
-        stage.width = first.width;
-        stage.height = first.height;
-        break;
-      case Node::Kind::kDecimate:
-        stage.width = (first.width + 1) / 2;
-        stage.height = (first.height + 1) / 2;
-        break;
-      case Node::Kind::kUpsample:
-        if (stage.width < first.width || stage.height < first.height)
-          return Status::Invalid(StrFormat(
-              "upsample stage '%s' target %dx%d is smaller than its input "
-              "%dx%d",
-              stage.name.c_str(), stage.width, stage.height, first.width,
-              first.height));
-        break;
-      case Node::Kind::kSource:
-        break;
-    }
-  }
-  return order;
-}
-
-void GraphRun::PlanSeparation() {
-  if (!options.separate) return;
-  // Runs before fusion: a fused convolution body no longer matches the
-  // canonical form, while a separated column pass is still a convolution
-  // a point-wise consumer can fuse into afterwards.
-  const std::size_t count = stages.size();
-  for (std::size_t s = 0; s < count; ++s) {
-    if (stages[s].kind != Node::Kind::kKernel) continue;
-    if (stages[s].inputs.size() != 1) continue;
-    std::optional<compiler::SeparatedStages> sep =
-        compiler::SeparateConvolution(stages[s].effective);
-    if (!sep) continue;
-    const std::string intermediate = stages[s].name + ".sep_row";
-    if (producer.find(intermediate) != producer.end()) continue;
-
-    // The appended row stage consumes the original input edge and produces
-    // the intermediate virtual image; the original slot becomes the column
-    // pass so the stage keeps producing its externally visible name.
-    Stage row;
-    row.kind = Node::Kind::kKernel;
-    row.name = intermediate;
-    row.source = sep->row;
-    row.effective = std::move(sep->row);
-    row.inputs = stages[s].inputs;
-    row.width = stages[s].width;
-    row.height = stages[s].height;
-    const std::string accessor = row.inputs.front().first;
-    stages.push_back(std::move(row));  // may reallocate: re-index below
-
-    Stage& col = stages[s];
-    col.source = sep->col;
-    col.effective = std::move(sep->col);
-    col.inputs = {{accessor, intermediate}};
-    producer[intermediate] = static_cast<int>(stages.size() - 1);
-    if (trace != nullptr) trace->IncrementCounter("separate.edges");
-  }
-}
-
-void GraphRun::PlanFusion() {
-  if (options.fuse == compiler::FusionMode::kOff) return;
-  compiler::FusionPlannerOptions popts;
-  popts.mode = options.fuse;
-  popts.compile = MakeCompileOptions(options.run, 0, 0);
-  std::vector<compiler::CandidateDecision> decisions;
-  popts.decisions = &decisions;
-
-  while (true) {
-    // The planner sees the current (post-separation, partially fused) stage
-    // list; one accepted step is applied per round until none remains.
-    std::vector<compiler::PlannerStage> view(stages.size());
-    for (std::size_t i = 0; i < stages.size(); ++i) {
-      const Stage& stage = stages[i];
-      view[i].fusable =
-          stage.kind == Node::Kind::kKernel && !stage.name.empty();
-      view[i].name = stage.name;
-      view[i].source = &stage.effective;
-      view[i].inputs = stage.inputs;
-      for (const auto& [output_name, image] : stage.extra_images)
-        view[i].extra_images.push_back(image);
-      view[i].width = stage.width;
-      view[i].height = stage.height;
-      view[i].external =
-          std::find(graph.outputs_.begin(), graph.outputs_.end(),
-                    stage.name) != graph.outputs_.end();
-    }
-    std::optional<compiler::PlannedFusion> plan =
-        compiler::PlanNextFusion(view, popts);
-    if (!plan) break;
-
-    Stage& into = stages[static_cast<std::size_t>(plan->into)];
-    Stage& retired = stages[static_cast<std::size_t>(plan->retired)];
-    if (plan->request.kind == compiler::FuseKind::kHorizontal) {
-      // Sibling merge: `into` absorbs `retired`, whose image it keeps
-      // producing as a named extra output. The sibling's shared-input edge
-      // collapsed into `into`'s accessor; its other inputs carry over.
-      into.chain.push_back(plan->request);
-      into.effective = std::move(plan->fused);
-      for (const auto& [accessor, image] : retired.inputs)
-        if (accessor != plan->request.peer_accessor)
-          into.inputs.emplace_back(accessor, image);
-      into.scalars.insert(into.scalars.end(), retired.scalars.begin(),
-                          retired.scalars.end());
-      into.extra_images.emplace_back(plan->request.output_name, retired.name);
-      producer[retired.name] = plan->into;
-    } else {
-      // Producer→consumer merge (point or halo): the consumer's slot now
-      // compiles the producer's source with the consumer appended to the
-      // fusion chain, consumes the producer's inputs plus its own remaining
-      // ones, and still produces the consumer's image. The intermediate
-      // image disappears.
-      for (std::size_t e = 0; e < into.inputs.size(); ++e) {
-        if (into.inputs[e].first == plan->request.accessor &&
-            into.inputs[e].second == retired.name) {
-          into.inputs.erase(into.inputs.begin() +
-                            static_cast<std::ptrdiff_t>(e));
-          break;
-        }
-      }
-      into.chain = std::move(retired.chain);
-      into.chain.push_back(plan->request);
-      into.source = retired.source;
-      into.effective = std::move(plan->fused);
-      into.inputs.insert(into.inputs.begin(), retired.inputs.begin(),
-                         retired.inputs.end());
-      into.scalars.insert(into.scalars.end(), retired.scalars.begin(),
-                          retired.scalars.end());
-      producer[into.name] = plan->into;
-      producer.erase(retired.name);
-    }
-    // Retire the absorbed stage in place (erasing would invalidate the
-    // `producer` index map); BuildDag skips retired stages.
-    retired.kind = Node::Kind::kSource;
-    retired.inputs.clear();
-    retired.name.clear();
-    if (trace != nullptr) {
-      trace->IncrementCounter("graph.fused_edges");
-      trace->IncrementCounter(std::string("graph.fused.") +
-                              compiler::to_string(plan->request.kind));
-    }
-  }
-
-  // One decision per candidate (the planner re-examines surviving rejects
-  // every round): rejected candidates feed the fuse.rejected.* counters and
-  // the --explain-fusion sink.
-  compiler::DedupeDecisions(&decisions);
-  if (trace != nullptr) {
-    for (const compiler::CandidateDecision& d : decisions) {
-      if (d.accepted) continue;
-      trace->IncrementCounter(d.legal ? "fuse.rejected.profitability"
-                                      : "fuse.rejected.legality");
-    }
-  }
-  if (options.explain != nullptr)
-    options.explain->insert(options.explain->end(), decisions.begin(),
-                            decisions.end());
-}
-
-Status GraphRun::CompileStages() {
-  sim::TraceSpan span(trace, "graph compile", "graph");
-  std::vector<Status> statuses(stages.size());
-  // Concurrent compilation through the (thread-safe) compilation cache;
-  // repeated extents and repeated Run() calls hit instead of recompiling.
-  ParallelFor(0, static_cast<int>(stages.size()), [&](int i) {
-    Stage& stage = stages[static_cast<std::size_t>(i)];
-    if (stage.kind != Node::Kind::kKernel) return;
-    compiler::CompileOptions copts =
-        MakeCompileOptions(options.run, stage.width, stage.height);
-    copts.fusion = stage.chain;
-    Result<compiler::CompiledKernel> compiled =
-        compiler::Compile(stage.source, copts);
-    if (!compiled.ok()) {
-      statuses[static_cast<std::size_t>(i)] =
-          Status::Invalid("stage '" + stage.name +
-                          "': " + compiled.status().message());
-      return;
-    }
-    stage.compiled = std::move(compiled).take();
-  });
-  for (const Status& status : statuses) HIPACC_RETURN_IF_ERROR(status);
-  return Status::Ok();
-}
-
-DagSpec GraphRun::BuildDag() const {
-  DagSpec dag;
-  dag.dependencies.assign(stages.size(), 0);
-  dag.consumers.assign(stages.size(), {});
-  for (std::size_t i = 0; i < stages.size(); ++i) {
-    // Retired fusion producers keep their slot but have no inputs and no
-    // name; they run as zero-cost no-ops.
-    for (const auto& [accessor, image] : stages[i].inputs) {
-      dag.dependencies[i] += 1;
-      dag.consumers[static_cast<std::size_t>(producer.at(image))].push_back(
-          static_cast<int>(i));
-    }
-  }
-  return dag;
-}
-
-Status GraphRun::RunKernelStage(Stage& stage) {
-  BindingSet bindings;
-  for (const auto& [accessor, image] : stage.inputs) {
-    dsl::Image<float>* bound = nullptr;
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      bound = buffers.at(image).get();
-    }
-    bindings.Input(accessor, *bound);
-  }
-  dsl::Image<float>* out = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mutex);
-    out = buffers.at(stage.name).get();
-  }
-  bindings.Output(*out);
-  for (const auto& [output_name, image] : stage.extra_images) {
-    dsl::Image<float>* extra = nullptr;
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      extra = buffers.at(image).get();
-    }
-    bindings.Output(output_name, *extra);
-  }
-  for (const auto& [name, value] : stage.scalars) bindings.Scalar(name, value);
-
-  const compiler::CompiledKernel& ck = stage.compiled;
-  Result<LaunchHolder> holder =
-      BuildLaunch(ck.device_ir, ck.config.config, bindings);
-  if (!holder.ok()) return holder.status();
-  sim::Launch& launch = holder.value().launch;
-  launch.programs = ck.bytecode.get();
-
-  const bool host_ok =
-      options.executor != GraphOptions::Executor::kSimulator &&
-      ck.bytecode != nullptr &&
-      HostExecSupports(*ck.bytecode, launch.width, launch.height,
-                       ck.device_ir.bh_window.half_x,
-                       ck.device_ir.bh_window.half_y);
-  if (options.executor == GraphOptions::Executor::kHost && !host_ok)
-    return Status::Unimplemented(
-        "stage '" + stage.name +
-        "' is not supported by the host executor (GraphOptions::Executor::"
-        "kHost)");
-  if (host_ok) {
-    // Inside a multi-worker schedule each stage runs its rows serially —
-    // the DAG branches are the parallelism; a lone worker hands the row
-    // loop all cores instead.
-    HostExecOptions exec_options;
-    exec_options.threads = options.workers == 1 ? 0 : 1;
-    HIPACC_RETURN_IF_ERROR(RunOnHost(launch, ck.device_ir.bh_window.half_x,
-                                     ck.device_ir.bh_window.half_y,
-                                     exec_options));
-    if (trace != nullptr) trace->IncrementCounter("graph.launches.host");
-    return Status::Ok();
-  }
-  sim::Simulator simulator(options.run.device, options.run.sim_options());
-  Result<sim::LaunchStats> stats = simulator.Execute(launch);
-  if (!stats.ok()) return stats.status();
-  if (trace != nullptr) {
-    trace->IncrementCounter("graph.launches.sim");
-    // Modelled device time of the whole graph, in microseconds — what the
-    // fusion benches gate on (host wall-clock would mis-charge the halo
-    // recompute the device model absorbs in its memory bounds).
-    trace->IncrementCounter(
-        "graph.modelled_us",
-        static_cast<long long>(stats.value().timing.total_ms * 1000.0));
-  }
-  return Status::Ok();
-}
-
-void GraphRun::ReleaseConsumed(const Stage& stage) {
-  for (const auto& [accessor, image] : stage.inputs) {
-    std::lock_guard<std::mutex> lock(mutex);
-    auto it = refcount.find(image);
-    if (it == refcount.end() || --it->second > 0) continue;
-    refcount.erase(it);
-    auto buffer = buffers.find(image);
-    if (buffer != buffers.end()) {
-      graph.pool_.Release(std::move(buffer->second));
-      buffers.erase(buffer);
-    }
-  }
-}
-
-Status GraphRun::ExecStage(int index) {
-  Stage& stage = stages[static_cast<std::size_t>(index)];
-  if (stage.name.empty()) return Status::Ok();  // retired fusion producer
-  sim::TraceSpan span(trace, "stage " + stage.name, "graph");
-
-  BufferPool::ImagePtr out =
-      graph.pool_.Acquire(stage.width, stage.height, trace);
-  {
-    std::lock_guard<std::mutex> lock(mutex);
-    buffers[stage.name] = std::move(out);
-  }
-  // A horizontally fused stage fills several virtual images in one launch;
-  // each gets its own pooled buffer under its declared name.
-  for (const auto& [output_name, image] : stage.extra_images) {
-    BufferPool::ImagePtr extra =
-        graph.pool_.Acquire(stage.width, stage.height, trace);
-    std::lock_guard<std::mutex> lock(mutex);
-    buffers[image] = std::move(extra);
-  }
-
-  Status status = Status::Ok();
-  switch (stage.kind) {
-    case Node::Kind::kSource: {
-      const HostImage<float>* host = nullptr;
-      for (const auto& [name, image] : *inputs)
-        if (name == stage.name) host = image;
-      std::lock_guard<std::mutex> lock(mutex);
-      buffers.at(stage.name)->CopyFrom(*host);
-      break;
-    }
-    case Node::Kind::kDecimate: {
-      dsl::Image<float>* in = nullptr;
-      dsl::Image<float>* dst = nullptr;
-      {
-        std::lock_guard<std::mutex> lock(mutex);
-        in = buffers.at(stage.inputs.front().second).get();
-        dst = buffers.at(stage.name).get();
-      }
-      for (int y = 0; y < stage.height; ++y)
-        for (int x = 0; x < stage.width; ++x)
-          dst->at(x, y) = in->at(2 * x, 2 * y);
-      break;
-    }
-    case Node::Kind::kUpsample: {
-      dsl::Image<float>* in = nullptr;
-      dsl::Image<float>* dst = nullptr;
-      {
-        std::lock_guard<std::mutex> lock(mutex);
-        in = buffers.at(stage.inputs.front().second).get();
-        dst = buffers.at(stage.name).get();
-      }
-      for (int y = 0; y < stage.height; ++y)
-        for (int x = 0; x < stage.width; ++x) dst->at(x, y) = 0.0f;
-      for (int y = 0; y < in->height(); ++y)
-        for (int x = 0; x < in->width(); ++x) {
-          const int tx = 2 * x, ty = 2 * y;
-          if (tx < stage.width && ty < stage.height)
-            dst->at(tx, ty) = in->at(x, y);
-        }
-      break;
-    }
-    case Node::Kind::kKernel:
-      status = RunKernelStage(stage);
-      break;
-  }
-  if (!status.ok()) return status;
-  if (trace != nullptr) trace->IncrementCounter("graph.stages");
-  ReleaseConsumed(stage);
-  return Status::Ok();
-}
-
 Status PipelineGraph::Run(const InputBindings& inputs,
                           const OutputBindings& outputs,
                           const GraphOptions& options) {
-  HIPACC_RETURN_IF_ERROR(deferred_error_);
-  if (nodes_.empty()) return Status::Invalid("pipeline graph has no stages");
+  // One-shot execution is exactly "build one plan, execute one frame"; the
+  // streaming executor (stream_executor.hpp) holds the plan across frames
+  // instead.
+  sim::TraceSpan span(options.run.trace, "graph run", "graph");
+  Result<GraphPlan> plan = GraphPlan::Build(*this, options);
+  if (!plan.ok()) return plan.status();
+  HIPACC_RETURN_IF_ERROR(plan.value().ValidateBindings(inputs, outputs));
 
-  GraphRun run(*this, options);
-  sim::TraceSpan span(run.trace, "graph run", "graph");
-  HIPACC_RETURN_IF_ERROR(run.Validate(inputs, outputs));
-  {
-    Result<std::vector<int>> order = run.OrderAndExtents();
-    if (!order.ok()) return order.status();
-  }
-  run.PlanSeparation();
-  run.PlanFusion();
-  HIPACC_RETURN_IF_ERROR(run.CompileStages());
-
-  // A consumed image is released to the pool once its last consumer edge
-  // ran; externally visible outputs hold one extra reference until copied.
-  run.inputs = &inputs;
-  for (const GraphRun::Stage& stage : run.stages)
-    for (const auto& [accessor, image] : stage.inputs) run.refcount[image] += 1;
-  for (const std::string& name : outputs_)
-    if (run.producer.find(name) != run.producer.end()) run.refcount[name] += 1;
-
-  const DagSpec dag = run.BuildDag();
-  HIPACC_RETURN_IF_ERROR(RunDag(dag, options.workers,
-                                [&run](int index) { return run.ExecStage(index); }));
-
-  for (const auto& [name, image] : outputs) {
-    auto it = run.buffers.find(name);
-    if (it == run.buffers.end())
-      return Status::Internal("output '" + name + "' was never produced");
-    *image = it->second->getData();
-  }
+  FrameExec frame(plan.value(), /*epoch=*/0);
+  frame.BindInputs(&inputs);
+  Status status = RunDag(plan.value().dag, options.workers,
+                         [&frame](int index) { return frame.ExecStage(index); });
+  if (status.ok()) status = frame.CopyOutputs(outputs);
   // Return every remaining buffer (outputs, unconsumed leaves) to the pool
-  // for the next Run().
-  for (auto& [name, buffer] : run.buffers) pool_.Release(std::move(buffer));
-  if (run.trace != nullptr) run.trace->IncrementCounter("graph.runs");
+  // for the next Run() — also on failure, so errors never leak buffers.
+  frame.ReleaseRemaining();
+  HIPACC_RETURN_IF_ERROR(status);
+
+  if (options.run.profiles != nullptr)
+    options.run.profiles->RecordBatch(frame.TakeObservations());
+  if (options.run.trace != nullptr)
+    options.run.trace->IncrementCounter("graph.runs");
   return Status::Ok();
 }
 

@@ -118,9 +118,8 @@ class PipelineGraph {
   /// so repeated runs reuse every buffer of the first.
   const BufferPool& pool() const { return pool_; }
 
- private:
-  friend struct GraphRun;
-
+  /// One declared stage. Public so the execution plan (graph_plan.hpp) can
+  /// speak the same vocabulary; applications use the builder methods above.
   struct Node {
     enum class Kind { kSource, kKernel, kDecimate, kUpsample };
     Kind kind = Kind::kSource;
@@ -133,6 +132,9 @@ class PipelineGraph {
     int width = 0;   ///< declared extent (kSource / kUpsample)
     int height = 0;
   };
+
+ private:
+  friend struct GraphPlan;
 
   PipelineGraph& AddNode(Node node);
 

@@ -1,0 +1,135 @@
+// Split of the pipeline graph runtime into a reusable *plan* and per-frame
+// *execution state*. PR 4's GraphRun bundled both into one object that lived
+// for exactly one Run() call; the streaming executor needs the opposite
+// lifetime — one planning/compilation pass amortised over a whole frame
+// stream, with several frames' worth of mutable state alive at once. So:
+//
+//   GraphPlan   — everything about a graph that is frame-invariant: the
+//                 validated, separated, fused, *compiled* stage list, the
+//                 scheduling DAG, and the per-frame buffer refcount
+//                 template. Built once (GraphPlan::Build), immutable
+//                 afterwards, safe to execute from many frames/threads
+//                 concurrently.
+//   FrameExec   — one frame's mutable state over a plan: the live buffer
+//                 map, the remaining-consumer refcounts, the bound inputs,
+//                 and the profile observations the frame's launches
+//                 produced. Each in-flight frame owns its own FrameExec, so
+//                 overlapped frames can never alias each other's buffers —
+//                 they draw from the shared BufferPool, which hands every
+//                 Acquire a distinct image.
+//
+// PipelineGraph::Run is now exactly "Build one plan, execute one frame";
+// runtime::StreamExecutor (stream_executor.hpp) keeps the plan and pipelines
+// FrameExecs with N frames in flight.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compiler/driver.hpp"
+#include "compiler/profile.hpp"
+#include "runtime/graph.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace hipacc::runtime {
+
+/// Frame-invariant execution plan of one PipelineGraph under fixed
+/// GraphOptions. Holds pointers to the graph's buffer pool and the options'
+/// trace sink; the graph and options must outlive the plan.
+struct GraphPlan {
+  using Node = PipelineGraph::Node;
+
+  /// One schedulable stage after separation/fusion. `source` + `chain`
+  /// reproduce the compiled kernel through the driver's fuse pass;
+  /// `effective` is the materialised fused source used for further legality
+  /// checks during planning.
+  struct Stage {
+    Node::Kind kind = Node::Kind::kSource;
+    std::string name;
+    frontend::KernelSource source;
+    std::vector<compiler::FusionRequest> chain;
+    frontend::KernelSource effective;
+    std::vector<std::pair<std::string, std::string>> inputs;
+    /// extra-output name -> virtual image: further images this stage
+    /// produces after horizontal fusion (the absorbed siblings' outputs).
+    std::vector<std::pair<std::string, std::string>> extra_images;
+    std::vector<std::pair<std::string, double>> scalars;
+    int width = 0;
+    int height = 0;
+    compiler::CompiledKernel compiled;
+  };
+
+  /// Validates the graph structure (undeclared images, duplicate producers,
+  /// cycles — with stage-named diagnostics), plans separation and fusion,
+  /// and compiles every kernel stage concurrently through the compilation
+  /// cache. Per-frame binding checks (source extents, null outputs) live in
+  /// ValidateBindings so a streaming run re-checks each frame cheaply.
+  static Result<GraphPlan> Build(PipelineGraph& graph,
+                                 const GraphOptions& options);
+
+  /// Per-frame half of the old Validate(): every declared source bound with
+  /// the declared extent, every bound output declared and non-null.
+  Status ValidateBindings(const PipelineGraph::InputBindings& inputs,
+                          const PipelineGraph::OutputBindings& outputs) const;
+
+  const GraphOptions* options = nullptr;
+  sim::TraceSink* trace = nullptr;
+  BufferPool* pool = nullptr;
+  std::vector<Stage> stages;
+  std::map<std::string, int> producer;  ///< image name -> stage index
+  std::vector<std::string> outputs;     ///< externally visible images
+  DagSpec dag;
+  /// Per-frame buffer refcount template: consumer edges per image, plus one
+  /// for externally visible outputs (held until copied out).
+  std::map<std::string, int> base_refcount;
+};
+
+/// Mutable state of one frame's execution over a GraphPlan. ExecStage is
+/// thread-safe across *distinct* stages of the same frame (the DAG workers'
+/// contract); distinct frames are fully independent.
+class FrameExec {
+ public:
+  /// `epoch` is the frame index in a streaming run (0 for one-shot Run());
+  /// it labels trace spans/launches and groups profile observations.
+  FrameExec(const GraphPlan& plan, long long epoch);
+
+  /// Binds this frame's source images. The pointee vectors must stay alive
+  /// until the frame completed. Call once before executing stages.
+  void BindInputs(const PipelineGraph::InputBindings* inputs);
+
+  /// Executes one stage: acquires its output buffers from the pool, runs
+  /// the kernel (host bytecode executor when supported, simulated device
+  /// otherwise), and releases inputs whose last consumer this was.
+  Status ExecStage(int index);
+
+  /// Copies every bound output's pixels out. Call after all stages ran.
+  Status CopyOutputs(const PipelineGraph::OutputBindings& outputs);
+
+  /// Returns every remaining live buffer (outputs, unconsumed leaves) to
+  /// the pool. Safe to call after failures; idempotent.
+  void ReleaseRemaining();
+
+  /// Profile observations this frame's simulated launches produced, for a
+  /// batched ProfileStore flush (empty when RunOptions::profiles is unset
+  /// or every stage ran on the host executor). Clears the internal list.
+  std::vector<compiler::KeyedObservation> TakeObservations();
+
+  long long epoch() const noexcept { return epoch_; }
+
+ private:
+  Status RunKernelStage(const GraphPlan::Stage& stage);
+  void ReleaseConsumed(const GraphPlan::Stage& stage);
+
+  const GraphPlan& plan_;
+  long long epoch_ = 0;
+  std::mutex mutex_;
+  std::map<std::string, BufferPool::ImagePtr> buffers_;
+  std::map<std::string, int> refcount_;
+  const PipelineGraph::InputBindings* inputs_ = nullptr;
+  std::vector<compiler::KeyedObservation> observations_;
+};
+
+}  // namespace hipacc::runtime

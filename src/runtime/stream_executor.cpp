@@ -1,0 +1,411 @@
+#include "runtime/stream_executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "runtime/bindings.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "support/stopwatch.hpp"
+
+namespace hipacc::runtime {
+
+const char* to_string(StreamMode mode) noexcept {
+  switch (mode) {
+    case StreamMode::kSerial: return "serial";
+    case StreamMode::kOverlap: return "overlap";
+  }
+  return "?";
+}
+
+Result<StreamMode> ParseStreamMode(const std::string& text) {
+  if (text == "serial") return StreamMode::kSerial;
+  if (text == "overlap") return StreamMode::kOverlap;
+  return Status::Invalid("unknown stream mode '" + text +
+                         "' (expected serial|overlap)");
+}
+
+Result<StreamOptions> StreamCliConfig::ToOptions() const {
+  if (frames < 1) return Status::Invalid("--frames must be >= 1");
+  if (in_flight < 1) return Status::Invalid("--in-flight must be >= 1");
+  if (fps_target < 0) return Status::Invalid("--fps-target must be >= 0");
+  Result<StreamMode> parsed = ParseStreamMode(mode);
+  if (!parsed.ok()) return parsed.status();
+  StreamOptions options;
+  options.mode = parsed.value();
+  options.in_flight = in_flight;
+  options.fps_target = fps_target;
+  return options;
+}
+
+void RegisterStreamFlags(support::CliParser* cli, StreamCliConfig* config) {
+  cli->Int("frames", &config->frames, "N", "frames to stream");
+  cli->Int("in-flight", &config->in_flight, "N",
+           "max frames admitted but not yet retired (overlap mode)");
+  cli->Int("fps-target", &config->fps_target, "N",
+           "frame-rate target the report compares against (0 = none)");
+  cli->String("stream-mode", &config->mode, "MODE",
+              "frame window policy: serial | overlap");
+}
+
+double StreamStats::LatencyPercentile(double p) const {
+  if (latencies_ms.empty()) return 0.0;
+  std::vector<double> sorted = latencies_ms;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  const double rank =
+      clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// One in-flight frame: its FrameExec, its caller-provided bindings, and the
+/// per-frame scheduling state (remaining dependency counts).
+struct StreamExecutor::FrameState {
+  std::unique_ptr<FrameExec> exec;
+  PipelineGraph::InputBindings inputs;
+  PipelineGraph::OutputBindings outputs;
+  std::vector<int> deps;  ///< remaining unfinished producers, per node
+  int remaining = 0;      ///< nodes not yet executed
+  bool done = false;      ///< every node ran; eligible to retire
+  double admit_ms = 0.0;
+};
+
+/// The workers' shared scheduling state. One mutex guards everything; stage
+/// execution, binding, and retirement all happen with it released.
+struct StreamExecutor::Shared {
+  std::mutex mutex;
+  std::condition_variable cv;
+  long long total = 0;
+  long long admitted = 0;
+  long long retired = 0;
+  bool binding = false;   ///< a worker is inside the bind callback
+  bool retiring = false;  ///< a worker is driving the in-order retire chain
+  int executing = 0;      ///< stages currently running
+  Status error = Status::Ok();
+  std::map<long long, FrameState> frames;
+  /// Ready nodes, keyed by frame: workers always drain the *oldest* frame
+  /// first so frames retire (and their buffers free) as early as possible.
+  std::map<long long, std::vector<int>> ready;
+  const FrameBinder* binder = nullptr;
+  const FrameRetirer* retirer = nullptr;
+  Stopwatch clock;
+  std::vector<double> latencies;
+  int max_in_flight = 0;
+};
+
+StreamExecutor::StreamExecutor(PipelineGraph& graph,
+                               GraphOptions graph_options, StreamOptions stream)
+    : graph_(graph),
+      graph_options_(std::move(graph_options)),
+      stream_(stream) {}
+
+StreamExecutor::~StreamExecutor() = default;
+
+int StreamExecutor::window() const noexcept {
+  return stream_.mode == StreamMode::kSerial ? 1
+                                             : std::max(1, stream_.in_flight);
+}
+
+Status StreamExecutor::Prepare() {
+  if (prepared_) return Status::Ok();
+  Result<GraphPlan> plan = GraphPlan::Build(graph_, graph_options_);
+  if (!plan.ok()) return plan.status();
+  plan_ = std::move(plan).take();
+  prepared_ = true;
+  return Status::Ok();
+}
+
+void StreamExecutor::WorkerLoop(Shared* s) {
+  std::unique_lock<std::mutex> lock(s->mutex);
+  for (;;) {
+    // 1. Execute a ready stage, oldest admitted frame first.
+    if (!s->ready.empty()) {
+      auto it = s->ready.begin();
+      const long long frame = it->first;
+      const int node = it->second.back();
+      it->second.pop_back();
+      if (it->second.empty()) s->ready.erase(it);
+      FrameState& state = s->frames.at(frame);
+      ++s->executing;
+      lock.unlock();
+      Status status = state.exec->ExecStage(node);
+      lock.lock();
+      --s->executing;
+      if (!status.ok()) {
+        if (s->error.ok()) s->error = status;
+        s->ready.clear();
+        s->cv.notify_all();
+        continue;
+      }
+      for (int consumer :
+           plan_.dag.consumers[static_cast<std::size_t>(node)]) {
+        if (--state.deps[static_cast<std::size_t>(consumer)] == 0)
+          s->ready[frame].push_back(consumer);
+      }
+      if (--state.remaining == 0) {
+        state.done = true;
+        // Frames retire strictly in admission order; a frame that finished
+        // early waits for its elders. One worker drives the whole chain.
+        if (!s->retiring && frame == s->retired && s->error.ok()) {
+          s->retiring = true;
+          while (s->error.ok()) {
+            auto oldest = s->frames.find(s->retired);
+            if (oldest == s->frames.end() || !oldest->second.done) break;
+            FrameState& retire = oldest->second;
+            const long long epoch = s->retired;
+            lock.unlock();
+            Status retire_status = retire.exec->CopyOutputs(retire.outputs);
+            std::vector<compiler::KeyedObservation> observations =
+                retire.exec->TakeObservations();
+            retire.exec->ReleaseRemaining();
+            // One batched flush per frame, off the per-launch hot path —
+            // the store's mutex (and, disk-backed, its FileLock) is taken
+            // once per epoch instead of once per kernel launch.
+            if (retire_status.ok() &&
+                graph_options_.run.profiles != nullptr &&
+                !observations.empty())
+              graph_options_.run.profiles->RecordBatch(observations);
+            const double latency = s->clock.ElapsedMs() - retire.admit_ms;
+            if (retire_status.ok() && s->retirer != nullptr)
+              retire_status = (*s->retirer)(epoch);
+            if (graph_options_.run.trace != nullptr)
+              graph_options_.run.trace->IncrementCounter("stream.frames");
+            lock.lock();
+            s->latencies.push_back(latency);
+            s->frames.erase(oldest);
+            ++s->retired;
+            if (!retire_status.ok()) {
+              if (s->error.ok()) s->error = retire_status;
+              s->ready.clear();
+            }
+          }
+          s->retiring = false;
+        }
+      }
+      s->cv.notify_all();
+      continue;
+    }
+    // 2. Admit the next frame when the window has room. Binding is
+    // exclusive, so bind callbacks run one at a time, in frame order.
+    if (s->error.ok() && !s->binding && s->admitted < s->total &&
+        s->admitted - s->retired < window()) {
+      const long long frame = s->admitted++;
+      s->binding = true;
+      const double admit_ms = s->clock.ElapsedMs();
+      lock.unlock();
+      FrameState state;
+      state.admit_ms = admit_ms;
+      Status status = (*s->binder)(frame, &state.inputs, &state.outputs);
+      if (status.ok())
+        status = plan_.ValidateBindings(state.inputs, state.outputs);
+      if (status.ok()) {
+        // Epoch frame+1: epoch 0 is the one-shot Run() lane in traces.
+        state.exec = std::make_unique<FrameExec>(plan_, frame + 1);
+        state.deps = plan_.dag.dependencies;
+        state.remaining = plan_.dag.node_count();
+      }
+      lock.lock();
+      s->binding = false;
+      if (!status.ok()) {
+        if (s->error.ok()) s->error = status;
+        s->cv.notify_all();
+        continue;
+      }
+      FrameState& placed = s->frames[frame] = std::move(state);
+      placed.exec->BindInputs(&placed.inputs);
+      std::vector<int>& queue = s->ready[frame];
+      for (std::size_t i = 0; i < plan_.dag.dependencies.size(); ++i)
+        if (plan_.dag.dependencies[i] == 0)
+          queue.push_back(static_cast<int>(i));
+      s->max_in_flight =
+          std::max(s->max_in_flight, static_cast<int>(s->admitted - s->retired));
+      s->cv.notify_all();
+      continue;
+    }
+    // 3. Done — every frame retired, or a failure fully drained.
+    if ((s->error.ok() && s->retired == s->total) ||
+        (!s->error.ok() && s->executing == 0 && !s->binding && !s->retiring)) {
+      s->cv.notify_all();
+      return;
+    }
+    s->cv.wait(lock);
+  }
+}
+
+Status StreamExecutor::Run(long long frames, const FrameBinder& binder,
+                           const FrameRetirer& retirer) {
+  HIPACC_RETURN_IF_ERROR(Prepare());
+  stats_ = StreamStats{};
+  if (frames < 0) return Status::Invalid("stream frame count must be >= 0");
+  if (frames == 0) return Status::Ok();
+  if (!binder) return Status::Invalid("stream run needs a frame binder");
+
+  Shared shared;
+  shared.total = frames;
+  shared.binder = &binder;
+  shared.retirer = retirer ? &retirer : nullptr;
+
+  int workers = graph_options_.workers;
+  if (workers <= 0)
+    workers = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    pool.emplace_back([this, &shared] { WorkerLoop(&shared); });
+  for (std::thread& worker : pool) worker.join();
+
+  // On failure, frames can be stranded mid-window: return their buffers.
+  for (auto& [frame, state] : shared.frames)
+    if (state.exec != nullptr) state.exec->ReleaseRemaining();
+
+  stats_.frames = static_cast<long long>(shared.latencies.size());
+  stats_.wall_ms = shared.clock.ElapsedMs();
+  stats_.fps = stats_.wall_ms > 0.0
+                   ? static_cast<double>(stats_.frames) /
+                         (stats_.wall_ms / 1000.0)
+                   : 0.0;
+  stats_.max_in_flight = shared.max_in_flight;
+  stats_.latencies_ms = std::move(shared.latencies);
+  if (graph_options_.run.trace != nullptr)
+    graph_options_.run.trace->IncrementCounter("stream.runs");
+  return shared.error;
+}
+
+namespace {
+
+long long ImageBytes(const GraphPlan::Stage& stage) {
+  return static_cast<long long>(stage.width) * stage.height *
+         static_cast<long long>(sizeof(float));
+}
+
+}  // namespace
+
+Status StreamExecutor::MeasureStageCosts() {
+  if (!stage_model_ms_.empty()) return Status::Ok();
+  stage_model_ms_.assign(plan_.stages.size(), 0.0);
+  for (std::size_t i = 0; i < plan_.stages.size(); ++i) {
+    const GraphPlan::Stage& stage = plan_.stages[i];
+    if (stage.name.empty()) continue;
+    switch (stage.kind) {
+      case GraphPlan::Node::Kind::kSource:
+        break;  // modelled as an H2D copy, not compute
+      case GraphPlan::Node::Kind::kDecimate:
+      case GraphPlan::Node::Kind::kUpsample:
+        // Host resampling loops are bandwidth-shaped; charge the output's
+        // bytes at interconnect bandwidth as a stand-in compute cost.
+        stage_model_ms_[i] =
+            sim::ModelCopyMs(ImageBytes(stage), graph_options_.run.device);
+        break;
+      case GraphPlan::Node::Kind::kKernel: {
+        BindingSet bindings;
+        std::vector<BufferPool::ImagePtr> held;
+        for (const auto& [accessor, image] : stage.inputs) {
+          const GraphPlan::Stage& producer = plan_.stages[
+              static_cast<std::size_t>(plan_.producer.at(image))];
+          held.push_back(plan_.pool->Acquire(producer.width, producer.height));
+          bindings.Input(accessor, *held.back());
+        }
+        held.push_back(plan_.pool->Acquire(stage.width, stage.height));
+        bindings.Output(*held.back());
+        for (const auto& [output_name, image] : stage.extra_images) {
+          held.push_back(plan_.pool->Acquire(stage.width, stage.height));
+          bindings.Output(output_name, *held.back());
+        }
+        for (const auto& [name, value] : stage.scalars)
+          bindings.Scalar(name, value);
+        const compiler::CompiledKernel& ck = stage.compiled;
+        Result<LaunchHolder> holder =
+            BuildLaunch(ck.device_ir, ck.config.config, bindings);
+        if (!holder.ok()) return holder.status();
+        holder.value().launch.programs = ck.bytecode.get();
+        sim::Simulator simulator(graph_options_.run.device,
+                                 graph_options_.run.sim_options());
+        Result<sim::LaunchStats> stats =
+            simulator.Measure(holder.value().launch);
+        if (!stats.ok()) return stats.status();
+        stage_model_ms_[i] = stats.value().timing.total_ms;
+        for (BufferPool::ImagePtr& image : held)
+          plan_.pool->Release(std::move(image));
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<StreamModel> StreamExecutor::ModelThroughput(long long frames) {
+  HIPACC_RETURN_IF_ERROR(Prepare());
+  if (frames < 1)
+    return Status::Invalid("throughput model needs at least one frame");
+  HIPACC_RETURN_IF_ERROR(MeasureStageCosts());
+
+  Result<std::vector<int>> order =
+      TopologicalOrder(plan_.dag, [this](int i) {
+        return plan_.stages[static_cast<std::size_t>(i)].name;
+      });
+  if (!order.ok()) return order.status();
+
+  sim::StreamTimeline timeline(stream_.mode == StreamMode::kOverlap);
+  const int depth = window();
+  std::vector<double> frame_finish;
+  frame_finish.reserve(static_cast<std::size_t>(frames));
+  std::map<std::string, double> done;  // image -> modelled availability
+  for (long long f = 0; f < frames; ++f) {
+    // Frame f reuses the window slot frame f-depth held: its first op may
+    // not start before that frame fully finished (buffer recycling), which
+    // is exactly what bounds frames-in-flight on a real device.
+    const double frame_ready =
+        f >= depth ? frame_finish[static_cast<std::size_t>(f - depth)] : 0.0;
+    done.clear();
+    for (int index : order.value()) {
+      const GraphPlan::Stage& stage =
+          plan_.stages[static_cast<std::size_t>(index)];
+      if (stage.name.empty()) continue;  // retired fusion producer
+      double ready = frame_ready;
+      for (const auto& [accessor, image] : stage.inputs)
+        ready = std::max(ready, done.at(image));
+      double end;
+      if (stage.kind == GraphPlan::Node::Kind::kSource) {
+        end = timeline.Enqueue(
+            sim::StreamQueue::kCopyH2D, ready,
+            sim::ModelCopyMs(ImageBytes(stage), graph_options_.run.device));
+      } else {
+        end = timeline.Enqueue(sim::StreamQueue::kCompute, ready,
+                               stage_model_ms_[static_cast<std::size_t>(index)]);
+      }
+      done[stage.name] = end;
+      for (const auto& [output_name, image] : stage.extra_images)
+        done[image] = end;
+    }
+    double finish = frame_ready;
+    for (const std::string& name : plan_.outputs) {
+      const GraphPlan::Stage& producer = plan_.stages[
+          static_cast<std::size_t>(plan_.producer.at(name))];
+      finish = std::max(
+          finish, timeline.Enqueue(sim::StreamQueue::kCopyD2H, done.at(name),
+                                   sim::ModelCopyMs(ImageBytes(producer),
+                                                    graph_options_.run.device)));
+    }
+    frame_finish.push_back(finish);
+  }
+
+  StreamModel model;
+  model.finish_ms = timeline.finish_ms();
+  model.fps = model.finish_ms > 0.0
+                  ? static_cast<double>(frames) / (model.finish_ms / 1000.0)
+                  : 0.0;
+  model.compute_utilisation = timeline.utilisation(sim::StreamQueue::kCompute);
+  model.h2d_utilisation = timeline.utilisation(sim::StreamQueue::kCopyH2D);
+  model.d2h_utilisation = timeline.utilisation(sim::StreamQueue::kCopyD2H);
+  return model;
+}
+
+}  // namespace hipacc::runtime

@@ -25,6 +25,11 @@ struct Launch {
   /// Iteration space == output image extent.
   int width = 0;
   int height = 0;
+  /// Frame epoch in a streaming run (0 for one-shot launches). Purely
+  /// observational: trace spans of overlapped frames separate by epoch
+  /// instead of collapsing onto one lane, and profile-store feeding batches
+  /// per epoch.
+  long long epoch = 0;
   std::vector<BufferBinding> buffers;
   /// Mask name -> row-major coefficients (constant-memory masks; global-mask
   /// buffers appear in `buffers` instead).

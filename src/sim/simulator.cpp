@@ -157,7 +157,8 @@ Result<LaunchStats> Simulator::Execute(const Launch& launch) const {
   if (trace_)
     trace_->RecordLaunch(launch.kernel->name, launch.config, stats,
                          trace_start, trace_->NowMs() - trace_start,
-                         trace_tid_);
+                         launch.epoch != 0 ? static_cast<int>(launch.epoch)
+                                            : trace_tid_);
   return stats;
 }
 
@@ -277,7 +278,8 @@ Result<LaunchStats> Simulator::Measure(const Launch& launch,
   if (trace_)
     trace_->RecordLaunch(launch.kernel->name, launch.config, stats,
                          trace_start, trace_->NowMs() - trace_start,
-                         trace_tid_);
+                         launch.epoch != 0 ? static_cast<int>(launch.epoch)
+                                            : trace_tid_);
   return stats;
 }
 

@@ -64,4 +64,34 @@ TimingBreakdown ModelTime(const Metrics& metrics, const hw::DeviceSpec& device,
   return t;
 }
 
+double ModelCopyMs(long long bytes, const hw::DeviceSpec& device) {
+  // GB/s == bytes/µs, so bytes / (gbps * 1e3) is milliseconds.
+  const double bandwidth_bytes_per_ms = device.pcie_bandwidth_gbps * 1e6;
+  return static_cast<double>(bytes) / bandwidth_bytes_per_ms + kCopyOverheadMs;
+}
+
+const char* to_string(StreamQueue queue) noexcept {
+  switch (queue) {
+    case StreamQueue::kCompute: return "compute";
+    case StreamQueue::kCopyH2D: return "copy_h2d";
+    case StreamQueue::kCopyD2H: return "copy_d2h";
+  }
+  return "?";
+}
+
+double StreamTimeline::Enqueue(StreamQueue queue, double ready_ms,
+                               double duration_ms) {
+  const int q = static_cast<int>(queue);
+  // Serial mode: one shared availability timeline — a copy blocks the next
+  // kernel launch exactly as the summed-launches model assumed.
+  double& avail = overlap_ ? avail_[q] : avail_[0];
+  const double start = std::max(ready_ms, avail);
+  const double end = start + duration_ms;
+  avail = end;
+  busy_[q] += duration_ms;
+  if (end > finish_ms_) finish_ms_ = end;
+  ++ops_;
+  return end;
+}
+
 }  // namespace hipacc::sim

@@ -210,6 +210,62 @@ TEST(ProfileStoreTest, RecordMergesIntoAnEwma) {
   }
 }
 
+TEST(ProfileStoreTest, RecordBatchMatchesSequentialRecords) {
+  // The batched feeding path must merge in batch order — replaying the same
+  // observations through Record() yields the identical history.
+  const std::vector<compiler::KeyedObservation> batch = {
+      {"a", {{32, 2}, 1, 10.0}},
+      {"a", {{32, 2}, 1, 20.0}},
+      {"b", {{64, 2}, 1, 30.0}},
+      {"a", {{64, 4}, 2, 40.0}},
+  };
+  compiler::ProfileStore batched;
+  batched.RecordBatch(batch);
+  compiler::ProfileStore sequential;
+  for (const compiler::KeyedObservation& keyed : batch)
+    sequential.Record(keyed.key, keyed.observation);
+
+  for (const char* key : {"a", "b"}) {
+    const compiler::ProfileHistory lhs = batched.Lookup(key);
+    const compiler::ProfileHistory rhs = sequential.Lookup(key);
+    EXPECT_EQ(compiler::EncodeProfileHistory(lhs),
+              compiler::EncodeProfileHistory(rhs))
+        << key;
+  }
+  // The whole batch cost one flush; the sequential replay cost one each.
+  EXPECT_EQ(batched.flush_count(), 1);
+  EXPECT_EQ(batched.observation_count(), 4);
+  EXPECT_EQ(sequential.flush_count(), 4);
+  EXPECT_EQ(sequential.observation_count(), 4);
+  // Empty batches do not count as a flush.
+  batched.RecordBatch({});
+  EXPECT_EQ(batched.flush_count(), 1);
+}
+
+TEST(ProfileStoreTest, DiskBackedBatchFlushesOncePerDistinctKey) {
+  const fs::path root = fs::path(::testing::TempDir()) / "profile_batch_disk";
+  fs::remove_all(root);
+  support::DiskStoreOptions options;
+  options.root = root.string();
+  support::DiskStore disk(options);
+
+  {
+    compiler::ProfileStore writer(&disk);
+    writer.RecordBatch({{"key", {{32, 2}, 1, 10.0}},
+                        {"key", {{32, 2}, 1, 20.0}},
+                        {"other", {{64, 2}, 1, 5.0}}});
+    EXPECT_EQ(writer.flush_count(), 1);
+    EXPECT_EQ(writer.observation_count(), 3);
+  }
+  // The single flush persisted the merged histories.
+  compiler::ProfileStore reader(&disk);
+  const compiler::ProfileHistory merged = reader.Lookup("key");
+  EXPECT_EQ(merged.seq, 2);
+  ASSERT_EQ(merged.entries.size(), 1u);
+  EXPECT_EQ(merged.entries[0].samples, 2);
+  EXPECT_EQ(reader.Lookup("other").entries.size(), 1u);
+}
+
 TEST(ProfileStoreTest, DiskBackedStoresAppendMergeAcrossInstances) {
   const fs::path root =
       fs::path(::testing::TempDir()) / "profile_store_merge";

@@ -1,0 +1,86 @@
+// Per-queue stream timeline: overlap vs serial scheduling semantics,
+// dependency (ready_ms) handling, busy/utilisation accounting, and the
+// PCIe copy model the streaming executor charges H2D/D2H transfers with.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "hwmodel/device_spec.hpp"
+#include "sim/timing.hpp"
+
+namespace hipacc::sim {
+namespace {
+
+TEST(StreamTimelineTest, OverlapRunsQueuesIndependently) {
+  StreamTimeline timeline(/*overlap=*/true);
+  // An upload and a compute op with no dependency land on different queues
+  // and therefore run concurrently.
+  EXPECT_DOUBLE_EQ(timeline.Enqueue(StreamQueue::kCopyH2D, 0.0, 4.0), 4.0);
+  EXPECT_DOUBLE_EQ(timeline.Enqueue(StreamQueue::kCompute, 0.0, 5.0), 5.0);
+  // Same-queue submissions serialise on that queue's availability.
+  EXPECT_DOUBLE_EQ(timeline.Enqueue(StreamQueue::kCompute, 0.0, 2.0), 7.0);
+  EXPECT_DOUBLE_EQ(timeline.finish_ms(), 7.0);
+  EXPECT_DOUBLE_EQ(timeline.busy_ms(StreamQueue::kCompute), 7.0);
+  EXPECT_DOUBLE_EQ(timeline.busy_ms(StreamQueue::kCopyH2D), 4.0);
+  EXPECT_DOUBLE_EQ(timeline.busy_ms(StreamQueue::kCopyD2H), 0.0);
+  EXPECT_EQ(timeline.op_count(), 3);
+}
+
+TEST(StreamTimelineTest, SerialCollapsesOntoOneTimeline) {
+  StreamTimeline timeline(/*overlap=*/false);
+  EXPECT_DOUBLE_EQ(timeline.Enqueue(StreamQueue::kCopyH2D, 0.0, 4.0), 4.0);
+  // Different queue, but serial mode makes it wait anyway.
+  EXPECT_DOUBLE_EQ(timeline.Enqueue(StreamQueue::kCompute, 0.0, 5.0), 9.0);
+  EXPECT_DOUBLE_EQ(timeline.Enqueue(StreamQueue::kCopyD2H, 0.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(timeline.finish_ms(), 10.0);
+  // Busy time is still attributed per queue so utilisation reports stay
+  // comparable with overlap mode.
+  EXPECT_DOUBLE_EQ(timeline.busy_ms(StreamQueue::kCompute), 5.0);
+  EXPECT_DOUBLE_EQ(timeline.busy_ms(StreamQueue::kCopyH2D), 4.0);
+  EXPECT_DOUBLE_EQ(timeline.busy_ms(StreamQueue::kCopyD2H), 1.0);
+}
+
+TEST(StreamTimelineTest, ReadyTimeDefersStartAcrossQueues) {
+  StreamTimeline timeline(/*overlap=*/true);
+  const double upload = timeline.Enqueue(StreamQueue::kCopyH2D, 0.0, 3.0);
+  // Compute depends on the upload; its queue is free but it must wait.
+  const double compute = timeline.Enqueue(StreamQueue::kCompute, upload, 2.0);
+  EXPECT_DOUBLE_EQ(compute, 5.0);
+  // Download depends on compute.
+  EXPECT_DOUBLE_EQ(timeline.Enqueue(StreamQueue::kCopyD2H, compute, 1.0), 6.0);
+  // A second frame's upload only waited on its own queue — it overlapped
+  // the first frame's compute.
+  EXPECT_DOUBLE_EQ(timeline.Enqueue(StreamQueue::kCopyH2D, 0.0, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(timeline.finish_ms(), 6.0);
+}
+
+TEST(StreamTimelineTest, UtilisationIsBusyOverMakespan) {
+  StreamTimeline timeline(/*overlap=*/true);
+  EXPECT_DOUBLE_EQ(timeline.utilisation(StreamQueue::kCompute), 0.0);
+  timeline.Enqueue(StreamQueue::kCompute, 0.0, 6.0);
+  timeline.Enqueue(StreamQueue::kCopyH2D, 0.0, 3.0);
+  EXPECT_DOUBLE_EQ(timeline.utilisation(StreamQueue::kCompute), 1.0);
+  EXPECT_DOUBLE_EQ(timeline.utilisation(StreamQueue::kCopyH2D), 0.5);
+}
+
+TEST(StreamTimelineTest, QueueNamesAreStable) {
+  EXPECT_STREQ(to_string(StreamQueue::kCompute), "compute");
+  EXPECT_STREQ(to_string(StreamQueue::kCopyH2D), "copy_h2d");
+  EXPECT_STREQ(to_string(StreamQueue::kCopyD2H), "copy_d2h");
+}
+
+TEST(ModelCopyTest, CopyTimeIsBandwidthPlusFixedOverhead) {
+  hw::DeviceSpec device;
+  device.pcie_bandwidth_gbps = 6.0;
+  // 6e6 bytes over 6 GB/s = 1 ms, plus the fixed DMA-setup overhead.
+  EXPECT_NEAR(ModelCopyMs(6'000'000, device), 1.0 + kCopyOverheadMs, 1e-12);
+  // Tiny copies are dominated by the overhead, never free.
+  EXPECT_GE(ModelCopyMs(4, device), kCopyOverheadMs);
+  // Double the bytes ~ double the transfer part.
+  const double one = ModelCopyMs(6'000'000, device) - kCopyOverheadMs;
+  const double two = ModelCopyMs(12'000'000, device) - kCopyOverheadMs;
+  EXPECT_NEAR(two, 2.0 * one, 1e-9);
+}
+
+}  // namespace
+}  // namespace hipacc::sim
